@@ -1,0 +1,38 @@
+//! # bcp-analysis — the paper's analytic break-even model
+//!
+//! Section 2 of the paper derives when shipping buffered data over a
+//! high-power, high-rate radio (IEEE 802.11 class) costs less energy than
+//! trickling it over the always-on low-power sensor radio. This crate is
+//! that derivation, executable:
+//!
+//! * [`model::DualRadioLink`] — Equations (1)–(5): low/high-radio transfer
+//!   energy, closed-form and exact break-even sizes, multi-hop forward
+//!   progress.
+//! * [`feasibility`] — the parameter sweeps behind Figures 1–4 and Table 1.
+//!
+//! # Examples
+//!
+//! Reproduce the headline numbers of Section 2.2:
+//!
+//! ```
+//! use bcp_analysis::model::DualRadioLink;
+//! use bcp_radio::profile::{cabletron, lucent_11m, micaz};
+//!
+//! // Lucent 11 Mbps + MicaZ: break-even below 1 KB.
+//! let link = DualRadioLink::new(micaz(), lucent_11m());
+//! assert!(link.break_even_bytes().unwrap() < 1024.0);
+//!
+//! // Cabletron + MicaZ: infeasible single-hop...
+//! let cab = DualRadioLink::new(micaz(), cabletron());
+//! assert!(cab.break_even_bytes().is_none());
+//! // ...but feasible once one 802.11 hop replaces four sensor hops.
+//! assert!(cab.break_even_bytes_multihop(4).is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod feasibility;
+pub mod model;
+
+pub use model::DualRadioLink;

@@ -1,0 +1,167 @@
+//! One benchmark per table/figure of the paper.
+//!
+//! Each bench regenerates a *scaled-down* version of its artifact (short
+//! durations, single seeds) so the full suite completes in minutes while
+//! exercising exactly the code paths of the real experiments. The
+//! full-scale reproduction is `repro all --paper`.
+
+use bcp_bench::{bench_scenario, bench_scenario_mh};
+use bcp_simnet::ModelKind;
+use bcp_testbed::{run as testbed_run, TestbedConfig, TestbedMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Keeps simulation-scale benches inside a sane wall-clock budget.
+fn tight(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+}
+
+fn table1(c: &mut Criterion) {
+    c.bench_function("table1_energy_characteristics", |b| {
+        b.iter(|| black_box(bcp_analysis::feasibility::table1_rows()))
+    });
+}
+
+fn fig1(c: &mut Criterion) {
+    c.bench_function("fig1_energy_vs_size", |b| {
+        b.iter(|| black_box(bcp_analysis::feasibility::fig1_energy_vs_size()))
+    });
+}
+
+fn fig2(c: &mut Criterion) {
+    c.bench_function("fig2_breakeven_vs_idle", |b| {
+        b.iter(|| black_box(bcp_analysis::feasibility::fig2_breakeven_vs_idle()))
+    });
+}
+
+fn fig3(c: &mut Criterion) {
+    c.bench_function("fig3_breakeven_vs_fp", |b| {
+        b.iter(|| black_box(bcp_analysis::feasibility::fig3_breakeven_vs_fp()))
+    });
+}
+
+fn fig4(c: &mut Criterion) {
+    c.bench_function("fig4_savings_vs_burst", |b| {
+        b.iter(|| black_box(bcp_analysis::feasibility::fig4_savings_vs_burst()))
+    });
+}
+
+fn fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_sh_goodput");
+    tight(&mut g);
+    g.bench_function("dual_500", |b| {
+        b.iter(|| black_box(bench_scenario(ModelKind::DualRadio, 10, 500, 60).run()))
+    });
+    g.bench_function("sensor", |b| {
+        b.iter(|| black_box(bench_scenario(ModelKind::Sensor, 10, 10, 60).run()))
+    });
+    g.bench_function("dot11", |b| {
+        b.iter(|| black_box(bench_scenario(ModelKind::Dot11, 10, 10, 60).run()))
+    });
+    g.finish();
+}
+
+fn fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_sh_energy");
+    tight(&mut g);
+    for burst in [100usize, 1000] {
+        g.bench_function(format!("dual_{burst}"), |b| {
+            b.iter(|| black_box(bench_scenario(ModelKind::DualRadio, 10, burst, 60).run()))
+        });
+    }
+    g.finish();
+}
+
+fn fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_sh_energy_delay");
+    tight(&mut g);
+    g.bench_function("dual_100_low_rate", |b| {
+        b.iter(|| {
+            black_box(
+                bench_scenario(ModelKind::DualRadio, 10, 100, 120)
+                    .with_rate(200.0)
+                    .run(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_mh_goodput");
+    tight(&mut g);
+    g.bench_function("dual_500", |b| {
+        b.iter(|| black_box(bench_scenario_mh(ModelKind::DualRadio, 10, 500, 60).run()))
+    });
+    g.finish();
+}
+
+fn fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_mh_energy");
+    tight(&mut g);
+    g.bench_function("dual_1000", |b| {
+        b.iter(|| black_box(bench_scenario_mh(ModelKind::DualRadio, 10, 1000, 60).run()))
+    });
+    g.finish();
+}
+
+fn fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_mh_energy_delay");
+    tight(&mut g);
+    g.bench_function("dual_100_low_rate", |b| {
+        b.iter(|| {
+            black_box(
+                bench_scenario_mh(ModelKind::DualRadio, 10, 100, 120)
+                    .with_rate(200.0)
+                    .run(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_prototype_energy");
+    tight(&mut g);
+    for th in [512usize, 4096] {
+        g.bench_function(format!("threshold_{th}"), |b| {
+            b.iter(|| {
+                black_box(testbed_run(
+                    &TestbedConfig::paper(th, 1),
+                    TestbedMode::DualRadio,
+                ))
+            })
+        });
+    }
+    g.bench_function("sensor_baseline", |b| {
+        b.iter(|| {
+            black_box(testbed_run(
+                &TestbedConfig::paper(1024, 1),
+                TestbedMode::SensorRadio,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_prototype_energy_delay");
+    tight(&mut g);
+    g.bench_function("sweep_point", |b| {
+        b.iter(|| {
+            black_box(testbed_run(
+                &TestbedConfig::paper(2048, 1),
+                TestbedMode::DualRadio,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures, table1, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12
+);
+criterion_main!(figures);

@@ -1,0 +1,138 @@
+//! Microbenchmarks of the hot paths under the experiments: event queue,
+//! PRNG, MAC exchange, BCP handshake, fragmentation, routing.
+
+use bcp_core::config::BcpConfig;
+use bcp_core::frag::pack_frames;
+use bcp_core::msg::AppPacket;
+use bcp_core::sender::BcpSender;
+use bcp_mac::csma::{CsmaMac, MacConfig};
+use bcp_mac::types::{MacAddr, MacEvent};
+use bcp_net::addr::NodeId;
+use bcp_net::routing::Routes;
+use bcp_net::topo::Topology;
+use bcp_radio::profile::{lucent_11m, micaz};
+use bcp_sim::event::EventQueue;
+use bcp_sim::rng::Rng;
+use bcp_sim::time::SimTime;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn tight() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30)
+}
+
+fn event_queue_throughput(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_nanos(rng.next_u64() % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn rng_throughput(c: &mut Criterion) {
+    c.bench_function("xoshiro_next_u64_1k", |b| {
+        let mut rng = Rng::new(7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn mac_exchange(c: &mut Criterion) {
+    c.bench_function("dcf_enqueue_to_start_tx", |b| {
+        b.iter(|| {
+            let mut mac = CsmaMac::new(MacConfig::dot11b(&lucent_11m()), MacAddr(1), 3);
+            let frame = mac.make_data(MacAddr(2), 1024, 0);
+            let mut out = Vec::new();
+            mac.handle(SimTime::ZERO, MacEvent::Enqueue(frame), &mut out);
+            mac.handle(
+                SimTime::from_micros(50),
+                MacEvent::Timer(bcp_mac::types::MacTimer::Difs),
+                &mut out,
+            );
+            black_box(out.len())
+        })
+    });
+}
+
+fn bcp_handshake_cycle(c: &mut Criterion) {
+    c.bench_function("bcp_sender_full_session", |b| {
+        let cfg = BcpConfig::paper_defaults().with_burst_packets(100, 32);
+        b.iter(|| {
+            let mut s = BcpSender::new(NodeId(1), cfg.clone());
+            let mut out = Vec::new();
+            for i in 0..100 {
+                let pkt = AppPacket::new(NodeId(1), NodeId(0), i, SimTime::ZERO, 32);
+                s.on_data(SimTime::ZERO, NodeId(0), pkt, &mut out);
+            }
+            let burst = out
+                .iter()
+                .find_map(|a| match a {
+                    bcp_core::sender::SenderAction::SendWakeUp { burst, .. } => Some(*burst),
+                    _ => None,
+                })
+                .expect("handshake started");
+            out.clear();
+            s.on_wakeup_ack(SimTime::ZERO, burst, 3200, &mut out);
+            s.on_high_radio_ready(SimTime::ZERO, burst, &mut out);
+            for _ in 0..4 {
+                s.on_frame_outcome(SimTime::ZERO, burst, true, &mut out);
+            }
+            black_box(s.stats().packets_sent)
+        })
+    });
+}
+
+fn fragmentation(c: &mut Criterion) {
+    c.bench_function("pack_1000_packets", |b| {
+        let packets: Vec<AppPacket> = (0..1000)
+            .map(|i| AppPacket::new(NodeId(1), NodeId(0), i, SimTime::ZERO, 32))
+            .collect();
+        b.iter(|| black_box(pack_frames(packets.clone(), 1024)))
+    });
+}
+
+fn routing_build(c: &mut Criterion) {
+    c.bench_function("routes_grid6_all_pairs", |b| {
+        let topo = Topology::grid(6, 40.0);
+        b.iter(|| black_box(Routes::shortest_hop(&topo, 40.0)))
+    });
+}
+
+fn breakeven_solve(c: &mut Criterion) {
+    c.bench_function("breakeven_exact_search", |b| {
+        let link = bcp_analysis::DualRadioLink::new(micaz(), lucent_11m());
+        b.iter(|| black_box(link.break_even_bytes_exact(1 << 20)))
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = tight();
+    targets =
+    event_queue_throughput,
+    rng_throughput,
+    mac_exchange,
+    bcp_handshake_cycle,
+    fragmentation,
+    routing_build,
+    breakeven_solve
+}
+criterion_main!(micro);

@@ -1,0 +1,21 @@
+//! # bcp-bench — benchmark harness support
+//!
+//! Shared scenario builders for the Criterion benches. Every table and
+//! figure of the paper has a corresponding bench target that regenerates a
+//! scaled-down version of it (`benches/figures.rs`); engine and protocol
+//! hot paths are covered in `benches/micro.rs`.
+
+#![warn(missing_docs)]
+
+use bcp_sim::time::SimDuration;
+use bcp_simnet::{ModelKind, Scenario};
+
+/// A bench-sized simulation: the paper's grid, shortened to `secs`.
+pub fn bench_scenario(model: ModelKind, senders: usize, burst: usize, secs: u64) -> Scenario {
+    Scenario::single_hop(model, senders, burst, 1).with_duration(SimDuration::from_secs(secs))
+}
+
+/// A bench-sized multi-hop simulation.
+pub fn bench_scenario_mh(model: ModelKind, senders: usize, burst: usize, secs: u64) -> Scenario {
+    Scenario::multi_hop(model, senders, burst, 1).with_duration(SimDuration::from_secs(secs))
+}

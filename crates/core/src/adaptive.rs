@@ -1,0 +1,198 @@
+//! Adaptive break-even threshold (the paper's stated future work).
+//!
+//! Section 3: "Currently, the calculation of s* does not include the
+//! expected number of retransmissions, since it is hard to predict this
+//! number before using the radios. ... We leave adapting s* based on
+//! retransmissions as future work."
+//!
+//! [`AdaptiveThreshold`] implements that extension: it keeps exponentially
+//! weighted moving averages of the per-frame transmission counts observed
+//! on each radio and recomputes `α·s*` with those factors folded into
+//! Equations (1)–(3).
+
+use bcp_analysis::model::DualRadioLink;
+
+/// EWMA-driven threshold adaptation.
+///
+/// # Examples
+///
+/// ```
+/// use bcp_core::adaptive::AdaptiveThreshold;
+/// use bcp_analysis::model::DualRadioLink;
+/// use bcp_radio::profile::{lucent_11m, micaz};
+///
+/// let mut a = AdaptiveThreshold::new(DualRadioLink::new(micaz(), lucent_11m()), 2.0, 0.2);
+/// let base = a.threshold_bytes();
+/// // The high radio starts needing 2 transmissions per frame on average:
+/// for _ in 0..50 { a.observe_high(2.0); }
+/// assert!(a.threshold_bytes() > base, "lossy high radio raises the bar");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveThreshold {
+    link: DualRadioLink,
+    alpha: f64,
+    gain: f64,
+    ewma_low: f64,
+    ewma_high: f64,
+    fallback_bytes: usize,
+}
+
+impl AdaptiveThreshold {
+    /// Creates an adapter over `link` with burst factor `alpha` and EWMA
+    /// gain `gain` (0 < gain ≤ 1; higher = faster reaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha > 0` and `0 < gain <= 1`.
+    pub fn new(link: DualRadioLink, alpha: f64, gain: f64) -> Self {
+        assert!(alpha > 0.0 && alpha.is_finite(), "invalid alpha {alpha}");
+        assert!(gain > 0.0 && gain <= 1.0, "invalid gain {gain}");
+        AdaptiveThreshold {
+            link,
+            alpha,
+            gain,
+            ewma_low: 1.0,
+            ewma_high: 1.0,
+            fallback_bytes: 10 * 1024,
+        }
+    }
+
+    /// Records an observed transmission count for one low-radio frame
+    /// (1.0 = delivered first try).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts < 1`.
+    pub fn observe_low(&mut self, attempts: f64) {
+        assert!(attempts >= 1.0, "a frame is transmitted at least once");
+        self.ewma_low += self.gain * (attempts - self.ewma_low);
+    }
+
+    /// Records an observed transmission count for one high-radio frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts < 1`.
+    pub fn observe_high(&mut self, attempts: f64) {
+        assert!(attempts >= 1.0, "a frame is transmitted at least once");
+        self.ewma_high += self.gain * (attempts - self.ewma_high);
+    }
+
+    /// Current smoothed transmission counts `(low, high)`.
+    pub fn factors(&self) -> (f64, f64) {
+        (self.ewma_low, self.ewma_high)
+    }
+
+    /// The current `α·s*` in bytes, recomputed with the observed
+    /// retransmission factors. Falls back to the 10 KB rule of thumb when
+    /// the adapted link has no break-even (the high radio has become so
+    /// lossy it never pays off).
+    pub fn threshold_bytes(&self) -> usize {
+        let adapted = self
+            .link
+            .clone()
+            .with_retx(self.ewma_low, self.ewma_high);
+        match adapted.break_even_bytes() {
+            Some(s) => (self.alpha * s).ceil() as usize,
+            None => self.fallback_bytes,
+        }
+    }
+
+    /// `true` while the adapted link still has a finite break-even (the
+    /// high radio remains worth waking at some burst size).
+    pub fn high_radio_viable(&self) -> bool {
+        self.link
+            .clone()
+            .with_retx(self.ewma_low, self.ewma_high)
+            .break_even_bytes()
+            .is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcp_radio::profile::{lucent_11m, mica, micaz};
+
+    fn adapter() -> AdaptiveThreshold {
+        AdaptiveThreshold::new(DualRadioLink::new(micaz(), lucent_11m()), 2.0, 0.25)
+    }
+
+    #[test]
+    fn starts_at_static_threshold() {
+        let a = adapter();
+        let static_s = DualRadioLink::new(micaz(), lucent_11m())
+            .break_even_bytes()
+            .unwrap();
+        assert_eq!(a.threshold_bytes(), (2.0 * static_s).ceil() as usize);
+        assert_eq!(a.factors(), (1.0, 1.0));
+    }
+
+    #[test]
+    fn high_losses_raise_threshold() {
+        let mut a = adapter();
+        let base = a.threshold_bytes();
+        for _ in 0..100 {
+            a.observe_high(2.5);
+        }
+        assert!(a.threshold_bytes() > base);
+        let (_, high) = a.factors();
+        assert!((high - 2.5).abs() < 0.05, "EWMA converged: {high}");
+    }
+
+    #[test]
+    fn low_losses_lower_threshold() {
+        let mut a = adapter();
+        let base = a.threshold_bytes();
+        for _ in 0..100 {
+            a.observe_low(2.0);
+        }
+        assert!(
+            a.threshold_bytes() < base,
+            "lossy sensor radio favours the 802.11 side"
+        );
+    }
+
+    #[test]
+    fn extreme_high_losses_kill_viability() {
+        // Drive the high radio's effective per-bit cost above the sensor's.
+        let mut a = AdaptiveThreshold::new(DualRadioLink::new(micaz(), lucent_11m()), 1.0, 1.0);
+        assert!(a.high_radio_viable());
+        a.observe_high(10.0);
+        assert!(!a.high_radio_viable());
+        assert_eq!(a.threshold_bytes(), 10 * 1024, "falls back to rule of thumb");
+    }
+
+    #[test]
+    fn recovery_restores_threshold() {
+        let mut a = adapter();
+        let base = a.threshold_bytes();
+        for _ in 0..50 {
+            a.observe_high(3.0);
+        }
+        let degraded = a.threshold_bytes();
+        for _ in 0..200 {
+            a.observe_high(1.0);
+        }
+        let recovered = a.threshold_bytes();
+        assert!(degraded > base);
+        assert!(
+            (recovered as i64 - base as i64).unsigned_abs() <= base as u64 / 50,
+            "threshold returns near the static value: {base} -> {recovered}"
+        );
+    }
+
+    #[test]
+    fn works_for_mica_pairing_too() {
+        let mut a = AdaptiveThreshold::new(DualRadioLink::new(mica(), lucent_11m()), 1.5, 0.5);
+        let t0 = a.threshold_bytes();
+        a.observe_low(4.0);
+        assert!(a.threshold_bytes() < t0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least once")]
+    fn zero_attempts_rejected() {
+        adapter().observe_high(0.5);
+    }
+}

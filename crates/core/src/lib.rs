@@ -1,0 +1,58 @@
+//! # bcp-core — the Bulk Communication Protocol
+//!
+//! The paper's contribution, as a pair of sans-IO state machines:
+//!
+//! * [`sender::BcpSender`] — buffers routed data per next hop
+//!   ([`buffer::NextHopBuffers`]), and once a queue crosses the `α·s*`
+//!   threshold ([`config::BcpConfig`]) runs the wake-up handshake over the
+//!   low-power radio, powers the high radio, packs the queue into 1024 B
+//!   frames ([`frag`]) and bursts them out.
+//! * [`receiver::BcpReceiver`] — wakes its high radio on request, grants
+//!   what its buffer can hold (or stays silent when full), reassembles
+//!   bursts, and shuts the radio down as soon as everything advertised has
+//!   arrived or a timeout expires.
+//!
+//! The break-even size `s*` comes from [`bcp_analysis`]; thresholds can be
+//! set analytically ([`config::BcpConfig::with_breakeven_threshold`]), as a
+//! fixed burst size like the paper's sweeps
+//! ([`config::BcpConfig::with_burst_packets`]), or adaptively from observed
+//! retransmissions ([`adaptive::AdaptiveThreshold`] — the paper's stated
+//! future work).
+//!
+//! # Examples
+//!
+//! A complete sender-side handshake against hand-fed events:
+//!
+//! ```
+//! use bcp_core::config::BcpConfig;
+//! use bcp_core::msg::AppPacket;
+//! use bcp_core::sender::{BcpSender, SenderAction};
+//! use bcp_net::addr::NodeId;
+//! use bcp_sim::time::SimTime;
+//!
+//! let cfg = BcpConfig::paper_defaults().with_burst_packets(10, 32);
+//! let mut sender = BcpSender::new(NodeId(5), cfg);
+//! let mut actions = Vec::new();
+//! for seq in 0..10 {
+//!     let pkt = AppPacket::new(NodeId(5), NodeId(0), seq, SimTime::ZERO, 32);
+//!     sender.on_data(SimTime::ZERO, NodeId(1), pkt, &mut actions);
+//! }
+//! // Ten buffered packets hit the threshold: the handshake starts.
+//! assert!(matches!(actions[0], SenderAction::SendWakeUp { burst_bytes: 320, .. }));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adaptive;
+pub mod buffer;
+pub mod config;
+pub mod frag;
+pub mod msg;
+pub mod receiver;
+pub mod sender;
+
+pub use config::BcpConfig;
+pub use msg::{AppPacket, BurstId, HandshakeMsg, PacketId};
+pub use receiver::{BcpReceiver, ReceiverAction, ReceiverStats};
+pub use sender::{BcpSender, DropReason, SenderAction, SenderStats};

@@ -1,0 +1,64 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list
+//! repro all [--quick|--paper|--test]
+//! repro <id>... [--quick|--paper|--test]
+//! ```
+
+use bcp_experiments::{all, find, Quality};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+    let mut quality = Quality::Quick;
+    let mut ids: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--quick" => quality = Quality::Quick,
+            "--paper" | "--full" => quality = Quality::Paper,
+            "--paper-lite" => quality = Quality::PaperLite,
+            "--test" => quality = Quality::Test,
+            "list" => {
+                for e in all() {
+                    println!("{:8}  {}", e.id, e.title);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(all().iter().map(|e| e.id.to_string())),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+    ids.dedup();
+    for id in &ids {
+        let Some(e) = find(id) else {
+            eprintln!("unknown experiment {id} (try `repro list`)");
+            return ExitCode::FAILURE;
+        };
+        eprintln!("running {} at {:?} quality...", e.id, quality);
+        let started = std::time::Instant::now();
+        let out = (e.run)(quality);
+        println!("{}", out.render(e.title));
+        eprintln!("  done in {:.1?}\n", started.elapsed());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro list | repro all [--quick|--paper-lite|--paper|--test] | repro <id>..."
+    );
+}

@@ -1,0 +1,226 @@
+//! Rendering figures and tables as aligned text (gnuplot-ready columns).
+
+use bcp_sim::stats::Series;
+
+/// The product of one experiment: either a line figure or a table.
+#[derive(Debug, Clone)]
+pub enum Output {
+    /// An x/y figure with one or more labelled series.
+    Figure {
+        /// Meaning of the x column.
+        xlabel: String,
+        /// Meaning of the y values.
+        ylabel: String,
+        /// The plotted lines.
+        series: Vec<Series>,
+        /// Free-form remarks (assumptions, paper comparison hooks).
+        notes: Vec<String>,
+    },
+    /// A plain table.
+    Table {
+        /// Column headers.
+        headers: Vec<String>,
+        /// Row-major cells.
+        rows: Vec<Vec<String>>,
+        /// Free-form remarks.
+        notes: Vec<String>,
+    },
+}
+
+impl Output {
+    /// Renders the output as aligned text. Figures are emitted as one
+    /// x-column per distinct x value with `y±ci` per series (missing points
+    /// are blank), which both humans and gnuplot digest.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {title}\n"));
+        match self {
+            Output::Figure {
+                xlabel,
+                ylabel,
+                series,
+                notes,
+            } => {
+                out.push_str(&format!("# y: {ylabel}\n"));
+                for n in notes {
+                    out.push_str(&format!("# note: {n}\n"));
+                }
+                // Collect the union of x values, sorted.
+                let mut xs: Vec<f64> = series
+                    .iter()
+                    .flat_map(|s| s.points().iter().map(|p| p.0))
+                    .collect();
+                xs.sort_by(|a, b| a.partial_cmp(b).expect("x values are finite"));
+                xs.dedup();
+                let mut headers = vec![xlabel.clone()];
+                headers.extend(series.iter().map(|s| s.label().to_string()));
+                let mut rows = Vec::new();
+                for &x in &xs {
+                    let mut row = vec![trim_float(x)];
+                    for s in series {
+                        let cell = s
+                            .points()
+                            .iter()
+                            .find(|p| p.0 == x)
+                            .map(|(_, y, ci)| {
+                                if *ci > 0.0 {
+                                    format!("{}±{}", trim_sig(*y), trim_sig(*ci))
+                                } else {
+                                    trim_sig(*y)
+                                }
+                            })
+                            .unwrap_or_default();
+                        row.push(cell);
+                    }
+                    rows.push(row);
+                }
+                out.push_str(&aligned(&headers, &rows));
+            }
+            Output::Table {
+                headers,
+                rows,
+                notes,
+            } => {
+                for n in notes {
+                    out.push_str(&format!("# note: {n}\n"));
+                }
+                out.push_str(&aligned(headers, rows));
+            }
+        }
+        out
+    }
+}
+
+fn aligned(headers: &[String], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(headers, &widths));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Formats an x value: integers without decimals, otherwise 4 significant
+/// digits.
+fn trim_float(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e12 {
+        format!("{}", x as i64)
+    } else {
+        trim_sig(x)
+    }
+}
+
+/// Formats to 4 significant digits without trailing zeros.
+fn trim_sig(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let s = format!("{:.4e}", x);
+    // Parse back and display compactly.
+    let v: f64 = s.parse().expect("own formatting parses");
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let mag = v.abs().log10().floor() as i32;
+    if (-3..6).contains(&mag) {
+        let decimals = (4 - 1 - mag).max(0) as usize;
+        let t = format!("{:.*}", decimals, v);
+        // Only strip redundant zeros after a decimal point — trimming an
+        // integer like "12420" would silently drop magnitude.
+        let t = if t.contains('.') {
+            t.trim_end_matches('0').trim_end_matches('.').to_string()
+        } else {
+            t
+        };
+        if t.is_empty() || t == "-" {
+            "0".into()
+        } else {
+            t
+        }
+    } else {
+        format!("{:.3e}", v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_renders_aligned_columns() {
+        let mut a = Series::new("A");
+        a.push(5.0, 0.5);
+        a.push_with_ci(10.0, 0.25, 0.01);
+        let mut b = Series::new("B");
+        b.push(5.0, 1.0);
+        let fig = Output::Figure {
+            xlabel: "senders".into(),
+            ylabel: "goodput".into(),
+            series: vec![a, b],
+            notes: vec!["demo".into()],
+        };
+        let r = fig.render("Figure X");
+        assert!(r.contains("# Figure X"));
+        assert!(r.contains("# note: demo"));
+        assert!(r.contains("senders"));
+        assert!(r.contains("0.25±0.01"));
+        // Row for x=10 exists but B has no point there (blank cell).
+        let row10: Vec<&str> = r.lines().filter(|l| l.trim_start().starts_with("10")).collect();
+        assert_eq!(row10.len(), 1);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = Output::Table {
+            headers: vec!["radio".into(), "rate".into()],
+            rows: vec![
+                vec!["Cabletron".into(), "2Mbps".into()],
+                vec!["Micaz".into(), "250Kbps".into()],
+            ],
+            notes: vec![],
+        };
+        let r = t.render("Table 1");
+        assert!(r.contains("Cabletron"));
+        assert!(r.contains("250Kbps"));
+    }
+
+    #[test]
+    fn float_trimming() {
+        assert_eq!(trim_float(5.0), "5");
+        assert_eq!(trim_sig(0.50004), "0.5");
+        assert_eq!(trim_sig(0.1234567), "0.1235");
+        assert_eq!(trim_sig(1234.567), "1235");
+        assert_eq!(trim_sig(0.0), "0");
+        assert_eq!(trim_sig(f64::INFINITY), "inf");
+        assert!(trim_sig(1.5e-7).contains('e'));
+    }
+
+    #[test]
+    fn integers_keep_their_trailing_zeros() {
+        // Regression: "12420" must not become "1242".
+        assert_eq!(trim_sig(12420.4), "12420");
+        assert_eq!(trim_sig(1600.2), "1600");
+        assert_eq!(trim_sig(3070.7), "3071");
+        assert_eq!(trim_float(1600.2), "1600");
+        assert_eq!(trim_sig(100.0), "100");
+        assert_eq!(trim_sig(0.1000), "0.1");
+    }
+}

@@ -1,0 +1,46 @@
+//! # bcp-mac — sans-IO MAC-layer state machines
+//!
+//! The two link layers of the paper's dual-radio stack:
+//!
+//! * **IEEE 802.11b DCF** for the high-power radio
+//!   ([`MacConfig::dot11b`](csma::MacConfig::dot11b)): DIFS + slotted
+//!   exponential backoff, SIFS-separated link ACKs, retry limit 7.
+//! * **Sensor CSMA** for the low-power radio
+//!   ([`MacConfig::sensor_csma`](csma::MacConfig::sensor_csma)): the
+//!   paper's "simpler MAC layer that complies with MAC protocols for sensor
+//!   platforms (e.g., no RTS/CTS)".
+//!
+//! Both are instances of one CSMA/CA engine, [`csma::CsmaMac`], which is
+//! **sans-IO**: it consumes [`types::MacEvent`]s and emits
+//! [`types::MacAction`]s, never touching clocks, radios or queues of its
+//! own. The network simulator (`bcp-simnet`) and the prototype testbed
+//! (`bcp-testbed`) bind those actions to a channel; tests drive the machine
+//! directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use bcp_mac::csma::{CsmaMac, MacConfig};
+//! use bcp_mac::types::{MacAction, MacAddr, MacEvent, MacTimer};
+//! use bcp_radio::profile::lucent_11m;
+//! use bcp_sim::time::SimTime;
+//!
+//! let mut mac = CsmaMac::new(MacConfig::dot11b(&lucent_11m()), MacAddr(1), 42);
+//! let frame = mac.make_data(MacAddr(2), 1024, 0);
+//! let mut actions = Vec::new();
+//! mac.handle(SimTime::ZERO, MacEvent::Enqueue(frame), &mut actions);
+//! // Fresh arrival to an idle channel: DIFS, then transmit.
+//! assert!(matches!(
+//!     actions[0],
+//!     MacAction::SetTimer { kind: MacTimer::Difs, .. }
+//! ));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod csma;
+pub mod types;
+
+pub use csma::{CsmaMac, MacConfig};
+pub use types::{FrameId, FrameKind, MacAction, MacAddr, MacEvent, MacFrame, MacStats, MacTimer};

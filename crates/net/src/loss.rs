@@ -1,0 +1,200 @@
+//! Link loss models.
+//!
+//! The paper's analysis assumes loss-free links (`n_i = 1`) but its
+//! simulation "accounts for the impact of packet losses". Collisions are
+//! modelled by the channel itself; these models add *channel-quality*
+//! losses on top: independent (Bernoulli) or bursty (Gilbert–Elliott).
+
+use bcp_sim::rng::Rng;
+
+/// Stateful per-link loss process.
+///
+/// # Examples
+///
+/// ```
+/// use bcp_net::loss::LossModel;
+/// use bcp_sim::rng::Rng;
+///
+/// let mut rng = Rng::new(1);
+/// let mut perfect = LossModel::Perfect;
+/// assert!(!perfect.is_lost(&mut rng));
+///
+/// let mut lossy = LossModel::bernoulli(1.0);
+/// assert!(lossy.is_lost(&mut rng));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub enum LossModel {
+    /// No channel losses (collisions may still occur).
+    #[default]
+    Perfect,
+    /// Each frame lost independently with probability `p`.
+    Bernoulli {
+        /// Per-frame loss probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Two-state bursty channel: a good state with low loss and a bad state
+    /// with high loss, switching with the given per-frame probabilities.
+    GilbertElliott {
+        /// P(good → bad) evaluated per frame.
+        p_g2b: f64,
+        /// P(bad → good) evaluated per frame.
+        p_b2g: f64,
+        /// Loss probability while in the good state.
+        loss_good: f64,
+        /// Loss probability while in the bad state.
+        loss_bad: f64,
+        /// Current state (`true` = bad).
+        in_bad: bool,
+    },
+}
+
+impl LossModel {
+    /// Independent losses with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ [0, 1]`.
+    pub fn bernoulli(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability {p} out of range");
+        LossModel::Bernoulli { p }
+    }
+
+    /// A bursty channel starting in the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all probabilities are in `[0, 1]`.
+    pub fn gilbert_elliott(p_g2b: f64, p_b2g: f64, loss_good: f64, loss_bad: f64) -> Self {
+        for p in [p_g2b, p_b2g, loss_good, loss_bad] {
+            assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        }
+        LossModel::GilbertElliott {
+            p_g2b,
+            p_b2g,
+            loss_good,
+            loss_bad,
+            in_bad: false,
+        }
+    }
+
+    /// Evaluates the loss process for one frame; advances burst state.
+    pub fn is_lost(&mut self, rng: &mut Rng) -> bool {
+        match self {
+            LossModel::Perfect => false,
+            LossModel::Bernoulli { p } => rng.bernoulli(*p),
+            LossModel::GilbertElliott {
+                p_g2b,
+                p_b2g,
+                loss_good,
+                loss_bad,
+                in_bad,
+            } => {
+                // Advance the Markov chain, then sample loss in the new state.
+                let flip = if *in_bad {
+                    rng.bernoulli(*p_b2g)
+                } else {
+                    rng.bernoulli(*p_g2b)
+                };
+                if flip {
+                    *in_bad = !*in_bad;
+                }
+                let p = if *in_bad { *loss_bad } else { *loss_good };
+                rng.bernoulli(p)
+            }
+        }
+    }
+
+    /// Long-run loss probability of the process (stationary average).
+    pub fn mean_loss(&self) -> f64 {
+        match self {
+            LossModel::Perfect => 0.0,
+            LossModel::Bernoulli { p } => *p,
+            LossModel::GilbertElliott {
+                p_g2b,
+                p_b2g,
+                loss_good,
+                loss_bad,
+                ..
+            } => {
+                if *p_g2b == 0.0 && *p_b2g == 0.0 {
+                    return *loss_good; // never leaves the initial good state
+                }
+                let frac_bad = p_g2b / (p_g2b + p_b2g);
+                loss_bad * frac_bad + loss_good * (1.0 - frac_bad)
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_never_loses() {
+        let mut rng = Rng::new(1);
+        let mut m = LossModel::Perfect;
+        assert!((0..1000).all(|_| !m.is_lost(&mut rng)));
+        assert_eq!(m.mean_loss(), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_frequency_matches_p() {
+        let mut rng = Rng::new(2);
+        let mut m = LossModel::bernoulli(0.2);
+        let n = 100_000;
+        let losses = (0..n).filter(|_| m.is_lost(&mut rng)).count();
+        let freq = losses as f64 / n as f64;
+        assert!((freq - 0.2).abs() < 0.01, "freq {freq}");
+        assert_eq!(m.mean_loss(), 0.2);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = Rng::new(3);
+        assert!(!LossModel::bernoulli(0.0).is_lost(&mut rng));
+        assert!(LossModel::bernoulli(1.0).is_lost(&mut rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bernoulli_rejects_bad_p() {
+        let _ = LossModel::bernoulli(1.5);
+    }
+
+    #[test]
+    fn gilbert_elliott_long_run_rate() {
+        let mut rng = Rng::new(4);
+        let mut m = LossModel::gilbert_elliott(0.1, 0.3, 0.01, 0.5);
+        let n = 200_000;
+        let losses = (0..n).filter(|_| m.is_lost(&mut rng)).count();
+        let freq = losses as f64 / n as f64;
+        let expect = m.mean_loss(); // 0.25·0.5 + 0.75·0.01 ≈ 0.1325
+        assert!((freq - expect).abs() < 0.01, "freq {freq} vs {expect}");
+    }
+
+    #[test]
+    fn gilbert_elliott_is_bursty() {
+        // Consecutive losses should be far more correlated than Bernoulli
+        // at the same mean rate: compare P(loss | previous loss).
+        let mut rng = Rng::new(5);
+        let mut m = LossModel::gilbert_elliott(0.02, 0.1, 0.0, 0.9);
+        let outcomes: Vec<bool> = (0..200_000).map(|_| m.is_lost(&mut rng)).collect();
+        let mean = outcomes.iter().filter(|&&l| l).count() as f64 / outcomes.len() as f64;
+        let pairs = outcomes.windows(2).filter(|w| w[0]).count();
+        let both = outcomes.windows(2).filter(|w| w[0] && w[1]).count();
+        let cond = both as f64 / pairs as f64;
+        assert!(
+            cond > 2.0 * mean,
+            "bursty channel: P(loss|loss)={cond} should exceed 2×mean={mean}"
+        );
+    }
+
+    #[test]
+    fn mean_loss_degenerate_chain() {
+        let m = LossModel::gilbert_elliott(0.0, 0.0, 0.05, 0.9);
+        assert_eq!(m.mean_loss(), 0.05, "never leaves good state");
+    }
+}

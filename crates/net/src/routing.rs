@@ -1,0 +1,296 @@
+//! Hop-count routing over the unit-disk graph.
+//!
+//! The paper decouples routing from the protocol: "two separate trees that
+//! go over sensor and IEEE 802.11 radios are built". [`Routes`] holds
+//! all-pairs shortest-hop next-hops for one radio's connectivity graph
+//! (BFS; ties broken by lowest node id, so routes are deterministic).
+//! [`ShortcutTable`] implements Section 3's route optimization: a sender
+//! that overhears its packet being forwarded learns the *last* forwarder as
+//! a direct next hop for future bursts.
+
+use crate::addr::NodeId;
+use crate::topo::Topology;
+use std::collections::VecDeque;
+
+/// All-pairs shortest-hop routing for one radio range.
+///
+/// # Examples
+///
+/// ```
+/// use bcp_net::addr::NodeId;
+/// use bcp_net::routing::Routes;
+/// use bcp_net::topo::Topology;
+///
+/// let topo = Topology::line(6, 40.0);
+/// let routes = Routes::shortest_hop(&topo, 40.0);
+/// // 5 hops end to end, next hop is the adjacent node.
+/// assert_eq!(routes.hops(NodeId(5), NodeId(0)), Some(5));
+/// assert_eq!(routes.next_hop(NodeId(5), NodeId(0)), Some(NodeId(4)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Routes {
+    n: usize,
+    // next[dst][src] = first hop from src toward dst.
+    next: Vec<Vec<Option<NodeId>>>,
+    // dist[dst][src] = hop count from src to dst.
+    dist: Vec<Vec<Option<u32>>>,
+}
+
+impl Routes {
+    /// Builds shortest-hop routes over the unit-disk graph at `range_m`.
+    pub fn shortest_hop(topo: &Topology, range_m: f64) -> Self {
+        let n = topo.len();
+        let neighbors = topo.neighbor_table(range_m);
+        let mut next = Vec::with_capacity(n);
+        let mut dist = Vec::with_capacity(n);
+        for dst in topo.nodes() {
+            let (d, parent) = bfs_from(&neighbors, dst, n);
+            // parent[src] points one hop toward dst (BFS tree rooted at dst).
+            next.push(parent);
+            dist.push(d);
+        }
+        Routes { n, next, dist }
+    }
+
+    /// Number of nodes routed.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when no nodes are routed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// First hop from `src` toward `dst`; `None` when unreachable or when
+    /// `src == dst`.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        if src == dst {
+            return None;
+        }
+        self.next[dst.index()][src.index()]
+    }
+
+    /// Hop count from `src` to `dst`; `Some(0)` when equal, `None` when
+    /// unreachable.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> Option<u32> {
+        self.dist[dst.index()][src.index()]
+    }
+
+    /// `true` when every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        self.dist
+            .iter()
+            .all(|row| row.iter().all(|d| d.is_some()))
+    }
+
+    /// The full path from `src` to `dst`, inclusive of both; `None` when
+    /// unreachable.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        self.hops(src, dst)?;
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            cur = self.next_hop(cur, dst)?;
+            path.push(cur);
+            if path.len() > self.n {
+                unreachable!("routing loop from {src} to {dst}");
+            }
+        }
+        Some(path)
+    }
+
+    /// The forward progress `fp^H` of Section 2.1 for a sender: how many
+    /// hops of *this* routing (the low radio's) one direct hop to `dst`
+    /// spans.
+    pub fn forward_progress(&self, src: NodeId, dst: NodeId) -> Option<u32> {
+        self.hops(src, dst)
+    }
+}
+
+fn bfs_from(
+    neighbors: &[Vec<NodeId>],
+    root: NodeId,
+    n: usize,
+) -> (Vec<Option<u32>>, Vec<Option<NodeId>>) {
+    let mut dist: Vec<Option<u32>> = vec![None; n];
+    let mut toward: Vec<Option<NodeId>> = vec![None; n];
+    dist[root.index()] = Some(0);
+    let mut queue = VecDeque::new();
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        // Neighbour lists are ascending, so parents tie-break to lowest id.
+        for &v in &neighbors[u.index()] {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                // From v, going toward root means going through u.
+                toward[v.index()] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    (dist, toward)
+}
+
+/// Learned high-radio shortcuts (Section 3 route optimization).
+///
+/// Initially the high radio follows the low-radio route. When the sender
+/// overhears its own packet being forwarded, the last forwarder heard
+/// becomes the next hop for subsequent transmissions, cutting out
+/// intermediate relays.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShortcutTable {
+    // (dst -> learned next hop); small n, linear scan is fine and keeps
+    // iteration order deterministic.
+    entries: Vec<(NodeId, NodeId)>,
+}
+
+impl ShortcutTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that packets for `dst` were last overheard being forwarded
+    /// by `via`; replaces any previous entry.
+    pub fn learn(&mut self, dst: NodeId, via: NodeId) {
+        if let Some(e) = self.entries.iter_mut().find(|(d, _)| *d == dst) {
+            e.1 = via;
+        } else {
+            self.entries.push((dst, via));
+        }
+    }
+
+    /// The learned next hop toward `dst`, if any.
+    pub fn shortcut(&self, dst: NodeId) -> Option<NodeId> {
+        self.entries
+            .iter()
+            .find(|(d, _)| *d == dst)
+            .map(|(_, via)| *via)
+    }
+
+    /// Drops the entry for `dst` (e.g. after a delivery failure).
+    pub fn invalidate(&mut self, dst: NodeId) {
+        self.entries.retain(|(d, _)| *d != dst);
+    }
+
+    /// Number of learned entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been learned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_routes_hop_by_hop() {
+        let topo = Topology::line(6, 40.0);
+        let r = Routes::shortest_hop(&topo, 40.0);
+        assert!(r.is_connected());
+        assert_eq!(r.hops(NodeId(5), NodeId(0)), Some(5));
+        assert_eq!(
+            r.path(NodeId(5), NodeId(0)).unwrap(),
+            (0..=5).rev().map(NodeId).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn grid_hops_are_manhattan() {
+        let topo = Topology::grid(6, 40.0);
+        let r = Routes::shortest_hop(&topo, 40.0);
+        assert!(r.is_connected());
+        // Corner (0,0) to corner (5,5): 10 hops.
+        assert_eq!(r.hops(NodeId(35), NodeId(0)), Some(10));
+        // One row over: 1 hop.
+        assert_eq!(r.hops(NodeId(6), NodeId(0)), Some(1));
+    }
+
+    #[test]
+    fn dot11_range_makes_single_hop_to_central_sink() {
+        // The multi-hop scenario: sink at the grid centre so Cabletron
+        // (250 m) reaches it in one hop from every node.
+        let topo = Topology::grid(6, 40.0);
+        let sink = NodeId(14); // (80, 80): at most 169.7 m from any node
+        let r = Routes::shortest_hop(&topo, 250.0);
+        for n in topo.nodes() {
+            if n != sink {
+                assert_eq!(r.hops(n, sink), Some(1), "direct at 250 m");
+                assert_eq!(r.next_hop(n, sink), Some(sink));
+            }
+        }
+    }
+
+    #[test]
+    fn forward_progress_matches_paper() {
+        // 200 m line: 5 sensor hops; Cabletron (250 m) reaches in one, so
+        // its forward progress is 5 (Section 2.2).
+        let topo = Topology::line(6, 40.0);
+        let low = Routes::shortest_hop(&topo, 40.0);
+        assert_eq!(low.forward_progress(NodeId(5), NodeId(0)), Some(5));
+    }
+
+    #[test]
+    fn disconnected_pairs_unreachable() {
+        // Two nodes 100 m apart with 40 m range.
+        let topo = Topology::line(2, 100.0);
+        let r = Routes::shortest_hop(&topo, 40.0);
+        assert!(!r.is_connected());
+        assert_eq!(r.hops(NodeId(0), NodeId(1)), None);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(1)), None);
+        assert_eq!(r.path(NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn self_routes() {
+        let topo = Topology::grid(2, 10.0);
+        let r = Routes::shortest_hop(&topo, 20.0);
+        assert_eq!(r.hops(NodeId(1), NodeId(1)), Some(0));
+        assert_eq!(r.next_hop(NodeId(1), NodeId(1)), None);
+        assert_eq!(r.path(NodeId(1), NodeId(1)), Some(vec![NodeId(1)]));
+    }
+
+    #[test]
+    fn routes_are_deterministic() {
+        let topo = Topology::grid(5, 40.0);
+        let a = Routes::shortest_hop(&topo, 40.0);
+        let b = Routes::shortest_hop(&topo, 40.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paths_never_loop() {
+        let topo = Topology::grid(6, 40.0);
+        let r = Routes::shortest_hop(&topo, 60.0);
+        for src in topo.nodes() {
+            let path = r.path(src, NodeId(0)).expect("connected");
+            let mut dedup = path.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), path.len(), "no repeated nodes");
+        }
+    }
+
+    #[test]
+    fn shortcut_learning() {
+        let mut t = ShortcutTable::new();
+        assert!(t.is_empty());
+        let dst = NodeId(0);
+        t.learn(dst, NodeId(3));
+        assert_eq!(t.shortcut(dst), Some(NodeId(3)));
+        // Later overhearing replaces the entry ("the last node that
+        // forwards the packet is set as the next-hop").
+        t.learn(dst, NodeId(1));
+        assert_eq!(t.shortcut(dst), Some(NodeId(1)));
+        assert_eq!(t.len(), 1);
+        t.invalidate(dst);
+        assert_eq!(t.shortcut(dst), None);
+    }
+}

@@ -1,0 +1,245 @@
+//! Node placement: grids, lines and random fields.
+//!
+//! The paper's simulation deploys "a 200×200 m² grid network with 36 nodes"
+//! — a 6×6 grid at 40 m spacing, which equals the sensor radio range so
+//! grid neighbours are exactly one sensor hop apart. The multi-hop feasibility
+//! analysis uses a linear topology with 200 m source–sink separation.
+
+use crate::addr::NodeId;
+use bcp_sim::rng::Rng;
+
+/// A point in the deployment plane, metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// East coordinate (m).
+    pub x: f64,
+    /// North coordinate (m).
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other` in metres.
+    pub fn distance_to(&self, other: &Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// An immutable node placement.
+///
+/// # Examples
+///
+/// ```
+/// use bcp_net::topo::Topology;
+/// use bcp_net::addr::NodeId;
+///
+/// // The paper's deployment: 6×6 grid, 40 m pitch, 200×200 m².
+/// let topo = Topology::grid(6, 40.0);
+/// assert_eq!(topo.len(), 36);
+/// // Grid neighbours are in sensor range (40 m), diagonals are not.
+/// let n = topo.neighbors_within(NodeId(0), 40.0);
+/// assert_eq!(n.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    positions: Vec<Position>,
+}
+
+impl Topology {
+    /// Builds a topology from explicit positions.
+    pub fn from_positions(positions: Vec<Position>) -> Self {
+        Topology { positions }
+    }
+
+    /// A `side × side` grid with `spacing_m` metres between neighbours.
+    /// Node 0 is at the origin; ids increase row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side == 0` or the spacing is not positive and finite.
+    pub fn grid(side: usize, spacing_m: f64) -> Self {
+        assert!(side > 0, "grid needs at least one node");
+        assert!(
+            spacing_m.is_finite() && spacing_m > 0.0,
+            "invalid spacing {spacing_m}"
+        );
+        let mut positions = Vec::with_capacity(side * side);
+        for row in 0..side {
+            for col in 0..side {
+                positions.push(Position::new(col as f64 * spacing_m, row as f64 * spacing_m));
+            }
+        }
+        Topology { positions }
+    }
+
+    /// `n` nodes on a line with `spacing_m` pitch — the paper's multi-hop
+    /// feasibility setting (source and destination separated by 200 m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the spacing is invalid.
+    pub fn line(n: usize, spacing_m: f64) -> Self {
+        assert!(n > 0, "line needs at least one node");
+        assert!(
+            spacing_m.is_finite() && spacing_m > 0.0,
+            "invalid spacing {spacing_m}"
+        );
+        Topology {
+            positions: (0..n)
+                .map(|i| Position::new(i as f64 * spacing_m, 0.0))
+                .collect(),
+        }
+    }
+
+    /// `n` nodes placed uniformly at random on a `width × height` field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the field is degenerate.
+    pub fn random_uniform(n: usize, width_m: f64, height_m: f64, rng: &mut Rng) -> Self {
+        assert!(n > 0, "field needs at least one node");
+        assert!(width_m > 0.0 && height_m > 0.0, "degenerate field");
+        Topology {
+            positions: (0..n)
+                .map(|_| Position::new(rng.range_f64(0.0, width_m), rng.range_f64(0.0, height_m)))
+                .collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` when there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The position of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.index()]
+    }
+
+    /// All node ids, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.positions.len() as u32).map(NodeId)
+    }
+
+    /// Distance between two nodes in metres.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        self.position(a).distance_to(&self.position(b))
+    }
+
+    /// `true` when `b` is within `range_m` of `a` (unit-disk model; a node
+    /// is never in range of itself).
+    pub fn in_range(&self, a: NodeId, b: NodeId, range_m: f64) -> bool {
+        a != b && self.distance(a, b) <= range_m
+    }
+
+    /// Ids of all nodes within `range_m` of `node`, ascending.
+    pub fn neighbors_within(&self, node: NodeId, range_m: f64) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|&other| self.in_range(node, other, range_m))
+            .collect()
+    }
+
+    /// Precomputed neighbour sets for every node at the given range.
+    pub fn neighbor_table(&self, range_m: f64) -> Vec<Vec<NodeId>> {
+        self.nodes()
+            .map(|n| self.neighbors_within(n, range_m))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_geometry() {
+        let t = Topology::grid(6, 40.0);
+        assert_eq!(t.len(), 36);
+        // Far corner is at (200, 200).
+        let far = t.position(NodeId(35));
+        assert_eq!((far.x, far.y), (200.0, 200.0));
+        // Corner-to-corner distance is 200·√2.
+        assert!((t.distance(NodeId(0), NodeId(35)) - 200.0 * 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_neighbor_counts() {
+        let t = Topology::grid(6, 40.0);
+        // Corner: 2 neighbours; edge: 3; interior: 4 (diagonals are 56.6 m,
+        // out of the 40 m sensor range).
+        assert_eq!(t.neighbors_within(NodeId(0), 40.0).len(), 2);
+        assert_eq!(t.neighbors_within(NodeId(1), 40.0).len(), 3);
+        assert_eq!(t.neighbors_within(NodeId(7), 40.0).len(), 4);
+    }
+
+    #[test]
+    fn dot11_range_covers_more() {
+        let t = Topology::grid(6, 40.0);
+        // At 250 m (Cabletron) a *centered* node hears everyone — this is
+        // why the multi-hop scenario's sink sits at the grid centre: the
+        // far corners are 282.8 m apart, beyond even Cabletron's range.
+        let center = NodeId(14); // (80, 80)
+        assert_eq!(t.neighbors_within(center, 250.0).len(), 35);
+        assert!(t.distance(NodeId(0), NodeId(35)) > 250.0);
+    }
+
+    #[test]
+    fn line_matches_paper_multihop() {
+        // 200 m separation at 40 m pitch = 5 sensor hops.
+        let t = Topology::line(6, 40.0);
+        assert_eq!(t.distance(NodeId(0), NodeId(5)), 200.0);
+        assert_eq!(t.neighbors_within(NodeId(0), 40.0), vec![NodeId(1)]);
+        assert_eq!(
+            t.neighbors_within(NodeId(2), 40.0),
+            vec![NodeId(1), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn not_in_range_of_self() {
+        let t = Topology::grid(2, 10.0);
+        assert!(!t.in_range(NodeId(0), NodeId(0), 1000.0));
+    }
+
+    #[test]
+    fn random_field_bounds_and_determinism() {
+        let mut rng = Rng::new(7);
+        let a = Topology::random_uniform(50, 100.0, 50.0, &mut rng);
+        for n in a.nodes() {
+            let p = a.position(n);
+            assert!((0.0..100.0).contains(&p.x));
+            assert!((0.0..50.0).contains(&p.y));
+        }
+        let mut rng2 = Rng::new(7);
+        let b = Topology::random_uniform(50, 100.0, 50.0, &mut rng2);
+        assert_eq!(a, b, "same seed, same field");
+    }
+
+    #[test]
+    fn neighbor_table_matches_queries() {
+        let t = Topology::grid(4, 40.0);
+        let table = t.neighbor_table(40.0);
+        for n in t.nodes() {
+            assert_eq!(table[n.index()], t.neighbors_within(n, 40.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_grid_panics() {
+        let _ = Topology::grid(0, 40.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # bcp-radio — radio device and energy models
+//!
+//! Everything the BCP reproduction knows about radios lives here:
+//!
+//! * [`units`] — unit-safe [`units::Power`]/[`units::Energy`]
+//!   arithmetic (Table 1 of the paper is in mW / mJ).
+//! * [`profile`] — [`RadioProfile`] and the six
+//!   measured radios of the paper's Table 1 (Cabletron, Lucent 2/11 Mbps,
+//!   Mica, Mica2, MicaZ) plus the CC2420 of the prototype.
+//! * [`energy`] — the bucketed, time-integrating
+//!   [`EnergyLedger`].
+//! * [`device`] — the [`Radio`] state machine
+//!   (Off/Sleep/Idle/Rx/Tx/WakingUp) with legal-transition enforcement.
+//!
+//! # Examples
+//!
+//! The paper's headline per-bit comparison, straight from the profiles:
+//!
+//! ```
+//! use bcp_radio::profile::{lucent_11m, micaz};
+//!
+//! // Lucent 11 Mbps moves a payload bit for less energy than MicaZ...
+//! assert!(lucent_11m().energy_per_payload_bit() < micaz().energy_per_payload_bit());
+//! // ...which is why a break-even point exists at all.
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod device;
+pub mod energy;
+pub mod profile;
+pub mod units;
+
+pub use device::{Radio, RadioState, RxOutcome};
+pub use energy::{EnergyBucket, EnergyLedger, EnergyReport};
+pub use profile::{RadioClass, RadioProfile};
+pub use units::{Energy, Power};

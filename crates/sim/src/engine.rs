@@ -1,0 +1,267 @@
+//! The simulation driver: a clock plus an event queue, and run loops that
+//! feed due events to a handler.
+//!
+//! The engine is generic over the event type `E` and keeps *no* reference to
+//! the model state; handlers receive `&mut S` and `&mut Scheduler<E>` as two
+//! disjoint borrows, which keeps large mutable world structs ergonomic.
+
+use crate::event::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// Clock + future-event list. All scheduling during a run goes through this.
+///
+/// # Examples
+///
+/// ```
+/// use bcp_sim::engine::{run_until, Scheduler};
+/// use bcp_sim::time::{SimDuration, SimTime};
+///
+/// #[derive(Default)]
+/// struct Counter(u32);
+///
+/// let mut sched = Scheduler::new();
+/// sched.after(SimDuration::from_secs(1), "tick");
+/// let mut state = Counter::default();
+/// run_until(&mut state, &mut sched, SimTime::from_secs(10), |s, sched, ev| {
+///     s.0 += 1;
+///     if s.0 < 3 {
+///         sched.after(SimDuration::from_secs(1), ev);
+///     }
+/// });
+/// assert_eq!(state.0, 3);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler with the clock at t=0.
+    pub fn new() -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past — scheduling into the past would make
+    /// the run order undefined, so it is always a model bug.
+    pub fn at(&mut self, time: SimTime, event: E) -> EventId {
+        assert!(
+            time >= self.now,
+            "scheduled event at {time} but clock is already at {}",
+            self.now
+        );
+        self.queue.push(time, event)
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn after(&mut self, delay: SimDuration, event: E) -> EventId {
+        let t = self.now + delay;
+        self.queue.push(t, event)
+    }
+
+    /// Cancels a pending event; returns `true` if it had not fired yet.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Removes the earliest event not later than `horizon`, advancing the
+    /// clock to its timestamp. Returns `None` when nothing is due.
+    pub fn pop_due(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.queue.peek_time() {
+            Some(t) if t <= horizon => {
+                let (time, ev) = self.queue.pop().expect("peeked event must pop");
+                debug_assert!(time >= self.now, "event time regressed");
+                self.now = time;
+                self.processed += 1;
+                Some((time, ev))
+            }
+            _ => None,
+        }
+    }
+
+    /// `true` when no live events remain.
+    pub fn is_idle(&mut self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Advances the clock to `time` without processing anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
+    pub fn advance_to(&mut self, time: SimTime) {
+        assert!(time >= self.now, "cannot rewind the clock");
+        self.now = time;
+    }
+}
+
+/// Runs `handler` on every event up to and including `until`, in timestamp
+/// order. Returns the number of events processed by this call.
+///
+/// The loop stops early when the queue drains. On return the clock is at the
+/// later of `until` and the last processed event.
+pub fn run_until<S, E>(
+    state: &mut S,
+    sched: &mut Scheduler<E>,
+    until: SimTime,
+    mut handler: impl FnMut(&mut S, &mut Scheduler<E>, E),
+) -> u64 {
+    let before = sched.processed;
+    while let Some((_, ev)) = sched.pop_due(until) {
+        handler(state, sched, ev);
+    }
+    if sched.now < until {
+        sched.advance_to(until);
+    }
+    sched.processed - before
+}
+
+/// Runs until the queue is completely drained (no horizon). Use only with
+/// models that are guaranteed to quiesce.
+pub fn run_to_quiescence<S, E>(
+    state: &mut S,
+    sched: &mut Scheduler<E>,
+    mut handler: impl FnMut(&mut S, &mut Scheduler<E>, E),
+) -> u64 {
+    let before = sched.processed;
+    while let Some((_, ev)) = sched.pop_due(SimTime::MAX) {
+        handler(state, sched, ev);
+    }
+    sched.processed - before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_follows_events() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.at(SimTime::from_secs(5), 1);
+        s.at(SimTime::from_secs(2), 2);
+        let mut seen = vec![];
+        run_until(&mut seen, &mut s, SimTime::from_secs(10), |seen, sched, e| {
+            seen.push((sched.now(), e));
+        });
+        assert_eq!(
+            seen,
+            vec![(SimTime::from_secs(2), 2), (SimTime::from_secs(5), 1)]
+        );
+        assert_eq!(s.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn horizon_excludes_later_events() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.at(SimTime::from_secs(1), 1);
+        s.at(SimTime::from_secs(9), 9);
+        let mut n = 0u32;
+        run_until(&mut n, &mut s, SimTime::from_secs(5), |n, _, _| *n += 1);
+        assert_eq!(n, 1);
+        assert_eq!(s.now(), SimTime::from_secs(5));
+        // The later event is still pending.
+        run_until(&mut n, &mut s, SimTime::from_secs(10), |n, _, _| *n += 1);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn handler_can_reschedule() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.at(SimTime::from_secs(1), "tick");
+        let mut count = 0u32;
+        run_until(&mut count, &mut s, SimTime::from_secs(10), |c, sched, _| {
+            *c += 1;
+            if *c < 5 {
+                sched.after(SimDuration::from_secs(1), "tick");
+            }
+        });
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock is already")]
+    fn scheduling_into_past_panics() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.at(SimTime::from_secs(5), 0);
+        let mut st = ();
+        run_until(&mut st, &mut s, SimTime::from_secs(10), |_, _, _| {});
+        s.at(SimTime::from_secs(1), 0);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        let id = s.at(SimTime::from_secs(1), 1);
+        s.at(SimTime::from_secs(2), 2);
+        s.cancel(id);
+        let mut seen = vec![];
+        run_until(&mut seen, &mut s, SimTime::from_secs(10), |v, _, e| v.push(e));
+        assert_eq!(seen, vec![2]);
+    }
+
+    #[test]
+    fn quiescence_drains_everything() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        for i in 0..10 {
+            s.at(SimTime::from_secs(i), i as u8);
+        }
+        let mut n = 0u32;
+        let processed = run_to_quiescence(&mut n, &mut s, |n, _, _| *n += 1);
+        assert_eq!(processed, 10);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn event_exactly_at_horizon_is_processed() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.at(SimTime::from_secs(5), 1);
+        let mut n = 0u32;
+        run_until(&mut n, &mut s, SimTime::from_secs(5), |n, _, _| *n += 1);
+        assert_eq!(n, 1, "horizon is inclusive");
+        assert_eq!(s.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        let id = s.at(SimTime::from_secs(1), 1);
+        let mut st = ();
+        run_until(&mut st, &mut s, SimTime::from_secs(2), |_, _, _| {});
+        assert!(!s.cancel(id), "already fired");
+    }
+
+    #[test]
+    fn processed_counter_accumulates() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.at(SimTime::from_secs(1), 0);
+        s.at(SimTime::from_secs(2), 0);
+        let mut st = ();
+        run_until(&mut st, &mut s, SimTime::from_secs(3), |_, _, _| {});
+        assert_eq!(s.processed(), 2);
+    }
+}

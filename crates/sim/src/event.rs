@@ -1,0 +1,218 @@
+//! The event queue: a priority queue over `(time, sequence)` keys.
+//!
+//! Ties on time are broken by insertion sequence, so the execution order of
+//! simultaneous events is *total* and *deterministic* — a prerequisite for
+//! reproducible runs.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// Order entries so that the *smallest* (time, seq) is the max of the heap
+// (we invert the comparison instead of wrapping in `Reverse` everywhere).
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Cancellation is O(1): the queue tracks the set of live sequence numbers,
+/// so cancelled (or already-fired) entries are skipped and reclaimed on
+/// pop, and [`EventQueue::cancel`] answers truthfully for fired events.
+///
+/// # Examples
+///
+/// ```
+/// use bcp_sim::event::EventQueue;
+/// use bcp_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "b");
+/// let id = q.push(SimTime::from_secs(1), "a");
+/// q.cancel(id);
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers that are still scheduled (not cancelled, not fired).
+    live: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at absolute time `time`, returning a cancellation
+    /// handle.
+    pub fn push(&mut self, time: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_seq);
+        self.heap.push(Entry {
+            time,
+            seq: self.next_seq,
+            payload,
+        });
+        self.live.insert(self.next_seq);
+        self.next_seq += 1;
+        id
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` only if the
+    /// event was still pending (already-fired or already-cancelled events
+    /// return `false`).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.live.remove(&id.0)
+    }
+
+    /// Removes and returns the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.live.remove(&entry.seq) {
+                return Some((entry.time, entry.payload));
+            }
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop leading cancelled entries so peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.live.contains(&entry.seq) {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// `true` when no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Number of entries in the heap, including not-yet-reclaimed tombstones.
+    /// This is an upper bound on the number of live events.
+    pub fn len_upper_bound(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 3);
+        q.push(SimTime::from_secs(1), 1);
+        q.push(SimTime::from_secs(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_twice_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_secs(1), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_secs(1), 1);
+        q.push(SimTime::from_secs(5), 5);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10), 10);
+        q.push(SimTime::from_secs(1), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        q.push(SimTime::from_secs(5), 5);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(5));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(10));
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        let id = q.push(SimTime::ZERO, 0);
+        assert!(!q.is_empty());
+        q.cancel(id);
+        assert!(q.is_empty());
+    }
+}

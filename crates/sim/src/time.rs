@@ -1,0 +1,394 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! Simulation time is kept as an integer number of **nanoseconds** so that
+//! event ordering is exact and platform independent. A full paper-scale run
+//! (5000 s) is ~5·10¹² ns, comfortably inside `u64` (max ≈ 1.8·10¹⁹, i.e.
+//! ~584 years of simulated time).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulation clock, in nanoseconds since t=0.
+///
+/// # Examples
+///
+/// ```
+/// use bcp_sim::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(250);
+/// assert_eq!(t.as_nanos(), 250_000_000);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use bcp_sim::time::SimDuration;
+///
+/// let airtime = SimDuration::bit_airtime(32 * 8, 250_000.0); // 32 B at 250 kbps
+/// assert_eq!(airtime.as_micros_f64().round(), 1024.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant (used as an "infinite" sentinel).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates an instant from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates an instant from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Creates an instant from fractional seconds, rounding to the nearest
+    /// nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN, or too large for the clock.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime(SimDuration::from_secs_f64(secs).as_nanos())
+    }
+
+    /// Raw nanoseconds since t=0.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self` (simulated time never runs
+    /// backwards; such a call is a scheduling bug).
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: `earlier` is later than `self`"),
+        )
+    }
+
+    /// The span from `earlier` to `self`, or [`SimDuration::ZERO`] if
+    /// `earlier` is later.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a span, saturating at [`SimTime::MAX`] instead of overflowing.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span (an "infinite" timeout sentinel).
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a span from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a span from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a span from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a span from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional seconds, rounding to the nearest
+    /// nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN, or exceeds the representable range.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimDuration::from_secs_f64: invalid seconds {secs}"
+        );
+        let ns = secs * 1e9;
+        assert!(
+            ns <= u64::MAX as f64,
+            "SimDuration::from_secs_f64: {secs} s overflows the clock"
+        );
+        SimDuration(ns.round() as u64)
+    }
+
+    /// The exact airtime of `bits` at `rate_bps` bits per second, rounded to
+    /// the nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_bps` is not strictly positive and finite.
+    pub fn bit_airtime(bits: u64, rate_bps: f64) -> Self {
+        assert!(
+            rate_bps.is_finite() && rate_bps > 0.0,
+            "bit_airtime: invalid rate {rate_bps}"
+        );
+        SimDuration::from_secs_f64(bits as f64 / rate_bps)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This span in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This span in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This span in fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// `true` when the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Adds a span, saturating at [`SimDuration::MAX`].
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
+    /// Multiplies the span, saturating at [`SimDuration::MAX`].
+    pub fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime + SimDuration overflowed the simulation clock"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime - SimDuration went before t=0"),
+        )
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimDuration + SimDuration overflowed"),
+        )
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration - SimDuration underflowed"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_mul(rhs)
+                .expect("SimDuration * u64 overflowed"),
+        )
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl From<SimDuration> for f64 {
+    /// Converts to fractional seconds.
+    fn from(d: SimDuration) -> f64 {
+        d.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimTime::from_secs(3).as_nanos(), 3_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDuration::from_secs(5000).as_secs_f64(), 5000.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1);
+        let d = SimDuration::from_millis(500);
+        assert_eq!((t + d).as_nanos(), 1_500_000_000);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(d * 4, SimDuration::from_secs(2));
+        assert_eq!(SimDuration::from_secs(2) / 4, d);
+    }
+
+    #[test]
+    fn duration_since_saturating() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(b.saturating_duration_since(a), SimDuration::from_secs(1));
+        assert_eq!(a.saturating_duration_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn duration_since_panics_backwards() {
+        let _ = SimTime::from_secs(1).duration_since(SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn bit_airtime_exact() {
+        // 1024 bits at 1 Mbps = 1.024 ms.
+        let d = SimDuration::bit_airtime(1024, 1e6);
+        assert_eq!(d.as_nanos(), 1_024_000);
+        // 256 bits at 250 kbps = 1.024 ms too.
+        assert_eq!(SimDuration::bit_airtime(256, 250e3).as_nanos(), 1_024_000);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(1e-9).as_nanos(), 1);
+        assert_eq!(SimDuration::from_secs_f64(1.5e-9).as_nanos(), 2);
+        assert_eq!(SimTime::from_secs_f64(2.5).as_nanos(), 2_500_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid seconds")]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_micros(12).to_string(), "12.000us");
+        assert_eq!(SimDuration::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(SimDuration::from_secs(12).to_string(), "12.000s");
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimDuration::MAX.saturating_mul(3),
+            SimDuration::MAX
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! The shared medium, one instance per radio class.
+//!
+//! Unit-disk propagation with zero propagation delay; "the two radios are
+//! assumed to be operating in non-overlapping channels", so the two class
+//! instances never interact. A reception is corrupted when a second
+//! audible transmission overlaps it at the receiver (collision) or when the
+//! link-loss process says so.
+
+use crate::events::TxId;
+use bcp_net::addr::NodeId;
+use bcp_net::loss::LossModel;
+use bcp_net::topo::Topology;
+use bcp_sim::rng::Rng;
+
+/// Per-receiver view of one radio class's medium.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// neighbors[n] = nodes within range of n, ascending.
+    neighbors: Vec<Vec<NodeId>>,
+    /// Number of audible foreign transmissions per node.
+    carrier: Vec<u32>,
+    /// The frame a node's radio is locked onto, with a corruption flag.
+    rx_current: Vec<Option<(TxId, bool)>>,
+    /// Per-node loss process (evaluated once per otherwise-clean frame).
+    loss: Vec<LossModel>,
+    /// Collisions observed (a locked frame got overlapped), for metrics.
+    collisions: u64,
+}
+
+impl Channel {
+    /// Builds the medium for `topo` at the class's `range_m`, with each
+    /// node's loss process cloned from `loss` (state diverges per node) and
+    /// reseeded from `rng`.
+    pub fn new(topo: &Topology, range_m: f64, loss: &LossModel, _rng: &mut Rng) -> Self {
+        let n = topo.len();
+        Channel {
+            neighbors: topo.neighbor_table(range_m),
+            carrier: vec![0; n],
+            rx_current: vec![None; n],
+            loss: vec![loss.clone(); n],
+            collisions: 0,
+        }
+    }
+
+    /// Nodes in range of `node`.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node.index()]
+    }
+
+    /// `true` when at least one foreign transmission is audible at `node`.
+    pub fn carrier_busy(&self, node: NodeId) -> bool {
+        self.carrier[node.index()] > 0
+    }
+
+    /// Registers that a transmission became audible at `node`. Returns
+    /// `true` when this changed the carrier from idle to busy.
+    pub fn carrier_up(&mut self, node: NodeId) -> bool {
+        self.carrier[node.index()] += 1;
+        self.carrier[node.index()] == 1
+    }
+
+    /// Registers that a transmission stopped being audible at `node`.
+    /// Returns `true` when this cleared the carrier to idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the carrier count would go negative (accounting bug).
+    pub fn carrier_down(&mut self, node: NodeId) -> bool {
+        let c = &mut self.carrier[node.index()];
+        assert!(*c > 0, "carrier underflow at {node}");
+        *c -= 1;
+        *c == 0
+    }
+
+    /// Locks `node`'s receiver onto frame `tx` (it was idle and the frame
+    /// started cleanly).
+    pub fn lock_rx(&mut self, node: NodeId, tx: TxId) {
+        debug_assert!(self.rx_current[node.index()].is_none());
+        self.rx_current[node.index()] = Some((tx, false));
+    }
+
+    /// Marks the frame `node` is locked onto as collided (if any);
+    /// returns `true` if a lock was poisoned.
+    pub fn poison_rx(&mut self, node: NodeId) -> bool {
+        if let Some((_, corrupted)) = &mut self.rx_current[node.index()] {
+            if !*corrupted {
+                *corrupted = true;
+                self.collisions += 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The frame `node` is locked onto, if any.
+    pub fn locked_rx(&self, node: NodeId) -> Option<(TxId, bool)> {
+        self.rx_current[node.index()]
+    }
+
+    /// Releases `node`'s lock on `tx` (at that frame's end). Returns the
+    /// corruption flag, or `None` if the node was not locked onto `tx`.
+    pub fn unlock_rx(&mut self, node: NodeId, tx: TxId) -> Option<bool> {
+        match self.rx_current[node.index()] {
+            Some((locked, corrupted)) if locked == tx => {
+                self.rx_current[node.index()] = None;
+                Some(corrupted)
+            }
+            _ => None,
+        }
+    }
+
+    /// Evaluates the per-node loss process for a frame that survived
+    /// collisions.
+    pub fn channel_loss(&mut self, node: NodeId, rng: &mut Rng) -> bool {
+        self.loss[node.index()].is_lost(rng)
+    }
+
+    /// Total collisions observed at receivers.
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel() -> Channel {
+        let topo = Topology::line(3, 40.0);
+        let mut rng = Rng::new(1);
+        Channel::new(&topo, 40.0, &LossModel::Perfect, &mut rng)
+    }
+
+    #[test]
+    fn carrier_transitions() {
+        let mut c = channel();
+        let n = NodeId(1);
+        assert!(!c.carrier_busy(n));
+        assert!(c.carrier_up(n), "0 -> 1 reports busy edge");
+        assert!(!c.carrier_up(n), "1 -> 2 is not an edge");
+        assert!(!c.carrier_down(n));
+        assert!(c.carrier_down(n), "1 -> 0 reports idle edge");
+    }
+
+    #[test]
+    #[should_panic(expected = "carrier underflow")]
+    fn carrier_underflow_panics() {
+        channel().carrier_down(NodeId(0));
+    }
+
+    #[test]
+    fn rx_lock_poison_unlock() {
+        let mut c = channel();
+        let n = NodeId(1);
+        c.lock_rx(n, TxId(7));
+        assert_eq!(c.locked_rx(n), Some((TxId(7), false)));
+        assert!(c.poison_rx(n));
+        assert_eq!(c.unlock_rx(n, TxId(7)), Some(true), "corrupted");
+        assert_eq!(c.unlock_rx(n, TxId(7)), None, "already unlocked");
+        assert_eq!(c.collisions(), 1);
+    }
+
+    #[test]
+    fn unlock_wrong_tx_is_none() {
+        let mut c = channel();
+        c.lock_rx(NodeId(1), TxId(7));
+        assert_eq!(c.unlock_rx(NodeId(1), TxId(8)), None);
+        assert_eq!(c.locked_rx(NodeId(1)), Some((TxId(7), false)));
+    }
+
+    #[test]
+    fn poison_without_lock_is_false() {
+        let mut c = channel();
+        assert!(!c.poison_rx(NodeId(0)));
+        assert_eq!(c.collisions(), 0);
+    }
+
+    #[test]
+    fn line_neighbors() {
+        let c = channel();
+        assert_eq!(c.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(c.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+    }
+}

@@ -1,0 +1,81 @@
+//! The global event vocabulary of the network simulator.
+
+use bcp_core::msg::BurstId;
+use bcp_mac::types::MacTimer;
+use bcp_net::addr::NodeId;
+
+/// Which of a node's two radios an event concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// The low-power sensor radio.
+    Low,
+    /// The high-power 802.11 radio.
+    High,
+}
+
+impl Class {
+    /// Dense index for per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Class::Low => 0,
+            Class::High => 1,
+        }
+    }
+}
+
+/// Identity of one transmission on the air.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxId(pub u64);
+
+/// Simulator events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ev {
+    /// A sender's application produced (or is due to produce) a packet.
+    AppArrival {
+        /// The producing node.
+        node: NodeId,
+    },
+    /// A MAC timer fired.
+    MacTimer {
+        /// The node whose MAC armed it.
+        node: NodeId,
+        /// Which radio's MAC.
+        class: Class,
+        /// Which of the MAC's timers.
+        kind: MacTimer,
+    },
+    /// A transmission's airtime elapsed.
+    TxEnd {
+        /// The transmission that ended.
+        tx: TxId,
+    },
+    /// A high radio finished powering up.
+    RadioWakeDone {
+        /// The node whose radio woke.
+        node: NodeId,
+    },
+    /// BCP sender's wake-up-ack timeout.
+    BcpAckTimer {
+        /// The handshake initiator.
+        node: NodeId,
+        /// The handshake.
+        burst: BurstId,
+    },
+    /// BCP receiver's data timeout.
+    BcpDataTimer {
+        /// The receiving node.
+        node: NodeId,
+        /// The handshake.
+        burst: BurstId,
+    },
+    /// Idle-guard: consider powering the high radio down.
+    HighIdleOff {
+        /// The node to check.
+        node: NodeId,
+    },
+    /// Traffic cutoff reached: flush this node's BCP buffers.
+    Flush {
+        /// The node to flush.
+        node: NodeId,
+    },
+}

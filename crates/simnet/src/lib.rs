@@ -1,0 +1,43 @@
+//! # bcp-simnet — the dual-radio network simulator
+//!
+//! Assembles every substrate of the reproduction into full-node
+//! simulations of the paper's Section 4 evaluation:
+//!
+//! * [`scenario::Scenario`] — one run's parameterisation, with builders
+//!   for the paper's single-hop (Lucent 11 Mbps) and multi-hop (Cabletron)
+//!   grid scenarios.
+//! * [`scenario::ModelKind`] — the three compared stacks: `Sensor`,
+//!   `Dot11` and `DualRadio` (BCP).
+//! * [`world::World`] — the event-driven core binding radios, MACs,
+//!   routing, the shared media and the BCP machines together.
+//! * [`metrics::RunStats`] — goodput, normalized energy (J/Kbit) and mean
+//!   delay, exactly as the paper defines them.
+//!
+//! # Examples
+//!
+//! A scaled-down single-hop run (5 senders, burst 100, 60 simulated
+//! seconds):
+//!
+//! ```
+//! use bcp_simnet::{ModelKind, Scenario};
+//! use bcp_sim::time::SimDuration;
+//!
+//! let stats = Scenario::single_hop(ModelKind::DualRadio, 5, 100, 1)
+//!     .with_duration(SimDuration::from_secs(60))
+//!     .run();
+//! assert!(stats.goodput > 0.0 && stats.goodput <= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod channel;
+pub mod events;
+pub mod metrics;
+pub mod node;
+pub mod scenario;
+pub mod world;
+
+pub use metrics::{Metrics, RunStats};
+pub use scenario::{HighRoute, ModelKind, Scenario, WorkloadKind};
+pub use world::World;

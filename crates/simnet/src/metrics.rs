@@ -1,0 +1,192 @@
+//! Run-level metrics: the paper's three performance measures plus
+//! diagnostics.
+//!
+//! Section 4: "(1) Goodput, which is the ratio of the number of data bits
+//! (excluding overhead) received by the sink to the number of bits
+//! transmitted by the senders. (2) Normalized energy (J/bit), the ratio of
+//! the total energy consumed by all nodes in the network to the number of
+//! bits received by the sink. (3) Delay (s), the difference in time a
+//! packet is generated at the sender and received by the sink, including
+//! buffering delays."
+
+use bcp_core::msg::AppPacket;
+use bcp_radio::units::Energy;
+use bcp_sim::stats::Welford;
+use bcp_sim::time::SimTime;
+
+/// Counters accumulated during one run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Application packets generated at senders.
+    pub generated_packets: u64,
+    /// Application payload bits generated.
+    pub generated_bits: u64,
+    /// Packets received at the sink.
+    pub delivered_packets: u64,
+    /// Payload bits received at the sink.
+    pub delivered_bits: u64,
+    /// Per-packet delays (generation → sink).
+    pub delay: Welford,
+    /// Packets lost to BCP buffer overflow.
+    pub drops_buffer: u64,
+    /// Packets lost to MAC retry exhaustion or MAC queue overflow. A MAC
+    /// "failure" whose frame actually arrived (lost ACK) is *not* counted:
+    /// fates are reconciled per packet at the end of the run.
+    pub drops_mac: u64,
+    /// Packets still buffered or in flight when the run ended.
+    pub residual_packets: u64,
+    /// Wake-up handshakes begun.
+    pub handshakes: u64,
+    /// High-radio power-up transitions.
+    pub radio_wakeups: u64,
+    /// Collisions observed at receivers (both classes).
+    pub collisions: u64,
+}
+
+impl Metrics {
+    /// Records a generated packet.
+    pub fn on_generated(&mut self, pkt: &AppPacket) {
+        self.generated_packets += 1;
+        self.generated_bits += pkt.bytes as u64 * 8;
+    }
+
+    /// Records a sink delivery at time `now`.
+    pub fn on_delivered(&mut self, pkt: &AppPacket, now: SimTime) {
+        self.delivered_packets += 1;
+        self.delivered_bits += pkt.bytes as u64 * 8;
+        self.delay
+            .push(now.saturating_duration_since(pkt.created).as_secs_f64());
+    }
+
+    /// Goodput: delivered bits / generated bits (0 when nothing generated).
+    pub fn goodput(&self) -> f64 {
+        if self.generated_bits == 0 {
+            0.0
+        } else {
+            self.delivered_bits as f64 / self.generated_bits as f64
+        }
+    }
+
+    /// Mean per-packet delay in seconds (0 when nothing delivered).
+    pub fn mean_delay_s(&self) -> f64 {
+        self.delay.mean()
+    }
+}
+
+/// The finished summary of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Goodput ∈ [0, 1].
+    pub goodput: f64,
+    /// Total network energy under the model's accounting (J).
+    pub energy_j: f64,
+    /// Normalized energy in J per **Kbit** delivered (the unit of the
+    /// paper's Figs. 6, 7, 9, 10); ∞ when nothing was delivered.
+    pub j_per_kbit: f64,
+    /// Mean packet delay (s).
+    pub mean_delay_s: f64,
+    /// For the sensor model: energy under the *header-overhearing* variant
+    /// ("Sensor-header"), J. Equal to `energy_j` for other models.
+    pub energy_header_j: f64,
+    /// `energy_header_j` normalized, J/Kbit.
+    pub j_per_kbit_header: f64,
+    /// Energy with *full-frame* overhearing charged on the low radio (an
+    /// ablation beyond the paper's header-only variant), J.
+    pub energy_overhear_full_j: f64,
+    /// `energy_overhear_full_j` normalized, J/Kbit.
+    pub j_per_kbit_overhear_full: f64,
+    /// Raw counters.
+    pub metrics: Metrics,
+    /// Events processed (diagnostics).
+    pub events: u64,
+}
+
+impl RunStats {
+    /// Builds the summary given the model-accounted energies.
+    pub fn new(metrics: Metrics, energy: Energy, energy_header: Energy, events: u64) -> Self {
+        Self::with_overhear_full(metrics, energy, energy_header, energy_header, events)
+    }
+
+    /// Like [`new`](Self::new) with an explicit full-overhearing total.
+    pub fn with_overhear_full(
+        metrics: Metrics,
+        energy: Energy,
+        energy_header: Energy,
+        energy_overhear_full: Energy,
+        events: u64,
+    ) -> Self {
+        let kbits = metrics.delivered_bits as f64 / 1000.0;
+        let norm = |e: Energy| {
+            if kbits == 0.0 {
+                f64::INFINITY
+            } else {
+                e.as_joules() / kbits
+            }
+        };
+        RunStats {
+            goodput: metrics.goodput(),
+            energy_j: energy.as_joules(),
+            j_per_kbit: norm(energy),
+            mean_delay_s: metrics.mean_delay_s(),
+            energy_header_j: energy_header.as_joules(),
+            j_per_kbit_header: norm(energy_header),
+            energy_overhear_full_j: energy_overhear_full.as_joules(),
+            j_per_kbit_overhear_full: norm(energy_overhear_full),
+            events,
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcp_net::addr::NodeId;
+
+    fn pkt(seq: u64, created_s: u64) -> AppPacket {
+        AppPacket::new(NodeId(1), NodeId(0), seq, SimTime::from_secs(created_s), 32)
+    }
+
+    #[test]
+    fn goodput_ratio() {
+        let mut m = Metrics::default();
+        for i in 0..10 {
+            m.on_generated(&pkt(i, 0));
+        }
+        for i in 0..4 {
+            m.on_delivered(&pkt(i, 0), SimTime::from_secs(5));
+        }
+        assert!((m.goodput() - 0.4).abs() < 1e-12);
+        assert_eq!(m.delivered_bits, 4 * 256);
+    }
+
+    #[test]
+    fn delay_includes_buffering() {
+        let mut m = Metrics::default();
+        let p = pkt(0, 10);
+        m.on_generated(&p);
+        m.on_delivered(&p, SimTime::from_secs(25));
+        assert!((m.mean_delay_s() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runstats_normalization_in_j_per_kbit() {
+        let mut m = Metrics::default();
+        for i in 0..100 {
+            let p = pkt(i, 0);
+            m.on_generated(&p);
+            m.on_delivered(&p, SimTime::from_secs(1));
+        }
+        // 100 × 256 bits = 25.6 Kbit; 2.56 J -> 0.1 J/Kbit.
+        let rs = RunStats::new(m, Energy::from_joules(2.56), Energy::from_joules(5.12), 0);
+        assert!((rs.j_per_kbit - 0.1).abs() < 1e-12);
+        assert!((rs.j_per_kbit_header - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_infinite_energy_per_bit() {
+        let rs = RunStats::new(Metrics::default(), Energy::from_joules(1.0), Energy::ZERO, 0);
+        assert!(rs.j_per_kbit.is_infinite());
+        assert_eq!(rs.goodput, 0.0);
+    }
+}

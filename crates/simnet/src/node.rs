@@ -1,0 +1,92 @@
+//! Per-node simulation state: the full protocol stack of one mote.
+
+use crate::events::Class;
+use bcp_core::msg::BurstId;
+use bcp_core::receiver::BcpReceiver;
+use bcp_core::sender::BcpSender;
+use bcp_mac::csma::CsmaMac;
+use bcp_net::addr::NodeId;
+use bcp_net::routing::ShortcutTable;
+use bcp_radio::device::Radio;
+use bcp_radio::units::Energy;
+use bcp_sim::time::SimTime;
+use bcp_traffic::Workload;
+
+/// One node's complete stack: two radios, two MACs, the BCP machines, a
+/// traffic source and bookkeeping.
+#[derive(Debug)]
+pub struct NodeState {
+    /// Platform identity.
+    pub id: NodeId,
+    /// Sensor-radio MAC.
+    pub low_mac: CsmaMac,
+    /// Sensor radio (always on in every model).
+    pub low_radio: Radio,
+    /// 802.11 MAC (absent in the pure sensor model).
+    pub high_mac: Option<CsmaMac>,
+    /// 802.11 radio (absent in the pure sensor model).
+    pub high_radio: Option<Radio>,
+    /// BCP sender machine (dual-radio model only).
+    pub bcp_tx: Option<BcpSender>,
+    /// BCP receiver machine (dual-radio model only).
+    pub bcp_rx: Option<BcpReceiver>,
+    /// Application traffic source (senders only).
+    pub workload: Option<Workload>,
+    /// Payload size of the next application packet.
+    pub pending_bytes: usize,
+    /// Application packet counter (feeds packet ids).
+    pub app_seq: u64,
+    /// Sessions currently holding the high radio awake.
+    pub high_refs: u32,
+    /// Sender-side bursts waiting for the high radio to finish waking.
+    pub wake_pending: Vec<BurstId>,
+    /// Accumulated header-overhearing energy on the low radio (the
+    /// "Sensor-header" accounting variant).
+    pub header_overhear: Energy,
+    /// Learned high-radio shortcuts (route-optimization ablation).
+    pub shortcuts: ShortcutTable,
+    /// End of the post-burst listen window for shortcut learning.
+    pub listen_until: SimTime,
+}
+
+impl NodeState {
+    /// The MAC for `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no radio of that class (model bug).
+    pub fn mac_mut(&mut self, class: Class) -> &mut CsmaMac {
+        match class {
+            Class::Low => &mut self.low_mac,
+            Class::High => self.high_mac.as_mut().expect("node has no high MAC"),
+        }
+    }
+
+    /// The radio for `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no radio of that class (model bug).
+    pub fn radio_mut(&mut self, class: Class) -> &mut Radio {
+        match class {
+            Class::Low => &mut self.low_radio,
+            Class::High => self.high_radio.as_mut().expect("node has no high radio"),
+        }
+    }
+
+    /// The radio for `class`, immutable.
+    pub fn radio(&self, class: Class) -> Option<&Radio> {
+        match class {
+            Class::Low => Some(&self.low_radio),
+            Class::High => self.high_radio.as_ref(),
+        }
+    }
+
+    /// `true` when the node has a radio of this class at all.
+    pub fn has_class(&self, class: Class) -> bool {
+        match class {
+            Class::Low => true,
+            Class::High => self.high_radio.is_some(),
+        }
+    }
+}

@@ -1,0 +1,1179 @@
+//! The assembled simulation: nodes × radios × MACs × BCP × channel.
+//!
+//! `World` owns all state; the event handler dispatches on [`Ev`] and runs
+//! each subsystem's sans-IO machine, executing the actions they emit. All
+//! randomness flows from the scenario seed, and event ties are broken
+//! deterministically, so a `(Scenario, seed)` pair fully determines the
+//! result.
+
+use crate::channel::Channel;
+use crate::events::{Class, Ev, TxId};
+use crate::metrics::{Metrics, RunStats};
+use crate::node::NodeState;
+use crate::scenario::{HighRoute, ModelKind, Scenario};
+use bcp_core::msg::{AppPacket, BurstId, HandshakeMsg};
+use bcp_core::receiver::{BcpReceiver, ReceiverAction};
+use bcp_core::sender::{BcpSender, DropReason, SenderAction};
+use bcp_mac::csma::{CsmaMac, MacConfig};
+use bcp_mac::types::{FrameKind, MacAction, MacAddr, MacEvent, MacFrame, MacTimer};
+use bcp_net::addr::{AddrMap, NodeId};
+use bcp_net::routing::{Routes, ShortcutTable};
+use bcp_radio::device::{Radio, RadioState, RxOutcome};
+use bcp_radio::units::Energy;
+use bcp_sim::engine::{run_until, Scheduler};
+use bcp_sim::event::EventId;
+use bcp_sim::rng::Rng;
+use bcp_sim::time::SimTime;
+use std::collections::HashMap;
+
+/// What a MAC frame carries, resolved through its opaque tag.
+#[derive(Debug, Clone)]
+enum Payload {
+    /// One application packet relayed hop-by-hop (sensor / 802.11 models).
+    SensorData(AppPacket),
+    /// A BCP handshake message routed over the low radio.
+    Control {
+        msg: HandshakeMsg,
+        /// Final destination of the (possibly multi-hop) control message.
+        dst: NodeId,
+    },
+    /// A BCP burst frame over the high radio.
+    Burst {
+        burst: BurstId,
+        index: u32,
+        count: u32,
+        packets: Vec<AppPacket>,
+    },
+}
+
+/// Final state of one application packet (reconciled at run end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    Pending,
+    Delivered,
+    LostMac,
+    LostBuffer,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveTx {
+    sender: NodeId,
+    class: Class,
+    frame: MacFrame,
+}
+
+/// The complete simulation state (see module docs).
+#[derive(Debug)]
+pub struct World {
+    scen: Scenario,
+    addr: AddrMap,
+    low_routes: Routes,
+    high_routes: Routes,
+    nodes: Vec<NodeState>,
+    chans: [Channel; 2],
+    payloads: HashMap<u64, Payload>,
+    next_tag: u64,
+    txs: HashMap<u64, ActiveTx>,
+    next_tx: u64,
+    mac_timers: HashMap<(u32, usize, MacTimer), EventId>,
+    ack_timers: HashMap<(u32, u64), EventId>,
+    data_timers: HashMap<(u32, u64), EventId>,
+    linger: HashMap<u32, EventId>,
+    fates: HashMap<u64, Fate>,
+    metrics: Metrics,
+    rng: Rng,
+}
+
+impl World {
+    /// Builds and runs `scen` to completion, producing the run summary.
+    pub fn run(scen: &Scenario) -> RunStats {
+        let mut sched = Scheduler::new();
+        let mut world = World::build(scen.clone());
+        world.init(&mut sched);
+        let end = scen.end_time();
+        run_until(&mut world, &mut sched, end, |w, s, ev| w.handle(s, ev));
+        world.finalize(end, sched.processed())
+    }
+
+    fn build(scen: Scenario) -> World {
+        let n = scen.topo.len();
+        let mut rng = Rng::new(scen.seed);
+        let addr = AddrMap::for_nodes(n);
+        let low_routes = Routes::shortest_hop(&scen.topo, scen.low_profile.range_m);
+        let high_routes = Routes::shortest_hop(&scen.topo, scen.high_profile.range_m);
+        let chans = [
+            Channel::new(&scen.topo, scen.low_profile.range_m, &scen.loss_low, &mut rng),
+            Channel::new(&scen.topo, scen.high_profile.range_m, &scen.loss_high, &mut rng),
+        ];
+        let t0 = SimTime::ZERO;
+        let mut nodes = Vec::with_capacity(n);
+        for id in scen.topo.nodes() {
+            let low_mac = CsmaMac::new(
+                MacConfig::sensor_csma(&scen.low_profile),
+                MacAddr(addr.low_of(id).0 as u64),
+                rng.next_u64(),
+            );
+            let low_radio = Radio::new(scen.low_profile.clone(), RadioState::Idle, t0);
+            let (high_mac, high_radio, high_refs) = match scen.model {
+                ModelKind::Sensor => (None, None, 0),
+                ModelKind::Dot11 => (
+                    Some(CsmaMac::new(
+                        MacConfig::dot11b(&scen.high_profile),
+                        MacAddr(addr.high_of(id).0),
+                        rng.next_u64(),
+                    )),
+                    Some(Radio::new(scen.high_profile.clone(), RadioState::Idle, t0)),
+                    1,
+                ),
+                ModelKind::DualRadio => (
+                    Some(CsmaMac::new(
+                        MacConfig::dot11b(&scen.high_profile),
+                        MacAddr(addr.high_of(id).0),
+                        rng.next_u64(),
+                    )),
+                    Some(Radio::new(scen.high_profile.clone(), RadioState::Off, t0)),
+                    0,
+                ),
+            };
+            let (bcp_tx, bcp_rx) = if scen.model == ModelKind::DualRadio {
+                (
+                    Some(BcpSender::new(id, scen.bcp.clone())),
+                    Some(BcpReceiver::new(id, scen.bcp.clone())),
+                )
+            } else {
+                (None, None)
+            };
+            let workload = if scen.senders.contains(&id) {
+                let w = scen.make_workload(rng.next_u64());
+                // Random phase so CBR senders do not tick in lock-step.
+                let interval = scen.packet_bytes as f64 * 8.0 / scen.rate_bps;
+                let phase = bcp_sim::time::SimDuration::from_secs_f64(rng.f64() * interval);
+                Some(w.with_phase(phase))
+            } else {
+                None
+            };
+            nodes.push(NodeState {
+                id,
+                low_mac,
+                low_radio,
+                high_mac,
+                high_radio,
+                bcp_tx,
+                bcp_rx,
+                workload,
+                pending_bytes: 0,
+                app_seq: 0,
+                high_refs,
+                wake_pending: Vec::new(),
+                header_overhear: Energy::ZERO,
+                shortcuts: ShortcutTable::new(),
+                listen_until: SimTime::ZERO,
+            });
+        }
+        World {
+            scen,
+            addr,
+            low_routes,
+            high_routes,
+            nodes,
+            chans,
+            payloads: HashMap::new(),
+            next_tag: 0,
+            txs: HashMap::new(),
+            next_tx: 0,
+            mac_timers: HashMap::new(),
+            ack_timers: HashMap::new(),
+            data_timers: HashMap::new(),
+            linger: HashMap::new(),
+            fates: HashMap::new(),
+            metrics: Metrics::default(),
+            rng,
+        }
+    }
+
+    fn fate_generated(&mut self, pkt: &AppPacket) {
+        let prev = self.fates.insert(pkt.id.0, Fate::Pending);
+        debug_assert!(prev.is_none(), "packet id reuse");
+    }
+
+    fn fate_delivered(&mut self, pkt: &AppPacket) {
+        let f = self
+            .fates
+            .get_mut(&pkt.id.0)
+            .expect("delivered packet was generated");
+        assert_ne!(*f, Fate::Delivered, "duplicate sink delivery of {:?}", pkt.id);
+        // LostMac -> Delivered is legal: the MAC's ACK was lost but the
+        // frame got through (false-negative link failure).
+        *f = Fate::Delivered;
+    }
+
+    /// Marks a packet lost unless it already made it to the sink.
+    fn fate_lost(&mut self, id: u64, fate: Fate) {
+        if let Some(f) = self.fates.get_mut(&id) {
+            if *f == Fate::Pending {
+                *f = fate;
+            }
+        }
+    }
+
+    /// The time after which no further packets are generated.
+    fn traffic_end(&self) -> SimTime {
+        match self.scen.traffic_cutoff {
+            Some(cutoff) => SimTime::ZERO + cutoff,
+            None => self.scen.end_time(),
+        }
+    }
+
+    fn init(&mut self, sched: &mut Scheduler<Ev>) {
+        let end = self.traffic_end();
+        for i in 0..self.nodes.len() {
+            let node = self.nodes[i].id;
+            if let Some(w) = self.nodes[i].workload.as_mut() {
+                if let Some((t, b)) = w.next_arrival() {
+                    if t <= end {
+                        self.nodes[i].pending_bytes = b;
+                        sched.at(t, Ev::AppArrival { node });
+                    }
+                }
+            }
+            if self.scen.flush_at_cutoff && self.scen.model == ModelKind::DualRadio {
+                if let Some(cutoff) = self.scen.traffic_cutoff {
+                    sched.at(SimTime::ZERO + cutoff, Ev::Flush { node });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+        match ev {
+            Ev::AppArrival { node } => self.app_arrival(sched, node),
+            Ev::MacTimer { node, class, kind } => {
+                self.mac_timers.remove(&(node.0, class.index(), kind));
+                self.mac_event(sched, node, class, MacEvent::Timer(kind));
+            }
+            Ev::TxEnd { tx } => self.tx_end(sched, tx),
+            Ev::RadioWakeDone { node } => self.radio_wake_done(sched, node),
+            Ev::BcpAckTimer { node, burst } => {
+                self.ack_timers.remove(&(node.0, burst.0));
+                let mut actions = Vec::new();
+                if let Some(tx) = self.nodes[node.index()].bcp_tx.as_mut() {
+                    tx.on_ack_timeout(sched.now(), burst, &mut actions);
+                }
+                self.sender_actions(sched, node, actions);
+            }
+            Ev::BcpDataTimer { node, burst } => {
+                self.data_timers.remove(&(node.0, burst.0));
+                let mut actions = Vec::new();
+                if let Some(rx) = self.nodes[node.index()].bcp_rx.as_mut() {
+                    rx.on_data_timeout(sched.now(), burst, &mut actions);
+                }
+                self.receiver_actions(sched, node, actions);
+            }
+            Ev::HighIdleOff { node } => self.high_idle_off(sched, node),
+            Ev::Flush { node } => {
+                let mut actions = Vec::new();
+                if let Some(tx) = self.nodes[node.index()].bcp_tx.as_mut() {
+                    tx.flush(sched.now(), &mut actions);
+                }
+                self.sender_actions(sched, node, actions);
+            }
+        }
+    }
+
+    fn app_arrival(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
+        let now = sched.now();
+        let end = self.traffic_end();
+        let sink = self.scen.sink;
+        let (pkt, _) = {
+            let n = &mut self.nodes[node.index()];
+            let pkt = AppPacket::new(node, sink, n.app_seq, now, n.pending_bytes);
+            n.app_seq += 1;
+            if let Some((t, b)) = n.workload.as_mut().expect("arrival without workload").next_arrival()
+            {
+                if t <= end {
+                    n.pending_bytes = b;
+                    sched.at(t, Ev::AppArrival { node });
+                }
+            }
+            (pkt, ())
+        };
+        self.metrics.on_generated(&pkt);
+        self.fate_generated(&pkt);
+        match self.scen.model {
+            ModelKind::Sensor => self.forward_data(sched, node, pkt, Class::Low),
+            ModelKind::Dot11 => self.forward_data(sched, node, pkt, Class::High),
+            ModelKind::DualRadio => self.bcp_data(sched, node, pkt),
+        }
+    }
+
+    /// Hop-by-hop forwarding for the single-radio models.
+    fn forward_data(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, pkt: AppPacket, class: Class) {
+        let routes = match class {
+            Class::Low => &self.low_routes,
+            Class::High => &self.high_routes,
+        };
+        match routes.next_hop(node, pkt.dest) {
+            Some(next) => {
+                self.enqueue_frame(sched, node, class, next, pkt.bytes, Payload::SensorData(pkt));
+            }
+            None => {
+                self.fate_lost(pkt.id.0, Fate::LostMac); // unroutable
+            }
+        }
+    }
+
+    /// Data entering BCP at `node` (origin or relay).
+    fn bcp_data(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, pkt: AppPacket) {
+        let Some(next) = self.high_next_hop(node) else {
+            self.fate_lost(pkt.id.0, Fate::LostMac);
+            return;
+        };
+        let mut actions = Vec::new();
+        self.nodes[node.index()]
+            .bcp_tx
+            .as_mut()
+            .expect("dual model has BCP sender")
+            .on_data(sched.now(), next, pkt, &mut actions);
+        self.sender_actions(sched, node, actions);
+    }
+
+    fn high_next_hop(&self, node: NodeId) -> Option<NodeId> {
+        let sink = self.scen.sink;
+        match self.scen.high_route {
+            HighRoute::Tree => self.high_routes.next_hop(node, sink),
+            HighRoute::LowParents { shortcuts, .. } => {
+                if shortcuts {
+                    if let Some(via) = self.nodes[node.index()].shortcuts.shortcut(sink) {
+                        if self
+                            .scen
+                            .topo
+                            .in_range(node, via, self.scen.high_profile.range_m)
+                        {
+                            return Some(via);
+                        }
+                    }
+                }
+                self.low_routes.next_hop(node, sink)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // MAC binding
+    // ------------------------------------------------------------------
+
+    fn mac_event(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, class: Class, ev: MacEvent) {
+        let mut actions = Vec::new();
+        {
+            let n = &mut self.nodes[node.index()];
+            if !n.has_class(class) {
+                return;
+            }
+            n.mac_mut(class).handle(sched.now(), ev, &mut actions);
+        }
+        for a in actions {
+            self.mac_action(sched, node, class, a);
+        }
+    }
+
+    fn mac_action(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, class: Class, a: MacAction) {
+        match a {
+            MacAction::StartTx(frame) => self.start_tx(sched, node, class, frame),
+            MacAction::SetTimer { kind, delay } => {
+                let id = sched.after(delay, Ev::MacTimer { node, class, kind });
+                if let Some(old) = self.mac_timers.insert((node.0, class.index(), kind), id) {
+                    sched.cancel(old);
+                }
+            }
+            MacAction::CancelTimer { kind } => {
+                if let Some(id) = self.mac_timers.remove(&(node.0, class.index(), kind)) {
+                    sched.cancel(id);
+                }
+            }
+            MacAction::Deliver(frame) => self.deliver(sched, node, class, frame),
+            MacAction::TxOutcome { ok, tag, .. } => self.tx_outcome(sched, node, class, ok, tag),
+        }
+    }
+
+    fn profile(&self, class: Class) -> &bcp_radio::profile::RadioProfile {
+        match class {
+            Class::Low => &self.scen.low_profile,
+            Class::High => &self.scen.high_profile,
+        }
+    }
+
+    fn mac_addr_of(&self, node: NodeId, class: Class) -> MacAddr {
+        match class {
+            Class::Low => MacAddr(self.addr.low_of(node).0 as u64),
+            Class::High => MacAddr(self.addr.high_of(node).0),
+        }
+    }
+
+    fn node_of_mac(&self, addr: MacAddr, class: Class) -> Option<NodeId> {
+        match class {
+            Class::Low => self.addr.node_of_low(bcp_net::addr::LowAddr(addr.0 as u16)),
+            Class::High => self.addr.node_of_high(bcp_net::addr::HighAddr(addr.0)),
+        }
+    }
+
+    fn radio_senses(&self, node: NodeId, class: Class) -> bool {
+        self.nodes[node.index()]
+            .radio(class)
+            .map(|r| {
+                matches!(
+                    r.state(),
+                    RadioState::Idle | RadioState::Receiving | RadioState::Transmitting
+                )
+            })
+            .unwrap_or(false)
+    }
+
+    fn start_tx(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, class: Class, frame: MacFrame) {
+        let now = sched.now();
+        let airtime = match frame.kind {
+            FrameKind::Data => self.profile(class).frame_airtime(frame.payload_bytes),
+            FrameKind::Ack => self.profile(class).control_airtime(frame.payload_bytes),
+        };
+        // If the radio was mid-reception, transmitting tramples it
+        // (capture); release the channel lock first.
+        if let Some((locked, _)) = self.chans[class.index()].locked_rx(node) {
+            self.chans[class.index()].unlock_rx(node, locked);
+        }
+        {
+            let n = &mut self.nodes[node.index()];
+            let radio = n.radio_mut(class);
+            match radio.state() {
+                RadioState::Idle => radio.start_tx(now),
+                RadioState::Receiving => {
+                    radio.end_rx(now, RxOutcome::Corrupted);
+                    radio.start_tx(now);
+                }
+                s => panic!("{node} {class:?}: StartTx while radio is {s:?}"),
+            }
+        }
+        let txid = TxId(self.next_tx);
+        self.next_tx += 1;
+        self.txs.insert(
+            txid.0,
+            ActiveTx {
+                sender: node,
+                class,
+                frame,
+            },
+        );
+        sched.after(airtime, Ev::TxEnd { tx: txid });
+        let neighbors: Vec<NodeId> = self.chans[class.index()].neighbors(node).to_vec();
+        for r in neighbors {
+            let clean_start = !self.chans[class.index()].carrier_busy(r);
+            let edge = self.chans[class.index()].carrier_up(r);
+            let can_hear = self.nodes[r.index()]
+                .radio(class)
+                .map(|rd| rd.state() == RadioState::Idle)
+                .unwrap_or(false);
+            if clean_start && can_hear {
+                self.chans[class.index()].lock_rx(r, txid);
+                self.nodes[r.index()].radio_mut(class).start_rx(now);
+            } else {
+                // Either the receiver was locked onto another frame
+                // (collision) or it cannot decode a frame started mid-air.
+                self.chans[class.index()].poison_rx(r);
+            }
+            if edge && self.radio_senses(r, class) {
+                self.mac_event(sched, r, class, MacEvent::Carrier(true));
+            }
+        }
+    }
+
+    fn tx_end(&mut self, sched: &mut Scheduler<Ev>, txid: TxId) {
+        let now = sched.now();
+        let ActiveTx {
+            sender,
+            class,
+            frame,
+        } = self.txs.remove(&txid.0).expect("unknown transmission");
+        self.nodes[sender.index()].radio_mut(class).end_tx(now);
+        self.mac_event(sched, sender, class, MacEvent::TxFinished);
+        let neighbors: Vec<NodeId> = self.chans[class.index()].neighbors(sender).to_vec();
+        for r in neighbors {
+            if let Some(corrupted) = self.chans[class.index()].unlock_rx(r, txid) {
+                let lost =
+                    corrupted || self.chans[class.index()].channel_loss(r, &mut self.rng);
+                let my_addr = self.mac_addr_of(r, class);
+                let for_me = frame.dst == my_addr || frame.dst.is_broadcast();
+                let outcome = if lost {
+                    RxOutcome::Corrupted
+                } else if for_me {
+                    RxOutcome::Delivered
+                } else {
+                    RxOutcome::Overheard
+                };
+                self.nodes[r.index()].radio_mut(class).end_rx(now, outcome);
+                if !lost {
+                    if for_me {
+                        self.mac_event(sched, r, class, MacEvent::RxFrame(frame));
+                    } else {
+                        self.on_overheard(sched, r, class, &frame);
+                    }
+                }
+            }
+            if self.chans[class.index()].carrier_down(r) && self.radio_senses(r, class) {
+                self.mac_event(sched, r, class, MacEvent::Carrier(false));
+            }
+        }
+    }
+
+    /// A clean frame addressed to someone else finished at `node`.
+    fn on_overheard(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, class: Class, frame: &MacFrame) {
+        match class {
+            Class::Low => {
+                // "Sensor-header" accounting: the node decodes the header
+                // before turning away.
+                let p = &self.scen.low_profile;
+                let header_time = p.control_airtime(p.header_bytes);
+                let e = p.p_rx * header_time;
+                self.nodes[node.index()].header_overhear += e;
+            }
+            Class::High => {
+                // Shortcut learning: hearing our own packets being
+                // forwarded teaches us the forwarder (Section 3).
+                if let HighRoute::LowParents { shortcuts: true, .. } = self.scen.high_route {
+                    if sched.now() <= self.nodes[node.index()].listen_until {
+                        if let Some(Payload::Burst { packets, .. }) = self.payloads.get(&frame.tag)
+                        {
+                            let ours = packets.iter().any(|p| p.origin == node);
+                            if ours {
+                                if let Some(via) = self.node_of_mac(frame.src, Class::High) {
+                                    let sink = self.scen.sink;
+                                    self.nodes[node.index()].shortcuts.learn(sink, via);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, class: Class, frame: MacFrame) {
+        let Some(payload) = self.payloads.get(&frame.tag).cloned() else {
+            debug_assert!(false, "delivered frame with unknown payload tag");
+            return;
+        };
+        let now = sched.now();
+        match payload {
+            Payload::SensorData(pkt) => {
+                if node == pkt.dest {
+                    self.metrics.on_delivered(&pkt, now);
+                    self.fate_delivered(&pkt);
+                } else {
+                    self.forward_data(sched, node, pkt, class);
+                }
+            }
+            Payload::Control { msg, dst } => {
+                if dst == node {
+                    self.control_arrived(sched, node, msg);
+                } else {
+                    // Relay toward the final destination over the low radio.
+                    if let Some(next) = self.low_routes.next_hop(node, dst) {
+                        self.enqueue_frame(
+                            sched,
+                            node,
+                            Class::Low,
+                            next,
+                            HandshakeMsg::WIRE_BYTES,
+                            Payload::Control { msg, dst },
+                        );
+                    }
+                }
+            }
+            Payload::Burst {
+                burst,
+                index,
+                count,
+                packets,
+            } => {
+                let mut actions = Vec::new();
+                if let Some(rx) = self.nodes[node.index()].bcp_rx.as_mut() {
+                    rx.on_burst_frame(now, burst, index, count, packets, &mut actions);
+                }
+                self.receiver_actions(sched, node, actions);
+            }
+        }
+    }
+
+    fn control_arrived(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, msg: HandshakeMsg) {
+        let now = sched.now();
+        match msg {
+            HandshakeMsg::WakeUp { burst, burst_bytes } => {
+                let free = if node == self.scen.sink {
+                    usize::MAX / 4
+                } else {
+                    self.nodes[node.index()]
+                        .bcp_tx
+                        .as_ref()
+                        .map(|t| t.free_bytes())
+                        .unwrap_or(0)
+                };
+                let from = burst.initiator();
+                let mut actions = Vec::new();
+                if let Some(rx) = self.nodes[node.index()].bcp_rx.as_mut() {
+                    rx.on_wakeup(now, from, burst, burst_bytes, free, &mut actions);
+                }
+                self.receiver_actions(sched, node, actions);
+            }
+            HandshakeMsg::WakeUpAck {
+                burst,
+                granted_bytes,
+            } => {
+                let mut actions = Vec::new();
+                if let Some(tx) = self.nodes[node.index()].bcp_tx.as_mut() {
+                    tx.on_wakeup_ack(now, burst, granted_bytes, &mut actions);
+                }
+                self.sender_actions(sched, node, actions);
+            }
+        }
+    }
+
+    fn tx_outcome(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, _class: Class, ok: bool, tag: u64) {
+        let Some(payload) = self.payloads.remove(&tag) else {
+            return;
+        };
+        match payload {
+            Payload::SensorData(pkt) => {
+                if !ok {
+                    self.fate_lost(pkt.id.0, Fate::LostMac);
+                }
+            }
+            Payload::Control { .. } => {
+                // Handshake losses are handled by BCP's own timers.
+            }
+            Payload::Burst { burst, .. } => {
+                let mut actions = Vec::new();
+                if let Some(tx) = self.nodes[node.index()].bcp_tx.as_mut() {
+                    tx.on_frame_outcome(sched.now(), burst, ok, &mut actions);
+                }
+                self.sender_actions(sched, node, actions);
+            }
+        }
+    }
+
+    fn enqueue_frame(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        node: NodeId,
+        class: Class,
+        to: NodeId,
+        bytes: usize,
+        payload: Payload,
+    ) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.payloads.insert(tag, payload);
+        let dst = self.mac_addr_of(to, class);
+        let frame = self.nodes[node.index()].mac_mut(class).make_data(dst, bytes, tag);
+        self.mac_event(sched, node, class, MacEvent::Enqueue(frame));
+    }
+
+    // ------------------------------------------------------------------
+    // BCP binding
+    // ------------------------------------------------------------------
+
+    fn sender_actions(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, actions: Vec<SenderAction>) {
+        for a in actions {
+            match a {
+                SenderAction::SendWakeUp {
+                    to,
+                    burst,
+                    burst_bytes,
+                } => {
+                    let msg = HandshakeMsg::WakeUp { burst, burst_bytes };
+                    self.send_control(sched, node, to, msg);
+                }
+                SenderAction::ArmAckTimer { burst } => {
+                    let delay = self.scen.bcp.wakeup_ack_timeout;
+                    let id = sched.after(delay, Ev::BcpAckTimer { node, burst });
+                    if let Some(old) = self.ack_timers.insert((node.0, burst.0), id) {
+                        sched.cancel(old);
+                    }
+                }
+                SenderAction::CancelAckTimer { burst } => {
+                    if let Some(id) = self.ack_timers.remove(&(node.0, burst.0)) {
+                        sched.cancel(id);
+                    }
+                }
+                SenderAction::WakeHighRadio { burst } => {
+                    self.acquire_high(sched, node, Some(burst));
+                }
+                SenderAction::SendBurstFrame {
+                    to,
+                    burst,
+                    index,
+                    count,
+                    packets,
+                } => {
+                    let bytes = bcp_core::frag::total_bytes(&packets);
+                    self.enqueue_frame(
+                        sched,
+                        node,
+                        Class::High,
+                        to,
+                        bytes,
+                        Payload::Burst {
+                            burst,
+                            index,
+                            count,
+                            packets,
+                        },
+                    );
+                }
+                SenderAction::SendLowData { to: _, packets } => {
+                    // Delay-bound fallback: these packets travel hop-by-hop
+                    // over the low radio from here on.
+                    for pkt in packets {
+                        self.forward_data(sched, node, pkt, Class::Low);
+                    }
+                }
+                SenderAction::ReleaseHighRadio { .. } => self.release_high(sched, node),
+                SenderAction::PacketsDropped { packets, reason } => {
+                    let fate = match reason {
+                        DropReason::BufferOverflow => Fate::LostBuffer,
+                        DropReason::MacFailure => Fate::LostMac,
+                    };
+                    for p in &packets {
+                        self.fate_lost(p.id.0, fate);
+                    }
+                }
+                SenderAction::SessionDone { .. } => {}
+            }
+        }
+    }
+
+    fn receiver_actions(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        node: NodeId,
+        actions: Vec<ReceiverAction>,
+    ) {
+        for a in actions {
+            match a {
+                ReceiverAction::WakeHighRadio { .. } => self.acquire_high(sched, node, None),
+                ReceiverAction::SendWakeUpAck {
+                    to,
+                    burst,
+                    granted_bytes,
+                } => {
+                    let msg = HandshakeMsg::WakeUpAck {
+                        burst,
+                        granted_bytes,
+                    };
+                    self.send_control(sched, node, to, msg);
+                }
+                ReceiverAction::ArmDataTimer { burst } => {
+                    let delay = self.scen.bcp.receiver_data_timeout;
+                    let id = sched.after(delay, Ev::BcpDataTimer { node, burst });
+                    if let Some(old) = self.data_timers.insert((node.0, burst.0), id) {
+                        sched.cancel(old);
+                    }
+                }
+                ReceiverAction::CancelDataTimer { burst } => {
+                    if let Some(id) = self.data_timers.remove(&(node.0, burst.0)) {
+                        sched.cancel(id);
+                    }
+                }
+                ReceiverAction::ReleaseHighRadio { .. } => self.release_high(sched, node),
+                ReceiverAction::DeliverPackets { from: _, packets } => {
+                    let now = sched.now();
+                    for pkt in packets {
+                        if pkt.dest == node {
+                            self.metrics.on_delivered(&pkt, now);
+                            self.fate_delivered(&pkt);
+                        } else {
+                            self.bcp_data(sched, node, pkt);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_control(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, dst: NodeId, msg: HandshakeMsg) {
+        if let Some(next) = self.low_routes.next_hop(node, dst) {
+            self.enqueue_frame(
+                sched,
+                node,
+                Class::Low,
+                next,
+                HandshakeMsg::WIRE_BYTES,
+                Payload::Control { msg, dst },
+            );
+        }
+    }
+
+    fn acquire_high(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, ready_burst: Option<BurstId>) {
+        let now = sched.now();
+        if let Some(id) = self.linger.remove(&node.0) {
+            sched.cancel(id);
+        }
+        let state = {
+            let n = &mut self.nodes[node.index()];
+            n.high_refs += 1;
+            n.radio_mut(Class::High).state()
+        };
+        match state {
+            RadioState::Off => {
+                self.metrics.radio_wakeups += 1;
+                let d = self.nodes[node.index()]
+                    .radio_mut(Class::High)
+                    .begin_wakeup(now);
+                sched.after(d, Ev::RadioWakeDone { node });
+                if let Some(b) = ready_burst {
+                    self.nodes[node.index()].wake_pending.push(b);
+                }
+            }
+            RadioState::WakingUp => {
+                if let Some(b) = ready_burst {
+                    self.nodes[node.index()].wake_pending.push(b);
+                }
+            }
+            _ => {
+                // Already on: a sender session can proceed immediately.
+                if let Some(b) = ready_burst {
+                    let mut actions = Vec::new();
+                    if let Some(tx) = self.nodes[node.index()].bcp_tx.as_mut() {
+                        tx.on_high_radio_ready(now, b, &mut actions);
+                    }
+                    self.sender_actions(sched, node, actions);
+                }
+            }
+        }
+    }
+
+    fn release_high(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
+        let refs = {
+            let n = &mut self.nodes[node.index()];
+            assert!(n.high_refs > 0, "{node}: release without acquire");
+            n.high_refs -= 1;
+            n.high_refs
+        };
+        if refs == 0 {
+            // Stay on briefly: the MAC may still owe a link ACK, and in
+            // shortcut-learning mode we listen for our packets being
+            // forwarded.
+            let mut delay = self.scen.off_linger;
+            if let HighRoute::LowParents {
+                shortcuts: true,
+                listen,
+            } = self.scen.high_route
+            {
+                if listen > delay {
+                    delay = listen;
+                }
+                self.nodes[node.index()].listen_until = sched.now() + listen;
+            }
+            let id = sched.after(delay, Ev::HighIdleOff { node });
+            if let Some(old) = self.linger.insert(node.0, id) {
+                sched.cancel(old);
+            }
+        }
+    }
+
+    fn radio_wake_done(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
+        let now = sched.now();
+        self.nodes[node.index()]
+            .radio_mut(Class::High)
+            .complete_wakeup(now);
+        if self.chans[Class::High.index()].carrier_busy(node) {
+            self.mac_event(sched, node, Class::High, MacEvent::Carrier(true));
+        }
+        let pending = core::mem::take(&mut self.nodes[node.index()].wake_pending);
+        for burst in pending {
+            let mut actions = Vec::new();
+            if let Some(tx) = self.nodes[node.index()].bcp_tx.as_mut() {
+                tx.on_high_radio_ready(now, burst, &mut actions);
+            }
+            self.sender_actions(sched, node, actions);
+        }
+    }
+
+    fn high_idle_off(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
+        self.linger.remove(&node.0);
+        let now = sched.now();
+        let n = &mut self.nodes[node.index()];
+        if n.high_refs > 0 {
+            return; // re-acquired meanwhile
+        }
+        // The MAC may still owe a link ACK (SIFS-delayed) or hold queued
+        // frames; powering down now would transmit from a dead radio.
+        let mac_busy = !n
+            .high_mac
+            .as_ref()
+            .map(|m| m.is_quiescent())
+            .unwrap_or(true);
+        let radio = n.radio_mut(Class::High);
+        match radio.state() {
+            RadioState::Idle if !mac_busy => radio.turn_off(now),
+            RadioState::Off => {}
+            _ => {
+                // Busy (rx/tx/waking/ack owed): try again shortly.
+                let delay = self.scen.off_linger;
+                let id = sched.after(delay, Ev::HighIdleOff { node });
+                if let Some(old) = self.linger.insert(node.0, id) {
+                    sched.cancel(old);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Finalisation
+    // ------------------------------------------------------------------
+
+    fn finalize(mut self, end: SimTime, events: u64) -> RunStats {
+        use bcp_radio::energy::EnergyBucket as B;
+        self.metrics.collisions =
+            self.chans[0].collisions() + self.chans[1].collisions();
+        // Reconcile per-packet fates: exact loss/residual accounting.
+        let mut delivered = 0u64;
+        for f in self.fates.values() {
+            match f {
+                Fate::Delivered => delivered += 1,
+                Fate::LostMac => self.metrics.drops_mac += 1,
+                Fate::LostBuffer => self.metrics.drops_buffer += 1,
+                Fate::Pending => self.metrics.residual_packets += 1,
+            }
+        }
+        assert_eq!(
+            delivered, self.metrics.delivered_packets,
+            "fate map and delivery counter disagree"
+        );
+        for n in &self.nodes {
+            if let Some(tx) = &n.bcp_tx {
+                self.metrics.handshakes += tx.stats().handshakes;
+            }
+        }
+        let ideal_low = [B::Tx, B::Rx];
+        let full_high = [B::Tx, B::Rx, B::Overhear, B::Idle, B::Sleep, B::Wakeup];
+        let mut energy = Energy::ZERO;
+        let mut header_extra = Energy::ZERO;
+        let mut overhear_full_extra = Energy::ZERO;
+        for n in &self.nodes {
+            let low = n.low_radio.report(end);
+            match self.scen.model {
+                ModelKind::Sensor | ModelKind::DualRadio => {
+                    energy += low.total_of(&ideal_low);
+                    overhear_full_extra += low.of(B::Overhear);
+                }
+                ModelKind::Dot11 => {}
+            }
+            header_extra += n.header_overhear;
+            if let Some(hr) = &n.high_radio {
+                let high = hr.report(end);
+                match self.scen.model {
+                    ModelKind::Dot11 | ModelKind::DualRadio => {
+                        energy += high.total_of(&full_high);
+                    }
+                    ModelKind::Sensor => {}
+                }
+            }
+        }
+        RunStats::with_overhear_full(
+            self.metrics,
+            energy,
+            energy + header_extra,
+            energy + overhear_full_extra,
+            events,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcp_net::topo::Topology;
+    use bcp_sim::time::SimDuration;
+
+    /// A tiny two-node scenario: node 1 sends to sink node 0 over one hop.
+    fn two_node(model: ModelKind, burst_packets: usize) -> Scenario {
+        let mut s = Scenario::single_hop(model, 1, burst_packets, 42);
+        s.topo = Topology::line(2, 40.0);
+        s.sink = NodeId(0);
+        s.senders = vec![NodeId(1)];
+        s.duration = SimDuration::from_secs(200);
+        s.rate_bps = 2_000.0;
+        s
+    }
+
+    #[test]
+    fn sensor_model_delivers() {
+        let stats = two_node(ModelKind::Sensor, 10).run();
+        assert!(stats.goodput > 0.95, "goodput {}", stats.goodput);
+        assert!(stats.energy_j > 0.0);
+        assert!(stats.mean_delay_s < 0.5, "one hop is fast");
+    }
+
+    #[test]
+    fn dot11_model_delivers() {
+        let stats = two_node(ModelKind::Dot11, 10).run();
+        assert!(stats.goodput > 0.95, "goodput {}", stats.goodput);
+        assert!(
+            stats.energy_j > 100.0,
+            "always-on 802.11 idles expensively: {}",
+            stats.energy_j
+        );
+    }
+
+    #[test]
+    fn dual_radio_delivers_in_bursts() {
+        let stats = two_node(ModelKind::DualRadio, 100).run();
+        // 2 kbps × 200 s = 50 KB generated; bursts of 3.2 KB.
+        assert!(stats.goodput > 0.8, "goodput {}", stats.goodput);
+        assert!(stats.metrics.radio_wakeups >= 5, "several bursts expected");
+        assert!(
+            stats.mean_delay_s > 1.0,
+            "buffering delay must appear: {}",
+            stats.mean_delay_s
+        );
+        assert!(stats.j_per_kbit.is_finite());
+    }
+
+    #[test]
+    fn dual_radio_beats_sensor_header_energy_two_nodes() {
+        // Minimal sanity version of Fig. 6's ordering on a single link.
+        let dual = two_node(ModelKind::DualRadio, 500).run();
+        let sensor = two_node(ModelKind::Sensor, 500).run();
+        assert!(
+            dual.j_per_kbit < sensor.j_per_kbit_header * 1.5,
+            "dual {} vs sensor-header {}",
+            dual.j_per_kbit,
+            sensor.j_per_kbit_header
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let a = two_node(ModelKind::DualRadio, 100).run();
+        let b = two_node(ModelKind::DualRadio, 100).run();
+        assert_eq!(a.goodput, b.goodput);
+        assert_eq!(a.energy_j, b.energy_j);
+        assert_eq!(a.mean_delay_s, b.mean_delay_s);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut s1 = two_node(ModelKind::DualRadio, 100);
+        s1.seed = 1;
+        let mut s2 = two_node(ModelKind::DualRadio, 100);
+        s2.seed = 2;
+        let a = s1.run();
+        let b = s2.run();
+        // Phases differ, so event counts almost surely differ.
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn grid_dual_radio_smoke() {
+        let mut s = Scenario::single_hop(ModelKind::DualRadio, 5, 100, 7);
+        s.duration = SimDuration::from_secs(120);
+        let stats = s.run();
+        assert!(stats.goodput > 0.5, "goodput {}", stats.goodput);
+        assert!(stats.metrics.delivered_packets > 100);
+        assert!(stats.metrics.handshakes > 0);
+    }
+
+    #[test]
+    fn multi_hop_dual_radio_smoke() {
+        let mut s = Scenario::multi_hop(ModelKind::DualRadio, 5, 100, 7);
+        s.duration = SimDuration::from_secs(120);
+        let stats = s.run();
+        assert!(stats.goodput > 0.5, "goodput {}", stats.goodput);
+    }
+
+    #[test]
+    fn poisson_and_bursty_workloads_run() {
+        use crate::scenario::WorkloadKind;
+        for (kind, min_goodput) in [
+            (WorkloadKind::Poisson, 0.7),
+            (
+                WorkloadKind::BurstyAudio {
+                    mean_on_s: 3.0,
+                    mean_off_s: 10.0,
+                },
+                0.5,
+            ),
+        ] {
+            let mut s = two_node(ModelKind::DualRadio, 100);
+            s.workload = kind;
+            let stats = s.run();
+            assert!(
+                stats.goodput > min_goodput,
+                "{kind:?}: goodput {}",
+                stats.goodput
+            );
+            assert!(stats.metrics.delivered_packets > 100);
+        }
+    }
+
+    #[test]
+    fn shortcut_learning_changes_routing_behaviour() {
+        use crate::scenario::HighRoute;
+        use bcp_sim::time::SimDuration as D;
+        // Mid-range high radio on a 5-node line: low parents are adjacent,
+        // shortcuts can reach two hops (80 m <= 100 m).
+        let base = {
+            let mut s = Scenario::single_hop(ModelKind::DualRadio, 1, 100, 3);
+            s.topo = Topology::line(5, 40.0);
+            s.sink = NodeId(0);
+            s.senders = vec![NodeId(4)];
+            s.high_profile = bcp_radio::profile::cabletron().with_range(100.0);
+            s.duration = D::from_secs(400);
+            s
+        };
+        let plain = base
+            .clone()
+            .with_high_route(HighRoute::LowParents {
+                shortcuts: false,
+                listen: D::from_millis(200),
+            })
+            .run();
+        let learned = base
+            .with_high_route(HighRoute::LowParents {
+                shortcuts: true,
+                listen: D::from_millis(200),
+            })
+            .run();
+        assert!(plain.goodput > 0.8 && learned.goodput > 0.8);
+        // Skipping relays means fewer wake-ups in steady state.
+        assert!(
+            learned.metrics.radio_wakeups < plain.metrics.radio_wakeups,
+            "shortcuts skip relays: {} vs {} wakeups",
+            learned.metrics.radio_wakeups,
+            plain.metrics.radio_wakeups
+        );
+        assert!(
+            learned.mean_delay_s < plain.mean_delay_s,
+            "fewer store-and-forward stages: {} vs {}",
+            learned.mean_delay_s,
+            plain.mean_delay_s
+        );
+    }
+
+    #[test]
+    fn lossy_channel_reduces_goodput() {
+        use bcp_net::loss::LossModel;
+        let clean = two_node(ModelKind::Sensor, 10).run();
+        let mut lossy_scen = two_node(ModelKind::Sensor, 10);
+        lossy_scen.loss_low = LossModel::bernoulli(0.5);
+        let lossy = lossy_scen.run();
+        assert!(
+            lossy.goodput < clean.goodput,
+            "losses must hurt: {} vs {}",
+            lossy.goodput,
+            clean.goodput
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! # bcp-testbed — the prototype experiment, emulated (Section 4.2)
+//!
+//! The paper's prototype ran BCP on two Tmote Sky motes, with the
+//! high-power radio *emulated* behind a wrapper MAC interface and energy
+//! computed afterwards from detailed event logs. This crate mirrors that
+//! methodology:
+//!
+//! * [`harness`] — the two-node driver: a sender generating 500 messages,
+//!   the real BCP machines from `bcp-core`, CC2420 low-radio timing, an
+//!   emulated Lucent 11 Mbps high radio, an ideal channel.
+//! * [`log`] — the event log ([`log::TbEvent`]) and the log-based energy
+//!   and delay calculator ([`log::LogAccounting`]).
+//! * [`fig11_series`] / [`fig12_series`] — the threshold sweeps behind
+//!   Figures 11 and 12.
+//!
+//! # Examples
+//!
+//! ```
+//! use bcp_testbed::harness::{run, TestbedConfig, TestbedMode};
+//!
+//! let run = run(&TestbedConfig::paper(2048, 1), TestbedMode::DualRadio);
+//! assert_eq!(run.delivered, 500);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod harness;
+pub mod log;
+
+use bcp_sim::stats::{mean_ci95, Series};
+pub use harness::{run, TestbedConfig, TestbedMode, TestbedRun};
+pub use log::{LogAccounting, Side, TbEvent};
+
+/// The paper's threshold sweep: 500 B to 5000 B.
+pub fn paper_thresholds() -> Vec<usize> {
+    (0..=18).map(|i| 500 + i * 250).collect()
+}
+
+/// Averages one (threshold, mode) cell over `runs` seeded repetitions,
+/// returning `(energy µJ/packet, its CI, delay ms/packet, its CI)`.
+pub fn averaged_point(threshold: usize, mode: TestbedMode, runs: usize) -> (f64, f64, f64, f64) {
+    let mut energy = Vec::with_capacity(runs);
+    let mut delay = Vec::with_capacity(runs);
+    for seed in 0..runs as u64 {
+        let r = run(&TestbedConfig::paper(threshold, seed), mode);
+        energy.push(r.energy_per_packet_uj);
+        delay.push(r.delay_per_packet_ms);
+    }
+    let (em, eci) = mean_ci95(&energy);
+    let (dm, dci) = mean_ci95(&delay);
+    (em, eci, dm, dci)
+}
+
+/// **Figure 11**: energy per packet (µJ) vs threshold size (B), for the
+/// dual-radio protocol and the sensor-radio baseline. `runs` repetitions
+/// per point (the paper uses 5).
+pub fn fig11_series(runs: usize) -> Vec<Series> {
+    let mut dual = Series::new("Dual-Radio");
+    let mut sensor = Series::new("Sensor Radio");
+    for &th in &paper_thresholds() {
+        let (e, ci, _, _) = averaged_point(th, TestbedMode::DualRadio, runs);
+        dual.push_with_ci(th as f64, e, ci);
+        let (e, ci, _, _) = averaged_point(th, TestbedMode::SensorRadio, runs);
+        sensor.push_with_ci(th as f64, e, ci);
+    }
+    vec![dual, sensor]
+}
+
+/// **Figure 12**: energy per packet (µJ) vs delay per packet (ms) for the
+/// dual-radio protocol (each point is one threshold of the Fig. 11 sweep).
+pub fn fig12_series(runs: usize) -> Series {
+    let mut s = Series::new("Dual-Radio");
+    for &th in &paper_thresholds() {
+        let (e, ci, d, _) = averaged_point(th, TestbedMode::DualRadio, runs);
+        s.push_with_ci(d, e, ci);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_match_paper_range() {
+        let t = paper_thresholds();
+        assert_eq!(*t.first().unwrap(), 500);
+        assert_eq!(*t.last().unwrap(), 5000);
+    }
+
+    #[test]
+    fn fig11_shapes() {
+        let series = fig11_series(2);
+        let dual = &series[0];
+        let sensor = &series[1];
+        // Dual-radio energy per packet broadly decreases across the sweep.
+        let first = dual.points().first().unwrap().1;
+        let last = dual.points().last().unwrap().1;
+        assert!(last < first * 0.8, "amortisation: {first} -> {last}");
+        // The sensor baseline is flat (no threshold dependence).
+        let ys: Vec<f64> = sensor.points().iter().map(|p| p.1).collect();
+        let spread = ys.iter().cloned().fold(f64::MIN, f64::max)
+            - ys.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 1.0, "sensor line flat, spread {spread}");
+        // The curves cross within the sweep (s* slightly above 1 KB).
+        let sensor_y = ys[0];
+        assert!(first > sensor_y * 0.9, "left end near/above sensor");
+        assert!(last < sensor_y, "right end clearly below sensor");
+    }
+
+    #[test]
+    fn fig11_nonmonotonic_frame_quantisation() {
+        // "a slight increase in α-s* leads to a scenario where the small
+        // amount of additional data requires an extra packet to be sent" —
+        // the dual curve must NOT be monotonically decreasing everywhere.
+        let series = fig11_series(1);
+        let dual = &series[0];
+        let ups = dual
+            .points()
+            .windows(2)
+            .filter(|w| w[1].1 > w[0].1 + 1e-9)
+            .count();
+        assert!(ups >= 1, "expected at least one quantisation bump");
+    }
+
+    #[test]
+    fn fig12_energy_falls_with_delay() {
+        let s = fig12_series(1);
+        let first = s.points().first().unwrap();
+        let last = s.points().last().unwrap();
+        assert!(last.0 > first.0, "delay grows along the sweep");
+        assert!(last.1 < first.1, "energy falls along the sweep");
+    }
+}

@@ -1,0 +1,42 @@
+//! Audio collection: the fast-bursty regime (EnviroMic).
+//!
+//! The paper's other motivating application: "Recent applications, such as
+//! EnviroMic, where audio is being transmitted through the network,
+//! accumulate data much faster making performance almost real-time despite
+//! data buffering." Senders here capture sound in ON/OFF episodes; during
+//! an episode data arrives fast, between episodes nothing happens.
+//!
+//! ```text
+//! cargo run --release --example audio_collection
+//! ```
+
+use bcp::sim::time::SimDuration;
+use bcp::simnet::{ModelKind, Scenario, WorkloadKind};
+
+fn main() {
+    let audio = WorkloadKind::BurstyAudio {
+        mean_on_s: 5.0,
+        mean_off_s: 45.0,
+    };
+    println!("audio capture: 8 microphones, ~4 Kbps mean (40 Kbps during episodes)\n");
+    println!(
+        "{:>12} {:>10} {:>9} {:>12} {:>12}",
+        "workload", "burst", "goodput", "J/Kbit", "delay (s)"
+    );
+    for (label, workload) in [("steady CBR", WorkloadKind::Cbr), ("audio", audio)] {
+        for burst in [100, 500, 1000] {
+            let stats = Scenario::multi_hop(ModelKind::DualRadio, 8, burst, 11)
+                .with_rate(4_000.0)
+                .with_workload(workload)
+                .with_duration(SimDuration::from_secs(600))
+                .run();
+            println!(
+                "{:>12} {:>10} {:>9.3} {:>12.4} {:>12.2}",
+                label, burst, stats.goodput, stats.j_per_kbit, stats.mean_delay_s
+            );
+        }
+    }
+    println!("\naudio episodes fill the burst buffer in seconds, so the buffering");
+    println!("delay collapses versus the same mean rate spread out as CBR —");
+    println!("\"almost real-time despite data buffering\".");
+}

@@ -1,0 +1,68 @@
+//! Lossy links: retransmissions move the break-even point.
+//!
+//! The paper leaves "adapting s* based on retransmissions as future work"
+//! (Section 3). This example exercises both halves of that extension:
+//!
+//! 1. simulate BCP over progressively worse channels and watch goodput and
+//!    energy respond;
+//! 2. drive the [`AdaptiveThreshold`] controller with the same loss rates
+//!    and see how it would re-tune `α·s*`.
+//!
+//! ```text
+//! cargo run --release --example lossy_links
+//! ```
+
+use bcp::analysis::DualRadioLink;
+use bcp::core::adaptive::AdaptiveThreshold;
+use bcp::net::loss::LossModel;
+use bcp::radio::profile::{lucent_11m, micaz};
+use bcp::sim::time::SimDuration;
+use bcp::simnet::{ModelKind, Scenario};
+
+fn main() {
+    println!("BCP on the paper grid, 10 senders, burst 500, worsening 802.11 channel\n");
+    println!(
+        "{:>22} {:>9} {:>12} {:>12} {:>10}",
+        "high-radio channel", "goodput", "J/Kbit", "delay (s)", "mac drops"
+    );
+    let channels: [(&str, LossModel); 4] = [
+        ("perfect", LossModel::Perfect),
+        ("bernoulli 5%", LossModel::bernoulli(0.05)),
+        ("bernoulli 20%", LossModel::bernoulli(0.20)),
+        (
+            "gilbert-elliott burst",
+            LossModel::gilbert_elliott(0.05, 0.3, 0.01, 0.8),
+        ),
+    ];
+    for (label, loss) in channels {
+        let stats = Scenario::single_hop(ModelKind::DualRadio, 10, 500, 5)
+            .with_duration(SimDuration::from_secs(400))
+            .with_loss(LossModel::Perfect, loss)
+            .run();
+        println!(
+            "{:>22} {:>9.3} {:>12.4} {:>12.1} {:>10}",
+            label, stats.goodput, stats.j_per_kbit, stats.mean_delay_s, stats.metrics.drops_mac
+        );
+    }
+
+    println!("\nthe adaptive controller (the paper's future work), fed the same conditions:\n");
+    println!(
+        "{:>22} {:>16} {:>12}",
+        "observed retx/frame", "α·s* (bytes)", "viable?"
+    );
+    for retx in [1.0, 1.2, 1.5, 2.0, 3.0] {
+        let mut ctl =
+            AdaptiveThreshold::new(DualRadioLink::new(micaz(), lucent_11m()), 2.0, 0.3);
+        for _ in 0..100 {
+            ctl.observe_high(retx);
+        }
+        println!(
+            "{:>22.1} {:>16} {:>12}",
+            retx,
+            ctl.threshold_bytes(),
+            if ctl.high_radio_viable() { "yes" } else { "no" }
+        );
+    }
+    println!("\nlossier high-radio links demand bigger bursts to stay worthwhile;");
+    println!("past a point the high radio stops paying for itself entirely.");
+}

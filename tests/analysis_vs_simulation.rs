@@ -1,0 +1,133 @@
+//! Consistency between the analytic model (Section 2) and the executable
+//! systems (Sections 3–4): the equations should predict what the simulator
+//! and the testbed measure, up to MAC overheads the analysis ignores.
+
+use bcp::analysis::DualRadioLink;
+use bcp::radio::profile::{cc2420, lucent_11m, micaz};
+use bcp::testbed::{run, TestbedConfig, TestbedMode};
+
+#[test]
+fn testbed_crossover_brackets_analytic_breakeven() {
+    use bcp::sim::time::SimDuration;
+
+    // The bare closed form underestimates the testbed's break-even because
+    // the receiver's high radio *idles* from its wake-up until the first
+    // data frame arrives (ack transfer over the low radio + the sender's
+    // own wake-up). That idle term is exactly what the paper's Fig. 2
+    // studies — so feed it to the model instead of ignoring it.
+    let low = cc2420();
+    let high = lucent_11m();
+    let handshake_idle = low.frame_airtime(20) // wake-up ack airtime
+        + SimDuration::from_millis(2) // CSMA access overhead (testbed constant)
+        + high.t_wakeup; // sender's radio still warming
+    let bare = DualRadioLink::new(low.clone(), high.clone());
+    let with_idle = bare.clone().with_idle_time(handshake_idle);
+    let s_bare = bare.break_even_bytes().expect("feasible pairing") as usize;
+    let s_star = with_idle.break_even_bytes().expect("feasible pairing") as usize;
+    assert!(s_star > s_bare, "handshake idle must raise s*");
+
+    // Find the empirical crossover: smallest sweep threshold where the
+    // dual radio beats the sensor baseline per packet.
+    let sensor = run(&TestbedConfig::paper(1024, 1), TestbedMode::SensorRadio);
+    let mut crossover = None;
+    for th in (96..=8192).step_by(96) {
+        let dual = run(&TestbedConfig::paper(th, 1), TestbedMode::DualRadio);
+        if dual.energy_per_packet_uj < sensor.energy_per_packet_uj {
+            crossover = Some(th);
+            break;
+        }
+    }
+    let crossover = crossover.expect("dual radio eventually wins");
+    assert!(
+        crossover >= s_star / 2 && crossover <= s_star * 2,
+        "empirical crossover {crossover} B vs idle-aware analytic s* {s_star} B"
+    );
+}
+
+#[test]
+fn equation2_matches_testbed_burst_energy_at_scale() {
+    // At a large threshold the per-packet energy should approach the
+    // analytic marginal cost (fixed costs amortised away).
+    let link = DualRadioLink::new(cc2420(), lucent_11m());
+    let pkt_bytes = 32;
+    let analytic_marginal =
+        link.per_byte_high().as_joules() * pkt_bytes as f64 * 1e6; // µJ per packet
+    let tb = run(&TestbedConfig::paper(4992, 1), TestbedMode::DualRadio);
+    // The testbed still pays the low-radio handshake and idle, so it sits
+    // above the marginal cost — but within ~4x at 5 KB bursts.
+    assert!(
+        tb.energy_per_packet_uj > analytic_marginal,
+        "simulation cannot beat the analytic lower bound: {} vs {}",
+        tb.energy_per_packet_uj,
+        analytic_marginal
+    );
+    assert!(
+        tb.energy_per_packet_uj < 4.0 * analytic_marginal,
+        "fixed costs mostly amortised at 5 KB: {} vs marginal {}",
+        tb.energy_per_packet_uj,
+        analytic_marginal
+    );
+}
+
+#[test]
+fn sensor_baseline_matches_equation1() {
+    // The testbed's sensor mode is Eq. (1) plus a CSMA access overhead.
+    let link = DualRadioLink::new(cc2420(), lucent_11m());
+    let analytic = link.energy_low(32).as_microjoules();
+    let tb = run(&TestbedConfig::paper(1024, 1), TestbedMode::SensorRadio);
+    assert!(
+        tb.energy_per_packet_uj >= analytic * 0.99,
+        "measured {} vs Eq.(1) {}",
+        tb.energy_per_packet_uj,
+        analytic
+    );
+    assert!(
+        tb.energy_per_packet_uj <= analytic * 1.5,
+        "within 50% of Eq.(1): {} vs {}",
+        tb.energy_per_packet_uj,
+        analytic
+    );
+}
+
+#[test]
+fn burst_knee_consistent_between_fig4_and_testbed() {
+    // Fig. 4's rule of thumb: most savings materialise by ~10 packets
+    // (10 KB of 802.11 payload). In the testbed's sweep the energy drop
+    // from 500 B to 2 KB must exceed the drop from 2 KB to 5 KB.
+    let e = |th: usize| {
+        run(&TestbedConfig::paper(th, 1), TestbedMode::DualRadio).energy_per_packet_uj
+    };
+    let early_drop = e(512) - e(2048);
+    let late_drop = e(2048) - e(4992);
+    assert!(
+        early_drop > late_drop,
+        "diminishing returns: early {early_drop} vs late {late_drop}"
+    );
+}
+
+#[test]
+fn simulated_two_node_energy_tracks_equations() {
+    use bcp::net::addr::NodeId;
+    use bcp::net::topo::Topology;
+    use bcp::sim::time::SimDuration;
+    use bcp::simnet::{ModelKind, Scenario};
+
+    // One sender, one sink, one hop, ideal channel: the simulator's
+    // sensor-model energy per Kbit should approximate Eq. (1)'s per-bit
+    // cost (which charges full frames and both ends of the link).
+    let mut s = Scenario::single_hop(ModelKind::Sensor, 1, 10, 1);
+    s.topo = Topology::line(2, 40.0);
+    s.sink = NodeId(0);
+    s.senders = vec![NodeId(1)];
+    s.duration = SimDuration::from_secs(500);
+    let stats = s.run();
+    let link = DualRadioLink::new(micaz(), lucent_11m());
+    let eq1_j_per_kbit = link.energy_low(128).as_joules() / (128.0 * 8.0 / 1000.0);
+    let ratio = stats.j_per_kbit / eq1_j_per_kbit;
+    assert!(
+        (0.8..2.0).contains(&ratio),
+        "simulated {} vs Eq.(1) {} (ratio {ratio}); MAC acks/backoff explain the gap",
+        stats.j_per_kbit,
+        eq1_j_per_kbit
+    );
+}

@@ -1,0 +1,236 @@
+//! Cross-crate integration: full simulations checked against global
+//! invariants and the paper's qualitative claims.
+
+use bcp::net::addr::NodeId;
+use bcp::net::topo::Topology;
+use bcp::sim::time::SimDuration;
+use bcp::simnet::{ModelKind, RunStats, Scenario};
+
+fn small_grid(model: ModelKind, senders: usize, burst: usize, seed: u64) -> Scenario {
+    Scenario::single_hop(model, senders, burst, seed).with_duration(SimDuration::from_secs(300))
+}
+
+fn check_global_invariants(stats: &RunStats) {
+    assert!(
+        (0.0..=1.0 + 1e-9).contains(&stats.goodput),
+        "goodput in [0,1]: {}",
+        stats.goodput
+    );
+    assert!(stats.energy_j.is_finite() && stats.energy_j >= 0.0);
+    assert!(
+        stats.energy_header_j >= stats.energy_j,
+        "header accounting only adds energy"
+    );
+    assert!(stats.mean_delay_s >= 0.0);
+    let m = &stats.metrics;
+    assert!(
+        m.delivered_packets <= m.generated_packets,
+        "no packet creation out of thin air"
+    );
+    assert_eq!(
+        m.delivered_packets + m.drops_mac + m.drops_buffer + m.residual_packets,
+        m.generated_packets,
+        "exact conservation: delivered {} + mac {} + buffer {} + residual {} == generated {}",
+        m.delivered_packets,
+        m.drops_mac,
+        m.drops_buffer,
+        m.residual_packets,
+        m.generated_packets
+    );
+}
+
+#[test]
+fn all_models_satisfy_invariants() {
+    for model in [ModelKind::Sensor, ModelKind::Dot11, ModelKind::DualRadio] {
+        for senders in [5, 20] {
+            let stats = small_grid(model, senders, 100, 1).run();
+            check_global_invariants(&stats);
+            assert!(stats.metrics.delivered_packets > 0, "{model:?} delivers");
+        }
+    }
+}
+
+#[test]
+fn identical_seeds_are_bit_identical() {
+    let a = small_grid(ModelKind::DualRadio, 10, 500, 7).run();
+    let b = small_grid(ModelKind::DualRadio, 10, 500, 7).run();
+    assert_eq!(a.goodput, b.goodput);
+    assert_eq!(a.energy_j, b.energy_j);
+    assert_eq!(a.mean_delay_s, b.mean_delay_s);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.metrics.collisions, b.metrics.collisions);
+}
+
+#[test]
+fn delay_respects_physics() {
+    // A delivered packet can never be faster than one frame airtime.
+    let stats = small_grid(ModelKind::Sensor, 5, 10, 2).run();
+    let min_airtime = bcp::radio::profile::micaz().frame_airtime(32).as_secs_f64();
+    assert!(
+        stats.mean_delay_s >= min_airtime,
+        "mean delay {} below one airtime {}",
+        stats.mean_delay_s,
+        min_airtime
+    );
+}
+
+#[test]
+fn dual_radio_buffering_delay_scales_with_burst() {
+    // Larger α·s* must increase mean delay (the paper's central trade-off).
+    let d100 = small_grid(ModelKind::DualRadio, 5, 100, 3).run();
+    let d1000 = small_grid(ModelKind::DualRadio, 5, 1000, 3).run();
+    assert!(
+        d1000.mean_delay_s > d100.mean_delay_s * 2.0,
+        "burst 1000 delay {} should dwarf burst 100 delay {}",
+        d1000.mean_delay_s,
+        d100.mean_delay_s
+    );
+}
+
+#[test]
+fn sensor_model_collapses_under_contention_dual_does_not() {
+    // Paper Fig. 5: "the goodput [of the sensor model] degrades very fast
+    // as the number of senders increases".
+    let s5 = small_grid(ModelKind::Sensor, 5, 10, 4).run();
+    let s35 = small_grid(ModelKind::Sensor, 35, 10, 4).run();
+    assert!(
+        s35.goodput < s5.goodput - 0.2,
+        "sensor: {} -> {}",
+        s5.goodput,
+        s35.goodput
+    );
+    let d5 = small_grid(ModelKind::DualRadio, 5, 100, 4).run();
+    let d35 = small_grid(ModelKind::DualRadio, 35, 100, 4).run();
+    assert!(
+        d35.goodput > d5.goodput - 0.25,
+        "dual radio holds up: {} -> {}",
+        d5.goodput,
+        d35.goodput
+    );
+}
+
+#[test]
+fn dot11_energy_dwarfs_everything() {
+    // The paper excludes the 802.11 model from energy plots for this
+    // reason; verify the reason.
+    let dot11 = small_grid(ModelKind::Dot11, 10, 10, 5).run();
+    let sensor = small_grid(ModelKind::Sensor, 10, 10, 5).run();
+    assert!(
+        dot11.energy_j > sensor.energy_j * 20.0,
+        "always-on 802.11 {} J vs sensor {} J",
+        dot11.energy_j,
+        sensor.energy_j
+    );
+}
+
+#[test]
+fn multi_hop_advantage_over_single_hop() {
+    // Fig. 9 vs Fig. 6: with the hop advantage, even small bursts help
+    // because one 802.11 hop replaces several sensor hops.
+    let sh = Scenario::single_hop(ModelKind::DualRadio, 15, 100, 6)
+        .with_duration(SimDuration::from_secs(300))
+        .run();
+    let mh = Scenario::multi_hop(ModelKind::DualRadio, 15, 100, 6)
+        .with_duration(SimDuration::from_secs(300))
+        .run();
+    assert!(
+        mh.j_per_kbit < sh.j_per_kbit,
+        "hop advantage: MH {} vs SH {}",
+        mh.j_per_kbit,
+        sh.j_per_kbit
+    );
+}
+
+#[test]
+fn wakeups_scale_inversely_with_burst_size() {
+    let small_burst = small_grid(ModelKind::DualRadio, 5, 100, 8).run();
+    let big_burst = small_grid(ModelKind::DualRadio, 5, 1000, 8).run();
+    assert!(
+        small_burst.metrics.radio_wakeups > big_burst.metrics.radio_wakeups,
+        "bigger bursts wake the radio less: {} vs {}",
+        small_burst.metrics.radio_wakeups,
+        big_burst.metrics.radio_wakeups
+    );
+}
+
+#[test]
+fn traffic_cutoff_and_flush_drain_everything() {
+    let mut s = Scenario::single_hop(ModelKind::DualRadio, 1, 500, 9);
+    s.topo = Topology::line(2, 40.0);
+    s.sink = NodeId(0);
+    s.senders = vec![NodeId(1)];
+    s.duration = SimDuration::from_secs(400);
+    let s = s.with_traffic_cutoff(SimDuration::from_secs(200), true);
+    let stats = s.run();
+    let m = &stats.metrics;
+    assert_eq!(
+        m.residual_packets, 0,
+        "flush leaves nothing behind: {} of {} delivered, {} residual",
+        m.delivered_packets,
+        m.generated_packets,
+        m.residual_packets
+    );
+}
+
+#[test]
+fn larger_grid_still_works() {
+    // Beyond the paper: a 8×8 deployment, checking nothing in the stack
+    // assumes 36 nodes.
+    let topo = Topology::grid(8, 40.0);
+    let sink = NodeId(27); // near centre
+    let senders = Scenario::pick_senders(&topo, sink, 20);
+    let mut s = Scenario::single_hop(ModelKind::DualRadio, 5, 100, 10);
+    s.topo = topo;
+    s.sink = sink;
+    s.senders = senders;
+    s.duration = SimDuration::from_secs(200);
+    let stats = s.run();
+    check_global_invariants(&stats);
+    assert!(stats.goodput > 0.3, "goodput {}", stats.goodput);
+}
+
+#[test]
+fn line_topology_multihop_relay_chain() {
+    // The paper's Section 2 multi-hop geometry: 6 nodes in a 200 m line,
+    // sender at the far end, everything relayed.
+    let mut s = Scenario::multi_hop(ModelKind::DualRadio, 1, 50, 11);
+    s.topo = Topology::line(6, 40.0);
+    s.sink = NodeId(0);
+    s.senders = vec![NodeId(5)];
+    s.duration = SimDuration::from_secs(300);
+    let stats = s.run();
+    check_global_invariants(&stats);
+    assert!(stats.goodput > 0.5, "goodput {}", stats.goodput);
+    // Cabletron spans the whole line: one high hop, so wakeups happen at
+    // the sender (and its relays only for control).
+    assert!(stats.metrics.radio_wakeups > 0);
+}
+
+#[test]
+fn delay_bound_fallback_bounds_latency_at_energy_cost() {
+    // Section 5 future work: with a delay bound, data that would sit in a
+    // half-full burst buffer goes out over the low radio instead.
+    let mut slow = Scenario::single_hop(ModelKind::DualRadio, 1, 2500, 12);
+    slow.topo = Topology::line(2, 40.0);
+    slow.sink = NodeId(0);
+    slow.senders = vec![NodeId(1)];
+    slow.rate_bps = 200.0; // 80 KB burst would need ~53 min to fill
+    slow.duration = SimDuration::from_secs(1_000);
+    let pure = slow.clone().run();
+    let mut bounded = slow;
+    bounded.bcp = bounded.bcp.with_delay_bound(SimDuration::from_secs(30));
+    let bounded = bounded.run();
+    // Pure BCP delivers (almost) nothing: the burst never fills.
+    assert!(
+        pure.metrics.delivered_packets < bounded.metrics.delivered_packets / 2,
+        "fallback rescues stranded data: {} vs {}",
+        pure.metrics.delivered_packets,
+        bounded.metrics.delivered_packets
+    );
+    assert!(
+        bounded.mean_delay_s < 60.0,
+        "latency bounded: {}",
+        bounded.mean_delay_s
+    );
+    assert!(bounded.goodput > 0.8, "goodput {}", bounded.goodput);
+}

@@ -1,0 +1,163 @@
+//! Property-based tests over the protocol stack's invariants.
+
+use bcp::core::buffer::NextHopBuffers;
+use bcp::core::frag::{pack_frames, total_bytes, Reassembly};
+use bcp::core::msg::{AppPacket, BurstId};
+use bcp::net::addr::NodeId;
+use bcp::sim::rng::Rng;
+use bcp::sim::stats::Welford;
+use bcp::sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_packet_sizes() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=1024, 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pack_frames_is_order_preserving_partition(sizes in arb_packet_sizes()) {
+        let packets: Vec<AppPacket> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| AppPacket::new(NodeId(1), NodeId(0), i as u64, SimTime::ZERO, b))
+            .collect();
+        let frames = pack_frames(packets.clone(), 1024);
+        // Partition: flattening returns the exact input sequence.
+        let flat: Vec<AppPacket> = frames.iter().flatten().copied().collect();
+        prop_assert_eq!(flat, packets);
+        // Every frame respects the cap and is non-empty.
+        for f in &frames {
+            prop_assert!(!f.is_empty());
+            prop_assert!(total_bytes(f) <= 1024);
+        }
+    }
+
+    #[test]
+    fn pack_frames_is_greedy_dense(sizes in prop::collection::vec(1usize..=512, 1..100)) {
+        let packets: Vec<AppPacket> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| AppPacket::new(NodeId(1), NodeId(0), i as u64, SimTime::ZERO, b))
+            .collect();
+        let frames = pack_frames(packets, 1024);
+        // Greedy property: no packet could move one frame earlier.
+        for w in frames.windows(2) {
+            let head_next = w[1].first().expect("frames non-empty");
+            prop_assert!(
+                total_bytes(&w[0]) + head_next.bytes > 1024,
+                "packet should have been packed into the previous frame"
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_conservation_under_random_ops(
+        ops in prop::collection::vec((0u8..2, 0u32..4, 1usize..64), 1..300),
+        cap in 256usize..8192,
+    ) {
+        let mut buf = NextHopBuffers::new(cap);
+        let mut seq = 0u64;
+        for (op, hop, arg) in ops {
+            let hop = NodeId(hop);
+            match op {
+                0 => {
+                    let pkt = AppPacket::new(NodeId(9), NodeId(0), seq, SimTime::ZERO, 32);
+                    seq += 1;
+                    let _ = buf.push(hop, pkt);
+                }
+                _ => {
+                    let _ = buf.take_up_to(hop, arg * 32);
+                }
+            }
+            buf.check_conservation();
+            prop_assert!(buf.total_bytes() <= cap);
+        }
+    }
+
+    #[test]
+    fn reassembly_completes_iff_all_frames_seen(
+        n_frames in 1u32..40,
+        order_seed in any::<u64>(),
+    ) {
+        let mut order: Vec<u32> = (0..n_frames).collect();
+        let mut rng = Rng::new(order_seed);
+        rng.shuffle(&mut order);
+        let mut r = Reassembly::new(BurstId::new(NodeId(1), 0), n_frames);
+        for (k, &idx) in order.iter().enumerate() {
+            prop_assert!(!r.is_complete());
+            let pkt = AppPacket::new(NodeId(1), NodeId(0), idx as u64, SimTime::ZERO, 32);
+            prop_assert!(r.record_frame(idx, &[pkt]), "fresh frame accepted");
+            prop_assert_eq!(r.frames_received(), k as u32 + 1);
+        }
+        prop_assert!(r.is_complete());
+        prop_assert_eq!(r.packets_received(), n_frames as u64);
+    }
+
+    #[test]
+    fn welford_matches_naive_computation(xs in prop::collection::vec(-1e6f64..1e6, 2..100)) {
+        let w: Welford = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        prop_assert!((w.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((w.sample_variance() - var).abs() <= 1e-6 * var.abs().max(1.0));
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible_and_bounded(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        for _ in 0..50 {
+            let x = a.range_u64(lo, lo + span);
+            prop_assert_eq!(x, b.range_u64(lo, lo + span));
+            prop_assert!((lo..lo + span).contains(&x));
+        }
+    }
+
+    #[test]
+    fn breakeven_monotone_in_idle_time(idle_ms in 0u64..5_000) {
+        use bcp::analysis::DualRadioLink;
+        use bcp::radio::profile::{lucent_11m, micaz};
+        let base = DualRadioLink::new(micaz(), lucent_11m());
+        let with_idle = base
+            .clone()
+            .with_idle_time(SimDuration::from_millis(idle_ms));
+        let s0 = base.break_even_bytes().unwrap();
+        let s1 = with_idle.break_even_bytes().unwrap();
+        prop_assert!(s1 >= s0, "idle can only raise s*: {s0} -> {s1} at {idle_ms} ms");
+    }
+
+    #[test]
+    fn breakeven_crossover_is_genuine(extra_idle_ms in 0u64..100) {
+        use bcp::analysis::DualRadioLink;
+        use bcp::radio::profile::{lucent_11m, micaz};
+        let link = DualRadioLink::new(micaz(), lucent_11m())
+            .with_idle_time(SimDuration::from_millis(extra_idle_ms));
+        if let Some(s) = link.break_even_bytes_exact(1 << 22) {
+            prop_assert!(link.energy_high(s) <= link.energy_low(s));
+            if s > 1 {
+                prop_assert!(link.energy_high(s - 1) > link.energy_low(s - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn energy_ledger_total_is_sum_of_buckets(transitions in prop::collection::vec((0usize..7, 1u64..10_000), 1..50)) {
+        use bcp::radio::energy::{EnergyBucket, EnergyLedger};
+        use bcp::radio::units::Power;
+        let mut ledger = EnergyLedger::new(SimTime::ZERO, EnergyBucket::Idle, Power::from_milliwatts(10.0));
+        let mut t = SimTime::ZERO;
+        for (bucket_idx, dt_us) in transitions {
+            t += SimDuration::from_micros(dt_us);
+            let bucket = EnergyBucket::ALL[bucket_idx];
+            ledger.transition(t, bucket, Power::from_milliwatts(bucket_idx as f64 * 7.0));
+        }
+        let report = ledger.snapshot(t);
+        let sum: f64 = EnergyBucket::ALL
+            .iter()
+            .map(|b| report.of(*b).as_joules())
+            .sum();
+        prop_assert!((report.total().as_joules() - sum).abs() < 1e-12);
+    }
+}
