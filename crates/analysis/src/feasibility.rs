@@ -13,9 +13,7 @@
 //!   flatten ("the majority of savings are obtained when n = 10").
 
 use crate::model::DualRadioLink;
-use bcp_radio::profile::{
-    cabletron, lucent_11m, lucent_2m, mica, mica2, micaz, RadioProfile,
-};
+use bcp_radio::profile::{cabletron, lucent_11m, lucent_2m, mica, mica2, micaz, RadioProfile};
 use bcp_sim::stats::Series;
 use bcp_sim::time::SimDuration;
 
@@ -25,7 +23,10 @@ use bcp_sim::time::SimDuration;
 ///
 /// Panics unless `0 < lo < hi` and `n >= 2`.
 pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
-    assert!(lo > 0.0 && hi > lo && n >= 2, "bad logspace({lo}, {hi}, {n})");
+    assert!(
+        lo > 0.0 && hi > lo && n >= 2,
+        "bad logspace({lo}, {hi}, {n})"
+    );
     let (la, lb) = (lo.ln(), hi.ln());
     (0..n)
         .map(|i| (la + (lb - la) * i as f64 / (n - 1) as f64).exp())
@@ -130,8 +131,10 @@ pub fn bulk_savings_fraction(link: &DualRadioLink, n: usize) -> f64 {
 /// **Figure 4**: fraction of energy saved vs burst size (packets), for the
 /// three 802.11 cards, with and without 100 ms of idle per awake period.
 pub fn fig4_savings_vs_burst() -> Vec<Series> {
-    let ns: Vec<usize> = [1usize, 2, 3, 5, 7, 10, 15, 20, 30, 50, 70, 100, 150, 200, 300, 500, 700, 1000]
-        .to_vec();
+    let ns: Vec<usize> = [
+        1usize, 2, 3, 5, 7, 10, 15, 20, 30, 50, 70, 100, 150, 200, 300, 500, 700, 1000,
+    ]
+    .to_vec();
     let mut out = Vec::new();
     for idle in [false, true] {
         for high in [cabletron(), lucent_2m(), lucent_11m()] {
@@ -288,9 +291,7 @@ mod tests {
             let (_, kb, _) = *s
                 .points()
                 .iter()
-                .min_by(|a, b| {
-                    (a.0 - 1.0).abs().partial_cmp(&(b.0 - 1.0).abs()).unwrap()
-                })
+                .min_by(|a, b| (a.0 - 1.0).abs().partial_cmp(&(b.0 - 1.0).abs()).unwrap())
                 .unwrap();
             assert!(
                 (10.0..2048.0).contains(&kb),
@@ -317,7 +318,10 @@ mod tests {
             (3.0..=4.0).contains(&l2_onset),
             "Lucent(2Mbps)-Micaz onset {l2_onset}"
         );
-        assert!(cab_onset >= l2_onset, "Cabletron is never easier than Lucent-2");
+        assert!(
+            cab_onset >= l2_onset,
+            "Cabletron is never easier than Lucent-2"
+        );
         // Mica/Mica2 pairs are feasible from fp=1.
         assert_eq!(find("Cabletron-Mica").points()[0].0, 1.0);
     }

@@ -9,6 +9,9 @@
 //!   energy, closed-form and exact break-even sizes, multi-hop forward
 //!   progress.
 //! * [`feasibility`] — the parameter sweeps behind Figures 1–4 and Table 1.
+//! * [`lifetime`] — the break-even argument restated in residual energy:
+//!   projected node lifetimes and the burst size beyond which bulk
+//!   transmission extends them.
 //!
 //! # Examples
 //!
@@ -33,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod feasibility;
+pub mod lifetime;
 pub mod model;
 
 pub use model::DualRadioLink;

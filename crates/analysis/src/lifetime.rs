@@ -1,0 +1,141 @@
+//! Analytic lifetime projection: the break-even argument, restated in
+//! residual energy.
+//!
+//! Equations (1)–(2) price one `s`-byte transfer under each strategy; at a
+//! steady offered load that price becomes an average transfer power, and a
+//! battery divided by that power becomes a projected lifetime. The same
+//! crossover that Section 2 finds in joules per transfer reappears here as
+//! the burst size beyond which bulk transmission *extends* node lifetime —
+//! and, plotted over time, as the instant the bulk strategy's residual
+//! energy overtakes the low-radio strategy's.
+//!
+//! The projection deliberately counts only transfer energy (like the
+//! paper's "Sensor-ideal" accounting): both strategies pay the same
+//! low-radio idle floor, which cancels from the comparison.
+
+use crate::model::DualRadioLink;
+use bcp_radio::units::{Energy, Power};
+use bcp_sim::stats::Series;
+
+/// Average *transfer* power of a sender offering `rate_bps`, buffering
+/// into `s_bytes` bursts, under the low-radio (`high = false`) or bulk
+/// (`high = true`) strategy.
+///
+/// # Panics
+///
+/// Panics unless `rate_bps > 0` and `s_bytes > 0`.
+pub fn avg_transfer_power(
+    link: &DualRadioLink,
+    s_bytes: usize,
+    rate_bps: f64,
+    high: bool,
+) -> Power {
+    assert!(rate_bps > 0.0, "need a positive offered load");
+    assert!(s_bytes > 0, "need a positive burst size");
+    let burst_period_s = s_bytes as f64 * 8.0 / rate_bps;
+    let per_burst = if high {
+        link.energy_high(s_bytes)
+    } else {
+        link.energy_low(s_bytes)
+    };
+    Power::from_watts(per_burst.as_joules() / burst_period_s)
+}
+
+/// Projected time (s) until `battery` is spent on transfers alone.
+pub fn projected_lifetime_s(
+    link: &DualRadioLink,
+    s_bytes: usize,
+    rate_bps: f64,
+    battery: Energy,
+    high: bool,
+) -> f64 {
+    battery.as_joules() / avg_transfer_power(link, s_bytes, rate_bps, high).as_watts()
+}
+
+/// Lifetime-extension factor of bursting at `s_bytes` over trickling:
+/// `> 1` exactly when `s_bytes` clears the break-even size (the battery
+/// capacity cancels).
+pub fn lifetime_extension_factor(link: &DualRadioLink, s_bytes: usize, rate_bps: f64) -> f64 {
+    avg_transfer_power(link, s_bytes, rate_bps, false).as_watts()
+        / avg_transfer_power(link, s_bytes, rate_bps, true).as_watts()
+}
+
+/// Residual energy over time under each strategy: two series (`low`,
+/// `bulk`) of `n_points` samples across `horizon_s`, starting from
+/// `battery`. Where the curves cross zero is each strategy's projected
+/// node death; the gap between them is the paper's savings, banked.
+pub fn residual_series(
+    link: &DualRadioLink,
+    s_bytes: usize,
+    rate_bps: f64,
+    battery: Energy,
+    horizon_s: f64,
+    n_points: usize,
+) -> Vec<Series> {
+    let p_low = avg_transfer_power(link, s_bytes, rate_bps, false).as_watts();
+    let p_high = avg_transfer_power(link, s_bytes, rate_bps, true).as_watts();
+    let mut low = Series::new("low-radio");
+    let mut bulk = Series::new("bulk");
+    for i in 0..n_points.max(2) {
+        let t = horizon_s * i as f64 / (n_points.max(2) - 1) as f64;
+        low.push(t, (battery.as_joules() - p_low * t).max(0.0));
+        bulk.push(t, (battery.as_joules() - p_high * t).max(0.0));
+    }
+    vec![low, bulk]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcp_radio::profile::{lucent_11m, micaz};
+
+    fn link() -> DualRadioLink {
+        DualRadioLink::new(micaz(), lucent_11m())
+    }
+
+    #[test]
+    fn extension_crosses_one_at_the_breakeven_size() {
+        let link = link();
+        let s_star = link.break_even_bytes().expect("feasible pairing") as usize;
+        // Below break-even bursting shortens life; above, it extends it.
+        let below = lifetime_extension_factor(&link, s_star / 2, 2_000.0);
+        let above = lifetime_extension_factor(&link, s_star * 4, 2_000.0);
+        assert!(below < 1.0, "sub-break-even bursts cost life: {below}");
+        assert!(above > 1.0, "super-break-even bursts extend life: {above}");
+    }
+
+    #[test]
+    fn projected_lifetime_scales_linearly_with_battery() {
+        let link = link();
+        let one = projected_lifetime_s(&link, 4096, 2_000.0, Energy::from_joules(10.0), true);
+        let two = projected_lifetime_s(&link, 4096, 2_000.0, Energy::from_joules(20.0), true);
+        assert!((two / one - 2.0).abs() < 1e-9);
+        assert!(one > 0.0 && one.is_finite());
+    }
+
+    #[test]
+    fn residual_curves_start_full_and_deplete() {
+        let link = link();
+        let series = residual_series(&link, 4096, 2_000.0, Energy::from_joules(5.0), 1e5, 20);
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            let pts = s.points();
+            assert!((pts.first().unwrap().1 - 5.0).abs() < 1e-9, "starts full");
+            assert!(pts.last().unwrap().1 < 5.0, "drains over the horizon");
+            assert!(pts.iter().all(|p| p.1 >= 0.0), "residual never negative");
+        }
+        // Beyond break-even, the bulk strategy holds more charge at every
+        // sampled instant after t=0.
+        let low = &series[0];
+        let bulk = &series[1];
+        for (l, b) in low.points().iter().zip(bulk.points()).skip(1) {
+            assert!(b.1 >= l.1, "bulk banks the savings: {} vs {}", b.1, l.1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive offered load")]
+    fn zero_rate_rejected() {
+        let _ = avg_transfer_power(&link(), 1024, 0.0, true);
+    }
+}

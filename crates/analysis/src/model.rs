@@ -421,6 +421,9 @@ mod tests {
         let el = link.energy_low(s).as_joules();
         let frame_slop = link.low.link_energy(link.low.max_payload).as_joules()
             + link.high.link_energy(link.high.max_payload).as_joules();
-        assert!((eh - el).abs() <= frame_slop, "|{eh} - {el}| > {frame_slop}");
+        assert!(
+            (eh - el).abs() <= frame_slop,
+            "|{eh} - {el}| > {frame_slop}"
+        );
     }
 }

@@ -88,10 +88,7 @@ impl AdaptiveThreshold {
     /// the adapted link has no break-even (the high radio has become so
     /// lossy it never pays off).
     pub fn threshold_bytes(&self) -> usize {
-        let adapted = self
-            .link
-            .clone()
-            .with_retx(self.ewma_low, self.ewma_high);
+        let adapted = self.link.clone().with_retx(self.ewma_low, self.ewma_high);
         match adapted.break_even_bytes() {
             Some(s) => (self.alpha * s).ceil() as usize,
             None => self.fallback_bytes,
@@ -160,7 +157,11 @@ mod tests {
         assert!(a.high_radio_viable());
         a.observe_high(10.0);
         assert!(!a.high_radio_viable());
-        assert_eq!(a.threshold_bytes(), 10 * 1024, "falls back to rule of thumb");
+        assert_eq!(
+            a.threshold_bytes(),
+            10 * 1024,
+            "falls back to rule of thumb"
+        );
     }
 
     #[test]

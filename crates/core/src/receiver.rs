@@ -204,7 +204,12 @@ impl BcpReceiver {
     }
 
     /// The data-arrival timer fired: close the session and the radio.
-    pub fn on_data_timeout(&mut self, _now: SimTime, burst: BurstId, out: &mut Vec<ReceiverAction>) {
+    pub fn on_data_timeout(
+        &mut self,
+        _now: SimTime,
+        burst: BurstId,
+        out: &mut Vec<ReceiverAction>,
+    ) {
         let Some(pos) = self.sessions.iter().position(|s| s.burst == burst) else {
             return;
         };

@@ -537,9 +537,7 @@ mod tests {
         s.on_data(SimTime::ZERO, NodeId(1), pkt(9), &mut out);
         match &out[..] {
             [SenderAction::SendWakeUp {
-                to,
-                burst_bytes,
-                ..
+                to, burst_bytes, ..
             }, SenderAction::ArmAckTimer { .. }] => {
                 assert_eq!(*to, NodeId(1));
                 assert_eq!(*burst_bytes, 320);
@@ -562,9 +560,12 @@ mod tests {
         s.on_high_radio_ready(SimTime::ZERO, burst, &mut out);
         // 320 B at 128 B/frame = 3 frames (4+4+2 packets); first is sent.
         let (count, first_len) = match &out[..] {
-            [SenderAction::SendBurstFrame { count, packets, index: 0, .. }] => {
-                (*count, packets.len())
-            }
+            [SenderAction::SendBurstFrame {
+                count,
+                packets,
+                index: 0,
+                ..
+            }] => (*count, packets.len()),
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(count, 3);
@@ -582,7 +583,8 @@ mod tests {
         s.on_frame_outcome(SimTime::ZERO, burst, true, &mut out);
         assert!(out.contains(&SenderAction::ReleaseHighRadio { burst }));
         assert!(matches!(
-            out.iter().find(|a| matches!(a, SenderAction::SessionDone { .. })),
+            out.iter()
+                .find(|a| matches!(a, SenderAction::SessionDone { .. })),
             Some(SenderAction::SessionDone {
                 delivered_packets: 10,
                 delivered_bytes: 320,
@@ -736,12 +738,10 @@ mod tests {
             s.on_data(SimTime::ZERO, NodeId(2), pkt(i), &mut out);
         }
         let (burst, _) = (
-            match out
-                .iter()
-                .find_map(|a| match a {
-                    SenderAction::SendWakeUp { burst, .. } => Some(*burst),
-                    _ => None,
-                }) {
+            match out.iter().find_map(|a| match a {
+                SenderAction::SendWakeUp { burst, .. } => Some(*burst),
+                _ => None,
+            }) {
                 Some(b) => b,
                 None => panic!("no wakeup"),
             },
@@ -777,7 +777,13 @@ mod tests {
         s.flush(SimTime::ZERO, &mut out);
         assert!(s.is_draining());
         assert!(
-            matches!(&out[0], SenderAction::SendWakeUp { burst_bytes: 96, .. }),
+            matches!(
+                &out[0],
+                SenderAction::SendWakeUp {
+                    burst_bytes: 96,
+                    ..
+                }
+            ),
             "flush starts a sub-threshold handshake: {out:?}"
         );
         // And new arrivals during drain trigger immediately after the
@@ -791,7 +797,9 @@ mod tests {
         s.on_high_radio_ready(SimTime::ZERO, burst, &mut out);
         out.clear();
         s.on_frame_outcome(SimTime::ZERO, burst, true, &mut out);
-        assert!(out.iter().any(|a| matches!(a, SenderAction::SessionDone { .. })));
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, SenderAction::SessionDone { .. })));
         assert_eq!(s.buffers().total_bytes(), 0, "fully drained");
     }
 

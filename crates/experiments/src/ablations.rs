@@ -45,8 +45,20 @@ fn averaged(
 pub fn shortcuts(q: Quality) -> Output {
     let listen = SimDuration::from_millis(200);
     let modes: [(&str, HighRoute); 3] = [
-        ("low-parents", HighRoute::LowParents { shortcuts: false, listen }),
-        ("with-shortcuts", HighRoute::LowParents { shortcuts: true, listen }),
+        (
+            "low-parents",
+            HighRoute::LowParents {
+                shortcuts: false,
+                listen,
+            },
+        ),
+        (
+            "with-shortcuts",
+            HighRoute::LowParents {
+                shortcuts: true,
+                listen,
+            },
+        ),
         ("bfs-tree", HighRoute::Tree),
     ];
     let mut energy = Vec::new();
@@ -104,12 +116,10 @@ pub fn overhearing(q: Quality) -> Output {
         xlabel: "senders".into(),
         ylabel: "Normalized energy (J/Kbit)".into(),
         series: vec![ideal, header, full],
-        notes: vec![
-            "ideal charges tx+rx only; header adds per-frame header \
+        notes: vec!["ideal charges tx+rx only; header adds per-frame header \
              overhearing (the paper's second model); full charges whole \
              overheard frames"
-                .into(),
-        ],
+            .into()],
     }
 }
 
@@ -185,11 +195,9 @@ pub fn adaptive(q: Quality) -> Output {
         xlabel: "high_radio_loss".into(),
         ylabel: "Normalized energy (J/Kbit)".into(),
         series: vec![static_s, adaptive_s],
-        notes: vec![
-            "adaptive thresholds grow with observed retransmissions \
+        notes: vec!["adaptive thresholds grow with observed retransmissions \
              (the paper's stated future work, Section 3)"
-                .into(),
-        ],
+            .into()],
     }
 }
 

@@ -28,6 +28,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablations;
+pub mod lifetime;
 pub mod output;
 pub mod registry;
 pub mod suite;

@@ -1,0 +1,144 @@
+//! Network-lifetime experiment: the J/Kbit savings of Figs. 6 and 9, recast
+//! as the quantity they exist to serve — how long the network lives.
+//!
+//! Every node gets the same finite battery; the sweep compares **time to
+//! first death** across the paper's three stacks (Sensor, 802.11,
+//! DualRadio/BCP) as the battery capacity grows. The always-on 802.11
+//! model burns its idle power and dies an order of magnitude earlier;
+//! BCP tracks the sensor baseline while moving bulk data — the paper's
+//! energy argument, as a lifetime-extension headline.
+
+use crate::output::Output;
+use crate::suite::{run_parallel, Quality};
+use bcp_power::{Battery, PowerConfig};
+use bcp_sim::stats::{mean_ci95, Series};
+use bcp_simnet::{ModelKind, Scenario};
+
+/// The battery-capacity axis (J): fractions of the energy a MicaZ-class
+/// node idles away over the run, so deaths land inside the simulated
+/// window at every quality.
+pub fn capacities(q: Quality) -> Vec<f64> {
+    let idle_w = bcp_radio::profile::micaz().p_idle.as_watts();
+    let horizon = q.duration().as_secs_f64();
+    let fractions: &[f64] = match q {
+        Quality::Test => &[0.3, 0.6],
+        _ => &[0.2, 0.4, 0.6, 0.8],
+    };
+    fractions.iter().map(|f| f * idle_w * horizon).collect()
+}
+
+fn senders(q: Quality) -> usize {
+    match q {
+        Quality::Test => 5,
+        _ => 15,
+    }
+}
+
+/// The registered `lifetime` experiment.
+pub fn lifetime(q: Quality) -> Output {
+    let models: [(&str, ModelKind, usize); 3] = [
+        ("Sensor", ModelKind::Sensor, 10),
+        ("802.11", ModelKind::Dot11, 10),
+        ("DualRadio-100", ModelKind::DualRadio, 100),
+    ];
+    let horizon = q.duration().as_secs_f64();
+    let caps = capacities(q);
+    let mut series = Vec::new();
+    let mut survived = 0usize;
+    for (label, model, burst) in models {
+        let mut s = Series::new(label);
+        for &cap in &caps {
+            let jobs: Vec<Scenario> = (0..q.runs() as u64)
+                .map(|seed| {
+                    let mut sc = Scenario::single_hop(model, senders(q), burst, seed + 1)
+                        .with_duration(q.duration());
+                    sc.power = PowerConfig::with_battery(Battery::ideal_joules(cap));
+                    sc
+                })
+                .collect();
+            let stats = run_parallel(jobs);
+            // Censor survivors at the horizon rather than dropping them:
+            // "lived at least this long" still orders the models.
+            let ttfd: Vec<f64> = stats
+                .iter()
+                .map(|r| {
+                    if r.time_to_first_death_s.is_none() {
+                        survived += 1;
+                    }
+                    r.time_to_first_death_s.unwrap_or(horizon)
+                })
+                .collect();
+            let (mean, ci) = mean_ci95(&ttfd);
+            s.push_with_ci(cap, mean, ci);
+        }
+        series.push(s);
+    }
+    let mut notes = vec![
+        "every node carries the same ideal battery; the sink is mains-powered".into(),
+        format!(
+            "{} runs per point, {} s horizon; y = time to first node death",
+            q.runs(),
+            horizon
+        ),
+    ];
+    if survived > 0 {
+        notes.push(format!(
+            "{survived} run(s) ended with every node alive; censored at the horizon"
+        ));
+    }
+    Output::Figure {
+        xlabel: "battery_J".into(),
+        ylabel: "Time to first death (s)".into(),
+        series,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_axis_scales_with_quality() {
+        let test = capacities(Quality::Test);
+        let quick = capacities(Quality::Quick);
+        assert_eq!(test.len(), 2);
+        assert_eq!(quick.len(), 4);
+        // Fractions of the idle budget: everything dies inside the run.
+        let idle_budget =
+            bcp_radio::profile::micaz().p_idle.as_watts() * Quality::Test.duration().as_secs_f64();
+        assert!(test.iter().all(|&c| c < idle_budget));
+    }
+
+    #[test]
+    fn lifetime_ordering_matches_the_papers_energy_story() {
+        let out = lifetime(Quality::Test);
+        let Output::Figure { series, .. } = &out else {
+            panic!("lifetime renders a figure");
+        };
+        let get = |label: &str| {
+            series
+                .iter()
+                .find(|s| s.label() == label)
+                .unwrap_or_else(|| panic!("{label} missing"))
+        };
+        for (_, cap, _) in get("Sensor").points() {
+            assert!(*cap >= 0.0);
+        }
+        // At the largest capacity: the always-on 802.11 network dies far
+        // sooner than the sensor baseline; BCP lives in the same league
+        // as the sensor network.
+        let at_max = |label: &str| get(label).points().last().unwrap().1;
+        let sensor = at_max("Sensor");
+        let dot11 = at_max("802.11");
+        let dual = at_max("DualRadio-100");
+        assert!(
+            dot11 * 5.0 < sensor,
+            "always-on idling kills early: 802.11 {dot11} vs sensor {sensor}"
+        );
+        assert!(
+            dual > dot11 * 5.0,
+            "BCP lives several times longer than 802.11: {dual} vs {dot11}"
+        );
+    }
+}

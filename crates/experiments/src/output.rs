@@ -183,7 +183,10 @@ mod tests {
         assert!(r.contains("senders"));
         assert!(r.contains("0.25±0.01"));
         // Row for x=10 exists but B has no point there (blank cell).
-        let row10: Vec<&str> = r.lines().filter(|l| l.trim_start().starts_with("10")).collect();
+        let row10: Vec<&str> = r
+            .lines()
+            .filter(|l| l.trim_start().starts_with("10"))
+            .collect();
         assert_eq!(row10.len(), 1);
     }
 

@@ -104,6 +104,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Ablation — static vs retransmission-adaptive thresholds",
             run: ablations::adaptive,
         },
+        Experiment {
+            id: "lifetime",
+            title: "Lifetime — time to first death vs battery capacity (finite energy)",
+            run: crate::lifetime::lifetime,
+        },
     ]
 }
 
@@ -140,9 +145,7 @@ fn fig1(_q: Quality) -> Output {
         xlabel: "KB".into(),
         ylabel: "Energy consumption (mJ)".into(),
         series: feasibility::fig1_energy_vs_size(),
-        notes: vec![
-            "sensor-only lines use Eq. (1); card-Micaz lines use Eq. (2)".into(),
-        ],
+        notes: vec!["sensor-only lines use Eq. (1); card-Micaz lines use Eq. (2)".into()],
     }
 }
 
@@ -160,9 +163,7 @@ fn fig3(_q: Quality) -> Output {
         xlabel: "fp_hops".into(),
         ylabel: "Break-even data size (KB)".into(),
         series: feasibility::fig3_breakeven_vs_fp(),
-        notes: vec![
-            "absent points = infeasible pairing at that forward progress".into(),
-        ],
+        notes: vec!["absent points = infeasible pairing at that forward progress".into()],
     }
 }
 
@@ -276,8 +277,8 @@ mod tests {
         assert_eq!(
             paper,
             vec![
-                "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-                "fig9", "fig10", "fig11", "fig12"
+                "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+                "fig10", "fig11", "fig12"
             ],
             "one entry per table/figure of the paper"
         );
@@ -285,6 +286,7 @@ mod tests {
             ids.iter().filter(|i| i.starts_with("ablation-")).count() >= 4,
             "ablations registered"
         );
+        assert!(ids.contains(&"lifetime"), "lifetime experiment registered");
     }
 
     #[test]

@@ -128,8 +128,7 @@ pub fn run_parallel(jobs: Vec<Scenario>) -> Vec<RunStats> {
         .unwrap_or(4)
         .min(jobs.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<RunStats>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<RunStats>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
             scope.spawn(|| loop {
@@ -154,7 +153,14 @@ pub type SweepData = HashMap<(Cell, usize), CellStats>;
 /// Memo key → sweep results (one entry per (geometry, rate, quality)).
 type SweepMemo = HashMap<(Hop, RateMode, Quality), SweepData>;
 
-fn build_scenario(hop: Hop, cell: Cell, senders: usize, seed: u64, q: Quality, rate: f64) -> Scenario {
+fn build_scenario(
+    hop: Hop,
+    cell: Cell,
+    senders: usize,
+    seed: u64,
+    q: Quality,
+    rate: f64,
+) -> Scenario {
     let (model, burst) = match cell {
         Cell::Sensor => (ModelKind::Sensor, 10),
         Cell::Dot11 => (ModelKind::Dot11, 10),

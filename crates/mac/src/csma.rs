@@ -601,9 +601,9 @@ mod tests {
                     }
                     MacAction::StartTx(f) => self.tx.push((self.now, f)),
                     MacAction::Deliver(f) => self.delivered.push(f),
-                    MacAction::TxOutcome { id, ok, attempts, .. } => {
-                        self.outcomes.push((id, ok, attempts))
-                    }
+                    MacAction::TxOutcome {
+                        id, ok, attempts, ..
+                    } => self.outcomes.push((id, ok, attempts)),
                 }
             }
         }
@@ -785,7 +785,7 @@ mod tests {
         h.event(MacEvent::Enqueue(f));
         h.event(MacEvent::Carrier(false));
         h.fire_next_timer(); // DIFS -> Backoff
-        // Interrupt the backoff immediately (zero slots consumed).
+                             // Interrupt the backoff immediately (zero slots consumed).
         h.event(MacEvent::Carrier(true));
         assert!(h.timers.is_empty(), "backoff timer cancelled");
         h.event(MacEvent::Carrier(false));

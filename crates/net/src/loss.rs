@@ -22,8 +22,7 @@ use bcp_sim::rng::Rng;
 /// let mut lossy = LossModel::bernoulli(1.0);
 /// assert!(lossy.is_lost(&mut rng));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum LossModel {
     /// No channel losses (collisions may still occur).
     #[default]
@@ -56,7 +55,10 @@ impl LossModel {
     ///
     /// Panics unless `p ∈ [0, 1]`.
     pub fn bernoulli(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability {p} out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} out of range"
+        );
         LossModel::Bernoulli { p }
     }
 
@@ -126,7 +128,6 @@ impl LossModel {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -12,6 +12,19 @@ use crate::addr::NodeId;
 use crate::topo::Topology;
 use std::collections::VecDeque;
 
+/// How routes weigh candidate paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RouteWeight {
+    /// Fewest hops (the paper's BFS trees); ties broken by lowest node id.
+    #[default]
+    ShortestHop,
+    /// Max–min residual energy: among all paths, maximise the *minimum*
+    /// residual energy over the relay nodes, breaking ties by hop count
+    /// then lowest node id. Spreads forwarding load away from nearly-dead
+    /// relays, the classic lifetime-maximising weight.
+    MaxMinResidual,
+}
+
 /// All-pairs shortest-hop routing for one radio range.
 ///
 /// # Examples
@@ -39,13 +52,77 @@ pub struct Routes {
 impl Routes {
     /// Builds shortest-hop routes over the unit-disk graph at `range_m`.
     pub fn shortest_hop(topo: &Topology, range_m: f64) -> Self {
+        Self::shortest_hop_excluding(topo, range_m, &[])
+    }
+
+    /// Shortest-hop routes over the unit-disk graph with `excluded` nodes
+    /// removed (dead nodes neither relay nor terminate routes) — the
+    /// route-repair primitive: after a death, rebuild with the corpse
+    /// excluded and every surviving node routes around it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bcp_net::addr::NodeId;
+    /// use bcp_net::routing::Routes;
+    /// use bcp_net::topo::Topology;
+    ///
+    /// let topo = Topology::grid(3, 10.0);
+    /// // Node 1 (the only 1-hop relay from 2 to 0 besides 3... ) dies:
+    /// let r = Routes::shortest_hop_excluding(&topo, 10.0, &[NodeId(1)]);
+    /// // 2 still reaches 0, but not through 1.
+    /// let path = r.path(NodeId(2), NodeId(0)).expect("rerouted");
+    /// assert!(!path.contains(&NodeId(1)));
+    /// ```
+    pub fn shortest_hop_excluding(topo: &Topology, range_m: f64, excluded: &[NodeId]) -> Self {
         let n = topo.len();
-        let neighbors = topo.neighbor_table(range_m);
+        let neighbors = prune(topo.neighbor_table(range_m), excluded);
         let mut next = Vec::with_capacity(n);
         let mut dist = Vec::with_capacity(n);
         for dst in topo.nodes() {
+            if excluded.contains(&dst) {
+                // A dead destination is unreachable from everywhere.
+                next.push(vec![None; n]);
+                dist.push(vec![None; n]);
+                continue;
+            }
             let (d, parent) = bfs_from(&neighbors, dst, n);
             // parent[src] points one hop toward dst (BFS tree rooted at dst).
+            next.push(parent);
+            dist.push(d);
+        }
+        Routes { n, next, dist }
+    }
+
+    /// Max–min residual-energy routes: each node picks the path to each
+    /// destination whose *bottleneck relay* (the relay with the least
+    /// residual energy, endpoints excluded) is as healthy as possible;
+    /// ties break by hop count, then lowest node id, so routes stay
+    /// deterministic. `residual_j[i]` is node `i`'s remaining energy in
+    /// joules (`f64::INFINITY` for mains-powered nodes); `excluded` nodes
+    /// are dead and carry nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residual_j.len() != topo.len()`.
+    pub fn max_min_residual(
+        topo: &Topology,
+        range_m: f64,
+        residual_j: &[f64],
+        excluded: &[NodeId],
+    ) -> Self {
+        let n = topo.len();
+        assert_eq!(residual_j.len(), n, "one residual per node");
+        let neighbors = prune(topo.neighbor_table(range_m), excluded);
+        let mut next = Vec::with_capacity(n);
+        let mut dist = Vec::with_capacity(n);
+        for dst in topo.nodes() {
+            if excluded.contains(&dst) {
+                next.push(vec![None; n]);
+                dist.push(vec![None; n]);
+                continue;
+            }
+            let (d, parent) = widest_from(&neighbors, residual_j, dst, n);
             next.push(parent);
             dist.push(d);
         }
@@ -79,9 +156,7 @@ impl Routes {
 
     /// `true` when every node can reach every other node.
     pub fn is_connected(&self) -> bool {
-        self.dist
-            .iter()
-            .all(|row| row.iter().all(|d| d.is_some()))
+        self.dist.iter().all(|row| row.iter().all(|d| d.is_some()))
     }
 
     /// The full path from `src` to `dst`, inclusive of both; `None` when
@@ -106,6 +181,89 @@ impl Routes {
     pub fn forward_progress(&self, src: NodeId, dst: NodeId) -> Option<u32> {
         self.hops(src, dst)
     }
+}
+
+/// Removes `excluded` nodes from a neighbour table (both directions).
+fn prune(mut neighbors: Vec<Vec<NodeId>>, excluded: &[NodeId]) -> Vec<Vec<NodeId>> {
+    if excluded.is_empty() {
+        return neighbors;
+    }
+    for (i, list) in neighbors.iter_mut().enumerate() {
+        if excluded.contains(&NodeId(i as u32)) {
+            list.clear();
+        } else {
+            list.retain(|v| !excluded.contains(v));
+        }
+    }
+    neighbors
+}
+
+/// Widest-path (bottleneck) tree rooted at `root`: for every node, the path
+/// toward `root` maximising the minimum residual over *relay* nodes
+/// (endpoints excluded), tie-broken by hop count then lowest parent id.
+/// Runs the O(n²) Dijkstra variant — fine at sensor-network sizes and
+/// allocation-free beyond the label arrays.
+fn widest_from(
+    neighbors: &[Vec<NodeId>],
+    residual_j: &[f64],
+    root: NodeId,
+    n: usize,
+) -> (Vec<Option<u32>>, Vec<Option<NodeId>>) {
+    const UNSET: f64 = f64::NEG_INFINITY;
+    let mut width = vec![UNSET; n];
+    let mut hops: Vec<u32> = vec![u32::MAX; n];
+    let mut toward: Vec<Option<NodeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    width[root.index()] = f64::INFINITY;
+    hops[root.index()] = 0;
+    loop {
+        // Pick the best unfinalised labelled node: widest, then fewest
+        // hops, then lowest id (the scan order breaks the id tie).
+        let mut best: Option<usize> = None;
+        for i in 0..n {
+            if done[i] || width[i] == UNSET {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    if width[i] > width[b] || (width[i] == width[b] && hops[i] < hops[b]) {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        let Some(u) = best else { break };
+        done[u] = true;
+        // Routing *through* u costs u's residual, unless u is the root
+        // (the destination spends no relay energy).
+        let via_u = if u == root.index() {
+            f64::INFINITY
+        } else {
+            width[u].min(residual_j[u])
+        };
+        for &v in &neighbors[u] {
+            let v = v.index();
+            if done[v] {
+                continue;
+            }
+            let better = via_u > width[v]
+                || (via_u == width[v] && hops[u] + 1 < hops[v])
+                || (via_u == width[v]
+                    && hops[u] + 1 == hops[v]
+                    && toward[v].map(|p| u < p.index()).unwrap_or(true));
+            if better {
+                width[v] = via_u;
+                hops[v] = hops[u] + 1;
+                toward[v] = Some(NodeId(u as u32));
+            }
+        }
+    }
+    let dist = hops
+        .into_iter()
+        .map(|h| if h == u32::MAX { None } else { Some(h) })
+        .collect();
+    (dist, toward)
 }
 
 fn bfs_from(
@@ -173,6 +331,12 @@ impl ShortcutTable {
     /// Drops the entry for `dst` (e.g. after a delivery failure).
     pub fn invalidate(&mut self, dst: NodeId) {
         self.entries.retain(|(d, _)| *d != dst);
+    }
+
+    /// Drops every entry learned *through* `via` — route repair when a
+    /// forwarder dies: a shortcut through a corpse is a blackhole.
+    pub fn invalidate_via(&mut self, via: NodeId) {
+        self.entries.retain(|(_, v)| *v != via);
     }
 
     /// Number of learned entries.
@@ -279,6 +443,95 @@ mod tests {
     }
 
     #[test]
+    fn excluding_nodes_reroutes_around_them() {
+        // 3×3 grid, 10 m pitch, 10 m range: orthogonal neighbours only.
+        let topo = Topology::grid(3, 10.0);
+        let full = Routes::shortest_hop(&topo, 10.0);
+        assert_eq!(full.hops(NodeId(8), NodeId(0)), Some(4));
+        // The two centre-adjacent relays 1 and 3 die: corner 8 must route
+        // the long way round and never through a corpse.
+        let dead = [NodeId(1), NodeId(3)];
+        let r = Routes::shortest_hop_excluding(&topo, 10.0, &dead);
+        let path = r.path(NodeId(8), NodeId(0));
+        assert!(
+            path.is_none(),
+            "0 is cut off entirely: its only neighbours died"
+        );
+        // Non-severed pairs still route, avoiding the dead.
+        let p = r.path(NodeId(8), NodeId(2)).expect("2 is reachable");
+        for d in dead {
+            assert!(!p.contains(&d), "path uses dead node {d}");
+        }
+        // Dead nodes are unreachable as destinations and sources.
+        assert_eq!(r.hops(NodeId(8), NodeId(1)), None);
+        assert_eq!(r.hops(NodeId(1), NodeId(8)), None);
+    }
+
+    #[test]
+    fn excluding_nothing_matches_plain_bfs() {
+        let topo = Topology::grid(5, 40.0);
+        assert_eq!(
+            Routes::shortest_hop(&topo, 60.0),
+            Routes::shortest_hop_excluding(&topo, 60.0, &[])
+        );
+    }
+
+    #[test]
+    fn max_min_residual_avoids_drained_relays() {
+        // A 4-node diamond: 0 — {1, 2} — 3, with 1 nearly drained.
+        use crate::topo::Position;
+        let topo = Topology::from_positions(vec![
+            Position::new(0.0, 0.0),   // 0: source side
+            Position::new(10.0, 8.0),  // 1: drained relay
+            Position::new(10.0, -8.0), // 2: healthy relay
+            Position::new(20.0, 0.0),  // 3: destination
+        ]);
+        let range = 14.0; // 0↔1, 0↔2, 1↔3, 2↔3; not 0↔3 (20 m), not 1↔2 (16 m)
+        let residual = [5.0, 0.1, 4.0, f64::INFINITY];
+        let r = Routes::max_min_residual(&topo, range, &residual, &[]);
+        assert_eq!(
+            r.next_hop(NodeId(0), NodeId(3)),
+            Some(NodeId(2)),
+            "routes through the healthy relay"
+        );
+        // Hop counts still come back, and equal-residual ties prefer
+        // fewer hops: from 1 the direct link to 3 wins.
+        assert_eq!(r.hops(NodeId(0), NodeId(3)), Some(2));
+        assert_eq!(r.next_hop(NodeId(1), NodeId(3)), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn max_min_residual_with_equal_energy_degenerates_to_hops() {
+        let topo = Topology::grid(4, 40.0);
+        let residual = vec![100.0; topo.len()];
+        let widest = Routes::max_min_residual(&topo, 40.0, &residual, &[]);
+        let bfs = Routes::shortest_hop(&topo, 40.0);
+        for src in topo.nodes() {
+            for dst in topo.nodes() {
+                assert_eq!(
+                    widest.hops(src, dst),
+                    bfs.hops(src, dst),
+                    "{src}->{dst}: equal residuals must keep shortest hops"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_min_residual_respects_exclusions() {
+        let topo = Topology::line(4, 40.0);
+        let residual = vec![10.0; 4];
+        let r = Routes::max_min_residual(&topo, 40.0, &residual, &[NodeId(1)]);
+        assert_eq!(r.hops(NodeId(3), NodeId(0)), None, "line severed at 1");
+        assert_eq!(r.hops(NodeId(3), NodeId(2)), Some(1));
+    }
+
+    #[test]
+    fn route_weight_default_is_shortest_hop() {
+        assert_eq!(RouteWeight::default(), RouteWeight::ShortestHop);
+    }
+
+    #[test]
     fn shortcut_learning() {
         let mut t = ShortcutTable::new();
         assert!(t.is_empty());
@@ -292,5 +545,17 @@ mod tests {
         assert_eq!(t.len(), 1);
         t.invalidate(dst);
         assert_eq!(t.shortcut(dst), None);
+    }
+
+    #[test]
+    fn invalidate_via_drops_routes_through_a_corpse() {
+        let mut t = ShortcutTable::new();
+        t.learn(NodeId(0), NodeId(3));
+        t.learn(NodeId(7), NodeId(3));
+        t.learn(NodeId(9), NodeId(4));
+        t.invalidate_via(NodeId(3));
+        assert_eq!(t.shortcut(NodeId(0)), None);
+        assert_eq!(t.shortcut(NodeId(7)), None);
+        assert_eq!(t.shortcut(NodeId(9)), Some(NodeId(4)), "other vias survive");
     }
 }

@@ -70,7 +70,10 @@ impl Topology {
         let mut positions = Vec::with_capacity(side * side);
         for row in 0..side {
             for col in 0..side {
-                positions.push(Position::new(col as f64 * spacing_m, row as f64 * spacing_m));
+                positions.push(Position::new(
+                    col as f64 * spacing_m,
+                    row as f64 * spacing_m,
+                ));
             }
         }
         Topology { positions }

@@ -1,0 +1,124 @@
+//! Scenario-level power parameterisation.
+
+use crate::battery::Battery;
+use bcp_sim::time::SimDuration;
+
+/// How a scenario provisions node energy.
+///
+/// The default (`battery: None`) reproduces the paper's evaluation exactly:
+/// nodes meter energy but never run out. Setting a battery turns every run
+/// into a network-lifetime experiment — nodes die when depleted, the
+/// simulator reroutes around the corpses, and
+/// `RunStats` gains `time_to_first_death_s` and friends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerConfig {
+    /// The battery every node starts with; `None` means unlimited energy
+    /// (the paper's setting).
+    pub battery: Option<Battery>,
+    /// When `true` (default), the sink is mains-powered and never dies —
+    /// the usual deployment assumption for lifetime studies.
+    pub sink_unlimited: bool,
+    /// Rebuild routes on this period even without a death — lets the
+    /// energy-aware route weight react to draining relays, not only to
+    /// corpses. `None` reroutes at deaths only.
+    pub reroute_every: Option<SimDuration>,
+    /// Per-node battery overrides by node index (heterogeneous
+    /// provisioning: a starved relay, a solar-backed cluster head, …). An
+    /// override beats both the default battery and `sink_unlimited`.
+    pub overrides: Vec<(usize, Battery)>,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            battery: None,
+            sink_unlimited: true,
+            reroute_every: None,
+            overrides: Vec::new(),
+        }
+    }
+}
+
+impl PowerConfig {
+    /// Unlimited energy (the paper's setting).
+    pub fn unlimited() -> Self {
+        PowerConfig::default()
+    }
+
+    /// Every non-sink node starts with a copy of `battery`.
+    pub fn with_battery(battery: Battery) -> Self {
+        PowerConfig {
+            battery: Some(battery),
+            ..PowerConfig::default()
+        }
+    }
+
+    /// Also gives the sink a battery (no mains power anywhere).
+    pub fn battery_powered_sink(mut self) -> Self {
+        self.sink_unlimited = false;
+        self
+    }
+
+    /// Sets the periodic reroute interval.
+    pub fn with_reroute_every(mut self, every: SimDuration) -> Self {
+        self.reroute_every = Some(every);
+        self
+    }
+
+    /// Gives the node at `node_index` its own battery, overriding the
+    /// default (and `sink_unlimited`, should it be the sink).
+    pub fn with_node_battery(mut self, node_index: usize, battery: Battery) -> Self {
+        self.overrides.retain(|(i, _)| *i != node_index);
+        self.overrides.push((node_index, battery));
+        self
+    }
+
+    /// The battery the node at `node_index` starts with (`None` = mains).
+    pub fn battery_for(&self, node_index: usize, is_sink: bool) -> Option<Battery> {
+        if let Some((_, b)) = self.overrides.iter().find(|(i, _)| *i == node_index) {
+            return Some(b.clone());
+        }
+        if is_sink && self.sink_unlimited {
+            return None;
+        }
+        self.battery.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_papers_unlimited_setting() {
+        let c = PowerConfig::default();
+        assert!(c.battery.is_none());
+        assert!(c.sink_unlimited);
+        assert!(c.reroute_every.is_none());
+        assert_eq!(c, PowerConfig::unlimited());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = PowerConfig::with_battery(Battery::ideal_joules(5.0))
+            .battery_powered_sink()
+            .with_reroute_every(SimDuration::from_secs(30));
+        assert!(c.battery.is_some());
+        assert!(!c.sink_unlimited);
+        assert_eq!(c.reroute_every, Some(SimDuration::from_secs(30)));
+    }
+
+    #[test]
+    fn battery_for_resolves_overrides_sink_and_default() {
+        use crate::battery::BatteryModel;
+        let c = PowerConfig::with_battery(Battery::ideal_joules(5.0))
+            .with_node_battery(3, Battery::ideal_joules(1.0))
+            .with_node_battery(3, Battery::ideal_joules(2.0)); // replaces
+                                                               // Default for ordinary nodes, mains for the sink, override wins.
+        assert_eq!(c.battery_for(0, false).unwrap().capacity().as_joules(), 5.0);
+        assert!(c.battery_for(7, true).is_none());
+        assert_eq!(c.battery_for(3, false).unwrap().capacity().as_joules(), 2.0);
+        // An override even beats sink mains power.
+        assert_eq!(c.battery_for(3, true).unwrap().capacity().as_joules(), 2.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # bcp-power — finite batteries and node lifetime
+//!
+//! The paper accounts energy; this crate makes it *finite*. A node carries
+//! a [`battery::Battery`] whose charge the radios' energy ledgers drain;
+//! when it empties, the node dies and the network has to live with the
+//! corpse. That single change turns every J/Kbit number of the
+//! reproduction into the quantity the savings exist to serve: **network
+//! lifetime**.
+//!
+//! * [`battery`] — the [`battery::BatteryModel`] trait with an ideal
+//!   linear reservoir and a capacity-rated (mAh @ V, cutoff-voltage) cell.
+//! * [`supply`] — [`supply::PowerSupply`], syncing a battery against a
+//!   node's cumulative energy-meter readings and projecting the exact
+//!   depletion instant for event scheduling.
+//! * [`config`] — [`config::PowerConfig`], the scenario knob (default:
+//!   the paper's unlimited-energy setting).
+//!
+//! # Examples
+//!
+//! ```
+//! use bcp_power::{Battery, BatteryModel, PowerSupply};
+//! use bcp_radio::units::{Energy, Power};
+//!
+//! // Two AA cells scaled down to experiment size:
+//! let mut supply = PowerSupply::new(Battery::aa_pair().scaled(1e-3));
+//! supply.sync_to(Energy::from_joules(10.0));
+//! assert!(!supply.is_depleted());
+//! // A MicaZ idling at ~30 mW lasts minutes, not days, on a milli-AA.
+//! let left = supply.time_to_depletion(Power::from_milliwatts(30.0)).unwrap();
+//! assert!(left.as_secs_f64() < 600.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod battery;
+pub mod config;
+pub mod supply;
+
+pub use battery::{Battery, BatteryModel, CapacityBattery, IdealBattery};
+pub use config::PowerConfig;
+pub use supply::PowerSupply;

@@ -229,6 +229,23 @@ impl Radio {
         self.move_to(t, RadioState::Off);
     }
 
+    /// The instantaneous power draw of the ongoing state span — what a
+    /// battery sees between events.
+    pub fn current_draw(&self) -> Power {
+        self.ledger.current_power()
+    }
+
+    /// Cuts power *now*, from any state: the supply collapsed mid-whatever.
+    ///
+    /// Unlike [`turn_off`](Self::turn_off) this is not a protocol action but
+    /// a physical failure, so no state precondition applies. The ongoing
+    /// span's energy stays attributed to the state the radio died in; a
+    /// frame being transmitted is truncated (the caller decides what the
+    /// channel makes of that), and one mid-reception is simply lost.
+    pub fn force_off(&mut self, t: SimTime) {
+        self.move_to(t, RadioState::Off);
+    }
+
     /// Adds a lump overhearing charge — used by models that account
     /// header-only overhearing without a full reception (the paper's
     /// "Sensor-header" model).
@@ -346,6 +363,32 @@ mod tests {
         r.start_rx(SimTime::ZERO + d);
         assert!(!r.can_tx(), "half duplex: busy receiving");
         assert!(r.is_on());
+    }
+
+    #[test]
+    fn current_draw_tracks_state() {
+        let mut r = Radio::new(micaz(), RadioState::Idle, SimTime::ZERO);
+        assert_eq!(r.current_draw(), micaz().p_idle);
+        r.start_tx(SimTime::ZERO);
+        assert_eq!(r.current_draw(), micaz().p_tx);
+        r.end_tx(SimTime::from_millis(1));
+        assert_eq!(r.current_draw(), micaz().p_idle);
+    }
+
+    #[test]
+    fn force_off_from_any_state_freezes_the_ledger() {
+        let mut r = Radio::new(micaz(), RadioState::Idle, SimTime::ZERO);
+        r.start_tx(SimTime::ZERO);
+        // Power dies mid-transmission.
+        r.force_off(SimTime::from_millis(2));
+        assert_eq!(r.state(), RadioState::Off);
+        assert_eq!(r.current_draw(), Power::ZERO);
+        let at_death = r.report(SimTime::from_millis(2));
+        // The truncated transmission's energy was still spent...
+        assert!(at_death.of(EnergyBucket::Tx).as_joules() > 0.0);
+        // ...and nothing accrues afterwards.
+        let later = r.report(SimTime::from_secs(100));
+        assert_eq!(at_death.total(), later.total());
     }
 
     #[test]

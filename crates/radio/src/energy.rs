@@ -239,7 +239,9 @@ mod tests {
         a.transition(SimTime::from_secs(1), EnergyBucket::Idle, Power::ZERO);
         let mut b = EnergyLedger::new(SimTime::ZERO, EnergyBucket::Rx, mw(20.0));
         b.transition(SimTime::from_secs(1), EnergyBucket::Idle, Power::ZERO);
-        let m = a.snapshot(SimTime::from_secs(1)).merged(&b.snapshot(SimTime::from_secs(1)));
+        let m = a
+            .snapshot(SimTime::from_secs(1))
+            .merged(&b.snapshot(SimTime::from_secs(1)));
         assert!((m.total().as_millijoules() - 30.0).abs() < 1e-9);
     }
 

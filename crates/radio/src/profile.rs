@@ -78,8 +78,10 @@ impl RadioProfile {
             self.name,
             self.max_payload
         );
-        SimDuration::bit_airtime(((payload + self.header_bytes) * 8) as u64, self.bit_rate_bps)
-            + self.preamble
+        SimDuration::bit_airtime(
+            ((payload + self.header_bytes) * 8) as u64,
+            self.bit_rate_bps,
+        ) + self.preamble
     }
 
     /// Airtime of `bytes` raw bytes (no framing overhead).

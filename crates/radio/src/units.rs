@@ -218,10 +218,7 @@ mod tests {
 
     #[test]
     fn energy_sum_and_scale() {
-        let total: Energy = [1.0, 2.0, 3.0]
-            .into_iter()
-            .map(Energy::from_joules)
-            .sum();
+        let total: Energy = [1.0, 2.0, 3.0].into_iter().map(Energy::from_joules).sum();
         assert_eq!(total.as_joules(), 6.0);
         assert_eq!(total.scaled(0.5).as_joules(), 3.0);
     }

@@ -165,9 +165,14 @@ mod tests {
         s.at(SimTime::from_secs(5), 1);
         s.at(SimTime::from_secs(2), 2);
         let mut seen = vec![];
-        run_until(&mut seen, &mut s, SimTime::from_secs(10), |seen, sched, e| {
-            seen.push((sched.now(), e));
-        });
+        run_until(
+            &mut seen,
+            &mut s,
+            SimTime::from_secs(10),
+            |seen, sched, e| {
+                seen.push((sched.now(), e));
+            },
+        );
         assert_eq!(
             seen,
             vec![(SimTime::from_secs(2), 2), (SimTime::from_secs(5), 1)]
@@ -220,7 +225,9 @@ mod tests {
         s.at(SimTime::from_secs(2), 2);
         s.cancel(id);
         let mut seen = vec![];
-        run_until(&mut seen, &mut s, SimTime::from_secs(10), |v, _, e| v.push(e));
+        run_until(&mut seen, &mut s, SimTime::from_secs(10), |v, _, e| {
+            v.push(e)
+        });
         assert_eq!(seen, vec![2]);
     }
 

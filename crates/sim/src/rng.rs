@@ -63,7 +63,10 @@ impl Xoshiro256StarStar {
     ///
     /// Panics if the state is all zeros (a fixed point of the generator).
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro256** state must be non-zero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256** state must be non-zero"
+        );
         Xoshiro256StarStar { s }
     }
 

@@ -94,9 +94,7 @@ impl Welford {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         *self = Welford { n, mean, m2 };
     }
 }
@@ -123,9 +121,9 @@ impl Extend<f64> for Welford {
 /// of freedom (df ≥ 1). Values above df=30 use the normal approximation.
 pub fn t_critical_95(df: u64) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
-        2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
-        2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     match df {
         0 => f64::INFINITY,
@@ -172,7 +170,10 @@ impl Histogram {
     /// Panics if `bins == 0` or `width` is not strictly positive.
     pub fn new(bins: usize, width: f64) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(width.is_finite() && width > 0.0, "invalid bin width {width}");
+        assert!(
+            width.is_finite() && width > 0.0,
+            "invalid bin width {width}"
+        );
         Histogram {
             bins: vec![0; bins],
             width,
@@ -355,7 +356,10 @@ impl Series {
 
     /// The y value at the given x, if a point exists there (exact match).
     pub fn y_at(&self, x: f64) -> Option<f64> {
-        self.points.iter().find(|(px, ..)| *px == x).map(|(_, y, _)| *y)
+        self.points
+            .iter()
+            .find(|(px, ..)| *px == x)
+            .map(|(_, y, _)| *y)
     }
 }
 

@@ -385,10 +385,10 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
         assert_eq!(
-            SimDuration::MAX.saturating_mul(3),
-            SimDuration::MAX
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
         );
+        assert_eq!(SimDuration::MAX.saturating_mul(3), SimDuration::MAX);
     }
 }

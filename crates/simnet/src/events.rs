@@ -78,4 +78,18 @@ pub enum Ev {
         /// The node to flush.
         node: NodeId,
     },
+    /// Projected battery-depletion instant: re-sync the node's supply and
+    /// kill the node if it is indeed dry.
+    PowerCheck {
+        /// The node whose supply is due.
+        node: NodeId,
+    },
+    /// A node's battery emptied: it has stopped transmitting, receiving
+    /// and relaying; survivors repair their routes around the corpse.
+    NodeDied {
+        /// The dead node.
+        node: NodeId,
+    },
+    /// Periodic residual-energy route refresh (energy-aware routing).
+    RouteRefresh,
 }

@@ -11,7 +11,15 @@
 //! * [`world::World`] — the event-driven core binding radios, MACs,
 //!   routing, the shared media and the BCP machines together.
 //! * [`metrics::RunStats`] — goodput, normalized energy (J/Kbit) and mean
-//!   delay, exactly as the paper defines them.
+//!   delay, exactly as the paper defines them — plus, when the scenario
+//!   provisions finite batteries ([`scenario::Scenario::with_battery`]),
+//!   the lifetime measures `time_to_first_death_s`,
+//!   `time_to_partition_s` and `delivered_before_first_death`.
+//!
+//! With a battery configured, a node whose supply empties goes silent
+//! (no transmitting, receiving, or relaying), survivors rebuild their
+//! routes around the corpse, and identical seeds reproduce identical
+//! death times.
 //!
 //! # Examples
 //!
@@ -38,6 +46,6 @@ pub mod node;
 pub mod scenario;
 pub mod world;
 
-pub use metrics::{Metrics, RunStats};
+pub use metrics::{Metrics, NodePowerReport, RunStats};
 pub use scenario::{HighRoute, ModelKind, Scenario, WorkloadKind};
 pub use world::World;

@@ -10,6 +10,7 @@
 //! buffering delays."
 
 use bcp_core::msg::AppPacket;
+use bcp_net::addr::NodeId;
 use bcp_radio::units::Energy;
 use bcp_sim::stats::Welford;
 use bcp_sim::time::SimTime;
@@ -41,6 +42,19 @@ pub struct Metrics {
     pub radio_wakeups: u64,
     /// Collisions observed at receivers (both classes).
     pub collisions: u64,
+    /// Nodes whose battery emptied during the run.
+    pub node_deaths: u64,
+    /// When the first node died, if any did.
+    pub first_death: Option<SimTime>,
+    /// When the sink first became unreachable from some data source: a
+    /// sender died, a sender's every route crossed corpses, or the sink
+    /// itself died. `None` while every sender lives and routes.
+    pub partition: Option<SimTime>,
+    /// Sink deliveries that happened before the first death — the paper's
+    /// goodput restricted to the all-nodes-alive prefix of the run.
+    pub delivered_before_first_death: u64,
+    /// Packets generated before the first death (the matching denominator).
+    pub generated_before_first_death: u64,
 }
 
 impl Metrics {
@@ -48,14 +62,36 @@ impl Metrics {
     pub fn on_generated(&mut self, pkt: &AppPacket) {
         self.generated_packets += 1;
         self.generated_bits += pkt.bytes as u64 * 8;
+        if self.first_death.is_none() {
+            self.generated_before_first_death += 1;
+        }
     }
 
     /// Records a sink delivery at time `now`.
     pub fn on_delivered(&mut self, pkt: &AppPacket, now: SimTime) {
         self.delivered_packets += 1;
         self.delivered_bits += pkt.bytes as u64 * 8;
+        if self.first_death.is_none() {
+            self.delivered_before_first_death += 1;
+        }
         self.delay
             .push(now.saturating_duration_since(pkt.created).as_secs_f64());
+    }
+
+    /// Records a node death at time `now`.
+    pub fn on_node_died(&mut self, now: SimTime) {
+        self.node_deaths += 1;
+        if self.first_death.is_none() {
+            self.first_death = Some(now);
+        }
+    }
+
+    /// Records the first sink disconnection at time `now` (later calls are
+    /// ignored — a network partitions once).
+    pub fn on_partition(&mut self, now: SimTime) {
+        if self.partition.is_none() {
+            self.partition = Some(now);
+        }
     }
 
     /// Goodput: delivered bits / generated bits (0 when nothing generated).
@@ -99,6 +135,37 @@ pub struct RunStats {
     pub metrics: Metrics,
     /// Events processed (diagnostics).
     pub events: u64,
+    /// Seconds until the first node death; `None` when every node outlived
+    /// the run (always the case without batteries).
+    pub time_to_first_death_s: Option<f64>,
+    /// Seconds until the sink first became unreachable from some data
+    /// source — a sender (or the sink) died, or a sender's every route
+    /// crossed corpses; `None` when all senders stayed alive and
+    /// sink-connected.
+    pub time_to_partition_s: Option<f64>,
+    /// Sink deliveries before the first death (= `delivered_packets` when
+    /// nothing died).
+    pub delivered_before_first_death: u64,
+    /// Per-node supply/meter accounting (one entry per node, in id order).
+    pub per_node: Vec<NodePowerReport>,
+}
+
+/// One node's energy bookkeeping at the end of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodePowerReport {
+    /// The node.
+    pub node: NodeId,
+    /// Total energy metered by the node's radio ledgers (J).
+    pub ledger_j: f64,
+    /// Energy the battery actually supplied (J); equals `ledger_j` up to
+    /// depletion clamping. `None` for mains-powered nodes.
+    pub drawn_j: Option<f64>,
+    /// Usable capacity the node started with (J); `None` for mains power.
+    pub capacity_j: Option<f64>,
+    /// Charge left (J); `None` for mains power.
+    pub residual_j: Option<f64>,
+    /// When the node died, in seconds; `None` if it survived the run.
+    pub died_at_s: Option<f64>,
 }
 
 impl RunStats {
@@ -133,7 +200,30 @@ impl RunStats {
             energy_overhear_full_j: energy_overhear_full.as_joules(),
             j_per_kbit_overhear_full: norm(energy_overhear_full),
             events,
+            time_to_first_death_s: metrics.first_death.map(|t| t.as_secs_f64()),
+            time_to_partition_s: metrics.partition.map(|t| t.as_secs_f64()),
+            delivered_before_first_death: metrics.delivered_before_first_death,
+            per_node: Vec::new(),
             metrics,
+        }
+    }
+
+    /// Attaches the per-node supply accounting (builder style).
+    pub fn with_per_node(mut self, per_node: Vec<NodePowerReport>) -> Self {
+        self.per_node = per_node;
+        self
+    }
+
+    /// Fraction of the packets generated before the first death that also
+    /// reached the sink before it — packet goodput restricted to the
+    /// all-alive prefix of the run (equals plain packet goodput when
+    /// nothing died).
+    pub fn goodput_before_first_death(&self) -> f64 {
+        if self.metrics.generated_before_first_death == 0 {
+            0.0
+        } else {
+            self.delivered_before_first_death as f64
+                / self.metrics.generated_before_first_death as f64
         }
     }
 }
@@ -185,7 +275,12 @@ mod tests {
 
     #[test]
     fn empty_run_is_infinite_energy_per_bit() {
-        let rs = RunStats::new(Metrics::default(), Energy::from_joules(1.0), Energy::ZERO, 0);
+        let rs = RunStats::new(
+            Metrics::default(),
+            Energy::from_joules(1.0),
+            Energy::ZERO,
+            0,
+        );
         assert!(rs.j_per_kbit.is_infinite());
         assert_eq!(rs.goodput, 0.0);
     }

@@ -7,8 +7,9 @@ use bcp_core::sender::BcpSender;
 use bcp_mac::csma::CsmaMac;
 use bcp_net::addr::NodeId;
 use bcp_net::routing::ShortcutTable;
+use bcp_power::PowerSupply;
 use bcp_radio::device::Radio;
-use bcp_radio::units::Energy;
+use bcp_radio::units::{Energy, Power};
 use bcp_sim::time::SimTime;
 use bcp_traffic::Workload;
 
@@ -47,6 +48,10 @@ pub struct NodeState {
     pub shortcuts: ShortcutTable,
     /// End of the post-burst listen window for shortcut learning.
     pub listen_until: SimTime,
+    /// The node's finite energy supply (`None` = mains/unlimited).
+    pub supply: Option<PowerSupply>,
+    /// When the battery emptied; `None` while the node lives.
+    pub died_at: Option<SimTime>,
 }
 
 impl NodeState {
@@ -88,5 +93,29 @@ impl NodeState {
             Class::Low => true,
             Class::High => self.high_radio.is_some(),
         }
+    }
+
+    /// `true` while the node's supply (if any) still holds charge.
+    pub fn is_alive(&self) -> bool {
+        self.died_at.is_none()
+    }
+
+    /// Cumulative metered energy over both radios through `t` — the
+    /// reading the battery drains against.
+    pub fn metered_total(&self, t: SimTime) -> Energy {
+        let mut e = self.low_radio.report(t).total();
+        if let Some(hr) = &self.high_radio {
+            e += hr.report(t).total();
+        }
+        e
+    }
+
+    /// The node's instantaneous power draw over both radios.
+    pub fn current_draw(&self) -> Power {
+        let mut p = self.low_radio.current_draw();
+        if let Some(hr) = &self.high_radio {
+            p = p + hr.current_draw();
+        }
+        p
     }
 }

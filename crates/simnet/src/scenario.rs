@@ -3,7 +3,9 @@
 use bcp_core::config::BcpConfig;
 use bcp_net::addr::NodeId;
 use bcp_net::loss::LossModel;
+use bcp_net::routing::RouteWeight;
 use bcp_net::topo::Topology;
+use bcp_power::{Battery, PowerConfig};
 use bcp_radio::profile::{cabletron, lucent_11m, micaz, RadioProfile};
 use bcp_sim::rng::Rng;
 use bcp_sim::time::{SimDuration, SimTime};
@@ -98,6 +100,11 @@ pub struct Scenario {
     /// Flush BCP buffers (threshold ignored) once the cutoff passes — the
     /// prototype experiment's "send exactly 500 messages" mode.
     pub flush_at_cutoff: bool,
+    /// Node energy provisioning: `PowerConfig::unlimited()` (the default)
+    /// reproduces the paper; a battery makes nodes mortal.
+    pub power: PowerConfig,
+    /// How routes weigh paths, both initially and on repair after deaths.
+    pub route_weight: RouteWeight,
     /// Master seed; every stochastic element derives from it.
     pub seed: u64,
 }
@@ -117,7 +124,11 @@ impl Scenario {
     /// Panics if `n` exceeds the number of non-sink nodes.
     pub fn pick_senders(topo: &Topology, sink: NodeId, n: usize) -> Vec<NodeId> {
         let mut nodes: Vec<NodeId> = topo.nodes().filter(|&x| x != sink).collect();
-        assert!(n <= nodes.len(), "cannot pick {n} senders from {}", nodes.len());
+        assert!(
+            n <= nodes.len(),
+            "cannot pick {n} senders from {}",
+            nodes.len()
+        );
         // Fixed seed: the sender *set* is part of the scenario, not the run.
         let mut rng = Rng::new(0xB0C9);
         rng.shuffle(&mut nodes);
@@ -154,6 +165,8 @@ impl Scenario {
             off_linger: SimDuration::from_millis(5),
             traffic_cutoff: None,
             flush_at_cutoff: false,
+            power: PowerConfig::unlimited(),
+            route_weight: RouteWeight::ShortestHop,
             seed,
         }
     }
@@ -188,17 +201,14 @@ impl Scenario {
     pub fn make_workload(&self, seed: u64) -> Workload {
         match self.workload {
             WorkloadKind::Cbr => Workload::cbr_bps(self.rate_bps, self.packet_bytes),
-            WorkloadKind::Poisson => {
-                Workload::poisson_bps(self.rate_bps, self.packet_bytes, seed)
-            }
+            WorkloadKind::Poisson => Workload::poisson_bps(self.rate_bps, self.packet_bytes, seed),
             WorkloadKind::BurstyAudio {
                 mean_on_s,
                 mean_off_s,
             } => {
                 let duty = mean_on_s / (mean_on_s + mean_off_s);
                 let on_rate = self.rate_bps / duty;
-                let interval =
-                    SimDuration::from_secs_f64(self.packet_bytes as f64 * 8.0 / on_rate);
+                let interval = SimDuration::from_secs_f64(self.packet_bytes as f64 * 8.0 / on_rate);
                 Workload::on_off_bursty(
                     self.packet_bytes,
                     interval,
@@ -233,6 +243,26 @@ impl Scenario {
     pub fn with_traffic_cutoff(mut self, cutoff: SimDuration, flush: bool) -> Self {
         self.traffic_cutoff = Some(cutoff);
         self.flush_at_cutoff = flush;
+        self
+    }
+
+    /// Gives every non-sink node a copy of `battery` (the sink stays
+    /// mains-powered; use [`with_power`](Self::with_power) for full
+    /// control).
+    pub fn with_battery(mut self, battery: Battery) -> Self {
+        self.power = PowerConfig::with_battery(battery);
+        self
+    }
+
+    /// Overrides the whole power configuration.
+    pub fn with_power(mut self, power: PowerConfig) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Overrides the route weight (e.g. max–min residual energy).
+    pub fn with_route_weight(mut self, weight: RouteWeight) -> Self {
+        self.route_weight = weight;
         self
     }
 

@@ -17,7 +17,8 @@ use bcp_core::sender::{BcpSender, DropReason, SenderAction};
 use bcp_mac::csma::{CsmaMac, MacConfig};
 use bcp_mac::types::{FrameKind, MacAction, MacAddr, MacEvent, MacFrame, MacTimer};
 use bcp_net::addr::{AddrMap, NodeId};
-use bcp_net::routing::{Routes, ShortcutTable};
+use bcp_net::routing::{RouteWeight, Routes, ShortcutTable};
+use bcp_power::{BatteryModel, PowerSupply};
 use bcp_radio::device::{Radio, RadioState, RxOutcome};
 use bcp_radio::units::Energy;
 use bcp_sim::engine::{run_until, Scheduler};
@@ -79,6 +80,7 @@ pub struct World {
     ack_timers: HashMap<(u32, u64), EventId>,
     data_timers: HashMap<(u32, u64), EventId>,
     linger: HashMap<u32, EventId>,
+    power_timers: HashMap<u32, EventId>,
     fates: HashMap<u64, Fate>,
     metrics: Metrics,
     rng: Rng,
@@ -95,15 +97,49 @@ impl World {
         world.finalize(end, sched.processed())
     }
 
+    /// Per-node residual energy for route weighting: a node's remaining
+    /// charge in joules, or `INFINITY` for mains-powered nodes.
+    fn initial_residuals(scen: &Scenario) -> Vec<f64> {
+        scen.topo
+            .nodes()
+            .map(|id| {
+                scen.power
+                    .battery_for(id.index(), id == scen.sink)
+                    .map(|b| b.capacity().as_joules())
+                    .unwrap_or(f64::INFINITY)
+            })
+            .collect()
+    }
+
+    fn compute_routes(scen: &Scenario, residual: &[f64], dead: &[NodeId]) -> (Routes, Routes) {
+        let mk = |range_m: f64| match scen.route_weight {
+            RouteWeight::ShortestHop => Routes::shortest_hop_excluding(&scen.topo, range_m, dead),
+            RouteWeight::MaxMinResidual => {
+                Routes::max_min_residual(&scen.topo, range_m, residual, dead)
+            }
+        };
+        (mk(scen.low_profile.range_m), mk(scen.high_profile.range_m))
+    }
+
     fn build(scen: Scenario) -> World {
         let n = scen.topo.len();
         let mut rng = Rng::new(scen.seed);
         let addr = AddrMap::for_nodes(n);
-        let low_routes = Routes::shortest_hop(&scen.topo, scen.low_profile.range_m);
-        let high_routes = Routes::shortest_hop(&scen.topo, scen.high_profile.range_m);
+        let (low_routes, high_routes) =
+            Self::compute_routes(&scen, &Self::initial_residuals(&scen), &[]);
         let chans = [
-            Channel::new(&scen.topo, scen.low_profile.range_m, &scen.loss_low, &mut rng),
-            Channel::new(&scen.topo, scen.high_profile.range_m, &scen.loss_high, &mut rng),
+            Channel::new(
+                &scen.topo,
+                scen.low_profile.range_m,
+                &scen.loss_low,
+                &mut rng,
+            ),
+            Channel::new(
+                &scen.topo,
+                scen.high_profile.range_m,
+                &scen.loss_high,
+                &mut rng,
+            ),
         ];
         let t0 = SimTime::ZERO;
         let mut nodes = Vec::with_capacity(n);
@@ -152,6 +188,10 @@ impl World {
             } else {
                 None
             };
+            let supply = scen
+                .power
+                .battery_for(id.index(), id == scen.sink)
+                .map(PowerSupply::new);
             nodes.push(NodeState {
                 id,
                 low_mac,
@@ -168,6 +208,8 @@ impl World {
                 header_overhear: Energy::ZERO,
                 shortcuts: ShortcutTable::new(),
                 listen_until: SimTime::ZERO,
+                supply,
+                died_at: None,
             });
         }
         World {
@@ -185,6 +227,7 @@ impl World {
             ack_timers: HashMap::new(),
             data_timers: HashMap::new(),
             linger: HashMap::new(),
+            power_timers: HashMap::new(),
             fates: HashMap::new(),
             metrics: Metrics::default(),
             rng,
@@ -201,7 +244,12 @@ impl World {
             .fates
             .get_mut(&pkt.id.0)
             .expect("delivered packet was generated");
-        assert_ne!(*f, Fate::Delivered, "duplicate sink delivery of {:?}", pkt.id);
+        assert_ne!(
+            *f,
+            Fate::Delivered,
+            "duplicate sink delivery of {:?}",
+            pkt.id
+        );
         // LostMac -> Delivered is legal: the MAC's ACK was lost but the
         // frame got through (false-negative link failure).
         *f = Fate::Delivered;
@@ -242,6 +290,13 @@ impl World {
                 }
             }
         }
+        for i in 0..self.nodes.len() {
+            let node = self.nodes[i].id;
+            self.power_touch(sched, node);
+        }
+        if let Some(every) = self.scen.power.reroute_every {
+            sched.after(every, Ev::RouteRefresh);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -249,16 +304,32 @@ impl World {
     // ------------------------------------------------------------------
 
     fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+        // A depleted node is deaf, mute, and schedules nothing: any event
+        // still addressed to it (stale timers, wake completions) is void.
+        let target_dead = |w: &World, node: NodeId| !w.nodes[node.index()].is_alive();
         match ev {
-            Ev::AppArrival { node } => self.app_arrival(sched, node),
+            Ev::AppArrival { node } => {
+                if target_dead(self, node) {
+                    return;
+                }
+                self.app_arrival(sched, node)
+            }
             Ev::MacTimer { node, class, kind } => {
                 self.mac_timers.remove(&(node.0, class.index(), kind));
                 self.mac_event(sched, node, class, MacEvent::Timer(kind));
             }
             Ev::TxEnd { tx } => self.tx_end(sched, tx),
-            Ev::RadioWakeDone { node } => self.radio_wake_done(sched, node),
+            Ev::RadioWakeDone { node } => {
+                if target_dead(self, node) {
+                    return;
+                }
+                self.radio_wake_done(sched, node)
+            }
             Ev::BcpAckTimer { node, burst } => {
                 self.ack_timers.remove(&(node.0, burst.0));
+                if target_dead(self, node) {
+                    return;
+                }
                 let mut actions = Vec::new();
                 if let Some(tx) = self.nodes[node.index()].bcp_tx.as_mut() {
                     tx.on_ack_timeout(sched.now(), burst, &mut actions);
@@ -267,19 +338,41 @@ impl World {
             }
             Ev::BcpDataTimer { node, burst } => {
                 self.data_timers.remove(&(node.0, burst.0));
+                if target_dead(self, node) {
+                    return;
+                }
                 let mut actions = Vec::new();
                 if let Some(rx) = self.nodes[node.index()].bcp_rx.as_mut() {
                     rx.on_data_timeout(sched.now(), burst, &mut actions);
                 }
                 self.receiver_actions(sched, node, actions);
             }
-            Ev::HighIdleOff { node } => self.high_idle_off(sched, node),
+            Ev::HighIdleOff { node } => {
+                if target_dead(self, node) {
+                    return;
+                }
+                self.high_idle_off(sched, node)
+            }
             Ev::Flush { node } => {
+                if target_dead(self, node) {
+                    return;
+                }
                 let mut actions = Vec::new();
                 if let Some(tx) = self.nodes[node.index()].bcp_tx.as_mut() {
                     tx.flush(sched.now(), &mut actions);
                 }
                 self.sender_actions(sched, node, actions);
+            }
+            Ev::PowerCheck { node } => {
+                self.power_timers.remove(&node.0);
+                self.power_touch(sched, node);
+            }
+            Ev::NodeDied { node } => self.node_died(sched, node),
+            Ev::RouteRefresh => {
+                self.rebuild_routes();
+                if let Some(every) = self.scen.power.reroute_every {
+                    sched.after(every, Ev::RouteRefresh);
+                }
             }
         }
     }
@@ -292,7 +385,11 @@ impl World {
             let n = &mut self.nodes[node.index()];
             let pkt = AppPacket::new(node, sink, n.app_seq, now, n.pending_bytes);
             n.app_seq += 1;
-            if let Some((t, b)) = n.workload.as_mut().expect("arrival without workload").next_arrival()
+            if let Some((t, b)) = n
+                .workload
+                .as_mut()
+                .expect("arrival without workload")
+                .next_arrival()
             {
                 if t <= end {
                     n.pending_bytes = b;
@@ -311,14 +408,27 @@ impl World {
     }
 
     /// Hop-by-hop forwarding for the single-radio models.
-    fn forward_data(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, pkt: AppPacket, class: Class) {
+    fn forward_data(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        node: NodeId,
+        pkt: AppPacket,
+        class: Class,
+    ) {
         let routes = match class {
             Class::Low => &self.low_routes,
             Class::High => &self.high_routes,
         };
         match routes.next_hop(node, pkt.dest) {
             Some(next) => {
-                self.enqueue_frame(sched, node, class, next, pkt.bytes, Payload::SensorData(pkt));
+                self.enqueue_frame(
+                    sched,
+                    node,
+                    class,
+                    next,
+                    pkt.bytes,
+                    Payload::SensorData(pkt),
+                );
             }
             None => {
                 self.fate_lost(pkt.id.0, Fate::LostMac); // unroutable
@@ -348,10 +458,14 @@ impl World {
             HighRoute::LowParents { shortcuts, .. } => {
                 if shortcuts {
                     if let Some(via) = self.nodes[node.index()].shortcuts.shortcut(sink) {
-                        if self
-                            .scen
-                            .topo
-                            .in_range(node, via, self.scen.high_profile.range_m)
+                        // Dead forwarders are purged at death; the liveness
+                        // check guards the same-timestamp window before the
+                        // NodeDied event has run.
+                        if self.nodes[via.index()].is_alive()
+                            && self
+                                .scen
+                                .topo
+                                .in_range(node, via, self.scen.high_profile.range_m)
                         {
                             return Some(via);
                         }
@@ -363,6 +477,165 @@ impl World {
     }
 
     // ------------------------------------------------------------------
+    // Finite energy: battery drain, node death, route repair
+    // ------------------------------------------------------------------
+
+    /// Syncs `node`'s battery against its energy meters and (re)schedules
+    /// the projected depletion instant. Call after anything that changes a
+    /// radio's power draw; no-op for mains-powered or already-dead nodes.
+    ///
+    /// Radio draw is piecewise constant between events, so the projection
+    /// is exact: the node dies *at* the scheduled `PowerCheck`, not within
+    /// some polling window, and death times are seed-reproducible.
+    fn power_touch(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
+        let now = sched.now();
+        let (metered, draw) = {
+            let n = &self.nodes[node.index()];
+            if n.supply.is_none() || !n.is_alive() {
+                return;
+            }
+            (n.metered_total(now), n.current_draw())
+        };
+        let supply = self.nodes[node.index()]
+            .supply
+            .as_mut()
+            .expect("checked above");
+        supply.sync_to(metered);
+        if supply.is_depleted_at(draw) {
+            self.kill_node(sched, node);
+            return;
+        }
+        match supply.time_to_depletion(draw) {
+            Some(d) => {
+                let id = sched.after(d, Ev::PowerCheck { node });
+                if let Some(old) = self.power_timers.insert(node.0, id) {
+                    sched.cancel(old);
+                }
+            }
+            None => {
+                if let Some(old) = self.power_timers.remove(&node.0) {
+                    sched.cancel(old);
+                }
+            }
+        }
+    }
+
+    /// The battery emptied: cut power, silence the corpse, and let the
+    /// survivors know via [`Ev::NodeDied`].
+    fn kill_node(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
+        let now = sched.now();
+        {
+            let n = &mut self.nodes[node.index()];
+            debug_assert!(n.is_alive(), "{node} died twice");
+            // Close the meters at the instant of death, then cut power so
+            // the ledgers freeze (a dead node's ledger stops accumulating).
+            let metered = n.metered_total(now);
+            if let Some(s) = n.supply.as_mut() {
+                s.sync_to(metered);
+            }
+            n.low_radio.force_off(now);
+            if let Some(hr) = n.high_radio.as_mut() {
+                hr.force_off(now);
+            }
+            n.died_at = Some(now);
+        }
+        // Stale events are alive-guarded anyway; cancelling keeps the
+        // queue small.
+        let mut cancelled = Vec::new();
+        self.mac_timers.retain(|k, id| {
+            let stale = k.0 == node.0;
+            if stale {
+                cancelled.push(*id);
+            }
+            !stale
+        });
+        self.ack_timers.retain(|k, id| {
+            let stale = k.0 == node.0;
+            if stale {
+                cancelled.push(*id);
+            }
+            !stale
+        });
+        self.data_timers.retain(|k, id| {
+            let stale = k.0 == node.0;
+            if stale {
+                cancelled.push(*id);
+            }
+            !stale
+        });
+        if let Some(id) = self.linger.remove(&node.0) {
+            cancelled.push(id);
+        }
+        if let Some(id) = self.power_timers.remove(&node.0) {
+            cancelled.push(id);
+        }
+        for id in cancelled {
+            sched.cancel(id);
+        }
+        self.metrics.on_node_died(now);
+        sched.at(now, Ev::NodeDied { node });
+    }
+
+    /// Route repair: survivors recompute paths around the corpse, and the
+    /// run records the first moment a sender lost the sink.
+    fn node_died(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
+        self.rebuild_routes();
+        // A learned shortcut through the corpse is a blackhole: the
+        // repaired trees route around it, so must the shortcut tables.
+        for n in &mut self.nodes {
+            n.shortcuts.invalidate_via(node);
+        }
+        self.check_partition(sched.now(), node);
+    }
+
+    fn rebuild_routes(&mut self) {
+        let dead: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|n| !n.is_alive())
+            .map(|n| n.id)
+            .collect();
+        let residual: Vec<f64> = self
+            .nodes
+            .iter()
+            .map(|n| match &n.supply {
+                Some(s) => s.battery().remaining().as_joules(),
+                None => f64::INFINITY,
+            })
+            .collect();
+        let (low, high) = Self::compute_routes(&self.scen, &residual, &dead);
+        self.low_routes = low;
+        self.high_routes = high;
+    }
+
+    /// The routes a model's data ultimately depends on: the low radio for
+    /// the sensor model and for BCP (whose handshake travels over it), the
+    /// high radio for pure 802.11.
+    fn data_routes(&self) -> &Routes {
+        match self.scen.model {
+            ModelKind::Sensor | ModelKind::DualRadio => &self.low_routes,
+            ModelKind::Dot11 => &self.high_routes,
+        }
+    }
+
+    fn check_partition(&mut self, now: SimTime, dead: NodeId) {
+        if self.metrics.partition.is_some() {
+            return;
+        }
+        // The sink is "disconnected" the first time any data source can no
+        // longer reach it: the sink itself died, a sender died, or a
+        // sender's every route crosses corpses.
+        let sink = self.scen.sink;
+        let severed = dead == sink
+            || self.scen.senders.iter().any(|&s| {
+                !self.nodes[s.index()].is_alive() || self.data_routes().next_hop(s, sink).is_none()
+            });
+        if severed {
+            self.metrics.on_partition(now);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // MAC binding
     // ------------------------------------------------------------------
 
@@ -370,7 +643,7 @@ impl World {
         let mut actions = Vec::new();
         {
             let n = &mut self.nodes[node.index()];
-            if !n.has_class(class) {
+            if !n.has_class(class) || !n.is_alive() {
                 return;
             }
             n.mac_mut(class).handle(sched.now(), ev, &mut actions);
@@ -465,6 +738,7 @@ impl World {
                 frame,
             },
         );
+        self.power_touch(sched, node);
         sched.after(airtime, Ev::TxEnd { tx: txid });
         let neighbors: Vec<NodeId> = self.chans[class.index()].neighbors(node).to_vec();
         for r in neighbors {
@@ -477,6 +751,7 @@ impl World {
             if clean_start && can_hear {
                 self.chans[class.index()].lock_rx(r, txid);
                 self.nodes[r.index()].radio_mut(class).start_rx(now);
+                self.power_touch(sched, r);
             } else {
                 // Either the receiver was locked onto another frame
                 // (collision) or it cannot decode a frame started mid-air.
@@ -495,13 +770,25 @@ impl World {
             class,
             frame,
         } = self.txs.remove(&txid.0).expect("unknown transmission");
-        self.nodes[sender.index()].radio_mut(class).end_tx(now);
-        self.mac_event(sched, sender, class, MacEvent::TxFinished);
+        // A sender whose battery died mid-air truncated the frame: its
+        // radio is already off, and every receiver hears garbage.
+        let sender_died = !self.nodes[sender.index()].is_alive();
+        if !sender_died {
+            self.nodes[sender.index()].radio_mut(class).end_tx(now);
+            self.power_touch(sched, sender);
+            self.mac_event(sched, sender, class, MacEvent::TxFinished);
+        }
         let neighbors: Vec<NodeId> = self.chans[class.index()].neighbors(sender).to_vec();
         for r in neighbors {
             if let Some(corrupted) = self.chans[class.index()].unlock_rx(r, txid) {
-                let lost =
-                    corrupted || self.chans[class.index()].channel_loss(r, &mut self.rng);
+                if !self.nodes[r.index()].is_alive() {
+                    // The receiver died mid-reception; its radio is off and
+                    // the channel lock is all that was left to clear.
+                    continue;
+                }
+                let lost = corrupted
+                    || sender_died
+                    || self.chans[class.index()].channel_loss(r, &mut self.rng);
                 let my_addr = self.mac_addr_of(r, class);
                 let for_me = frame.dst == my_addr || frame.dst.is_broadcast();
                 let outcome = if lost {
@@ -512,6 +799,7 @@ impl World {
                     RxOutcome::Overheard
                 };
                 self.nodes[r.index()].radio_mut(class).end_rx(now, outcome);
+                self.power_touch(sched, r);
                 if !lost {
                     if for_me {
                         self.mac_event(sched, r, class, MacEvent::RxFrame(frame));
@@ -527,7 +815,13 @@ impl World {
     }
 
     /// A clean frame addressed to someone else finished at `node`.
-    fn on_overheard(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, class: Class, frame: &MacFrame) {
+    fn on_overheard(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        node: NodeId,
+        class: Class,
+        frame: &MacFrame,
+    ) {
         match class {
             Class::Low => {
                 // "Sensor-header" accounting: the node decodes the header
@@ -540,7 +834,10 @@ impl World {
             Class::High => {
                 // Shortcut learning: hearing our own packets being
                 // forwarded teaches us the forwarder (Section 3).
-                if let HighRoute::LowParents { shortcuts: true, .. } = self.scen.high_route {
+                if let HighRoute::LowParents {
+                    shortcuts: true, ..
+                } = self.scen.high_route
+                {
                     if sched.now() <= self.nodes[node.index()].listen_until {
                         if let Some(Payload::Burst { packets, .. }) = self.payloads.get(&frame.tag)
                         {
@@ -638,7 +935,14 @@ impl World {
         }
     }
 
-    fn tx_outcome(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, _class: Class, ok: bool, tag: u64) {
+    fn tx_outcome(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        node: NodeId,
+        _class: Class,
+        ok: bool,
+        tag: u64,
+    ) {
         let Some(payload) = self.payloads.remove(&tag) else {
             return;
         };
@@ -674,7 +978,9 @@ impl World {
         self.next_tag += 1;
         self.payloads.insert(tag, payload);
         let dst = self.mac_addr_of(to, class);
-        let frame = self.nodes[node.index()].mac_mut(class).make_data(dst, bytes, tag);
+        let frame = self.nodes[node.index()]
+            .mac_mut(class)
+            .make_data(dst, bytes, tag);
         self.mac_event(sched, node, class, MacEvent::Enqueue(frame));
     }
 
@@ -682,7 +988,12 @@ impl World {
     // BCP binding
     // ------------------------------------------------------------------
 
-    fn sender_actions(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, actions: Vec<SenderAction>) {
+    fn sender_actions(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        node: NodeId,
+        actions: Vec<SenderAction>,
+    ) {
         for a in actions {
             match a {
                 SenderAction::SendWakeUp {
@@ -800,7 +1111,13 @@ impl World {
         }
     }
 
-    fn send_control(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, dst: NodeId, msg: HandshakeMsg) {
+    fn send_control(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        node: NodeId,
+        dst: NodeId,
+        msg: HandshakeMsg,
+    ) {
         if let Some(next) = self.low_routes.next_hop(node, dst) {
             self.enqueue_frame(
                 sched,
@@ -813,7 +1130,12 @@ impl World {
         }
     }
 
-    fn acquire_high(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, ready_burst: Option<BurstId>) {
+    fn acquire_high(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        node: NodeId,
+        ready_burst: Option<BurstId>,
+    ) {
         let now = sched.now();
         if let Some(id) = self.linger.remove(&node.0) {
             sched.cancel(id);
@@ -829,6 +1151,8 @@ impl World {
                 let d = self.nodes[node.index()]
                     .radio_mut(Class::High)
                     .begin_wakeup(now);
+                // The wake-up pulse is a lump charge: drain it now.
+                self.power_touch(sched, node);
                 sched.after(d, Ev::RadioWakeDone { node });
                 if let Some(b) = ready_burst {
                     self.nodes[node.index()].wake_pending.push(b);
@@ -886,6 +1210,12 @@ impl World {
         self.nodes[node.index()]
             .radio_mut(Class::High)
             .complete_wakeup(now);
+        // The high radio now idles expensively: re-project depletion (this
+        // can kill the node on the spot if the battery is that close).
+        self.power_touch(sched, node);
+        if !self.nodes[node.index()].is_alive() {
+            return;
+        }
         if self.chans[Class::High.index()].carrier_busy(node) {
             self.mac_event(sched, node, Class::High, MacEvent::Carrier(true));
         }
@@ -902,29 +1232,38 @@ impl World {
     fn high_idle_off(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
         self.linger.remove(&node.0);
         let now = sched.now();
-        let n = &mut self.nodes[node.index()];
-        if n.high_refs > 0 {
-            return; // re-acquired meanwhile
-        }
-        // The MAC may still owe a link ACK (SIFS-delayed) or hold queued
-        // frames; powering down now would transmit from a dead radio.
-        let mac_busy = !n
-            .high_mac
-            .as_ref()
-            .map(|m| m.is_quiescent())
-            .unwrap_or(true);
-        let radio = n.radio_mut(Class::High);
-        match radio.state() {
-            RadioState::Idle if !mac_busy => radio.turn_off(now),
-            RadioState::Off => {}
-            _ => {
-                // Busy (rx/tx/waking/ack owed): try again shortly.
-                let delay = self.scen.off_linger;
-                let id = sched.after(delay, Ev::HighIdleOff { node });
-                if let Some(old) = self.linger.insert(node.0, id) {
-                    sched.cancel(old);
+        let turned_off = {
+            let n = &mut self.nodes[node.index()];
+            if n.high_refs > 0 {
+                return; // re-acquired meanwhile
+            }
+            // The MAC may still owe a link ACK (SIFS-delayed) or hold queued
+            // frames; powering down now would transmit from a dead radio.
+            let mac_busy = !n
+                .high_mac
+                .as_ref()
+                .map(|m| m.is_quiescent())
+                .unwrap_or(true);
+            let radio = n.radio_mut(Class::High);
+            match radio.state() {
+                RadioState::Idle if !mac_busy => {
+                    radio.turn_off(now);
+                    true
+                }
+                RadioState::Off => false,
+                _ => {
+                    // Busy (rx/tx/waking/ack owed): try again shortly.
+                    let delay = self.scen.off_linger;
+                    let id = sched.after(delay, Ev::HighIdleOff { node });
+                    if let Some(old) = self.linger.insert(node.0, id) {
+                        sched.cancel(old);
+                    }
+                    false
                 }
             }
+        };
+        if turned_off {
+            self.power_touch(sched, node);
         }
     }
 
@@ -934,8 +1273,34 @@ impl World {
 
     fn finalize(mut self, end: SimTime, events: u64) -> RunStats {
         use bcp_radio::energy::EnergyBucket as B;
-        self.metrics.collisions =
-            self.chans[0].collisions() + self.chans[1].collisions();
+        self.metrics.collisions = self.chans[0].collisions() + self.chans[1].collisions();
+        // Close every surviving battery against its meters at the horizon
+        // (dead nodes were closed at the instant of death).
+        let per_node: Vec<crate::metrics::NodePowerReport> = (0..self.nodes.len())
+            .map(|i| {
+                let metered = self.nodes[i].metered_total(end);
+                let n = &mut self.nodes[i];
+                if let (true, Some(s)) = (n.is_alive(), n.supply.as_mut()) {
+                    s.sync_to(metered);
+                }
+                let (drawn_j, capacity_j, residual_j) = match &n.supply {
+                    Some(s) => (
+                        Some(s.battery().drawn().as_joules()),
+                        Some(s.battery().capacity().as_joules()),
+                        Some(s.battery().remaining().as_joules()),
+                    ),
+                    None => (None, None, None),
+                };
+                crate::metrics::NodePowerReport {
+                    node: n.id,
+                    ledger_j: metered.as_joules(),
+                    drawn_j,
+                    capacity_j,
+                    residual_j,
+                    died_at_s: n.died_at.map(|t| t.as_secs_f64()),
+                }
+            })
+            .collect();
         // Reconcile per-packet fates: exact loss/residual accounting.
         let mut delivered = 0u64;
         for f in self.fates.values() {
@@ -987,6 +1352,7 @@ impl World {
             energy + overhear_full_extra,
             events,
         )
+        .with_per_node(per_node)
     }
 }
 
@@ -1160,6 +1526,184 @@ mod tests {
             learned.mean_delay_s,
             plain.mean_delay_s
         );
+    }
+
+    #[test]
+    fn batteries_kill_nodes_and_stats_report_it() {
+        use bcp_power::{Battery, PowerConfig};
+        // A battery that survives roughly half the run at MicaZ idle draw.
+        let mut s = two_node(ModelKind::Sensor, 10);
+        s.power = PowerConfig::with_battery(Battery::ideal_joules(8.0));
+        let stats = s.run();
+        let ttfd = stats.time_to_first_death_s.expect("sender must die");
+        assert!(ttfd > 0.0 && ttfd < 200.0, "death inside the run: {ttfd}");
+        assert_eq!(stats.metrics.node_deaths, 1, "sink is mains-powered");
+        // The sole sender died: that is a sink disconnection.
+        assert_eq!(stats.time_to_partition_s, Some(ttfd));
+        assert!(stats.delivered_before_first_death > 0);
+        assert!(stats.delivered_before_first_death <= stats.metrics.delivered_packets);
+        // The alive prefix delivered nearly everything it generated...
+        assert!(stats.goodput_before_first_death() > 0.9);
+        // ...and generation stopped at death: 2 kbps of 32 B packets for
+        // `ttfd` seconds, not for the full 200 s run.
+        let expected = ttfd * 2_000.0 / (32.0 * 8.0);
+        let generated = stats.metrics.generated_packets as f64;
+        assert!(
+            generated <= expected + 2.0 && generated >= expected * 0.9,
+            "dead senders go quiet: {generated} packets vs ~{expected:.0} to death"
+        );
+        // Per-node accounting: the sender's battery is spent, the sink
+        // runs on mains.
+        let sender = &stats.per_node[1];
+        assert_eq!(sender.died_at_s, Some(ttfd));
+        assert!(sender.residual_j.unwrap() < 1e-6);
+        assert!(stats.per_node[0].capacity_j.is_none());
+    }
+
+    #[test]
+    fn unlimited_power_reports_no_deaths() {
+        let stats = two_node(ModelKind::Sensor, 10).run();
+        assert_eq!(stats.time_to_first_death_s, None);
+        assert_eq!(stats.time_to_partition_s, None);
+        assert_eq!(stats.metrics.node_deaths, 0);
+        assert_eq!(
+            stats.delivered_before_first_death,
+            stats.metrics.delivered_packets
+        );
+        assert!(stats.per_node.iter().all(|n| n.capacity_j.is_none()));
+    }
+
+    #[test]
+    fn death_times_are_seed_reproducible() {
+        use bcp_power::{Battery, PowerConfig};
+        let build = || {
+            let mut s = Scenario::single_hop(ModelKind::DualRadio, 5, 100, 11);
+            s.duration = SimDuration::from_secs(300);
+            s.power = PowerConfig::with_battery(Battery::aa_pair().scaled(5e-4));
+            s
+        };
+        let a = build().run();
+        let b = build().run();
+        assert_eq!(a.time_to_first_death_s, b.time_to_first_death_s);
+        assert_eq!(a.metrics.node_deaths, b.metrics.node_deaths);
+        let deaths_a: Vec<_> = a.per_node.iter().map(|n| n.died_at_s).collect();
+        let deaths_b: Vec<_> = b.per_node.iter().map(|n| n.died_at_s).collect();
+        assert_eq!(deaths_a, deaths_b, "identical seeds, identical deaths");
+        assert!(a.metrics.node_deaths > 0, "scenario exercises death at all");
+    }
+
+    #[test]
+    fn survivors_reroute_around_a_corpse() {
+        use bcp_power::{Battery, PowerConfig};
+        // A 3×3 grid at orthogonal-neighbour range; sink in the corner.
+        // The shortest-hop route from corner 8 runs 8→5→2→1→0 (BFS ties
+        // break to the lowest id); relay 1 gets a starved battery and dies
+        // mid-run, and the sender must keep delivering around the corpse.
+        let mut s = Scenario::single_hop(ModelKind::Sensor, 1, 10, 5);
+        s.topo = Topology::grid(3, 40.0);
+        s.sink = NodeId(0);
+        s.senders = vec![NodeId(8)];
+        s.duration = SimDuration::from_secs(400);
+        s.rate_bps = 500.0;
+        s.power = PowerConfig::unlimited().with_node_battery(1, Battery::ideal_joules(6.0));
+        let stats = s.run();
+        let ttfd = stats.time_to_first_death_s.expect("starved relay dies");
+        assert!(ttfd < 250.0, "death well inside the run: {ttfd}");
+        assert_eq!(stats.metrics.node_deaths, 1, "only the starved relay");
+        assert_eq!(stats.per_node[1].died_at_s, Some(ttfd));
+        assert_eq!(
+            stats.time_to_partition_s, None,
+            "the grid survives one corpse"
+        );
+        assert!(
+            stats.metrics.delivered_packets > stats.delivered_before_first_death,
+            "deliveries continued past the death at {ttfd}"
+        );
+        // Without route repair the MAC would shed every post-death packet
+        // at the dead next hop; end-to-end goodput stays high instead.
+        assert!(stats.goodput > 0.9, "goodput {}", stats.goodput);
+    }
+
+    #[test]
+    fn dead_forwarders_do_not_blackhole_learned_shortcuts() {
+        use crate::scenario::HighRoute;
+        use bcp_power::{Battery, PowerConfig};
+        use bcp_sim::time::SimDuration as D;
+        // 3×3 grid, mid-range high radio: corner sender 8 learns shortcuts
+        // through the 8→5→2→1→0 low-parent chain. All three relays on that
+        // chain are starved and die mid-run; the learned shortcut must die
+        // with them (not keep swallowing bursts), and traffic must continue
+        // over the surviving 7/6/3 side of the grid.
+        let mut s = Scenario::single_hop(ModelKind::DualRadio, 1, 50, 9);
+        s.topo = Topology::grid(3, 40.0);
+        s.sink = NodeId(0);
+        s.senders = vec![NodeId(8)];
+        s.high_profile = bcp_radio::profile::cabletron().with_range(100.0);
+        s.duration = D::from_secs(600);
+        s.rate_bps = 2_000.0;
+        s.high_route = HighRoute::LowParents {
+            shortcuts: true,
+            listen: D::from_millis(200),
+        };
+        s.power = PowerConfig::unlimited()
+            .with_node_battery(1, Battery::ideal_joules(8.0))
+            .with_node_battery(2, Battery::ideal_joules(8.0))
+            .with_node_battery(5, Battery::ideal_joules(8.0));
+        let stats = s.run();
+        assert_eq!(stats.metrics.node_deaths, 3, "the starved chain died");
+        let ttfd = stats.time_to_first_death_s.expect("deaths happened");
+        assert!(ttfd < 400.0, "deaths left time to recover: {ttfd}");
+        assert!(
+            stats.metrics.delivered_packets > stats.delivered_before_first_death,
+            "deliveries continued after the chain died"
+        );
+        assert!(
+            stats.goodput > 0.6,
+            "no blackhole: goodput {}",
+            stats.goodput
+        );
+    }
+
+    #[test]
+    fn energy_aware_routing_runs_and_delivers() {
+        use bcp_net::routing::RouteWeight;
+        use bcp_power::{Battery, PowerConfig};
+        use bcp_sim::time::SimDuration as D;
+        let mut s = Scenario::single_hop(ModelKind::Sensor, 5, 10, 3);
+        s.duration = D::from_secs(200);
+        s.power = PowerConfig::with_battery(Battery::ideal_joules(50.0))
+            .with_reroute_every(D::from_secs(20));
+        s.route_weight = RouteWeight::MaxMinResidual;
+        let stats = s.run();
+        assert!(stats.goodput > 0.0, "energy-aware routes still deliver");
+    }
+
+    #[test]
+    fn battery_drain_matches_ledgers_exactly() {
+        use bcp_power::{Battery, PowerConfig};
+        for model in [ModelKind::Sensor, ModelKind::Dot11, ModelKind::DualRadio] {
+            let mut s = two_node(model, 50);
+            s.duration = SimDuration::from_secs(100);
+            s.power = PowerConfig::with_battery(Battery::ideal_joules(30.0)).battery_powered_sink();
+            let stats = s.run();
+            for n in &stats.per_node {
+                let drawn = n.drawn_j.expect("all nodes battery-powered");
+                let cap = n.capacity_j.unwrap();
+                // The battery supplied exactly what the meters recorded,
+                // clamped at capacity for nodes that died.
+                assert!(
+                    (drawn - n.ledger_j.min(cap)).abs() < 1e-6,
+                    "{model:?} {}: drawn {drawn} vs ledger {} (cap {cap})",
+                    n.node,
+                    n.ledger_j
+                );
+                // A dead node's ledger froze at death: it never exceeds
+                // capacity by more than the one-tick death rounding.
+                if n.died_at_s.is_some() {
+                    assert!(n.ledger_j <= cap + 1e-6, "ledger kept accumulating");
+                }
+            }
+        }
     }
 
     #[test]

@@ -95,13 +95,30 @@ enum HighState {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum TbEv {
     MsgGen,
-    LowDataArrive { pkt: AppPacket },
-    CtrlArrive { msg: HandshakeMsg },
-    FrameArrive { burst: BurstId, index: u32, count: u32, packets: Vec<AppPacket> },
-    FrameTxDone { burst: BurstId },
-    WakeDone { side: Side },
-    AckTimer { burst: BurstId },
-    DataTimer { burst: BurstId },
+    LowDataArrive {
+        pkt: AppPacket,
+    },
+    CtrlArrive {
+        msg: HandshakeMsg,
+    },
+    FrameArrive {
+        burst: BurstId,
+        index: u32,
+        count: u32,
+        packets: Vec<AppPacket>,
+    },
+    FrameTxDone {
+        burst: BurstId,
+    },
+    WakeDone {
+        side: Side,
+    },
+    AckTimer {
+        burst: BurstId,
+    },
+    DataTimer {
+        burst: BurstId,
+    },
     Flush,
 }
 
@@ -183,8 +200,14 @@ impl Harness {
             TbEv::CtrlArrive { msg } => match msg {
                 HandshakeMsg::WakeUp { burst, burst_bytes } => {
                     let mut out = Vec::new();
-                    self.bcp_rx
-                        .on_wakeup(now, SENDER, burst, burst_bytes, usize::MAX / 4, &mut out);
+                    self.bcp_rx.on_wakeup(
+                        now,
+                        SENDER,
+                        burst,
+                        burst_bytes,
+                        usize::MAX / 4,
+                        &mut out,
+                    );
                     self.receiver_actions(sched, out);
                 }
                 HandshakeMsg::WakeUpAck {
@@ -192,7 +215,8 @@ impl Harness {
                     granted_bytes,
                 } => {
                     let mut out = Vec::new();
-                    self.bcp_tx.on_wakeup_ack(now, burst, granted_bytes, &mut out);
+                    self.bcp_tx
+                        .on_wakeup_ack(now, burst, granted_bytes, &mut out);
                     self.sender_actions(sched, out);
                 }
             },
@@ -340,19 +364,22 @@ impl Harness {
                             packets,
                         },
                     );
-                    sched.after(difs + frame_air + sifs + ack_air, TbEv::FrameTxDone { burst });
+                    sched.after(
+                        difs + frame_air + sifs + ack_air,
+                        TbEv::FrameTxDone { burst },
+                    );
                 }
                 SenderAction::SendLowData { packets, .. } => {
                     for pkt in packets {
-                        let latency =
-                            self.cfg.low.frame_airtime(pkt.bytes) + self.cfg.low_access;
+                        let latency = self.cfg.low.frame_airtime(pkt.bytes) + self.cfg.low_access;
                         self.trace.record(now, TbEvent::LowTx { bytes: pkt.bytes });
                         sched.after(latency, TbEv::LowDataArrive { pkt });
                     }
                 }
                 SenderAction::ReleaseHighRadio { .. } => {
                     self.high[0] = HighState::Off;
-                    self.trace.record(now, TbEvent::HighOff { side: Side::Sender });
+                    self.trace
+                        .record(now, TbEvent::HighOff { side: Side::Sender });
                 }
                 SenderAction::PacketsDropped { .. } | SenderAction::SessionDone { .. } => {}
             }
@@ -396,8 +423,12 @@ impl Harness {
                 }
                 ReceiverAction::ReleaseHighRadio { .. } => {
                     self.high[1] = HighState::Off;
-                    self.trace
-                        .record(now, TbEvent::HighOff { side: Side::Receiver });
+                    self.trace.record(
+                        now,
+                        TbEvent::HighOff {
+                            side: Side::Receiver,
+                        },
+                    );
                 }
                 ReceiverAction::DeliverPackets { packets, .. } => {
                     for pkt in packets {

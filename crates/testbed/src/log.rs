@@ -159,9 +159,8 @@ impl LogAccounting {
         let mut high_idle = Energy::ZERO;
         for i in 0..2 {
             let idle = on_time[i].saturating_add(SimDuration::ZERO);
-            let idle = SimDuration::from_nanos(
-                idle.as_nanos().saturating_sub(busy_time[i].as_nanos()),
-            );
+            let idle =
+                SimDuration::from_nanos(idle.as_nanos().saturating_sub(busy_time[i].as_nanos()));
             high_idle += high.p_idle * idle;
         }
         let mean_delay = delay_sum
@@ -223,7 +222,10 @@ mod tests {
                 ifs: SimDuration::ZERO,
             },
         );
-        tr.record(SimTime::from_millis(10), TbEvent::HighOff { side: Side::Sender });
+        tr.record(
+            SimTime::from_millis(10),
+            TbEvent::HighOff { side: Side::Sender },
+        );
         let high = lucent_11m();
         let acc = LogAccounting::from_trace(&tr, &cc2420(), &high, SimTime::from_secs(1));
         // Sender on for 10 ms, busy 1 ms -> 9 ms idle; receiver never on
@@ -233,13 +235,21 @@ mod tests {
         let expect_active =
             high.p_tx * SimDuration::from_millis(1) + high.p_rx * SimDuration::from_millis(1);
         assert!((acc.high_active.as_joules() - expect_active.as_joules()).abs() < 1e-12);
-        assert!((acc.wakeup.as_millijoules() - 0.6).abs() < 1e-9, "one wakeup");
+        assert!(
+            (acc.wakeup.as_millijoules() - 0.6).abs() < 1e-9,
+            "one wakeup"
+        );
     }
 
     #[test]
     fn open_span_closed_at_end() {
         let mut tr = Trace::unbounded();
-        tr.record(SimTime::ZERO, TbEvent::HighOn { side: Side::Receiver });
+        tr.record(
+            SimTime::ZERO,
+            TbEvent::HighOn {
+                side: Side::Receiver,
+            },
+        );
         let high = lucent_11m();
         let acc = LogAccounting::from_trace(&tr, &cc2420(), &high, SimTime::from_secs(2));
         let expect = high.p_idle * SimDuration::from_secs(2);

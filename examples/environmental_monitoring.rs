@@ -16,7 +16,9 @@ use bcp::simnet::{ModelKind, Scenario};
 fn main() {
     let senders = 15;
     let duration = SimDuration::from_secs(3_000);
-    println!("environmental monitoring: {senders} senders at 0.2 Kbps, 6x6 grid, Cabletron uplink\n");
+    println!(
+        "environmental monitoring: {senders} senders at 0.2 Kbps, 6x6 grid, Cabletron uplink\n"
+    );
     println!(
         "{:>14} {:>9} {:>12} {:>12} {:>10}",
         "burst (pkts)", "goodput", "J/Kbit", "delay (s)", "wakeups"
@@ -28,11 +30,7 @@ fn main() {
             .run();
         println!(
             "{:>14} {:>9.3} {:>12.4} {:>12.1} {:>10}",
-            burst,
-            stats.goodput,
-            stats.j_per_kbit,
-            stats.mean_delay_s,
-            stats.metrics.radio_wakeups
+            burst, stats.goodput, stats.j_per_kbit, stats.mean_delay_s, stats.metrics.radio_wakeups
         );
     }
     let sensor = Scenario::multi_hop(ModelKind::Sensor, senders, 10, 3)

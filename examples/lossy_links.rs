@@ -51,8 +51,7 @@ fn main() {
         "observed retx/frame", "α·s* (bytes)", "viable?"
     );
     for retx in [1.0, 1.2, 1.5, 2.0, 3.0] {
-        let mut ctl =
-            AdaptiveThreshold::new(DualRadioLink::new(micaz(), lucent_11m()), 2.0, 0.3);
+        let mut ctl = AdaptiveThreshold::new(DualRadioLink::new(micaz(), lucent_11m()), 2.0, 0.3);
         for _ in 0..100 {
             ctl.observe_high(retx);
         }

@@ -1,0 +1,68 @@
+//! Network lifetime on finite batteries: how long does each stack live?
+//!
+//! ```text
+//! cargo run --release --example network_lifetime
+//! ```
+//!
+//! The paper's 6×6 grid, every node on a 2×AA alkaline pack, comparing the
+//! three evaluated stacks. A real 2×AA pack (~21 kJ usable) outlives weeks
+//! of simulated time, so the pack is scaled down 2000× for a minutes-scale
+//! run; the final column extrapolates the deaths back to full AA packs.
+
+use bcp::power::{Battery, BatteryModel, PowerConfig};
+use bcp::sim::time::SimDuration;
+use bcp::simnet::{ModelKind, RunStats, Scenario};
+
+/// How much smaller than real AA packs the simulated batteries are.
+const SCALE: f64 = 2000.0;
+
+fn run(model: ModelKind, burst: usize) -> RunStats {
+    let mut s =
+        Scenario::single_hop(model, 10, burst, 1).with_duration(SimDuration::from_secs(600));
+    s.power = PowerConfig::with_battery(Battery::aa_pair().scaled(1.0 / SCALE));
+    s.run()
+}
+
+fn main() {
+    let pack = Battery::aa_pair();
+    println!(
+        "2×AA pack: {:.1} kJ usable; simulated at 1/{SCALE:.0} scale ({:.1} J per node)\n",
+        pack.capacity().as_joules() / 1e3,
+        pack.capacity().as_joules() / SCALE
+    );
+    println!(
+        "{:<15} {:>14} {:>12} {:>8} {:>16} {:>14}",
+        "model", "first death s", "partition s", "deaths", "%delivered@death", "full-AA days"
+    );
+    for (label, model, burst) in [
+        ("Sensor", ModelKind::Sensor, 10),
+        ("802.11", ModelKind::Dot11, 10),
+        ("DualRadio-100", ModelKind::DualRadio, 100),
+    ] {
+        let stats = run(model, burst);
+        let fmt_t = |t: Option<f64>| match t {
+            Some(t) => format!("{t:.1}"),
+            None => "-".into(),
+        };
+        // A death at t seconds on a 1/SCALE pack is a death at SCALE·t on
+        // the real thing (idle-dominated drain scales linearly).
+        let full_days = stats
+            .time_to_first_death_s
+            .map(|t| format!("{:.1}", t * SCALE / 86_400.0))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{label:<15} {:>14} {:>12} {:>8} {:>15.1}% {:>14}",
+            fmt_t(stats.time_to_first_death_s),
+            fmt_t(stats.time_to_partition_s),
+            stats.metrics.node_deaths,
+            stats.goodput_before_first_death() * 100.0,
+            full_days,
+        );
+    }
+    println!(
+        "\nThe always-on 802.11 network idles itself to death in hours; BCP\n\
+         tracks the sensor baseline's lifetime (an order of magnitude longer)\n\
+         while moving bulk data — the paper's J/Kbit savings, banked as days\n\
+         of extra life."
+    );
+}

@@ -19,6 +19,7 @@
 //! | [`radio`] | radio profiles (the paper's Table 1), energy ledgers, device state machine |
 //! | [`analysis`] | Equations (1)–(5): break-even sizes, feasibility sweeps (Figs. 1–4) |
 //! | [`net`] | topologies, loss models, routing trees, address mapping |
+//! | [`power`] | finite batteries, depletion tracking, network lifetime |
 //! | [`mac`] | sans-IO 802.11 DCF and sensor CSMA state machines |
 //! | [`traffic`] | CBR / Poisson / bursty-audio workloads |
 //! | [`core`] | **BCP itself**: buffers, wake-up handshake, burst transfer |
@@ -53,6 +54,7 @@ pub use bcp_core as core;
 pub use bcp_experiments as experiments;
 pub use bcp_mac as mac;
 pub use bcp_net as net;
+pub use bcp_power as power;
 pub use bcp_radio as radio;
 pub use bcp_sim as sim;
 pub use bcp_simnet as simnet;

@@ -50,8 +50,7 @@ fn equation2_matches_testbed_burst_energy_at_scale() {
     // analytic marginal cost (fixed costs amortised away).
     let link = DualRadioLink::new(cc2420(), lucent_11m());
     let pkt_bytes = 32;
-    let analytic_marginal =
-        link.per_byte_high().as_joules() * pkt_bytes as f64 * 1e6; // µJ per packet
+    let analytic_marginal = link.per_byte_high().as_joules() * pkt_bytes as f64 * 1e6; // µJ per packet
     let tb = run(&TestbedConfig::paper(4992, 1), TestbedMode::DualRadio);
     // The testbed still pays the low-radio handshake and idle, so it sits
     // above the marginal cost — but within ~4x at 5 KB bursts.
@@ -94,9 +93,8 @@ fn burst_knee_consistent_between_fig4_and_testbed() {
     // Fig. 4's rule of thumb: most savings materialise by ~10 packets
     // (10 KB of 802.11 payload). In the testbed's sweep the energy drop
     // from 500 B to 2 KB must exceed the drop from 2 KB to 5 KB.
-    let e = |th: usize| {
-        run(&TestbedConfig::paper(th, 1), TestbedMode::DualRadio).energy_per_packet_uj
-    };
+    let e =
+        |th: usize| run(&TestbedConfig::paper(th, 1), TestbedMode::DualRadio).energy_per_packet_uj;
     let early_drop = e(512) - e(2048);
     let late_drop = e(2048) - e(4992);
     assert!(

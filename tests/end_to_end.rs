@@ -166,9 +166,7 @@ fn traffic_cutoff_and_flush_drain_everything() {
     assert_eq!(
         m.residual_packets, 0,
         "flush leaves nothing behind: {} of {} delivered, {} residual",
-        m.delivered_packets,
-        m.generated_packets,
-        m.residual_packets
+        m.delivered_packets, m.generated_packets, m.residual_packets
     );
 }
 

@@ -42,7 +42,11 @@ fn lossy_high_channel_costs_energy_not_correctness() {
         lossy.j_per_kbit,
         clean.j_per_kbit
     );
-    assert!(lossy.goodput > 0.5, "still mostly delivers: {}", lossy.goodput);
+    assert!(
+        lossy.goodput > 0.5,
+        "still mostly delivers: {}",
+        lossy.goodput
+    );
 }
 
 #[test]
@@ -127,6 +131,10 @@ fn extreme_contention_many_senders_tiny_bursts() {
     let stats = Scenario::single_hop(ModelKind::DualRadio, 35, 10, 7)
         .with_duration(SimDuration::from_secs(150))
         .run();
-    assert!(stats.goodput > 0.1, "still makes progress: {}", stats.goodput);
+    assert!(
+        stats.goodput > 0.1,
+        "still makes progress: {}",
+        stats.goodput
+    );
     assert!(stats.metrics.collisions > 0, "contention is real");
 }

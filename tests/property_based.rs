@@ -1,4 +1,10 @@
 //! Property-based tests over the protocol stack's invariants.
+//!
+//! The workspace is built offline, so instead of an external property-test
+//! framework these properties are exercised by a small in-repo harness: each
+//! property runs over many inputs generated from the workspace's own
+//! deterministic [`Rng`], so failures reproduce exactly (the failing case is
+//! identified by its case index).
 
 use bcp::core::buffer::NextHopBuffers;
 use bcp::core::frag::{pack_frames, total_bytes, Reassembly};
@@ -7,17 +13,28 @@ use bcp::net::addr::NodeId;
 use bcp::sim::rng::Rng;
 use bcp::sim::stats::Welford;
 use bcp::sim::time::{SimDuration, SimTime};
-use proptest::prelude::*;
 
-fn arb_packet_sizes() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..=1024, 0..200)
+const CASES: u64 = 64;
+
+/// Runs `body` over `CASES` seeded cases, labelling failures by case index.
+fn for_each_case(master_seed: u64, mut body: impl FnMut(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = Rng::new(master_seed ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        body(&mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_packet_sizes(rng: &mut Rng, max_len: u64, max_bytes: u64) -> Vec<usize> {
+    let n = rng.range_u64(0, max_len);
+    (0..n)
+        .map(|_| rng.range_u64(1, max_bytes + 1) as usize)
+        .collect()
+}
 
-    #[test]
-    fn pack_frames_is_order_preserving_partition(sizes in arb_packet_sizes()) {
+#[test]
+fn pack_frames_is_order_preserving_partition() {
+    for_each_case(0xA11CE, |rng| {
+        let sizes = arb_packet_sizes(rng, 200, 1024);
         let packets: Vec<AppPacket> = sizes
             .iter()
             .enumerate()
@@ -26,16 +43,22 @@ proptest! {
         let frames = pack_frames(packets.clone(), 1024);
         // Partition: flattening returns the exact input sequence.
         let flat: Vec<AppPacket> = frames.iter().flatten().copied().collect();
-        prop_assert_eq!(flat, packets);
+        assert_eq!(flat, packets);
         // Every frame respects the cap and is non-empty.
         for f in &frames {
-            prop_assert!(!f.is_empty());
-            prop_assert!(total_bytes(f) <= 1024);
+            assert!(!f.is_empty());
+            assert!(total_bytes(f) <= 1024);
         }
-    }
+    });
+}
 
-    #[test]
-    fn pack_frames_is_greedy_dense(sizes in prop::collection::vec(1usize..=512, 1..100)) {
+#[test]
+fn pack_frames_is_greedy_dense() {
+    for_each_case(0xB0B, |rng| {
+        let mut sizes = arb_packet_sizes(rng, 100, 512);
+        if sizes.is_empty() {
+            sizes.push(1);
+        }
         let packets: Vec<AppPacket> = sizes
             .iter()
             .enumerate()
@@ -45,22 +68,25 @@ proptest! {
         // Greedy property: no packet could move one frame earlier.
         for w in frames.windows(2) {
             let head_next = w[1].first().expect("frames non-empty");
-            prop_assert!(
+            assert!(
                 total_bytes(&w[0]) + head_next.bytes > 1024,
                 "packet should have been packed into the previous frame"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn buffer_conservation_under_random_ops(
-        ops in prop::collection::vec((0u8..2, 0u32..4, 1usize..64), 1..300),
-        cap in 256usize..8192,
-    ) {
+#[test]
+fn buffer_conservation_under_random_ops() {
+    for_each_case(0xC0FFEE, |rng| {
+        let cap = rng.range_u64(256, 8192) as usize;
+        let n_ops = rng.range_u64(1, 300);
         let mut buf = NextHopBuffers::new(cap);
         let mut seq = 0u64;
-        for (op, hop, arg) in ops {
-            let hop = NodeId(hop);
+        for _ in 0..n_ops {
+            let op = rng.range_u64(0, 2);
+            let hop = NodeId(rng.range_u64(0, 4) as u32);
+            let arg = rng.range_u64(1, 64) as usize;
             match op {
                 0 => {
                     let pkt = AppPacket::new(NodeId(9), NodeId(0), seq, SimTime::ZERO, 32);
@@ -72,83 +98,109 @@ proptest! {
                 }
             }
             buf.check_conservation();
-            prop_assert!(buf.total_bytes() <= cap);
+            assert!(buf.total_bytes() <= cap);
         }
-    }
+    });
+}
 
-    #[test]
-    fn reassembly_completes_iff_all_frames_seen(
-        n_frames in 1u32..40,
-        order_seed in any::<u64>(),
-    ) {
+#[test]
+fn reassembly_completes_iff_all_frames_seen() {
+    for_each_case(0xD0E, |rng| {
+        let n_frames = rng.range_u64(1, 40) as u32;
         let mut order: Vec<u32> = (0..n_frames).collect();
-        let mut rng = Rng::new(order_seed);
         rng.shuffle(&mut order);
         let mut r = Reassembly::new(BurstId::new(NodeId(1), 0), n_frames);
         for (k, &idx) in order.iter().enumerate() {
-            prop_assert!(!r.is_complete());
+            assert!(!r.is_complete());
             let pkt = AppPacket::new(NodeId(1), NodeId(0), idx as u64, SimTime::ZERO, 32);
-            prop_assert!(r.record_frame(idx, &[pkt]), "fresh frame accepted");
-            prop_assert_eq!(r.frames_received(), k as u32 + 1);
+            assert!(r.record_frame(idx, &[pkt]), "fresh frame accepted");
+            assert_eq!(r.frames_received(), k as u32 + 1);
         }
-        prop_assert!(r.is_complete());
-        prop_assert_eq!(r.packets_received(), n_frames as u64);
-    }
+        assert!(r.is_complete());
+        assert_eq!(r.packets_received(), n_frames as u64);
+    });
+}
 
-    #[test]
-    fn welford_matches_naive_computation(xs in prop::collection::vec(-1e6f64..1e6, 2..100)) {
+#[test]
+fn welford_matches_naive_computation() {
+    for_each_case(0xE1F, |rng| {
+        let n = rng.range_u64(2, 100) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| (rng.f64() - 0.5) * 2e6).collect();
         let w: Welford = xs.iter().copied().collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
-        prop_assert!((w.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
-        prop_assert!((w.sample_variance() - var).abs() <= 1e-6 * var.abs().max(1.0));
-    }
+        assert!((w.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        assert!((w.sample_variance() - var).abs() <= 1e-6 * var.abs().max(1.0));
+    });
+}
 
-    #[test]
-    fn rng_streams_are_reproducible_and_bounded(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+#[test]
+fn rng_streams_are_reproducible_and_bounded() {
+    for_each_case(0xF00D, |rng| {
+        let seed = rng.next_u64();
+        let lo = rng.range_u64(0, 1000);
+        let span = rng.range_u64(1, 1000);
         let mut a = Rng::new(seed);
         let mut b = Rng::new(seed);
         for _ in 0..50 {
             let x = a.range_u64(lo, lo + span);
-            prop_assert_eq!(x, b.range_u64(lo, lo + span));
-            prop_assert!((lo..lo + span).contains(&x));
+            assert_eq!(x, b.range_u64(lo, lo + span));
+            assert!((lo..lo + span).contains(&x));
         }
-    }
+    });
+}
 
-    #[test]
-    fn breakeven_monotone_in_idle_time(idle_ms in 0u64..5_000) {
-        use bcp::analysis::DualRadioLink;
-        use bcp::radio::profile::{lucent_11m, micaz};
+#[test]
+fn breakeven_monotone_in_idle_time() {
+    use bcp::analysis::DualRadioLink;
+    use bcp::radio::profile::{lucent_11m, micaz};
+    for_each_case(0xAB1E, |rng| {
+        let idle_ms = rng.range_u64(0, 5_000);
         let base = DualRadioLink::new(micaz(), lucent_11m());
         let with_idle = base
             .clone()
             .with_idle_time(SimDuration::from_millis(idle_ms));
         let s0 = base.break_even_bytes().unwrap();
         let s1 = with_idle.break_even_bytes().unwrap();
-        prop_assert!(s1 >= s0, "idle can only raise s*: {s0} -> {s1} at {idle_ms} ms");
-    }
+        assert!(
+            s1 >= s0,
+            "idle can only raise s*: {s0} -> {s1} at {idle_ms} ms"
+        );
+    });
+}
 
-    #[test]
-    fn breakeven_crossover_is_genuine(extra_idle_ms in 0u64..100) {
-        use bcp::analysis::DualRadioLink;
-        use bcp::radio::profile::{lucent_11m, micaz};
+#[test]
+fn breakeven_crossover_is_genuine() {
+    use bcp::analysis::DualRadioLink;
+    use bcp::radio::profile::{lucent_11m, micaz};
+    for_each_case(0xC0DE, |rng| {
+        let extra_idle_ms = rng.range_u64(0, 100);
         let link = DualRadioLink::new(micaz(), lucent_11m())
             .with_idle_time(SimDuration::from_millis(extra_idle_ms));
         if let Some(s) = link.break_even_bytes_exact(1 << 22) {
-            prop_assert!(link.energy_high(s) <= link.energy_low(s));
+            assert!(link.energy_high(s) <= link.energy_low(s));
             if s > 1 {
-                prop_assert!(link.energy_high(s - 1) > link.energy_low(s - 1));
+                assert!(link.energy_high(s - 1) > link.energy_low(s - 1));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn energy_ledger_total_is_sum_of_buckets(transitions in prop::collection::vec((0usize..7, 1u64..10_000), 1..50)) {
-        use bcp::radio::energy::{EnergyBucket, EnergyLedger};
-        use bcp::radio::units::Power;
-        let mut ledger = EnergyLedger::new(SimTime::ZERO, EnergyBucket::Idle, Power::from_milliwatts(10.0));
+#[test]
+fn energy_ledger_total_is_sum_of_buckets() {
+    use bcp::radio::energy::{EnergyBucket, EnergyLedger};
+    use bcp::radio::units::Power;
+    for_each_case(0x1ED6E5, |rng| {
+        let n = rng.range_u64(1, 50);
+        let mut ledger = EnergyLedger::new(
+            SimTime::ZERO,
+            EnergyBucket::Idle,
+            Power::from_milliwatts(10.0),
+        );
         let mut t = SimTime::ZERO;
-        for (bucket_idx, dt_us) in transitions {
+        for _ in 0..n {
+            let bucket_idx = rng.range_u64(0, 7) as usize;
+            let dt_us = rng.range_u64(1, 10_000);
             t += SimDuration::from_micros(dt_us);
             let bucket = EnergyBucket::ALL[bucket_idx];
             ledger.transition(t, bucket, Power::from_milliwatts(bucket_idx as f64 * 7.0));
@@ -158,6 +210,6 @@ proptest! {
             .iter()
             .map(|b| report.of(*b).as_joules())
             .sum();
-        prop_assert!((report.total().as_joules() - sum).abs() < 1e-12);
-    }
+        assert!((report.total().as_joules() - sum).abs() < 1e-12);
+    });
 }
