@@ -1,0 +1,110 @@
+//! Events/sec throughput of the sharded simulator: the keyed queue's raw
+//! push/pop rate, a mid-size whole-world run at several shard counts, and
+//! the conservative-window overhead on a small world. Guards the parallel
+//! path against regressions the unit tests cannot see (they check
+//! *identical results*, not *speed*).
+
+use bcp_net::addr::NodeId;
+use bcp_net::topo::Topology;
+use bcp_sim::keyed::ShardQueue;
+use bcp_sim::rng::Rng;
+use bcp_sim::time::{SimDuration, SimTime};
+use bcp_simnet::{ModelKind, Scenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn tight() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(20)
+}
+
+#[derive(Clone, Copy)]
+struct Tick(u64);
+impl bcp_sim::keyed::Keyed for Tick {
+    fn ord(&self) -> u128 {
+        self.0 as u128
+    }
+}
+
+fn keyed_queue_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard_queue");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("push_pop_1k", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| {
+            let mut q = ShardQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::from_nanos(1 + rng.next_u64() % 1_000_000), Tick(i));
+            }
+            let mut sum = 0u64;
+            while let Some((_, Tick(v))) = q.pop_min() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+/// A 24×24 sensor grid (576 nodes, ~58 senders): big enough that the
+/// events/sec figure reflects the sharded hot path, small enough for a
+/// bench budget.
+fn scale_scenario(shards: usize) -> Scenario {
+    let side = 24usize;
+    let topo = Topology::grid(side, 40.0);
+    let sink = NodeId((side / 2 * side + side / 2) as u32);
+    let senders = Scenario::pick_senders(&topo, sink, topo.len() / 10);
+    let mut s = Scenario::single_hop(ModelKind::Sensor, 1, 10, 7);
+    s.topo = topo;
+    s.sink = sink;
+    s.senders = senders;
+    s.duration = SimDuration::from_secs(3);
+    s.shards = shards;
+    s
+}
+
+fn world_events_per_sec(c: &mut Criterion) {
+    let events = scale_scenario(1).run().events;
+    let mut g = c.benchmark_group("world_events");
+    g.throughput(Throughput::Elements(events));
+    for shards in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| black_box(scale_scenario(shards).run().events));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn conservative_window_overhead(c: &mut Criterion) {
+    // A tiny world where barriers dominate: measures the fixed cost the
+    // conservative machinery adds per event when there is no work to
+    // parallelise.
+    let mut g = c.benchmark_group("window_overhead");
+    for shards in [1usize, 2] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                let scen = Scenario::single_hop(ModelKind::Sensor, 2, 10, 3)
+                    .with_duration(SimDuration::from_secs(5))
+                    .with_shards(shards);
+                b.iter(|| black_box(scen.run().events));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tight();
+    targets = keyed_queue_throughput, world_events_per_sec, conservative_window_overhead
+}
+criterion_main!(benches);

@@ -31,6 +31,7 @@ pub mod ablations;
 pub mod lifetime;
 pub mod output;
 pub mod registry;
+pub mod scale;
 pub mod suite;
 
 pub use output::Output;

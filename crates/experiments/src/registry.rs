@@ -109,6 +109,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Lifetime — time to first death vs battery capacity (finite energy)",
             run: crate::lifetime::lifetime,
         },
+        Experiment {
+            id: "scale",
+            title: "Scale — events/sec vs node count × shard count (multi-core single run)",
+            run: crate::scale::scale,
+        },
     ]
 }
 

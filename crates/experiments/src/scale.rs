@@ -1,0 +1,151 @@
+//! The `scale` experiment: single-run multi-core scaling.
+//!
+//! Sweeps node count × shard count on large sensor-model grids and
+//! reports wall-clock events/sec plus the speedup over the unsharded
+//! run. The sensor model is the scaling showcase on purpose: its only
+//! radio is the short-range MicaZ, so a strip partition cuts few links
+//! and the conservative lookahead is the low radio's link turnaround
+//! latency — wide enough windows to batch useful work per barrier.
+//!
+//! Results are bit-identical across shard counts (the sweep asserts the
+//! delivered-packet counts agree), so the table is purely about speed.
+//! Speedup requires actual cores: under `BCP_THREADS=1` (or on a
+//! single-core machine) every row degenerates to the sequential path.
+
+use crate::output::Output;
+use crate::suite::Quality;
+use bcp_net::addr::NodeId;
+use bcp_net::topo::Topology;
+use bcp_simnet::{ModelKind, Scenario};
+use std::time::Instant;
+
+/// Grid sides swept per quality (nodes = side²; 45² = 2025 nodes).
+fn sides(q: Quality) -> Vec<usize> {
+    match q {
+        Quality::Test => vec![16],
+        Quality::Quick => vec![24, 32],
+        Quality::PaperLite | Quality::Paper => vec![32, 45],
+    }
+}
+
+fn duration_s(q: Quality) -> u64 {
+    match q {
+        Quality::Test => 5,
+        Quality::Quick => 20,
+        Quality::PaperLite | Quality::Paper => 60,
+    }
+}
+
+/// Shard counts swept (1 is the sequential baseline).
+fn shard_counts(q: Quality) -> Vec<usize> {
+    match q {
+        Quality::Test => vec![1, 2, 4],
+        _ => vec![1, 2, 4, 8],
+    }
+}
+
+/// A large sensor-model convergecast: `side`×`side` grid at the paper's
+/// 40 m pitch, sink at the grid centre, one node in ten sending.
+pub fn sensor_scale(side: usize, seed: u64) -> Scenario {
+    let topo = Topology::grid(side, 40.0);
+    let n = topo.len();
+    let sink = NodeId((side / 2 * side + side / 2) as u32);
+    let senders = Scenario::pick_senders(&topo, sink, (n / 10).max(1));
+    let mut s = Scenario::single_hop(ModelKind::Sensor, 1, 10, seed);
+    s.topo = topo;
+    s.sink = sink;
+    s.senders = senders;
+    s
+}
+
+/// The registered `scale` experiment.
+pub fn scale(q: Quality) -> Output {
+    let dur = bcp_sim::time::SimDuration::from_secs(duration_s(q));
+    let mut rows = Vec::new();
+    for side in sides(q) {
+        let mut baseline_eps: Option<f64> = None;
+        let mut baseline_delivered: Option<u64> = None;
+        for shards in shard_counts(q) {
+            let scen = sensor_scale(side, 1).with_duration(dur).with_shards(shards);
+            let t = Instant::now();
+            let stats = scen.run();
+            let wall = t.elapsed().as_secs_f64().max(1e-9);
+            let eps = stats.events as f64 / wall;
+            let speedup = match baseline_eps {
+                None => {
+                    baseline_eps = Some(eps);
+                    1.0
+                }
+                Some(base) => eps / base,
+            };
+            // Sharding must never change physics: same deliveries.
+            match baseline_delivered {
+                None => baseline_delivered = Some(stats.metrics.delivered_packets),
+                Some(d) => assert_eq!(
+                    d, stats.metrics.delivered_packets,
+                    "sharded run diverged from the sequential baseline"
+                ),
+            }
+            rows.push(vec![
+                format!("{}", side * side),
+                format!("{shards}"),
+                format!("{}", stats.events),
+                format!("{:.2}", wall),
+                format!("{:.0}", eps),
+                format!("{speedup:.2}x"),
+                format!("{}", stats.metrics.delivered_packets),
+            ]);
+        }
+    }
+    Output::Table {
+        headers: [
+            "nodes",
+            "shards",
+            "events",
+            "wall_s",
+            "events/s",
+            "speedup",
+            "delivered",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+        notes: vec![
+            format!(
+                "sensor-model convergecast, {} s simulated, n/10 senders at 2 Kbps",
+                duration_s(q)
+            ),
+            format!(
+                "worker pool: {} threads (override with BCP_THREADS); speedup needs real cores",
+                bcp_sim::threads::worker_count(usize::MAX)
+            ),
+            "identical seeds give bit-identical results at every shard count".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_scenario_is_well_formed() {
+        let s = sensor_scale(16, 1);
+        assert_eq!(s.topo.len(), 256);
+        assert_eq!(s.senders.len(), 25);
+        assert!(!s.senders.contains(&s.sink));
+        assert_eq!(s.model, ModelKind::Sensor);
+    }
+
+    #[test]
+    fn scale_experiment_renders_and_agrees() {
+        // Runs the Test-quality sweep (asserting internally that sharded
+        // runs match the sequential baseline) and checks the table shape.
+        let out = scale(Quality::Test);
+        let text = out.render("scale");
+        assert!(text.contains("events/s"));
+        assert!(text.contains("speedup"));
+        // 1 side × 3 shard counts.
+        assert_eq!(text.lines().filter(|l| l.contains('x')).count(), 3);
+    }
+}

@@ -121,12 +121,15 @@ fn summarize(runs: &[RunStats]) -> CellStats {
     }
 }
 
-/// Runs `jobs` scenarios across all cores, preserving order.
+/// Runs `jobs` scenarios across the worker pool, preserving order. The
+/// pool is sized by [`bcp_sim::threads::worker_count`], so one
+/// `BCP_THREADS` variable caps both this sweep-level pool and each run's
+/// intra-run shard pool. Note the caps apply *per layer*: a sweep of
+/// scenarios that themselves set `shards > 1` multiplies the two, so
+/// sharded sweeps should pin `BCP_THREADS=1` (or keep `shards = 1`) —
+/// sweeps already saturate the machine with whole runs.
 pub fn run_parallel(jobs: Vec<Scenario>) -> Vec<RunStats> {
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
+    let n_workers = bcp_sim::threads::worker_count(jobs.len());
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results: Vec<Mutex<Option<RunStats>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {

@@ -11,6 +11,8 @@
 //! * [`routing`] — deterministic all-pairs shortest-hop routes per radio
 //!   (the paper's "two separate trees") and the learned high-radio
 //!   [`ShortcutTable`] of Section 3.
+//! * [`partition`] — spatial strip partitioning of a topology into shards
+//!   for the multi-core conservative simulator.
 //!
 //! # Examples
 //!
@@ -36,10 +38,12 @@
 
 pub mod addr;
 pub mod loss;
+pub mod partition;
 pub mod routing;
 pub mod topo;
 
 pub use addr::{AddrMap, HighAddr, LowAddr, NodeId};
 pub use loss::LossModel;
+pub use partition::Partition;
 pub use routing::{Routes, ShortcutTable};
 pub use topo::{Position, Topology};

@@ -1,0 +1,204 @@
+//! Spatial partitioning of a [`Topology`] into shards.
+//!
+//! The sharded simulator splits one world across cores; this module
+//! decides *which node lives on which shard*. The partitioner cuts the
+//! deployment plane into K vertical strips of (near-)equal node count —
+//! for the paper's grids that means contiguous column bands, so only the
+//! nodes along strip edges have radio neighbours on another shard and
+//! cross-shard traffic stays proportional to the boundary length, not the
+//! area.
+
+use crate::addr::NodeId;
+use crate::topo::Topology;
+
+/// An assignment of every node to one of `k` shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    shard_of: Vec<u32>,
+    k: usize,
+}
+
+impl Partition {
+    /// Puts all `n` nodes on a single shard (the sequential layout).
+    pub fn single(n: usize) -> Partition {
+        Partition {
+            shard_of: vec![0; n],
+            k: 1,
+        }
+    }
+
+    /// Cuts `topo` into `k` vertical strips balanced by node count: nodes
+    /// are ordered by `(x, y, id)` and chunked contiguously, so each shard
+    /// owns a spatially compact band. `k` is clamped to `1..=topo.len()`.
+    pub fn strips(topo: &Topology, k: usize) -> Partition {
+        let n = topo.len();
+        let k = k.clamp(1, n.max(1));
+        let mut order: Vec<NodeId> = topo.nodes().collect();
+        order.sort_by(|&a, &b| {
+            let (pa, pb) = (topo.position(a), topo.position(b));
+            (pa.x, pa.y, a.0)
+                .partial_cmp(&(pb.x, pb.y, b.0))
+                .expect("finite coordinates")
+        });
+        let mut shard_of = vec![0u32; n];
+        let base = n / k;
+        let rem = n % k;
+        let mut next = 0usize;
+        for (shard, chunk) in
+            (0..k)
+                .map(|s| base + usize::from(s < rem))
+                .enumerate()
+                .map(|(s, len)| {
+                    let c = &order[next..next + len];
+                    next += len;
+                    (s, c)
+                })
+        {
+            for &node in chunk {
+                shard_of[node.index()] = shard as u32;
+            }
+        }
+        Partition { shard_of, k }
+    }
+
+    /// Number of shards.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// `true` when the partition covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.shard_of.is_empty()
+    }
+
+    /// The shard owning `node`.
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.shard_of[node.index()] as usize
+    }
+
+    /// Node count per shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &s in &self.shard_of {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Nodes with at least one radio neighbour (at `range_m`) on another
+    /// shard — the conservative engine's synchronization frontier.
+    pub fn boundary_nodes(&self, topo: &Topology, range_m: f64) -> Vec<NodeId> {
+        topo.nodes()
+            .filter(|&n| {
+                let s = self.shard_of(n);
+                topo.neighbors_within(n, range_m)
+                    .iter()
+                    .any(|&m| self.shard_of(m) != s)
+            })
+            .collect()
+    }
+
+    /// `true` when any in-range link crosses a shard boundary at
+    /// `range_m`. When no link of any radio class crosses, the shards are
+    /// mutually non-interacting and the lookahead is unbounded.
+    pub fn has_cross_links(&self, topo: &Topology, range_m: f64) -> bool {
+        topo.nodes().any(|n| {
+            let s = self.shard_of(n);
+            topo.neighbors_within(n, range_m)
+                .iter()
+                .any(|&m| self.shard_of(m) != s)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_covers_everything() {
+        let p = Partition::single(9);
+        assert_eq!(p.k(), 1);
+        assert_eq!(p.shard_sizes(), vec![9]);
+        assert_eq!(p.shard_of(NodeId(8)), 0);
+    }
+
+    #[test]
+    fn strips_balance_node_counts() {
+        let topo = Topology::grid(6, 40.0);
+        let p = Partition::strips(&topo, 4);
+        assert_eq!(p.k(), 4);
+        let sizes = p.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 36);
+        assert_eq!(
+            (sizes.iter().max().unwrap() - sizes.iter().min().unwrap()),
+            0,
+            "36 nodes split 4 ways evenly: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn strips_are_column_bands_on_a_grid() {
+        // Row-major 6×6 grid: node id = row*6 + col. Two strips must split
+        // by x (columns 0–2 vs 3–5), not by id blocks.
+        let topo = Topology::grid(6, 40.0);
+        let p = Partition::strips(&topo, 2);
+        for node in topo.nodes() {
+            let col = node.0 % 6;
+            assert_eq!(
+                p.shard_of(node),
+                usize::from(col >= 3),
+                "node {node} in column {col}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_is_the_strip_edge() {
+        let topo = Topology::grid(6, 40.0);
+        let p = Partition::strips(&topo, 2);
+        let boundary = p.boundary_nodes(&topo, 40.0);
+        // At sensor range (orthogonal neighbours) the frontier is columns
+        // 2 and 3: 12 of 36 nodes.
+        assert_eq!(boundary.len(), 12);
+        for node in &boundary {
+            let col = node.0 % 6;
+            assert!(col == 2 || col == 3, "node {node} in column {col}");
+        }
+    }
+
+    #[test]
+    fn cross_links_depend_on_range() {
+        let topo = Topology::grid(6, 40.0);
+        let p = Partition::strips(&topo, 3);
+        assert!(p.has_cross_links(&topo, 40.0));
+        // Below the 40 m pitch no link exists at all, so none can cross.
+        assert!(!p.has_cross_links(&topo, 10.0));
+    }
+
+    #[test]
+    fn k_is_clamped_to_node_count() {
+        let topo = Topology::grid(2, 40.0);
+        let p = Partition::strips(&topo, 64);
+        assert_eq!(p.k(), 4);
+        assert_eq!(p.shard_sizes(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn uneven_split_spreads_remainder() {
+        let topo = Topology::line(10, 40.0);
+        let p = Partition::strips(&topo, 3);
+        let mut sizes = p.shard_sizes();
+        sizes.sort();
+        assert_eq!(sizes, vec![3, 3, 4]);
+        // Contiguity along the line.
+        for i in 0..9 {
+            assert!(p.shard_of(NodeId(i + 1)) >= p.shard_of(NodeId(i)));
+        }
+    }
+}

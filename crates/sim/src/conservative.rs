@@ -1,0 +1,894 @@
+//! Conservative parallel discrete-event execution over sharded models.
+//!
+//! A model is split into K shards, each owning a disjoint slice of the
+//! state plus its own [`ShardQueue`]. Shards influence each other only
+//! through *time-stamped messages* that arrive at least one **lookahead**
+//! after they are sent — in the network simulator the lookahead is the
+//! link turnaround latency, the minimum delay between a node acting and a
+//! neighbour observing it.
+//!
+//! Execution proceeds in windows. Let `T` be the earliest pending key
+//! across all shards and `L` the lookahead: every event in `[T, T + L)`
+//! is *safe* — no message generated inside the window can arrive inside
+//! it (arrivals are `≥ t_send + L ≥ T + L`). Each shard therefore drains
+//! its own queue for the window in parallel; a barrier then exchanges the
+//! messages produced and the next window starts. Because each shard pops
+//! in [`EvKey`] order and same-window events of different shards touch
+//! disjoint state, the execution is equivalent to the sequential key-order
+//! run — **bit-identical for every shard count and thread count**.
+//!
+//! Rare *global events* (route rebuilds, node deaths) need exclusive
+//! access to all shards. They are queued centrally, always lie at least
+//! one lookahead in the future (their producers defer them, like
+//! messages), and are executed by the coordinator in a serial step that
+//! first drains every shard up to the global event's key.
+
+use crate::keyed::{EvKey, Keyed, ShardQueue};
+use crate::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A sense-free generation barrier that spins briefly before yielding —
+/// window turnarounds are far shorter than an OS park/unpark cycle.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    poisoned: AtomicBool,
+}
+
+impl SpinBarrier {
+    /// A barrier for `parties` threads.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        SpinBarrier {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Marks the barrier poisoned: every party spinning in (or later
+    /// entering) [`wait`](Self::wait) panics instead of blocking forever.
+    /// Called when a party unwinds and will never arrive again.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        // Wake spinners by advancing the generation.
+        self.generation.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Blocks until all parties have arrived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier was [`poison`](Self::poison)ed — a peer
+    /// unwound mid-round and would otherwise deadlock everyone else.
+    pub fn wait(&self) {
+        let check = |b: &Self| {
+            assert!(
+                !b.poisoned.load(Ordering::Acquire),
+                "a barrier party panicked mid-round"
+            );
+        };
+        check(self);
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            self.arrived.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::AcqRel);
+            return;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == gen {
+            spins += 1;
+            if spins < 4_096 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        check(self);
+    }
+}
+
+/// One shard of a partitioned model.
+pub trait PdesShard: Send {
+    /// Shard-local events.
+    type Ev: Keyed + Send;
+    /// Coordinator-executed global events.
+    type Global: Keyed + Send;
+
+    /// Handles one local event. Cross-shard effects go through
+    /// [`Ctx::send`]; whole-model effects through [`Ctx::global`].
+    fn handle(&mut self, ctx: &mut Ctx<'_, Self::Ev, Self::Global>, ev: Self::Ev);
+}
+
+/// The coordinator side of a sharded model: executes global events with
+/// exclusive access to every shard.
+pub trait PdesControl<S: PdesShard> {
+    /// Handles one global event at time `now`. Follow-up globals are
+    /// pushed to `out` (their times must be `> now`).
+    fn on_global(
+        &mut self,
+        shards: &mut ShardsMut<'_, S>,
+        now: SimTime,
+        ev: S::Global,
+        out: &mut Vec<(SimTime, S::Global)>,
+    );
+}
+
+/// Exclusive access to every shard during a global event (shards are
+/// visited one at a time; the coordinator holds the only reference).
+pub struct ShardsMut<'a, S: PdesShard> {
+    slots: &'a [Mutex<Slot<S>>],
+}
+
+impl<S: PdesShard> std::fmt::Debug for ShardsMut<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardsMut")
+            .field("shards", &self.slots.len())
+            .finish()
+    }
+}
+
+impl<S: PdesShard> ShardsMut<'_, S> {
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the model has no shards (never the case in a run).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Runs `f` with exclusive access to shard `i`.
+    pub fn with<R>(&mut self, i: usize, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut lock(&self.slots[i]).shard)
+    }
+
+    /// Runs `f` on every shard in index order.
+    pub fn for_each(&mut self, mut f: impl FnMut(usize, &mut S)) {
+        for i in 0..self.slots.len() {
+            self.with(i, |s| f(i, s));
+        }
+    }
+}
+
+/// The handler-side interface to the runner: local scheduling,
+/// cross-shard sends and global-event emission.
+pub struct Ctx<'a, E, G> {
+    queue: &'a mut ShardQueue<E>,
+    outbox: &'a mut Vec<(usize, SimTime, E)>,
+    globals_out: &'a mut Vec<(SimTime, G)>,
+    shard: usize,
+}
+
+impl<E: Keyed, G> Ctx<'_, E, G> {
+    /// The shard-local clock.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The key of the event being handled (for deterministic logging).
+    pub fn current_key(&self) -> EvKey {
+        self.queue.current_key()
+    }
+
+    /// This shard's index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Schedules a local event at an absolute time.
+    pub fn at(&mut self, time: SimTime, ev: E) -> crate::keyed::CancelId {
+        self.queue.schedule(time, ev)
+    }
+
+    /// Schedules a local event after a delay.
+    pub fn after(&mut self, delay: SimDuration, ev: E) -> crate::keyed::CancelId {
+        let t = self.queue.now() + delay;
+        self.queue.schedule(t, ev)
+    }
+
+    /// Cancels a pending local event.
+    pub fn cancel(&mut self, id: crate::keyed::CancelId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Sends an event to shard `target` at `time`. The caller must respect
+    /// the lookahead contract: `time ≥ now + lookahead`. Sending to the
+    /// own shard is an ordinary local schedule.
+    pub fn send(&mut self, target: usize, time: SimTime, ev: E) {
+        if target == self.shard {
+            self.queue.schedule(time, ev);
+        } else {
+            debug_assert!(time > self.queue.now(), "cross-shard send needs latency");
+            self.outbox.push((target, time, ev));
+        }
+    }
+
+    /// Emits a global event at `time` (must be `≥ now + lookahead`, like a
+    /// message — the coordinator only learns of it at the window barrier).
+    pub fn global(&mut self, time: SimTime, ev: G) {
+        debug_assert!(time > self.queue.now(), "global emission needs latency");
+        self.globals_out.push((time, ev));
+    }
+}
+
+impl<E, G> std::fmt::Debug for Ctx<'_, E, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("shard", &self.shard)
+            .field("now", &self.queue.now())
+            .finish()
+    }
+}
+
+#[doc(hidden)]
+pub struct Slot<S: PdesShard> {
+    shard: S,
+    queue: ShardQueue<S::Ev>,
+    globals_out: Vec<(SimTime, S::Global)>,
+}
+
+impl<S: PdesShard> std::fmt::Debug for Slot<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slot").finish_non_exhaustive()
+    }
+}
+
+/// The result of a conservative run.
+#[derive(Debug)]
+pub struct Outcome<S> {
+    /// The shards, in index order, with their final state.
+    pub shards: Vec<S>,
+    /// Total events processed (shard-local plus global).
+    pub processed: u64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().expect("shard lock poisoned")
+}
+
+/// A shard's message inbox: `(arrival time, event)` pairs awaiting the
+/// round barrier.
+type Inbox<E> = Mutex<Vec<(SimTime, E)>>;
+
+/// Drains every event of `slot` with `time < end_excl`, forwarding
+/// outbound messages to the per-shard `inboxes`.
+fn drain_window<S: PdesShard>(
+    slots: &[Mutex<Slot<S>>],
+    inboxes: &[Inbox<S::Ev>],
+    i: usize,
+    end_excl: SimTime,
+) {
+    let mut outbox: Vec<(usize, SimTime, S::Ev)> = Vec::new();
+    {
+        let slot = &mut *lock(&slots[i]);
+        while let Some((_, ev)) = slot.queue.pop_due(end_excl) {
+            let mut ctx = Ctx {
+                queue: &mut slot.queue,
+                outbox: &mut outbox,
+                globals_out: &mut slot.globals_out,
+                shard: i,
+            };
+            slot.shard.handle(&mut ctx, ev);
+        }
+    }
+    // Own slot lock released before touching inboxes: a lock of inbox[j]
+    // is only ever taken while holding no slot lock, so slot/inbox locks
+    // cannot deadlock.
+    for (target, time, ev) in outbox {
+        debug_assert!(time >= end_excl, "message due inside its own window");
+        lock(&inboxes[target]).push((time, ev));
+    }
+}
+
+/// Runs a sharded model to `end` (inclusive) under conservative windows of
+/// `lookahead`. `lookahead: None` declares the shards mutually
+/// non-interacting (no sends, no deferred globals): the whole horizon
+/// becomes one window.
+///
+/// `threads` is the worker-pool size (clamped to the shard count); pass
+/// [`crate::threads::worker_count`]`(shards.len())` to honour
+/// `BCP_THREADS`. Results are bit-identical for every `threads` value.
+///
+/// # Panics
+///
+/// Panics if `shards` is empty or a zero lookahead is supplied.
+pub fn run_conservative<S, C>(
+    shards: Vec<(S, ShardQueue<S::Ev>)>,
+    globals: Vec<(SimTime, S::Global)>,
+    control: &mut C,
+    lookahead: Option<SimDuration>,
+    end: SimTime,
+    threads: usize,
+) -> Outcome<S>
+where
+    S: PdesShard,
+    C: PdesControl<S>,
+{
+    assert!(!shards.is_empty(), "need at least one shard");
+    if let Some(l) = lookahead {
+        assert!(l > SimDuration::ZERO, "lookahead must be positive");
+    }
+    let k = shards.len();
+    let slots: Vec<Mutex<Slot<S>>> = shards
+        .into_iter()
+        .map(|(shard, queue)| {
+            Mutex::new(Slot {
+                shard,
+                queue,
+                globals_out: Vec::new(),
+            })
+        })
+        .collect();
+    let inboxes: Vec<Inbox<S::Ev>> = (0..k).map(|_| Mutex::new(Vec::new())).collect();
+    let mut gqueue: ShardQueue<S::Global> = ShardQueue::new();
+    for (t, g) in globals {
+        gqueue.schedule(t, g);
+    }
+
+    let parties = threads.clamp(1, k);
+    let end_excl_run = SimTime::from_nanos(end.as_nanos().saturating_add(1));
+
+    if parties == 1 {
+        coordinate(
+            &slots,
+            &inboxes,
+            &mut gqueue,
+            control,
+            lookahead,
+            end_excl_run,
+            None,
+        );
+    } else {
+        let barrier = SpinBarrier::new(parties);
+        let window_end = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        // A party that unwinds would never arrive at the barrier again;
+        // poisoning turns the resulting deadlock into a propagated panic.
+        struct PoisonOnPanic<'a>(&'a SpinBarrier);
+        impl Drop for PoisonOnPanic<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.poison();
+                }
+            }
+        }
+        std::thread::scope(|scope| {
+            for party in 1..parties {
+                let slots = &slots;
+                let inboxes = &inboxes;
+                let barrier = &barrier;
+                let window_end = &window_end;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let _guard = PoisonOnPanic(barrier);
+                    loop {
+                        barrier.wait();
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let end_excl = SimTime::from_nanos(window_end.load(Ordering::Acquire));
+                        for i in (party..k).step_by(parties) {
+                            drain_window(slots, inboxes, i, end_excl);
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+            let _guard = PoisonOnPanic(&barrier);
+            coordinate(
+                &slots,
+                &inboxes,
+                &mut gqueue,
+                control,
+                lookahead,
+                end_excl_run,
+                Some(Pool {
+                    barrier: &barrier,
+                    window_end: &window_end,
+                    stop: &stop,
+                    parties,
+                }),
+            );
+        });
+    }
+
+    let mut processed = gqueue.processed();
+    let shards = slots
+        .into_iter()
+        .map(|m| {
+            let slot = m.into_inner().expect("shard lock poisoned");
+            processed += slot.queue.processed();
+            slot.shard
+        })
+        .collect();
+    Outcome { shards, processed }
+}
+
+struct Pool<'a> {
+    barrier: &'a SpinBarrier,
+    window_end: &'a AtomicU64,
+    stop: &'a AtomicBool,
+    parties: usize,
+}
+
+/// The coordinator loop: picks windows, triggers parallel drains, routes
+/// messages, and executes global events in serial steps.
+fn coordinate<S, C>(
+    slots: &[Mutex<Slot<S>>],
+    inboxes: &[Inbox<S::Ev>],
+    gqueue: &mut ShardQueue<S::Global>,
+    control: &mut C,
+    lookahead: Option<SimDuration>,
+    end_excl_run: SimTime,
+    pool: Option<Pool<'_>>,
+) where
+    S: PdesShard,
+    C: PdesControl<S>,
+{
+    let k = slots.len();
+    loop {
+        // Route messages and collect deferred globals produced by the
+        // previous round, then find the earliest pending work. Globals
+        // must land in the queue before the window decision: a death
+        // emitted mid-window clips the next window.
+        let mut shard_min: Option<EvKey> = None;
+        for i in 0..k {
+            let msgs = std::mem::take(&mut *lock(&inboxes[i]));
+            let slot = &mut *lock(&slots[i]);
+            for (t, ev) in msgs {
+                slot.queue.insert_msg(t, ev);
+            }
+            for (t, g) in std::mem::take(&mut slot.globals_out) {
+                gqueue.schedule(t, g);
+            }
+            if let Some(key) = slot.queue.peek_key() {
+                shard_min = Some(shard_min.map_or(key, |m: EvKey| m.min(key)));
+            }
+        }
+        let global_min = gqueue.peek_key();
+        let t0 = match (shard_min, global_min) {
+            (Some(a), Some(b)) => a.time.min(b.time),
+            (Some(a), None) => a.time,
+            (None, Some(b)) => b.time,
+            (None, None) => break,
+        };
+        if t0 >= end_excl_run {
+            break;
+        }
+        let horizon = match lookahead {
+            Some(l) => SimTime::from_nanos(t0.as_nanos().saturating_add(l.as_nanos())),
+            None => SimTime::MAX,
+        };
+        let end_excl = horizon.min(end_excl_run);
+
+        if global_min.is_some_and(|g| g.time < end_excl) {
+            serial_step(slots, gqueue, control, global_min.expect("checked").time);
+            continue;
+        }
+
+        // Parallel (or inline) window: every shard drains [t0, end_excl).
+        match &pool {
+            Some(p) => {
+                p.window_end.store(end_excl.as_nanos(), Ordering::Release);
+                p.barrier.wait();
+                for i in (0..k).step_by(p.parties) {
+                    drain_window(slots, inboxes, i, end_excl);
+                }
+                p.barrier.wait();
+            }
+            None => {
+                for i in 0..k {
+                    drain_window(slots, inboxes, i, end_excl);
+                }
+            }
+        }
+        // Messages and globals produced by this window are routed at the
+        // top of the next iteration.
+    }
+
+    if let Some(p) = pool {
+        p.stop.store(true, Ordering::Release);
+        p.barrier.wait();
+    }
+}
+
+/// Processes, in strict key order, every shard event and global event with
+/// `time ≤ bound` — the coordinator runs alone here, so global handlers
+/// get exclusive access.
+fn serial_step<S, C>(
+    slots: &[Mutex<Slot<S>>],
+    gqueue: &mut ShardQueue<S::Global>,
+    control: &mut C,
+    bound: SimTime,
+) where
+    S: PdesShard,
+    C: PdesControl<S>,
+{
+    let k = slots.len();
+    let mut gout: Vec<(SimTime, S::Global)> = Vec::new();
+    loop {
+        let shard_min: Option<(EvKey, usize)> = (0..k)
+            .filter_map(|i| lock(&slots[i]).queue.peek_key().map(|key| (key, i)))
+            .min();
+        let global_min = gqueue.peek_key();
+        // On an exact key tie the shard event runs first (fixed rule, so
+        // every shard count replays the same order).
+        let shard_first = match (shard_min, global_min) {
+            (Some((sk, _)), Some(gk)) => sk <= gk,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if shard_first {
+            let (key, i) = shard_min.expect("checked");
+            if key.time > bound {
+                break;
+            }
+            drain_one(slots, i);
+            // Globals emitted by this very event (e.g. a death) must join
+            // the queue *now*: they may be due before `bound` and must
+            // interleave at their exact key position.
+            for (t, g) in std::mem::take(&mut lock(&slots[i]).globals_out) {
+                gqueue.schedule(t, g);
+            }
+        } else {
+            let gk = global_min.expect("checked");
+            if gk.time > bound {
+                break;
+            }
+            let (_, g) = gqueue.pop_min().expect("peeked global pops");
+            let mut shards = ShardsMut { slots };
+            control.on_global(&mut shards, gqueue.now(), g, &mut gout);
+            for (t, g) in gout.drain(..) {
+                gqueue.schedule(t, g);
+            }
+        }
+    }
+}
+
+/// Pops and handles exactly one event of shard `i`, routing its messages
+/// immediately (safe: the coordinator is the only running thread).
+fn drain_one<S: PdesShard>(slots: &[Mutex<Slot<S>>], i: usize) {
+    let mut outbox: Vec<(usize, SimTime, S::Ev)> = Vec::new();
+    {
+        let slot = &mut *lock(&slots[i]);
+        if let Some((_, ev)) = slot.queue.pop_min() {
+            let mut ctx = Ctx {
+                queue: &mut slot.queue,
+                outbox: &mut outbox,
+                globals_out: &mut slot.globals_out,
+                shard: i,
+            };
+            slot.shard.handle(&mut ctx, ev);
+        }
+    }
+    for (target, time, ev) in outbox {
+        lock(&slots[target]).queue.insert_msg(time, ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyed::pack_ord;
+
+    // A toy partitioned model: N cells in a ring, each holding an
+    // order-sensitive accumulator. Bump events rehash the cell state and
+    // schedule the next bump; every few bumps a cell pokes its ring
+    // neighbour (possibly on another shard) one lookahead later. A
+    // periodic global event folds every cell into a shared digest.
+    const LOOKAHEAD: SimDuration = SimDuration::from_micros(50);
+
+    #[derive(Clone, Copy)]
+    struct Bump {
+        cell: u32,
+        round: u32,
+    }
+
+    impl Keyed for Bump {
+        fn ord(&self) -> u128 {
+            pack_ord(1, self.cell, self.round as u64)
+        }
+    }
+
+    struct Digest;
+    impl Keyed for Digest {
+        fn ord(&self) -> u128 {
+            pack_ord(9, 0, 0)
+        }
+    }
+
+    struct Cells {
+        n: u32,
+        k: usize,
+        // Global-indexed; only owned cells are Some.
+        state: Vec<Option<u64>>,
+    }
+
+    impl Cells {
+        fn owner(&self, cell: u32) -> usize {
+            (cell as usize * self.k) / self.n as usize
+        }
+    }
+
+    impl PdesShard for Cells {
+        type Ev = Bump;
+        type Global = Digest;
+
+        fn handle(&mut self, ctx: &mut Ctx<'_, Bump, Digest>, ev: Bump) {
+            let now = ctx.now();
+            let s = self.state[ev.cell as usize].as_mut().expect("owned cell");
+            *s = s
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(((ev.round as u64) << 32) | (now.as_nanos() % 0xffff_ffff));
+            if ev.round < 40 {
+                let jitter = SimDuration::from_micros(1 + (*s % 90));
+                ctx.after(
+                    jitter,
+                    Bump {
+                        cell: ev.cell,
+                        round: ev.round + 1,
+                    },
+                );
+                if ev.round % 5 == 0 {
+                    let peer = (ev.cell + 1) % self.n;
+                    let target = self.owner(peer);
+                    ctx.send(
+                        target,
+                        now + LOOKAHEAD,
+                        Bump {
+                            cell: peer,
+                            round: 1000 + ev.round,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    struct DigestLog {
+        log: Vec<u64>,
+        every: SimDuration,
+        end: SimTime,
+    }
+
+    impl PdesControl<Cells> for DigestLog {
+        fn on_global(
+            &mut self,
+            shards: &mut ShardsMut<'_, Cells>,
+            now: SimTime,
+            _ev: Digest,
+            out: &mut Vec<(SimTime, Digest)>,
+        ) {
+            let mut acc = 0u64;
+            shards.for_each(|_, s| {
+                for v in s.state.iter().flatten() {
+                    acc = acc.wrapping_mul(31).wrapping_add(*v);
+                }
+            });
+            self.log.push(acc);
+            if now + self.every <= self.end {
+                out.push((now + self.every, Digest));
+            }
+        }
+    }
+
+    fn run(n: u32, k: usize, threads: usize) -> (Vec<u64>, Vec<u64>, u64) {
+        let end = SimTime::from_millis(20);
+        let mut shards = Vec::new();
+        for shard in 0..k {
+            let mut cells = Cells {
+                n,
+                k,
+                state: vec![None; n as usize],
+            };
+            let mut q = ShardQueue::new();
+            for cell in 0..n {
+                if cells.owner(cell) == shard {
+                    cells.state[cell as usize] = Some(cell as u64 + 1);
+                    q.schedule(
+                        SimTime::from_micros(10 + cell as u64 * 7),
+                        Bump { cell, round: 0 },
+                    );
+                }
+            }
+            shards.push((cells, q));
+        }
+        let mut control = DigestLog {
+            log: Vec::new(),
+            every: SimDuration::from_millis(3),
+            end,
+        };
+        let out = run_conservative(
+            shards,
+            vec![(SimTime::from_millis(3), Digest)],
+            &mut control,
+            Some(LOOKAHEAD),
+            end,
+            threads,
+        );
+        let mut cells = vec![0u64; n as usize];
+        for s in &out.shards {
+            for (i, v) in s.state.iter().enumerate() {
+                if let Some(v) = v {
+                    cells[i] = *v;
+                }
+            }
+        }
+        (cells, control.log, out.processed)
+    }
+
+    #[test]
+    fn bit_identical_across_shard_counts() {
+        let (c1, l1, p1) = run(12, 1, 1);
+        for k in [2, 3, 4] {
+            let (ck, lk, pk) = run(12, k, 1);
+            assert_eq!(c1, ck, "cell states diverged at k={k}");
+            assert_eq!(l1, lk, "global digests diverged at k={k}");
+            assert_eq!(p1, pk, "event counts diverged at k={k}");
+        }
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let (c1, l1, p1) = run(12, 4, 1);
+        for threads in [2, 3, 4, 8] {
+            let (ct, lt, pt) = run(12, 4, threads);
+            assert_eq!(c1, ct, "cell states diverged at threads={threads}");
+            assert_eq!(l1, lt, "digests diverged at threads={threads}");
+            assert_eq!(p1, pt, "event counts diverged at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn unbounded_lookahead_runs_independent_shards() {
+        // No sends happen when every cell keeps to itself (rounds stop
+        // before any %5 poke... keep pokes but a single cell per shard and
+        // n == k so the ring peer is the next shard — instead verify the
+        // None-lookahead contract with a poke-free model).
+        struct Quiet {
+            sum: u64,
+        }
+        #[derive(Clone, Copy)]
+        struct Tick(u32);
+        impl Keyed for Tick {
+            fn ord(&self) -> u128 {
+                self.0 as u128
+            }
+        }
+        struct NoGlobals;
+        impl Keyed for NoGlobals {
+            fn ord(&self) -> u128 {
+                0
+            }
+        }
+        impl PdesShard for Quiet {
+            type Ev = Tick;
+            type Global = NoGlobals;
+            fn handle(&mut self, ctx: &mut Ctx<'_, Tick, NoGlobals>, ev: Tick) {
+                self.sum += ev.0 as u64;
+                if ev.0 < 100 {
+                    ctx.after(SimDuration::from_micros(3), Tick(ev.0 + 1));
+                }
+            }
+        }
+        struct NoControl;
+        impl PdesControl<Quiet> for NoControl {
+            fn on_global(
+                &mut self,
+                _s: &mut ShardsMut<'_, Quiet>,
+                _now: SimTime,
+                _ev: NoGlobals,
+                _out: &mut Vec<(SimTime, NoGlobals)>,
+            ) {
+            }
+        }
+        let shards = (0..3)
+            .map(|i| {
+                let mut q = ShardQueue::new();
+                q.schedule(SimTime::from_micros(i), Tick(0));
+                (Quiet { sum: 0 }, q)
+            })
+            .collect();
+        let out = run_conservative(
+            shards,
+            Vec::new(),
+            &mut NoControl,
+            None,
+            SimTime::from_secs(1),
+            2,
+        );
+        assert_eq!(out.processed, 3 * 101);
+        for s in &out.shards {
+            assert_eq!(s.sum, (0..=100).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn respects_end_horizon() {
+        let (_, log, _) = run(4, 2, 1);
+        // Digests at 3, 6, 9, 12, 15, 18 ms within the 20 ms horizon.
+        assert_eq!(log.len(), 6);
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        // A shard handler that panics on a worker thread must fail the
+        // whole run (via barrier poisoning), not hang the coordinator.
+        struct Bomb;
+        #[derive(Clone, Copy)]
+        struct T;
+        impl Keyed for T {
+            fn ord(&self) -> u128 {
+                0
+            }
+        }
+        impl PdesShard for Bomb {
+            type Ev = T;
+            type Global = T;
+            fn handle(&mut self, _ctx: &mut Ctx<'_, T, T>, _ev: T) {
+                panic!("shard handler exploded");
+            }
+        }
+        struct NoC;
+        impl PdesControl<Bomb> for NoC {
+            fn on_global(
+                &mut self,
+                _s: &mut ShardsMut<'_, Bomb>,
+                _now: SimTime,
+                _ev: T,
+                _out: &mut Vec<(SimTime, T)>,
+            ) {
+            }
+        }
+        let shards = (0..2)
+            .map(|_| {
+                let mut q = ShardQueue::new();
+                q.schedule(SimTime::from_micros(1), T);
+                (Bomb, q)
+            })
+            .collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_conservative(
+                shards,
+                Vec::new(),
+                &mut NoC,
+                Some(SimDuration::from_micros(10)),
+                SimTime::from_secs(1),
+                2,
+            )
+        }));
+        assert!(result.is_err(), "panic must propagate, not deadlock");
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes() {
+        let barrier = SpinBarrier::new(4);
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait();
+                    assert_eq!(counter.load(Ordering::SeqCst), 3);
+                    barrier.wait();
+                    barrier.wait();
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait();
+                });
+            }
+            barrier.wait(); // all three increments done
+            assert_eq!(counter.load(Ordering::SeqCst), 3);
+            barrier.wait(); // release for phase 2
+            barrier.wait();
+            barrier.wait();
+            assert_eq!(counter.load(Ordering::SeqCst), 6);
+        });
+    }
+}

@@ -1,8 +1,21 @@
 //! The event queue: a priority queue over `(time, sequence)` keys.
 //!
-//! Ties on time are broken by insertion sequence, so the execution order of
-//! simultaneous events is *total* and *deterministic* — a prerequisite for
-//! reproducible runs.
+//! # Tie-break contract
+//!
+//! Ties on time are broken **FIFO by insertion sequence**: if two events
+//! carry the same timestamp, the one pushed first pops first. This makes
+//! the execution order of simultaneous events *total* and *deterministic*
+//! — a prerequisite for reproducible runs — and it is a documented
+//! guarantee, not an implementation accident: callers may rely on it and
+//! the `ties_break_by_insertion_order` test locks it in.
+//!
+//! Note the limit of that guarantee: the insertion sequence is a property
+//! of one queue's execution history. It is stable for a *single* queue,
+//! but it cannot be reconstructed across a partitioned model — two shards
+//! each have their own sequence. Sharded execution therefore uses the
+//! content-keyed [`ShardQueue`](crate::keyed::ShardQueue), whose tie-break
+//! is a pure function of the event itself and replays identically for any
+//! shard count.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;

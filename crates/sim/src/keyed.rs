@@ -1,0 +1,358 @@
+//! Deterministically-keyed event queues for the sharded engine.
+//!
+//! The classic [`EventQueue`](crate::event::EventQueue) breaks timestamp
+//! ties by *insertion sequence*. That is perfectly deterministic for a
+//! single queue, but the insertion sequence is an artifact of execution
+//! interleaving: split the same model across two queues and the per-queue
+//! sequences no longer reconstruct the single-queue order. A sharded run
+//! could then legally diverge from the sequential one.
+//!
+//! [`ShardQueue`] instead orders events by an [`EvKey`] that is a pure
+//! function of the *model*, not of the execution:
+//!
+//! * `time` — the virtual timestamp;
+//! * `depth` — the causal depth at equal time: an event scheduled *at the
+//!   current instant* sorts after its creator (creator depth + 1), so
+//!   zero-delay cascades unfold in causal order and a handler can never
+//!   schedule an event that "should already have run";
+//! * `ord` — a content-derived discriminant supplied by the event type via
+//!   [`Keyed`], which breaks ties between causally unrelated simultaneous
+//!   events the same way no matter how the model is sharded.
+//!
+//! Together these form a total order that every shard count replays
+//! identically, which is the foundation of the conservative parallel
+//! runner in [`conservative`](crate::conservative).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// The deterministic sort key of one scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EvKey {
+    /// Virtual timestamp.
+    pub time: SimTime,
+    /// Causal depth among same-time events (children of an event at the
+    /// same instant carry the parent's depth + 1).
+    pub depth: u32,
+    /// Content-derived tie-break discriminant (see [`Keyed`]).
+    pub ord: u128,
+}
+
+impl EvKey {
+    /// The smallest possible key (sorts before everything).
+    pub const MIN: EvKey = EvKey {
+        time: SimTime::ZERO,
+        depth: 0,
+        ord: 0,
+    };
+}
+
+/// Events that carry a content-derived tie-break discriminant.
+///
+/// Two *distinct live* events at the same `(time, depth)` must return
+/// different `ord` values (encode the event kind plus the entities it
+/// concerns); equal values are only acceptable for events whose effects
+/// commute, e.g. the per-shard halves of one broadcast.
+pub trait Keyed {
+    /// The tie-break discriminant. Must depend only on event content.
+    fn ord(&self) -> u128;
+}
+
+/// Packs `(rank, a, b)` into the conventional `ord` layout: an 8-bit event
+/// kind rank, a 32-bit entity id and a 64-bit auxiliary discriminant.
+pub const fn pack_ord(rank: u8, a: u32, b: u64) -> u128 {
+    ((rank as u128) << 96) | ((a as u128) << 64) | (b as u128)
+}
+
+/// Cancellation handle for an event scheduled on a [`ShardQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CancelId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: EvKey,
+    seq: u64,
+    ev: E,
+}
+
+// Min-heap by (key, seq): seq is a last-resort stable tie-break so the
+// queue stays totally ordered even if a model violates the ord-uniqueness
+// contract for commuting events.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.key, other.seq).cmp(&(self.key, self.seq))
+    }
+}
+
+/// One shard's future-event list, ordered by [`EvKey`].
+///
+/// Tracks the shard's local clock (`now`), the causal depth of the event
+/// currently being handled, and the number of events processed. Supports
+/// O(1) cancellation through tombstones, like the sequential queue.
+#[derive(Debug)]
+pub struct ShardQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    live: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+    depth: u32,
+    cur_ord: u128,
+    processed: u64,
+}
+
+impl<E> Default for ShardQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> ShardQueue<E> {
+    /// Creates an empty queue with the clock at t=0.
+    pub fn new() -> Self {
+        ShardQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            depth: 0,
+            cur_ord: 0,
+            processed: 0,
+        }
+    }
+
+    /// The shard's local clock (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The key of the event currently being handled.
+    pub fn current_key(&self) -> EvKey {
+        EvKey {
+            time: self.now,
+            depth: self.depth,
+            ord: self.cur_ord,
+        }
+    }
+
+    /// Events processed so far by this queue.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    fn push(&mut self, key: EvKey, ev: E) -> CancelId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { key, seq, ev });
+        self.live.insert(seq);
+        CancelId(seq)
+    }
+
+    /// Schedules `ev` at `time` from within the shard. Same-instant events
+    /// are keyed one causal level below the event being handled, so they
+    /// always sort after it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the shard's past.
+    pub fn schedule(&mut self, time: SimTime, ev: E) -> CancelId
+    where
+        E: Keyed,
+    {
+        assert!(
+            time >= self.now,
+            "scheduled event at {time} but shard clock is at {}",
+            self.now
+        );
+        let depth = if time == self.now { self.depth + 1 } else { 0 };
+        let key = EvKey {
+            time,
+            depth,
+            ord: ev.ord(),
+        };
+        self.push(key, ev)
+    }
+
+    /// Inserts an event that arrived from another shard. Messages always
+    /// carry a strictly-future timestamp (the conservative lookahead), so
+    /// they enter at causal depth 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not strictly after the shard clock — that would
+    /// mean the conservative window let a message arrive in the past.
+    pub fn insert_msg(&mut self, time: SimTime, ev: E)
+    where
+        E: Keyed,
+    {
+        assert!(
+            time > self.now,
+            "cross-shard message at {time} arrived with shard clock at {}",
+            self.now
+        );
+        let key = EvKey {
+            time,
+            depth: 0,
+            ord: ev.ord(),
+        };
+        self.push(key, ev);
+    }
+
+    /// Cancels a pending event; `true` only if it had not fired yet.
+    pub fn cancel(&mut self, id: CancelId) -> bool {
+        self.live.remove(&id.0)
+    }
+
+    /// The key of the earliest live event, without removing it.
+    pub fn peek_key(&mut self) -> Option<EvKey> {
+        while let Some(e) = self.heap.peek() {
+            if self.live.contains(&e.seq) {
+                return Some(e.key);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Pops the earliest live event if its time is strictly before
+    /// `end_excl`, advancing the clock and causal depth to it.
+    pub fn pop_due(&mut self, end_excl: SimTime) -> Option<(EvKey, E)> {
+        match self.peek_key() {
+            Some(k) if k.time < end_excl => {
+                let e = self.heap.pop().expect("peeked entry pops");
+                self.live.remove(&e.seq);
+                debug_assert!(e.key.time >= self.now, "event time regressed");
+                self.now = e.key.time;
+                self.depth = e.key.depth;
+                self.cur_ord = e.key.ord;
+                self.processed += 1;
+                Some((e.key, e.ev))
+            }
+            _ => None,
+        }
+    }
+
+    /// Pops the earliest live event unconditionally.
+    pub fn pop_min(&mut self) -> Option<(EvKey, E)> {
+        self.pop_due(SimTime::MAX)
+    }
+
+    /// `true` when no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_key().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    impl Keyed for u64 {
+        fn ord(&self) -> u128 {
+            *self as u128
+        }
+    }
+
+    #[test]
+    fn pops_in_key_order_not_insertion_order() {
+        let mut q = ShardQueue::new();
+        let t = SimTime::from_secs(1);
+        // Inserted high-ord first: pops must follow ord, not insertion.
+        q.schedule(t, 9u64);
+        q.schedule(t, 3u64);
+        q.schedule(SimTime::from_millis(500), 7u64);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_min().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![7, 3, 9]);
+    }
+
+    #[test]
+    fn same_instant_children_sort_after_parent() {
+        let mut q = ShardQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule(t, 5u64);
+        let (k_parent, _) = q.pop_min().unwrap();
+        assert_eq!(k_parent.depth, 0);
+        // Child scheduled at the same instant with a *smaller* ord still
+        // sorts after the parent (depth + 1)...
+        let _ = q.schedule(t, 1u64);
+        // ...and before an unrelated later event.
+        q.schedule(SimTime::from_secs(2), 0u64);
+        let (k_child, e) = q.pop_min().unwrap();
+        assert_eq!(e, 1);
+        assert_eq!(k_child.depth, 1);
+        assert!(k_child > k_parent);
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = ShardQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), 1u64);
+        q.schedule(SimTime::from_secs(2), 2u64);
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id), "double cancel is false");
+        assert_eq!(q.pop_min().map(|(_, e)| e), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_due_respects_exclusive_bound() {
+        let mut q = ShardQueue::new();
+        q.schedule(SimTime::from_secs(5), 5u64);
+        assert!(q.pop_due(SimTime::from_secs(5)).is_none(), "bound excl");
+        assert!(q.pop_due(SimTime::from_nanos(5_000_000_001)).is_some());
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn message_insertion_keys_at_depth_zero() {
+        let mut q = ShardQueue::new();
+        q.schedule(SimTime::from_secs(1), 4u64);
+        q.pop_min();
+        q.insert_msg(SimTime::from_secs(2), 9u64);
+        let (k, _) = q.pop_min().unwrap();
+        assert_eq!(k.depth, 0);
+        assert_eq!(k.ord, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived with shard clock")]
+    fn stale_message_panics() {
+        let mut q = ShardQueue::new();
+        q.schedule(SimTime::from_secs(3), 1u64);
+        q.pop_min();
+        q.insert_msg(SimTime::from_secs(3), 2u64);
+    }
+
+    #[test]
+    fn key_total_order() {
+        let k = |t, d, o| EvKey {
+            time: SimTime::from_nanos(t),
+            depth: d,
+            ord: o,
+        };
+        assert!(k(1, 9, 9) < k(2, 0, 0), "time dominates");
+        assert!(k(1, 0, 9) < k(1, 1, 0), "depth next");
+        assert!(k(1, 1, 3) < k(1, 1, 4), "ord last");
+        assert_eq!(EvKey::MIN, k(0, 0, 0));
+    }
+
+    #[test]
+    fn pack_ord_layout() {
+        let o = pack_ord(2, 7, 11);
+        assert_eq!(o >> 96, 2);
+        assert_eq!((o >> 64) & 0xffff_ffff, 7);
+        assert_eq!(o & u64::MAX as u128, 11);
+        assert!(pack_ord(1, u32::MAX, u64::MAX) < pack_ord(2, 0, 0));
+    }
+}

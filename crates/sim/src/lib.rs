@@ -7,10 +7,18 @@
 //!
 //! Determinism is the design constraint that shapes everything here:
 //!
-//! * event ties are broken by insertion sequence ([`event::EventQueue`]),
+//! * event ties are broken by insertion sequence ([`event::EventQueue`])
+//!   for single-queue models, or by a content-derived key
+//!   ([`keyed::ShardQueue`]) for models sharded across cores,
 //! * randomness comes from an in-crate xoshiro256★★ ([`rng::Rng`]) whose
 //!   stream is bit-stable across platforms and releases,
 //! * time is integer nanoseconds ([`time::SimTime`]), so no float drift.
+//!
+//! For multi-core single-run scaling, [`conservative`] executes a
+//! partitioned model under conservative-lookahead windows with results
+//! bit-identical to the sequential key order for any shard or thread
+//! count; [`threads::worker_count`] sizes every worker pool in the
+//! process (override with `BCP_THREADS`).
 //!
 //! # Examples
 //!
@@ -42,10 +50,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod conservative;
 pub mod engine;
 pub mod event;
+pub mod keyed;
 pub mod rng;
 pub mod stats;
+pub mod threads;
 pub mod time;
 pub mod trace;
 

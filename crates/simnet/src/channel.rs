@@ -1,50 +1,111 @@
 //! The shared medium, one instance per radio class.
 //!
-//! Unit-disk propagation with zero propagation delay; "the two radios are
-//! assumed to be operating in non-overlapping channels", so the two class
-//! instances never interact. A reception is corrupted when a second
-//! audible transmission overlaps it at the receiver (collision) or when the
-//! link-loss process says so.
+//! Unit-disk propagation; "the two radios are assumed to be operating in
+//! non-overlapping channels", so the two class instances never interact.
+//! A reception is corrupted when a second audible transmission overlaps
+//! it at the receiver (collision) or when the link-loss process says so.
+//!
+//! The medium is split along the shard partition:
+//!
+//! * [`NeighborIndex`] — the immutable adjacency, precomputed once and
+//!   shared read-only by every shard. Each node's neighbour list is
+//!   stored pre-bucketed by owning shard, so a transmission dispatches
+//!   one reception event per *shard* (not per neighbour) and the handler
+//!   iterates its bucket in place — no per-transmission allocation.
+//! * [`Channel`] — the mutable per-receiver state (carrier counts,
+//!   reception locks, loss processes and their RNG streams). Every entry
+//!   belongs to exactly one node, so each shard owns its nodes' slots and
+//!   no state is shared between shards.
+//!
+//! Loss randomness is drawn from a *per-node* stream seeded at build
+//! time: the draw sequence at a node depends only on the frames that node
+//! hears, which the deterministic event order fixes — so loss outcomes
+//! are identical for every shard count.
 
 use crate::events::TxId;
 use bcp_net::addr::NodeId;
 use bcp_net::loss::LossModel;
+use bcp_net::partition::Partition;
 use bcp_net::topo::Topology;
 use bcp_sim::rng::Rng;
 
-/// Per-receiver view of one radio class's medium.
+/// Immutable per-class adjacency, bucketed by the owning shard of each
+/// neighbour. Shared (behind an `Arc`) by all shards.
+#[derive(Debug, Clone)]
+pub struct NeighborIndex {
+    /// `buckets[node][shard]` = neighbours of `node` owned by `shard`,
+    /// ascending by id.
+    buckets: Vec<Vec<Vec<NodeId>>>,
+}
+
+impl NeighborIndex {
+    /// Builds the index for `topo` at `range_m` under `part`.
+    pub fn new(topo: &Topology, range_m: f64, part: &Partition) -> Self {
+        let k = part.k();
+        let buckets = topo
+            .nodes()
+            .map(|n| {
+                let mut by_shard = vec![Vec::new(); k];
+                for m in topo.neighbors_within(n, range_m) {
+                    by_shard[part.shard_of(m)].push(m);
+                }
+                by_shard
+            })
+            .collect();
+        NeighborIndex { buckets }
+    }
+
+    /// The neighbours of `node` owned by `shard`, ascending.
+    pub fn of(&self, node: NodeId, shard: usize) -> &[NodeId] {
+        &self.buckets[node.index()][shard]
+    }
+
+    /// Shards that own at least one neighbour of `node`.
+    pub fn shards_hearing(&self, node: NodeId) -> impl Iterator<Item = usize> + '_ {
+        self.buckets[node.index()]
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(s, _)| s)
+    }
+
+    /// Total neighbour count of `node` across all shards.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.buckets[node.index()].iter().map(Vec::len).sum()
+    }
+}
+
+/// One shard's slice of a radio class's medium: per-receiver carrier
+/// counts, reception locks and loss processes. Indexed by global node id;
+/// a shard only ever touches the slots of nodes it owns.
 #[derive(Debug, Clone)]
 pub struct Channel {
-    /// neighbors[n] = nodes within range of n, ascending.
-    neighbors: Vec<Vec<NodeId>>,
     /// Number of audible foreign transmissions per node.
     carrier: Vec<u32>,
     /// The frame a node's radio is locked onto, with a corruption flag.
     rx_current: Vec<Option<(TxId, bool)>>,
-    /// Per-node loss process (evaluated once per otherwise-clean frame).
+    /// Per-node loss process (state diverges per node).
     loss: Vec<LossModel>,
+    /// Per-node loss randomness (streams are node-local so outcomes do
+    /// not depend on the global interleaving of other nodes' frames).
+    rng: Vec<Rng>,
     /// Collisions observed (a locked frame got overlapped), for metrics.
     collisions: u64,
 }
 
 impl Channel {
-    /// Builds the medium for `topo` at the class's `range_m`, with each
-    /// node's loss process cloned from `loss` (state diverges per node) and
-    /// reseeded from `rng`.
-    pub fn new(topo: &Topology, range_m: f64, loss: &LossModel, _rng: &mut Rng) -> Self {
-        let n = topo.len();
+    /// Builds the medium state for `n` nodes, with each node's loss
+    /// process cloned from `loss` and its RNG stream seeded from `seeds`
+    /// (one seed per node, drawn deterministically at build time).
+    pub fn new(n: usize, loss: &LossModel, seeds: &[u64]) -> Self {
+        assert_eq!(seeds.len(), n, "one loss seed per node");
         Channel {
-            neighbors: topo.neighbor_table(range_m),
             carrier: vec![0; n],
             rx_current: vec![None; n],
             loss: vec![loss.clone(); n],
+            rng: seeds.iter().map(|&s| Rng::new(s)).collect(),
             collisions: 0,
         }
-    }
-
-    /// Nodes in range of `node`.
-    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.neighbors[node.index()]
     }
 
     /// `true` when at least one foreign transmission is audible at `node`.
@@ -110,13 +171,14 @@ impl Channel {
         }
     }
 
-    /// Evaluates the per-node loss process for a frame that survived
-    /// collisions.
-    pub fn channel_loss(&mut self, node: NodeId, rng: &mut Rng) -> bool {
-        self.loss[node.index()].is_lost(rng)
+    /// Evaluates `node`'s loss process for a frame that survived
+    /// collisions, drawing from that node's own stream.
+    pub fn channel_loss(&mut self, node: NodeId) -> bool {
+        let i = node.index();
+        self.loss[i].is_lost(&mut self.rng[i])
     }
 
-    /// Total collisions observed at receivers.
+    /// Total collisions observed at this shard's receivers.
     pub fn collisions(&self) -> u64 {
         self.collisions
     }
@@ -127,9 +189,7 @@ mod tests {
     use super::*;
 
     fn channel() -> Channel {
-        let topo = Topology::line(3, 40.0);
-        let mut rng = Rng::new(1);
-        Channel::new(&topo, 40.0, &LossModel::Perfect, &mut rng)
+        Channel::new(3, &LossModel::Perfect, &[1, 2, 3])
     }
 
     #[test]
@@ -153,20 +213,22 @@ mod tests {
     fn rx_lock_poison_unlock() {
         let mut c = channel();
         let n = NodeId(1);
-        c.lock_rx(n, TxId(7));
-        assert_eq!(c.locked_rx(n), Some((TxId(7), false)));
+        let tx = TxId::new(NodeId(0), 7);
+        c.lock_rx(n, tx);
+        assert_eq!(c.locked_rx(n), Some((tx, false)));
         assert!(c.poison_rx(n));
-        assert_eq!(c.unlock_rx(n, TxId(7)), Some(true), "corrupted");
-        assert_eq!(c.unlock_rx(n, TxId(7)), None, "already unlocked");
+        assert_eq!(c.unlock_rx(n, tx), Some(true), "corrupted");
+        assert_eq!(c.unlock_rx(n, tx), None, "already unlocked");
         assert_eq!(c.collisions(), 1);
     }
 
     #[test]
     fn unlock_wrong_tx_is_none() {
         let mut c = channel();
-        c.lock_rx(NodeId(1), TxId(7));
-        assert_eq!(c.unlock_rx(NodeId(1), TxId(8)), None);
-        assert_eq!(c.locked_rx(NodeId(1)), Some((TxId(7), false)));
+        let (a, b) = (TxId::new(NodeId(0), 7), TxId::new(NodeId(0), 8));
+        c.lock_rx(NodeId(1), a);
+        assert_eq!(c.unlock_rx(NodeId(1), b), None);
+        assert_eq!(c.locked_rx(NodeId(1)), Some((a, false)));
     }
 
     #[test]
@@ -177,9 +239,38 @@ mod tests {
     }
 
     #[test]
-    fn line_neighbors() {
-        let c = channel();
-        assert_eq!(c.neighbors(NodeId(0)), &[NodeId(1)]);
-        assert_eq!(c.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+    fn neighbor_index_buckets_by_shard() {
+        let topo = Topology::line(4, 40.0);
+        let part = Partition::strips(&topo, 2);
+        let idx = NeighborIndex::new(&topo, 40.0, &part);
+        // Node 1 hears 0 (shard 0) and 2 (shard 1).
+        assert_eq!(idx.of(NodeId(1), 0), &[NodeId(0)]);
+        assert_eq!(idx.of(NodeId(1), 1), &[NodeId(2)]);
+        assert_eq!(idx.degree(NodeId(1)), 2);
+        assert_eq!(idx.shards_hearing(NodeId(1)).collect::<Vec<_>>(), [0, 1]);
+        // Node 0 only hears node 1, on its own shard.
+        assert_eq!(idx.shards_hearing(NodeId(0)).collect::<Vec<_>>(), [0]);
+    }
+
+    #[test]
+    fn single_partition_index_matches_plain_neighbors() {
+        let topo = Topology::grid(4, 40.0);
+        let part = Partition::single(topo.len());
+        let idx = NeighborIndex::new(&topo, 40.0, &part);
+        for n in topo.nodes() {
+            assert_eq!(idx.of(n, 0), topo.neighbors_within(n, 40.0).as_slice());
+        }
+    }
+
+    #[test]
+    fn loss_streams_are_node_local() {
+        let mut c = Channel::new(2, &LossModel::bernoulli(0.5), &[11, 22]);
+        let a: Vec<bool> = (0..16).map(|_| c.channel_loss(NodeId(0))).collect();
+        // Node 1's draws are unaffected by how often node 0 drew.
+        let b: Vec<bool> = (0..16).map(|_| c.channel_loss(NodeId(1))).collect();
+        let mut fresh = Channel::new(2, &LossModel::bernoulli(0.5), &[11, 22]);
+        let b2: Vec<bool> = (0..16).map(|_| fresh.channel_loss(NodeId(1))).collect();
+        assert_eq!(b, b2, "node 1 stream independent of node 0 activity");
+        assert_ne!(a, b, "distinct seeds, distinct streams");
     }
 }

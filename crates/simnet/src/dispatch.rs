@@ -1,0 +1,509 @@
+//! Binding the sans-IO protocol machines to the shard: MAC actions, BCP
+//! sender/receiver actions, payload bookkeeping and the high-radio power
+//! reference counting. Everything here touches exactly one owned node
+//! (plus the shard-local payload/timer tables); cross-node effects only
+//! ever leave through [`ShardState::start_tx`].
+
+use crate::events::{Class, Ev, Payload};
+use crate::scenario::HighRoute;
+use crate::shard::{Fate, ShardCtx, ShardState};
+use bcp_core::msg::{BurstId, HandshakeMsg};
+use bcp_core::receiver::ReceiverAction;
+use bcp_core::sender::{DropReason, SenderAction};
+use bcp_mac::types::{MacAction, MacEvent, MacFrame};
+use bcp_net::addr::NodeId;
+use bcp_radio::device::RadioState;
+
+impl ShardState {
+    // ------------------------------------------------------------------
+    // MAC binding
+    // ------------------------------------------------------------------
+
+    /// Feeds one event to a node's MAC and executes the resulting
+    /// actions. `payload` resolves the frame tag when the event delivers
+    /// a data frame (receptions carry their payload with them — the
+    /// sender's tag table lives on another shard).
+    pub(crate) fn mac_event(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        node: NodeId,
+        class: Class,
+        ev: MacEvent,
+        payload: Option<&Payload>,
+    ) {
+        let mut actions = Vec::new();
+        {
+            let n = self.node_mut(node);
+            if !n.has_class(class) || !n.is_alive() {
+                return;
+            }
+            n.mac_mut(class).handle(ctx.now(), ev, &mut actions);
+        }
+        for a in actions {
+            self.mac_action(ctx, node, class, a, payload);
+        }
+    }
+
+    fn mac_action(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        node: NodeId,
+        class: Class,
+        a: MacAction,
+        payload: Option<&Payload>,
+    ) {
+        match a {
+            MacAction::StartTx(frame) => self.start_tx(ctx, node, class, frame),
+            MacAction::SetTimer { kind, delay } => {
+                let id = ctx.after(delay, Ev::MacTimer { node, class, kind });
+                if let Some(old) = self.mac_timers.insert((node.0, class.index(), kind), id) {
+                    ctx.cancel(old);
+                }
+            }
+            MacAction::CancelTimer { kind } => {
+                if let Some(id) = self.mac_timers.remove(&(node.0, class.index(), kind)) {
+                    ctx.cancel(id);
+                }
+            }
+            MacAction::Deliver(frame) => self.deliver(ctx, node, class, frame, payload),
+            MacAction::TxOutcome { ok, tag, .. } => self.tx_outcome(ctx, node, class, ok, tag),
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        node: NodeId,
+        class: Class,
+        frame: MacFrame,
+        payload: Option<&Payload>,
+    ) {
+        let Some(payload) = payload else {
+            debug_assert!(false, "delivered frame without payload (tag {})", frame.tag);
+            return;
+        };
+        let now = ctx.now();
+        match payload {
+            Payload::SensorData(pkt) => {
+                let pkt = *pkt;
+                if node == pkt.dest {
+                    let alive_prefix = !self.shared.death_seen;
+                    self.metrics.on_delivered(&pkt, now, alive_prefix);
+                    self.fate_delivered(&pkt, ctx.current_key());
+                } else {
+                    self.forward_data(ctx, node, pkt, class);
+                }
+            }
+            Payload::Control { msg, dst } => {
+                let (msg, dst) = (*msg, *dst);
+                if dst == node {
+                    self.control_arrived(ctx, node, msg);
+                } else {
+                    // Relay toward the final destination over the low radio.
+                    if let Some(next) = self.shared.low_routes.next_hop(node, dst) {
+                        self.enqueue_frame(
+                            ctx,
+                            node,
+                            Class::Low,
+                            next,
+                            HandshakeMsg::WIRE_BYTES,
+                            Payload::Control { msg, dst },
+                        );
+                    }
+                }
+            }
+            Payload::Burst {
+                burst,
+                index,
+                count,
+                packets,
+            } => {
+                let (burst, index, count) = (*burst, *index, *count);
+                let packets = packets.clone();
+                let mut actions = Vec::new();
+                if let Some(rx) = self.node_mut(node).bcp_rx.as_mut() {
+                    rx.on_burst_frame(now, burst, index, count, packets, &mut actions);
+                }
+                self.receiver_actions(ctx, node, actions);
+            }
+        }
+    }
+
+    fn control_arrived(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId, msg: HandshakeMsg) {
+        let now = ctx.now();
+        match msg {
+            HandshakeMsg::WakeUp { burst, burst_bytes } => {
+                let free = if node == self.scen.sink {
+                    usize::MAX / 4
+                } else {
+                    self.node(node)
+                        .bcp_tx
+                        .as_ref()
+                        .map(|t| t.free_bytes())
+                        .unwrap_or(0)
+                };
+                let from = burst.initiator();
+                let mut actions = Vec::new();
+                if let Some(rx) = self.node_mut(node).bcp_rx.as_mut() {
+                    rx.on_wakeup(now, from, burst, burst_bytes, free, &mut actions);
+                }
+                self.receiver_actions(ctx, node, actions);
+            }
+            HandshakeMsg::WakeUpAck {
+                burst,
+                granted_bytes,
+            } => {
+                let mut actions = Vec::new();
+                if let Some(tx) = self.node_mut(node).bcp_tx.as_mut() {
+                    tx.on_wakeup_ack(now, burst, granted_bytes, &mut actions);
+                }
+                self.sender_actions(ctx, node, actions);
+            }
+        }
+    }
+
+    fn tx_outcome(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        node: NodeId,
+        _class: Class,
+        ok: bool,
+        tag: u64,
+    ) {
+        let Some(payload) = self.payloads.remove(&tag) else {
+            return;
+        };
+        match payload {
+            Payload::SensorData(pkt) => {
+                if !ok {
+                    self.fate_lost(pkt.id.0, Fate::LostMac, ctx.current_key());
+                }
+            }
+            Payload::Control { .. } => {
+                // Handshake losses are handled by BCP's own timers.
+            }
+            Payload::Burst { burst, .. } => {
+                let mut actions = Vec::new();
+                if let Some(tx) = self.node_mut(node).bcp_tx.as_mut() {
+                    tx.on_frame_outcome(ctx.now(), burst, ok, &mut actions);
+                }
+                self.sender_actions(ctx, node, actions);
+            }
+        }
+    }
+
+    pub(crate) fn enqueue_frame(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        node: NodeId,
+        class: Class,
+        to: NodeId,
+        bytes: usize,
+        payload: Payload,
+    ) {
+        // Tags are node-scoped (like packet and transmission ids) so the
+        // payload table keys are identical for every shard count.
+        let tag = {
+            let n = self.node_mut(node);
+            let tag = crate::events::node_scoped_id(node, n.tag_seq);
+            n.tag_seq += 1;
+            tag
+        };
+        self.payloads.insert(tag, payload);
+        let dst = self.mac_addr_of(to, class);
+        let frame = self
+            .node_mut(node)
+            .mac_mut(class)
+            .make_data(dst, bytes, tag);
+        self.mac_event(ctx, node, class, MacEvent::Enqueue(frame), None);
+    }
+
+    // ------------------------------------------------------------------
+    // BCP binding
+    // ------------------------------------------------------------------
+
+    pub(crate) fn sender_actions(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        node: NodeId,
+        actions: Vec<SenderAction>,
+    ) {
+        for a in actions {
+            match a {
+                SenderAction::SendWakeUp {
+                    to,
+                    burst,
+                    burst_bytes,
+                } => {
+                    let msg = HandshakeMsg::WakeUp { burst, burst_bytes };
+                    self.send_control(ctx, node, to, msg);
+                }
+                SenderAction::ArmAckTimer { burst } => {
+                    let delay = self.scen.bcp.wakeup_ack_timeout;
+                    let id = ctx.after(delay, Ev::BcpAckTimer { node, burst });
+                    if let Some(old) = self.ack_timers.insert((node.0, burst.0), id) {
+                        ctx.cancel(old);
+                    }
+                }
+                SenderAction::CancelAckTimer { burst } => {
+                    if let Some(id) = self.ack_timers.remove(&(node.0, burst.0)) {
+                        ctx.cancel(id);
+                    }
+                }
+                SenderAction::WakeHighRadio { burst } => {
+                    self.acquire_high(ctx, node, Some(burst));
+                }
+                SenderAction::SendBurstFrame {
+                    to,
+                    burst,
+                    index,
+                    count,
+                    packets,
+                } => {
+                    let bytes = bcp_core::frag::total_bytes(&packets);
+                    self.enqueue_frame(
+                        ctx,
+                        node,
+                        Class::High,
+                        to,
+                        bytes,
+                        Payload::Burst {
+                            burst,
+                            index,
+                            count,
+                            packets,
+                        },
+                    );
+                }
+                SenderAction::SendLowData { to: _, packets } => {
+                    // Delay-bound fallback: these packets travel hop-by-hop
+                    // over the low radio from here on.
+                    for pkt in packets {
+                        self.forward_data(ctx, node, pkt, Class::Low);
+                    }
+                }
+                SenderAction::ReleaseHighRadio { .. } => self.release_high(ctx, node),
+                SenderAction::PacketsDropped { packets, reason } => {
+                    let fate = match reason {
+                        DropReason::BufferOverflow => Fate::LostBuffer,
+                        DropReason::MacFailure => Fate::LostMac,
+                    };
+                    let key = ctx.current_key();
+                    for p in &packets {
+                        self.fate_lost(p.id.0, fate, key);
+                    }
+                }
+                SenderAction::SessionDone { .. } => {}
+            }
+        }
+    }
+
+    pub(crate) fn receiver_actions(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        node: NodeId,
+        actions: Vec<ReceiverAction>,
+    ) {
+        for a in actions {
+            match a {
+                ReceiverAction::WakeHighRadio { .. } => self.acquire_high(ctx, node, None),
+                ReceiverAction::SendWakeUpAck {
+                    to,
+                    burst,
+                    granted_bytes,
+                } => {
+                    let msg = HandshakeMsg::WakeUpAck {
+                        burst,
+                        granted_bytes,
+                    };
+                    self.send_control(ctx, node, to, msg);
+                }
+                ReceiverAction::ArmDataTimer { burst } => {
+                    let delay = self.scen.bcp.receiver_data_timeout;
+                    let id = ctx.after(delay, Ev::BcpDataTimer { node, burst });
+                    if let Some(old) = self.data_timers.insert((node.0, burst.0), id) {
+                        ctx.cancel(old);
+                    }
+                }
+                ReceiverAction::CancelDataTimer { burst } => {
+                    if let Some(id) = self.data_timers.remove(&(node.0, burst.0)) {
+                        ctx.cancel(id);
+                    }
+                }
+                ReceiverAction::ReleaseHighRadio { .. } => self.release_high(ctx, node),
+                ReceiverAction::DeliverPackets { from: _, packets } => {
+                    let now = ctx.now();
+                    let alive_prefix = !self.shared.death_seen;
+                    for pkt in packets {
+                        if pkt.dest == node {
+                            self.metrics.on_delivered(&pkt, now, alive_prefix);
+                            self.fate_delivered(&pkt, ctx.current_key());
+                        } else {
+                            self.bcp_data(ctx, node, pkt);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_control(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        node: NodeId,
+        dst: NodeId,
+        msg: HandshakeMsg,
+    ) {
+        if let Some(next) = self.shared.low_routes.next_hop(node, dst) {
+            self.enqueue_frame(
+                ctx,
+                node,
+                Class::Low,
+                next,
+                HandshakeMsg::WIRE_BYTES,
+                Payload::Control { msg, dst },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // High-radio power management
+    // ------------------------------------------------------------------
+
+    fn acquire_high(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId, ready_burst: Option<BurstId>) {
+        let now = ctx.now();
+        if let Some(id) = self.linger.remove(&node.0) {
+            ctx.cancel(id);
+        }
+        let state = {
+            let n = self.node_mut(node);
+            n.high_refs += 1;
+            n.radio_mut(Class::High).state()
+        };
+        match state {
+            RadioState::Off => {
+                self.metrics.radio_wakeups += 1;
+                let d = self.node_mut(node).radio_mut(Class::High).begin_wakeup(now);
+                // The wake-up pulse is a lump charge: drain it now.
+                self.power_touch(ctx, node);
+                ctx.after(d, Ev::RadioWakeDone { node });
+                if let Some(b) = ready_burst {
+                    self.node_mut(node).wake_pending.push(b);
+                }
+            }
+            RadioState::WakingUp => {
+                if let Some(b) = ready_burst {
+                    self.node_mut(node).wake_pending.push(b);
+                }
+            }
+            _ => {
+                // Already on: a sender session can proceed immediately.
+                if let Some(b) = ready_burst {
+                    let mut actions = Vec::new();
+                    if let Some(tx) = self.node_mut(node).bcp_tx.as_mut() {
+                        tx.on_high_radio_ready(now, b, &mut actions);
+                    }
+                    self.sender_actions(ctx, node, actions);
+                }
+            }
+        }
+    }
+
+    fn release_high(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId) {
+        let refs = {
+            let n = self.node_mut(node);
+            assert!(n.high_refs > 0, "{node}: release without acquire");
+            n.high_refs -= 1;
+            n.high_refs
+        };
+        if refs == 0 {
+            // Stay on briefly: the MAC may still owe a link ACK, and in
+            // shortcut-learning mode we listen for our packets being
+            // forwarded.
+            let mut delay = self.scen.off_linger;
+            if let HighRoute::LowParents {
+                shortcuts: true,
+                listen,
+            } = self.scen.high_route
+            {
+                if listen > delay {
+                    delay = listen;
+                }
+                let until = ctx.now() + listen;
+                self.node_mut(node).listen_until = until;
+            }
+            let id = ctx.after(delay, Ev::HighIdleOff { node });
+            if let Some(old) = self.linger.insert(node.0, id) {
+                ctx.cancel(old);
+            }
+        }
+    }
+
+    pub(crate) fn radio_wake_done(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId) {
+        let now = ctx.now();
+        self.node_mut(node)
+            .radio_mut(Class::High)
+            .complete_wakeup(now);
+        // The high radio now idles expensively: re-project depletion (this
+        // can kill the node on the spot if the battery is that close).
+        self.power_touch(ctx, node);
+        if !self.node(node).is_alive() {
+            return;
+        }
+        // Resynchronize the MAC's carrier view with the channel: the MAC
+        // may hold a stale busy flag from before the radio powered down
+        // (the matching down-edge fell on deaf ears), which would pin any
+        // queued frame in WaitChannel until an unrelated transmission
+        // happens to clear it — with the radio burning idle power all
+        // along. `on_carrier` is idempotent, so asserting either edge is
+        // safe.
+        let busy = self.chans[Class::High.index()].carrier_busy(node);
+        self.mac_event(ctx, node, Class::High, MacEvent::Carrier(busy), None);
+        let pending = core::mem::take(&mut self.node_mut(node).wake_pending);
+        for burst in pending {
+            let mut actions = Vec::new();
+            if let Some(tx) = self.node_mut(node).bcp_tx.as_mut() {
+                tx.on_high_radio_ready(now, burst, &mut actions);
+            }
+            self.sender_actions(ctx, node, actions);
+        }
+    }
+
+    pub(crate) fn high_idle_off(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId) {
+        self.linger.remove(&node.0);
+        let now = ctx.now();
+        let turned_off = {
+            let n = self.node_mut(node);
+            if n.high_refs > 0 {
+                return; // re-acquired meanwhile
+            }
+            // The MAC may still owe a link ACK (SIFS-delayed) or hold queued
+            // frames; powering down now would transmit from a dead radio.
+            let mac_busy = !n
+                .high_mac
+                .as_ref()
+                .map(|m| m.is_quiescent())
+                .unwrap_or(true);
+            let radio = n.radio_mut(Class::High);
+            match radio.state() {
+                RadioState::Idle if !mac_busy => {
+                    radio.turn_off(now);
+                    true
+                }
+                RadioState::Off => false,
+                _ => {
+                    // Busy (rx/tx/waking/ack owed): try again shortly.
+                    let delay = self.scen.off_linger;
+                    let id = ctx.after(delay, Ev::HighIdleOff { node });
+                    if let Some(old) = self.linger.insert(node.0, id) {
+                        ctx.cancel(old);
+                    }
+                    false
+                }
+            }
+        };
+        if turned_off {
+            self.power_touch(ctx, node);
+        }
+    }
+}

@@ -40,10 +40,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod channel;
+mod dispatch;
 pub mod events;
 pub mod metrics;
 pub mod node;
+mod power;
+mod routes;
 pub mod scenario;
+mod shard;
 pub mod world;
 
 pub use metrics::{Metrics, NodePowerReport, RunStats};

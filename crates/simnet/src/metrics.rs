@@ -58,20 +58,24 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Records a generated packet.
-    pub fn on_generated(&mut self, pkt: &AppPacket) {
+    /// Records a generated packet. `alive_prefix` says whether the whole
+    /// network is still intact (no death announced yet) — in the sharded
+    /// world that flag lives in the coordinator-published snapshot, not
+    /// in any one shard's counters.
+    pub fn on_generated(&mut self, pkt: &AppPacket, alive_prefix: bool) {
         self.generated_packets += 1;
         self.generated_bits += pkt.bytes as u64 * 8;
-        if self.first_death.is_none() {
+        if alive_prefix {
             self.generated_before_first_death += 1;
         }
     }
 
-    /// Records a sink delivery at time `now`.
-    pub fn on_delivered(&mut self, pkt: &AppPacket, now: SimTime) {
+    /// Records a sink delivery at time `now` (see
+    /// [`on_generated`](Self::on_generated) for `alive_prefix`).
+    pub fn on_delivered(&mut self, pkt: &AppPacket, now: SimTime, alive_prefix: bool) {
         self.delivered_packets += 1;
         self.delivered_bits += pkt.bytes as u64 * 8;
-        if self.first_death.is_none() {
+        if alive_prefix {
             self.delivered_before_first_death += 1;
         }
         self.delay
@@ -84,6 +88,35 @@ impl Metrics {
         if self.first_death.is_none() {
             self.first_death = Some(now);
         }
+    }
+
+    /// Folds another shard's counters into this one. Sink deliveries (and
+    /// their delay series) happen on exactly one shard, so the Welford
+    /// merge never mixes two non-trivial delay streams; everything else
+    /// is a plain sum or an earliest-instant fold.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.generated_packets += other.generated_packets;
+        self.generated_bits += other.generated_bits;
+        self.delivered_packets += other.delivered_packets;
+        self.delivered_bits += other.delivered_bits;
+        self.delay.merge(&other.delay);
+        self.drops_buffer += other.drops_buffer;
+        self.drops_mac += other.drops_mac;
+        self.residual_packets += other.residual_packets;
+        self.handshakes += other.handshakes;
+        self.radio_wakeups += other.radio_wakeups;
+        self.collisions += other.collisions;
+        self.node_deaths += other.node_deaths;
+        self.first_death = match (self.first_death, other.first_death) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.partition = match (self.partition, other.partition) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.delivered_before_first_death += other.delivered_before_first_death;
+        self.generated_before_first_death += other.generated_before_first_death;
     }
 
     /// Records the first sink disconnection at time `now` (later calls are
@@ -241,10 +274,10 @@ mod tests {
     fn goodput_ratio() {
         let mut m = Metrics::default();
         for i in 0..10 {
-            m.on_generated(&pkt(i, 0));
+            m.on_generated(&pkt(i, 0), true);
         }
         for i in 0..4 {
-            m.on_delivered(&pkt(i, 0), SimTime::from_secs(5));
+            m.on_delivered(&pkt(i, 0), SimTime::from_secs(5), true);
         }
         assert!((m.goodput() - 0.4).abs() < 1e-12);
         assert_eq!(m.delivered_bits, 4 * 256);
@@ -254,9 +287,30 @@ mod tests {
     fn delay_includes_buffering() {
         let mut m = Metrics::default();
         let p = pkt(0, 10);
-        m.on_generated(&p);
-        m.on_delivered(&p, SimTime::from_secs(25));
+        m.on_generated(&p, true);
+        m.on_delivered(&p, SimTime::from_secs(25), true);
         assert!((m.mean_delay_s() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_folds_counters_and_instants() {
+        let mut a = Metrics::default();
+        let mut b = Metrics::default();
+        for i in 0..4 {
+            a.on_generated(&pkt(i, 0), true);
+        }
+        for i in 0..3 {
+            b.on_generated(&pkt(100 + i, 0), false);
+            b.on_delivered(&pkt(100 + i, 0), SimTime::from_secs(9), false);
+        }
+        b.on_node_died(SimTime::from_secs(5));
+        a.merge(&b);
+        assert_eq!(a.generated_packets, 7);
+        assert_eq!(a.generated_before_first_death, 4);
+        assert_eq!(a.delivered_packets, 3);
+        assert_eq!(a.node_deaths, 1);
+        assert_eq!(a.first_death, Some(SimTime::from_secs(5)));
+        assert!((a.mean_delay_s() - 9.0).abs() < 1e-12);
     }
 
     #[test]
@@ -264,8 +318,8 @@ mod tests {
         let mut m = Metrics::default();
         for i in 0..100 {
             let p = pkt(i, 0);
-            m.on_generated(&p);
-            m.on_delivered(&p, SimTime::from_secs(1));
+            m.on_generated(&p, true);
+            m.on_delivered(&p, SimTime::from_secs(1), true);
         }
         // 100 × 256 bits = 25.6 Kbit; 2.56 J -> 0.1 J/Kbit.
         let rs = RunStats::new(m, Energy::from_joules(2.56), Energy::from_joules(5.12), 0);

@@ -37,6 +37,11 @@ pub struct NodeState {
     pub pending_bytes: usize,
     /// Application packet counter (feeds packet ids).
     pub app_seq: u64,
+    /// Transmission counter (feeds [`TxId`](crate::events::TxId)s): node
+    /// local, so transmission identities are shard-count independent.
+    pub tx_seq: u64,
+    /// Payload tag counter (node-local for the same reason).
+    pub tag_seq: u64,
     /// Sessions currently holding the high radio awake.
     pub high_refs: u32,
     /// Sender-side bursts waiting for the high radio to finish waking.

@@ -1,0 +1,114 @@
+//! Finite energy on a shard: battery drain projection and node death.
+//!
+//! Dying is a two-phase affair in the sharded world. The *kill* —
+//! silencing the radios, freezing the ledgers, cancelling the corpse's
+//! timers — is entirely local to the owning shard and happens at the
+//! exact depletion instant. The *announcement* — route repair, shortcut
+//! invalidation, the shared liveness snapshot — is a [`GlobalEv::NodeDied`]
+//! that reaches the coordinator one link latency later, exactly like any
+//! other cross-node signal, so it can never land inside the conservative
+//! window that produced it. Survivors therefore route around a corpse
+//! one link latency after the battery empties, identically for every
+//! shard count.
+
+use crate::events::{Ev, GlobalEv};
+use crate::shard::{ShardCtx, ShardState};
+use bcp_net::addr::NodeId;
+
+impl ShardState {
+    /// Syncs `node`'s battery against its energy meters and (re)schedules
+    /// the projected depletion instant. Call after anything that changes a
+    /// radio's power draw; no-op for mains-powered or already-dead nodes.
+    ///
+    /// Radio draw is piecewise constant between events, so the projection
+    /// is exact: the node dies *at* the scheduled `PowerCheck`, not within
+    /// some polling window, and death times are seed-reproducible.
+    pub(crate) fn power_touch(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId) {
+        let now = ctx.now();
+        let (metered, draw) = {
+            let n = self.node(node);
+            if n.supply.is_none() || !n.is_alive() {
+                return;
+            }
+            (n.metered_total(now), n.current_draw())
+        };
+        let supply = self.node_mut(node).supply.as_mut().expect("checked above");
+        supply.sync_to(metered);
+        if supply.is_depleted_at(draw) {
+            self.kill_node(ctx, node);
+            return;
+        }
+        match supply.time_to_depletion(draw) {
+            Some(d) => {
+                let id = ctx.after(d, Ev::PowerCheck { node });
+                if let Some(old) = self.power_timers.insert(node.0, id) {
+                    ctx.cancel(old);
+                }
+            }
+            None => {
+                if let Some(old) = self.power_timers.remove(&node.0) {
+                    ctx.cancel(old);
+                }
+            }
+        }
+    }
+
+    /// The battery emptied: cut power, silence the corpse, and let the
+    /// survivors know — one link latency later — via
+    /// [`GlobalEv::NodeDied`].
+    fn kill_node(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId) {
+        let now = ctx.now();
+        {
+            let n = self.node_mut(node);
+            debug_assert!(n.is_alive(), "{node} died twice");
+            // Close the meters at the instant of death, then cut power so
+            // the ledgers freeze (a dead node's ledger stops accumulating).
+            let metered = n.metered_total(now);
+            if let Some(s) = n.supply.as_mut() {
+                s.sync_to(metered);
+            }
+            n.low_radio.force_off(now);
+            if let Some(hr) = n.high_radio.as_mut() {
+                hr.force_off(now);
+            }
+            n.died_at = Some(now);
+        }
+        // Stale events are alive-guarded anyway; cancelling keeps the
+        // queue small.
+        let mut cancelled = Vec::new();
+        self.mac_timers.retain(|k, id| {
+            let stale = k.0 == node.0;
+            if stale {
+                cancelled.push(*id);
+            }
+            !stale
+        });
+        self.ack_timers.retain(|k, id| {
+            let stale = k.0 == node.0;
+            if stale {
+                cancelled.push(*id);
+            }
+            !stale
+        });
+        self.data_timers.retain(|k, id| {
+            let stale = k.0 == node.0;
+            if stale {
+                cancelled.push(*id);
+            }
+            !stale
+        });
+        if let Some(id) = self.linger.remove(&node.0) {
+            cancelled.push(id);
+        }
+        if let Some(id) = self.power_timers.remove(&node.0) {
+            cancelled.push(id);
+        }
+        for id in cancelled {
+            ctx.cancel(id);
+        }
+        ctx.global(
+            now + self.death_latency,
+            GlobalEv::NodeDied { node, at: now },
+        );
+    }
+}

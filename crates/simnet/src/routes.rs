@@ -1,0 +1,195 @@
+//! The whole-world side of the sharded simulator: the immutable
+//! route/liveness snapshot every shard reads, and the coordinator logic
+//! that rebuilds it at global events (node deaths, periodic refreshes).
+//!
+//! Shards never mutate shared state. Between global events the snapshot
+//! is constant; at a global event the coordinator has exclusive access,
+//! recomputes routes from the residual energies across all shards, and
+//! installs a fresh [`Arc`] into every shard. Because global events are
+//! deferred by one link latency (like every cross-node signal), they sit
+//! at a deterministic position in the event order and the swap is
+//! observed identically for every shard count.
+
+use crate::events::GlobalEv;
+use crate::metrics::Metrics;
+use crate::scenario::{ModelKind, Scenario};
+use crate::shard::ShardState;
+use bcp_net::addr::NodeId;
+use bcp_net::routing::{RouteWeight, Routes};
+use bcp_power::BatteryModel;
+use bcp_sim::conservative::{PdesControl, ShardsMut};
+use bcp_sim::time::SimTime;
+use std::sync::Arc;
+
+/// The coordinator-published snapshot of whole-world state.
+#[derive(Debug)]
+pub(crate) struct SharedNet {
+    /// Low-radio routes.
+    pub low_routes: Routes,
+    /// High-radio routes.
+    pub high_routes: Routes,
+    /// Per-node liveness as of the last global event.
+    pub alive: Vec<bool>,
+    /// `true` once a death has been announced: ends the "all nodes alive"
+    /// prefix that the before-first-death metrics measure.
+    pub death_seen: bool,
+}
+
+impl SharedNet {
+    /// The routes a model's data ultimately depends on: the low radio for
+    /// the sensor model and for BCP (whose handshake travels over it), the
+    /// high radio for pure 802.11.
+    pub fn data_routes(&self, model: ModelKind) -> &Routes {
+        match model {
+            ModelKind::Sensor | ModelKind::DualRadio => &self.low_routes,
+            ModelKind::Dot11 => &self.high_routes,
+        }
+    }
+}
+
+/// Per-node residual energy for route weighting: a node's remaining
+/// charge in joules, or `INFINITY` for mains-powered nodes.
+pub(crate) fn initial_residuals(scen: &Scenario) -> Vec<f64> {
+    scen.topo
+        .nodes()
+        .map(|id| {
+            scen.power
+                .battery_for(id.index(), id == scen.sink)
+                .map(|b| b.capacity().as_joules())
+                .unwrap_or(f64::INFINITY)
+        })
+        .collect()
+}
+
+pub(crate) fn compute_routes(
+    scen: &Scenario,
+    residual: &[f64],
+    dead: &[NodeId],
+) -> (Routes, Routes) {
+    let mk = |range_m: f64| match scen.route_weight {
+        RouteWeight::ShortestHop => Routes::shortest_hop_excluding(&scen.topo, range_m, dead),
+        RouteWeight::MaxMinResidual => {
+            Routes::max_min_residual(&scen.topo, range_m, residual, dead)
+        }
+    };
+    (mk(scen.low_profile.range_m), mk(scen.high_profile.range_m))
+}
+
+/// Builds the snapshot a run starts with (everyone alive, full charge).
+pub(crate) fn initial_shared(scen: &Scenario) -> Arc<SharedNet> {
+    let (low_routes, high_routes) = compute_routes(scen, &initial_residuals(scen), &[]);
+    Arc::new(SharedNet {
+        low_routes,
+        high_routes,
+        alive: vec![true; scen.topo.len()],
+        death_seen: false,
+    })
+}
+
+/// The coordinator: executes global events with exclusive access to all
+/// shards and owns the whole-run slice of the metrics (deaths,
+/// partition).
+#[derive(Debug)]
+pub(crate) struct Control {
+    pub scen: Arc<Scenario>,
+    /// Global metrics slice: node deaths, first death, partition instant.
+    pub metrics: Metrics,
+    /// Global events executed (part of the run's event count).
+    pub global_events: u64,
+}
+
+impl Control {
+    /// Recomputes routes and liveness from the current residual energies
+    /// across every shard and installs the fresh snapshot everywhere.
+    fn republish(
+        &self,
+        shards: &mut ShardsMut<'_, ShardState>,
+        death_seen: bool,
+    ) -> Arc<SharedNet> {
+        let n = self.scen.topo.len();
+        let mut residual = vec![f64::INFINITY; n];
+        let mut alive = vec![true; n];
+        shards.for_each(|_, s| {
+            for node in s.owned_nodes() {
+                let i = node.id.index();
+                residual[i] = match &node.supply {
+                    Some(sup) => sup.battery().remaining().as_joules(),
+                    None => f64::INFINITY,
+                };
+                alive[i] = node.is_alive();
+            }
+        });
+        let mut dead: Vec<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|d| !alive[d.index()])
+            .collect();
+        dead.sort();
+        let (low_routes, high_routes) = compute_routes(&self.scen, &residual, &dead);
+        let snap = Arc::new(SharedNet {
+            low_routes,
+            high_routes,
+            alive,
+            death_seen,
+        });
+        shards.for_each(|_, s| s.shared = Arc::clone(&snap));
+        snap
+    }
+
+    /// Route repair after a death: survivors recompute paths around the
+    /// corpse, learned shortcuts through it die with it, and the run
+    /// records the first moment a sender lost the sink.
+    fn node_died(&mut self, shards: &mut ShardsMut<'_, ShardState>, node: NodeId, at: SimTime) {
+        self.metrics.on_node_died(at);
+        let snap = self.republish(shards, true);
+        // A learned shortcut through the corpse is a blackhole: the
+        // repaired trees route around it, so must the shortcut tables.
+        shards.for_each(|_, s| {
+            for n in s.owned_nodes_mut() {
+                n.shortcuts.invalidate_via(node);
+            }
+        });
+        self.check_partition(&snap, at, node);
+    }
+
+    fn check_partition(&mut self, snap: &SharedNet, at: SimTime, dead: NodeId) {
+        if self.metrics.partition.is_some() {
+            return;
+        }
+        // The sink is "disconnected" the first time any data source can no
+        // longer reach it: the sink itself died, a sender died, or a
+        // sender's every route crosses corpses.
+        let sink = self.scen.sink;
+        let routes = snap.data_routes(self.scen.model);
+        let severed = dead == sink
+            || self
+                .scen
+                .senders
+                .iter()
+                .any(|&s| !snap.alive[s.index()] || routes.next_hop(s, sink).is_none());
+        if severed {
+            self.metrics.on_partition(at);
+        }
+    }
+}
+
+impl PdesControl<ShardState> for Control {
+    fn on_global(
+        &mut self,
+        shards: &mut ShardsMut<'_, ShardState>,
+        now: SimTime,
+        ev: GlobalEv,
+        out: &mut Vec<(SimTime, GlobalEv)>,
+    ) {
+        self.global_events += 1;
+        match ev {
+            GlobalEv::NodeDied { node, at } => self.node_died(shards, node, at),
+            GlobalEv::RouteRefresh => {
+                let death_seen = self.metrics.first_death.is_some();
+                self.republish(shards, death_seen);
+                if let Some(every) = self.scen.power.reroute_every {
+                    out.push((now + every, GlobalEv::RouteRefresh));
+                }
+            }
+        }
+    }
+}

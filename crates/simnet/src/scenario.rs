@@ -105,6 +105,20 @@ pub struct Scenario {
     pub power: PowerConfig,
     /// How routes weigh paths, both initially and on repair after deaths.
     pub route_weight: RouteWeight,
+    /// Shards the world is split into for multi-core execution (grid
+    /// strips over the deployment plane). `1` (the default) runs the
+    /// whole world on one queue; any value yields bit-identical results —
+    /// sharding changes wall-clock time, never physics.
+    pub shards: usize,
+    /// Link turnaround latency of the low radio: the delay between a
+    /// sender's action on the channel and an in-range receiver observing
+    /// it (propagation plus receiver synchronization — a fraction of a
+    /// CSMA slot). Also the conservative engine's lookahead, so it must
+    /// stay positive.
+    pub link_latency_low: SimDuration,
+    /// Link turnaround latency of the high radio (fraction of an 802.11
+    /// slot).
+    pub link_latency_high: SimDuration,
     /// Master seed; every stochastic element derives from it.
     pub seed: u64,
 }
@@ -167,6 +181,14 @@ impl Scenario {
             flush_at_cutoff: false,
             power: PowerConfig::unlimited(),
             route_weight: RouteWeight::ShortestHop,
+            shards: 1,
+            // One fifth of a CSMA slot (320 µs) and of an 802.11 slot
+            // (20 µs): small against every MAC timing (the ACK timeout
+            // carries two slots of slack, and a round trip costs two link
+            // latencies), large enough to batch events per conservative
+            // window.
+            link_latency_low: SimDuration::from_micros(64),
+            link_latency_high: SimDuration::from_micros(4),
             seed,
         }
     }
@@ -266,6 +288,25 @@ impl Scenario {
         self
     }
 
+    /// Splits the world into `shards` spatial strips for multi-core
+    /// execution (clamped to the node count at build time). Results are
+    /// bit-identical for every value.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The link turnaround latency of a radio class.
+    pub fn link_latency(&self, class: crate::events::Class) -> SimDuration {
+        let l = match class {
+            crate::events::Class::Low => self.link_latency_low,
+            crate::events::Class::High => self.link_latency_high,
+        };
+        // The conservative engine needs a positive lookahead; clamp a
+        // (mis)configured zero to one nanosecond.
+        l.max(SimDuration::from_nanos(1))
+    }
+
     /// End of the simulated interval as an absolute time.
     pub fn end_time(&self) -> SimTime {
         SimTime::ZERO + self.duration
@@ -339,5 +380,22 @@ mod tests {
         let m = Scenario::multi_hop(ModelKind::Sensor, 5, 10, 1).with_rate(200.0);
         assert_eq!(m.high_profile.name, "Cabletron");
         assert_eq!(m.rate_bps, 200.0);
+    }
+
+    #[test]
+    fn shard_and_latency_knobs() {
+        let s = Scenario::single_hop(ModelKind::Sensor, 1, 10, 1);
+        assert_eq!(s.shards, 1, "sequential by default");
+        assert_eq!(s.with_shards(0).shards, 1, "zero clamps to one");
+        let mut s = Scenario::single_hop(ModelKind::Sensor, 1, 10, 1).with_shards(4);
+        assert_eq!(s.shards, 4);
+        // The lookahead floor: even a misconfigured zero latency stays
+        // positive.
+        s.link_latency_low = SimDuration::from_nanos(0);
+        assert!(s.link_latency(crate::events::Class::Low) > SimDuration::from_nanos(0));
+        assert!(
+            s.link_latency(crate::events::Class::High) < s.low_profile.frame_airtime(32),
+            "latency is small against real airtimes"
+        );
     }
 }

@@ -1,0 +1,653 @@
+//! One shard of the simulated world: the nodes it owns, their slice of
+//! the two radio media, and the handler for every shard-local event.
+//!
+//! A shard only ever mutates its own nodes. The sole way its nodes reach
+//! the rest of the world is the transmission path in this module:
+//! [`ShardState::start_tx`] fans a transmission out as [`Ev::RxBegin`] /
+//! [`Ev::RxEnd`] events — one per shard that owns an in-range receiver,
+//! delivered one link-turnaround latency after the sender's action. That
+//! latency is the conservative engine's lookahead, so reception events
+//! never land inside the window that produced them.
+//!
+//! Whole-world state (routes, liveness, the first-death flag) is read
+//! from an immutable [`SharedNet`] snapshot that the coordinator swaps
+//! only at global events; node deaths are *announced* to the coordinator
+//! (one latency late, like any other cross-node signal) rather than
+//! applied to shared state in place.
+
+use crate::channel::{Channel, NeighborIndex};
+use crate::events::{Class, Ev, GlobalEv, Payload, TxId};
+use crate::metrics::Metrics;
+use crate::node::NodeState;
+use crate::routes::SharedNet;
+use crate::scenario::{HighRoute, ModelKind, Scenario};
+use bcp_core::msg::AppPacket;
+use bcp_mac::types::{FrameKind, MacAddr, MacEvent, MacFrame, MacTimer};
+use bcp_net::addr::NodeId;
+use bcp_net::partition::Partition;
+use bcp_radio::device::{RadioState, RxOutcome};
+use bcp_sim::conservative::{Ctx, PdesShard};
+use bcp_sim::keyed::{CancelId, EvKey};
+use bcp_sim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The handler context every shard method receives.
+pub(crate) type ShardCtx<'a> = Ctx<'a, Ev, GlobalEv>;
+
+/// Final state of one application packet (reconciled at run end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Fate {
+    Pending,
+    Delivered,
+    LostMac,
+    LostBuffer,
+}
+
+/// A fate observation with the key of the event that made it, so the
+/// per-shard observations merge into the same verdict the sequential run
+/// reaches (earliest loss wins; delivery beats losses).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FateMark {
+    pub fate: Fate,
+    pub key: EvKey,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ActiveTx {
+    pub sender: NodeId,
+    pub class: Class,
+    pub frame: MacFrame,
+}
+
+/// One shard's complete mutable state.
+#[derive(Debug)]
+pub(crate) struct ShardState {
+    pub id: usize,
+    pub scen: Arc<Scenario>,
+    pub addr: Arc<bcp_net::addr::AddrMap>,
+    pub part: Arc<Partition>,
+    pub neigh: [Arc<NeighborIndex>; 2],
+    /// Coordinator-published snapshot of routes/liveness/death flag.
+    pub shared: Arc<SharedNet>,
+    /// Global-indexed; `Some` exactly for nodes this shard owns.
+    pub nodes: Vec<Option<NodeState>>,
+    pub chans: [Channel; 2],
+    pub payloads: HashMap<u64, Payload>,
+    pub txs: HashMap<u64, ActiveTx>,
+    pub mac_timers: HashMap<(u32, usize, MacTimer), CancelId>,
+    pub ack_timers: HashMap<(u32, u64), CancelId>,
+    pub data_timers: HashMap<(u32, u64), CancelId>,
+    pub linger: HashMap<u32, CancelId>,
+    pub power_timers: HashMap<u32, CancelId>,
+    pub fates: HashMap<u64, FateMark>,
+    pub metrics: Metrics,
+    /// How late a death announcement reaches the coordinator (the minimum
+    /// link latency — identical for every shard count).
+    pub death_latency: SimDuration,
+    /// Logical events handled. Differs from the queue's raw pop count in
+    /// exactly one way: a transmission's RxBegin/RxEnd fan-out — one
+    /// queue event per *hearing shard* — is counted once, at the sender,
+    /// so the total is identical for every shard count.
+    pub events_logical: u64,
+}
+
+impl PdesShard for ShardState {
+    type Ev = Ev;
+    type Global = GlobalEv;
+
+    fn handle(&mut self, ctx: &mut ShardCtx<'_>, ev: Ev) {
+        // A depleted node is deaf, mute, and schedules nothing: any event
+        // still addressed to it (stale timers, wake completions) is void.
+        let target_dead = |w: &ShardState, node: NodeId| !w.node(node).is_alive();
+        // Reception fan-outs are counted at the sender (see
+        // `events_logical`); everything else counts where it runs.
+        if !matches!(ev, Ev::RxBegin { .. } | Ev::RxEnd { .. }) {
+            self.events_logical += 1;
+        }
+        match ev {
+            Ev::AppArrival { node } => {
+                if target_dead(self, node) {
+                    return;
+                }
+                self.app_arrival(ctx, node)
+            }
+            Ev::MacTimer { node, class, kind } => {
+                self.mac_timers.remove(&(node.0, class.index(), kind));
+                self.mac_event(ctx, node, class, MacEvent::Timer(kind), None);
+            }
+            Ev::TxEnd { tx } => self.tx_end(ctx, tx),
+            Ev::RxBegin { tx, sender, class } => self.rx_begin(ctx, tx, sender, class),
+            Ev::RxEnd {
+                tx,
+                sender,
+                class,
+                frame,
+                sender_died,
+                payload,
+            } => self.rx_end(ctx, tx, sender, class, frame, sender_died, payload),
+            Ev::RadioWakeDone { node } => {
+                if target_dead(self, node) {
+                    return;
+                }
+                self.radio_wake_done(ctx, node)
+            }
+            Ev::BcpAckTimer { node, burst } => {
+                self.ack_timers.remove(&(node.0, burst.0));
+                if target_dead(self, node) {
+                    return;
+                }
+                let mut actions = Vec::new();
+                if let Some(tx) = self.node_mut(node).bcp_tx.as_mut() {
+                    tx.on_ack_timeout(ctx.now(), burst, &mut actions);
+                }
+                self.sender_actions(ctx, node, actions);
+            }
+            Ev::BcpDataTimer { node, burst } => {
+                self.data_timers.remove(&(node.0, burst.0));
+                if target_dead(self, node) {
+                    return;
+                }
+                let mut actions = Vec::new();
+                if let Some(rx) = self.node_mut(node).bcp_rx.as_mut() {
+                    rx.on_data_timeout(ctx.now(), burst, &mut actions);
+                }
+                self.receiver_actions(ctx, node, actions);
+            }
+            Ev::HighIdleOff { node } => {
+                if target_dead(self, node) {
+                    return;
+                }
+                self.high_idle_off(ctx, node)
+            }
+            Ev::Flush { node } => {
+                if target_dead(self, node) {
+                    return;
+                }
+                let mut actions = Vec::new();
+                if let Some(tx) = self.node_mut(node).bcp_tx.as_mut() {
+                    tx.flush(ctx.now(), &mut actions);
+                }
+                self.sender_actions(ctx, node, actions);
+            }
+            Ev::PowerCheck { node } => {
+                self.power_timers.remove(&node.0);
+                self.power_touch(ctx, node);
+            }
+        }
+    }
+}
+
+impl ShardState {
+    /// The state of an owned node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this shard does not own `node` (an event was misrouted).
+    pub fn node(&self, node: NodeId) -> &NodeState {
+        self.nodes[node.index()]
+            .as_ref()
+            .expect("event routed to non-owning shard")
+    }
+
+    /// Mutable state of an owned node (same panic contract).
+    pub fn node_mut(&mut self, node: NodeId) -> &mut NodeState {
+        self.nodes[node.index()]
+            .as_mut()
+            .expect("event routed to non-owning shard")
+    }
+
+    /// Iterates the nodes this shard owns, ascending by id.
+    pub fn owned_nodes(&self) -> impl Iterator<Item = &NodeState> {
+        self.nodes.iter().flatten()
+    }
+
+    pub fn owned_nodes_mut(&mut self) -> impl Iterator<Item = &mut NodeState> {
+        self.nodes.iter_mut().flatten()
+    }
+
+    // ------------------------------------------------------------------
+    // Per-packet fate observations
+    // ------------------------------------------------------------------
+
+    pub(crate) fn fate_generated(&mut self, pkt: &AppPacket, key: EvKey) {
+        let prev = self.fates.insert(
+            pkt.id.0,
+            FateMark {
+                fate: Fate::Pending,
+                key,
+            },
+        );
+        debug_assert!(prev.is_none(), "packet id reuse");
+    }
+
+    pub(crate) fn fate_delivered(&mut self, pkt: &AppPacket, key: EvKey) {
+        // Deliveries all happen on the sink's shard, so duplicate sink
+        // delivery is still locally detectable.
+        let mark = FateMark {
+            fate: Fate::Delivered,
+            key,
+        };
+        if let Some(prev) = self.fates.insert(pkt.id.0, mark) {
+            assert_ne!(
+                prev.fate,
+                Fate::Delivered,
+                "duplicate sink delivery of {:?}",
+                pkt.id
+            );
+            // LostMac -> Delivered is legal: the MAC's ACK was lost but
+            // the frame got through (false-negative link failure).
+        }
+    }
+
+    /// Observes a packet loss. Within a shard the earliest observation
+    /// wins and a delivery is never downgraded; across shards the merge
+    /// at run end applies the same rule by key.
+    pub(crate) fn fate_lost(&mut self, id: u64, fate: Fate, key: EvKey) {
+        let mark = FateMark { fate, key };
+        match self.fates.get_mut(&id) {
+            Some(m) if m.fate == Fate::Pending => *m = mark,
+            Some(_) => {}
+            None => {
+                // Generated on another shard; record the observation for
+                // the merge.
+                self.fates.insert(id, mark);
+            }
+        }
+    }
+
+    /// The time after which no further packets are generated.
+    fn traffic_end(&self) -> SimTime {
+        match self.scen.traffic_cutoff {
+            Some(cutoff) => SimTime::ZERO + cutoff,
+            None => self.scen.end_time(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Application layer
+    // ------------------------------------------------------------------
+
+    fn app_arrival(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId) {
+        let now = ctx.now();
+        let end = self.traffic_end();
+        let sink = self.scen.sink;
+        let pkt = {
+            let n = self.node_mut(node);
+            let pkt = AppPacket::new(node, sink, n.app_seq, now, n.pending_bytes);
+            n.app_seq += 1;
+            if let Some((t, b)) = n
+                .workload
+                .as_mut()
+                .expect("arrival without workload")
+                .next_arrival()
+            {
+                if t <= end {
+                    n.pending_bytes = b;
+                    ctx.at(t, Ev::AppArrival { node });
+                }
+            }
+            pkt
+        };
+        let alive_prefix = !self.shared.death_seen;
+        self.metrics.on_generated(&pkt, alive_prefix);
+        self.fate_generated(&pkt, ctx.current_key());
+        match self.scen.model {
+            ModelKind::Sensor => self.forward_data(ctx, node, pkt, Class::Low),
+            ModelKind::Dot11 => self.forward_data(ctx, node, pkt, Class::High),
+            ModelKind::DualRadio => self.bcp_data(ctx, node, pkt),
+        }
+    }
+
+    /// Hop-by-hop forwarding for the single-radio models.
+    pub(crate) fn forward_data(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        node: NodeId,
+        pkt: AppPacket,
+        class: Class,
+    ) {
+        let routes = match class {
+            Class::Low => &self.shared.low_routes,
+            Class::High => &self.shared.high_routes,
+        };
+        match routes.next_hop(node, pkt.dest) {
+            Some(next) => {
+                self.enqueue_frame(ctx, node, class, next, pkt.bytes, Payload::SensorData(pkt));
+            }
+            None => {
+                self.fate_lost(pkt.id.0, Fate::LostMac, ctx.current_key()); // unroutable
+            }
+        }
+    }
+
+    /// Data entering BCP at `node` (origin or relay).
+    pub(crate) fn bcp_data(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId, pkt: AppPacket) {
+        let Some(next) = self.high_next_hop(node) else {
+            self.fate_lost(pkt.id.0, Fate::LostMac, ctx.current_key());
+            return;
+        };
+        let mut actions = Vec::new();
+        self.node_mut(node)
+            .bcp_tx
+            .as_mut()
+            .expect("dual model has BCP sender")
+            .on_data(ctx.now(), next, pkt, &mut actions);
+        self.sender_actions(ctx, node, actions);
+    }
+
+    pub(crate) fn high_next_hop(&self, node: NodeId) -> Option<NodeId> {
+        let sink = self.scen.sink;
+        match self.scen.high_route {
+            HighRoute::Tree => self.shared.high_routes.next_hop(node, sink),
+            HighRoute::LowParents { shortcuts, .. } => {
+                if shortcuts {
+                    if let Some(via) = self.node(node).shortcuts.shortcut(sink) {
+                        // Liveness is read from the coordinator snapshot:
+                        // a forwarder's death becomes visible when the
+                        // NodeDied repair publishes the new snapshot, one
+                        // link latency after the battery emptied.
+                        if self.shared.alive[via.index()]
+                            && self
+                                .scen
+                                .topo
+                                .in_range(node, via, self.scen.high_profile.range_m)
+                        {
+                            return Some(via);
+                        }
+                    }
+                }
+                self.shared.low_routes.next_hop(node, sink)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The transmission path
+    // ------------------------------------------------------------------
+
+    pub(crate) fn profile(&self, class: Class) -> &bcp_radio::profile::RadioProfile {
+        match class {
+            Class::Low => &self.scen.low_profile,
+            Class::High => &self.scen.high_profile,
+        }
+    }
+
+    pub(crate) fn mac_addr_of(&self, node: NodeId, class: Class) -> MacAddr {
+        match class {
+            Class::Low => MacAddr(self.addr.low_of(node).0 as u64),
+            Class::High => MacAddr(self.addr.high_of(node).0),
+        }
+    }
+
+    pub(crate) fn node_of_mac(&self, addr: MacAddr, class: Class) -> Option<NodeId> {
+        match class {
+            Class::Low => self.addr.node_of_low(bcp_net::addr::LowAddr(addr.0 as u16)),
+            Class::High => self.addr.node_of_high(bcp_net::addr::HighAddr(addr.0)),
+        }
+    }
+
+    pub(crate) fn radio_senses(&self, node: NodeId, class: Class) -> bool {
+        self.node(node)
+            .radio(class)
+            .map(|r| {
+                matches!(
+                    r.state(),
+                    RadioState::Idle | RadioState::Receiving | RadioState::Transmitting
+                )
+            })
+            .unwrap_or(false)
+    }
+
+    pub(crate) fn start_tx(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        node: NodeId,
+        class: Class,
+        frame: MacFrame,
+    ) {
+        let now = ctx.now();
+        let ci = class.index();
+        let airtime = match frame.kind {
+            FrameKind::Data => self.profile(class).frame_airtime(frame.payload_bytes),
+            FrameKind::Ack => self.profile(class).control_airtime(frame.payload_bytes),
+        };
+        // If the radio was mid-reception, transmitting tramples it
+        // (capture); release the channel lock first.
+        if let Some((locked, _)) = self.chans[ci].locked_rx(node) {
+            self.chans[ci].unlock_rx(node, locked);
+        }
+        {
+            let n = self.node_mut(node);
+            let radio = n.radio_mut(class);
+            match radio.state() {
+                RadioState::Idle => radio.start_tx(now),
+                RadioState::Receiving => {
+                    radio.end_rx(now, RxOutcome::Corrupted);
+                    radio.start_tx(now);
+                }
+                s => panic!("{node} {class:?}: StartTx while radio is {s:?}"),
+            }
+        }
+        let txid = {
+            let n = self.node_mut(node);
+            let seq = n.tx_seq;
+            n.tx_seq += 1;
+            TxId::new(node, seq)
+        };
+        self.txs.insert(
+            txid.0,
+            ActiveTx {
+                sender: node,
+                class,
+                frame,
+            },
+        );
+        self.power_touch(ctx, node);
+        ctx.after(airtime, Ev::TxEnd { tx: txid });
+        // Fan the key-up out: one RxBegin per shard with in-range
+        // receivers, heard one link latency later (the lookahead floor).
+        let hear_at = now + self.scen.link_latency(class);
+        let neigh = self.neigh[ci].clone();
+        let mut heard = false;
+        for shard in neigh.shards_hearing(node) {
+            heard = true;
+            ctx.send(
+                shard,
+                hear_at,
+                Ev::RxBegin {
+                    tx: txid,
+                    sender: node,
+                    class,
+                },
+            );
+        }
+        if heard {
+            self.events_logical += 1;
+        }
+    }
+
+    /// A transmission became audible at this shard's receivers.
+    fn rx_begin(&mut self, ctx: &mut ShardCtx<'_>, tx: TxId, sender: NodeId, class: Class) {
+        let now = ctx.now();
+        let ci = class.index();
+        let neigh = self.neigh[ci].clone();
+        for &r in neigh.of(sender, self.id) {
+            let clean_start = !self.chans[ci].carrier_busy(r);
+            let edge = self.chans[ci].carrier_up(r);
+            let can_hear = self
+                .node(r)
+                .radio(class)
+                .map(|rd| rd.state() == RadioState::Idle)
+                .unwrap_or(false);
+            if clean_start && can_hear {
+                self.chans[ci].lock_rx(r, tx);
+                self.node_mut(r).radio_mut(class).start_rx(now);
+                self.power_touch(ctx, r);
+            } else {
+                // Either the receiver was locked onto another frame
+                // (collision) or it cannot decode a frame started mid-air.
+                self.chans[ci].poison_rx(r);
+            }
+            if edge && self.radio_senses(r, class) {
+                self.mac_event(ctx, r, class, MacEvent::Carrier(true), None);
+            }
+        }
+    }
+
+    fn tx_end(&mut self, ctx: &mut ShardCtx<'_>, txid: TxId) {
+        let now = ctx.now();
+        let ActiveTx {
+            sender,
+            class,
+            frame,
+        } = self.txs.remove(&txid.0).expect("unknown transmission");
+        // A sender whose battery died mid-air truncated the frame: its
+        // radio is already off, and every receiver hears garbage.
+        let sender_died = !self.node(sender).is_alive();
+        if !sender_died {
+            self.node_mut(sender).radio_mut(class).end_tx(now);
+            self.power_touch(ctx, sender);
+            self.mac_event(ctx, sender, class, MacEvent::TxFinished, None);
+        }
+        let ci = class.index();
+        let hear_at = ctx.now() + self.scen.link_latency(class);
+        // Which receivers can consume the payload: the addressed node
+        // always; every overhearer when shortcut learning listens in.
+        let dst_node = (frame.kind == FrameKind::Data && !frame.dst.is_broadcast())
+            .then(|| self.node_of_mac(frame.dst, class))
+            .flatten();
+        let learning = class == Class::High
+            && matches!(
+                self.scen.high_route,
+                HighRoute::LowParents {
+                    shortcuts: true,
+                    ..
+                }
+            );
+        let neigh = self.neigh[ci].clone();
+        let mut heard = false;
+        for shard in neigh.shards_hearing(sender) {
+            heard = true;
+            let payload = if frame.kind == FrameKind::Data {
+                let needed = frame.dst.is_broadcast()
+                    || learning
+                    || dst_node.is_some_and(|d| self.part.shard_of(d) == shard);
+                if needed {
+                    self.payloads.get(&frame.tag).cloned()
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            ctx.send(
+                shard,
+                hear_at,
+                Ev::RxEnd {
+                    tx: txid,
+                    sender,
+                    class,
+                    frame,
+                    sender_died,
+                    payload,
+                },
+            );
+        }
+        if heard {
+            self.events_logical += 1;
+        }
+    }
+
+    /// A transmission ended at this shard's receivers.
+    #[allow(clippy::too_many_arguments)]
+    fn rx_end(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        tx: TxId,
+        sender: NodeId,
+        class: Class,
+        frame: MacFrame,
+        sender_died: bool,
+        payload: Option<Payload>,
+    ) {
+        let now = ctx.now();
+        let ci = class.index();
+        let neigh = self.neigh[ci].clone();
+        for &r in neigh.of(sender, self.id) {
+            if let Some(corrupted) = self.chans[ci].unlock_rx(r, tx) {
+                if !self.node(r).is_alive() {
+                    // The receiver died mid-reception; its radio is off and
+                    // the channel lock is all that was left to clear.
+                    if self.chans[ci].carrier_down(r) && self.radio_senses(r, class) {
+                        self.mac_event(ctx, r, class, MacEvent::Carrier(false), None);
+                    }
+                    continue;
+                }
+                let lost = corrupted || sender_died || self.chans[ci].channel_loss(r);
+                let my_addr = self.mac_addr_of(r, class);
+                let for_me = frame.dst == my_addr || frame.dst.is_broadcast();
+                let outcome = if lost {
+                    RxOutcome::Corrupted
+                } else if for_me {
+                    RxOutcome::Delivered
+                } else {
+                    RxOutcome::Overheard
+                };
+                self.node_mut(r).radio_mut(class).end_rx(now, outcome);
+                self.power_touch(ctx, r);
+                if !lost {
+                    if for_me {
+                        self.mac_event(ctx, r, class, MacEvent::RxFrame(frame), payload.as_ref());
+                    } else {
+                        self.on_overheard(ctx, r, class, &frame, payload.as_ref());
+                    }
+                }
+            }
+            if self.chans[ci].carrier_down(r) && self.radio_senses(r, class) {
+                self.mac_event(ctx, r, class, MacEvent::Carrier(false), None);
+            }
+        }
+    }
+
+    /// A clean frame addressed to someone else finished at `node`.
+    fn on_overheard(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        node: NodeId,
+        class: Class,
+        frame: &MacFrame,
+        payload: Option<&Payload>,
+    ) {
+        match class {
+            Class::Low => {
+                // "Sensor-header" accounting: the node decodes the header
+                // before turning away.
+                let p = &self.scen.low_profile;
+                let header_time = p.control_airtime(p.header_bytes);
+                let e = p.p_rx * header_time;
+                self.node_mut(node).header_overhear += e;
+            }
+            Class::High => {
+                // Shortcut learning: hearing our own packets being
+                // forwarded teaches us the forwarder (Section 3).
+                if let HighRoute::LowParents {
+                    shortcuts: true, ..
+                } = self.scen.high_route
+                {
+                    if ctx.now() <= self.node(node).listen_until {
+                        if let Some(Payload::Burst { packets, .. }) = payload {
+                            let ours = packets.iter().any(|p| p.origin == node);
+                            if ours {
+                                if let Some(via) = self.node_of_mac(frame.src, Class::High) {
+                                    let sink = self.scen.sink;
+                                    self.node_mut(node).shortcuts.learn(sink, via);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

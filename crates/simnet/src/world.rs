@@ -1,148 +1,118 @@
-//! The assembled simulation: nodes × radios × MACs × BCP × channel.
+//! Assembling and running one simulation: nodes × radios × MACs × BCP ×
+//! channel, sharded across cores.
 //!
-//! `World` owns all state; the event handler dispatches on [`Ev`] and runs
-//! each subsystem's sans-IO machine, executing the actions they emit. All
-//! randomness flows from the scenario seed, and event ties are broken
-//! deterministically, so a `(Scenario, seed)` pair fully determines the
-//! result.
+//! [`World::run`] builds the world from a [`Scenario`], splits it into
+//! `scenario.shards` spatial strips ([`Partition::strips`]), and drives
+//! the shards through the conservative engine
+//! ([`bcp_sim::conservative`]). The lookahead is the minimum link
+//! turnaround latency over the radio classes that actually cross a shard
+//! boundary; when nothing crosses (and no battery can die), the shards
+//! are independent and run the whole horizon as one window.
+//!
+//! All randomness flows from the scenario seed through node-local
+//! streams, event ties are broken by content-derived keys, and
+//! cross-node effects always travel with the link latency — so a
+//! `(Scenario, seed)` pair fully determines the result, *independently
+//! of the shard count and thread count*. Sharding changes wall-clock
+//! time, never physics.
 
-use crate::channel::Channel;
-use crate::events::{Class, Ev, TxId};
+use crate::channel::{Channel, NeighborIndex};
+use crate::events::{Class, Ev, GlobalEv};
 use crate::metrics::{Metrics, RunStats};
 use crate::node::NodeState;
-use crate::scenario::{HighRoute, ModelKind, Scenario};
-use bcp_core::msg::{AppPacket, BurstId, HandshakeMsg};
-use bcp_core::receiver::{BcpReceiver, ReceiverAction};
-use bcp_core::sender::{BcpSender, DropReason, SenderAction};
+use crate::routes::{initial_shared, Control};
+use crate::scenario::{ModelKind, Scenario};
+use crate::shard::{Fate, FateMark, ShardState};
 use bcp_mac::csma::{CsmaMac, MacConfig};
-use bcp_mac::types::{FrameKind, MacAction, MacAddr, MacEvent, MacFrame, MacTimer};
-use bcp_net::addr::{AddrMap, NodeId};
-use bcp_net::routing::{RouteWeight, Routes, ShortcutTable};
+use bcp_mac::types::MacAddr;
+use bcp_net::addr::AddrMap;
+use bcp_net::partition::Partition;
 use bcp_power::{BatteryModel, PowerSupply};
-use bcp_radio::device::{Radio, RadioState, RxOutcome};
+use bcp_radio::device::{Radio, RadioState};
 use bcp_radio::units::Energy;
-use bcp_sim::engine::{run_until, Scheduler};
-use bcp_sim::event::EventId;
+use bcp_sim::conservative::run_conservative;
+use bcp_sim::keyed::ShardQueue;
 use bcp_sim::rng::Rng;
-use bcp_sim::time::SimTime;
+use bcp_sim::threads::worker_count;
+use bcp_sim::time::{SimDuration, SimTime};
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// What a MAC frame carries, resolved through its opaque tag.
-#[derive(Debug, Clone)]
-enum Payload {
-    /// One application packet relayed hop-by-hop (sensor / 802.11 models).
-    SensorData(AppPacket),
-    /// A BCP handshake message routed over the low radio.
-    Control {
-        msg: HandshakeMsg,
-        /// Final destination of the (possibly multi-hop) control message.
-        dst: NodeId,
-    },
-    /// A BCP burst frame over the high radio.
-    Burst {
-        burst: BurstId,
-        index: u32,
-        count: u32,
-        packets: Vec<AppPacket>,
-    },
-}
-
-/// Final state of one application packet (reconciled at run end).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Fate {
-    Pending,
-    Delivered,
-    LostMac,
-    LostBuffer,
-}
-
-#[derive(Debug, Clone)]
-struct ActiveTx {
-    sender: NodeId,
-    class: Class,
-    frame: MacFrame,
-}
-
-/// The complete simulation state (see module docs).
+/// The simulation entry point (all state lives in the per-run shards).
 #[derive(Debug)]
-pub struct World {
-    scen: Scenario,
-    addr: AddrMap,
-    low_routes: Routes,
-    high_routes: Routes,
-    nodes: Vec<NodeState>,
-    chans: [Channel; 2],
-    payloads: HashMap<u64, Payload>,
-    next_tag: u64,
-    txs: HashMap<u64, ActiveTx>,
-    next_tx: u64,
-    mac_timers: HashMap<(u32, usize, MacTimer), EventId>,
-    ack_timers: HashMap<(u32, u64), EventId>,
-    data_timers: HashMap<(u32, u64), EventId>,
-    linger: HashMap<u32, EventId>,
-    power_timers: HashMap<u32, EventId>,
-    fates: HashMap<u64, Fate>,
-    metrics: Metrics,
-    rng: Rng,
-}
+pub struct World;
 
 impl World {
     /// Builds and runs `scen` to completion, producing the run summary.
     pub fn run(scen: &Scenario) -> RunStats {
-        let mut sched = Scheduler::new();
-        let mut world = World::build(scen.clone());
-        world.init(&mut sched);
         let end = scen.end_time();
-        run_until(&mut world, &mut sched, end, |w, s, ev| w.handle(s, ev));
-        world.finalize(end, sched.processed())
-    }
-
-    /// Per-node residual energy for route weighting: a node's remaining
-    /// charge in joules, or `INFINITY` for mains-powered nodes.
-    fn initial_residuals(scen: &Scenario) -> Vec<f64> {
-        scen.topo
-            .nodes()
-            .map(|id| {
-                scen.power
-                    .battery_for(id.index(), id == scen.sink)
-                    .map(|b| b.capacity().as_joules())
-                    .unwrap_or(f64::INFINITY)
-            })
-            .collect()
-    }
-
-    fn compute_routes(scen: &Scenario, residual: &[f64], dead: &[NodeId]) -> (Routes, Routes) {
-        let mk = |range_m: f64| match scen.route_weight {
-            RouteWeight::ShortestHop => Routes::shortest_hop_excluding(&scen.topo, range_m, dead),
-            RouteWeight::MaxMinResidual => {
-                Routes::max_min_residual(&scen.topo, range_m, residual, dead)
-            }
-        };
-        (mk(scen.low_profile.range_m), mk(scen.high_profile.range_m))
-    }
-
-    fn build(scen: Scenario) -> World {
+        let scen = Arc::new(scen.clone());
         let n = scen.topo.len();
+        assert!(n > 0, "cannot simulate an empty topology");
+        let part = Arc::new(if scen.shards <= 1 {
+            Partition::single(n)
+        } else {
+            Partition::strips(&scen.topo, scen.shards)
+        });
+        let k = part.k();
+        let addr = Arc::new(AddrMap::for_nodes(n));
         let mut rng = Rng::new(scen.seed);
-        let addr = AddrMap::for_nodes(n);
-        let (low_routes, high_routes) =
-            Self::compute_routes(&scen, &Self::initial_residuals(&scen), &[]);
-        let chans = [
-            Channel::new(
+        // Per-node loss streams, seeded in node order so the streams are
+        // identical for every shard count.
+        let loss_seeds_low: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        let loss_seeds_high: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        let neigh = [
+            Arc::new(NeighborIndex::new(
                 &scen.topo,
                 scen.low_profile.range_m,
-                &scen.loss_low,
-                &mut rng,
-            ),
-            Channel::new(
+                &part,
+            )),
+            Arc::new(NeighborIndex::new(
                 &scen.topo,
                 scen.high_profile.range_m,
-                &scen.loss_high,
-                &mut rng,
-            ),
+                &part,
+            )),
         ];
+        let shared = initial_shared(&scen);
+        let death_latency = Self::death_latency(&scen);
         let t0 = SimTime::ZERO;
-        let mut nodes = Vec::with_capacity(n);
+
+        let mut shards: Vec<(ShardState, ShardQueue<Ev>)> = (0..k)
+            .map(|id| {
+                (
+                    ShardState {
+                        id,
+                        scen: Arc::clone(&scen),
+                        addr: Arc::clone(&addr),
+                        part: Arc::clone(&part),
+                        neigh: [Arc::clone(&neigh[0]), Arc::clone(&neigh[1])],
+                        shared: Arc::clone(&shared),
+                        nodes: (0..n).map(|_| None).collect(),
+                        chans: [
+                            Channel::new(n, &scen.loss_low, &loss_seeds_low),
+                            Channel::new(n, &scen.loss_high, &loss_seeds_high),
+                        ],
+                        payloads: HashMap::new(),
+                        txs: HashMap::new(),
+                        mac_timers: HashMap::new(),
+                        ack_timers: HashMap::new(),
+                        data_timers: HashMap::new(),
+                        linger: HashMap::new(),
+                        power_timers: HashMap::new(),
+                        fates: HashMap::new(),
+                        metrics: Metrics::default(),
+                        death_latency,
+                        events_logical: 0,
+                    },
+                    ShardQueue::new(),
+                )
+            })
+            .collect();
+
+        let traffic_end = match scen.traffic_cutoff {
+            Some(cutoff) => t0 + cutoff,
+            None => end,
+        };
         for id in scen.topo.nodes() {
             let low_mac = CsmaMac::new(
                 MacConfig::sensor_csma(&scen.low_profile),
@@ -173,8 +143,8 @@ impl World {
             };
             let (bcp_tx, bcp_rx) = if scen.model == ModelKind::DualRadio {
                 (
-                    Some(BcpSender::new(id, scen.bcp.clone())),
-                    Some(BcpReceiver::new(id, scen.bcp.clone())),
+                    Some(bcp_core::sender::BcpSender::new(id, scen.bcp.clone())),
+                    Some(bcp_core::receiver::BcpReceiver::new(id, scen.bcp.clone())),
                 )
             } else {
                 (None, None)
@@ -183,7 +153,7 @@ impl World {
                 let w = scen.make_workload(rng.next_u64());
                 // Random phase so CBR senders do not tick in lock-step.
                 let interval = scen.packet_bytes as f64 * 8.0 / scen.rate_bps;
-                let phase = bcp_sim::time::SimDuration::from_secs_f64(rng.f64() * interval);
+                let phase = SimDuration::from_secs_f64(rng.f64() * interval);
                 Some(w.with_phase(phase))
             } else {
                 None
@@ -192,7 +162,7 @@ impl World {
                 .power
                 .battery_for(id.index(), id == scen.sink)
                 .map(PowerSupply::new);
-            nodes.push(NodeState {
+            let mut node = NodeState {
                 id,
                 low_mac,
                 low_radio,
@@ -203,1087 +173,171 @@ impl World {
                 workload,
                 pending_bytes: 0,
                 app_seq: 0,
+                tx_seq: 0,
+                tag_seq: 0,
                 high_refs,
                 wake_pending: Vec::new(),
                 header_overhear: Energy::ZERO,
-                shortcuts: ShortcutTable::new(),
+                shortcuts: bcp_net::routing::ShortcutTable::new(),
                 listen_until: SimTime::ZERO,
                 supply,
                 died_at: None,
-            });
-        }
-        World {
-            scen,
-            addr,
-            low_routes,
-            high_routes,
-            nodes,
-            chans,
-            payloads: HashMap::new(),
-            next_tag: 0,
-            txs: HashMap::new(),
-            next_tx: 0,
-            mac_timers: HashMap::new(),
-            ack_timers: HashMap::new(),
-            data_timers: HashMap::new(),
-            linger: HashMap::new(),
-            power_timers: HashMap::new(),
-            fates: HashMap::new(),
-            metrics: Metrics::default(),
-            rng,
-        }
-    }
-
-    fn fate_generated(&mut self, pkt: &AppPacket) {
-        let prev = self.fates.insert(pkt.id.0, Fate::Pending);
-        debug_assert!(prev.is_none(), "packet id reuse");
-    }
-
-    fn fate_delivered(&mut self, pkt: &AppPacket) {
-        let f = self
-            .fates
-            .get_mut(&pkt.id.0)
-            .expect("delivered packet was generated");
-        assert_ne!(
-            *f,
-            Fate::Delivered,
-            "duplicate sink delivery of {:?}",
-            pkt.id
-        );
-        // LostMac -> Delivered is legal: the MAC's ACK was lost but the
-        // frame got through (false-negative link failure).
-        *f = Fate::Delivered;
-    }
-
-    /// Marks a packet lost unless it already made it to the sink.
-    fn fate_lost(&mut self, id: u64, fate: Fate) {
-        if let Some(f) = self.fates.get_mut(&id) {
-            if *f == Fate::Pending {
-                *f = fate;
-            }
-        }
-    }
-
-    /// The time after which no further packets are generated.
-    fn traffic_end(&self) -> SimTime {
-        match self.scen.traffic_cutoff {
-            Some(cutoff) => SimTime::ZERO + cutoff,
-            None => self.scen.end_time(),
-        }
-    }
-
-    fn init(&mut self, sched: &mut Scheduler<Ev>) {
-        let end = self.traffic_end();
-        for i in 0..self.nodes.len() {
-            let node = self.nodes[i].id;
-            if let Some(w) = self.nodes[i].workload.as_mut() {
+            };
+            // Seed the node's initial events into its owning shard.
+            let (state, queue) = &mut shards[part.shard_of(id)];
+            if let Some(w) = node.workload.as_mut() {
                 if let Some((t, b)) = w.next_arrival() {
-                    if t <= end {
-                        self.nodes[i].pending_bytes = b;
-                        sched.at(t, Ev::AppArrival { node });
+                    if t <= traffic_end {
+                        node.pending_bytes = b;
+                        queue.schedule(t, Ev::AppArrival { node: id });
                     }
                 }
             }
-            if self.scen.flush_at_cutoff && self.scen.model == ModelKind::DualRadio {
-                if let Some(cutoff) = self.scen.traffic_cutoff {
-                    sched.at(SimTime::ZERO + cutoff, Ev::Flush { node });
+            if scen.flush_at_cutoff && scen.model == ModelKind::DualRadio {
+                if let Some(cutoff) = scen.traffic_cutoff {
+                    queue.schedule(t0 + cutoff, Ev::Flush { node: id });
                 }
             }
+            if node.supply.is_some() {
+                // The handler projects the exact depletion instant.
+                queue.schedule(t0, Ev::PowerCheck { node: id });
+            }
+            state.nodes[id.index()] = Some(node);
         }
-        for i in 0..self.nodes.len() {
-            let node = self.nodes[i].id;
-            self.power_touch(sched, node);
-        }
-        if let Some(every) = self.scen.power.reroute_every {
-            sched.after(every, Ev::RouteRefresh);
-        }
-    }
 
-    // ------------------------------------------------------------------
-    // Event dispatch
-    // ------------------------------------------------------------------
-
-    fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
-        // A depleted node is deaf, mute, and schedules nothing: any event
-        // still addressed to it (stale timers, wake completions) is void.
-        let target_dead = |w: &World, node: NodeId| !w.nodes[node.index()].is_alive();
-        match ev {
-            Ev::AppArrival { node } => {
-                if target_dead(self, node) {
-                    return;
-                }
-                self.app_arrival(sched, node)
-            }
-            Ev::MacTimer { node, class, kind } => {
-                self.mac_timers.remove(&(node.0, class.index(), kind));
-                self.mac_event(sched, node, class, MacEvent::Timer(kind));
-            }
-            Ev::TxEnd { tx } => self.tx_end(sched, tx),
-            Ev::RadioWakeDone { node } => {
-                if target_dead(self, node) {
-                    return;
-                }
-                self.radio_wake_done(sched, node)
-            }
-            Ev::BcpAckTimer { node, burst } => {
-                self.ack_timers.remove(&(node.0, burst.0));
-                if target_dead(self, node) {
-                    return;
-                }
-                let mut actions = Vec::new();
-                if let Some(tx) = self.nodes[node.index()].bcp_tx.as_mut() {
-                    tx.on_ack_timeout(sched.now(), burst, &mut actions);
-                }
-                self.sender_actions(sched, node, actions);
-            }
-            Ev::BcpDataTimer { node, burst } => {
-                self.data_timers.remove(&(node.0, burst.0));
-                if target_dead(self, node) {
-                    return;
-                }
-                let mut actions = Vec::new();
-                if let Some(rx) = self.nodes[node.index()].bcp_rx.as_mut() {
-                    rx.on_data_timeout(sched.now(), burst, &mut actions);
-                }
-                self.receiver_actions(sched, node, actions);
-            }
-            Ev::HighIdleOff { node } => {
-                if target_dead(self, node) {
-                    return;
-                }
-                self.high_idle_off(sched, node)
-            }
-            Ev::Flush { node } => {
-                if target_dead(self, node) {
-                    return;
-                }
-                let mut actions = Vec::new();
-                if let Some(tx) = self.nodes[node.index()].bcp_tx.as_mut() {
-                    tx.flush(sched.now(), &mut actions);
-                }
-                self.sender_actions(sched, node, actions);
-            }
-            Ev::PowerCheck { node } => {
-                self.power_timers.remove(&node.0);
-                self.power_touch(sched, node);
-            }
-            Ev::NodeDied { node } => self.node_died(sched, node),
-            Ev::RouteRefresh => {
-                self.rebuild_routes();
-                if let Some(every) = self.scen.power.reroute_every {
-                    sched.after(every, Ev::RouteRefresh);
-                }
-            }
-        }
-    }
-
-    fn app_arrival(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
-        let now = sched.now();
-        let end = self.traffic_end();
-        let sink = self.scen.sink;
-        let (pkt, _) = {
-            let n = &mut self.nodes[node.index()];
-            let pkt = AppPacket::new(node, sink, n.app_seq, now, n.pending_bytes);
-            n.app_seq += 1;
-            if let Some((t, b)) = n
-                .workload
-                .as_mut()
-                .expect("arrival without workload")
-                .next_arrival()
-            {
-                if t <= end {
-                    n.pending_bytes = b;
-                    sched.at(t, Ev::AppArrival { node });
-                }
-            }
-            (pkt, ())
-        };
-        self.metrics.on_generated(&pkt);
-        self.fate_generated(&pkt);
-        match self.scen.model {
-            ModelKind::Sensor => self.forward_data(sched, node, pkt, Class::Low),
-            ModelKind::Dot11 => self.forward_data(sched, node, pkt, Class::High),
-            ModelKind::DualRadio => self.bcp_data(sched, node, pkt),
-        }
-    }
-
-    /// Hop-by-hop forwarding for the single-radio models.
-    fn forward_data(
-        &mut self,
-        sched: &mut Scheduler<Ev>,
-        node: NodeId,
-        pkt: AppPacket,
-        class: Class,
-    ) {
-        let routes = match class {
-            Class::Low => &self.low_routes,
-            Class::High => &self.high_routes,
-        };
-        match routes.next_hop(node, pkt.dest) {
-            Some(next) => {
-                self.enqueue_frame(
-                    sched,
-                    node,
-                    class,
-                    next,
-                    pkt.bytes,
-                    Payload::SensorData(pkt),
-                );
-            }
-            None => {
-                self.fate_lost(pkt.id.0, Fate::LostMac); // unroutable
-            }
-        }
-    }
-
-    /// Data entering BCP at `node` (origin or relay).
-    fn bcp_data(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, pkt: AppPacket) {
-        let Some(next) = self.high_next_hop(node) else {
-            self.fate_lost(pkt.id.0, Fate::LostMac);
-            return;
-        };
-        let mut actions = Vec::new();
-        self.nodes[node.index()]
-            .bcp_tx
-            .as_mut()
-            .expect("dual model has BCP sender")
-            .on_data(sched.now(), next, pkt, &mut actions);
-        self.sender_actions(sched, node, actions);
-    }
-
-    fn high_next_hop(&self, node: NodeId) -> Option<NodeId> {
-        let sink = self.scen.sink;
-        match self.scen.high_route {
-            HighRoute::Tree => self.high_routes.next_hop(node, sink),
-            HighRoute::LowParents { shortcuts, .. } => {
-                if shortcuts {
-                    if let Some(via) = self.nodes[node.index()].shortcuts.shortcut(sink) {
-                        // Dead forwarders are purged at death; the liveness
-                        // check guards the same-timestamp window before the
-                        // NodeDied event has run.
-                        if self.nodes[via.index()].is_alive()
-                            && self
-                                .scen
-                                .topo
-                                .in_range(node, via, self.scen.high_profile.range_m)
-                        {
-                            return Some(via);
-                        }
-                    }
-                }
-                self.low_routes.next_hop(node, sink)
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Finite energy: battery drain, node death, route repair
-    // ------------------------------------------------------------------
-
-    /// Syncs `node`'s battery against its energy meters and (re)schedules
-    /// the projected depletion instant. Call after anything that changes a
-    /// radio's power draw; no-op for mains-powered or already-dead nodes.
-    ///
-    /// Radio draw is piecewise constant between events, so the projection
-    /// is exact: the node dies *at* the scheduled `PowerCheck`, not within
-    /// some polling window, and death times are seed-reproducible.
-    fn power_touch(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
-        let now = sched.now();
-        let (metered, draw) = {
-            let n = &self.nodes[node.index()];
-            if n.supply.is_none() || !n.is_alive() {
-                return;
-            }
-            (n.metered_total(now), n.current_draw())
-        };
-        let supply = self.nodes[node.index()]
-            .supply
-            .as_mut()
-            .expect("checked above");
-        supply.sync_to(metered);
-        if supply.is_depleted_at(draw) {
-            self.kill_node(sched, node);
-            return;
-        }
-        match supply.time_to_depletion(draw) {
-            Some(d) => {
-                let id = sched.after(d, Ev::PowerCheck { node });
-                if let Some(old) = self.power_timers.insert(node.0, id) {
-                    sched.cancel(old);
-                }
-            }
-            None => {
-                if let Some(old) = self.power_timers.remove(&node.0) {
-                    sched.cancel(old);
-                }
-            }
-        }
-    }
-
-    /// The battery emptied: cut power, silence the corpse, and let the
-    /// survivors know via [`Ev::NodeDied`].
-    fn kill_node(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
-        let now = sched.now();
-        {
-            let n = &mut self.nodes[node.index()];
-            debug_assert!(n.is_alive(), "{node} died twice");
-            // Close the meters at the instant of death, then cut power so
-            // the ledgers freeze (a dead node's ledger stops accumulating).
-            let metered = n.metered_total(now);
-            if let Some(s) = n.supply.as_mut() {
-                s.sync_to(metered);
-            }
-            n.low_radio.force_off(now);
-            if let Some(hr) = n.high_radio.as_mut() {
-                hr.force_off(now);
-            }
-            n.died_at = Some(now);
-        }
-        // Stale events are alive-guarded anyway; cancelling keeps the
-        // queue small.
-        let mut cancelled = Vec::new();
-        self.mac_timers.retain(|k, id| {
-            let stale = k.0 == node.0;
-            if stale {
-                cancelled.push(*id);
-            }
-            !stale
-        });
-        self.ack_timers.retain(|k, id| {
-            let stale = k.0 == node.0;
-            if stale {
-                cancelled.push(*id);
-            }
-            !stale
-        });
-        self.data_timers.retain(|k, id| {
-            let stale = k.0 == node.0;
-            if stale {
-                cancelled.push(*id);
-            }
-            !stale
-        });
-        if let Some(id) = self.linger.remove(&node.0) {
-            cancelled.push(id);
-        }
-        if let Some(id) = self.power_timers.remove(&node.0) {
-            cancelled.push(id);
-        }
-        for id in cancelled {
-            sched.cancel(id);
-        }
-        self.metrics.on_node_died(now);
-        sched.at(now, Ev::NodeDied { node });
-    }
-
-    /// Route repair: survivors recompute paths around the corpse, and the
-    /// run records the first moment a sender lost the sink.
-    fn node_died(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
-        self.rebuild_routes();
-        // A learned shortcut through the corpse is a blackhole: the
-        // repaired trees route around it, so must the shortcut tables.
-        for n in &mut self.nodes {
-            n.shortcuts.invalidate_via(node);
-        }
-        self.check_partition(sched.now(), node);
-    }
-
-    fn rebuild_routes(&mut self) {
-        let dead: Vec<NodeId> = self
-            .nodes
-            .iter()
-            .filter(|n| !n.is_alive())
-            .map(|n| n.id)
+        let globals: Vec<(SimTime, GlobalEv)> = scen
+            .power
+            .reroute_every
+            .map(|every| (t0 + every, GlobalEv::RouteRefresh))
+            .into_iter()
             .collect();
-        let residual: Vec<f64> = self
-            .nodes
-            .iter()
-            .map(|n| match &n.supply {
-                Some(s) => s.battery().remaining().as_joules(),
-                None => f64::INFINITY,
-            })
-            .collect();
-        let (low, high) = Self::compute_routes(&self.scen, &residual, &dead);
-        self.low_routes = low;
-        self.high_routes = high;
-    }
-
-    /// The routes a model's data ultimately depends on: the low radio for
-    /// the sensor model and for BCP (whose handshake travels over it), the
-    /// high radio for pure 802.11.
-    fn data_routes(&self) -> &Routes {
-        match self.scen.model {
-            ModelKind::Sensor | ModelKind::DualRadio => &self.low_routes,
-            ModelKind::Dot11 => &self.high_routes,
-        }
-    }
-
-    fn check_partition(&mut self, now: SimTime, dead: NodeId) {
-        if self.metrics.partition.is_some() {
-            return;
-        }
-        // The sink is "disconnected" the first time any data source can no
-        // longer reach it: the sink itself died, a sender died, or a
-        // sender's every route crosses corpses.
-        let sink = self.scen.sink;
-        let severed = dead == sink
-            || self.scen.senders.iter().any(|&s| {
-                !self.nodes[s.index()].is_alive() || self.data_routes().next_hop(s, sink).is_none()
-            });
-        if severed {
-            self.metrics.on_partition(now);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // MAC binding
-    // ------------------------------------------------------------------
-
-    fn mac_event(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, class: Class, ev: MacEvent) {
-        let mut actions = Vec::new();
-        {
-            let n = &mut self.nodes[node.index()];
-            if !n.has_class(class) || !n.is_alive() {
-                return;
-            }
-            n.mac_mut(class).handle(sched.now(), ev, &mut actions);
-        }
-        for a in actions {
-            self.mac_action(sched, node, class, a);
-        }
-    }
-
-    fn mac_action(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, class: Class, a: MacAction) {
-        match a {
-            MacAction::StartTx(frame) => self.start_tx(sched, node, class, frame),
-            MacAction::SetTimer { kind, delay } => {
-                let id = sched.after(delay, Ev::MacTimer { node, class, kind });
-                if let Some(old) = self.mac_timers.insert((node.0, class.index(), kind), id) {
-                    sched.cancel(old);
-                }
-            }
-            MacAction::CancelTimer { kind } => {
-                if let Some(id) = self.mac_timers.remove(&(node.0, class.index(), kind)) {
-                    sched.cancel(id);
-                }
-            }
-            MacAction::Deliver(frame) => self.deliver(sched, node, class, frame),
-            MacAction::TxOutcome { ok, tag, .. } => self.tx_outcome(sched, node, class, ok, tag),
-        }
-    }
-
-    fn profile(&self, class: Class) -> &bcp_radio::profile::RadioProfile {
-        match class {
-            Class::Low => &self.scen.low_profile,
-            Class::High => &self.scen.high_profile,
-        }
-    }
-
-    fn mac_addr_of(&self, node: NodeId, class: Class) -> MacAddr {
-        match class {
-            Class::Low => MacAddr(self.addr.low_of(node).0 as u64),
-            Class::High => MacAddr(self.addr.high_of(node).0),
-        }
-    }
-
-    fn node_of_mac(&self, addr: MacAddr, class: Class) -> Option<NodeId> {
-        match class {
-            Class::Low => self.addr.node_of_low(bcp_net::addr::LowAddr(addr.0 as u16)),
-            Class::High => self.addr.node_of_high(bcp_net::addr::HighAddr(addr.0)),
-        }
-    }
-
-    fn radio_senses(&self, node: NodeId, class: Class) -> bool {
-        self.nodes[node.index()]
-            .radio(class)
-            .map(|r| {
-                matches!(
-                    r.state(),
-                    RadioState::Idle | RadioState::Receiving | RadioState::Transmitting
-                )
-            })
-            .unwrap_or(false)
-    }
-
-    fn start_tx(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, class: Class, frame: MacFrame) {
-        let now = sched.now();
-        let airtime = match frame.kind {
-            FrameKind::Data => self.profile(class).frame_airtime(frame.payload_bytes),
-            FrameKind::Ack => self.profile(class).control_airtime(frame.payload_bytes),
+        let mut control = Control {
+            scen: Arc::clone(&scen),
+            metrics: Metrics::default(),
+            global_events: 0,
         };
-        // If the radio was mid-reception, transmitting tramples it
-        // (capture); release the channel lock first.
-        if let Some((locked, _)) = self.chans[class.index()].locked_rx(node) {
-            self.chans[class.index()].unlock_rx(node, locked);
-        }
-        {
-            let n = &mut self.nodes[node.index()];
-            let radio = n.radio_mut(class);
-            match radio.state() {
-                RadioState::Idle => radio.start_tx(now),
-                RadioState::Receiving => {
-                    radio.end_rx(now, RxOutcome::Corrupted);
-                    radio.start_tx(now);
-                }
-                s => panic!("{node} {class:?}: StartTx while radio is {s:?}"),
-            }
-        }
-        let txid = TxId(self.next_tx);
-        self.next_tx += 1;
-        self.txs.insert(
-            txid.0,
-            ActiveTx {
-                sender: node,
-                class,
-                frame,
-            },
+        let lookahead = Self::lookahead(&scen, &part, death_latency);
+        let outcome = run_conservative(
+            shards,
+            globals,
+            &mut control,
+            lookahead,
+            end,
+            worker_count(k),
         );
-        self.power_touch(sched, node);
-        sched.after(airtime, Ev::TxEnd { tx: txid });
-        let neighbors: Vec<NodeId> = self.chans[class.index()].neighbors(node).to_vec();
-        for r in neighbors {
-            let clean_start = !self.chans[class.index()].carrier_busy(r);
-            let edge = self.chans[class.index()].carrier_up(r);
-            let can_hear = self.nodes[r.index()]
-                .radio(class)
-                .map(|rd| rd.state() == RadioState::Idle)
-                .unwrap_or(false);
-            if clean_start && can_hear {
-                self.chans[class.index()].lock_rx(r, txid);
-                self.nodes[r.index()].radio_mut(class).start_rx(now);
-                self.power_touch(sched, r);
-            } else {
-                // Either the receiver was locked onto another frame
-                // (collision) or it cannot decode a frame started mid-air.
-                self.chans[class.index()].poison_rx(r);
-            }
-            if edge && self.radio_senses(r, class) {
-                self.mac_event(sched, r, class, MacEvent::Carrier(true));
-            }
-        }
+        // Logical event count: reception fan-outs counted once per
+        // transmission phase (not once per hearing shard), so the figure
+        // is identical for every shard count.
+        let events =
+            outcome.shards.iter().map(|s| s.events_logical).sum::<u64>() + control.global_events;
+        Self::finalize(&scen, &part, outcome.shards, control, end, events)
     }
 
-    fn tx_end(&mut self, sched: &mut Scheduler<Ev>, txid: TxId) {
-        let now = sched.now();
-        let ActiveTx {
-            sender,
-            class,
-            frame,
-        } = self.txs.remove(&txid.0).expect("unknown transmission");
-        // A sender whose battery died mid-air truncated the frame: its
-        // radio is already off, and every receiver hears garbage.
-        let sender_died = !self.nodes[sender.index()].is_alive();
-        if !sender_died {
-            self.nodes[sender.index()].radio_mut(class).end_tx(now);
-            self.power_touch(sched, sender);
-            self.mac_event(sched, sender, class, MacEvent::TxFinished);
+    /// How late a death announcement reaches the coordinator: the minimum
+    /// link latency over the radio classes the model uses. Independent of
+    /// the partition, so death-repair timing is shard-count invariant.
+    fn death_latency(scen: &Scenario) -> SimDuration {
+        let mut d = scen.link_latency(Class::Low);
+        if scen.model != ModelKind::Sensor {
+            d = d.min(scen.link_latency(Class::High));
         }
-        let neighbors: Vec<NodeId> = self.chans[class.index()].neighbors(sender).to_vec();
-        for r in neighbors {
-            if let Some(corrupted) = self.chans[class.index()].unlock_rx(r, txid) {
-                if !self.nodes[r.index()].is_alive() {
-                    // The receiver died mid-reception; its radio is off and
-                    // the channel lock is all that was left to clear.
-                    continue;
-                }
-                let lost = corrupted
-                    || sender_died
-                    || self.chans[class.index()].channel_loss(r, &mut self.rng);
-                let my_addr = self.mac_addr_of(r, class);
-                let for_me = frame.dst == my_addr || frame.dst.is_broadcast();
-                let outcome = if lost {
-                    RxOutcome::Corrupted
-                } else if for_me {
-                    RxOutcome::Delivered
-                } else {
-                    RxOutcome::Overheard
-                };
-                self.nodes[r.index()].radio_mut(class).end_rx(now, outcome);
-                self.power_touch(sched, r);
-                if !lost {
-                    if for_me {
-                        self.mac_event(sched, r, class, MacEvent::RxFrame(frame));
-                    } else {
-                        self.on_overheard(sched, r, class, &frame);
-                    }
-                }
-            }
-            if self.chans[class.index()].carrier_down(r) && self.radio_senses(r, class) {
-                self.mac_event(sched, r, class, MacEvent::Carrier(false));
-            }
-        }
+        d
     }
 
-    /// A clean frame addressed to someone else finished at `node`.
-    fn on_overheard(
-        &mut self,
-        sched: &mut Scheduler<Ev>,
-        node: NodeId,
-        class: Class,
-        frame: &MacFrame,
-    ) {
-        match class {
-            Class::Low => {
-                // "Sensor-header" accounting: the node decodes the header
-                // before turning away.
-                let p = &self.scen.low_profile;
-                let header_time = p.control_airtime(p.header_bytes);
-                let e = p.p_rx * header_time;
-                self.nodes[node.index()].header_overhear += e;
+    /// The conservative window size: the smallest latency over (a) radio
+    /// classes whose links cross a shard boundary and (b) — whenever any
+    /// node can die — the death announcement latency. `None` (unbounded)
+    /// when shards cannot interact at all.
+    fn lookahead(
+        scen: &Scenario,
+        part: &Partition,
+        death_latency: SimDuration,
+    ) -> Option<SimDuration> {
+        let mut l: Option<SimDuration> = None;
+        let mut fold = |d: SimDuration| l = Some(l.map_or(d, |cur| cur.min(d)));
+        if part.k() > 1 {
+            if part.has_cross_links(&scen.topo, scen.low_profile.range_m) {
+                fold(scen.link_latency(Class::Low));
             }
-            Class::High => {
-                // Shortcut learning: hearing our own packets being
-                // forwarded teaches us the forwarder (Section 3).
-                if let HighRoute::LowParents {
-                    shortcuts: true, ..
-                } = self.scen.high_route
-                {
-                    if sched.now() <= self.nodes[node.index()].listen_until {
-                        if let Some(Payload::Burst { packets, .. }) = self.payloads.get(&frame.tag)
-                        {
-                            let ours = packets.iter().any(|p| p.origin == node);
-                            if ours {
-                                if let Some(via) = self.node_of_mac(frame.src, Class::High) {
-                                    let sink = self.scen.sink;
-                                    self.nodes[node.index()].shortcuts.learn(sink, via);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    fn deliver(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, class: Class, frame: MacFrame) {
-        let Some(payload) = self.payloads.get(&frame.tag).cloned() else {
-            debug_assert!(false, "delivered frame with unknown payload tag");
-            return;
-        };
-        let now = sched.now();
-        match payload {
-            Payload::SensorData(pkt) => {
-                if node == pkt.dest {
-                    self.metrics.on_delivered(&pkt, now);
-                    self.fate_delivered(&pkt);
-                } else {
-                    self.forward_data(sched, node, pkt, class);
-                }
-            }
-            Payload::Control { msg, dst } => {
-                if dst == node {
-                    self.control_arrived(sched, node, msg);
-                } else {
-                    // Relay toward the final destination over the low radio.
-                    if let Some(next) = self.low_routes.next_hop(node, dst) {
-                        self.enqueue_frame(
-                            sched,
-                            node,
-                            Class::Low,
-                            next,
-                            HandshakeMsg::WIRE_BYTES,
-                            Payload::Control { msg, dst },
-                        );
-                    }
-                }
-            }
-            Payload::Burst {
-                burst,
-                index,
-                count,
-                packets,
-            } => {
-                let mut actions = Vec::new();
-                if let Some(rx) = self.nodes[node.index()].bcp_rx.as_mut() {
-                    rx.on_burst_frame(now, burst, index, count, packets, &mut actions);
-                }
-                self.receiver_actions(sched, node, actions);
-            }
-        }
-    }
-
-    fn control_arrived(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, msg: HandshakeMsg) {
-        let now = sched.now();
-        match msg {
-            HandshakeMsg::WakeUp { burst, burst_bytes } => {
-                let free = if node == self.scen.sink {
-                    usize::MAX / 4
-                } else {
-                    self.nodes[node.index()]
-                        .bcp_tx
-                        .as_ref()
-                        .map(|t| t.free_bytes())
-                        .unwrap_or(0)
-                };
-                let from = burst.initiator();
-                let mut actions = Vec::new();
-                if let Some(rx) = self.nodes[node.index()].bcp_rx.as_mut() {
-                    rx.on_wakeup(now, from, burst, burst_bytes, free, &mut actions);
-                }
-                self.receiver_actions(sched, node, actions);
-            }
-            HandshakeMsg::WakeUpAck {
-                burst,
-                granted_bytes,
-            } => {
-                let mut actions = Vec::new();
-                if let Some(tx) = self.nodes[node.index()].bcp_tx.as_mut() {
-                    tx.on_wakeup_ack(now, burst, granted_bytes, &mut actions);
-                }
-                self.sender_actions(sched, node, actions);
-            }
-        }
-    }
-
-    fn tx_outcome(
-        &mut self,
-        sched: &mut Scheduler<Ev>,
-        node: NodeId,
-        _class: Class,
-        ok: bool,
-        tag: u64,
-    ) {
-        let Some(payload) = self.payloads.remove(&tag) else {
-            return;
-        };
-        match payload {
-            Payload::SensorData(pkt) => {
-                if !ok {
-                    self.fate_lost(pkt.id.0, Fate::LostMac);
-                }
-            }
-            Payload::Control { .. } => {
-                // Handshake losses are handled by BCP's own timers.
-            }
-            Payload::Burst { burst, .. } => {
-                let mut actions = Vec::new();
-                if let Some(tx) = self.nodes[node.index()].bcp_tx.as_mut() {
-                    tx.on_frame_outcome(sched.now(), burst, ok, &mut actions);
-                }
-                self.sender_actions(sched, node, actions);
-            }
-        }
-    }
-
-    fn enqueue_frame(
-        &mut self,
-        sched: &mut Scheduler<Ev>,
-        node: NodeId,
-        class: Class,
-        to: NodeId,
-        bytes: usize,
-        payload: Payload,
-    ) {
-        let tag = self.next_tag;
-        self.next_tag += 1;
-        self.payloads.insert(tag, payload);
-        let dst = self.mac_addr_of(to, class);
-        let frame = self.nodes[node.index()]
-            .mac_mut(class)
-            .make_data(dst, bytes, tag);
-        self.mac_event(sched, node, class, MacEvent::Enqueue(frame));
-    }
-
-    // ------------------------------------------------------------------
-    // BCP binding
-    // ------------------------------------------------------------------
-
-    fn sender_actions(
-        &mut self,
-        sched: &mut Scheduler<Ev>,
-        node: NodeId,
-        actions: Vec<SenderAction>,
-    ) {
-        for a in actions {
-            match a {
-                SenderAction::SendWakeUp {
-                    to,
-                    burst,
-                    burst_bytes,
-                } => {
-                    let msg = HandshakeMsg::WakeUp { burst, burst_bytes };
-                    self.send_control(sched, node, to, msg);
-                }
-                SenderAction::ArmAckTimer { burst } => {
-                    let delay = self.scen.bcp.wakeup_ack_timeout;
-                    let id = sched.after(delay, Ev::BcpAckTimer { node, burst });
-                    if let Some(old) = self.ack_timers.insert((node.0, burst.0), id) {
-                        sched.cancel(old);
-                    }
-                }
-                SenderAction::CancelAckTimer { burst } => {
-                    if let Some(id) = self.ack_timers.remove(&(node.0, burst.0)) {
-                        sched.cancel(id);
-                    }
-                }
-                SenderAction::WakeHighRadio { burst } => {
-                    self.acquire_high(sched, node, Some(burst));
-                }
-                SenderAction::SendBurstFrame {
-                    to,
-                    burst,
-                    index,
-                    count,
-                    packets,
-                } => {
-                    let bytes = bcp_core::frag::total_bytes(&packets);
-                    self.enqueue_frame(
-                        sched,
-                        node,
-                        Class::High,
-                        to,
-                        bytes,
-                        Payload::Burst {
-                            burst,
-                            index,
-                            count,
-                            packets,
-                        },
-                    );
-                }
-                SenderAction::SendLowData { to: _, packets } => {
-                    // Delay-bound fallback: these packets travel hop-by-hop
-                    // over the low radio from here on.
-                    for pkt in packets {
-                        self.forward_data(sched, node, pkt, Class::Low);
-                    }
-                }
-                SenderAction::ReleaseHighRadio { .. } => self.release_high(sched, node),
-                SenderAction::PacketsDropped { packets, reason } => {
-                    let fate = match reason {
-                        DropReason::BufferOverflow => Fate::LostBuffer,
-                        DropReason::MacFailure => Fate::LostMac,
-                    };
-                    for p in &packets {
-                        self.fate_lost(p.id.0, fate);
-                    }
-                }
-                SenderAction::SessionDone { .. } => {}
-            }
-        }
-    }
-
-    fn receiver_actions(
-        &mut self,
-        sched: &mut Scheduler<Ev>,
-        node: NodeId,
-        actions: Vec<ReceiverAction>,
-    ) {
-        for a in actions {
-            match a {
-                ReceiverAction::WakeHighRadio { .. } => self.acquire_high(sched, node, None),
-                ReceiverAction::SendWakeUpAck {
-                    to,
-                    burst,
-                    granted_bytes,
-                } => {
-                    let msg = HandshakeMsg::WakeUpAck {
-                        burst,
-                        granted_bytes,
-                    };
-                    self.send_control(sched, node, to, msg);
-                }
-                ReceiverAction::ArmDataTimer { burst } => {
-                    let delay = self.scen.bcp.receiver_data_timeout;
-                    let id = sched.after(delay, Ev::BcpDataTimer { node, burst });
-                    if let Some(old) = self.data_timers.insert((node.0, burst.0), id) {
-                        sched.cancel(old);
-                    }
-                }
-                ReceiverAction::CancelDataTimer { burst } => {
-                    if let Some(id) = self.data_timers.remove(&(node.0, burst.0)) {
-                        sched.cancel(id);
-                    }
-                }
-                ReceiverAction::ReleaseHighRadio { .. } => self.release_high(sched, node),
-                ReceiverAction::DeliverPackets { from: _, packets } => {
-                    let now = sched.now();
-                    for pkt in packets {
-                        if pkt.dest == node {
-                            self.metrics.on_delivered(&pkt, now);
-                            self.fate_delivered(&pkt);
-                        } else {
-                            self.bcp_data(sched, node, pkt);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    fn send_control(
-        &mut self,
-        sched: &mut Scheduler<Ev>,
-        node: NodeId,
-        dst: NodeId,
-        msg: HandshakeMsg,
-    ) {
-        if let Some(next) = self.low_routes.next_hop(node, dst) {
-            self.enqueue_frame(
-                sched,
-                node,
-                Class::Low,
-                next,
-                HandshakeMsg::WIRE_BYTES,
-                Payload::Control { msg, dst },
-            );
-        }
-    }
-
-    fn acquire_high(
-        &mut self,
-        sched: &mut Scheduler<Ev>,
-        node: NodeId,
-        ready_burst: Option<BurstId>,
-    ) {
-        let now = sched.now();
-        if let Some(id) = self.linger.remove(&node.0) {
-            sched.cancel(id);
-        }
-        let state = {
-            let n = &mut self.nodes[node.index()];
-            n.high_refs += 1;
-            n.radio_mut(Class::High).state()
-        };
-        match state {
-            RadioState::Off => {
-                self.metrics.radio_wakeups += 1;
-                let d = self.nodes[node.index()]
-                    .radio_mut(Class::High)
-                    .begin_wakeup(now);
-                // The wake-up pulse is a lump charge: drain it now.
-                self.power_touch(sched, node);
-                sched.after(d, Ev::RadioWakeDone { node });
-                if let Some(b) = ready_burst {
-                    self.nodes[node.index()].wake_pending.push(b);
-                }
-            }
-            RadioState::WakingUp => {
-                if let Some(b) = ready_burst {
-                    self.nodes[node.index()].wake_pending.push(b);
-                }
-            }
-            _ => {
-                // Already on: a sender session can proceed immediately.
-                if let Some(b) = ready_burst {
-                    let mut actions = Vec::new();
-                    if let Some(tx) = self.nodes[node.index()].bcp_tx.as_mut() {
-                        tx.on_high_radio_ready(now, b, &mut actions);
-                    }
-                    self.sender_actions(sched, node, actions);
-                }
-            }
-        }
-    }
-
-    fn release_high(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
-        let refs = {
-            let n = &mut self.nodes[node.index()];
-            assert!(n.high_refs > 0, "{node}: release without acquire");
-            n.high_refs -= 1;
-            n.high_refs
-        };
-        if refs == 0 {
-            // Stay on briefly: the MAC may still owe a link ACK, and in
-            // shortcut-learning mode we listen for our packets being
-            // forwarded.
-            let mut delay = self.scen.off_linger;
-            if let HighRoute::LowParents {
-                shortcuts: true,
-                listen,
-            } = self.scen.high_route
+            if scen.model != ModelKind::Sensor
+                && part.has_cross_links(&scen.topo, scen.high_profile.range_m)
             {
-                if listen > delay {
-                    delay = listen;
-                }
-                self.nodes[node.index()].listen_until = sched.now() + listen;
-            }
-            let id = sched.after(delay, Ev::HighIdleOff { node });
-            if let Some(old) = self.linger.insert(node.0, id) {
-                sched.cancel(old);
+                fold(scen.link_latency(Class::High));
             }
         }
-    }
-
-    fn radio_wake_done(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
-        let now = sched.now();
-        self.nodes[node.index()]
-            .radio_mut(Class::High)
-            .complete_wakeup(now);
-        // The high radio now idles expensively: re-project depletion (this
-        // can kill the node on the spot if the battery is that close).
-        self.power_touch(sched, node);
-        if !self.nodes[node.index()].is_alive() {
-            return;
+        let battery_possible = scen.topo.nodes().any(|id| {
+            scen.power
+                .battery_for(id.index(), id == scen.sink)
+                .is_some()
+        });
+        if battery_possible {
+            fold(death_latency);
         }
-        if self.chans[Class::High.index()].carrier_busy(node) {
-            self.mac_event(sched, node, Class::High, MacEvent::Carrier(true));
-        }
-        let pending = core::mem::take(&mut self.nodes[node.index()].wake_pending);
-        for burst in pending {
-            let mut actions = Vec::new();
-            if let Some(tx) = self.nodes[node.index()].bcp_tx.as_mut() {
-                tx.on_high_radio_ready(now, burst, &mut actions);
-            }
-            self.sender_actions(sched, node, actions);
-        }
-    }
-
-    fn high_idle_off(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
-        self.linger.remove(&node.0);
-        let now = sched.now();
-        let turned_off = {
-            let n = &mut self.nodes[node.index()];
-            if n.high_refs > 0 {
-                return; // re-acquired meanwhile
-            }
-            // The MAC may still owe a link ACK (SIFS-delayed) or hold queued
-            // frames; powering down now would transmit from a dead radio.
-            let mac_busy = !n
-                .high_mac
-                .as_ref()
-                .map(|m| m.is_quiescent())
-                .unwrap_or(true);
-            let radio = n.radio_mut(Class::High);
-            match radio.state() {
-                RadioState::Idle if !mac_busy => {
-                    radio.turn_off(now);
-                    true
-                }
-                RadioState::Off => false,
-                _ => {
-                    // Busy (rx/tx/waking/ack owed): try again shortly.
-                    let delay = self.scen.off_linger;
-                    let id = sched.after(delay, Ev::HighIdleOff { node });
-                    if let Some(old) = self.linger.insert(node.0, id) {
-                        sched.cancel(old);
-                    }
-                    false
-                }
-            }
-        };
-        if turned_off {
-            self.power_touch(sched, node);
-        }
+        l
     }
 
     // ------------------------------------------------------------------
-    // Finalisation
+    // Finalisation: merge the shards into one run summary
     // ------------------------------------------------------------------
 
-    fn finalize(mut self, end: SimTime, events: u64) -> RunStats {
+    fn finalize(
+        scen: &Scenario,
+        part: &Partition,
+        mut shards: Vec<ShardState>,
+        control: Control,
+        end: SimTime,
+        events: u64,
+    ) -> RunStats {
         use bcp_radio::energy::EnergyBucket as B;
-        self.metrics.collisions = self.chans[0].collisions() + self.chans[1].collisions();
+        let n = scen.topo.len();
+        // Coordinator-owned global slice first (deaths, partition), then
+        // every shard's counters.
+        let mut metrics = control.metrics;
+        for s in &shards {
+            metrics.merge(&s.metrics);
+        }
+        metrics.collisions = shards
+            .iter()
+            .map(|s| s.chans[0].collisions() + s.chans[1].collisions())
+            .sum();
+
+        // Reconcile per-packet fates across shards: delivery beats loss,
+        // the earliest loss observation (by event key) beats later ones —
+        // exactly the single-map rules of a sequential run.
+        let mut fates: HashMap<u64, FateMark> = HashMap::new();
+        for s in &shards {
+            for (&id, &mark) in &s.fates {
+                merge_mark(&mut fates, id, mark);
+            }
+        }
+        let mut delivered = 0u64;
+        for m in fates.values() {
+            match m.fate {
+                Fate::Delivered => delivered += 1,
+                Fate::LostMac => metrics.drops_mac += 1,
+                Fate::LostBuffer => metrics.drops_buffer += 1,
+                Fate::Pending => metrics.residual_packets += 1,
+            }
+        }
+        assert_eq!(
+            delivered, metrics.delivered_packets,
+            "fate map and delivery counter disagree"
+        );
+
         // Close every surviving battery against its meters at the horizon
-        // (dead nodes were closed at the instant of death).
-        let per_node: Vec<crate::metrics::NodePowerReport> = (0..self.nodes.len())
+        // (dead nodes were closed at the instant of death); walk nodes in
+        // id order so float accumulation is shard-count invariant.
+        let shard_of = |i: usize| part.shard_of(bcp_net::addr::NodeId(i as u32));
+        let per_node: Vec<crate::metrics::NodePowerReport> = (0..n)
             .map(|i| {
-                let metered = self.nodes[i].metered_total(end);
-                let n = &mut self.nodes[i];
-                if let (true, Some(s)) = (n.is_alive(), n.supply.as_mut()) {
+                let node = shards[shard_of(i)].nodes[i]
+                    .as_mut()
+                    .expect("owner has the node");
+                let metered = node.metered_total(end);
+                if let (true, Some(s)) = (node.is_alive(), node.supply.as_mut()) {
                     s.sync_to(metered);
                 }
-                let (drawn_j, capacity_j, residual_j) = match &n.supply {
+                let (drawn_j, capacity_j, residual_j) = match &node.supply {
                     Some(s) => (
                         Some(s.battery().drawn().as_joules()),
                         Some(s.battery().capacity().as_joules()),
@@ -1292,61 +346,49 @@ impl World {
                     None => (None, None, None),
                 };
                 crate::metrics::NodePowerReport {
-                    node: n.id,
+                    node: node.id,
                     ledger_j: metered.as_joules(),
                     drawn_j,
                     capacity_j,
                     residual_j,
-                    died_at_s: n.died_at.map(|t| t.as_secs_f64()),
+                    died_at_s: node.died_at.map(|t| t.as_secs_f64()),
                 }
             })
             .collect();
-        // Reconcile per-packet fates: exact loss/residual accounting.
-        let mut delivered = 0u64;
-        for f in self.fates.values() {
-            match f {
-                Fate::Delivered => delivered += 1,
-                Fate::LostMac => self.metrics.drops_mac += 1,
-                Fate::LostBuffer => self.metrics.drops_buffer += 1,
-                Fate::Pending => self.metrics.residual_packets += 1,
-            }
-        }
-        assert_eq!(
-            delivered, self.metrics.delivered_packets,
-            "fate map and delivery counter disagree"
-        );
-        for n in &self.nodes {
-            if let Some(tx) = &n.bcp_tx {
-                self.metrics.handshakes += tx.stats().handshakes;
-            }
-        }
+
         let ideal_low = [B::Tx, B::Rx];
         let full_high = [B::Tx, B::Rx, B::Overhear, B::Idle, B::Sleep, B::Wakeup];
         let mut energy = Energy::ZERO;
         let mut header_extra = Energy::ZERO;
         let mut overhear_full_extra = Energy::ZERO;
-        for n in &self.nodes {
-            let low = n.low_radio.report(end);
-            match self.scen.model {
+        for i in 0..n {
+            let node = shards[shard_of(i)].nodes[i]
+                .as_ref()
+                .expect("owner has the node");
+            let low = node.low_radio.report(end);
+            match scen.model {
                 ModelKind::Sensor | ModelKind::DualRadio => {
                     energy += low.total_of(&ideal_low);
                     overhear_full_extra += low.of(B::Overhear);
                 }
                 ModelKind::Dot11 => {}
             }
-            header_extra += n.header_overhear;
-            if let Some(hr) = &n.high_radio {
+            header_extra += node.header_overhear;
+            if let Some(hr) = &node.high_radio {
                 let high = hr.report(end);
-                match self.scen.model {
+                match scen.model {
                     ModelKind::Dot11 | ModelKind::DualRadio => {
                         energy += high.total_of(&full_high);
                     }
                     ModelKind::Sensor => {}
                 }
             }
+            if let Some(tx) = &node.bcp_tx {
+                metrics.handshakes += tx.stats().handshakes;
+            }
         }
         RunStats::with_overhear_full(
-            self.metrics,
+            metrics,
             energy,
             energy + header_extra,
             energy + overhear_full_extra,
@@ -1356,11 +398,36 @@ impl World {
     }
 }
 
+fn merge_mark(map: &mut HashMap<u64, FateMark>, id: u64, new: FateMark) {
+    use std::collections::hash_map::Entry;
+    match map.entry(id) {
+        Entry::Vacant(e) => {
+            e.insert(new);
+        }
+        Entry::Occupied(mut e) => {
+            let cur = *e.get();
+            let replace = match (cur.fate, new.fate) {
+                (Fate::Delivered, Fate::Delivered) => {
+                    unreachable!("duplicate sink delivery across shards")
+                }
+                (Fate::Delivered, _) => false,
+                (_, Fate::Delivered) => true,
+                (Fate::Pending, _) => true,
+                (_, Fate::Pending) => false,
+                _ => new.key < cur.key,
+            };
+            if replace {
+                e.insert(new);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bcp_net::addr::NodeId;
     use bcp_net::topo::Topology;
-    use bcp_sim::time::SimDuration;
 
     /// A tiny two-node scenario: node 1 sends to sink node 0 over one hop.
     fn two_node(model: ModelKind, burst_packets: usize) -> Scenario {
@@ -1703,6 +770,101 @@ mod tests {
                     assert!(n.ledger_j <= cap + 1e-6, "ledger kept accumulating");
                 }
             }
+        }
+    }
+
+    /// Asserts two runs are bit-identical in every reported quantity.
+    fn assert_bit_identical(a: &RunStats, b: &RunStats, label: &str) {
+        assert_eq!(a.goodput, b.goodput, "{label}: goodput");
+        assert_eq!(a.energy_j, b.energy_j, "{label}: energy");
+        assert_eq!(a.energy_header_j, b.energy_header_j, "{label}: header");
+        assert_eq!(
+            a.energy_overhear_full_j, b.energy_overhear_full_j,
+            "{label}: overhear"
+        );
+        assert_eq!(a.mean_delay_s, b.mean_delay_s, "{label}: delay");
+        assert_eq!(a.events, b.events, "{label}: events");
+        assert_eq!(
+            a.time_to_first_death_s, b.time_to_first_death_s,
+            "{label}: ttfd"
+        );
+        assert_eq!(
+            a.time_to_partition_s, b.time_to_partition_s,
+            "{label}: partition"
+        );
+        assert_eq!(
+            a.delivered_before_first_death, b.delivered_before_first_death,
+            "{label}: delivered before death"
+        );
+        let (ma, mb) = (&a.metrics, &b.metrics);
+        assert_eq!(ma.generated_packets, mb.generated_packets, "{label}");
+        assert_eq!(ma.delivered_packets, mb.delivered_packets, "{label}");
+        assert_eq!(ma.drops_mac, mb.drops_mac, "{label}: mac drops");
+        assert_eq!(ma.drops_buffer, mb.drops_buffer, "{label}: buffer drops");
+        assert_eq!(ma.residual_packets, mb.residual_packets, "{label}");
+        assert_eq!(ma.collisions, mb.collisions, "{label}: collisions");
+        assert_eq!(ma.handshakes, mb.handshakes, "{label}: handshakes");
+        assert_eq!(ma.radio_wakeups, mb.radio_wakeups, "{label}: wakeups");
+        assert_eq!(ma.node_deaths, mb.node_deaths, "{label}: deaths");
+        assert_eq!(a.per_node, b.per_node, "{label}: per-node accounting");
+    }
+
+    #[test]
+    fn shard_count_invariant_sensor_with_deaths() {
+        use bcp_power::{Battery, PowerConfig};
+        // 6×6 grid, several senders, starved relays dying mid-run: covers
+        // cross-shard traffic, route repair and the death barrier.
+        let build = |shards: usize| {
+            let mut s = Scenario::single_hop(ModelKind::Sensor, 8, 10, 17);
+            s.duration = SimDuration::from_secs(60);
+            s.power = PowerConfig::unlimited()
+                .with_node_battery(13, Battery::ideal_joules(1.0))
+                .with_node_battery(20, Battery::ideal_joules(1.2));
+            s.shards = shards;
+            s
+        };
+        let one = build(1).run();
+        assert!(one.metrics.node_deaths > 0, "scenario exercises deaths");
+        assert!(one.metrics.delivered_packets > 100, "traffic flows");
+        for k in [2, 4] {
+            let sharded = build(k).run();
+            assert_bit_identical(&one, &sharded, &format!("shards={k}"));
+        }
+    }
+
+    #[test]
+    fn shard_count_invariant_dual_radio() {
+        let build = |shards: usize| {
+            let mut s = Scenario::multi_hop(ModelKind::DualRadio, 6, 100, 23);
+            s.duration = SimDuration::from_secs(90);
+            s.shards = shards;
+            s
+        };
+        let one = build(1).run();
+        assert!(one.metrics.delivered_packets > 100, "traffic flows");
+        assert!(one.metrics.radio_wakeups > 0, "bursts happened");
+        for k in [2, 4] {
+            let sharded = build(k).run();
+            assert_bit_identical(&one, &sharded, &format!("shards={k}"));
+        }
+    }
+
+    #[test]
+    fn shard_count_invariant_lossy_channel() {
+        use bcp_net::loss::LossModel;
+        // Per-node loss streams must make loss outcomes shard-invariant.
+        let build = |shards: usize| {
+            let mut s = Scenario::single_hop(ModelKind::Sensor, 6, 10, 31);
+            s.duration = SimDuration::from_secs(60);
+            s.loss_low = LossModel::bernoulli(0.2);
+            s.shards = shards;
+            s
+        };
+        let one = build(1).run();
+        assert!(one.metrics.drops_mac > 0, "losses bite");
+        for k in [3, 4] {
+            let sharded = build(k).run();
+            assert_bit_identical(&one, &sharded, &format!("shards={k}"));
         }
     }
 

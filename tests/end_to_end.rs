@@ -126,19 +126,27 @@ fn dot11_energy_dwarfs_everything() {
 #[test]
 fn multi_hop_advantage_over_single_hop() {
     // Fig. 9 vs Fig. 6: with the hop advantage, even small bursts help
-    // because one 802.11 hop replaces several sensor hops.
-    let sh = Scenario::single_hop(ModelKind::DualRadio, 15, 100, 6)
-        .with_duration(SimDuration::from_secs(300))
-        .run();
-    let mh = Scenario::multi_hop(ModelKind::DualRadio, 15, 100, 6)
-        .with_duration(SimDuration::from_secs(300))
-        .run();
-    assert!(
-        mh.j_per_kbit < sh.j_per_kbit,
-        "hop advantage: MH {} vs SH {}",
-        mh.j_per_kbit,
-        sh.j_per_kbit
-    );
+    // because one 802.11 hop replaces several sensor hops. At 300 s a
+    // single seed is within run-to-run noise of the crossover, so the
+    // claim is checked on a small seed average (the paper averages 20
+    // runs per point).
+    let mean = |hop: bool| {
+        let runs: Vec<f64> = (6..9)
+            .map(|seed| {
+                let s = if hop {
+                    Scenario::multi_hop(ModelKind::DualRadio, 15, 100, seed)
+                } else {
+                    Scenario::single_hop(ModelKind::DualRadio, 15, 100, seed)
+                };
+                s.with_duration(SimDuration::from_secs(300))
+                    .run()
+                    .j_per_kbit
+            })
+            .collect();
+        runs.iter().sum::<f64>() / runs.len() as f64
+    };
+    let (sh, mh) = (mean(false), mean(true));
+    assert!(mh < sh, "hop advantage: MH {mh} vs SH {sh}");
 }
 
 #[test]
