@@ -12,6 +12,7 @@
 //!   thresholds vs the static rule of thumb under a lossy high radio.
 
 use crate::output::Output;
+use crate::registry::RunCtx;
 use crate::suite::{run_parallel, Quality};
 use bcp_analysis::DualRadioLink;
 use bcp_core::adaptive::AdaptiveThreshold;
@@ -19,7 +20,7 @@ use bcp_net::loss::LossModel;
 use bcp_radio::profile::{lucent_11m, micaz};
 use bcp_sim::stats::{mean_ci95, Series};
 use bcp_sim::time::SimDuration;
-use bcp_simnet::{HighRoute, ModelKind, Scenario};
+use bcp_simnet::{HighRoute, ModelKind, Scenario, ScenarioBuilder};
 
 fn senders(q: Quality) -> usize {
     match q {
@@ -42,7 +43,8 @@ fn averaged(
 
 /// Route optimization ablation: a mid-range high radio (100 m on the 40 m
 /// grid) where learned shortcuts can skip relays.
-pub fn shortcuts(q: Quality) -> Output {
+pub fn shortcuts(ctx: &RunCtx) -> Output {
+    let q = ctx.quality;
     let listen = SimDuration::from_millis(200);
     let modes: [(&str, HighRoute); 3] = [
         (
@@ -65,13 +67,14 @@ pub fn shortcuts(q: Quality) -> Output {
     let mut delay = Vec::new();
     for (label, mode) in modes {
         let build = |seed: u64| {
-            let mut s = Scenario::single_hop(ModelKind::DualRadio, senders(q), 500, seed)
-                .with_duration(q.duration())
-                .with_high_route(mode);
-            // Mid-range card: more than one grid hop, less than the whole
-            // grid — the regime where shortcut learning can win.
-            s.high_profile = bcp_radio::profile::cabletron().with_range(100.0);
-            s
+            ScenarioBuilder::single_hop(ModelKind::DualRadio, senders(q), 500, seed)
+                .duration(q.duration())
+                .high_route(mode)
+                // Mid-range card: more than one grid hop, less than the
+                // whole grid — the regime where shortcut learning can win.
+                .high_profile(bcp_radio::profile::cabletron().with_range(100.0))
+                .build()
+                .expect("the shortcuts ablation is valid")
         };
         let (e, eci) = averaged(q, build, |r| r.j_per_kbit);
         let (d, dci) = averaged(q, build, |r| r.mean_delay_s);
@@ -96,14 +99,18 @@ pub fn shortcuts(q: Quality) -> Output {
 }
 
 /// Overhearing accounting ladder for the sensor model.
-pub fn overhearing(q: Quality) -> Output {
+pub fn overhearing(ctx: &RunCtx) -> Output {
+    let q = ctx.quality;
     let counts = q.sender_counts();
     let mut ideal = Series::new("Sensor-ideal");
     let mut header = Series::new("Sensor-header");
     let mut full = Series::new("Sensor-full-overhear");
     for &n in &counts {
         let build = |seed: u64| {
-            Scenario::single_hop(ModelKind::Sensor, n, 10, seed).with_duration(q.duration())
+            ScenarioBuilder::single_hop(ModelKind::Sensor, n, 10, seed)
+                .duration(q.duration())
+                .build()
+                .expect("the overhearing ablation is valid")
         };
         let (a, aci) = averaged(q, build, |r| r.j_per_kbit);
         let (b, bci) = averaged(q, build, |r| r.j_per_kbit_header);
@@ -124,21 +131,25 @@ pub fn overhearing(q: Quality) -> Output {
 }
 
 /// Channel-degradation robustness: BCP vs the sensor network.
-pub fn loss(q: Quality) -> Output {
+pub fn loss(ctx: &RunCtx) -> Output {
+    let q = ctx.quality;
     let rates = [0.0, 0.05, 0.1, 0.2, 0.4];
     let mut dual = Series::new("DualRadio-500");
     let mut sensor = Series::new("Sensor");
     for &p in &rates {
-        let model = |m: LossModel| m;
         let build_dual = |seed: u64| {
-            Scenario::single_hop(ModelKind::DualRadio, senders(q), 500, seed)
-                .with_duration(q.duration())
-                .with_loss(model(loss_of(p)), model(loss_of(p)))
+            ScenarioBuilder::single_hop(ModelKind::DualRadio, senders(q), 500, seed)
+                .duration(q.duration())
+                .loss(loss_of(p), loss_of(p))
+                .build()
+                .expect("the loss ablation is valid")
         };
         let build_sensor = |seed: u64| {
-            Scenario::single_hop(ModelKind::Sensor, senders(q), 10, seed)
-                .with_duration(q.duration())
-                .with_loss(model(loss_of(p)), LossModel::Perfect)
+            ScenarioBuilder::single_hop(ModelKind::Sensor, senders(q), 10, seed)
+                .duration(q.duration())
+                .loss(loss_of(p), LossModel::Perfect)
+                .build()
+                .expect("the loss ablation is valid")
         };
         let (g, gci) = averaged(q, build_dual, |r| r.goodput);
         dual.push_with_ci(p, g, gci);
@@ -162,7 +173,8 @@ fn loss_of(p: f64) -> LossModel {
 }
 
 /// Static vs retransmission-adaptive thresholds under a lossy high radio.
-pub fn adaptive(q: Quality) -> Output {
+pub fn adaptive(ctx: &RunCtx) -> Output {
+    let q = ctx.quality;
     let rates = [0.0, 0.1, 0.2, 0.3];
     let mut static_s = Series::new("static-alpha-s*");
     let mut adaptive_s = Series::new("adaptive");
@@ -183,9 +195,11 @@ pub fn adaptive(q: Quality) -> Output {
             (&mut adaptive_s, adaptive_threshold),
         ] {
             let build = |seed: u64| {
-                Scenario::single_hop(ModelKind::DualRadio, senders(q), burst, seed)
-                    .with_duration(q.duration())
-                    .with_loss(LossModel::Perfect, loss_of(p))
+                ScenarioBuilder::single_hop(ModelKind::DualRadio, senders(q), burst, seed)
+                    .duration(q.duration())
+                    .loss(LossModel::Perfect, loss_of(p))
+                    .build()
+                    .expect("the adaptive ablation is valid")
             };
             let (e, eci) = averaged(q, build, |r| r.j_per_kbit);
             series.push_with_ci(p, e, eci);
@@ -207,7 +221,7 @@ mod tests {
 
     #[test]
     fn overhearing_ladder_is_ordered() {
-        let out = overhearing(Quality::Test);
+        let out = overhearing(&RunCtx::new(Quality::Test));
         let Output::Figure { series, .. } = out else {
             panic!("figure expected");
         };
@@ -223,7 +237,7 @@ mod tests {
 
     #[test]
     fn loss_hurts_goodput_monotonically_enough() {
-        let out = loss(Quality::Test);
+        let out = loss(&RunCtx::new(Quality::Test));
         let Output::Figure { series, .. } = out else {
             panic!("figure expected");
         };

@@ -1,13 +1,86 @@
-//! `repro` — regenerate the paper's tables and figures.
+//! `repro` — regenerate the paper's tables and figures, and run scenario
+//! files.
 //!
 //! ```text
 //! repro list
-//! repro all [--quick|--paper|--test]
-//! repro <id>... [--quick|--paper|--test]
+//! repro all [--quick|--paper-lite|--paper|--test] [--json] [--out <dir>]
+//! repro <id>... [--quick|--paper-lite|--paper|--test] [--json] [--out <dir>]
+//! repro run <file.scn> [--test] [--out <dir>]
 //! ```
+//!
+//! * `repro <id>` prints the gnuplot-ready text rendering; `--json` emits
+//!   the structured form instead (and, with `--out`, persists `.txt`,
+//!   `.json` and `.csv` artifacts per experiment).
+//! * `repro run` executes any `.scn` scenario file (see the README's
+//!   "Scenario files" section) and prints the run's `RunStats` as JSON;
+//!   `--test` clamps the simulated duration to 60 s for smoke tests.
 
-use bcp_experiments::{all, find, Quality};
+use bcp_experiments::{all, find, Output, Quality, RunCtx};
+use bcp_simnet::parse_spec;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+struct Cli {
+    quality: Quality,
+    json: bool,
+    out_dir: Option<PathBuf>,
+    /// `repro run <file>`: the scenario file.
+    scn: Option<PathBuf>,
+    /// Experiment ids (order-preserving, deduplicated).
+    ids: Vec<String>,
+    list: bool,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        quality: Quality::Quick,
+        json: false,
+        out_dir: None,
+        scn: None,
+        ids: Vec::new(),
+        list: false,
+    };
+    let run_mode = args.first().map(String::as_str) == Some("run");
+    let mut i = usize::from(run_mode);
+    while i < args.len() {
+        let a = args[i].as_str();
+        match a {
+            "--quick" => cli.quality = Quality::Quick,
+            "--paper" | "--full" => cli.quality = Quality::Paper,
+            "--paper-lite" => cli.quality = Quality::PaperLite,
+            "--test" => cli.quality = Quality::Test,
+            "--json" => cli.json = true,
+            "--out" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .ok_or_else(|| "--out needs a directory".to_string())?;
+                cli.out_dir = Some(PathBuf::from(dir));
+            }
+            "list" if !run_mode => cli.list = true,
+            "all" if !run_mode => cli.ids.extend(all().iter().map(|e| e.id.to_string())),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other if run_mode => {
+                if cli.scn.is_some() {
+                    return Err("repro run takes exactly one scenario file".into());
+                }
+                cli.scn = Some(PathBuf::from(other));
+            }
+            other => cli.ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if run_mode && cli.scn.is_none() {
+        return Err("repro run needs a scenario file".into());
+    }
+    // Order-preserving dedup across the whole list, so
+    // `repro fig5 table1 fig5` runs fig5 once (and `all` plus an explicit
+    // id never doubles up).
+    let mut seen = HashSet::new();
+    cli.ids.retain(|id| seen.insert(id.clone()));
+    Ok(cli)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,50 +88,130 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     }
-    let mut quality = Quality::Quick;
-    let mut ids: Vec<String> = Vec::new();
-    for a in &args {
-        match a.as_str() {
-            "--quick" => quality = Quality::Quick,
-            "--paper" | "--full" => quality = Quality::Paper,
-            "--paper-lite" => quality = Quality::PaperLite,
-            "--test" => quality = Quality::Test,
-            "list" => {
-                for e in all() {
-                    println!("{:8}  {}", e.id, e.title);
-                }
-                return ExitCode::SUCCESS;
-            }
-            "all" => ids.extend(all().iter().map(|e| e.id.to_string())),
-            other if other.starts_with('-') => {
-                eprintln!("unknown flag {other}");
-                usage();
-                return ExitCode::FAILURE;
-            }
-            other => ids.push(other.to_string()),
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    if cli.list {
+        let width = all().iter().map(|e| e.id.len()).max().unwrap_or(0);
+        for e in all() {
+            println!("{:width$}  {}", e.id, e.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(dir) = &cli.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
         }
     }
-    if ids.is_empty() {
+    if let Some(scn) = &cli.scn {
+        return run_scenario_file(scn, &cli);
+    }
+    if cli.ids.is_empty() {
         usage();
         return ExitCode::FAILURE;
     }
-    ids.dedup();
-    for id in &ids {
+    let ctx = RunCtx {
+        quality: cli.quality,
+        out_dir: cli.out_dir.clone(),
+    };
+    for id in &cli.ids {
         let Some(e) = find(id) else {
             eprintln!("unknown experiment {id} (try `repro list`)");
             return ExitCode::FAILURE;
         };
-        eprintln!("running {} at {:?} quality...", e.id, quality);
+        eprintln!("running {} at {:?} quality...", e.id, cli.quality);
         let started = std::time::Instant::now();
-        let out = (e.run)(quality);
-        println!("{}", out.render(e.title));
+        let out = (e.run)(&ctx);
+        // --json always selects the structured stdout form; --out only
+        // adds artifact files on top (the .txt rendering is persisted
+        // there regardless).
+        if cli.json {
+            println!("{}", out.to_json(e.title));
+        } else {
+            println!("{}", out.render(e.title));
+        }
+        if let Some(dir) = &cli.out_dir {
+            if let Err(err) = persist(dir, e.id, e.title, &out, cli.json) {
+                eprintln!("cannot persist {} artifacts: {err}", e.id);
+                return ExitCode::FAILURE;
+            }
+        }
         eprintln!("  done in {:.1?}\n", started.elapsed());
     }
     ExitCode::SUCCESS
 }
 
+/// Writes `<dir>/<id>.txt` (always) and `<dir>/<id>.json` + `<dir>/<id>.csv`
+/// (with `--json`).
+fn persist(dir: &Path, id: &str, title: &str, out: &Output, json: bool) -> std::io::Result<()> {
+    std::fs::write(dir.join(format!("{id}.txt")), out.render(title))?;
+    if json {
+        std::fs::write(dir.join(format!("{id}.json")), out.to_json(title))?;
+        std::fs::write(dir.join(format!("{id}.csv")), out.to_csv())?;
+    }
+    Ok(())
+}
+
+/// `repro run <file.scn>`: parse, validate, execute, print `RunStats` JSON.
+fn run_scenario_file(path: &Path, cli: &Cli) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut scenario = match parse_spec(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if cli.quality == Quality::Test {
+        // Smoke mode: cap the horizon so CI runs any preset in seconds.
+        let cap = bcp_sim::time::SimDuration::from_secs(60);
+        scenario.duration = scenario.duration.min(cap);
+        if let Some(c) = scenario.traffic_cutoff {
+            scenario.traffic_cutoff = Some(c.min(cap));
+        }
+    }
+    eprintln!(
+        "running {} ({} nodes, {} senders, {:?})...",
+        path.display(),
+        scenario.topo.len(),
+        scenario.senders.len(),
+        scenario.duration
+    );
+    let started = std::time::Instant::now();
+    let stats = scenario.run();
+    let json = stats.to_json();
+    println!("{json}");
+    if let Some(dir) = &cli.out_dir {
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "scenario".into());
+        if let Err(e) = std::fs::write(dir.join(format!("{stem}.json")), &json) {
+            eprintln!("cannot persist stats: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("  done in {:.1?}", started.elapsed());
+    ExitCode::SUCCESS
+}
+
 fn usage() {
     eprintln!(
-        "usage: repro list | repro all [--quick|--paper-lite|--paper|--test] | repro <id>..."
+        "usage: repro list\n\
+         \x20      repro all [--quick|--paper-lite|--paper|--test] [--json] [--out <dir>]\n\
+         \x20      repro <id>... [--quick|--paper-lite|--paper|--test] [--json] [--out <dir>]\n\
+         \x20      repro run <file.scn> [--test] [--out <dir>]"
     );
 }

@@ -5,9 +5,11 @@
 //! the two prototype figures (11–12). The `repro` binary drives them:
 //!
 //! ```text
-//! repro list                 # what can be reproduced
-//! repro all --quick          # everything, minutes-scale
-//! repro fig6 --paper         # one figure at the paper's full scale
+//! repro list                      # what can be reproduced
+//! repro all --quick               # everything, minutes-scale
+//! repro fig6 --paper              # one figure at the paper's full scale
+//! repro all --json --out results/ # persist .txt/.json/.csv artifacts
+//! repro run examples/specs/single_hop.scn   # any .scn file → RunStats JSON
 //! ```
 //!
 //! Simulation sweeps run on all cores; figure pairs that share sweeps
@@ -16,11 +18,11 @@
 //! # Examples
 //!
 //! ```
-//! use bcp_experiments::registry;
+//! use bcp_experiments::registry::{self, RunCtx};
 //! use bcp_experiments::suite::Quality;
 //!
 //! let table1 = registry::find("table1").expect("registered");
-//! let output = (table1.run)(Quality::Test);
+//! let output = (table1.run)(&RunCtx::new(Quality::Test));
 //! assert!(output.render(table1.title).contains("Cabletron"));
 //! ```
 
@@ -35,5 +37,5 @@ pub mod scale;
 pub mod suite;
 
 pub use output::Output;
-pub use registry::{all, find, Experiment};
-pub use suite::Quality;
+pub use registry::{all, find, Experiment, RunCtx};
+pub use suite::{Quality, SweepJob, SweepSpec};

@@ -9,10 +9,11 @@
 //! energy argument, as a lifetime-extension headline.
 
 use crate::output::Output;
+use crate::registry::RunCtx;
 use crate::suite::{run_parallel, Quality};
-use bcp_power::{Battery, PowerConfig};
+use bcp_power::Battery;
 use bcp_sim::stats::{mean_ci95, Series};
-use bcp_simnet::{ModelKind, Scenario};
+use bcp_simnet::{ModelKind, Scenario, ScenarioBuilder};
 
 /// The battery-capacity axis (J): fractions of the energy a MicaZ-class
 /// node idles away over the run, so deaths land inside the simulated
@@ -35,7 +36,8 @@ fn senders(q: Quality) -> usize {
 }
 
 /// The registered `lifetime` experiment.
-pub fn lifetime(q: Quality) -> Output {
+pub fn lifetime(ctx: &RunCtx) -> Output {
+    let q = ctx.quality;
     let models: [(&str, ModelKind, usize); 3] = [
         ("Sensor", ModelKind::Sensor, 10),
         ("802.11", ModelKind::Dot11, 10),
@@ -50,10 +52,11 @@ pub fn lifetime(q: Quality) -> Output {
         for &cap in &caps {
             let jobs: Vec<Scenario> = (0..q.runs() as u64)
                 .map(|seed| {
-                    let mut sc = Scenario::single_hop(model, senders(q), burst, seed + 1)
-                        .with_duration(q.duration());
-                    sc.power = PowerConfig::with_battery(Battery::ideal_joules(cap));
-                    sc
+                    ScenarioBuilder::single_hop(model, senders(q), burst, seed + 1)
+                        .duration(q.duration())
+                        .battery(Battery::ideal_joules(cap))
+                        .build()
+                        .expect("the lifetime grid is valid")
                 })
                 .collect();
             let stats = run_parallel(jobs);
@@ -112,7 +115,7 @@ mod tests {
 
     #[test]
     fn lifetime_ordering_matches_the_papers_energy_story() {
-        let out = lifetime(Quality::Test);
+        let out = lifetime(&RunCtx::new(Quality::Test));
         let Output::Figure { series, .. } = &out else {
             panic!("lifetime renders a figure");
         };

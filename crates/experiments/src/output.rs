@@ -1,5 +1,7 @@
-//! Rendering figures and tables as aligned text (gnuplot-ready columns).
+//! Rendering figures and tables as aligned text (gnuplot-ready columns)
+//! plus machine-readable JSON and CSV sinks (hand-rolled, dependency-free).
 
+use bcp_sim::json::{escape, num};
 use bcp_sim::stats::Series;
 
 /// The product of one experiment: either a line figure or a table.
@@ -88,6 +90,137 @@ impl Output {
             }
         }
         out
+    }
+
+    /// Serialises the output as a JSON object. Figures become
+    /// `{"type":"figure", xlabel, ylabel, notes, series:[{label,
+    /// points:[{x,y,ci}]}]}`; tables become `{"type":"table", headers,
+    /// rows, notes}`. Non-finite point values become `null`.
+    pub fn to_json(&self, title: &str) -> String {
+        let arr = |items: &[String]| {
+            format!(
+                "[{}]",
+                items
+                    .iter()
+                    .map(|s| escape(s))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        };
+        match self {
+            Output::Figure {
+                xlabel,
+                ylabel,
+                series,
+                notes,
+            } => {
+                let series_json = series
+                    .iter()
+                    .map(|s| {
+                        let points = s
+                            .points()
+                            .iter()
+                            .map(|(x, y, ci)| {
+                                format!(
+                                    "{{\"x\":{},\"y\":{},\"ci\":{}}}",
+                                    num(*x),
+                                    num(*y),
+                                    num(*ci)
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(",");
+                        format!(
+                            "{{\"label\":{},\"points\":[{}]}}",
+                            escape(s.label()),
+                            points
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "{{\"type\":\"figure\",\"title\":{},\"xlabel\":{},\"ylabel\":{},\
+                     \"notes\":{},\"series\":[{}]}}",
+                    escape(title),
+                    escape(xlabel),
+                    escape(ylabel),
+                    arr(notes),
+                    series_json
+                )
+            }
+            Output::Table {
+                headers,
+                rows,
+                notes,
+            } => {
+                let rows_json = rows.iter().map(|r| arr(r)).collect::<Vec<_>>().join(",");
+                format!(
+                    "{{\"type\":\"table\",\"title\":{},\"headers\":{},\"rows\":[{}],\
+                     \"notes\":{}}}",
+                    escape(title),
+                    arr(headers),
+                    rows_json,
+                    arr(notes)
+                )
+            }
+        }
+    }
+
+    /// Serialises the output as CSV. Figures use the long form
+    /// (`series,x,y,ci`, one row per point); tables emit their headers and
+    /// rows. Cells are quoted per RFC 4180 when they need it.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Output::Figure { series, .. } => {
+                out.push_str("series,x,y,ci\n");
+                for s in series {
+                    for (x, y, ci) in s.points() {
+                        out.push_str(&format!(
+                            "{},{},{},{}\n",
+                            csv_cell(s.label()),
+                            csv_num(*x),
+                            csv_num(*y),
+                            csv_num(*ci)
+                        ));
+                    }
+                }
+            }
+            Output::Table { headers, rows, .. } => {
+                let line = |cells: &[String]| {
+                    cells
+                        .iter()
+                        .map(|c| csv_cell(c))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                out.push_str(&line(headers));
+                out.push('\n');
+                for row in rows {
+                    out.push_str(&line(row));
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Quotes a CSV cell when it contains a delimiter, quote or newline.
+fn csv_cell(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// CSV numbers: full round-trip precision, empty cell for non-finite.
+fn csv_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        String::new()
     }
 }
 
@@ -203,6 +336,46 @@ mod tests {
         let r = t.render("Table 1");
         assert!(r.contains("Cabletron"));
         assert!(r.contains("250Kbps"));
+    }
+
+    #[test]
+    fn figure_json_and_csv_sinks() {
+        let mut a = Series::new("A,1");
+        a.push_with_ci(5.0, 0.5, 0.01);
+        a.push(10.0, f64::INFINITY);
+        let fig = Output::Figure {
+            xlabel: "senders".into(),
+            ylabel: "goodput".into(),
+            series: vec![a],
+            notes: vec!["a \"quoted\" note".into()],
+        };
+        let j = fig.to_json("Fig X");
+        assert!(j.starts_with("{\"type\":\"figure\""));
+        assert!(j.contains("\"title\":\"Fig X\""));
+        assert!(j.contains("\"label\":\"A,1\""));
+        assert!(j.contains("{\"x\":5.0,\"y\":0.5,\"ci\":0.01}"));
+        assert!(j.contains("\"y\":null"), "non-finite y → null: {j}");
+        assert!(j.contains("a \\\"quoted\\\" note"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let c = fig.to_csv();
+        assert!(c.starts_with("series,x,y,ci\n"));
+        assert!(c.contains("\"A,1\",5.0,0.5,0.01\n"), "{c}");
+        assert!(c.contains("\"A,1\",10.0,,"), "non-finite → empty cell: {c}");
+    }
+
+    #[test]
+    fn table_json_and_csv_sinks() {
+        let t = Output::Table {
+            headers: vec!["radio".into(), "rate".into()],
+            rows: vec![vec!["Cabletron".into(), "2Mbps".into()]],
+            notes: vec![],
+        };
+        let j = t.to_json("Table 1");
+        assert!(j.starts_with("{\"type\":\"table\""));
+        assert!(j.contains("\"headers\":[\"radio\",\"rate\"]"));
+        assert!(j.contains("\"rows\":[[\"Cabletron\",\"2Mbps\"]]"));
+        let c = t.to_csv();
+        assert_eq!(c, "radio,rate\nCabletron,2Mbps\n");
     }
 
     #[test]

@@ -4,6 +4,37 @@ use crate::ablations;
 use crate::output::Output;
 use crate::suite::{energy_delay_series, energy_series, goodput_series, Hop, Quality};
 use bcp_analysis::feasibility;
+use std::path::PathBuf;
+
+/// Everything an experiment run needs to know beyond its own axes: the
+/// fidelity to run at and where (if anywhere) to persist artifacts.
+///
+/// The `repro` binary persists each experiment's rendered/JSON/CSV output
+/// into `out_dir` centrally; the context is threaded through experiments
+/// so they can drop additional raw artifacts of their own next to them.
+#[derive(Debug, Clone, Default)]
+pub struct RunCtx {
+    /// Sweep fidelity.
+    pub quality: Quality,
+    /// Artifact directory (`None` = stdout only).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl RunCtx {
+    /// A context at the given quality, without artifact persistence.
+    pub fn new(quality: Quality) -> Self {
+        RunCtx {
+            quality,
+            out_dir: None,
+        }
+    }
+
+    /// Adds an artifact directory.
+    pub fn with_out_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.out_dir = Some(dir.into());
+        self
+    }
+}
 
 /// One reproducible experiment.
 #[derive(Debug, Clone, Copy)]
@@ -13,7 +44,7 @@ pub struct Experiment {
     /// What the paper's artifact shows.
     pub title: &'static str,
     /// Producer function.
-    pub run: fn(Quality) -> Output,
+    pub run: fn(&RunCtx) -> Output,
 }
 
 /// All experiments in paper order.
@@ -122,7 +153,7 @@ pub fn find(id: &str) -> Option<Experiment> {
     all().into_iter().find(|e| e.id == id)
 }
 
-fn table1(_q: Quality) -> Output {
+fn table1(_ctx: &RunCtx) -> Output {
     let rows = feasibility::table1_rows()
         .into_iter()
         .map(|(name, rate, ptx, prx, pidle, ew)| {
@@ -145,7 +176,7 @@ fn table1(_q: Quality) -> Output {
     }
 }
 
-fn fig1(_q: Quality) -> Output {
+fn fig1(_ctx: &RunCtx) -> Output {
     Output::Figure {
         xlabel: "KB".into(),
         ylabel: "Energy consumption (mJ)".into(),
@@ -154,7 +185,7 @@ fn fig1(_q: Quality) -> Output {
     }
 }
 
-fn fig2(_q: Quality) -> Output {
+fn fig2(_ctx: &RunCtx) -> Output {
     Output::Figure {
         xlabel: "idle_s".into(),
         ylabel: "Break-even data size (KB)".into(),
@@ -163,7 +194,7 @@ fn fig2(_q: Quality) -> Output {
     }
 }
 
-fn fig3(_q: Quality) -> Output {
+fn fig3(_ctx: &RunCtx) -> Output {
     Output::Figure {
         xlabel: "fp_hops".into(),
         ylabel: "Break-even data size (KB)".into(),
@@ -172,7 +203,7 @@ fn fig3(_q: Quality) -> Output {
     }
 }
 
-fn fig4(_q: Quality) -> Output {
+fn fig4(_ctx: &RunCtx) -> Output {
     Output::Figure {
         xlabel: "packets".into(),
         ylabel: "Fraction of energy savings".into(),
@@ -181,62 +212,62 @@ fn fig4(_q: Quality) -> Output {
     }
 }
 
-fn fig5(q: Quality) -> Output {
+fn fig5(ctx: &RunCtx) -> Output {
     Output::Figure {
         xlabel: "senders".into(),
         ylabel: "Goodput".into(),
-        series: goodput_series(Hop::Single, q),
-        notes: sim_notes(q),
+        series: goodput_series(Hop::Single, ctx.quality),
+        notes: sim_notes(ctx.quality),
     }
 }
 
-fn fig6(q: Quality) -> Output {
+fn fig6(ctx: &RunCtx) -> Output {
     Output::Figure {
         xlabel: "senders".into(),
         ylabel: "Normalized energy (J/Kbit)".into(),
-        series: energy_series(Hop::Single, q),
-        notes: sim_notes(q),
+        series: energy_series(Hop::Single, ctx.quality),
+        notes: sim_notes(ctx.quality),
     }
 }
 
-fn fig7(q: Quality) -> Output {
+fn fig7(ctx: &RunCtx) -> Output {
     Output::Figure {
         xlabel: "delay_s".into(),
         ylabel: "Normalized energy (J/Kb)".into(),
-        series: energy_delay_series(Hop::Single, q),
-        notes: sim_notes(q),
+        series: energy_delay_series(Hop::Single, ctx.quality),
+        notes: sim_notes(ctx.quality),
     }
 }
 
-fn fig8(q: Quality) -> Output {
+fn fig8(ctx: &RunCtx) -> Output {
     Output::Figure {
         xlabel: "senders".into(),
         ylabel: "Goodput".into(),
-        series: goodput_series(Hop::Multi, q),
-        notes: sim_notes(q),
+        series: goodput_series(Hop::Multi, ctx.quality),
+        notes: sim_notes(ctx.quality),
     }
 }
 
-fn fig9(q: Quality) -> Output {
+fn fig9(ctx: &RunCtx) -> Output {
     Output::Figure {
         xlabel: "senders".into(),
         ylabel: "Normalized energy (J/Kbit)".into(),
-        series: energy_series(Hop::Multi, q),
-        notes: sim_notes(q),
+        series: energy_series(Hop::Multi, ctx.quality),
+        notes: sim_notes(ctx.quality),
     }
 }
 
-fn fig10(q: Quality) -> Output {
+fn fig10(ctx: &RunCtx) -> Output {
     Output::Figure {
         xlabel: "delay_s".into(),
         ylabel: "Normalized energy (J/Kb)".into(),
-        series: energy_delay_series(Hop::Multi, q),
-        notes: sim_notes(q),
+        series: energy_delay_series(Hop::Multi, ctx.quality),
+        notes: sim_notes(ctx.quality),
     }
 }
 
-fn fig11(q: Quality) -> Output {
-    let runs = testbed_runs(q);
+fn fig11(ctx: &RunCtx) -> Output {
+    let runs = testbed_runs(ctx.quality);
     Output::Figure {
         xlabel: "threshold_B".into(),
         ylabel: "Energy per packet (uJ)".into(),
@@ -245,8 +276,8 @@ fn fig11(q: Quality) -> Output {
     }
 }
 
-fn fig12(q: Quality) -> Output {
-    let runs = testbed_runs(q);
+fn fig12(ctx: &RunCtx) -> Output {
+    let runs = testbed_runs(ctx.quality);
     Output::Figure {
         xlabel: "delay_ms".into(),
         ylabel: "Energy per packet (uJ)".into(),
@@ -304,7 +335,7 @@ mod tests {
     fn analytic_figures_render() {
         for id in ["table1", "fig1", "fig2", "fig3", "fig4"] {
             let e = find(id).unwrap();
-            let out = (e.run)(Quality::Test);
+            let out = (e.run)(&RunCtx::new(Quality::Test));
             let text = out.render(e.title);
             assert!(text.len() > 100, "{id} rendered too little");
         }

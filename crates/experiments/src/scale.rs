@@ -13,10 +13,11 @@
 //! single-core machine) every row degenerates to the sequential path.
 
 use crate::output::Output;
+use crate::registry::RunCtx;
 use crate::suite::Quality;
 use bcp_net::addr::NodeId;
 use bcp_net::topo::Topology;
-use bcp_simnet::{ModelKind, Scenario};
+use bcp_simnet::{ModelKind, Scenario, ScenarioBuilder};
 use std::time::Instant;
 
 /// Grid sides swept per quality (nodes = side²; 45² = 2025 nodes).
@@ -50,16 +51,17 @@ pub fn sensor_scale(side: usize, seed: u64) -> Scenario {
     let topo = Topology::grid(side, 40.0);
     let n = topo.len();
     let sink = NodeId((side / 2 * side + side / 2) as u32);
-    let senders = Scenario::pick_senders(&topo, sink, (n / 10).max(1));
-    let mut s = Scenario::single_hop(ModelKind::Sensor, 1, 10, seed);
-    s.topo = topo;
-    s.sink = sink;
-    s.senders = senders;
-    s
+    ScenarioBuilder::single_hop(ModelKind::Sensor, 1, 10, seed)
+        .topology(topo)
+        .sink(sink)
+        .senders_auto((n / 10).max(1))
+        .build()
+        .expect("the scale grid is valid")
 }
 
 /// The registered `scale` experiment.
-pub fn scale(q: Quality) -> Output {
+pub fn scale(ctx: &RunCtx) -> Output {
+    let q = ctx.quality;
     let dur = bcp_sim::time::SimDuration::from_secs(duration_s(q));
     let mut rows = Vec::new();
     for side in sides(q) {
@@ -141,7 +143,7 @@ mod tests {
     fn scale_experiment_renders_and_agrees() {
         // Runs the Test-quality sweep (asserting internally that sharded
         // runs match the sequential baseline) and checks the table shape.
-        let out = scale(Quality::Test);
+        let out = scale(&RunCtx::new(Quality::Test));
         let text = out.render("scale");
         assert!(text.contains("events/s"));
         assert!(text.contains("speedup"));

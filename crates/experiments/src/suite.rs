@@ -1,22 +1,26 @@
 //! The simulation sweeps behind Figures 5–10 (Section 4.1).
 //!
-//! Each figure is a sweep over (model, burst size, sender count) cells with
-//! `runs` seeded repetitions per cell; cells are independent, so they run
-//! on all cores. Figure pairs that share sweeps (5+6, 8+9) reuse the same
-//! data via a process-wide memo, so `repro all` pays for each sweep once.
+//! A sweep is **data**: a [`SweepSpec`] names its axes (model/burst cells ×
+//! sender counts × seeds at a rate and duration) and expands to concrete
+//! jobs, each built through the validating
+//! [`ScenarioBuilder`](bcp_simnet::ScenarioBuilder). [`sweep`] instantiates
+//! the paper's grid and runs it across the worker pool; figure pairs that
+//! share sweeps (5+6, 8+9) reuse the same data via a process-wide memo, so
+//! `repro all` pays for each sweep once.
 
 use bcp_sim::stats::{mean_ci95, Series};
 use bcp_sim::time::SimDuration;
-use bcp_simnet::{ModelKind, RunStats, Scenario};
+use bcp_simnet::{ModelKind, RunStats, Scenario, ScenarioBuilder, SpecError};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
 /// Sweep fidelity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Quality {
     /// Unit-test scale: tiny durations, one run — shape checks only.
     Test,
     /// Minutes-scale: 600 s runs, 3 seeds, 4 sender counts.
+    #[default]
     Quick,
     /// Full 5000 s steady-state runs, but 5 seeds and 4 sender counts —
     /// paper-faithful shapes at a fraction of the compute.
@@ -121,15 +125,30 @@ fn summarize(runs: &[RunStats]) -> CellStats {
     }
 }
 
+/// Sizes the sweep-level worker pool so that sweep workers × per-run
+/// shard threads never oversubscribes the `total` thread budget: the
+/// budget is divided by the largest per-job shard count, clamped to
+/// `[1, jobs]`. With unsharded jobs (`max_shards == 1`) this is the plain
+/// `min(total, jobs)`.
+pub fn sweep_worker_budget(total: usize, jobs: usize, max_shards: usize) -> usize {
+    (total / max_shards.max(1)).clamp(1, jobs.max(1))
+}
+
 /// Runs `jobs` scenarios across the worker pool, preserving order. The
 /// pool is sized by [`bcp_sim::threads::worker_count`], so one
 /// `BCP_THREADS` variable caps both this sweep-level pool and each run's
-/// intra-run shard pool. Note the caps apply *per layer*: a sweep of
-/// scenarios that themselves set `shards > 1` multiplies the two, so
-/// sharded sweeps should pin `BCP_THREADS=1` (or keep `shards = 1`) —
-/// sweeps already saturate the machine with whole runs.
+/// intra-run shard pool. When jobs carry `shards > 1` the sweep-level
+/// budget is divided by the largest shard count
+/// ([`sweep_worker_budget`]), so the two layers multiply out to at most
+/// the machine's thread budget instead of oversubscribing it.
 pub fn run_parallel(jobs: Vec<Scenario>) -> Vec<RunStats> {
-    let n_workers = bcp_sim::threads::worker_count(jobs.len());
+    let max_shards = jobs.iter().map(|j| j.shards.max(1)).max().unwrap_or(1);
+    // The unclamped machine/BCP_THREADS budget: with sharded jobs, fewer
+    // sweep workers than jobs can still saturate it (workers × shards),
+    // so the job-count clamp belongs inside sweep_worker_budget, after
+    // the division.
+    let total = bcp_sim::threads::worker_count(usize::MAX);
+    let n_workers = sweep_worker_budget(total, jobs.len(), max_shards);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results: Vec<Mutex<Option<RunStats>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
@@ -156,27 +175,121 @@ pub type SweepData = HashMap<(Cell, usize), CellStats>;
 /// Memo key → sweep results (one entry per (geometry, rate, quality)).
 type SweepMemo = HashMap<(Hop, RateMode, Quality), SweepData>;
 
-fn build_scenario(
-    hop: Hop,
-    cell: Cell,
-    senders: usize,
-    seed: u64,
-    q: Quality,
-    rate: f64,
-) -> Scenario {
-    let (model, burst) = match cell {
-        Cell::Sensor => (ModelKind::Sensor, 10),
-        Cell::Dot11 => (ModelKind::Dot11, 10),
-        Cell::Dual(b) => (ModelKind::DualRadio, b),
-    };
-    let s = match hop {
-        Hop::Single => Scenario::single_hop(model, senders, burst, seed),
-        Hop::Multi => Scenario::multi_hop(model, senders, burst, seed),
-    };
-    s.with_rate(rate).with_duration(q.duration())
+/// A declarative sweep grid: the cartesian product of its axes, expanded
+/// to jobs and executed through the validating scenario builder.
+///
+/// # Examples
+///
+/// ```
+/// use bcp_experiments::suite::{Hop, Quality, RateMode, SweepSpec};
+///
+/// let spec = SweepSpec::paper_grid(Hop::Single, RateMode::High, Quality::Test);
+/// let jobs = spec.jobs();
+/// // cells × sender counts × seeds, in deterministic order.
+/// assert_eq!(jobs.len(), spec.cells.len() * spec.sender_counts.len() * spec.runs);
+/// let scenario = spec.scenario(&jobs[0]).expect("grid cells are valid");
+/// assert_eq!(scenario.duration, spec.duration);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Which radio geometry every job uses.
+    pub hop: Hop,
+    /// Per-sender offered load in bits per second.
+    pub rate_bps: f64,
+    /// The model/burst axis.
+    pub cells: Vec<Cell>,
+    /// The sender-count axis.
+    pub sender_counts: Vec<usize>,
+    /// Seeded repetitions per cell (seeds `1..=runs`).
+    pub runs: usize,
+    /// Simulated duration per run.
+    pub duration: SimDuration,
 }
 
-/// Runs (or recalls) the sweep for `(hop, rate)` at the given quality.
+/// One expanded grid point of a [`SweepSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SweepJob {
+    /// The model/burst cell.
+    pub cell: Cell,
+    /// Number of senders.
+    pub senders: usize,
+    /// Master seed of the run.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// The paper's Section 4.1 grid at a given quality: Sensor and 802.11
+    /// baselines plus one dual-radio cell per burst size in [`BURSTS`].
+    pub fn paper_grid(hop: Hop, rate_mode: RateMode, q: Quality) -> Self {
+        let mut cells: Vec<Cell> = vec![Cell::Sensor, Cell::Dot11];
+        cells.extend(BURSTS.iter().map(|&b| Cell::Dual(b)));
+        SweepSpec {
+            hop,
+            rate_bps: rate_mode.bps(),
+            cells,
+            sender_counts: q.sender_counts(),
+            runs: q.runs(),
+            duration: q.duration(),
+        }
+    }
+
+    /// Expands the grid to jobs in deterministic (cell, senders, seed)
+    /// order.
+    pub fn jobs(&self) -> Vec<SweepJob> {
+        let mut jobs = Vec::with_capacity(self.cells.len() * self.sender_counts.len() * self.runs);
+        for &cell in &self.cells {
+            for &senders in &self.sender_counts {
+                for seed in 1..=self.runs as u64 {
+                    jobs.push(SweepJob {
+                        cell,
+                        senders,
+                        seed,
+                    });
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Builds one job's scenario through the validating builder.
+    pub fn scenario(&self, job: &SweepJob) -> Result<Scenario, SpecError> {
+        let (model, burst) = match job.cell {
+            Cell::Sensor => (ModelKind::Sensor, 10),
+            Cell::Dot11 => (ModelKind::Dot11, 10),
+            Cell::Dual(b) => (ModelKind::DualRadio, b),
+        };
+        let b = match self.hop {
+            Hop::Single => ScenarioBuilder::single_hop(model, job.senders, burst, job.seed),
+            Hop::Multi => ScenarioBuilder::multi_hop(model, job.senders, burst, job.seed),
+        };
+        b.rate_bps(self.rate_bps).duration(self.duration).build()
+    }
+
+    /// Expands, builds, runs and summarizes the whole grid. Fails fast if
+    /// any grid point is an invalid scenario (before burning any compute).
+    pub fn run(&self) -> Result<SweepData, SpecError> {
+        let jobs = self.jobs();
+        let scenarios = jobs
+            .iter()
+            .map(|j| self.scenario(j))
+            .collect::<Result<Vec<_>, _>>()?;
+        let stats = run_parallel(scenarios);
+        let mut grouped: HashMap<(Cell, usize), Vec<RunStats>> = HashMap::new();
+        for (job, stat) in jobs.into_iter().zip(stats) {
+            grouped
+                .entry((job.cell, job.senders))
+                .or_default()
+                .push(stat);
+        }
+        Ok(grouped
+            .into_iter()
+            .map(|(k, v)| (k, summarize(&v)))
+            .collect())
+    }
+}
+
+/// Runs (or recalls) the paper-grid sweep for `(hop, rate)` at the given
+/// quality.
 pub fn sweep(hop: Hop, rate_mode: RateMode, q: Quality) -> SweepData {
     static MEMO: Mutex<Option<SweepMemo>> = Mutex::new(None);
     {
@@ -187,28 +300,9 @@ pub fn sweep(hop: Hop, rate_mode: RateMode, q: Quality) -> SweepData {
             }
         }
     }
-    let rate = rate_mode.bps();
-    let mut cells: Vec<Cell> = vec![Cell::Sensor, Cell::Dot11];
-    cells.extend(BURSTS.iter().map(|&b| Cell::Dual(b)));
-    let mut keys = Vec::new();
-    let mut jobs = Vec::new();
-    for &cell in &cells {
-        for &n in &q.sender_counts() {
-            for seed in 0..q.runs() as u64 {
-                keys.push((cell, n));
-                jobs.push(build_scenario(hop, cell, n, seed + 1, q, rate));
-            }
-        }
-    }
-    let stats = run_parallel(jobs);
-    let mut grouped: HashMap<(Cell, usize), Vec<RunStats>> = HashMap::new();
-    for (key, stat) in keys.into_iter().zip(stats) {
-        grouped.entry(key).or_default().push(stat);
-    }
-    let data: SweepData = grouped
-        .into_iter()
-        .map(|(k, v)| (k, summarize(&v)))
-        .collect();
+    let data = SweepSpec::paper_grid(hop, rate_mode, q)
+        .run()
+        .expect("the paper grid is a valid sweep");
     let mut memo = MEMO.lock().expect("memo lock");
     memo.get_or_insert_with(HashMap::new)
         .insert((hop, rate_mode, q), data.clone());
@@ -317,6 +411,66 @@ mod tests {
         assert_eq!(Quality::Paper.duration(), SimDuration::from_secs(5000));
         assert_eq!(Quality::Paper.sender_counts().len(), 7);
         assert!(Quality::Quick.runs() < Quality::Paper.runs());
+    }
+
+    #[test]
+    fn worker_budget_divides_by_shards_instead_of_multiplying() {
+        // Unsharded: plain min(total, jobs).
+        assert_eq!(sweep_worker_budget(16, 32, 1), 16);
+        assert_eq!(sweep_worker_budget(16, 4, 1), 4);
+        // Sharded jobs: the sweep pool shrinks so workers × shards ≤ total.
+        assert_eq!(sweep_worker_budget(16, 32, 4), 4);
+        assert_eq!(sweep_worker_budget(16, 32, 8), 2);
+        // More shards than threads: still at least one worker.
+        assert_eq!(sweep_worker_budget(4, 32, 16), 1);
+        // Degenerate inputs never panic or return zero.
+        assert_eq!(sweep_worker_budget(0, 0, 0), 1);
+        assert_eq!(sweep_worker_budget(8, 1, 3), 1);
+    }
+
+    #[test]
+    fn sharded_jobs_shrink_the_sweep_pool_end_to_end() {
+        // Two sharded scenarios through run_parallel: budget 16 threads,
+        // shards 4 → at most 4 sweep workers each driving a 4-thread shard
+        // pool. The observable contract here is order-preserving results
+        // that match the sequential runs exactly.
+        let mk = |seed| {
+            Scenario::single_hop(ModelKind::Sensor, 3, 10, seed)
+                .with_duration(SimDuration::from_secs(30))
+                .with_shards(4)
+        };
+        let parallel = run_parallel(vec![mk(1), mk(2)]);
+        assert_eq!(parallel.len(), 2);
+        for (i, seed) in [1u64, 2].iter().enumerate() {
+            let solo = mk(*seed).run();
+            assert_eq!(parallel[i].events, solo.events, "seed {seed}");
+            assert_eq!(
+                parallel[i].metrics.delivered_packets,
+                solo.metrics.delivered_packets
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_spec_expands_the_full_grid_through_the_builder() {
+        let spec = SweepSpec::paper_grid(Hop::Multi, RateMode::Low, Quality::Test);
+        let jobs = spec.jobs();
+        assert_eq!(
+            jobs.len(),
+            spec.cells.len() * spec.sender_counts.len() * spec.runs
+        );
+        // Deterministic order: seeds innermost, starting at 1.
+        assert_eq!(jobs[0].seed, 1);
+        let s = spec.scenario(&jobs[0]).expect("valid grid point");
+        assert_eq!(s.rate_bps, 200.0);
+        assert_eq!(s.duration, Quality::Test.duration());
+        assert_eq!(s.high_profile.name, "Cabletron");
+        // An impossible grid point fails fast instead of panicking.
+        let bad = SweepSpec {
+            sender_counts: vec![36],
+            ..spec
+        };
+        assert!(bad.scenario(&bad.jobs()[0]).is_err());
     }
 
     #[test]

@@ -109,6 +109,7 @@ impl BatteryModel for IdealBattery {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct CapacityBattery {
+    mah: f64,
     q_rated_c: f64,
     v_full: f64,
     v_cutoff: f64,
@@ -135,6 +136,7 @@ impl CapacityBattery {
         let q_usable = q_rated_c * (v_full - v_cutoff) / (v_full - v_empty);
         let usable = Energy::from_joules(q_usable * (v_full + v_cutoff) / 2.0);
         CapacityBattery {
+            mah,
             q_rated_c,
             v_full,
             v_cutoff,
@@ -142,6 +144,28 @@ impl CapacityBattery {
             usable,
             drawn: Energy::ZERO,
         }
+    }
+
+    /// The rated charge in milliamp-hours (the exact `mah` this cell was
+    /// built from) — exposed so scenario files can round-trip the
+    /// chemistry bit-for-bit.
+    pub fn rated_mah(&self) -> f64 {
+        self.mah
+    }
+
+    /// Fresh terminal voltage.
+    pub fn v_full(&self) -> f64 {
+        self.v_full
+    }
+
+    /// Load cutoff voltage.
+    pub fn v_cutoff(&self) -> f64 {
+        self.v_cutoff
+    }
+
+    /// Fully-discharged voltage (the linear curve's endpoint).
+    pub fn v_empty(&self) -> f64 {
+        self.v_empty
     }
 
     /// Present terminal voltage under the linear discharge curve.
@@ -227,7 +251,7 @@ impl Battery {
         match self {
             Battery::Ideal(b) => Battery::ideal(b.capacity().scaled(k)),
             Battery::Capacity(b) => Battery::Capacity(CapacityBattery::from_mah(
-                b.q_rated_c / 3.6 * k,
+                b.mah * k,
                 b.v_full,
                 b.v_cutoff,
                 b.v_empty,

@@ -1,0 +1,80 @@
+//! Minimal JSON emission, shared by every crate that writes artifacts.
+//!
+//! The workspace is dependency-free, so machine-readable output is
+//! hand-rolled here once: string escaping per RFC 8259 and number
+//! formatting that round-trips `f64` exactly while mapping the
+//! non-finite values JSON cannot express to `null` (a simulator metric
+//! like J/Kbit is legitimately infinite when nothing was delivered).
+//!
+//! # Examples
+//!
+//! ```
+//! use bcp_sim::json::{escape, num};
+//!
+//! assert_eq!(escape("a\"b\n"), "\"a\\\"b\\n\"");
+//! assert_eq!(num(0.5), "0.5");
+//! assert_eq!(num(f64::INFINITY), "null");
+//! ```
+
+/// Quotes and escapes `s` as a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a number as a JSON value: the shortest representation that
+/// parses back to the same `f64`, or `null` for NaN/±∞.
+pub fn num(x: f64) -> String {
+    if x.is_finite() {
+        // Rust's {:?} for f64 is the shortest round-trip form; it always
+        // contains '.' or 'e', both of which JSON accepts.
+        format!("{x:?}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Formats an optional number (`None` → `null`).
+pub fn opt_num(x: Option<f64>) -> String {
+    x.map(num).unwrap_or_else(|| "null".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials_and_controls() {
+        assert_eq!(escape("plain"), "\"plain\"");
+        assert_eq!(escape("q\"b\\s"), "\"q\\\"b\\\\s\"");
+        assert_eq!(escape("\n\t\r"), "\"\\n\\t\\r\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+        assert_eq!(escape("útf-8 ∞"), "\"útf-8 ∞\"");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_nonfinite_are_null() {
+        for x in [0.0, -1.5, 2000.0, 0.1234567890123, 1e-12, 5e12] {
+            let s = num(x);
+            assert_eq!(s.parse::<f64>().unwrap(), x, "{s} round-trips");
+        }
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(f64::NEG_INFINITY), "null");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(opt_num(None), "null");
+        assert_eq!(opt_num(Some(1.0)), "1.0");
+    }
+}

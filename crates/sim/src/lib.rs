@@ -53,6 +53,7 @@
 pub mod conservative;
 pub mod engine;
 pub mod event;
+pub mod json;
 pub mod keyed;
 pub mod rng;
 pub mod stats;

@@ -3,9 +3,13 @@
 //! Assembles every substrate of the reproduction into full-node
 //! simulations of the paper's Section 4 evaluation:
 //!
-//! * [`scenario::Scenario`] — one run's parameterisation, with builders
+//! * [`scenario::Scenario`] — one run's parameterisation, with presets
 //!   for the paper's single-hop (Lucent 11 Mbps) and multi-hop (Cabletron)
 //!   grid scenarios.
+//! * [`spec::ScenarioBuilder`] — validated scenario construction (typed
+//!   [`spec::SpecError`]s instead of panics), plus the `.scn` text format
+//!   ([`spec::parse_spec`] / [`spec::emit_spec`]) so whole scenarios live
+//!   in version-controlled files.
 //! * [`scenario::ModelKind`] — the three compared stacks: `Sensor`,
 //!   `Dot11` and `DualRadio` (BCP).
 //! * [`world::World`] — the event-driven core binding radios, MACs,
@@ -48,8 +52,10 @@ mod power;
 mod routes;
 pub mod scenario;
 mod shard;
+pub mod spec;
 pub mod world;
 
 pub use metrics::{Metrics, NodePowerReport, RunStats};
 pub use scenario::{HighRoute, ModelKind, Scenario, WorkloadKind};
+pub use spec::{emit_spec, parse_spec, ScenarioBuilder, SpecError};
 pub use world::World;

@@ -247,6 +247,68 @@ impl RunStats {
         self
     }
 
+    /// Serialises the whole summary as a JSON object (hand-rolled, no
+    /// dependencies): the paper's three measures, the lifetime measures,
+    /// every raw counter, and the per-node power accounting. Non-finite
+    /// values (e.g. `j_per_kbit` of a run that delivered nothing) become
+    /// `null`.
+    pub fn to_json(&self) -> String {
+        use bcp_sim::json::{num, opt_num};
+        let m = &self.metrics;
+        let per_node = self
+            .per_node
+            .iter()
+            .map(|n| {
+                format!(
+                    "{{\"node\":{},\"ledger_j\":{},\"drawn_j\":{},\"capacity_j\":{},\
+                     \"residual_j\":{},\"died_at_s\":{}}}",
+                    n.node.0,
+                    num(n.ledger_j),
+                    opt_num(n.drawn_j),
+                    opt_num(n.capacity_j),
+                    opt_num(n.residual_j),
+                    opt_num(n.died_at_s),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"goodput\":{},\"energy_j\":{},\"j_per_kbit\":{},\"mean_delay_s\":{},\
+             \"energy_header_j\":{},\"j_per_kbit_header\":{},\
+             \"energy_overhear_full_j\":{},\"j_per_kbit_overhear_full\":{},\
+             \"events\":{},\"time_to_first_death_s\":{},\"time_to_partition_s\":{},\
+             \"delivered_before_first_death\":{},\"metrics\":{{\
+             \"generated_packets\":{},\"generated_bits\":{},\"delivered_packets\":{},\
+             \"delivered_bits\":{},\"drops_buffer\":{},\"drops_mac\":{},\
+             \"residual_packets\":{},\"handshakes\":{},\"radio_wakeups\":{},\
+             \"collisions\":{},\"node_deaths\":{}}},\"per_node\":[{}]}}",
+            num(self.goodput),
+            num(self.energy_j),
+            num(self.j_per_kbit),
+            num(self.mean_delay_s),
+            num(self.energy_header_j),
+            num(self.j_per_kbit_header),
+            num(self.energy_overhear_full_j),
+            num(self.j_per_kbit_overhear_full),
+            self.events,
+            opt_num(self.time_to_first_death_s),
+            opt_num(self.time_to_partition_s),
+            self.delivered_before_first_death,
+            m.generated_packets,
+            m.generated_bits,
+            m.delivered_packets,
+            m.delivered_bits,
+            m.drops_buffer,
+            m.drops_mac,
+            m.residual_packets,
+            m.handshakes,
+            m.radio_wakeups,
+            m.collisions,
+            m.node_deaths,
+            per_node,
+        )
+    }
+
     /// Fraction of the packets generated before the first death that also
     /// reached the sink before it — packet goodput restricted to the
     /// all-alive prefix of the run (equals plain packet goodput when
@@ -325,6 +387,34 @@ mod tests {
         let rs = RunStats::new(m, Energy::from_joules(2.56), Energy::from_joules(5.12), 0);
         assert!((rs.j_per_kbit - 0.1).abs() < 1e-12);
         assert!((rs.j_per_kbit_header - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_json_is_wellformed_and_nulls_nonfinite() {
+        let mut m = Metrics::default();
+        let p = pkt(0, 0);
+        m.on_generated(&p, true);
+        let rs = RunStats::new(m, Energy::from_joules(1.0), Energy::ZERO, 42).with_per_node(vec![
+            NodePowerReport {
+                node: NodeId(0),
+                ledger_j: 0.5,
+                drawn_j: Some(0.5),
+                capacity_j: Some(2.0),
+                residual_j: Some(1.5),
+                died_at_s: None,
+            },
+        ]);
+        let j = rs.to_json();
+        // Nothing delivered: J/Kbit is ∞ → null in JSON.
+        assert!(j.contains("\"j_per_kbit\":null"), "{j}");
+        assert!(j.contains("\"generated_packets\":1"));
+        assert!(j.contains("\"events\":42"));
+        assert!(j.contains("\"died_at_s\":null"));
+        assert!(j.contains("\"capacity_j\":2.0"));
+        // Balanced braces/brackets, no trailing commas before closers.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!j.contains(",}") && !j.contains(",]"), "{j}");
     }
 
     #[test]

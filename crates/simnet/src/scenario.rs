@@ -6,7 +6,7 @@ use bcp_net::loss::LossModel;
 use bcp_net::routing::RouteWeight;
 use bcp_net::topo::Topology;
 use bcp_power::{Battery, PowerConfig};
-use bcp_radio::profile::{cabletron, lucent_11m, micaz, RadioProfile};
+use bcp_radio::profile::RadioProfile;
 use bcp_sim::rng::Rng;
 use bcp_sim::time::{SimDuration, SimTime};
 use bcp_traffic::Workload;
@@ -60,7 +60,13 @@ pub enum WorkloadKind {
 }
 
 /// Full parameterisation of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// Prefer constructing scenarios through the validating
+/// [`ScenarioBuilder`](crate::spec::ScenarioBuilder) (or a `.scn` file via
+/// [`parse_spec`](crate::spec::parse_spec)); the `with_*` setters below
+/// mutate without validation and exist for backwards compatibility and
+/// tests that deliberately build broken configurations.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Which stack the nodes run.
     pub model: ModelKind,
@@ -152,59 +158,43 @@ impl Scenario {
     }
 
     /// The paper's **single-hop** scenario: Lucent 11 Mbps (range reduced
-    /// to the sensor radio's 40 m), MicaZ, grid, 2 Kbps senders.
+    /// to the sensor radio's 40 m), MicaZ, grid, 2 Kbps senders. A thin
+    /// preset over [`ScenarioBuilder`](crate::spec::ScenarioBuilder) —
+    /// the builder's defaults (link latencies of a fifth of a CSMA/802.11
+    /// slot, 5 ms off-linger, unlimited power) are the paper's setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_senders` is zero or exceeds the grid's 35 non-sink
+    /// nodes (go through the builder for a `Result` instead).
     pub fn single_hop(
         model: ModelKind,
         n_senders: usize,
         burst_packets: usize,
         seed: u64,
     ) -> Scenario {
-        let (topo, sink) = Self::paper_grid();
-        let senders = Self::pick_senders(&topo, sink, n_senders);
-        Scenario {
-            model,
-            topo,
-            sink,
-            senders,
-            low_profile: micaz(),
-            high_profile: lucent_11m(),
-            rate_bps: 2_000.0,
-            workload: WorkloadKind::Cbr,
-            packet_bytes: 32,
-            duration: SimDuration::from_secs(5_000),
-            bcp: BcpConfig::paper_defaults().with_burst_packets(burst_packets, 32),
-            loss_low: LossModel::Perfect,
-            loss_high: LossModel::Perfect,
-            high_route: HighRoute::Tree,
-            off_linger: SimDuration::from_millis(5),
-            traffic_cutoff: None,
-            flush_at_cutoff: false,
-            power: PowerConfig::unlimited(),
-            route_weight: RouteWeight::ShortestHop,
-            shards: 1,
-            // One fifth of a CSMA slot (320 µs) and of an 802.11 slot
-            // (20 µs): small against every MAC timing (the ACK timeout
-            // carries two slots of slack, and a round trip costs two link
-            // latencies), large enough to batch events per conservative
-            // window.
-            link_latency_low: SimDuration::from_micros(64),
-            link_latency_high: SimDuration::from_micros(4),
-            seed,
-        }
+        crate::spec::ScenarioBuilder::single_hop(model, n_senders, burst_packets, seed)
+            .build()
+            .expect("the paper's single-hop preset is a valid scenario")
     }
 
     /// The paper's **multi-hop** scenario: Cabletron reaches the central
     /// sink in one hop while the sensor radio needs several; 2 Kbps default
     /// (0.2 Kbps via [`with_rate`](Self::with_rate)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_senders` is zero or exceeds the grid's 35 non-sink
+    /// nodes.
     pub fn multi_hop(
         model: ModelKind,
         n_senders: usize,
         burst_packets: usize,
         seed: u64,
     ) -> Scenario {
-        let mut s = Self::single_hop(model, n_senders, burst_packets, seed);
-        s.high_profile = cabletron();
-        s
+        crate::spec::ScenarioBuilder::multi_hop(model, n_senders, burst_packets, seed)
+            .build()
+            .expect("the paper's multi-hop preset is a valid scenario")
     }
 
     /// Overrides the per-sender rate (builder style).

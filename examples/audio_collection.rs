@@ -11,7 +11,7 @@
 //! ```
 
 use bcp::sim::time::SimDuration;
-use bcp::simnet::{ModelKind, Scenario, WorkloadKind};
+use bcp::simnet::{ModelKind, ScenarioBuilder, WorkloadKind};
 
 fn main() {
     let audio = WorkloadKind::BurstyAudio {
@@ -25,10 +25,12 @@ fn main() {
     );
     for (label, workload) in [("steady CBR", WorkloadKind::Cbr), ("audio", audio)] {
         for burst in [100, 500, 1000] {
-            let stats = Scenario::multi_hop(ModelKind::DualRadio, 8, burst, 11)
-                .with_rate(4_000.0)
-                .with_workload(workload)
-                .with_duration(SimDuration::from_secs(600))
+            let stats = ScenarioBuilder::multi_hop(ModelKind::DualRadio, 8, burst, 11)
+                .rate_bps(4_000.0)
+                .workload(workload)
+                .duration(SimDuration::from_secs(600))
+                .build()
+                .expect("valid scenario")
                 .run();
             println!(
                 "{:>12} {:>10} {:>9.3} {:>12.4} {:>12.2}",

@@ -11,7 +11,7 @@
 //! ```
 
 use bcp::sim::time::SimDuration;
-use bcp::simnet::{ModelKind, Scenario};
+use bcp::simnet::{ModelKind, ScenarioBuilder};
 
 fn main() {
     let senders = 15;
@@ -24,18 +24,22 @@ fn main() {
         "burst (pkts)", "goodput", "J/Kbit", "delay (s)", "wakeups"
     );
     for burst in [10, 50, 100, 500, 1000] {
-        let stats = Scenario::multi_hop(ModelKind::DualRadio, senders, burst, 3)
-            .with_rate(200.0)
-            .with_duration(duration)
+        let stats = ScenarioBuilder::multi_hop(ModelKind::DualRadio, senders, burst, 3)
+            .rate_bps(200.0)
+            .duration(duration)
+            .build()
+            .expect("valid scenario")
             .run();
         println!(
             "{:>14} {:>9.3} {:>12.4} {:>12.1} {:>10}",
             burst, stats.goodput, stats.j_per_kbit, stats.mean_delay_s, stats.metrics.radio_wakeups
         );
     }
-    let sensor = Scenario::multi_hop(ModelKind::Sensor, senders, 10, 3)
-        .with_rate(200.0)
-        .with_duration(duration)
+    let sensor = ScenarioBuilder::multi_hop(ModelKind::Sensor, senders, 10, 3)
+        .rate_bps(200.0)
+        .duration(duration)
+        .build()
+        .expect("valid scenario")
         .run();
     println!(
         "{:>14} {:>9.3} {:>12.4} {:>12.1} {:>10}",

@@ -17,7 +17,7 @@ use bcp::core::adaptive::AdaptiveThreshold;
 use bcp::net::loss::LossModel;
 use bcp::radio::profile::{lucent_11m, micaz};
 use bcp::sim::time::SimDuration;
-use bcp::simnet::{ModelKind, Scenario};
+use bcp::simnet::{ModelKind, ScenarioBuilder};
 
 fn main() {
     println!("BCP on the paper grid, 10 senders, burst 500, worsening 802.11 channel\n");
@@ -35,9 +35,11 @@ fn main() {
         ),
     ];
     for (label, loss) in channels {
-        let stats = Scenario::single_hop(ModelKind::DualRadio, 10, 500, 5)
-            .with_duration(SimDuration::from_secs(400))
-            .with_loss(LossModel::Perfect, loss)
+        let stats = ScenarioBuilder::single_hop(ModelKind::DualRadio, 10, 500, 5)
+            .duration(SimDuration::from_secs(400))
+            .loss(LossModel::Perfect, loss)
+            .build()
+            .expect("valid scenario")
             .run();
         println!(
             "{:>22} {:>9.3} {:>12.4} {:>12.1} {:>10}",

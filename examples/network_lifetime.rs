@@ -9,18 +9,20 @@
 //! of simulated time, so the pack is scaled down 2000× for a minutes-scale
 //! run; the final column extrapolates the deaths back to full AA packs.
 
-use bcp::power::{Battery, BatteryModel, PowerConfig};
+use bcp::power::{Battery, BatteryModel};
 use bcp::sim::time::SimDuration;
-use bcp::simnet::{ModelKind, RunStats, Scenario};
+use bcp::simnet::{ModelKind, RunStats, ScenarioBuilder};
 
 /// How much smaller than real AA packs the simulated batteries are.
 const SCALE: f64 = 2000.0;
 
 fn run(model: ModelKind, burst: usize) -> RunStats {
-    let mut s =
-        Scenario::single_hop(model, 10, burst, 1).with_duration(SimDuration::from_secs(600));
-    s.power = PowerConfig::with_battery(Battery::aa_pair().scaled(1.0 / SCALE));
-    s.run()
+    ScenarioBuilder::single_hop(model, 10, burst, 1)
+        .duration(SimDuration::from_secs(600))
+        .battery(Battery::aa_pair().scaled(1.0 / SCALE))
+        .build()
+        .expect("valid scenario")
+        .run()
 }
 
 fn main() {

@@ -7,7 +7,7 @@
 use bcp::analysis::DualRadioLink;
 use bcp::radio::profile::{lucent_11m, micaz};
 use bcp::sim::time::SimDuration;
-use bcp::simnet::{ModelKind, Scenario};
+use bcp::simnet::{emit_spec, ModelKind, ScenarioBuilder};
 
 fn main() {
     // ── 1. The analysis: when does the 802.11 radio start paying off? ──
@@ -27,19 +27,37 @@ fn main() {
     );
 
     // ── 2. The protocol in action on the paper's 6×6 grid. ──
+    // Scenarios are data: the validating builder catches misconfiguration
+    // (bad sink, burst > buffer, zero latencies, …) before any compute.
     println!("\nsimulating 10 senders on the paper grid (300 s)...");
     for (name, model) in [
         ("sensor-only ", ModelKind::Sensor),
         ("802.11-only ", ModelKind::Dot11),
         ("BCP dual    ", ModelKind::DualRadio),
     ] {
-        let stats = Scenario::single_hop(model, 10, 500, 1)
-            .with_duration(SimDuration::from_secs(300))
-            .run();
+        let scenario = ScenarioBuilder::single_hop(model, 10, 500, 1)
+            .duration(SimDuration::from_secs(300))
+            .build()
+            .expect("a valid scenario");
+        let stats = scenario.run();
         println!(
             "{name}  goodput {:.3}   energy {:>8.2} J   {:.4} J/Kbit   delay {:>6.2} s",
             stats.goodput, stats.energy_j, stats.j_per_kbit, stats.mean_delay_s
         );
     }
+
+    // ── 3. Any scenario round-trips through the .scn text format. ──
+    let scenario = ScenarioBuilder::single_hop(ModelKind::DualRadio, 10, 500, 1)
+        .build()
+        .expect("valid");
+    let text = emit_spec(&scenario).expect("expressible");
+    println!(
+        "\nthe dual-radio scenario as a .scn file ({} lines — try `repro run examples/specs/single_hop.scn`):\n",
+        text.lines().count()
+    );
+    for line in text.lines().take(6) {
+        println!("    {line}");
+    }
+    println!("    ...");
     println!("\nBCP buys energy with buffering delay — exactly the paper's trade.");
 }
