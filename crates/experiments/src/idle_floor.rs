@@ -1,0 +1,194 @@
+//! The `idle_floor` experiment: how far low-power listening pushes the
+//! low radio's idle tax toward the `p_sleep` doze floor — and where the
+//! listen/sleep trade flips.
+//!
+//! The paper's Table 1 prices MicaZ listening at 59.1 mW against a
+//! 0.06 mW doze; an always-on low radio therefore spends three orders of
+//! magnitude more on *hearing nothing* than a duty-cycled one. But LPL
+//! is not free: senders stretch a wake-up preamble of one full wake
+//! interval in front of every frame, and every audible preamble keeps
+//! sampled receivers awake. The sweep crosses the duty cycle against the
+//! offered load to expose both regimes:
+//!
+//! * **Monitoring loads** (tens of bps): the channel is almost always
+//!   silent, so the listening floor collapses with the duty cycle —
+//!   LPL wins outright.
+//! * **Paper loads** (2 kbps per sender): long preambles occupy the
+//!   channel, carrier activity defeats the dozing, collisions force
+//!   retries — the floor barely moves while the transfer cost balloons.
+
+use crate::output::Output;
+use crate::registry::RunCtx;
+use crate::suite::{run_parallel, Quality};
+use bcp_sim::stats::Series;
+use bcp_sim::time::SimDuration;
+use bcp_simnet::{ModelKind, Scenario, ScenarioBuilder, SleepSchedule};
+
+/// The duty-cycle axis: always-on plus LPL schedules with a fixed 10 ms
+/// channel sample and growing wake intervals.
+pub fn schedules(q: Quality) -> Vec<SleepSchedule> {
+    let sample = SimDuration::from_millis(10);
+    let intervals_ms: &[u64] = match q {
+        Quality::Test => &[100, 1000],
+        _ => &[50, 100, 400, 1000],
+    };
+    let mut v = vec![SleepSchedule::AlwaysOn];
+    v.extend(
+        intervals_ms
+            .iter()
+            .map(|&ms| SleepSchedule::lpl(SimDuration::from_millis(ms), sample)),
+    );
+    v
+}
+
+fn duration(q: Quality) -> SimDuration {
+    match q {
+        Quality::Test => SimDuration::from_secs(60),
+        Quality::Quick => SimDuration::from_secs(300),
+        Quality::PaperLite | Quality::Paper => SimDuration::from_secs(600),
+    }
+}
+
+/// One cell of the sweep: the paper's sensor-model grid, all traffic
+/// trickling hop-by-hop over the (possibly duty-cycled) low radio.
+fn scenario(rate_bps: f64, schedule: SleepSchedule, dur: SimDuration) -> Scenario {
+    ScenarioBuilder::single_hop(ModelKind::Sensor, 5, 10, 1)
+        .rate_bps(rate_bps)
+        .duration(dur)
+        .low_sleep(schedule)
+        .build()
+        .expect("the idle_floor grid is valid")
+}
+
+/// The registered `idle_floor` experiment.
+pub fn idle_floor(ctx: &RunCtx) -> Output {
+    let q = ctx.quality;
+    let dur = duration(q);
+    let scheds = schedules(q);
+    let rates: [f64; 2] = [50.0, 2_000.0];
+    let mut series = Vec::new();
+    for &rate in &rates {
+        let jobs: Vec<Scenario> = scheds.iter().map(|&s| scenario(rate, s, dur)).collect();
+        let stats = run_parallel(jobs);
+        let mut floor = Series::new(format!("floor {rate:.0}bps"));
+        let mut total = Series::new(format!("total {rate:.0}bps"));
+        for (sched, st) in scheds.iter().zip(&stats) {
+            let duty = sched.duty_cycle();
+            floor.push(duty, st.energy_low_idle_j + st.energy_low_sleep_j);
+            total.push(duty, st.per_node.iter().map(|n| n.ledger_j).sum());
+        }
+        series.push(floor);
+        series.push(total);
+    }
+    Output::Figure {
+        xlabel: "duty_cycle".into(),
+        ylabel: "Low-radio energy (J)".into(),
+        series,
+        notes: vec![
+            format!(
+                "sensor model, 5 senders, {} s simulated; 10 ms channel samples",
+                dur.as_secs_f64()
+            ),
+            "`floor` = network idle + doze energy (the listening tax LPL shrinks); \
+             `total` = every metered joule incl. the wake-up preambles LPL adds"
+                .into(),
+            "monitoring loads ride the floor down; paper loads keep the channel \
+             busy and pay for every stretched preamble — the listen/sleep crossover"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_axis_is_ordered_and_valid() {
+        let scheds = schedules(Quality::Quick);
+        assert_eq!(scheds[0], SleepSchedule::AlwaysOn);
+        let duties: Vec<f64> = scheds.iter().map(|s| s.duty_cycle()).collect();
+        assert!(
+            duties.windows(2).all(|w| w[0] > w[1]),
+            "duty cycles strictly shrink along the axis: {duties:?}"
+        );
+        // Every generated schedule passes the builder's validation.
+        for s in scheds {
+            scenario(50.0, s, SimDuration::from_secs(1));
+        }
+    }
+
+    /// Points of `label`, with the always-on (duty 1.0) point split off.
+    fn split(series: &[Series], label: &str) -> (f64, Vec<f64>) {
+        let s = series
+            .iter()
+            .find(|s| s.label() == label)
+            .unwrap_or_else(|| panic!("{label} missing"));
+        let always = s.y_at(1.0).expect("always-on point present");
+        let lpl: Vec<f64> = s
+            .points()
+            .iter()
+            .filter(|(x, _, _)| *x < 1.0)
+            .map(|&(_, y, _)| y)
+            .collect();
+        assert!(!lpl.is_empty(), "{label}: LPL points present");
+        (always, lpl)
+    }
+
+    #[test]
+    fn idle_energy_drops_toward_the_sleep_floor_at_monitoring_loads() {
+        let out = idle_floor(&RunCtx::new(Quality::Test));
+        let Output::Figure { series, .. } = &out else {
+            panic!("idle_floor renders a figure");
+        };
+        let (always_floor, lpl_floors) = split(series, "floor 50bps");
+        // Every LPL schedule beats always-on listening, and the best one
+        // cuts the idle tax by most of an order of magnitude.
+        assert!(
+            lpl_floors.iter().all(|&y| y < always_floor),
+            "duty cycling always shrinks the floor: {lpl_floors:?} vs {always_floor}"
+        );
+        let best = lpl_floors.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            best < always_floor * 0.15,
+            "LPL collapses the idle tax: {best} vs {always_floor}"
+        );
+        // The floor shrinks toward, but never below, every node dozing at
+        // p_sleep for the whole run.
+        let p = bcp_radio::profile::micaz();
+        let hard_floor = p.p_sleep.as_watts() * 60.0 * 36.0;
+        assert!(best > hard_floor, "{best} vs hard floor {hard_floor}");
+        // …and the saving is real end to end, preambles included.
+        let (always_total, lpl_totals) = split(series, "total 50bps");
+        let best_total = lpl_totals.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            best_total < always_total * 0.25,
+            "monitoring loads ride the floor down: {best_total} vs {always_total}"
+        );
+    }
+
+    #[test]
+    fn heavy_load_defeats_duty_cycling() {
+        let out = idle_floor(&RunCtx::new(Quality::Test));
+        let Output::Figure { series, .. } = &out else {
+            panic!("idle_floor renders a figure");
+        };
+        // The crossover: at monitoring loads the best LPL schedule keeps a
+        // small fraction of the always-on bill; at the paper's 2 kbps the
+        // stretched preambles occupy the channel, keep samplers awake and
+        // claw most of the saving back.
+        let (quiet_always, quiet_lpl) = split(series, "total 50bps");
+        let (busy_always, busy_lpl) = split(series, "total 2000bps");
+        let quiet_ratio = quiet_lpl.iter().cloned().fold(f64::INFINITY, f64::min) / quiet_always;
+        let busy_ratio = busy_lpl.iter().cloned().fold(f64::INFINITY, f64::min) / busy_always;
+        assert!(
+            quiet_ratio < 0.25,
+            "monitoring loads keep the saving: ratio {quiet_ratio}"
+        );
+        assert!(
+            busy_ratio > 0.45,
+            "paper loads lose most of it: ratio {busy_ratio}"
+        );
+        assert!(busy_ratio > quiet_ratio * 2.0, "the trade flips with load");
+    }
+}

@@ -145,6 +145,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Scale — events/sec vs node count × shard count (multi-core single run)",
             run: crate::scale::scale,
         },
+        Experiment {
+            id: "idle_floor",
+            title: "Idle floor — LPL duty cycle × send rate (the listen/sleep crossover)",
+            run: crate::idle_floor::idle_floor,
+        },
     ]
 }
 
@@ -323,6 +328,10 @@ mod tests {
             "ablations registered"
         );
         assert!(ids.contains(&"lifetime"), "lifetime experiment registered");
+        assert!(
+            ids.contains(&"idle_floor"),
+            "idle_floor experiment registered"
+        );
     }
 
     #[test]

@@ -52,6 +52,11 @@ pub struct MacConfig {
     pub immediate_first_tx: bool,
     /// Transmit queue capacity in frames.
     pub queue_cap: usize,
+    /// Low-power-listening wake-up preamble stretched in front of every
+    /// *data* frame (zero when the peers listen continuously). Link ACKs
+    /// are never stretched: the ACK's recipient has just finished
+    /// transmitting and is provably awake.
+    pub wakeup_preamble: SimDuration,
 }
 
 impl MacConfig {
@@ -72,6 +77,7 @@ impl MacConfig {
             ack_airtime: profile.control_airtime(ack_bytes),
             immediate_first_tx: true,
             queue_cap: 64,
+            wakeup_preamble: SimDuration::ZERO,
         }
     }
 
@@ -92,6 +98,7 @@ impl MacConfig {
             ack_airtime: profile.control_airtime(ack_bytes),
             immediate_first_tx: false,
             queue_cap: 32,
+            wakeup_preamble: SimDuration::ZERO,
         }
     }
 
@@ -113,9 +120,39 @@ impl MacConfig {
         self
     }
 
+    /// Returns a copy with an LPL wake-up preamble stretched in front of
+    /// every data frame (see [`SleepSchedule`](crate::sleep::SleepSchedule)).
+    ///
+    /// The backoff slot is scaled up to an eighth of the preamble
+    /// (B-MAC-style congestion backoff): with preamble-long frames the
+    /// vulnerable window is the preamble itself, and a backoff window
+    /// much shorter than it would leave two colliding hidden senders
+    /// retrying in lock-step — every attempt recolliding — until both
+    /// exhaust their retry budgets.
+    pub fn with_wakeup_preamble(mut self, preamble: SimDuration) -> Self {
+        self.wakeup_preamble = preamble;
+        self.slot = self.slot.max(preamble / 8);
+        self
+    }
+
     /// The ACK timeout: SIFS + ACK airtime + two slots of slack.
+    ///
+    /// The preamble stretch itself does not enter — the timeout is armed
+    /// at the end of our (stretched) transmission, and the peer's ACK,
+    /// never stretched, follows one SIFS later regardless — but an
+    /// LPL-scaled slot widens the slack term along with the backoff.
     pub fn ack_timeout(&self) -> SimDuration {
         self.sifs + self.ack_airtime + self.slot * 2
+    }
+
+    /// Total airtime of a data frame carrying `payload` bytes under this
+    /// config: the radio's framing plus the LPL wake-up preamble.
+    pub fn data_airtime(
+        &self,
+        profile: &bcp_radio::profile::RadioProfile,
+        payload: usize,
+    ) -> SimDuration {
+        profile.frame_airtime(payload) + self.wakeup_preamble
     }
 }
 
@@ -897,6 +934,49 @@ mod tests {
         let cfg = MacConfig::dot11b(&lucent_11m());
         assert!(cfg.ack_timeout() > cfg.sifs + cfg.ack_airtime);
         assert!(cfg.ack_timeout() < SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn wakeup_preamble_stretches_data_but_not_acks() {
+        let p = micaz();
+        let plain = MacConfig::sensor_csma(&p);
+        let stretch = SimDuration::from_millis(100);
+        let lpl = plain.clone().with_wakeup_preamble(stretch);
+        assert_eq!(plain.wakeup_preamble, SimDuration::ZERO);
+        assert_eq!(
+            lpl.data_airtime(&p, 32),
+            p.frame_airtime(32) + stretch,
+            "data frames pay the preamble"
+        );
+        assert_eq!(
+            plain.data_airtime(&p, 32),
+            p.frame_airtime(32),
+            "always-on airtime is bit-identical to the profile's"
+        );
+        // ACKs are never stretched.
+        assert_eq!(lpl.ack_airtime, plain.ack_airtime);
+    }
+
+    #[test]
+    fn lpl_scales_the_congestion_backoff_with_the_preamble() {
+        let p = micaz();
+        let plain = MacConfig::sensor_csma(&p);
+        // With preamble-long frames the vulnerable window is the preamble;
+        // a backoff window much shorter than it leaves colliding hidden
+        // senders retrying in lock-step, so the slot scales to an eighth.
+        let lpl = plain
+            .clone()
+            .with_wakeup_preamble(SimDuration::from_millis(100));
+        assert_eq!(lpl.slot, SimDuration::from_micros(12_500));
+        // A preamble shorter than 8 slots leaves the timing untouched —
+        // and a zero preamble (always-on) changes nothing at all.
+        let short = plain
+            .clone()
+            .with_wakeup_preamble(SimDuration::from_micros(800));
+        assert_eq!(short.slot, plain.slot);
+        let off = plain.clone().with_wakeup_preamble(SimDuration::ZERO);
+        assert_eq!(off.slot, plain.slot);
+        assert_eq!(off.ack_timeout(), plain.ack_timeout());
     }
 }
 

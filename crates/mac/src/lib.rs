@@ -40,7 +40,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod csma;
+pub mod sleep;
 pub mod types;
 
 pub use csma::{CsmaMac, MacConfig};
+pub use sleep::SleepSchedule;
 pub use types::{FrameId, FrameKind, MacAction, MacAddr, MacEvent, MacFrame, MacStats, MacTimer};

@@ -7,11 +7,14 @@
 //! ```text
 //!          begin_wakeup          complete_wakeup
 //!   Off ────────────────▶ WakingUp ─────────────▶ Idle ◀──┐
-//!    ▲                                            │ ▲ │   │
+//!    ▲      (also from Sleeping)                  │ ▲ │   │
 //!    │ turn_off                           start_tx│ │ │start_rx
 //!    └──────────── Idle/Sleeping                  ▼ │ ▼   │
 //!                                       Transmitting │ Receiving
-//!                                            end_tx ─┘ end_rx
+//!                       sleep                end_tx ─┘ end_rx
+//!             Idle ────────────▶ Sleeping
+//!                  ◀────────────
+//!                       resume
 //! ```
 //!
 //! Illegal transitions are *model bugs*, so they panic with a description of
@@ -218,6 +221,19 @@ impl Radio {
         self.move_to(t, RadioState::Sleeping);
     }
 
+    /// Resumes from doze directly to `Idle`. Unlike the off→on transition
+    /// ([`begin_wakeup`](Self::begin_wakeup)), doze keeps the oscillator
+    /// running, so resuming is effectively instantaneous and free — this
+    /// is what makes low-power listening's frequent channel samples cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the radio is `Sleeping`.
+    pub fn resume(&mut self, t: SimTime) {
+        self.expect_state(&[RadioState::Sleeping], "resume");
+        self.move_to(t, RadioState::Idle);
+    }
+
     /// Powers the radio down (instant and free, per the paper: "the cost of
     /// switching off is negligible").
     ///
@@ -397,5 +413,199 @@ mod tests {
         r.charge_overhear(Energy::from_microjoules(10.0));
         let rep = r.report(SimTime::ZERO);
         assert!((rep.of(EnergyBucket::Overhear).as_microjoules() - 10.0).abs() < 1e-9);
+    }
+}
+
+/// Exhaustive coverage of the state diagram in the module docs: every
+/// legal edge (including `Sleeping` ⇄ `Idle`), every `can_*` query in
+/// every state, and panic coverage for illegal moves.
+#[cfg(test)]
+mod transition_tests {
+    use super::*;
+    use crate::profile::{lucent_11m, micaz};
+
+    /// Builds a radio parked in `state`, reached through legal edges only.
+    fn radio_in(state: RadioState) -> Radio {
+        let mut r = Radio::new(micaz(), RadioState::Off, SimTime::ZERO);
+        let t = SimTime::from_millis(1);
+        match state {
+            RadioState::Off => {}
+            RadioState::WakingUp => {
+                r.begin_wakeup(t);
+            }
+            RadioState::Idle => {
+                let d = r.begin_wakeup(t);
+                r.complete_wakeup(t + d);
+            }
+            RadioState::Sleeping => {
+                let d = r.begin_wakeup(t);
+                r.complete_wakeup(t + d);
+                r.sleep(t + d);
+            }
+            RadioState::Receiving => {
+                let d = r.begin_wakeup(t);
+                r.complete_wakeup(t + d);
+                r.start_rx(t + d);
+            }
+            RadioState::Transmitting => {
+                let d = r.begin_wakeup(t);
+                r.complete_wakeup(t + d);
+                r.start_tx(t + d);
+            }
+        }
+        assert_eq!(r.state(), state, "harness reached the requested state");
+        r
+    }
+
+    const ALL: [RadioState; 6] = [
+        RadioState::Off,
+        RadioState::Sleeping,
+        RadioState::Idle,
+        RadioState::Receiving,
+        RadioState::Transmitting,
+        RadioState::WakingUp,
+    ];
+
+    #[test]
+    fn every_legal_edge_of_the_diagram() {
+        let t = SimTime::from_secs(1);
+        // Off → WakingUp → Idle.
+        let mut r = radio_in(RadioState::Off);
+        r.begin_wakeup(t);
+        assert_eq!(r.state(), RadioState::WakingUp);
+        r.complete_wakeup(t);
+        assert_eq!(r.state(), RadioState::Idle);
+        // Idle → Transmitting → Idle.
+        r.start_tx(t);
+        assert_eq!(r.state(), RadioState::Transmitting);
+        r.end_tx(t);
+        assert_eq!(r.state(), RadioState::Idle);
+        // Idle → Receiving → Idle, for every outcome.
+        for outcome in [
+            RxOutcome::Delivered,
+            RxOutcome::Overheard,
+            RxOutcome::Corrupted,
+        ] {
+            r.start_rx(t);
+            assert_eq!(r.state(), RadioState::Receiving);
+            r.end_rx(t, outcome);
+            assert_eq!(r.state(), RadioState::Idle);
+        }
+        // Idle → Sleeping → Idle (the LPL doze/resume pair).
+        r.sleep(t);
+        assert_eq!(r.state(), RadioState::Sleeping);
+        r.resume(t);
+        assert_eq!(r.state(), RadioState::Idle);
+        // Sleeping → WakingUp (a full wake-up from doze is also legal).
+        r.sleep(t);
+        r.begin_wakeup(t);
+        assert_eq!(r.state(), RadioState::WakingUp);
+        r.complete_wakeup(t);
+        // Idle → Off and Sleeping → Off.
+        r.turn_off(t);
+        assert_eq!(r.state(), RadioState::Off);
+        let mut s = radio_in(RadioState::Sleeping);
+        s.turn_off(t);
+        assert_eq!(s.state(), RadioState::Off);
+    }
+
+    #[test]
+    fn force_off_is_legal_from_every_state() {
+        for state in ALL {
+            let mut r = radio_in(state);
+            r.force_off(SimTime::from_secs(2));
+            assert_eq!(r.state(), RadioState::Off, "force_off from {state:?}");
+            assert_eq!(r.current_draw(), Power::ZERO);
+        }
+    }
+
+    #[test]
+    fn can_queries_in_every_state() {
+        for state in ALL {
+            let r = radio_in(state);
+            assert_eq!(r.can_tx(), state == RadioState::Idle, "can_tx in {state:?}");
+            assert_eq!(
+                r.can_hear(),
+                state == RadioState::Idle,
+                "can_hear in {state:?}"
+            );
+            assert_eq!(
+                r.is_on(),
+                !matches!(state, RadioState::Off | RadioState::WakingUp),
+                "is_on in {state:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn current_draw_matches_profile_in_every_state() {
+        let p = lucent_11m();
+        for (state, want) in [
+            (RadioState::Off, Power::ZERO),
+            (RadioState::WakingUp, Power::ZERO),
+            (RadioState::Sleeping, p.p_sleep),
+            (RadioState::Idle, p.p_idle),
+            (RadioState::Receiving, p.p_rx),
+            (RadioState::Transmitting, p.p_tx),
+        ] {
+            let r = Radio::new(p.clone(), state, SimTime::ZERO);
+            assert_eq!(r.current_draw(), want, "draw in {state:?}");
+        }
+    }
+
+    #[test]
+    fn resume_is_instant_and_free() {
+        let mut r = radio_in(RadioState::Sleeping);
+        let t = SimTime::from_secs(5);
+        let before = r.report(t).of(EnergyBucket::Wakeup);
+        r.resume(t);
+        assert_eq!(r.state(), RadioState::Idle);
+        assert_eq!(
+            r.report(t).of(EnergyBucket::Wakeup),
+            before,
+            "no wake-up lump on doze resume"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot resume")]
+    fn resume_while_idle_panics() {
+        radio_in(RadioState::Idle).resume(SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sleep")]
+    fn sleep_while_off_panics() {
+        radio_in(RadioState::Off).sleep(SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sleep")]
+    fn sleep_while_receiving_panics() {
+        radio_in(RadioState::Receiving).sleep(SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot turn off")]
+    fn turn_off_mid_transmission_panics() {
+        radio_in(RadioState::Transmitting).turn_off(SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot start rx")]
+    fn start_rx_while_sleeping_panics() {
+        radio_in(RadioState::Sleeping).start_rx(SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot end tx")]
+    fn end_tx_without_start_panics() {
+        radio_in(RadioState::Idle).end_tx(SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot complete wakeup")]
+    fn complete_wakeup_from_sleep_panics() {
+        radio_in(RadioState::Sleeping).complete_wakeup(SimTime::from_secs(2));
     }
 }

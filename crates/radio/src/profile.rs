@@ -149,7 +149,24 @@ impl RadioProfile {
 
 /// Derives the wake-up duration consistent with the paper's energy model:
 /// the transition dissipates `e_wakeup` at roughly idle draw.
+///
+/// A free wake-up takes no time regardless of the idle draw (the mote
+/// radios' case). Otherwise the idle power must be strictly positive —
+/// dividing by a zero/negative/NaN override would silently produce an
+/// `inf`/`NaN` duration and panic much later, inside the time layer.
+///
+/// # Panics
+///
+/// Panics when `e_wakeup_mj > 0` but `p_idle_mw` is not strictly positive.
 fn wakeup_time(e_wakeup_mj: f64, p_idle_mw: f64) -> SimDuration {
+    if e_wakeup_mj <= 0.0 {
+        return SimDuration::ZERO;
+    }
+    assert!(
+        p_idle_mw > 0.0,
+        "wakeup_time: cannot derive a wake-up duration from idle power \
+         {p_idle_mw} mW (must be > 0 when e_wakeup = {e_wakeup_mj} mJ)"
+    );
     SimDuration::from_secs_f64(e_wakeup_mj / p_idle_mw)
 }
 
@@ -405,5 +422,28 @@ mod tests {
         let c = cabletron();
         let e = c.p_idle * c.t_wakeup;
         assert!((e.as_millijoules() - c.e_wakeup.as_millijoules()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_wakeup_takes_no_time_even_at_zero_idle_power() {
+        // The mote radios: no wake-up lump, so the duration is zero no
+        // matter what the idle power says (0/0 used to be a silent NaN).
+        assert_eq!(wakeup_time(0.0, 0.0), SimDuration::ZERO);
+        assert_eq!(wakeup_time(0.0, 59.1), SimDuration::ZERO);
+        assert_eq!(wakeup_time(-1.0, -5.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be > 0")]
+    fn costly_wakeup_with_zero_idle_power_panics() {
+        // e/0 used to be a silent `inf` that exploded later in the time
+        // layer; now it fails here with the offending numbers.
+        let _ = wakeup_time(0.6, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be > 0")]
+    fn costly_wakeup_with_negative_idle_power_panics() {
+        let _ = wakeup_time(0.6, -830.0);
     }
 }

@@ -113,6 +113,11 @@ impl Channel {
         self.carrier[node.index()] > 0
     }
 
+    /// Number of foreign transmissions currently audible at `node`.
+    pub fn carrier_count(&self, node: NodeId) -> u32 {
+        self.carrier[node.index()]
+    }
+
     /// Registers that a transmission became audible at `node`. Returns
     /// `true` when this changed the carrier from idle to busy.
     pub fn carrier_up(&mut self, node: NodeId) -> bool {

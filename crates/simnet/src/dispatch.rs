@@ -10,6 +10,7 @@ use crate::shard::{Fate, ShardCtx, ShardState};
 use bcp_core::msg::{BurstId, HandshakeMsg};
 use bcp_core::receiver::ReceiverAction;
 use bcp_core::sender::{DropReason, SenderAction};
+use bcp_mac::sleep::SleepSchedule;
 use bcp_mac::types::{MacAction, MacEvent, MacFrame};
 use bcp_net::addr::NodeId;
 use bcp_radio::device::RadioState;
@@ -201,6 +202,13 @@ impl ShardState {
         bytes: usize,
         payload: Payload,
     ) {
+        // A dozing LPL low radio wakes before anything is queued on it
+        // (doze resume is instant; the MAC would otherwise StartTx on a
+        // sleeping radio). In the vanishing case where the resume's power
+        // sync kills the node, the packet dies with it.
+        if !self.lpl_wake_for_tx(ctx, node, class) {
+            return;
+        }
         // Tags are node-scoped (like packet and transmission ids) so the
         // payload table keys are identical for every shard count.
         let tag = {
@@ -505,5 +513,139 @@ impl ShardState {
         if turned_off {
             self.power_touch(ctx, node);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Low-power listening: the duty-cycled low radio
+    // ------------------------------------------------------------------
+
+    /// The LPL timing `(wake_interval, sample)`, when duty cycling is on.
+    fn lpl(&self) -> Option<(bcp_sim::time::SimDuration, bcp_sim::time::SimDuration)> {
+        match self.scen.low_sleep {
+            SleepSchedule::AlwaysOn => None,
+            SleepSchedule::Lpl {
+                wake_interval,
+                sample,
+                ..
+            } => Some((wake_interval, sample)),
+        }
+    }
+
+    /// Periodic LPL channel sample: wake the dozing low radio, sniff the
+    /// carrier, and either latch onto a frame still in its wake-up
+    /// preamble or schedule the doze that ends this sample. Always
+    /// re-arms the next sample — the chain is strictly node-local, so it
+    /// never constrains the conservative lookahead.
+    pub(crate) fn wake_sample(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId) {
+        let Some((interval, sample)) = self.lpl() else {
+            return;
+        };
+        // Re-arm first: if the resume's power sync kills the node below,
+        // the kill cancels this timer along with every other one.
+        let id = ctx.after(interval, Ev::WakeSample { node });
+        if let Some(old) = self.lpl_timers.insert(node.0, id) {
+            ctx.cancel(old);
+        }
+        match self.node(node).low_radio.state() {
+            RadioState::Sleeping => {
+                if !self.lpl_resume(ctx, node) {
+                    return; // the wake's power sync killed the node
+                }
+                if !self.chans[Class::Low.index()].carrier_busy(node) {
+                    ctx.after(sample, Ev::Sleep { node });
+                }
+                // Else: stay up until the carrier clears (the
+                // false-wakeup cost LPL pays); the next cycle retries.
+            }
+            RadioState::Idle => {
+                // Traffic kept the radio up past its doze: give it
+                // another chance to sleep once this sample width passes.
+                ctx.after(sample, Ev::Sleep { node });
+            }
+            // Transmitting/receiving (or dead: Off): the next sample
+            // re-evaluates.
+            _ => {}
+        }
+    }
+
+    /// The doze-resume protocol, shared by the periodic wake sample and
+    /// the wake-for-transmit path: resume the radio, sync the battery
+    /// (which may kill the node on the spot), resync the MAC's carrier
+    /// view (edges during doze fell on deaf ears — same fix as the high
+    /// radio's wake-up path), and try to latch onto a frame still in its
+    /// wake-up preamble. Returns `false` when the node died.
+    fn lpl_resume(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId) -> bool {
+        let now = ctx.now();
+        self.node_mut(node).low_radio.resume(now);
+        self.power_touch(ctx, node);
+        if !self.node(node).is_alive() {
+            return false;
+        }
+        let busy = self.chans[Class::Low.index()].carrier_busy(node);
+        self.mac_event(ctx, node, Class::Low, MacEvent::Carrier(busy), None);
+        if busy {
+            self.lpl_lock_preamble(ctx, node);
+        }
+        true
+    }
+
+    /// End of a channel sample: doze again, unless the radio is busy,
+    /// the MAC owes work, or a foreign transmission is audible.
+    pub(crate) fn lpl_sleep(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId) {
+        if self.scen.low_sleep.is_always_on() {
+            return;
+        }
+        let n = self.node(node);
+        if n.low_radio.state() != RadioState::Idle
+            || !n.low_mac.is_quiescent()
+            || self.chans[Class::Low.index()].carrier_busy(node)
+        {
+            return; // stay up; the next wake cycle retries
+        }
+        self.node_mut(node).low_radio.sleep(ctx.now());
+        self.power_touch(ctx, node);
+    }
+
+    /// A just-woken (idle, unlocked) LPL receiver tries to latch onto the
+    /// transmission on the air: decodable exactly when a single
+    /// transmission is audible, it is a data frame (ACKs are never
+    /// stretched, so they are absent from the audible table), and its
+    /// body has not started yet — the wake-up preamble exists precisely
+    /// so samples land inside it.
+    fn lpl_lock_preamble(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId) {
+        let now = ctx.now();
+        let ci = Class::Low.index();
+        if self.chans[ci].locked_rx(node).is_some()
+            || self.node(node).low_radio.state() != RadioState::Idle
+            // The count covers untracked transmissions too (an ACK
+            // overlapping this preamble): any overlap means garbage.
+            || self.chans[ci].carrier_count(node) != 1
+        {
+            return;
+        }
+        let Some(audible) = self.lpl_audible.get(&node.0) else {
+            return;
+        };
+        let &[(tx, body_start)] = audible.as_slice() else {
+            return; // overlapping frames: garbage, just carrier-sense it
+        };
+        if now < body_start {
+            self.chans[ci].lock_rx(node, tx);
+            self.node_mut(node).low_radio.start_rx(now);
+            self.power_touch(ctx, node);
+        }
+    }
+
+    /// Wakes a dozing low radio so a frame can be queued on it. Returns
+    /// `false` when the node died during the wake's power sync (callers
+    /// must then drop the frame: the node is a corpse).
+    fn lpl_wake_for_tx(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId, class: Class) -> bool {
+        if class != Class::Low
+            || self.scen.low_sleep.is_always_on()
+            || self.node(node).low_radio.state() != RadioState::Sleeping
+        {
+            return true;
+        }
+        self.lpl_resume(ctx, node)
     }
 }

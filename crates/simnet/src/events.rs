@@ -124,6 +124,10 @@ pub enum Ev {
         sender: NodeId,
         /// The radio class.
         class: Class,
+        /// What kind of frame keyed up. LPL receivers may lock on
+        /// mid-air only during a *data* frame's wake-up preamble; ACKs
+        /// are never stretched, so joining one mid-air is always garbage.
+        kind: bcp_mac::types::FrameKind,
     },
     /// A transmission stopped at this shard's in-range nodes, one link
     /// latency after the sender's airtime ended. Carries everything a
@@ -178,6 +182,20 @@ pub enum Ev {
         /// The node whose supply is due.
         node: NodeId,
     },
+    /// LPL channel sample: the low radio wakes (if dozing), sniffs the
+    /// carrier, and re-arms the next sample one wake interval out. Sleep
+    /// timers are strictly node-local — they never cross a shard boundary
+    /// and therefore never constrain the conservative lookahead.
+    WakeSample {
+        /// The duty-cycled node.
+        node: NodeId,
+    },
+    /// End of an LPL channel sample (or of a busy period): the low radio
+    /// dozes again if it is idle and the MAC owes nothing.
+    Sleep {
+        /// The duty-cycled node.
+        node: NodeId,
+    },
 }
 
 fn timer_rank(kind: MacTimer) -> u64 {
@@ -207,6 +225,8 @@ impl Keyed for Ev {
             Ev::HighIdleOff { node } => pack_ord(9, node.0, 0),
             Ev::Flush { node } => pack_ord(10, node.0, 0),
             Ev::PowerCheck { node } => pack_ord(11, node.0, 0),
+            Ev::WakeSample { node } => pack_ord(12, node.0, 0),
+            Ev::Sleep { node } => pack_ord(13, node.0, 0),
         }
     }
 }
@@ -270,6 +290,15 @@ mod tests {
             Ev::PowerCheck { node: NodeId(1) }.ord(),
             Ev::PowerCheck { node: NodeId(2) }.ord()
         );
+        // The LPL timers are distinct from each other and from PowerCheck.
+        let wake = Ev::WakeSample { node: NodeId(1) };
+        let sleep = Ev::Sleep { node: NodeId(1) };
+        assert_ne!(wake.ord(), sleep.ord());
+        assert_ne!(wake.ord(), Ev::PowerCheck { node: NodeId(1) }.ord());
+        assert_ne!(
+            Ev::Sleep { node: NodeId(1) }.ord(),
+            Ev::Sleep { node: NodeId(2) }.ord()
+        );
     }
 
     #[test]
@@ -279,6 +308,7 @@ mod tests {
             tx,
             sender: NodeId(5),
             class: Class::Low,
+            kind: bcp_mac::types::FrameKind::Data,
         };
         let end = Ev::RxEnd {
             tx,

@@ -55,6 +55,7 @@ mod shard;
 pub mod spec;
 pub mod world;
 
+pub use bcp_mac::sleep::SleepSchedule;
 pub use metrics::{Metrics, NodePowerReport, RunStats};
 pub use scenario::{HighRoute, ModelKind, Scenario, WorkloadKind};
 pub use spec::{emit_spec, parse_spec, ScenarioBuilder, SpecError};

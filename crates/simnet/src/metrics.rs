@@ -179,6 +179,15 @@ pub struct RunStats {
     /// Sink deliveries before the first death (= `delivered_packets` when
     /// nothing died).
     pub delivered_before_first_death: u64,
+    /// Network-wide energy the low radios spent *listening to nothing*
+    /// (the `Idle` bucket, J). This is the idle tax low-power listening
+    /// exists to shrink; always-on runs put the whole listening floor
+    /// here.
+    pub energy_low_idle_j: f64,
+    /// Network-wide energy the low radios spent dozing (the `Sleep`
+    /// bucket, J); the `p_sleep` floor the idle tax collapses toward as
+    /// the LPL duty cycle shrinks.
+    pub energy_low_sleep_j: f64,
     /// Per-node supply/meter accounting (one entry per node, in id order).
     pub per_node: Vec<NodePowerReport>,
 }
@@ -236,6 +245,8 @@ impl RunStats {
             time_to_first_death_s: metrics.first_death.map(|t| t.as_secs_f64()),
             time_to_partition_s: metrics.partition.map(|t| t.as_secs_f64()),
             delivered_before_first_death: metrics.delivered_before_first_death,
+            energy_low_idle_j: 0.0,
+            energy_low_sleep_j: 0.0,
             per_node: Vec::new(),
             metrics,
         }
@@ -244,6 +255,13 @@ impl RunStats {
     /// Attaches the per-node supply accounting (builder style).
     pub fn with_per_node(mut self, per_node: Vec<NodePowerReport>) -> Self {
         self.per_node = per_node;
+        self
+    }
+
+    /// Attaches the low radios' listening-floor breakdown (builder style).
+    pub fn with_low_radio_floor(mut self, idle: Energy, sleep: Energy) -> Self {
+        self.energy_low_idle_j = idle.as_joules();
+        self.energy_low_sleep_j = sleep.as_joules();
         self
     }
 
@@ -277,7 +295,8 @@ impl RunStats {
              \"energy_header_j\":{},\"j_per_kbit_header\":{},\
              \"energy_overhear_full_j\":{},\"j_per_kbit_overhear_full\":{},\
              \"events\":{},\"time_to_first_death_s\":{},\"time_to_partition_s\":{},\
-             \"delivered_before_first_death\":{},\"metrics\":{{\
+             \"delivered_before_first_death\":{},\
+             \"energy_low_idle_j\":{},\"energy_low_sleep_j\":{},\"metrics\":{{\
              \"generated_packets\":{},\"generated_bits\":{},\"delivered_packets\":{},\
              \"delivered_bits\":{},\"drops_buffer\":{},\"drops_mac\":{},\
              \"residual_packets\":{},\"handshakes\":{},\"radio_wakeups\":{},\
@@ -294,6 +313,8 @@ impl RunStats {
             opt_num(self.time_to_first_death_s),
             opt_num(self.time_to_partition_s),
             self.delivered_before_first_death,
+            num(self.energy_low_idle_j),
+            num(self.energy_low_sleep_j),
             m.generated_packets,
             m.generated_bits,
             m.delivered_packets,

@@ -72,6 +72,14 @@ impl NodeState {
         }
     }
 
+    /// The MAC for `class`, immutable (same panic contract).
+    pub fn mac(&self, class: Class) -> &CsmaMac {
+        match class {
+            Class::Low => &self.low_mac,
+            Class::High => self.high_mac.as_ref().expect("node has no high MAC"),
+        }
+    }
+
     /// The radio for `class`.
     ///
     /// # Panics

@@ -103,6 +103,12 @@ impl ShardState {
         if let Some(id) = self.power_timers.remove(&node.0) {
             cancelled.push(id);
         }
+        // The LPL wake-sample chain dies with the node (its doze draw is
+        // gone too: force_off already cut the radio to zero power).
+        if let Some(id) = self.lpl_timers.remove(&node.0) {
+            cancelled.push(id);
+        }
+        self.lpl_audible.remove(&node.0);
         for id in cancelled {
             ctx.cancel(id);
         }

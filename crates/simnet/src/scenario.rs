@@ -1,6 +1,7 @@
 //! Scenario configuration: everything that parameterises one run.
 
 use bcp_core::config::BcpConfig;
+use bcp_mac::sleep::SleepSchedule;
 use bcp_net::addr::NodeId;
 use bcp_net::loss::LossModel;
 use bcp_net::routing::RouteWeight;
@@ -78,6 +79,11 @@ pub struct Scenario {
     pub senders: Vec<NodeId>,
     /// Low-power radio profile (MicaZ in the paper's simulations).
     pub low_profile: RadioProfile,
+    /// When the low radio may doze: [`SleepSchedule::AlwaysOn`] (the
+    /// paper's setting — bit-identical to the pre-LPL simulator) or
+    /// B-MAC-style low-power listening with sender-side wake-up
+    /// preambles.
+    pub low_sleep: SleepSchedule,
     /// High-power radio profile (Lucent 11 Mbps single-hop, Cabletron
     /// multi-hop).
     pub high_profile: RadioProfile,
@@ -248,6 +254,14 @@ impl Scenario {
     /// Overrides the high-radio routing mode.
     pub fn with_high_route(mut self, mode: HighRoute) -> Self {
         self.high_route = mode;
+        self
+    }
+
+    /// Overrides the low radio's sleep schedule (builder style; prefer
+    /// [`ScenarioBuilder::low_sleep`](crate::spec::ScenarioBuilder::low_sleep),
+    /// which validates the schedule's invariants).
+    pub fn with_low_sleep(mut self, schedule: SleepSchedule) -> Self {
+        self.low_sleep = schedule;
         self
     }
 

@@ -80,6 +80,14 @@ pub(crate) struct ShardState {
     pub data_timers: HashMap<(u32, u64), CancelId>,
     pub linger: HashMap<u32, CancelId>,
     pub power_timers: HashMap<u32, CancelId>,
+    /// The pending LPL `WakeSample` per duty-cycled node (the chain is
+    /// self-perpetuating; tracked so a death cancels it).
+    pub lpl_timers: HashMap<u32, CancelId>,
+    /// Low-radio transmissions currently audible at each owned node,
+    /// with the instant their *frame body* starts (after the sender's
+    /// wake-up preamble). A receiver waking mid-preamble uses this to
+    /// lock onto the frame; only populated under an LPL schedule.
+    pub lpl_audible: HashMap<u32, Vec<(TxId, SimTime)>>,
     pub fates: HashMap<u64, FateMark>,
     pub metrics: Metrics,
     /// How late a death announcement reaches the coordinator (the minimum
@@ -117,7 +125,12 @@ impl PdesShard for ShardState {
                 self.mac_event(ctx, node, class, MacEvent::Timer(kind), None);
             }
             Ev::TxEnd { tx } => self.tx_end(ctx, tx),
-            Ev::RxBegin { tx, sender, class } => self.rx_begin(ctx, tx, sender, class),
+            Ev::RxBegin {
+                tx,
+                sender,
+                class,
+                kind,
+            } => self.rx_begin(ctx, tx, sender, class, kind),
             Ev::RxEnd {
                 tx,
                 sender,
@@ -173,6 +186,19 @@ impl PdesShard for ShardState {
             Ev::PowerCheck { node } => {
                 self.power_timers.remove(&node.0);
                 self.power_touch(ctx, node);
+            }
+            Ev::WakeSample { node } => {
+                self.lpl_timers.remove(&node.0);
+                if target_dead(self, node) {
+                    return;
+                }
+                self.wake_sample(ctx, node)
+            }
+            Ev::Sleep { node } => {
+                if target_dead(self, node) {
+                    return;
+                }
+                self.lpl_sleep(ctx, node)
             }
         }
     }
@@ -408,8 +434,14 @@ impl ShardState {
     ) {
         let now = ctx.now();
         let ci = class.index();
+        // Data frames pay the MAC's LPL wake-up preamble (zero under
+        // AlwaysOn — bit-identical airtime); ACKs are never stretched.
         let airtime = match frame.kind {
-            FrameKind::Data => self.profile(class).frame_airtime(frame.payload_bytes),
+            FrameKind::Data => self
+                .node(node)
+                .mac(class)
+                .config()
+                .data_airtime(self.profile(class), frame.payload_bytes),
             FrameKind::Ack => self.profile(class).control_airtime(frame.payload_bytes),
         };
         // If the radio was mid-reception, transmitting tramples it
@@ -459,6 +491,7 @@ impl ShardState {
                     tx: txid,
                     sender: node,
                     class,
+                    kind: frame.kind,
                 },
             );
         }
@@ -468,11 +501,32 @@ impl ShardState {
     }
 
     /// A transmission became audible at this shard's receivers.
-    fn rx_begin(&mut self, ctx: &mut ShardCtx<'_>, tx: TxId, sender: NodeId, class: Class) {
+    fn rx_begin(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        tx: TxId,
+        sender: NodeId,
+        class: Class,
+        kind: FrameKind,
+    ) {
         let now = ctx.now();
         let ci = class.index();
+        // Under LPL a dozing receiver may still catch this frame at a
+        // later wake sample, as long as the sample lands inside the
+        // sender's wake-up preamble: remember when the frame body starts.
+        // Only data frames carry a preamble — an ACK joined mid-air is
+        // garbage, so it is deliberately left out of the audible table.
+        let lpl_body_start =
+            (class == Class::Low && kind == FrameKind::Data && self.scen.low_sleep.is_lpl())
+                .then(|| now + self.scen.low_sleep.tx_preamble());
         let neigh = self.neigh[ci].clone();
         for &r in neigh.of(sender, self.id) {
+            if let Some(body_start) = lpl_body_start {
+                self.lpl_audible
+                    .entry(r.0)
+                    .or_default()
+                    .push((tx, body_start));
+            }
             let clean_start = !self.chans[ci].carrier_busy(r);
             let edge = self.chans[ci].carrier_up(r);
             let can_hear = self
@@ -486,7 +540,9 @@ impl ShardState {
                 self.power_touch(ctx, r);
             } else {
                 // Either the receiver was locked onto another frame
-                // (collision) or it cannot decode a frame started mid-air.
+                // (collision) or it cannot decode a frame started mid-air
+                // (a dozing LPL receiver instead gets its chance at the
+                // next wake sample, above).
                 self.chans[ci].poison_rx(r);
             }
             if edge && self.radio_senses(r, class) {
@@ -573,8 +629,14 @@ impl ShardState {
     ) {
         let now = ctx.now();
         let ci = class.index();
+        let track_lpl = class == Class::Low && self.scen.low_sleep.is_lpl();
         let neigh = self.neigh[ci].clone();
         for &r in neigh.of(sender, self.id) {
+            if track_lpl {
+                if let Some(v) = self.lpl_audible.get_mut(&r.0) {
+                    v.retain(|(t, _)| *t != tx);
+                }
+            }
             if let Some(corrupted) = self.chans[ci].unlock_rx(r, tx) {
                 if !self.node(r).is_alive() {
                     // The receiver died mid-reception; its radio is off and

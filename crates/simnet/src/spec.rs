@@ -40,6 +40,7 @@
 
 use crate::scenario::{HighRoute, ModelKind, Scenario, WorkloadKind};
 use bcp_core::config::BcpConfig;
+use bcp_mac::sleep::SleepSchedule;
 use bcp_net::addr::NodeId;
 use bcp_net::loss::LossModel;
 use bcp_net::routing::RouteWeight;
@@ -142,6 +143,29 @@ pub enum SpecError {
     /// The energy-aware route weight was selected but no node carries a
     /// battery, so "residual energy" is undefined.
     EnergyAwareWithoutBattery,
+    /// An LPL timing parameter is degenerate (zero wake interval or zero
+    /// sample width).
+    InvalidSleepSchedule {
+        /// What is wrong.
+        reason: String,
+    },
+    /// The LPL channel sample is not shorter than the wake interval, so
+    /// the radio would never actually doze (duty cycle >= 1).
+    SleepSampleExceedsInterval {
+        /// Configured sample width.
+        sample: SimDuration,
+        /// Configured wake interval.
+        wake_interval: SimDuration,
+    },
+    /// The LPL wake-up preamble is shorter than the wake interval, so a
+    /// receiver's channel samples can fall entirely between preambles and
+    /// miss frames deterministically.
+    SleepPreambleTooShort {
+        /// Configured sender-side preamble.
+        preamble: SimDuration,
+        /// Configured wake interval.
+        wake_interval: SimDuration,
+    },
     /// A `.scn` line failed to parse.
     Parse {
         /// 1-based line number in the input.
@@ -223,6 +247,25 @@ impl fmt::Display for SpecError {
                 "route_weight max_min_residual needs at least one battery-powered \
                  node; configure `battery` (or a node_battery override)"
             ),
+            SpecError::InvalidSleepSchedule { reason } => {
+                write!(f, "invalid low_sleep schedule: {reason}")
+            }
+            SpecError::SleepSampleExceedsInterval {
+                sample,
+                wake_interval,
+            } => write!(
+                f,
+                "low_sleep sample {sample} must be shorter than the wake \
+                 interval {wake_interval}, or the radio never dozes"
+            ),
+            SpecError::SleepPreambleTooShort {
+                preamble,
+                wake_interval,
+            } => write!(
+                f,
+                "low_sleep preamble {preamble} must be at least the wake \
+                 interval {wake_interval}, or sampling receivers miss frames"
+            ),
             SpecError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
             SpecError::Unrepresentable { what } => {
                 write!(f, "not expressible in the .scn format: {what}")
@@ -257,6 +300,7 @@ pub struct ScenarioBuilder {
     sink: NodeId,
     senders: SenderSpec,
     low_profile: RadioProfile,
+    low_sleep: SleepSchedule,
     high_profile: RadioProfile,
     rate_bps: f64,
     workload: WorkloadKind,
@@ -294,6 +338,7 @@ impl ScenarioBuilder {
             sink,
             senders: SenderSpec::Explicit(Vec::new()),
             low_profile: micaz(),
+            low_sleep: SleepSchedule::AlwaysOn,
             high_profile: lucent_11m(),
             rate_bps: 2_000.0,
             workload: WorkloadKind::Cbr,
@@ -369,6 +414,15 @@ impl ScenarioBuilder {
     /// Low-power radio profile.
     pub fn low_profile(mut self, p: RadioProfile) -> Self {
         self.low_profile = p;
+        self
+    }
+
+    /// Low radio sleep schedule: [`SleepSchedule::AlwaysOn`] (the
+    /// default, bit-identical to the pre-LPL simulator) or low-power
+    /// listening. `build()` checks `sample < wake_interval` and
+    /// `preamble >= wake_interval`.
+    pub fn low_sleep(mut self, schedule: SleepSchedule) -> Self {
+        self.low_sleep = schedule;
         self
     }
 
@@ -611,6 +665,35 @@ impl ScenarioBuilder {
                 });
             }
         }
+        if let SleepSchedule::Lpl {
+            wake_interval,
+            sample,
+            preamble,
+        } = self.low_sleep
+        {
+            if wake_interval.is_zero() {
+                return Err(SpecError::InvalidSleepSchedule {
+                    reason: "wake_interval must be positive".into(),
+                });
+            }
+            if sample.is_zero() {
+                return Err(SpecError::InvalidSleepSchedule {
+                    reason: "sample must be positive".into(),
+                });
+            }
+            if sample >= wake_interval {
+                return Err(SpecError::SleepSampleExceedsInterval {
+                    sample,
+                    wake_interval,
+                });
+            }
+            if preamble < wake_interval {
+                return Err(SpecError::SleepPreambleTooShort {
+                    preamble,
+                    wake_interval,
+                });
+            }
+        }
         if self.link_latency_low.is_zero() {
             return Err(SpecError::NonPositiveLinkLatency { class: "low" });
         }
@@ -633,6 +716,7 @@ impl ScenarioBuilder {
             sink: self.sink,
             senders,
             low_profile: self.low_profile,
+            low_sleep: self.low_sleep,
             high_profile: self.high_profile,
             rate_bps: self.rate_bps,
             workload: self.workload,
@@ -669,6 +753,13 @@ fn dur_s(d: SimDuration) -> String {
     f(d.as_secs_f64())
 }
 
+/// Formats a duration as fractional milliseconds — the natural unit of
+/// LPL timing. `nanos / 1e6` then back via `round(ms · 1e6)` is exact for
+/// any span under ~52 days, so the round trip is the identity.
+fn dur_ms(d: SimDuration) -> String {
+    f(d.as_nanos() as f64 / 1e6)
+}
+
 /// Serialises a scenario to the canonical `.scn` text.
 ///
 /// Returns [`SpecError::Unrepresentable`] for configurations the format
@@ -699,6 +790,7 @@ pub fn emit_spec(s: &Scenario) -> Result<String, SpecError> {
     if let Some(r) = low_range {
         kv("low_range_m", f(r));
     }
+    kv("low_sleep", emit_sleep(&s.low_sleep));
     let (high_key, high_range) = profile_key(&s.high_profile)?;
     kv("high_profile", high_key.into());
     if let Some(r) = high_range {
@@ -819,6 +911,7 @@ pub fn parse_spec(text: &str) -> Result<Scenario, SpecError> {
                 }
             }
             "low_profile" => low_key = Some((value.to_string(), line_no)),
+            "low_sleep" => b.low_sleep = parse_sleep(value, line_no)?,
             "high_profile" => high_key = Some((value.to_string(), line_no)),
             "low_range_m" => low_range = Some(p_pos_f64(value, line_no)?),
             "high_range_m" => high_range = Some(p_pos_f64(value, line_no)?),
@@ -1068,6 +1161,61 @@ fn parse_workload(value: &str, line: usize) -> Result<WorkloadKind, SpecError> {
     }
 }
 
+fn emit_sleep(s: &SleepSchedule) -> String {
+    match *s {
+        SleepSchedule::AlwaysOn => "always_on".into(),
+        SleepSchedule::Lpl {
+            wake_interval,
+            sample,
+            preamble,
+        } => {
+            // The canonical preamble (= wake interval) is left implicit.
+            if preamble == wake_interval {
+                format!("lpl:{}/{}", dur_ms(wake_interval), dur_ms(sample))
+            } else {
+                format!(
+                    "lpl:{}/{}/{}",
+                    dur_ms(wake_interval),
+                    dur_ms(sample),
+                    dur_ms(preamble)
+                )
+            }
+        }
+    }
+}
+
+fn parse_sleep(value: &str, line: usize) -> Result<SleepSchedule, SpecError> {
+    if value == "always_on" {
+        return Ok(SleepSchedule::AlwaysOn);
+    }
+    if let Some(rest) = value.strip_prefix("lpl:") {
+        let parts: Vec<&str> = rest.split('/').collect();
+        return match parts.as_slice() {
+            [interval, sample] => Ok(SleepSchedule::lpl(
+                p_dur_ms(interval, line)?,
+                p_dur_ms(sample, line)?,
+            )),
+            [interval, sample, preamble] => Ok(SleepSchedule::lpl_with_preamble(
+                p_dur_ms(interval, line)?,
+                p_dur_ms(sample, line)?,
+                p_dur_ms(preamble, line)?,
+            )),
+            _ => Err(SpecError::Parse {
+                line,
+                reason: format!(
+                    "expected `lpl:<interval_ms>/<sample_ms>[/<preamble_ms>]`, got `{value}`"
+                ),
+            }),
+        };
+    }
+    Err(SpecError::Parse {
+        line,
+        reason: format!(
+            "unknown low_sleep `{value}` (always_on | lpl:<interval_ms>/<sample_ms>[/<preamble_ms>])"
+        ),
+    })
+}
+
 fn emit_loss(l: &LossModel) -> Result<String, SpecError> {
     match l {
         LossModel::Perfect => Ok("perfect".into()),
@@ -1255,6 +1403,19 @@ fn p_bool(v: &str, line: usize) -> Result<bool, SpecError> {
             reason: format!("expected true/false, got `{other}`"),
         }),
     }
+}
+
+/// Parses a duration given in (fractional) milliseconds — the inverse of
+/// [`dur_ms`], exact up to ~52 days.
+fn p_dur_ms(v: &str, line: usize) -> Result<SimDuration, SpecError> {
+    let ms = p_f64(v, line)?;
+    if !ms.is_finite() || ms < 0.0 || ms > u64::MAX as f64 / 1e6 {
+        return Err(SpecError::Parse {
+            line,
+            reason: format!("duration out of range: {ms} ms"),
+        });
+    }
+    Ok(SimDuration::from_nanos((ms * 1e6).round() as u64))
 }
 
 /// Parses a duration given in (fractional) seconds, rejecting values the

@@ -99,6 +99,8 @@ impl World {
                         data_timers: HashMap::new(),
                         linger: HashMap::new(),
                         power_timers: HashMap::new(),
+                        lpl_timers: HashMap::new(),
+                        lpl_audible: HashMap::new(),
                         fates: HashMap::new(),
                         metrics: Metrics::default(),
                         death_latency,
@@ -114,8 +116,12 @@ impl World {
             None => end,
         };
         for id in scen.topo.nodes() {
+            // Under LPL every low-radio data frame is stretched by the
+            // schedule's wake-up preamble (zero when always on, keeping
+            // pre-LPL scenarios bit-identical).
             let low_mac = CsmaMac::new(
-                MacConfig::sensor_csma(&scen.low_profile),
+                MacConfig::sensor_csma(&scen.low_profile)
+                    .with_wakeup_preamble(scen.low_sleep.tx_preamble()),
                 MacAddr(addr.low_of(id).0 as u64),
                 rng.next_u64(),
             );
@@ -201,6 +207,18 @@ impl World {
             if node.supply.is_some() {
                 // The handler projects the exact depletion instant.
                 queue.schedule(t0, Ev::PowerCheck { node: id });
+            }
+            if let bcp_mac::sleep::SleepSchedule::Lpl {
+                wake_interval,
+                sample,
+                ..
+            } = scen.low_sleep
+            {
+                // The radio starts awake; treat [t0, t0+sample) as the
+                // first channel sample, then doze and sample periodically.
+                queue.schedule(t0 + sample, Ev::Sleep { node: id });
+                let first = queue.schedule(t0 + wake_interval, Ev::WakeSample { node: id });
+                state.lpl_timers.insert(id.0, first);
             }
             state.nodes[id.index()] = Some(node);
         }
@@ -361,11 +379,18 @@ impl World {
         let mut energy = Energy::ZERO;
         let mut header_extra = Energy::ZERO;
         let mut overhear_full_extra = Energy::ZERO;
+        // The low radio's listening floor — what LPL exists to shrink —
+        // reported separately so duty-cycle sweeps can watch idle energy
+        // fall toward the p_sleep floor.
+        let mut low_idle = Energy::ZERO;
+        let mut low_sleep = Energy::ZERO;
         for i in 0..n {
             let node = shards[shard_of(i)].nodes[i]
                 .as_ref()
                 .expect("owner has the node");
             let low = node.low_radio.report(end);
+            low_idle += low.of(B::Idle);
+            low_sleep += low.of(B::Sleep);
             match scen.model {
                 ModelKind::Sensor | ModelKind::DualRadio => {
                     energy += low.total_of(&ideal_low);
@@ -395,6 +420,7 @@ impl World {
             events,
         )
         .with_per_node(per_node)
+        .with_low_radio_floor(low_idle, low_sleep)
     }
 }
 
@@ -806,6 +832,14 @@ mod tests {
         assert_eq!(ma.handshakes, mb.handshakes, "{label}: handshakes");
         assert_eq!(ma.radio_wakeups, mb.radio_wakeups, "{label}: wakeups");
         assert_eq!(ma.node_deaths, mb.node_deaths, "{label}: deaths");
+        assert_eq!(
+            a.energy_low_idle_j, b.energy_low_idle_j,
+            "{label}: idle floor"
+        );
+        assert_eq!(
+            a.energy_low_sleep_j, b.energy_low_sleep_j,
+            "{label}: sleep floor"
+        );
         assert_eq!(a.per_node, b.per_node, "{label}: per-node accounting");
     }
 
@@ -865,6 +899,74 @@ mod tests {
         for k in [3, 4] {
             let sharded = build(k).run();
             assert_bit_identical(&one, &sharded, &format!("shards={k}"));
+        }
+    }
+
+    #[test]
+    fn lpl_shrinks_the_idle_floor_and_still_delivers() {
+        use bcp_mac::sleep::SleepSchedule;
+        // 500 bps keeps the offered load inside LPL's service rate: each
+        // frame costs ~0.1 s of preamble plus up to ~0.19 s of scaled
+        // congestion backoff against a 0.512 s interarrival.
+        let always = two_node(ModelKind::Sensor, 10).with_rate(500.0).run();
+        let mut s = two_node(ModelKind::Sensor, 10).with_rate(500.0);
+        s.low_sleep =
+            SleepSchedule::lpl(SimDuration::from_millis(100), SimDuration::from_millis(10));
+        let lpl = s.run();
+        // A clean two-node link: CSMA serialises the stretched frames, so
+        // deliveries survive duty cycling.
+        assert!(lpl.goodput > 0.9, "goodput {}", lpl.goodput);
+        // The idle tax collapses (10% duty + wake-ups for traffic)…
+        assert_eq!(always.energy_low_sleep_j, 0.0, "always-on never dozes");
+        assert!(lpl.energy_low_sleep_j > 0.0, "LPL dozes");
+        assert!(
+            lpl.energy_low_idle_j < always.energy_low_idle_j * 0.3,
+            "idle floor shrank: {} vs {}",
+            lpl.energy_low_idle_j,
+            always.energy_low_idle_j
+        );
+        // …while the transfer path pays for every stretched preamble: the
+        // paper's "ideal" (tx+rx only) energy strictly grows.
+        assert!(
+            lpl.energy_j > always.energy_j,
+            "preambles cost transfer energy: {} vs {}",
+            lpl.energy_j,
+            always.energy_j
+        );
+        // Frames also spend longer on the air end to end.
+        assert!(lpl.mean_delay_s > always.mean_delay_s);
+    }
+
+    #[test]
+    fn lpl_extends_a_battery_limited_nodes_life() {
+        use bcp_mac::sleep::SleepSchedule;
+        use bcp_power::{Battery, PowerConfig};
+        // A sender battery that an always-listening MicaZ idles away in
+        // ~135 s. Low traffic so transfers stay a minor cost.
+        let build = |sleep: SleepSchedule| {
+            let mut s = two_node(ModelKind::Sensor, 10);
+            s.rate_bps = 200.0;
+            s.power = PowerConfig::with_battery(Battery::ideal_joules(8.0));
+            s.low_sleep = sleep;
+            s
+        };
+        let always = build(SleepSchedule::AlwaysOn).run();
+        let lpl = build(SleepSchedule::lpl(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(10),
+        ))
+        .run();
+        let t_always = always
+            .time_to_first_death_s
+            .expect("always-on idles itself to death");
+        match lpl.time_to_first_death_s {
+            // Surviving the whole 200 s run is the ideal outcome…
+            None => {}
+            // …and even a death must come far later than always-on's.
+            Some(t) => assert!(
+                t > t_always * 1.4,
+                "duty cycling must extend life: {t} vs {t_always}"
+            ),
         }
     }
 

@@ -20,7 +20,8 @@ use bcp::power::{Battery, PowerConfig};
 use bcp::sim::rng::Rng;
 use bcp::sim::time::SimDuration;
 use bcp::simnet::{
-    emit_spec, parse_spec, HighRoute, ModelKind, Scenario, ScenarioBuilder, SpecError, WorkloadKind,
+    emit_spec, parse_spec, HighRoute, ModelKind, Scenario, ScenarioBuilder, SleepSchedule,
+    SpecError, WorkloadKind,
 };
 
 // ── 1. the round-trip property ──────────────────────────────────────────
@@ -129,6 +130,23 @@ fn arb_scenario(rng: &mut Rng) -> Scenario {
         high = high.with_range(1.0 + rng.f64() * 300.0);
     }
     b = b.low_profile(low).high_profile(high);
+    // Low-radio sleep schedule: always-on, or LPL timings that respect
+    // the builder's invariants (sample < interval <= preamble) at full
+    // nanosecond granularity — exercising the ms grammar's exactness.
+    if rng.bernoulli(0.5) {
+        let interval_ns = 2 + rng.range_u64(0, 10_000_000_000);
+        let sample_ns = 1 + rng.range_u64(0, interval_ns - 1);
+        let preamble_ns = if rng.bernoulli(0.5) {
+            interval_ns
+        } else {
+            interval_ns + rng.range_u64(0, 1_000_000_000)
+        };
+        b = b.low_sleep(SleepSchedule::lpl_with_preamble(
+            SimDuration::from_nanos(interval_ns),
+            SimDuration::from_nanos(sample_ns),
+            SimDuration::from_nanos(preamble_ns),
+        ));
+    }
     // BCP knobs: a random threshold with a buffer that always fits it.
     if rng.bernoulli(0.7) {
         let mut bcp = bcp::core::config::BcpConfig::paper_defaults();
@@ -388,6 +406,108 @@ fn rejects_energy_aware_routing_without_batteries() {
         .battery(Battery::ideal_joules(5.0))
         .build()
         .is_ok());
+}
+
+#[test]
+fn rejects_degenerate_lpl_timings() {
+    // Zero wake interval and zero sample are both incoherent schedules.
+    let zero = SimDuration::ZERO;
+    let ten = SimDuration::from_millis(10);
+    for schedule in [
+        SleepSchedule::lpl(zero, zero),
+        SleepSchedule::lpl(ten, zero),
+    ] {
+        let err = valid().low_sleep(schedule).build().unwrap_err();
+        assert!(
+            matches!(err, SpecError::InvalidSleepSchedule { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("low_sleep"));
+    }
+}
+
+#[test]
+fn rejects_sample_at_least_the_wake_interval() {
+    let interval = SimDuration::from_millis(10);
+    for sample in [interval, SimDuration::from_millis(25)] {
+        let err = valid()
+            .low_sleep(SleepSchedule::lpl(interval, sample))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::SleepSampleExceedsInterval {
+                sample,
+                wake_interval: interval
+            }
+        );
+        assert!(err.to_string().contains("never dozes"));
+    }
+    // One tick shorter is accepted.
+    assert!(valid()
+        .low_sleep(SleepSchedule::lpl(
+            interval,
+            interval - SimDuration::from_nanos(1)
+        ))
+        .build()
+        .is_ok());
+}
+
+#[test]
+fn rejects_preamble_below_the_wake_interval() {
+    let interval = SimDuration::from_millis(100);
+    let sample = SimDuration::from_millis(10);
+    let short = SimDuration::from_millis(99);
+    let err = valid()
+        .low_sleep(SleepSchedule::lpl_with_preamble(interval, sample, short))
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SpecError::SleepPreambleTooShort {
+            preamble: short,
+            wake_interval: interval
+        }
+    );
+    assert!(err.to_string().contains("miss frames"));
+    // Exactly the interval (the canonical choice) and longer both pass.
+    for preamble in [interval, SimDuration::from_millis(250)] {
+        assert!(valid()
+            .low_sleep(SleepSchedule::lpl_with_preamble(interval, sample, preamble))
+            .build()
+            .is_ok());
+    }
+}
+
+#[test]
+fn low_sleep_grammar_parses_and_validates() {
+    let s = parse_spec("senders = auto:5\nlow_sleep = lpl:100/10\n").expect("parses");
+    assert_eq!(
+        s.low_sleep,
+        SleepSchedule::lpl(SimDuration::from_millis(100), SimDuration::from_millis(10))
+    );
+    // Fractional milliseconds and an explicit preamble both work.
+    let s = parse_spec("senders = auto:5\nlow_sleep = lpl:12.5/0.25/30\n").expect("parses");
+    assert_eq!(
+        s.low_sleep,
+        SleepSchedule::lpl_with_preamble(
+            SimDuration::from_micros(12_500),
+            SimDuration::from_micros(250),
+            SimDuration::from_millis(30),
+        )
+    );
+    // The default is always-on.
+    let s = parse_spec("senders = auto:5\n").expect("parses");
+    assert!(s.low_sleep.is_always_on());
+    // Garbage is a parse error with the line; a well-formed but
+    // incoherent schedule fails builder validation with the invariant.
+    let err = parse_spec("senders = auto:5\nlow_sleep = lpl:100\n").unwrap_err();
+    assert!(matches!(err, SpecError::Parse { line: 2, .. }), "{err:?}");
+    let err = parse_spec("senders = auto:5\nlow_sleep = lpl:10/10\n").unwrap_err();
+    assert!(
+        matches!(err, SpecError::SleepSampleExceedsInterval { .. }),
+        "{err:?}"
+    );
 }
 
 #[test]

@@ -7,7 +7,7 @@ use bcp::experiments::scale::sensor_scale;
 use bcp::net::addr::NodeId;
 use bcp::power::{Battery, PowerConfig};
 use bcp::sim::time::SimDuration;
-use bcp::simnet::{ModelKind, RunStats, Scenario};
+use bcp::simnet::{ModelKind, RunStats, Scenario, ScenarioBuilder, SleepSchedule};
 
 /// Every reported quantity must match bit-for-bit, floats included.
 fn assert_bit_identical(a: &RunStats, b: &RunStats, label: &str) {
@@ -35,6 +35,14 @@ fn assert_bit_identical(a: &RunStats, b: &RunStats, label: &str) {
     assert_eq!(ma.handshakes, mb.handshakes, "{label}: handshakes");
     assert_eq!(ma.radio_wakeups, mb.radio_wakeups, "{label}: wakeups");
     assert_eq!(ma.node_deaths, mb.node_deaths, "{label}: deaths");
+    assert_eq!(
+        a.energy_low_idle_j, b.energy_low_idle_j,
+        "{label}: idle floor"
+    );
+    assert_eq!(
+        a.energy_low_sleep_j, b.energy_low_sleep_j,
+        "{label}: sleep floor"
+    );
     assert_eq!(a.per_node, b.per_node, "{label}: per-node accounting");
 }
 
@@ -72,6 +80,78 @@ fn shards_1_2_4_are_bit_identical_dual_radio() {
     assert!(one.metrics.radio_wakeups > 0, "bursts happened");
     for k in [2, 4] {
         assert_bit_identical(&one, &build(k).run(), &format!("shards={k}"));
+    }
+}
+
+#[test]
+fn lpl_duty_cycling_is_bit_identical_across_shards_with_deaths() {
+    // Low-power listening adds per-node sleep timers, mid-preamble frame
+    // lock-ons and preamble-stretched airtimes — all of it strictly
+    // node-local, so shard count must still never change physics. The
+    // scenario kills a battery-starved relay mid-run to cover the
+    // death/repair path under duty cycling too.
+    let build = |shards: usize| {
+        ScenarioBuilder::single_hop(ModelKind::Sensor, 5, 10, 3)
+            .rate_bps(200.0)
+            .duration(SimDuration::from_secs(120))
+            .low_sleep(SleepSchedule::lpl(
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(10),
+            ))
+            .power(PowerConfig::unlimited().with_node_battery(20, Battery::ideal_joules(2.0)))
+            .shards(shards)
+            .build()
+            .expect("valid LPL scenario")
+    };
+    let one = build(1).run();
+    assert_eq!(one.metrics.node_deaths, 1, "the starved relay dies");
+    assert!(
+        one.metrics.delivered_packets > 50,
+        "traffic flows under LPL"
+    );
+    assert!(
+        one.energy_low_sleep_j > 0.0,
+        "the low radios really dozed: {} J",
+        one.energy_low_sleep_j
+    );
+    // Duty cycling at ~10% must collapse the idle tax well below the
+    // always-on bill (36 nodes x 59.1 mW x 120 s ~ 255 J).
+    assert!(
+        one.energy_low_idle_j < 100.0,
+        "idle floor shrank: {} J",
+        one.energy_low_idle_j
+    );
+    for k in [2, 4] {
+        assert_bit_identical(&one, &build(k).run(), &format!("lpl shards={k}"));
+    }
+}
+
+#[test]
+fn lpl_dual_radio_is_bit_identical_across_shards() {
+    // The BCP wake-up handshake rides the duty-cycled low radio: every
+    // control hop pays the stretched preamble, sometimes times out, and
+    // the retry cascade must still replay identically per shard count.
+    let build = |shards: usize| {
+        ScenarioBuilder::single_hop(ModelKind::DualRadio, 5, 100, 7)
+            .duration(SimDuration::from_secs(90))
+            .low_sleep(SleepSchedule::lpl(
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(5),
+            ))
+            .shards(shards)
+            .build()
+            .expect("valid LPL dual-radio scenario")
+    };
+    let one = build(1).run();
+    assert!(
+        one.metrics.handshakes > 0,
+        "handshakes crossed the LPL radio"
+    );
+    assert!(one.metrics.radio_wakeups > 0, "bursts still happen");
+    assert!(one.metrics.delivered_packets > 0, "data still arrives");
+    assert!(one.energy_low_sleep_j > 0.0, "the low radios dozed");
+    for k in [2, 4] {
+        assert_bit_identical(&one, &build(k).run(), &format!("lpl dual shards={k}"));
     }
 }
 
