@@ -141,6 +141,11 @@ pub fn all() -> Vec<Experiment> {
             run: crate::lifetime::lifetime,
         },
         Experiment {
+            id: "broadcast_lifetime",
+            title: "Broadcast lifetime — flooding on the low radio vs bulk on the high radio",
+            run: crate::broadcast::broadcast_lifetime,
+        },
+        Experiment {
             id: "scale",
             title: "Scale — events/sec vs node count × shard count (multi-core single run)",
             run: crate::scale::scale,
@@ -331,6 +336,10 @@ mod tests {
         assert!(
             ids.contains(&"idle_floor"),
             "idle_floor experiment registered"
+        );
+        assert!(
+            ids.contains(&"broadcast_lifetime"),
+            "broadcast_lifetime experiment registered"
         );
     }
 

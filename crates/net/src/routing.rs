@@ -291,6 +291,98 @@ fn bfs_from(
     (dist, toward)
 }
 
+/// A source-rooted dissemination tree: the reverse of the shortest-hop
+/// (or widest-path) tree [`Routes`] builds toward the same node.
+///
+/// Convergecast routes answer "which neighbour do I hand data to, going
+/// *toward* `root`?"; dissemination asks the transpose — "which
+/// neighbours take data *from* me, coming from `root`?". Edge `u → v`
+/// exists exactly when `routes.next_hop(v, root) == u`, so the tree is
+/// deterministic whenever the routes are, and rebuilding routes after a
+/// node death (route repair) repairs the tree for free.
+///
+/// # Examples
+///
+/// ```
+/// use bcp_net::addr::NodeId;
+/// use bcp_net::routing::{Dissemination, Routes};
+/// use bcp_net::topo::Topology;
+///
+/// let topo = Topology::line(4, 40.0);
+/// let routes = Routes::shortest_hop(&topo, 40.0);
+/// let tree = Dissemination::from_routes(&routes, NodeId(0));
+/// assert_eq!(tree.children(NodeId(0)), &[NodeId(1)]);
+/// assert_eq!(tree.subtree(NodeId(2)), vec![NodeId(2), NodeId(3)]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dissemination {
+    root: NodeId,
+    children: Vec<Vec<NodeId>>,
+    reached: Vec<bool>,
+}
+
+impl Dissemination {
+    /// Builds the tree rooted at `root` by reversing `routes`' next hops
+    /// toward it. Nodes `routes` cannot reach (disconnected or excluded
+    /// as dead) are simply absent.
+    pub fn from_routes(routes: &Routes, root: NodeId) -> Self {
+        let n = routes.len();
+        let mut children = vec![Vec::new(); n];
+        let mut reached = vec![false; n];
+        reached[root.index()] = true;
+        for v in 0..n as u32 {
+            let v = NodeId(v);
+            if v == root {
+                continue;
+            }
+            if let Some(parent) = routes.next_hop(v, root) {
+                // v's first hop toward root is its tree parent; node ids
+                // ascend, so every child list is born sorted.
+                children[parent.index()].push(v);
+                reached[v.index()] = true;
+            }
+        }
+        Dissemination {
+            root,
+            children,
+            reached,
+        }
+    }
+
+    /// The disseminating node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The nodes that take data directly from `node` (ascending ids).
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node.index()]
+    }
+
+    /// `true` when the tree spans `node` (the root always; others exactly
+    /// when the routes reach them).
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.reached[node.index()]
+    }
+
+    /// How many nodes the tree spans, root included.
+    pub fn coverage(&self) -> usize {
+        self.reached.iter().filter(|&&r| r).count()
+    }
+
+    /// `node` plus every descendant, in depth-first (stack) order — the
+    /// set of nodes that lose a packet when the edge into `node` fails.
+    pub fn subtree(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            stack.extend(self.children(u).iter().copied());
+        }
+        out
+    }
+}
+
 /// Learned high-radio shortcuts (Section 3 route optimization).
 ///
 /// Initially the high radio follows the low-radio route. When the sender
@@ -529,6 +621,62 @@ mod tests {
     #[test]
     fn route_weight_default_is_shortest_hop() {
         assert_eq!(RouteWeight::default(), RouteWeight::ShortestHop);
+    }
+
+    #[test]
+    fn dissemination_reverses_the_bfs_tree() {
+        let topo = Topology::grid(3, 10.0);
+        let routes = Routes::shortest_hop(&topo, 10.0);
+        let tree = Dissemination::from_routes(&routes, NodeId(0));
+        assert_eq!(tree.root(), NodeId(0));
+        assert_eq!(tree.coverage(), 9, "connected grid is fully spanned");
+        // Every non-root node appears as exactly one child, under its
+        // BFS parent.
+        let mut seen = vec![0u32; 9];
+        for u in topo.nodes() {
+            for &c in tree.children(u) {
+                assert_eq!(routes.next_hop(c, NodeId(0)), Some(u));
+                seen[c.index()] += 1;
+            }
+        }
+        assert_eq!(seen[0], 0, "the root has no parent");
+        assert!(
+            seen[1..].iter().all(|&s| s == 1),
+            "one parent each: {seen:?}"
+        );
+        // Subtrees partition the descendants.
+        let whole = tree.subtree(NodeId(0));
+        assert_eq!(whole.len(), 9);
+    }
+
+    #[test]
+    fn dissemination_skips_dead_and_disconnected_nodes() {
+        // A 4-node line severed by excluding node 1: the tree from 0
+        // spans only {0, 1-excluded? no:} {0}∪nothing past the corpse.
+        let topo = Topology::line(4, 40.0);
+        let routes = Routes::shortest_hop_excluding(&topo, 40.0, &[NodeId(1)]);
+        let tree = Dissemination::from_routes(&routes, NodeId(0));
+        assert!(tree.contains(NodeId(0)));
+        assert!(!tree.contains(NodeId(1)), "corpses are not spanned");
+        assert!(
+            !tree.contains(NodeId(2)),
+            "nodes behind the corpse are cut off"
+        );
+        assert_eq!(tree.coverage(), 1);
+        assert!(tree.children(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn dissemination_follows_route_repair() {
+        // The repaired routes reroute around the corpse; the rebuilt tree
+        // must span the survivors through the detour.
+        let topo = Topology::grid(3, 10.0);
+        let repaired = Routes::shortest_hop_excluding(&topo, 10.0, &[NodeId(1)]);
+        let tree = Dissemination::from_routes(&repaired, NodeId(0));
+        assert_eq!(tree.coverage(), 8, "everyone but the corpse");
+        assert!(!tree.subtree(NodeId(0)).contains(&NodeId(1)));
+        // Node 2 (whose straight-line parent died) hangs off the detour.
+        assert!(tree.contains(NodeId(2)));
     }
 
     #[test]

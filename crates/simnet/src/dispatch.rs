@@ -88,9 +88,12 @@ impl ShardState {
             Payload::SensorData(pkt) => {
                 let pkt = *pkt;
                 if node == pkt.dest {
-                    let alive_prefix = !self.shared.death_seen;
-                    self.metrics.on_delivered(&pkt, now, alive_prefix);
-                    self.fate_delivered(&pkt, ctx.current_key());
+                    if !self.deliver_copy(ctx, node, &pkt, now) {
+                        return;
+                    }
+                    if self.is_broadcast_flood(&pkt) {
+                        self.broadcast_relay(ctx, node, &pkt);
+                    }
                 } else {
                     self.forward_data(ctx, node, pkt, class);
                 }
@@ -163,6 +166,32 @@ impl ShardState {
         }
     }
 
+    /// Counts a copy's arrival at its destination. Returns `false` for a
+    /// duplicate (possible for broadcast copies when route repair
+    /// re-parents a relay mid-flight) — duplicates are dropped silently
+    /// and never re-forwarded.
+    fn deliver_copy(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        _node: NodeId,
+        pkt: &bcp_core::msg::AppPacket,
+        now: bcp_sim::time::SimTime,
+    ) -> bool {
+        if self.is_broadcast_flood(pkt) {
+            let already = matches!(
+                self.fates.get(&crate::shard::fate_key(pkt)),
+                Some(m) if m.fate == Fate::Delivered
+            );
+            if already {
+                return false;
+            }
+        }
+        let alive_prefix = !self.shared.death_seen;
+        self.metrics.on_delivered(pkt, now, alive_prefix);
+        self.fate_delivered(pkt, ctx.current_key());
+        true
+    }
+
     fn tx_outcome(
         &mut self,
         ctx: &mut ShardCtx<'_>,
@@ -177,7 +206,7 @@ impl ShardState {
         match payload {
             Payload::SensorData(pkt) => {
                 if !ok {
-                    self.fate_lost(pkt.id.0, Fate::LostMac, ctx.current_key());
+                    self.fate_lost(&pkt, Fate::LostMac, ctx.current_key());
                 }
             }
             Payload::Control { .. } => {
@@ -298,7 +327,7 @@ impl ShardState {
                     };
                     let key = ctx.current_key();
                     for p in &packets {
-                        self.fate_lost(p.id.0, fate, key);
+                        self.fate_lost(p, fate, key);
                     }
                 }
                 SenderAction::SessionDone { .. } => {}
@@ -341,11 +370,14 @@ impl ShardState {
                 ReceiverAction::ReleaseHighRadio { .. } => self.release_high(ctx, node),
                 ReceiverAction::DeliverPackets { from: _, packets } => {
                     let now = ctx.now();
-                    let alive_prefix = !self.shared.death_seen;
                     for pkt in packets {
                         if pkt.dest == node {
-                            self.metrics.on_delivered(&pkt, now, alive_prefix);
-                            self.fate_delivered(&pkt, ctx.current_key());
+                            if !self.deliver_copy(ctx, node, &pkt, now) {
+                                continue;
+                            }
+                            if self.is_broadcast_flood(&pkt) {
+                                self.broadcast_relay(ctx, node, &pkt);
+                            }
                         } else {
                             self.bcp_data(ctx, node, pkt);
                         }

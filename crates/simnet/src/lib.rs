@@ -25,6 +25,12 @@
 //! routes around the corpse, and identical seeds reproduce identical
 //! death times.
 //!
+//! Beyond the paper's convergecast, [`TrafficPattern`] opens the dual
+//! workloads: sink-to-all broadcast down a dissemination tree (flooding
+//! on the low radio, or BCP bulk relay per tree edge on the high radio)
+//! and deterministic many-to-many gossip flows — with per-flow
+//! [`FlowStats`] whose sums equal the global counters exactly.
+//!
 //! # Examples
 //!
 //! A scaled-down single-hop run (5 senders, burst 100, 60 simulated
@@ -56,7 +62,8 @@ pub mod spec;
 pub mod world;
 
 pub use bcp_mac::sleep::SleepSchedule;
-pub use metrics::{Metrics, NodePowerReport, RunStats};
+pub use bcp_traffic::TrafficPattern;
+pub use metrics::{FlowStats, Metrics, NodePowerReport, RunStats};
 pub use scenario::{HighRoute, ModelKind, Scenario, WorkloadKind};
 pub use spec::{emit_spec, parse_spec, ScenarioBuilder, SpecError};
 pub use world::World;

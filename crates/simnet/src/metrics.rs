@@ -14,27 +14,80 @@ use bcp_net::addr::NodeId;
 use bcp_radio::units::Energy;
 use bcp_sim::stats::Welford;
 use bcp_sim::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Per-flow delivery accounting: one entry per `(origin, destination)`
+/// pair that generated or received data.
+///
+/// A flow's deliveries all happen at its destination — on exactly one
+/// shard — so the delay stream below is accumulated by a single shard in
+/// event order and the cross-shard [`Metrics::merge`] only ever combines
+/// a populated stream with empty ones. That is what keeps every derived
+/// quantity bit-identical for any shard count, and makes the merge
+/// commutative (any permutation of per-shard metrics folds to the same
+/// result).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowStats {
+    /// Packets generated for this flow. Under a broadcast pattern the
+    /// source generates one *copy* per intended recipient, so each
+    /// `(source, recipient)` flow counts its own.
+    pub generated_packets: u64,
+    /// Payload bits likewise.
+    pub generated_bits: u64,
+    /// Packets this flow's destination received.
+    pub delivered_packets: u64,
+    /// Payload bits likewise.
+    pub delivered_bits: u64,
+    /// Per-packet delays (generation → this destination).
+    pub delay: Welford,
+}
+
+impl FlowStats {
+    /// Folds another shard's view of the same flow into this one.
+    pub fn merge(&mut self, other: &FlowStats) {
+        self.generated_packets += other.generated_packets;
+        self.generated_bits += other.generated_bits;
+        self.delivered_packets += other.delivered_packets;
+        self.delivered_bits += other.delivered_bits;
+        self.delay.merge(&other.delay);
+    }
+
+    /// Fraction of this flow's generated packets that arrived.
+    pub fn reach(&self) -> f64 {
+        if self.generated_packets == 0 {
+            0.0
+        } else {
+            self.delivered_packets as f64 / self.generated_packets as f64
+        }
+    }
+}
 
 /// Counters accumulated during one run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
-    /// Application packets generated at senders.
+    /// Application packets generated at senders (for broadcast patterns:
+    /// per-recipient copies, so goodput stays a `[0, 1]` reach fraction).
     pub generated_packets: u64,
     /// Application payload bits generated.
     pub generated_bits: u64,
-    /// Packets received at the sink.
+    /// Packets received at their flow's destination.
     pub delivered_packets: u64,
-    /// Payload bits received at the sink.
+    /// Payload bits received at their flow's destination.
     pub delivered_bits: u64,
-    /// Per-packet delays (generation → sink).
-    pub delay: Welford,
+    /// Per-flow accounting, keyed `(origin, destination)`. The global
+    /// delay statistics derive from these streams (merged in key order),
+    /// never from a shard-order fold — see [`FlowStats`].
+    pub flows: BTreeMap<(NodeId, NodeId), FlowStats>,
     /// Packets lost to BCP buffer overflow.
     pub drops_buffer: u64,
     /// Packets lost to MAC retry exhaustion or MAC queue overflow. A MAC
     /// "failure" whose frame actually arrived (lost ACK) is *not* counted:
     /// fates are reconciled per packet at the end of the run.
     pub drops_mac: u64,
-    /// Packets still buffered or in flight when the run ended.
+    /// Packets still buffered or in flight when the run ended. Under a
+    /// broadcast pattern this also covers copies stranded by an upstream
+    /// tree-edge loss (only the failed edge's own copy is marked as a
+    /// drop; the subtree behind it was simply never served).
     pub residual_packets: u64,
     /// Wake-up handshakes begun.
     pub handshakes: u64,
@@ -63,22 +116,30 @@ impl Metrics {
     /// world that flag lives in the coordinator-published snapshot, not
     /// in any one shard's counters.
     pub fn on_generated(&mut self, pkt: &AppPacket, alive_prefix: bool) {
+        let bits = pkt.bytes as u64 * 8;
         self.generated_packets += 1;
-        self.generated_bits += pkt.bytes as u64 * 8;
+        self.generated_bits += bits;
         if alive_prefix {
             self.generated_before_first_death += 1;
         }
+        let f = self.flows.entry((pkt.origin, pkt.dest)).or_default();
+        f.generated_packets += 1;
+        f.generated_bits += bits;
     }
 
-    /// Records a sink delivery at time `now` (see
+    /// Records a delivery at the flow's destination at time `now` (see
     /// [`on_generated`](Self::on_generated) for `alive_prefix`).
     pub fn on_delivered(&mut self, pkt: &AppPacket, now: SimTime, alive_prefix: bool) {
+        let bits = pkt.bytes as u64 * 8;
         self.delivered_packets += 1;
-        self.delivered_bits += pkt.bytes as u64 * 8;
+        self.delivered_bits += bits;
         if alive_prefix {
             self.delivered_before_first_death += 1;
         }
-        self.delay
+        let f = self.flows.entry((pkt.origin, pkt.dest)).or_default();
+        f.delivered_packets += 1;
+        f.delivered_bits += bits;
+        f.delay
             .push(now.saturating_duration_since(pkt.created).as_secs_f64());
     }
 
@@ -90,16 +151,21 @@ impl Metrics {
         }
     }
 
-    /// Folds another shard's counters into this one. Sink deliveries (and
-    /// their delay series) happen on exactly one shard, so the Welford
-    /// merge never mixes two non-trivial delay streams; everything else
-    /// is a plain sum or an earliest-instant fold.
+    /// Folds another shard's counters into this one. A flow's deliveries
+    /// (and its delay stream) happen on exactly one shard — the
+    /// destination's — so the per-flow Welford merge never mixes two
+    /// non-trivial streams; everything else is a plain sum or an
+    /// earliest-instant fold. The whole merge is therefore commutative:
+    /// folding per-shard metrics in any permutation yields the same
+    /// result as the single-shard run.
     pub fn merge(&mut self, other: &Metrics) {
         self.generated_packets += other.generated_packets;
         self.generated_bits += other.generated_bits;
         self.delivered_packets += other.delivered_packets;
         self.delivered_bits += other.delivered_bits;
-        self.delay.merge(&other.delay);
+        for (key, f) in &other.flows {
+            self.flows.entry(*key).or_default().merge(f);
+        }
         self.drops_buffer += other.drops_buffer;
         self.drops_mac += other.drops_mac;
         self.residual_packets += other.residual_packets;
@@ -136,9 +202,33 @@ impl Metrics {
         }
     }
 
+    /// The whole run's delay statistics: every flow's stream merged in
+    /// `(origin, destination)` key order. The fold order is a property of
+    /// the flow set, never of the sharding, so the result is bit-identical
+    /// for any shard count.
+    pub fn delay(&self) -> Welford {
+        let mut w = Welford::new();
+        for f in self.flows.values() {
+            w.merge(&f.delay);
+        }
+        w
+    }
+
     /// Mean per-packet delay in seconds (0 when nothing delivered).
     pub fn mean_delay_s(&self) -> f64 {
-        self.delay.mean()
+        self.delay().mean()
+    }
+
+    /// Packet-level reach: delivered / generated packets (0 when nothing
+    /// generated). For a broadcast run — where generation counts one copy
+    /// per intended recipient — this is the mean fraction of live nodes
+    /// each disseminated packet arrived at.
+    pub fn packet_reach(&self) -> f64 {
+        if self.generated_packets == 0 {
+            0.0
+        } else {
+            self.delivered_packets as f64 / self.generated_packets as f64
+        }
     }
 }
 
@@ -188,6 +278,11 @@ pub struct RunStats {
     /// bucket, J); the `p_sleep` floor the idle tax collapses toward as
     /// the LPL duty cycle shrinks.
     pub energy_low_sleep_j: f64,
+    /// For broadcast runs: the fraction of per-recipient copies that
+    /// arrived (`delivered / generated` packets — the mean share of live
+    /// nodes each disseminated packet reached). `None` for convergecast
+    /// and gossip runs.
+    pub broadcast_reach: Option<f64>,
     /// Per-node supply/meter accounting (one entry per node, in id order).
     pub per_node: Vec<NodePowerReport>,
 }
@@ -247,6 +342,7 @@ impl RunStats {
             delivered_before_first_death: metrics.delivered_before_first_death,
             energy_low_idle_j: 0.0,
             energy_low_sleep_j: 0.0,
+            broadcast_reach: None,
             per_node: Vec::new(),
             metrics,
         }
@@ -255,6 +351,13 @@ impl RunStats {
     /// Attaches the per-node supply accounting (builder style).
     pub fn with_per_node(mut self, per_node: Vec<NodePowerReport>) -> Self {
         self.per_node = per_node;
+        self
+    }
+
+    /// Marks the run as a broadcast dissemination, recording its reach
+    /// fraction (builder style).
+    pub fn with_broadcast_reach(mut self, reach: f64) -> Self {
+        self.broadcast_reach = Some(reach);
         self
     }
 
@@ -290,17 +393,35 @@ impl RunStats {
             })
             .collect::<Vec<_>>()
             .join(",");
+        let flows = m
+            .flows
+            .iter()
+            .map(|((src, dst), f)| {
+                format!(
+                    "{{\"src\":{},\"dst\":{},\"generated_packets\":{},\
+                     \"delivered_packets\":{},\"delivered_bits\":{},\"mean_delay_s\":{}}}",
+                    src.0,
+                    dst.0,
+                    f.generated_packets,
+                    f.delivered_packets,
+                    f.delivered_bits,
+                    num(f.delay.mean()),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"goodput\":{},\"energy_j\":{},\"j_per_kbit\":{},\"mean_delay_s\":{},\
              \"energy_header_j\":{},\"j_per_kbit_header\":{},\
              \"energy_overhear_full_j\":{},\"j_per_kbit_overhear_full\":{},\
              \"events\":{},\"time_to_first_death_s\":{},\"time_to_partition_s\":{},\
              \"delivered_before_first_death\":{},\
-             \"energy_low_idle_j\":{},\"energy_low_sleep_j\":{},\"metrics\":{{\
+             \"energy_low_idle_j\":{},\"energy_low_sleep_j\":{},\
+             \"broadcast_reach\":{},\"metrics\":{{\
              \"generated_packets\":{},\"generated_bits\":{},\"delivered_packets\":{},\
              \"delivered_bits\":{},\"drops_buffer\":{},\"drops_mac\":{},\
              \"residual_packets\":{},\"handshakes\":{},\"radio_wakeups\":{},\
-             \"collisions\":{},\"node_deaths\":{}}},\"per_node\":[{}]}}",
+             \"collisions\":{},\"node_deaths\":{}}},\"flows\":[{}],\"per_node\":[{}]}}",
             num(self.goodput),
             num(self.energy_j),
             num(self.j_per_kbit),
@@ -315,6 +436,7 @@ impl RunStats {
             self.delivered_before_first_death,
             num(self.energy_low_idle_j),
             num(self.energy_low_sleep_j),
+            opt_num(self.broadcast_reach),
             m.generated_packets,
             m.generated_bits,
             m.delivered_packets,
@@ -326,6 +448,7 @@ impl RunStats {
             m.radio_wakeups,
             m.collisions,
             m.node_deaths,
+            flows,
             per_node,
         )
     }
@@ -397,6 +520,60 @@ mod tests {
     }
 
     #[test]
+    fn flow_ledger_sums_to_globals_and_reach() {
+        let mut m = Metrics::default();
+        // Two flows from different origins; flow (1,0) delivers 2 of 3,
+        // flow (2,9) delivers 1 of 1.
+        for seq in 0..3 {
+            m.on_generated(&pkt(seq, 0), true);
+        }
+        let other = AppPacket::new(NodeId(2), NodeId(9), 0, SimTime::ZERO, 32);
+        m.on_generated(&other, true);
+        for seq in 0..2 {
+            m.on_delivered(&pkt(seq, 0), SimTime::from_secs(3), true);
+        }
+        m.on_delivered(&other, SimTime::from_secs(5), true);
+        assert_eq!(m.flows.len(), 2);
+        let f10 = &m.flows[&(NodeId(1), NodeId(0))];
+        assert_eq!(f10.generated_packets, 3);
+        assert_eq!(f10.delivered_packets, 2);
+        assert!((f10.reach() - 2.0 / 3.0).abs() < 1e-12);
+        let sum_gen: u64 = m.flows.values().map(|f| f.generated_packets).sum();
+        let sum_del: u64 = m.flows.values().map(|f| f.delivered_packets).sum();
+        assert_eq!(sum_gen, m.generated_packets);
+        assert_eq!(sum_del, m.delivered_packets);
+        // The global delay derives from the flows: 3 samples, mean of
+        // {3, 3, 5} seconds.
+        assert_eq!(m.delay().count(), 3);
+        assert!((m.mean_delay_s() - 11.0 / 3.0).abs() < 1e-12);
+        assert!((m.packet_reach() - 3.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_merge_with_empty_side_is_exact() {
+        // The sharded world's guarantee: one shard carries a flow's
+        // deliveries (delay stream), others only its generation counts —
+        // merging in either order is bitwise exact.
+        let mut src_shard = Metrics::default();
+        let mut dst_shard = Metrics::default();
+        for seq in 0..5 {
+            src_shard.on_generated(&pkt(seq, 0), true);
+            dst_shard.on_delivered(&pkt(seq, 0), SimTime::from_secs(seq + 2), true);
+        }
+        let mut ab = src_shard.clone();
+        ab.merge(&dst_shard);
+        let mut ba = dst_shard.clone();
+        ba.merge(&src_shard);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.mean_delay_s(), ba.mean_delay_s());
+        assert_eq!(
+            ab.flows[&(NodeId(1), NodeId(0))].delay,
+            dst_shard.flows[&(NodeId(1), NodeId(0))].delay,
+            "the populated stream passes through untouched"
+        );
+    }
+
+    #[test]
     fn runstats_normalization_in_j_per_kbit() {
         let mut m = Metrics::default();
         for i in 0..100 {
@@ -428,6 +605,12 @@ mod tests {
         let j = rs.to_json();
         // Nothing delivered: J/Kbit is ∞ → null in JSON.
         assert!(j.contains("\"j_per_kbit\":null"), "{j}");
+        // Convergecast: no reach; the flow ledger still serialises.
+        assert!(j.contains("\"broadcast_reach\":null"), "{j}");
+        assert!(
+            j.contains("\"flows\":[{\"src\":1,\"dst\":0,"),
+            "per-flow ledger in JSON: {j}"
+        );
         assert!(j.contains("\"generated_packets\":1"));
         assert!(j.contains("\"events\":42"));
         assert!(j.contains("\"died_at_s\":null"));

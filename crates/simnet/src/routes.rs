@@ -15,10 +15,11 @@ use crate::metrics::Metrics;
 use crate::scenario::{ModelKind, Scenario};
 use crate::shard::ShardState;
 use bcp_net::addr::NodeId;
-use bcp_net::routing::{RouteWeight, Routes};
+use bcp_net::routing::{Dissemination, RouteWeight, Routes};
 use bcp_power::BatteryModel;
 use bcp_sim::conservative::{PdesControl, ShardsMut};
 use bcp_sim::time::SimTime;
+use bcp_traffic::TrafficPattern;
 use std::sync::Arc;
 
 /// The coordinator-published snapshot of whole-world state.
@@ -33,6 +34,12 @@ pub(crate) struct SharedNet {
     /// `true` once a death has been announced: ends the "all nodes alive"
     /// prefix that the before-first-death metrics measure.
     pub death_seen: bool,
+    /// The source-rooted dissemination tree broadcast traffic relays
+    /// down: the reverse of the data routes toward the source. Present
+    /// exactly under [`TrafficPattern::Broadcast`], and rebuilt with the
+    /// routes at every global event — route repair after a death repairs
+    /// the tree in the same stroke.
+    pub dissem: Option<Dissemination>,
 }
 
 impl SharedNet {
@@ -75,14 +82,35 @@ pub(crate) fn compute_routes(
     (mk(scen.low_profile.range_m), mk(scen.high_profile.range_m))
 }
 
+/// The dissemination tree for a broadcast scenario, rooted at the source
+/// over the model's data routes; `None` for other patterns.
+pub(crate) fn compute_dissem(
+    scen: &Scenario,
+    low_routes: &Routes,
+    high_routes: &Routes,
+) -> Option<Dissemination> {
+    match scen.pattern {
+        TrafficPattern::Broadcast { source } => {
+            let routes = match scen.model {
+                ModelKind::Sensor | ModelKind::DualRadio => low_routes,
+                ModelKind::Dot11 => high_routes,
+            };
+            Some(Dissemination::from_routes(routes, source))
+        }
+        _ => None,
+    }
+}
+
 /// Builds the snapshot a run starts with (everyone alive, full charge).
 pub(crate) fn initial_shared(scen: &Scenario) -> Arc<SharedNet> {
     let (low_routes, high_routes) = compute_routes(scen, &initial_residuals(scen), &[]);
+    let dissem = compute_dissem(scen, &low_routes, &high_routes);
     Arc::new(SharedNet {
         low_routes,
         high_routes,
         alive: vec![true; scen.topo.len()],
         death_seen: false,
+        dissem,
     })
 }
 
@@ -92,6 +120,11 @@ pub(crate) fn initial_shared(scen: &Scenario) -> Arc<SharedNet> {
 #[derive(Debug)]
 pub(crate) struct Control {
     pub scen: Arc<Scenario>,
+    /// The gossip flow list, resolved once at build (it is a constant of
+    /// the scenario; re-deriving it per death event would repeat the
+    /// whole pair draw inside the serial global-event step). Empty for
+    /// other patterns.
+    pub gossip_flows: Vec<(NodeId, NodeId)>,
     /// Global metrics slice: node deaths, first death, partition instant.
     pub metrics: Metrics,
     /// Global events executed (part of the run's event count).
@@ -125,11 +158,13 @@ impl Control {
             .collect();
         dead.sort();
         let (low_routes, high_routes) = compute_routes(&self.scen, &residual, &dead);
+        let dissem = compute_dissem(&self.scen, &low_routes, &high_routes);
         let snap = Arc::new(SharedNet {
             low_routes,
             high_routes,
             alive,
             death_seen,
+            dissem,
         });
         shards.for_each(|_, s| s.shared = Arc::clone(&snap));
         snap
@@ -155,17 +190,39 @@ impl Control {
         if self.metrics.partition.is_some() {
             return;
         }
-        // The sink is "disconnected" the first time any data source can no
-        // longer reach it: the sink itself died, a sender died, or a
-        // sender's every route crosses corpses.
-        let sink = self.scen.sink;
         let routes = snap.data_routes(self.scen.model);
-        let severed = dead == sink
-            || self
-                .scen
-                .senders
-                .iter()
-                .any(|&s| !snap.alive[s.index()] || routes.next_hop(s, sink).is_none());
+        let severed = match self.scen.pattern {
+            // The sink is "disconnected" the first time any data source
+            // can no longer reach it: the sink itself died, a sender
+            // died, or a sender's every route crosses corpses.
+            TrafficPattern::Converge => {
+                let sink = self.scen.sink;
+                dead == sink
+                    || self
+                        .scen
+                        .senders
+                        .iter()
+                        .any(|&s| !snap.alive[s.index()] || routes.next_hop(s, sink).is_none())
+            }
+            // The dissemination is "partitioned" when the source died or
+            // some *surviving* node fell out of the tree: corpses leave
+            // the recipient set, but a live node the flood cannot reach
+            // is data lost.
+            TrafficPattern::Broadcast { source } => {
+                let tree = snap.dissem.as_ref().expect("broadcast publishes a tree");
+                dead == source
+                    || self
+                        .scen
+                        .topo
+                        .nodes()
+                        .any(|r| r != source && snap.alive[r.index()] && !tree.contains(r))
+            }
+            // A gossip mesh is severed when any flow lost an endpoint or
+            // every path between its endpoints crosses corpses.
+            TrafficPattern::Gossip { .. } => self.gossip_flows.iter().any(|&(s, d)| {
+                !snap.alive[s.index()] || !snap.alive[d.index()] || routes.next_hop(s, d).is_none()
+            }),
+        };
         if severed {
             self.metrics.on_partition(at);
         }

@@ -10,7 +10,7 @@ use bcp_power::{Battery, PowerConfig};
 use bcp_radio::profile::RadioProfile;
 use bcp_sim::rng::Rng;
 use bcp_sim::time::{SimDuration, SimTime};
-use bcp_traffic::Workload;
+use bcp_traffic::{TrafficPattern, Workload};
 
 /// Which of the paper's three evaluation models to simulate (Section 4:
 /// "(1) Sensor model ... (2) IEEE 802.11 model ... (3) Dual-radio model").
@@ -75,7 +75,15 @@ pub struct Scenario {
     pub topo: Topology,
     /// The data sink.
     pub sink: NodeId,
-    /// Sending nodes.
+    /// Which way application data flows: convergecast to the sink (the
+    /// paper's workloads and the default), sink-to-all broadcast, or
+    /// many-to-many gossip. Non-converge patterns fix `senders` — prefer
+    /// [`ScenarioBuilder::traffic`](crate::spec::ScenarioBuilder::traffic),
+    /// which derives and validates them.
+    pub pattern: TrafficPattern,
+    /// Sending nodes. For [`TrafficPattern::Broadcast`] this is the
+    /// source alone; for [`TrafficPattern::Gossip`] the drawn flow
+    /// sources.
     pub senders: Vec<NodeId>,
     /// Low-power radio profile (MicaZ in the paper's simulations).
     pub low_profile: RadioProfile,
@@ -215,6 +223,25 @@ impl Scenario {
         self
     }
 
+    /// The scenario's application flows as `(source, destination)` pairs:
+    /// every sender toward the sink under convergecast, one flow per
+    /// intended recipient under broadcast, the drawn pairs under gossip.
+    /// Deterministic — a pure function of the scenario.
+    pub fn flows(&self) -> Vec<(NodeId, NodeId)> {
+        match self.pattern {
+            TrafficPattern::Converge => self.senders.iter().map(|&s| (s, self.sink)).collect(),
+            TrafficPattern::Broadcast { source } => self
+                .topo
+                .nodes()
+                .filter(|&r| r != source)
+                .map(|r| (source, r))
+                .collect(),
+            TrafficPattern::Gossip { pairs, seed } => {
+                TrafficPattern::gossip_flows(self.topo.len(), self.sink, pairs, seed)
+            }
+        }
+    }
+
     /// Instantiates one sender's workload from the scenario parameters.
     pub fn make_workload(&self, seed: u64) -> Workload {
         match self.workload {
@@ -236,6 +263,22 @@ impl Scenario {
                 )
             }
         }
+    }
+
+    /// Overrides the traffic pattern *and* re-derives `senders` from it
+    /// (builder style; prefer
+    /// [`ScenarioBuilder::traffic`](crate::spec::ScenarioBuilder::traffic),
+    /// which validates the pattern against the topology first).
+    pub fn with_pattern(mut self, pattern: TrafficPattern) -> Self {
+        self.pattern = pattern;
+        match pattern {
+            TrafficPattern::Converge => {}
+            TrafficPattern::Broadcast { source } => self.senders = vec![source],
+            TrafficPattern::Gossip { .. } => {
+                self.senders = self.flows().into_iter().map(|(s, _)| s).collect()
+            }
+        }
+        self
     }
 
     /// Overrides the simulated duration.

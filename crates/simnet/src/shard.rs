@@ -36,7 +36,7 @@ use std::sync::Arc;
 pub(crate) type ShardCtx<'a> = Ctx<'a, Ev, GlobalEv>;
 
 /// Final state of one application packet (reconciled at run end).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub(crate) enum Fate {
     Pending,
     Delivered,
@@ -51,6 +51,18 @@ pub(crate) enum Fate {
 pub(crate) struct FateMark {
     pub fate: Fate,
     pub key: EvKey,
+}
+
+/// Identity of one *accountable copy* of an application packet: the
+/// packet id plus the copy's final destination. Convergecast and gossip
+/// packets have exactly one copy; a broadcast arrival fans out into one
+/// copy per intended recipient (all sharing the packet id), so the
+/// destination is part of the identity.
+pub(crate) type FateKey = (u64, u32);
+
+/// The fate-map key of one packet copy.
+pub(crate) fn fate_key(pkt: &AppPacket) -> FateKey {
+    (pkt.id.0, pkt.dest.0)
 }
 
 #[derive(Debug, Clone)]
@@ -88,7 +100,10 @@ pub(crate) struct ShardState {
     /// wake-up preamble). A receiver waking mid-preamble uses this to
     /// lock onto the frame; only populated under an LPL schedule.
     pub lpl_audible: HashMap<u32, Vec<(TxId, SimTime)>>,
-    pub fates: HashMap<u64, FateMark>,
+    pub fates: HashMap<FateKey, FateMark>,
+    /// Each sender's flow destination (indexed by node id; the sink for
+    /// non-senders). Broadcast sources are handled before this is read.
+    pub flow_dest: Arc<Vec<NodeId>>,
     pub metrics: Metrics,
     /// How late a death announcement reaches the coordinator (the minimum
     /// link latency — identical for every shard count).
@@ -238,7 +253,7 @@ impl ShardState {
 
     pub(crate) fn fate_generated(&mut self, pkt: &AppPacket, key: EvKey) {
         let prev = self.fates.insert(
-            pkt.id.0,
+            fate_key(pkt),
             FateMark {
                 fate: Fate::Pending,
                 key,
@@ -248,36 +263,37 @@ impl ShardState {
     }
 
     pub(crate) fn fate_delivered(&mut self, pkt: &AppPacket, key: EvKey) {
-        // Deliveries all happen on the sink's shard, so duplicate sink
-        // delivery is still locally detectable.
+        // A copy's deliveries all happen on its destination's shard, so
+        // duplicate delivery is still locally detectable.
         let mark = FateMark {
             fate: Fate::Delivered,
             key,
         };
-        if let Some(prev) = self.fates.insert(pkt.id.0, mark) {
+        if let Some(prev) = self.fates.insert(fate_key(pkt), mark) {
             assert_ne!(
                 prev.fate,
                 Fate::Delivered,
-                "duplicate sink delivery of {:?}",
-                pkt.id
+                "duplicate delivery of {:?} at {}",
+                pkt.id,
+                pkt.dest
             );
             // LostMac -> Delivered is legal: the MAC's ACK was lost but
             // the frame got through (false-negative link failure).
         }
     }
 
-    /// Observes a packet loss. Within a shard the earliest observation
-    /// wins and a delivery is never downgraded; across shards the merge
-    /// at run end applies the same rule by key.
-    pub(crate) fn fate_lost(&mut self, id: u64, fate: Fate, key: EvKey) {
+    /// Observes the loss of one packet copy. Within a shard the earliest
+    /// observation wins and a delivery is never downgraded; across shards
+    /// the merge at run end applies the same rule by key.
+    pub(crate) fn fate_lost(&mut self, pkt: &AppPacket, fate: Fate, key: EvKey) {
         let mark = FateMark { fate, key };
-        match self.fates.get_mut(&id) {
+        match self.fates.get_mut(&fate_key(pkt)) {
             Some(m) if m.fate == Fate::Pending => *m = mark,
             Some(_) => {}
             None => {
                 // Generated on another shard; record the observation for
                 // the merge.
-                self.fates.insert(id, mark);
+                self.fates.insert(fate_key(pkt), mark);
             }
         }
     }
@@ -297,10 +313,10 @@ impl ShardState {
     fn app_arrival(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId) {
         let now = ctx.now();
         let end = self.traffic_end();
-        let sink = self.scen.sink;
+        let dest = self.flow_dest[node.index()];
         let pkt = {
             let n = self.node_mut(node);
-            let pkt = AppPacket::new(node, sink, n.app_seq, now, n.pending_bytes);
+            let pkt = AppPacket::new(node, dest, n.app_seq, now, n.pending_bytes);
             n.app_seq += 1;
             if let Some((t, b)) = n
                 .workload
@@ -316,12 +332,95 @@ impl ShardState {
             pkt
         };
         let alive_prefix = !self.shared.death_seen;
+        if let bcp_traffic::TrafficPattern::Broadcast { source } = self.scen.pattern {
+            debug_assert_eq!(node, source, "only the source generates broadcast data");
+            // One arrival fans out into one accountable copy per live
+            // recipient (the liveness snapshot is coordinator-published,
+            // so the recipient set is identical for every shard count)…
+            let key = ctx.current_key();
+            let shared = Arc::clone(&self.shared);
+            let recipients: Vec<NodeId> = self
+                .scen
+                .topo
+                .nodes()
+                .filter(|&r| r != node && shared.alive[r.index()])
+                .collect();
+            for r in recipients {
+                let copy = AppPacket { dest: r, ..pkt };
+                self.metrics.on_generated(&copy, alive_prefix);
+                self.fate_generated(&copy, key);
+            }
+            // …but the air carries it once per dissemination-tree edge.
+            self.broadcast_relay(ctx, node, &pkt);
+            return;
+        }
         self.metrics.on_generated(&pkt, alive_prefix);
         self.fate_generated(&pkt, ctx.current_key());
         match self.scen.model {
             ModelKind::Sensor => self.forward_data(ctx, node, pkt, Class::Low),
             ModelKind::Dot11 => self.forward_data(ctx, node, pkt, Class::High),
             ModelKind::DualRadio => self.bcp_data(ctx, node, pkt),
+        }
+    }
+
+    /// `true` when `pkt` is a copy of a broadcast flood (and must be
+    /// re-forwarded down the tree after local delivery).
+    pub(crate) fn is_broadcast_flood(&self, pkt: &AppPacket) -> bool {
+        matches!(self.scen.pattern,
+            bcp_traffic::TrafficPattern::Broadcast { source } if source == pkt.origin)
+    }
+
+    /// Hands a broadcast packet to `node`'s dissemination-tree children:
+    /// one re-addressed copy per child, over the model's data path (the
+    /// low radio hop for the sensor flood, the high radio for 802.11,
+    /// BCP's buffer-and-burst for dual-radio).
+    pub(crate) fn broadcast_relay(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        node: NodeId,
+        pkt: &AppPacket,
+    ) {
+        let shared = Arc::clone(&self.shared);
+        let Some(tree) = shared.dissem.as_ref() else {
+            return;
+        };
+        for &child in tree.children(node) {
+            let copy = AppPacket {
+                dest: child,
+                ..*pkt
+            };
+            match self.scen.model {
+                ModelKind::Sensor => {
+                    // The tree edge *is* the next hop: no route lookup.
+                    self.enqueue_frame(
+                        ctx,
+                        node,
+                        Class::Low,
+                        child,
+                        copy.bytes,
+                        Payload::SensorData(copy),
+                    );
+                }
+                ModelKind::Dot11 => {
+                    self.enqueue_frame(
+                        ctx,
+                        node,
+                        Class::High,
+                        child,
+                        copy.bytes,
+                        Payload::SensorData(copy),
+                    );
+                }
+                ModelKind::DualRadio => {
+                    let mut actions = Vec::new();
+                    self.node_mut(node)
+                        .bcp_tx
+                        .as_mut()
+                        .expect("dual model has BCP sender")
+                        .on_data(ctx.now(), child, copy, &mut actions);
+                    self.sender_actions(ctx, node, actions);
+                }
+            }
         }
     }
 
@@ -342,15 +441,15 @@ impl ShardState {
                 self.enqueue_frame(ctx, node, class, next, pkt.bytes, Payload::SensorData(pkt));
             }
             None => {
-                self.fate_lost(pkt.id.0, Fate::LostMac, ctx.current_key()); // unroutable
+                self.fate_lost(&pkt, Fate::LostMac, ctx.current_key()); // unroutable
             }
         }
     }
 
     /// Data entering BCP at `node` (origin or relay).
     pub(crate) fn bcp_data(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId, pkt: AppPacket) {
-        let Some(next) = self.high_next_hop(node) else {
-            self.fate_lost(pkt.id.0, Fate::LostMac, ctx.current_key());
+        let Some(next) = self.high_next_hop(node, pkt.dest) else {
+            self.fate_lost(&pkt, Fate::LostMac, ctx.current_key());
             return;
         };
         let mut actions = Vec::new();
@@ -362,13 +461,12 @@ impl ShardState {
         self.sender_actions(ctx, node, actions);
     }
 
-    pub(crate) fn high_next_hop(&self, node: NodeId) -> Option<NodeId> {
-        let sink = self.scen.sink;
+    pub(crate) fn high_next_hop(&self, node: NodeId, dst: NodeId) -> Option<NodeId> {
         match self.scen.high_route {
-            HighRoute::Tree => self.shared.high_routes.next_hop(node, sink),
+            HighRoute::Tree => self.shared.high_routes.next_hop(node, dst),
             HighRoute::LowParents { shortcuts, .. } => {
                 if shortcuts {
-                    if let Some(via) = self.node(node).shortcuts.shortcut(sink) {
+                    if let Some(via) = self.node(node).shortcuts.shortcut(dst) {
                         // Liveness is read from the coordinator snapshot:
                         // a forwarder's death becomes visible when the
                         // NodeDied repair publishes the new snapshot, one
@@ -383,7 +481,7 @@ impl ShardState {
                         }
                     }
                 }
-                self.shared.low_routes.next_hop(node, sink)
+                self.shared.low_routes.next_hop(node, dst)
             }
         }
     }
@@ -699,11 +797,11 @@ impl ShardState {
                 {
                     if ctx.now() <= self.node(node).listen_until {
                         if let Some(Payload::Burst { packets, .. }) = payload {
-                            let ours = packets.iter().any(|p| p.origin == node);
-                            if ours {
+                            let ours = packets.iter().find(|p| p.origin == node);
+                            if let Some(p) = ours {
+                                let dst = p.dest;
                                 if let Some(via) = self.node_of_mac(frame.src, Class::High) {
-                                    let sink = self.scen.sink;
-                                    self.node_mut(node).shortcuts.learn(sink, via);
+                                    self.node_mut(node).shortcuts.learn(dst, via);
                                 }
                             }
                         }

@@ -50,6 +50,7 @@ use bcp_radio::profile::{
     cabletron, cc2420, lucent_11m, lucent_2m, mica, mica2, micaz, RadioProfile,
 };
 use bcp_sim::time::SimDuration;
+use bcp_traffic::{TrafficPattern, GOSSIP_DEFAULT_SEED};
 use std::fmt;
 
 /// Why a scenario failed to build (or a `.scn` file failed to parse).
@@ -166,6 +167,22 @@ pub enum SpecError {
         /// Configured wake interval.
         wake_interval: SimDuration,
     },
+    /// The broadcast source id is not a node of the topology.
+    TrafficSourceOutOfRange {
+        /// The configured broadcast source.
+        source: u32,
+        /// Number of nodes in the topology.
+        nodes: usize,
+    },
+    /// A traffic-pattern parameter is incoherent (e.g. zero gossip
+    /// pairs, or gossip on a single-node topology).
+    InvalidTraffic {
+        /// What is wrong.
+        reason: String,
+    },
+    /// A broadcast or gossip pattern fixes the sender set, but `senders`
+    /// was also configured — one of the two must go.
+    SendersConflictWithTraffic,
     /// A `.scn` line failed to parse.
     Parse {
         /// 1-based line number in the input.
@@ -266,6 +283,18 @@ impl fmt::Display for SpecError {
                 "low_sleep preamble {preamble} must be at least the wake \
                  interval {wake_interval}, or sampling receivers miss frames"
             ),
+            SpecError::TrafficSourceOutOfRange { source, nodes } => write!(
+                f,
+                "broadcast source {source} is not a node (topology has {nodes} nodes)"
+            ),
+            SpecError::InvalidTraffic { reason } => {
+                write!(f, "invalid traffic pattern: {reason}")
+            }
+            SpecError::SendersConflictWithTraffic => write!(
+                f,
+                "broadcast/gossip traffic derives the sender set; drop the \
+                 `senders` key (or switch to `traffic = converge`)"
+            ),
             SpecError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
             SpecError::Unrepresentable { what } => {
                 write!(f, "not expressible in the .scn format: {what}")
@@ -298,6 +327,7 @@ pub struct ScenarioBuilder {
     model: ModelKind,
     topo: Topology,
     sink: NodeId,
+    pattern: TrafficPattern,
     senders: SenderSpec,
     low_profile: RadioProfile,
     low_sleep: SleepSchedule,
@@ -336,6 +366,7 @@ impl ScenarioBuilder {
             model: ModelKind::DualRadio,
             topo,
             sink,
+            pattern: TrafficPattern::Converge,
             senders: SenderSpec::Explicit(Vec::new()),
             low_profile: micaz(),
             low_sleep: SleepSchedule::AlwaysOn,
@@ -394,6 +425,16 @@ impl ScenarioBuilder {
     /// The data sink.
     pub fn sink(mut self, sink: NodeId) -> Self {
         self.sink = sink;
+        self
+    }
+
+    /// The traffic pattern: convergecast (the default), sink-to-all
+    /// broadcast, or many-to-many gossip. Broadcast and gossip derive the
+    /// sender set themselves — combining them with
+    /// [`senders`](Self::senders)/[`senders_auto`](Self::senders_auto) is
+    /// a build error.
+    pub fn traffic(mut self, pattern: TrafficPattern) -> Self {
+        self.pattern = pattern;
         self
     }
 
@@ -550,35 +591,83 @@ impl ScenarioBuilder {
                 nodes,
             });
         }
-        let senders = match &self.senders {
-            SenderSpec::Auto(0) => return Err(SpecError::NoSenders),
-            SenderSpec::Auto(n) => {
+        // Broadcast/gossip own the sender set; an explicit one on top is a
+        // contradiction, not an override.
+        let senders_configured = match &self.senders {
+            SenderSpec::Auto(_) => true,
+            SenderSpec::Explicit(list) => !list.is_empty(),
+        };
+        if !self.pattern.is_converge() && senders_configured {
+            return Err(SpecError::SendersConflictWithTraffic);
+        }
+        let senders = match self.pattern {
+            TrafficPattern::Converge => match &self.senders {
+                SenderSpec::Auto(0) => return Err(SpecError::NoSenders),
+                SenderSpec::Auto(n) => {
+                    let available = nodes - 1;
+                    if *n > available {
+                        return Err(SpecError::TooManySenders {
+                            requested: *n,
+                            available,
+                        });
+                    }
+                    Scenario::pick_senders(&self.topo, self.sink, *n)
+                }
+                SenderSpec::Explicit(list) => {
+                    if list.is_empty() {
+                        return Err(SpecError::NoSenders);
+                    }
+                    let mut seen = std::collections::HashSet::new();
+                    for &s in list {
+                        if s.index() >= nodes {
+                            return Err(SpecError::SenderOutOfRange { sender: s.0, nodes });
+                        }
+                        if s == self.sink {
+                            return Err(SpecError::SenderIsSink { sender: s.0 });
+                        }
+                        if !seen.insert(s) {
+                            return Err(SpecError::DuplicateSender { sender: s.0 });
+                        }
+                    }
+                    list.clone()
+                }
+            },
+            TrafficPattern::Broadcast { source } => {
+                if source.index() >= nodes {
+                    return Err(SpecError::TrafficSourceOutOfRange {
+                        source: source.0,
+                        nodes,
+                    });
+                }
+                if nodes < 2 {
+                    return Err(SpecError::InvalidTraffic {
+                        reason: "broadcast needs at least one recipient besides the source".into(),
+                    });
+                }
+                vec![source]
+            }
+            TrafficPattern::Gossip { pairs, seed } => {
+                if pairs == 0 {
+                    return Err(SpecError::InvalidTraffic {
+                        reason: "gossip needs at least one pair".into(),
+                    });
+                }
+                if nodes < 2 {
+                    return Err(SpecError::InvalidTraffic {
+                        reason: "gossip needs at least two nodes".into(),
+                    });
+                }
                 let available = nodes - 1;
-                if *n > available {
+                if pairs > available {
                     return Err(SpecError::TooManySenders {
-                        requested: *n,
+                        requested: pairs,
                         available,
                     });
                 }
-                Scenario::pick_senders(&self.topo, self.sink, *n)
-            }
-            SenderSpec::Explicit(list) => {
-                if list.is_empty() {
-                    return Err(SpecError::NoSenders);
-                }
-                let mut seen = std::collections::HashSet::new();
-                for &s in list {
-                    if s.index() >= nodes {
-                        return Err(SpecError::SenderOutOfRange { sender: s.0, nodes });
-                    }
-                    if s == self.sink {
-                        return Err(SpecError::SenderIsSink { sender: s.0 });
-                    }
-                    if !seen.insert(s) {
-                        return Err(SpecError::DuplicateSender { sender: s.0 });
-                    }
-                }
-                list.clone()
+                TrafficPattern::gossip_flows(nodes, self.sink, pairs, seed)
+                    .into_iter()
+                    .map(|(s, _)| s)
+                    .collect()
             }
         };
         if !(self.rate_bps.is_finite() && self.rate_bps > 0.0) {
@@ -714,6 +803,7 @@ impl ScenarioBuilder {
             model: self.model,
             topo: self.topo,
             sink: self.sink,
+            pattern: self.pattern,
             senders,
             low_profile: self.low_profile,
             low_sleep: self.low_sleep,
@@ -777,14 +867,19 @@ pub fn emit_spec(s: &Scenario) -> Result<String, SpecError> {
     kv("model", model_key(s.model).into());
     kv("topo", emit_topo(&s.topo));
     kv("sink", s.sink.0.to_string());
-    kv(
-        "senders",
-        s.senders
-            .iter()
-            .map(|n| n.0.to_string())
-            .collect::<Vec<_>>()
-            .join(","),
-    );
+    kv("traffic", emit_traffic(&s.pattern));
+    // Broadcast/gossip derive their sender sets; emitting one would make
+    // the canonical text fail its own re-parse.
+    if s.pattern.is_converge() {
+        kv(
+            "senders",
+            s.senders
+                .iter()
+                .map(|n| n.0.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+    }
     let (low_key, low_range) = profile_key(&s.low_profile)?;
     kv("low_profile", low_key.into());
     if let Some(r) = low_range {
@@ -899,6 +994,7 @@ pub fn parse_spec(text: &str) -> Result<Scenario, SpecError> {
             }
             "topo" => b.topo = parse_topo(value, line_no)?,
             "sink" => b.sink = NodeId(p_num::<u32>(value, line_no)?),
+            "traffic" => b.pattern = parse_traffic(value, line_no)?,
             "senders" => {
                 b.senders = if let Some(n) = value.strip_prefix("auto:") {
                     SenderSpec::Auto(p_num::<usize>(n, line_no)?)
@@ -1122,6 +1218,50 @@ fn parse_topo(value: &str, line: usize) -> Result<Topology, SpecError> {
             "unknown topology `{value}` (grid:<side>:<m> | line:<n>:<m> | points:x,y;…)"
         )))
     }
+}
+
+fn emit_traffic(p: &TrafficPattern) -> String {
+    match *p {
+        TrafficPattern::Converge => "converge".into(),
+        TrafficPattern::Broadcast { source } => format!("broadcast:{}", source.0),
+        TrafficPattern::Gossip { pairs, seed } => {
+            // The canonical pair-draw seed is left implicit.
+            if seed == GOSSIP_DEFAULT_SEED {
+                format!("gossip:{pairs}")
+            } else {
+                format!("gossip:{pairs}:{seed}")
+            }
+        }
+    }
+}
+
+fn parse_traffic(value: &str, line: usize) -> Result<TrafficPattern, SpecError> {
+    if value == "converge" {
+        return Ok(TrafficPattern::Converge);
+    }
+    if let Some(src) = value.strip_prefix("broadcast:") {
+        return Ok(TrafficPattern::Broadcast {
+            source: NodeId(p_num::<u32>(src, line)?),
+        });
+    }
+    if let Some(rest) = value.strip_prefix("gossip:") {
+        return match rest.split_once(':') {
+            None => Ok(TrafficPattern::Gossip {
+                pairs: p_num::<usize>(rest, line)?,
+                seed: GOSSIP_DEFAULT_SEED,
+            }),
+            Some((pairs, seed)) => Ok(TrafficPattern::Gossip {
+                pairs: p_num::<usize>(pairs, line)?,
+                seed: p_num::<u64>(seed, line)?,
+            }),
+        };
+    }
+    Err(SpecError::Parse {
+        line,
+        reason: format!(
+            "unknown traffic `{value}` (converge | broadcast:<src> | gossip:<n_pairs>[:<seed>])"
+        ),
+    })
 }
 
 fn emit_workload(w: &WorkloadKind) -> String {

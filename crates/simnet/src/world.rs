@@ -77,6 +77,19 @@ impl World {
         let death_latency = Self::death_latency(&scen);
         let t0 = SimTime::ZERO;
 
+        // Each sender's flow destination (the sink unless the pattern says
+        // otherwise). Broadcast sources fan out per-recipient instead and
+        // never read this.
+        let flow_dest = Arc::new({
+            let mut dests = vec![scen.sink; n];
+            if !matches!(scen.pattern, bcp_traffic::TrafficPattern::Broadcast { .. }) {
+                for (s, d) in scen.flows() {
+                    dests[s.index()] = d;
+                }
+            }
+            dests
+        });
+
         let mut shards: Vec<(ShardState, ShardQueue<Ev>)> = (0..k)
             .map(|id| {
                 (
@@ -102,6 +115,7 @@ impl World {
                         lpl_timers: HashMap::new(),
                         lpl_audible: HashMap::new(),
                         fates: HashMap::new(),
+                        flow_dest: Arc::clone(&flow_dest),
                         metrics: Metrics::default(),
                         death_latency,
                         events_logical: 0,
@@ -231,6 +245,10 @@ impl World {
             .collect();
         let mut control = Control {
             scen: Arc::clone(&scen),
+            gossip_flows: match scen.pattern {
+                bcp_traffic::TrafficPattern::Gossip { .. } => scen.flows(),
+                _ => Vec::new(),
+            },
             metrics: Metrics::default(),
             global_events: 0,
         };
@@ -319,10 +337,10 @@ impl World {
             .map(|s| s.chans[0].collisions() + s.chans[1].collisions())
             .sum();
 
-        // Reconcile per-packet fates across shards: delivery beats loss,
+        // Reconcile per-copy fates across shards: delivery beats loss,
         // the earliest loss observation (by event key) beats later ones —
         // exactly the single-map rules of a sequential run.
-        let mut fates: HashMap<u64, FateMark> = HashMap::new();
+        let mut fates: HashMap<crate::shard::FateKey, FateMark> = HashMap::new();
         for s in &shards {
             for (&id, &mark) in &s.fates {
                 merge_mark(&mut fates, id, mark);
@@ -412,7 +430,9 @@ impl World {
                 metrics.handshakes += tx.stats().handshakes;
             }
         }
-        RunStats::with_overhear_full(
+        let reach = matches!(scen.pattern, bcp_traffic::TrafficPattern::Broadcast { .. })
+            .then(|| metrics.packet_reach());
+        let stats = RunStats::with_overhear_full(
             metrics,
             energy,
             energy + header_extra,
@@ -420,11 +440,19 @@ impl World {
             events,
         )
         .with_per_node(per_node)
-        .with_low_radio_floor(low_idle, low_sleep)
+        .with_low_radio_floor(low_idle, low_sleep);
+        match reach {
+            Some(r) => stats.with_broadcast_reach(r),
+            None => stats,
+        }
     }
 }
 
-fn merge_mark(map: &mut HashMap<u64, FateMark>, id: u64, new: FateMark) {
+fn merge_mark(
+    map: &mut HashMap<crate::shard::FateKey, FateMark>,
+    id: crate::shard::FateKey,
+    new: FateMark,
+) {
     use std::collections::hash_map::Entry;
     match map.entry(id) {
         Entry::Vacant(e) => {
@@ -434,7 +462,7 @@ fn merge_mark(map: &mut HashMap<u64, FateMark>, id: u64, new: FateMark) {
             let cur = *e.get();
             let replace = match (cur.fate, new.fate) {
                 (Fate::Delivered, Fate::Delivered) => {
-                    unreachable!("duplicate sink delivery across shards")
+                    unreachable!("duplicate delivery of one copy across shards")
                 }
                 (Fate::Delivered, _) => false,
                 (_, Fate::Delivered) => true,
@@ -968,6 +996,58 @@ mod tests {
                 "duty cycling must extend life: {t} vs {t_always}"
             ),
         }
+    }
+
+    #[test]
+    fn fate_merge_is_permutation_invariant() {
+        use crate::shard::{Fate, FateMark};
+        use bcp_sim::keyed::EvKey;
+        // Per-shard fate observations must reconcile to the same verdict
+        // regardless of the order shards are folded in: delivery beats
+        // loss, the earliest loss (by event key) beats later ones, and
+        // Pending never survives a real observation.
+        let key = |t: u64| EvKey {
+            time: bcp_sim::time::SimTime::from_nanos(t),
+            depth: 0,
+            ord: t as u128,
+        };
+        let mark = |fate, t| FateMark { fate, key: key(t) };
+        // Three copies with conflicting observations spread over shards.
+        let shard_a: Vec<((u64, u32), FateMark)> = vec![
+            ((1, 0), mark(Fate::Pending, 1)),
+            ((2, 0), mark(Fate::LostMac, 50)),
+            ((3, 7), mark(Fate::Delivered, 80)),
+        ];
+        let shard_b = vec![
+            ((1, 0), mark(Fate::Delivered, 90)),
+            ((2, 0), mark(Fate::LostBuffer, 20)),
+            ((3, 7), mark(Fate::LostMac, 10)),
+        ];
+        let shard_c = vec![
+            ((2, 0), mark(Fate::LostMac, 35)),
+            ((3, 7), mark(Fate::Pending, 2)),
+        ];
+        let shards = [shard_a, shard_b, shard_c];
+        let fold = |order: &[usize]| {
+            let mut map: HashMap<(u64, u32), FateMark> = HashMap::new();
+            for &i in order {
+                for &(id, m) in &shards[i] {
+                    merge_mark(&mut map, id, m);
+                }
+            }
+            let mut out: Vec<((u64, u32), Fate, EvKey)> =
+                map.into_iter().map(|(id, m)| (id, m.fate, m.key)).collect();
+            out.sort();
+            out
+        };
+        let canonical = fold(&[0, 1, 2]);
+        for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            assert_eq!(fold(&order), canonical, "order {order:?}");
+        }
+        // The verdicts themselves are the sequential-run rules.
+        assert_eq!(canonical[0].1, Fate::Delivered, "delivery beats pending");
+        assert_eq!(canonical[1].1, Fate::LostBuffer, "earliest loss wins");
+        assert_eq!(canonical[2].1, Fate::Delivered, "delivery beats loss");
     }
 
     #[test]

@@ -26,8 +26,103 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use bcp_net::addr::NodeId;
 use bcp_sim::rng::Rng;
 use bcp_sim::time::{SimDuration, SimTime};
+
+/// Seed the gossip pair draw defaults to when a scenario does not pick
+/// one. Like [`TrafficPattern::gossip_flows`]' shuffle itself, it is
+/// deliberately *not* the master simulation seed: the flow **set** is
+/// part of the scenario, so seed sweeps compare the same flows.
+pub const GOSSIP_DEFAULT_SEED: u64 = 0x6055;
+
+/// The direction of a scenario's application traffic: who generates data
+/// and for whom.
+///
+/// The paper's evaluation is pure convergecast — every sender streams to
+/// one sink ([`TrafficPattern::Converge`]). The bulk-over-high-radio
+/// trade-off applies just as much to the dual problems: sink-to-all
+/// *dissemination* (Lipiński's maximum-lifetime broadcasting) and
+/// many-to-many *gossip* flows, where radio-energy modelling choices bite
+/// hardest (Khabbazian). Both directions reuse the same arrival-stream
+/// [`Workload`]s; the pattern only decides the destinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Every configured sender streams to the single sink (the paper's
+    /// workload, and the default).
+    Converge,
+    /// One source floods every other live node: over the low radio the
+    /// flood relays hop by hop down the dissemination tree; under BCP the
+    /// same tree moves the data in bulk bursts over the high radio.
+    Broadcast {
+        /// The disseminating node (typically the sink).
+        source: NodeId,
+    },
+    /// `pairs` deterministic unicast flows between distinct sources and
+    /// per-source destinations, drawn by [`gossip_flows`]
+    /// (TrafficPattern::gossip_flows) from `seed`.
+    Gossip {
+        /// Number of (source, destination) flows.
+        pairs: usize,
+        /// Seed of the pair draw (independent of the run's master seed so
+        /// seed sweeps keep the same flows).
+        seed: u64,
+    },
+}
+
+impl TrafficPattern {
+    /// `true` for the paper's convergecast default.
+    pub fn is_converge(&self) -> bool {
+        matches!(self, TrafficPattern::Converge)
+    }
+
+    /// Resolves the deterministic gossip flow list for a deployment of
+    /// `nodes` nodes: `pairs` distinct non-`sink` sources (shuffled by
+    /// `seed`, then sorted so the list is stable), each paired with a
+    /// destination drawn from every other node (the sink may receive).
+    /// The same `(nodes, sink, pairs, seed)` always yields the same
+    /// flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pairs` exceeds the available non-sink sources or when
+    /// a source would have no possible destination (`nodes < 2`). Build
+    /// scenarios through `ScenarioBuilder` for a typed error instead.
+    pub fn gossip_flows(
+        nodes: usize,
+        sink: NodeId,
+        pairs: usize,
+        seed: u64,
+    ) -> Vec<(NodeId, NodeId)> {
+        assert!(nodes >= 2, "gossip needs at least two nodes");
+        let mut srcs: Vec<NodeId> = (0..nodes as u32)
+            .map(NodeId)
+            .filter(|&n| n != sink)
+            .collect();
+        assert!(
+            pairs <= srcs.len(),
+            "cannot draw {pairs} gossip sources from {} non-sink nodes",
+            srcs.len()
+        );
+        let mut rng = Rng::new(seed);
+        rng.shuffle(&mut srcs);
+        srcs.truncate(pairs);
+        srcs.sort();
+        // Destinations draw after the sort so the flow list is a pure
+        // function of the inputs, not of the discarded shuffle tail.
+        srcs.into_iter()
+            .map(|src| {
+                let dst = loop {
+                    let d = NodeId(rng.index(nodes) as u32);
+                    if d != src {
+                        break d;
+                    }
+                };
+                (src, dst)
+            })
+            .collect()
+    }
+}
 
 /// A deterministic application traffic source.
 #[derive(Debug, Clone)]
@@ -358,5 +453,47 @@ mod tests {
     #[should_panic(expected = "carry data")]
     fn zero_packet_rejected() {
         let _ = Workload::cbr(0, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn gossip_flows_are_deterministic_and_valid() {
+        let sink = NodeId(14);
+        let a = TrafficPattern::gossip_flows(36, sink, 8, 7);
+        let b = TrafficPattern::gossip_flows(36, sink, 8, 7);
+        assert_eq!(a, b, "same inputs, same flows");
+        assert_eq!(a.len(), 8);
+        let mut srcs: Vec<NodeId> = a.iter().map(|(s, _)| *s).collect();
+        let sorted = srcs.clone();
+        srcs.sort();
+        srcs.dedup();
+        assert_eq!(srcs.len(), 8, "sources are distinct");
+        assert_eq!(srcs, sorted, "flow list is sorted by source");
+        for (s, d) in &a {
+            assert_ne!(s, d, "no self-flows");
+            assert_ne!(*s, sink, "the sink never sources gossip");
+            assert!(s.0 < 36 && d.0 < 36, "ids in range");
+        }
+        let c = TrafficPattern::gossip_flows(36, sink, 8, 8);
+        assert_ne!(a, c, "a different seed draws different flows");
+    }
+
+    #[test]
+    fn gossip_flows_can_saturate_the_deployment() {
+        // Every non-sink node sources a flow; destinations may repeat and
+        // may include the sink.
+        let flows = TrafficPattern::gossip_flows(6, NodeId(0), 5, 1);
+        assert_eq!(flows.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn too_many_gossip_pairs_panics() {
+        let _ = TrafficPattern::gossip_flows(4, NodeId(0), 4, 1);
+    }
+
+    #[test]
+    fn pattern_predicates() {
+        assert!(TrafficPattern::Converge.is_converge());
+        assert!(!TrafficPattern::Broadcast { source: NodeId(0) }.is_converge());
     }
 }

@@ -213,3 +213,104 @@ fn energy_ledger_total_is_sum_of_buckets() {
         assert!((report.total().as_joules() - sum).abs() < 1e-12);
     });
 }
+
+/// A random single-"shard" `Metrics` slice. `delay_here` controls whether
+/// this slice may carry delivery/delay observations for a flow — in the
+/// real simulator a flow's deliveries all land on its destination's
+/// shard, so at most one slice per flow has a non-empty delay stream.
+fn arb_metrics_slice(
+    rng: &mut Rng,
+    flows: &[(NodeId, NodeId)],
+    delivery_shard: &[usize],
+    shard: usize,
+) -> bcp::simnet::Metrics {
+    let mut m = bcp::simnet::Metrics::default();
+    for (fi, &(src, dst)) in flows.iter().enumerate() {
+        // Generation observations can land on any shard (the source's).
+        for seq in 0..rng.range_u64(0, 4) {
+            let pkt = AppPacket::new(src, dst, seq, SimTime::ZERO, 32);
+            m.on_generated(&pkt, rng.bernoulli(0.8));
+        }
+        if delivery_shard[fi] == shard {
+            for seq in 0..rng.range_u64(0, 4) {
+                let pkt = AppPacket::new(src, dst, seq, SimTime::ZERO, 32);
+                let at = SimTime::from_nanos(rng.range_u64(1, 5_000_000_000));
+                m.on_delivered(&pkt, at, rng.bernoulli(0.8));
+            }
+        }
+    }
+    for _ in 0..rng.range_u64(0, 3) {
+        m.on_node_died(SimTime::from_nanos(rng.range_u64(1, 9_000_000_000)));
+    }
+    if rng.bernoulli(0.3) {
+        m.on_partition(SimTime::from_nanos(rng.range_u64(1, 9_000_000_000)));
+    }
+    m.drops_mac += rng.range_u64(0, 5);
+    m.drops_buffer += rng.range_u64(0, 5);
+    m.residual_packets += rng.range_u64(0, 5);
+    m.handshakes += rng.range_u64(0, 5);
+    m.radio_wakeups += rng.range_u64(0, 5);
+    m.collisions += rng.range_u64(0, 5);
+    m
+}
+
+#[test]
+fn metrics_merge_is_permutation_invariant() {
+    // The run-end fold walks shards in shard order; the guarantee the
+    // sharded world rests on is that the order never matters — merging
+    // per-shard Metrics (counters, min-instants, and the per-flow
+    // FlowStats incl. their Welford delay streams) in ANY permutation is
+    // bit-identical to the canonical fold, floats included.
+    for_each_case(0xF10A5, |rng| {
+        let k = 2 + rng.index(4); // 2..=5 shards
+        let n_flows = 1 + rng.index(6);
+        let flows: Vec<(NodeId, NodeId)> = (0..n_flows)
+            .map(|i| {
+                (
+                    NodeId(rng.index(30) as u32),
+                    NodeId(100 + i as u32), // distinct destinations
+                )
+            })
+            .collect();
+        // Each flow's destination lives on exactly one shard.
+        let delivery_shard: Vec<usize> = flows.iter().map(|_| rng.index(k)).collect();
+        let slices: Vec<bcp::simnet::Metrics> = (0..k)
+            .map(|s| arb_metrics_slice(rng, &flows, &delivery_shard, s))
+            .collect();
+        let fold = |order: &[usize]| {
+            let mut acc = bcp::simnet::Metrics::default();
+            for &i in order {
+                acc.merge(&slices[i]);
+            }
+            acc
+        };
+        let canonical_order: Vec<usize> = (0..k).collect();
+        let canonical = fold(&canonical_order);
+        // A handful of random permutations plus the exact reversal.
+        let mut orders: Vec<Vec<usize>> = vec![canonical_order.iter().rev().copied().collect()];
+        for _ in 0..4 {
+            let mut o = canonical_order.clone();
+            rng.shuffle(&mut o);
+            orders.push(o);
+        }
+        for order in orders {
+            let merged = fold(&order);
+            assert_eq!(merged, canonical, "order {order:?} diverged");
+            // The derived statistics are bit-identical too (the global
+            // delay is a key-ordered fold over flows, not a shard fold).
+            assert_eq!(merged.mean_delay_s(), canonical.mean_delay_s());
+            assert_eq!(merged.delay().count(), canonical.delay().count());
+            assert_eq!(
+                merged.delay().sample_variance(),
+                canonical.delay().sample_variance()
+            );
+        }
+        // And merging everything equals having observed everything on one
+        // shard, when each flow's deliveries stay on one slice: spot-check
+        // the flow ledger sums.
+        let total_gen: u64 = canonical.flows.values().map(|f| f.generated_packets).sum();
+        assert_eq!(total_gen, canonical.generated_packets);
+        let total_delay: u64 = canonical.flows.values().map(|f| f.delay.count()).sum();
+        assert_eq!(total_delay, canonical.delivered_packets);
+    });
+}

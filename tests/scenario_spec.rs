@@ -21,7 +21,7 @@ use bcp::sim::rng::Rng;
 use bcp::sim::time::SimDuration;
 use bcp::simnet::{
     emit_spec, parse_spec, HighRoute, ModelKind, Scenario, ScenarioBuilder, SleepSchedule,
-    SpecError, WorkloadKind,
+    SpecError, TrafficPattern, WorkloadKind,
 };
 
 // ── 1. the round-trip property ──────────────────────────────────────────
@@ -90,14 +90,33 @@ fn arb_scenario(rng: &mut Rng) -> Scenario {
             SimDuration::from_nanos(1 + rng.range_u64(0, 1_000_000)),
         )
         .seed(rng.next_u64());
-    // Senders: auto or an explicit non-sink subset.
-    if rng.bernoulli(0.5) {
-        b = b.senders_auto(1 + rng.index(n - 1));
-    } else {
-        let mut ids: Vec<NodeId> = topo.nodes().filter(|&x| x != sink).collect();
-        rng.shuffle(&mut ids);
-        ids.truncate(1 + rng.index(ids.len()));
-        b = b.senders(ids);
+    // Traffic: convergecast with auto/explicit senders, or a pattern that
+    // derives its own sender set (broadcast from any node incl. the sink,
+    // gossip with a default or explicit pair seed).
+    match rng.index(4) {
+        0 => b = b.senders_auto(1 + rng.index(n - 1)),
+        1 => {
+            let mut ids: Vec<NodeId> = topo.nodes().filter(|&x| x != sink).collect();
+            rng.shuffle(&mut ids);
+            ids.truncate(1 + rng.index(ids.len()));
+            b = b.senders(ids);
+        }
+        2 => {
+            b = b.traffic(TrafficPattern::Broadcast {
+                source: NodeId(rng.index(n) as u32),
+            })
+        }
+        _ => {
+            let seed = if rng.bernoulli(0.5) {
+                bcp::traffic::GOSSIP_DEFAULT_SEED
+            } else {
+                rng.next_u64()
+            };
+            b = b.traffic(TrafficPattern::Gossip {
+                pairs: 1 + rng.index(n - 1),
+                seed,
+            })
+        }
     }
     match rng.index(3) {
         0 => b = b.workload(WorkloadKind::Cbr),
@@ -602,4 +621,152 @@ fn equivalence_holds_with_batteries_and_deaths() {
     );
     assert_bit_identical(&a, &b, "legacy vs builder (batteries)");
     assert_bit_identical(&a, &c, "legacy vs .scn (batteries)");
+}
+
+// ── traffic-pattern grammar and validation ──────────────────────────────
+
+#[test]
+fn rejects_broadcast_source_outside_topology() {
+    let err = ScenarioBuilder::new()
+        .traffic(TrafficPattern::Broadcast { source: NodeId(99) })
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SpecError::TrafficSourceOutOfRange {
+            source: 99,
+            nodes: 36
+        }
+    );
+    assert!(err.to_string().contains("broadcast source 99"));
+}
+
+#[test]
+fn rejects_degenerate_gossip() {
+    let err = ScenarioBuilder::new()
+        .traffic(TrafficPattern::Gossip { pairs: 0, seed: 1 })
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, SpecError::InvalidTraffic { .. }), "{err}");
+    assert!(err.to_string().contains("at least one pair"));
+    // More pairs than non-sink nodes reuses the sender-count invariant.
+    let err = ScenarioBuilder::new()
+        .traffic(TrafficPattern::Gossip { pairs: 36, seed: 1 })
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SpecError::TooManySenders {
+            requested: 36,
+            available: 35
+        }
+    );
+}
+
+#[test]
+fn rejects_senders_combined_with_non_converge_traffic() {
+    for b in [
+        valid().traffic(TrafficPattern::Broadcast { source: NodeId(14) }),
+        valid().traffic(TrafficPattern::Gossip { pairs: 3, seed: 1 }),
+    ] {
+        let err = b.build().unwrap_err();
+        assert_eq!(err, SpecError::SendersConflictWithTraffic);
+        assert!(err.to_string().contains("derives the sender set"));
+    }
+}
+
+#[test]
+fn traffic_grammar_parses_and_validates() {
+    // The sink may source a broadcast (sink-to-all is the headline case).
+    let s = parse_spec("traffic = broadcast:14\n").expect("parses");
+    assert_eq!(s.pattern, TrafficPattern::Broadcast { source: NodeId(14) });
+    assert_eq!(s.senders, vec![NodeId(14)]);
+    // Gossip with the implicit and an explicit pair seed.
+    let s = parse_spec("traffic = gossip:5\n").expect("parses");
+    assert_eq!(
+        s.pattern,
+        TrafficPattern::Gossip {
+            pairs: 5,
+            seed: bcp::traffic::GOSSIP_DEFAULT_SEED
+        }
+    );
+    assert_eq!(s.senders.len(), 5);
+    let s = parse_spec("traffic = gossip:5:77\n").expect("parses");
+    assert_eq!(s.pattern, TrafficPattern::Gossip { pairs: 5, seed: 77 });
+    // The default stays convergecast.
+    let s = parse_spec("senders = auto:5\n").expect("parses");
+    assert!(s.pattern.is_converge());
+    // Garbage is a parse error with the line; `senders` alongside a
+    // deriving pattern is the typed conflict.
+    let err = parse_spec("traffic = multicast:3\n").unwrap_err();
+    assert!(matches!(err, SpecError::Parse { line: 1, .. }), "{err:?}");
+    let err = parse_spec("traffic = broadcast:14\nsenders = auto:5\n").unwrap_err();
+    assert_eq!(err, SpecError::SendersConflictWithTraffic);
+}
+
+// ── 4. the golden corpus: every checked-in .scn, byte for byte ──────────
+
+/// Every preset under `examples/specs/` must parse, emit canonically, and
+/// round-trip **byte for byte** from its canonical form — the whole
+/// grammar exercised on real files, so any drift in a key's spelling or
+/// formatting fails here even if the per-variant tests miss it.
+#[test]
+fn golden_checked_in_specs_round_trip_byte_for_byte() {
+    let dir = std::path::Path::new("examples/specs");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("examples/specs exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 9, "the preset corpus is present: {files:?}");
+    let names: Vec<String> = files
+        .iter()
+        .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    for preset in ["broadcast_demo.scn", "gossip_pairs.scn"] {
+        assert!(names.iter().any(|n| n == preset), "{preset} checked in");
+    }
+    for path in &files {
+        let text = std::fs::read_to_string(path).expect("readable preset");
+        let scen =
+            parse_spec(&text).unwrap_or_else(|e| panic!("{}: parse failed: {e}", path.display()));
+        let canonical =
+            emit_spec(&scen).unwrap_or_else(|e| panic!("{}: emit failed: {e}", path.display()));
+        let reparsed = parse_spec(&canonical)
+            .unwrap_or_else(|e| panic!("{}: canonical re-parse failed: {e}", path.display()));
+        assert_eq!(
+            reparsed,
+            scen,
+            "{}: canonical text describes the same scenario",
+            path.display()
+        );
+        let re_emitted = emit_spec(&reparsed).expect("re-emit");
+        assert_eq!(
+            re_emitted,
+            canonical,
+            "{}: emit is byte-for-byte stable",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn broadcast_and_gossip_presets_run() {
+    // The two directional presets do real work even at a short clamp.
+    let b = parse_spec(&std::fs::read_to_string("examples/specs/broadcast_demo.scn").unwrap())
+        .expect("broadcast preset parses")
+        .with_duration(SimDuration::from_secs(60));
+    let stats = b.run();
+    assert!(
+        stats.broadcast_reach.expect("reach reported") > 0.5,
+        "the demo disseminates: {:?}",
+        stats.broadcast_reach
+    );
+    let g = parse_spec(&std::fs::read_to_string("examples/specs/gossip_pairs.scn").unwrap())
+        .expect("gossip preset parses")
+        .with_duration(SimDuration::from_secs(60));
+    let stats = g.run();
+    assert!(stats.goodput > 0.3, "the mesh delivers: {}", stats.goodput);
+    assert!(stats.metrics.flows.len() >= 6, "per-flow ledger populated");
 }
