@@ -1,0 +1,114 @@
+//! The `repro bench` harness: a canonical node-count × shard-count grid
+//! timed end to end, emitted as a small JSON document suitable for
+//! checking in (`BENCH_<rev>.json` at the repo root) and diffing across
+//! revisions.
+//!
+//! The grid reuses the `scale` experiment's sensor-network builder so the
+//! benched workload is the same physics the paper's figures exercise.
+//! Throughput figures are wall-clock measurements — they are *not*
+//! covered by any bit-identity guarantee and will differ run to run; the
+//! point of checking a snapshot in is catching order-of-magnitude
+//! regressions, not basis points.
+
+use crate::scale::sensor_scale;
+use bcp_sim::time::SimDuration;
+
+/// One benched grid cell: a node count run at a shard count.
+#[derive(Debug, Clone)]
+pub struct BenchCell {
+    /// Total nodes in the grid topology.
+    pub nodes: usize,
+    /// Shard count the run was partitioned into.
+    pub shards: usize,
+    /// Logical events processed (shard-count invariant for a given cell).
+    pub events: u64,
+    /// Wall-clock seconds inside the engine.
+    pub wall_s: f64,
+    /// `events / wall_s` — the headline throughput figure.
+    pub events_per_sec: f64,
+}
+
+/// Runs the canonical bench grid. `quick` trims it to a smoke-sized
+/// corner (one side, two shard counts, a shorter horizon) for CI.
+pub fn bench_grid(quick: bool) -> Vec<BenchCell> {
+    let (sides, shard_counts, secs): (&[usize], &[usize], u64) = if quick {
+        (&[16], &[1, 2], 5)
+    } else {
+        (&[16, 24, 32], &[1, 2, 4], 10)
+    };
+    let mut cells = Vec::new();
+    for &side in sides {
+        for &shards in shard_counts {
+            let mut scen = sensor_scale(side, 2008);
+            scen.duration = SimDuration::from_secs(secs);
+            scen.shards = shards;
+            let stats = scen.run();
+            let e = &stats.engine;
+            cells.push(BenchCell {
+                nodes: side * side,
+                shards,
+                events: stats.events,
+                wall_s: e.wall_s,
+                events_per_sec: e.events_per_sec,
+            });
+        }
+    }
+    cells
+}
+
+/// Renders the bench document: `{"rev":...,"cells":[...]}`.
+pub fn bench_json(rev: &str, cells: &[BenchCell]) -> String {
+    use bcp_sim::json::{escape, num};
+    let body = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"nodes\":{},\"shards\":{},\"events\":{},\"wall_s\":{},\"events_per_sec\":{}}}",
+                c.nodes,
+                c.shards,
+                c.events,
+                num(c.wall_s),
+                num(c.events_per_sec)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{\"rev\":{},\"cells\":[{}]}}\n", escape(rev), body)
+}
+
+/// The current git revision (short), or `"unknown"` outside a checkout.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_runs_and_renders() {
+        let cells = bench_grid(true);
+        assert_eq!(cells.len(), 2);
+        for c in &cells {
+            assert_eq!(c.nodes, 256);
+            assert!(c.events > 0, "a bench run processes events");
+        }
+        // Shard count never changes the logical event count.
+        assert_eq!(cells[0].events, cells[1].events);
+        let json = bench_json("deadbeef", &cells);
+        let v = bcp_sim::json::parse(&json).expect("bench JSON parses");
+        assert_eq!(v.get("rev").and_then(|r| r.as_str()), Some("deadbeef"));
+        let arr = v
+            .get("cells")
+            .and_then(|c| c.as_arr())
+            .expect("cells array");
+        assert_eq!(arr.len(), 2);
+    }
+}

@@ -6,6 +6,9 @@
 //! repro all [--quick|--paper-lite|--paper|--test] [--json] [--out <dir>]
 //! repro <id>... [--quick|--paper-lite|--paper|--test] [--json] [--out <dir>]
 //! repro run <file.scn> [--test] [--out <dir>]
+//!           [--trace <file>] [--trace-filter <cats>]
+//!           [--series <file>] [--series-every <secs>]
+//! repro bench [--quick|--full] [--out <file>]
 //! ```
 //!
 //! * `repro <id>` prints the gnuplot-ready text rendering; `--json` emits
@@ -14,9 +17,23 @@
 //! * `repro run` executes any `.scn` scenario file (see the README's
 //!   "Scenario files" section) and prints the run's `RunStats` as JSON;
 //!   `--test` clamps the simulated duration to 60 s for smoke tests.
+//!   `--trace` additionally writes the flight-recorder trace as NDJSON
+//!   (one record per line; `--trace-filter` keeps only the named
+//!   comma-separated categories out of `pkt,radio,power,route`), and
+//!   `--series` writes one NDJSON delta sample per `--series-every`
+//!   seconds of sim time (default 1). Neither switch perturbs the run:
+//!   the printed `RunStats` are bit-identical either way.
+//! * `repro bench` times the canonical node × shard grid end to end and
+//!   prints `{"rev":...,"cells":[...]}`; check the output in as
+//!   `BENCH_<rev>.json` to track engine throughput across revisions.
+//!   `--quick` (the default quality) runs the CI-sized corner of the
+//!   grid; `--full` runs the whole matrix.
 
+use bcp_experiments::bench::{bench_grid, bench_json, git_rev};
 use bcp_experiments::{all, find, Output, Quality, RunCtx};
-use bcp_simnet::parse_spec;
+use bcp_sim::time::SimDuration;
+use bcp_sim::trace::TraceCat;
+use bcp_simnet::{parse_spec, RunOptions};
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -30,6 +47,16 @@ struct Cli {
     /// Experiment ids (order-preserving, deduplicated).
     ids: Vec<String>,
     list: bool,
+    /// `repro bench`: run the throughput grid instead of experiments.
+    bench: bool,
+    /// `repro run --trace <file>`: write the flight-recorder NDJSON here.
+    trace: Option<PathBuf>,
+    /// `--trace-filter`: keep only these categories (empty = all).
+    trace_filter: Vec<TraceCat>,
+    /// `repro run --series <file>`: write per-window NDJSON samples here.
+    series: Option<PathBuf>,
+    /// `--series-every <secs>` (default 1 s when `--series` is given).
+    series_every: Option<f64>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -40,9 +67,16 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         scn: None,
         ids: Vec::new(),
         list: false,
+        bench: false,
+        trace: None,
+        trace_filter: Vec::new(),
+        series: None,
+        series_every: None,
     };
     let run_mode = args.first().map(String::as_str) == Some("run");
-    let mut i = usize::from(run_mode);
+    let bench_mode = args.first().map(String::as_str) == Some("bench");
+    cli.bench = bench_mode;
+    let mut i = usize::from(run_mode || bench_mode);
     while i < args.len() {
         let a = args[i].as_str();
         match a {
@@ -58,8 +92,48 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     .ok_or_else(|| "--out needs a directory".to_string())?;
                 cli.out_dir = Some(PathBuf::from(dir));
             }
-            "list" if !run_mode => cli.list = true,
-            "all" if !run_mode => cli.ids.extend(all().iter().map(|e| e.id.to_string())),
+            "--trace" if run_mode => {
+                i += 1;
+                let f = args
+                    .get(i)
+                    .ok_or_else(|| "--trace needs a file".to_string())?;
+                cli.trace = Some(PathBuf::from(f));
+            }
+            "--trace-filter" if run_mode => {
+                i += 1;
+                let cats = args
+                    .get(i)
+                    .ok_or_else(|| "--trace-filter needs categories".to_string())?;
+                for c in cats.split(',') {
+                    cli.trace_filter.push(TraceCat::parse(c).ok_or_else(|| {
+                        format!("unknown trace category {c} (want pkt|radio|power|route)")
+                    })?);
+                }
+            }
+            "--series" if run_mode => {
+                i += 1;
+                let f = args
+                    .get(i)
+                    .ok_or_else(|| "--series needs a file".to_string())?;
+                cli.series = Some(PathBuf::from(f));
+            }
+            "--series-every" if run_mode => {
+                i += 1;
+                let secs = args
+                    .get(i)
+                    .ok_or_else(|| "--series-every needs seconds".to_string())?;
+                let secs: f64 = secs
+                    .parse()
+                    .map_err(|_| format!("bad --series-every value {secs}"))?;
+                if secs <= 0.0 || !secs.is_finite() {
+                    return Err("--series-every must be positive".into());
+                }
+                cli.series_every = Some(secs);
+            }
+            "list" if !run_mode && !bench_mode => cli.list = true,
+            "all" if !run_mode && !bench_mode => {
+                cli.ids.extend(all().iter().map(|e| e.id.to_string()))
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other if run_mode => {
                 if cli.scn.is_some() {
@@ -67,12 +141,19 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 }
                 cli.scn = Some(PathBuf::from(other));
             }
+            other if bench_mode => return Err(format!("bench takes no positional arg {other}")),
             other => cli.ids.push(other.to_string()),
         }
         i += 1;
     }
     if run_mode && cli.scn.is_none() {
         return Err("repro run needs a scenario file".into());
+    }
+    if !cli.trace_filter.is_empty() && cli.trace.is_none() {
+        return Err("--trace-filter needs --trace".into());
+    }
+    if cli.series_every.is_some() && cli.series.is_none() {
+        return Err("--series-every needs --series".into());
     }
     // Order-preserving dedup across the whole list, so
     // `repro fig5 table1 fig5` runs fig5 once (and `all` plus an explicit
@@ -102,6 +183,9 @@ fn main() -> ExitCode {
             println!("{:width$}  {}", e.id, e.title);
         }
         return ExitCode::SUCCESS;
+    }
+    if cli.bench {
+        return run_bench(&cli);
     }
     if let Some(dir) = &cli.out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -158,6 +242,28 @@ fn persist(dir: &Path, id: &str, title: &str, out: &Output, json: bool) -> std::
     Ok(())
 }
 
+/// `repro bench`: time the canonical grid and print/persist the document.
+fn run_bench(cli: &Cli) -> ExitCode {
+    let quick = cli.quality == Quality::Quick || cli.quality == Quality::Test;
+    eprintln!(
+        "benching the {} grid (wall-clock figures, not reproducible)...",
+        if quick { "quick" } else { "full" }
+    );
+    let started = std::time::Instant::now();
+    let cells = bench_grid(quick);
+    let json = bench_json(&git_rev(), &cells);
+    print!("{json}");
+    if let Some(out) = &cli.out_dir {
+        // For bench, --out names the output *file*, not a directory.
+        if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("  done in {:.1?}", started.elapsed());
+    ExitCode::SUCCESS
+}
+
 /// `repro run <file.scn>`: parse, validate, execute, print `RunStats` JSON.
 fn run_scenario_file(path: &Path, cli: &Cli) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
@@ -190,7 +296,51 @@ fn run_scenario_file(path: &Path, cli: &Cli) -> ExitCode {
         scenario.duration
     );
     let started = std::time::Instant::now();
-    let stats = scenario.run();
+    let opts = RunOptions {
+        trace: cli.trace.is_some(),
+        series_every: cli
+            .series
+            .as_ref()
+            .map(|_| SimDuration::from_secs_f64(cli.series_every.unwrap_or(1.0))),
+    };
+    let out = scenario.run_with(&opts);
+    let stats = out.stats;
+    if let Some(file) = &cli.trace {
+        let mut ndjson = String::new();
+        let mut kept = 0usize;
+        for r in &out.trace {
+            if cli.trace_filter.is_empty() || cli.trace_filter.contains(&r.ev.cat()) {
+                ndjson.push_str(&r.to_ndjson());
+                ndjson.push('\n');
+                kept += 1;
+            }
+        }
+        if let Err(e) = std::fs::write(file, ndjson) {
+            eprintln!("cannot write trace {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "  trace: {kept}/{} records -> {}",
+            out.trace.len(),
+            file.display()
+        );
+    }
+    if let Some(file) = &cli.series {
+        let mut ndjson = String::new();
+        for s in &out.series {
+            ndjson.push_str(&s.to_ndjson());
+            ndjson.push('\n');
+        }
+        if let Err(e) = std::fs::write(file, ndjson) {
+            eprintln!("cannot write series {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "  series: {} samples -> {}",
+            out.series.len(),
+            file.display()
+        );
+    }
     let json = stats.to_json();
     println!("{json}");
     if let Some(dir) = &cli.out_dir {
@@ -212,6 +362,9 @@ fn usage() {
         "usage: repro list\n\
          \x20      repro all [--quick|--paper-lite|--paper|--test] [--json] [--out <dir>]\n\
          \x20      repro <id>... [--quick|--paper-lite|--paper|--test] [--json] [--out <dir>]\n\
-         \x20      repro run <file.scn> [--test] [--out <dir>]"
+         \x20      repro run <file.scn> [--test] [--out <dir>]\n\
+         \x20                [--trace <file>] [--trace-filter pkt,radio,power,route]\n\
+         \x20                [--series <file>] [--series-every <secs>]\n\
+         \x20      repro bench [--quick|--full] [--out <file>]"
     );
 }

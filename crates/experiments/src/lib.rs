@@ -30,6 +30,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablations;
+pub mod bench;
 pub mod broadcast;
 pub mod idle_floor;
 pub mod lifetime;

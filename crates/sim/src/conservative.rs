@@ -116,6 +116,20 @@ pub trait PdesControl<S: PdesShard> {
         ev: S::Global,
         out: &mut Vec<(SimTime, S::Global)>,
     );
+
+    /// Observation hook fired by [`run_conservative_sampled`] at each
+    /// sample instant, with every event strictly before `now` already
+    /// processed (so shard state is exact at `now`). `queue_depths[i]` is
+    /// shard `i`'s pending live-event count. Purely observational: the
+    /// default does nothing, and implementations must not mutate
+    /// simulation state — sampling may never change physics.
+    fn on_sample(
+        &mut self,
+        _shards: &mut ShardsMut<'_, S>,
+        _now: SimTime,
+        _queue_depths: &[usize],
+    ) {
+    }
 }
 
 /// Exclusive access to every shard during a global event (shards are
@@ -246,6 +260,35 @@ pub struct Outcome<S> {
     pub shards: Vec<S>,
     /// Total events processed (shard-local plus global).
     pub processed: u64,
+    /// Engine-level counters (windows, widths, wall clock, queue depths).
+    pub counters: EngineCounters,
+}
+
+/// Engine-level observability counters for one conservative run.
+///
+/// The virtual-time counters (`windows`, `serial_steps`,
+/// `window_width_s_sum`, `per_shard_*`) are deterministic for a given
+/// shard count and sampling interval; the wall-clock fields
+/// (`barrier_wait_s`, `wall_s`) are not and must be excluded from
+/// bit-identity comparisons.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineCounters {
+    /// Conservative windows drained (parallel or inline).
+    pub windows: u64,
+    /// Serial coordinator steps taken for global events.
+    pub serial_steps: u64,
+    /// Sum of window widths in seconds (divide by `windows` for the mean).
+    pub window_width_s_sum: f64,
+    /// Coordinator wall-clock seconds spent waiting at window barriers
+    /// (zero on the single-threaded path).
+    pub barrier_wait_s: f64,
+    /// Total wall-clock seconds inside the engine.
+    pub wall_s: f64,
+    /// Events processed per shard, in index order.
+    pub per_shard_processed: Vec<u64>,
+    /// Maximum pending live-event count observed per shard at window
+    /// boundaries, in index order.
+    pub per_shard_max_queue: Vec<usize>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -310,10 +353,42 @@ where
     S: PdesShard,
     C: PdesControl<S>,
 {
+    run_conservative_sampled(shards, globals, control, lookahead, end, threads, None)
+}
+
+/// [`run_conservative`] plus periodic observation: when `sample_every` is
+/// set, the coordinator fires [`PdesControl::on_sample`] at every multiple
+/// of the interval (from `t = sample_every` up to the last instant with
+/// pending work), clamping window horizons so each sample sees shard state
+/// exact at its instant. Sampling changes window *partitioning* only —
+/// which the engine contract guarantees is physics-neutral — never event
+/// order or results.
+///
+/// # Panics
+///
+/// Panics if `shards` is empty, a zero lookahead is supplied, or
+/// `sample_every` is zero.
+pub fn run_conservative_sampled<S, C>(
+    shards: Vec<(S, ShardQueue<S::Ev>)>,
+    globals: Vec<(SimTime, S::Global)>,
+    control: &mut C,
+    lookahead: Option<SimDuration>,
+    end: SimTime,
+    threads: usize,
+    sample_every: Option<SimDuration>,
+) -> Outcome<S>
+where
+    S: PdesShard,
+    C: PdesControl<S>,
+{
     assert!(!shards.is_empty(), "need at least one shard");
     if let Some(l) = lookahead {
         assert!(l > SimDuration::ZERO, "lookahead must be positive");
     }
+    if let Some(e) = sample_every {
+        assert!(e > SimDuration::ZERO, "sample interval must be positive");
+    }
+    let started = std::time::Instant::now();
     let k = shards.len();
     let slots: Vec<Mutex<Slot<S>>> = shards
         .into_iter()
@@ -333,6 +408,10 @@ where
 
     let parties = threads.clamp(1, k);
     let end_excl_run = SimTime::from_nanos(end.as_nanos().saturating_add(1));
+    let mut counters = EngineCounters {
+        per_shard_max_queue: vec![0; k],
+        ..EngineCounters::default()
+    };
 
     if parties == 1 {
         coordinate(
@@ -343,6 +422,8 @@ where
             lookahead,
             end_excl_run,
             None,
+            sample_every,
+            &mut counters,
         );
     } else {
         let barrier = SpinBarrier::new(parties);
@@ -394,6 +475,8 @@ where
                     stop: &stop,
                     parties,
                 }),
+                sample_every,
+                &mut counters,
             );
         });
     }
@@ -404,10 +487,16 @@ where
         .map(|m| {
             let slot = m.into_inner().expect("shard lock poisoned");
             processed += slot.queue.processed();
+            counters.per_shard_processed.push(slot.queue.processed());
             slot.shard
         })
         .collect();
-    Outcome { shards, processed }
+    counters.wall_s = started.elapsed().as_secs_f64();
+    Outcome {
+        shards,
+        processed,
+        counters,
+    }
 }
 
 struct Pool<'a> {
@@ -418,7 +507,9 @@ struct Pool<'a> {
 }
 
 /// The coordinator loop: picks windows, triggers parallel drains, routes
-/// messages, and executes global events in serial steps.
+/// messages, executes global events in serial steps, and fires sample
+/// instants (clamping window horizons so samples see exact state).
+#[allow(clippy::too_many_arguments)]
 fn coordinate<S, C>(
     slots: &[Mutex<Slot<S>>],
     inboxes: &[Inbox<S::Ev>],
@@ -427,17 +518,21 @@ fn coordinate<S, C>(
     lookahead: Option<SimDuration>,
     end_excl_run: SimTime,
     pool: Option<Pool<'_>>,
+    sample_every: Option<SimDuration>,
+    counters: &mut EngineCounters,
 ) where
     S: PdesShard,
     C: PdesControl<S>,
 {
     let k = slots.len();
+    let mut next_sample = sample_every.map(|e| SimTime::ZERO + e);
     loop {
         // Route messages and collect deferred globals produced by the
         // previous round, then find the earliest pending work. Globals
         // must land in the queue before the window decision: a death
         // emitted mid-window clips the next window.
         let mut shard_min: Option<EvKey> = None;
+        let mut depths = vec![0usize; k];
         for i in 0..k {
             let msgs = std::mem::take(&mut *lock(&inboxes[i]));
             let slot = &mut *lock(&slots[i]);
@@ -447,6 +542,8 @@ fn coordinate<S, C>(
             for (t, g) in std::mem::take(&mut slot.globals_out) {
                 gqueue.schedule(t, g);
             }
+            depths[i] = slot.queue.live_len();
+            counters.per_shard_max_queue[i] = counters.per_shard_max_queue[i].max(depths[i]);
             if let Some(key) = slot.queue.peek_key() {
                 shard_min = Some(shard_min.map_or(key, |m: EvKey| m.min(key)));
             }
@@ -458,6 +555,15 @@ fn coordinate<S, C>(
             (None, Some(b)) => b.time,
             (None, None) => break,
         };
+        // Fire every sample instant that all pending work has passed:
+        // events strictly before it are done, so state is exact there.
+        if let Some(every) = sample_every {
+            while let Some(at) = next_sample.filter(|&at| t0 >= at && at < end_excl_run) {
+                let mut shards = ShardsMut { slots };
+                control.on_sample(&mut shards, at, &depths);
+                next_sample = Some(at + every);
+            }
+        }
         if t0 >= end_excl_run {
             break;
         }
@@ -465,22 +571,36 @@ fn coordinate<S, C>(
             Some(l) => SimTime::from_nanos(t0.as_nanos().saturating_add(l.as_nanos())),
             None => SimTime::MAX,
         };
-        let end_excl = horizon.min(end_excl_run);
+        let mut end_excl = horizon.min(end_excl_run);
+        // Clamp to the next sample instant so no event at or beyond it
+        // runs before the sample fires. Window partitioning never affects
+        // physics, so the clamp is observation-only.
+        if let Some(at) = next_sample {
+            end_excl = end_excl.min(at);
+        }
 
         if global_min.is_some_and(|g| g.time < end_excl) {
+            counters.serial_steps += 1;
             serial_step(slots, gqueue, control, global_min.expect("checked").time);
             continue;
         }
+
+        counters.windows += 1;
+        counters.window_width_s_sum += end_excl.saturating_duration_since(t0).as_secs_f64();
 
         // Parallel (or inline) window: every shard drains [t0, end_excl).
         match &pool {
             Some(p) => {
                 p.window_end.store(end_excl.as_nanos(), Ordering::Release);
+                let waited = std::time::Instant::now();
                 p.barrier.wait();
+                counters.barrier_wait_s += waited.elapsed().as_secs_f64();
                 for i in (0..k).step_by(p.parties) {
                     drain_window(slots, inboxes, i, end_excl);
                 }
+                let waited = std::time::Instant::now();
                 p.barrier.wait();
+                counters.barrier_wait_s += waited.elapsed().as_secs_f64();
             }
             None => {
                 for i in 0..k {
@@ -654,6 +774,7 @@ mod tests {
 
     struct DigestLog {
         log: Vec<u64>,
+        samples: Vec<(SimTime, u64, usize)>,
         every: SimDuration,
         end: SimTime,
     }
@@ -677,9 +798,37 @@ mod tests {
                 out.push((now + self.every, Digest));
             }
         }
+
+        fn on_sample(
+            &mut self,
+            shards: &mut ShardsMut<'_, Cells>,
+            now: SimTime,
+            queue_depths: &[usize],
+        ) {
+            let mut acc = 0u64;
+            shards.for_each(|_, s| {
+                for v in s.state.iter().flatten() {
+                    acc = acc.wrapping_mul(31).wrapping_add(*v);
+                }
+            });
+            self.samples.push((now, acc, queue_depths.iter().sum()));
+        }
     }
 
-    fn run(n: u32, k: usize, threads: usize) -> (Vec<u64>, Vec<u64>, u64) {
+    type SampledRun = (
+        Vec<u64>,
+        Vec<u64>,
+        u64,
+        Vec<(SimTime, u64, usize)>,
+        EngineCounters,
+    );
+
+    fn run_sampled(
+        n: u32,
+        k: usize,
+        threads: usize,
+        sample_every: Option<SimDuration>,
+    ) -> SampledRun {
         let end = SimTime::from_millis(20);
         let mut shards = Vec::new();
         for shard in 0..k {
@@ -702,16 +851,18 @@ mod tests {
         }
         let mut control = DigestLog {
             log: Vec::new(),
+            samples: Vec::new(),
             every: SimDuration::from_millis(3),
             end,
         };
-        let out = run_conservative(
+        let out = run_conservative_sampled(
             shards,
             vec![(SimTime::from_millis(3), Digest)],
             &mut control,
             Some(LOOKAHEAD),
             end,
             threads,
+            sample_every,
         );
         let mut cells = vec![0u64; n as usize];
         for s in &out.shards {
@@ -721,7 +872,18 @@ mod tests {
                 }
             }
         }
-        (cells, control.log, out.processed)
+        (
+            cells,
+            control.log,
+            out.processed,
+            control.samples,
+            out.counters,
+        )
+    }
+
+    fn run(n: u32, k: usize, threads: usize) -> (Vec<u64>, Vec<u64>, u64) {
+        let (cells, log, processed, _, _) = run_sampled(n, k, threads, None);
+        (cells, log, processed)
     }
 
     #[test]
@@ -815,6 +977,55 @@ mod tests {
         let (_, log, _) = run(4, 2, 1);
         // Digests at 3, 6, 9, 12, 15, 18 ms within the 20 ms horizon.
         assert_eq!(log.len(), 6);
+    }
+
+    #[test]
+    fn sampling_never_changes_results() {
+        let every = SimDuration::from_millis(2);
+        let (c_off, l_off, p_off) = run(12, 3, 1);
+        for (k, threads) in [(1, 1), (3, 1), (3, 4)] {
+            let (c_on, l_on, p_on, samples, _) = run_sampled(12, k, threads, Some(every));
+            assert_eq!(c_off, c_on, "sampling perturbed state at k={k}");
+            assert_eq!(l_off, l_on, "sampling perturbed digests at k={k}");
+            assert_eq!(p_off, p_on, "sampling perturbed event count at k={k}");
+            assert!(!samples.is_empty(), "samples fired");
+        }
+    }
+
+    #[test]
+    fn samples_are_shard_and_thread_invariant() {
+        let every = SimDuration::from_millis(2);
+        let (_, _, _, s1, _) = run_sampled(12, 1, 1, Some(every));
+        // State digests and fire instants agree everywhere; only the
+        // per-shard queue split (summed here) is partition-dependent, so
+        // compare instants + digests.
+        let base: Vec<(SimTime, u64)> = s1.iter().map(|&(t, d, _)| (t, d)).collect();
+        assert!(!base.is_empty());
+        assert!(base.windows(2).all(|w| w[1].0 - w[0].0 == every));
+        for (k, threads) in [(2, 1), (4, 1), (4, 4)] {
+            let (_, _, _, sk, _) = run_sampled(12, k, threads, Some(every));
+            let got: Vec<(SimTime, u64)> = sk.iter().map(|&(t, d, _)| (t, d)).collect();
+            assert_eq!(base, got, "samples diverged at k={k} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn counters_track_windows_and_queues() {
+        let (_, _, processed, _, c) = run_sampled(12, 3, 1, None);
+        assert!(c.windows > 0, "windows counted");
+        assert!(c.serial_steps >= 6, "one per digest global at least");
+        assert!(c.window_width_s_sum > 0.0);
+        assert!(c.wall_s > 0.0);
+        assert_eq!(c.barrier_wait_s, 0.0, "no pool on the sequential path");
+        assert_eq!(c.per_shard_processed.len(), 3);
+        assert_eq!(c.per_shard_max_queue.len(), 3);
+        assert!(c.per_shard_max_queue.iter().all(|&d| d > 0));
+        let global_events = 6; // digests at 3, 6, 9, 12, 15, 18 ms
+        assert_eq!(
+            c.per_shard_processed.iter().sum::<u64>() + global_events,
+            processed,
+            "per-shard split sums to the total minus globals"
+        );
     }
 
     #[test]

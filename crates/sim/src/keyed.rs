@@ -151,6 +151,13 @@ impl<E> ShardQueue<E> {
         self.processed
     }
 
+    /// Live (scheduled, not yet fired or cancelled) events currently
+    /// pending. Cancelled tombstones still sitting in the heap are not
+    /// counted.
+    pub fn live_len(&self) -> usize {
+        self.live.len()
+    }
+
     fn push(&mut self, key: EvKey, ev: E) -> CancelId {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -299,10 +306,13 @@ mod tests {
         let mut q = ShardQueue::new();
         let id = q.schedule(SimTime::from_secs(1), 1u64);
         q.schedule(SimTime::from_secs(2), 2u64);
+        assert_eq!(q.live_len(), 2);
         assert!(q.cancel(id));
         assert!(!q.cancel(id), "double cancel is false");
+        assert_eq!(q.live_len(), 1, "tombstones are not live");
         assert_eq!(q.pop_min().map(|(_, e)| e), Some(2));
         assert!(q.is_empty());
+        assert_eq!(q.live_len(), 0);
     }
 
     #[test]

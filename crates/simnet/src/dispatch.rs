@@ -6,7 +6,7 @@
 
 use crate::events::{Class, Ev, Payload};
 use crate::scenario::HighRoute;
-use crate::shard::{Fate, ShardCtx, ShardState};
+use crate::shard::{trace_class, Fate, ShardCtx, ShardState};
 use bcp_core::msg::{BurstId, HandshakeMsg};
 use bcp_core::receiver::ReceiverAction;
 use bcp_core::sender::{DropReason, SenderAction};
@@ -14,6 +14,7 @@ use bcp_mac::sleep::SleepSchedule;
 use bcp_mac::types::{MacAction, MacEvent, MacFrame};
 use bcp_net::addr::NodeId;
 use bcp_radio::device::RadioState;
+use bcp_sim::trace::{TraceClass, TraceDrop, TraceEvent, TraceRadioState};
 
 impl ShardState {
     // ------------------------------------------------------------------
@@ -188,7 +189,13 @@ impl ShardState {
         }
         let alive_prefix = !self.shared.death_seen;
         self.metrics.on_delivered(pkt, now, alive_prefix);
-        self.fate_delivered(pkt, ctx.current_key());
+        let key = ctx.current_key();
+        self.fate_delivered(pkt, key);
+        self.trace_with(key, || TraceEvent::PktDeliver {
+            node: pkt.dest.0,
+            pkt: pkt.id.0,
+            delay_ns: now.saturating_duration_since(pkt.created).as_nanos(),
+        });
         true
     }
 
@@ -196,17 +203,28 @@ impl ShardState {
         &mut self,
         ctx: &mut ShardCtx<'_>,
         node: NodeId,
-        _class: Class,
+        class: Class,
         ok: bool,
         tag: u64,
     ) {
         let Some(payload) = self.payloads.remove(&tag) else {
             return;
         };
+        let key = ctx.current_key();
+        self.trace_with(key, || TraceEvent::AckOutcome {
+            node: node.0,
+            class: trace_class(class),
+            ok,
+        });
         match payload {
             Payload::SensorData(pkt) => {
                 if !ok {
-                    self.fate_lost(&pkt, Fate::LostMac, ctx.current_key());
+                    self.fate_lost(&pkt, Fate::LostMac, key);
+                    self.trace_with(key, || TraceEvent::PktDrop {
+                        node: node.0,
+                        pkt: pkt.id.0,
+                        reason: TraceDrop::MacFailure,
+                    });
                 }
             }
             Payload::Control { .. } => {
@@ -247,6 +265,12 @@ impl ShardState {
             tag
         };
         self.payloads.insert(tag, payload);
+        let key = ctx.current_key();
+        self.trace_with(key, || TraceEvent::MacContend {
+            node: node.0,
+            class: trace_class(class),
+            bytes: bytes as u32,
+        });
         let dst = self.mac_addr_of(to, class);
         let frame = self
             .node_mut(node)
@@ -321,13 +345,18 @@ impl ShardState {
                 }
                 SenderAction::ReleaseHighRadio { .. } => self.release_high(ctx, node),
                 SenderAction::PacketsDropped { packets, reason } => {
-                    let fate = match reason {
-                        DropReason::BufferOverflow => Fate::LostBuffer,
-                        DropReason::MacFailure => Fate::LostMac,
+                    let (fate, tr) = match reason {
+                        DropReason::BufferOverflow => (Fate::LostBuffer, TraceDrop::BufferOverflow),
+                        DropReason::MacFailure => (Fate::LostMac, TraceDrop::MacFailure),
                     };
                     let key = ctx.current_key();
                     for p in &packets {
                         self.fate_lost(p, fate, key);
+                        self.trace_with(key, || TraceEvent::PktDrop {
+                            node: node.0,
+                            pkt: p.id.0,
+                            reason: tr,
+                        });
                     }
                 }
                 SenderAction::SessionDone { .. } => {}
@@ -427,6 +456,12 @@ impl ShardState {
                 // The wake-up pulse is a lump charge: drain it now.
                 self.power_touch(ctx, node);
                 ctx.after(d, Ev::RadioWakeDone { node });
+                let key = ctx.current_key();
+                self.trace_with(key, || TraceEvent::RadioState {
+                    node: node.0,
+                    class: TraceClass::High,
+                    state: TraceRadioState::Waking,
+                });
                 if let Some(b) = ready_burst {
                     self.node_mut(node).wake_pending.push(b);
                 }
@@ -484,6 +519,12 @@ impl ShardState {
         self.node_mut(node)
             .radio_mut(Class::High)
             .complete_wakeup(now);
+        let key = ctx.current_key();
+        self.trace_with(key, || TraceEvent::RadioState {
+            node: node.0,
+            class: TraceClass::High,
+            state: TraceRadioState::Awake,
+        });
         // The high radio now idles expensively: re-project depletion (this
         // can kill the node on the spot if the battery is that close).
         self.power_touch(ctx, node);
@@ -543,6 +584,12 @@ impl ShardState {
             }
         };
         if turned_off {
+            let key = ctx.current_key();
+            self.trace_with(key, || TraceEvent::RadioState {
+                node: node.0,
+                class: TraceClass::High,
+                state: TraceRadioState::Off,
+            });
             self.power_touch(ctx, node);
         }
     }
@@ -583,7 +630,15 @@ impl ShardState {
                 if !self.lpl_resume(ctx, node) {
                     return; // the wake's power sync killed the node
                 }
-                if !self.chans[Class::Low.index()].carrier_busy(node) {
+                // One carrier read serves both the trace and the doze
+                // decision (`carrier_busy` is a pure query).
+                let busy = self.chans[Class::Low.index()].carrier_busy(node);
+                let key = ctx.current_key();
+                self.trace_with(key, || TraceEvent::LplSample {
+                    node: node.0,
+                    heard: busy,
+                });
+                if !busy {
                     ctx.after(sample, Ev::Sleep { node });
                 }
                 // Else: stay up until the carrier clears (the
@@ -635,6 +690,12 @@ impl ShardState {
             return; // stay up; the next wake cycle retries
         }
         self.node_mut(node).low_radio.sleep(ctx.now());
+        let key = ctx.current_key();
+        self.trace_with(key, || TraceEvent::RadioState {
+            node: node.0,
+            class: TraceClass::Low,
+            state: TraceRadioState::Dozing,
+        });
         self.power_touch(ctx, node);
     }
 
@@ -665,6 +726,11 @@ impl ShardState {
             self.chans[ci].lock_rx(node, tx);
             self.node_mut(node).low_radio.start_rx(now);
             self.power_touch(ctx, node);
+            let key = ctx.current_key();
+            self.trace_with(key, || TraceEvent::LplLock {
+                node: node.0,
+                from: tx.sender().0,
+            });
         }
     }
 

@@ -63,7 +63,7 @@ pub mod world;
 
 pub use bcp_mac::sleep::SleepSchedule;
 pub use bcp_traffic::TrafficPattern;
-pub use metrics::{FlowStats, Metrics, NodePowerReport, RunStats};
+pub use metrics::{EngineStats, FlowStats, Metrics, NodePowerReport, RunStats, SeriesSample};
 pub use scenario::{HighRoute, ModelKind, Scenario, WorkloadKind};
 pub use spec::{emit_spec, parse_spec, ScenarioBuilder, SpecError};
-pub use world::World;
+pub use world::{RunOptions, RunOutput, World};

@@ -232,6 +232,105 @@ impl Metrics {
     }
 }
 
+/// Engine-level diagnostics for one run: how the conservative engine
+/// spent its time, not what the simulated network did.
+///
+/// The virtual-time fields (`windows`, `serial_steps`, `mean_window_s`,
+/// `per_shard_events`, `per_shard_max_queue`) are deterministic for a
+/// given shard count and sampling interval. The wall-clock fields
+/// (`wall_s`, `barrier_wait_s`, `events_per_sec`) are **not**
+/// reproducible and must be excluded from bit-identity comparisons.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineStats {
+    /// Shard count the run was partitioned into.
+    pub shards: usize,
+    /// Worker threads the engine ran with.
+    pub threads: usize,
+    /// Conservative windows drained.
+    pub windows: u64,
+    /// Serial coordinator steps taken for global events.
+    pub serial_steps: u64,
+    /// Mean conservative-window width in simulated seconds (0 when no
+    /// window ran).
+    pub mean_window_s: f64,
+    /// Coordinator wall-clock seconds spent waiting at window barriers
+    /// (zero on the single-threaded path).
+    pub barrier_wait_s: f64,
+    /// Wall-clock seconds inside the engine.
+    pub wall_s: f64,
+    /// Logical events per wall-clock second (0 when the run took no
+    /// measurable time).
+    pub events_per_sec: f64,
+    /// Events processed per shard, in shard-index order (counts the
+    /// per-shard halves of cross-shard fan-outs, so the sum exceeds the
+    /// logical `events` figure).
+    pub per_shard_events: Vec<u64>,
+    /// Maximum pending live-event count observed per shard at window
+    /// boundaries, in shard-index order.
+    pub per_shard_max_queue: Vec<usize>,
+}
+
+/// One window of the per-run time series: **deltas** over the sampling
+/// interval ending at `t_s` (cumulative totals are the running sum, and
+/// the deltas across a whole run telescope exactly to the end-of-run
+/// [`RunStats`] globals). Produced by
+/// [`RunOptions::series_every`](crate::world::RunOptions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSample {
+    /// The sample instant (the end of this window), in seconds.
+    pub t_s: f64,
+    /// Packets generated during the window.
+    pub generated_packets: u64,
+    /// Payload bits generated during the window.
+    pub generated_bits: u64,
+    /// Packets delivered during the window.
+    pub delivered_packets: u64,
+    /// Payload bits delivered during the window.
+    pub delivered_bits: u64,
+    /// Model-accounted energy spent during the window (J), same
+    /// accounting as [`RunStats::energy_j`].
+    pub energy_j: f64,
+    /// Low-radio idle-listening energy spent during the window (J).
+    pub energy_low_idle_j: f64,
+    /// Low-radio doze energy spent during the window (J).
+    pub energy_low_sleep_j: f64,
+    /// Nodes alive at the sample instant.
+    pub live_nodes: u64,
+    /// Pending live events per shard at the sample instant, in
+    /// shard-index order (all zeros for samples emitted after the event
+    /// queues drained).
+    pub queue_depth: Vec<usize>,
+}
+
+impl SeriesSample {
+    /// Serialises the sample as one NDJSON line (no trailing newline).
+    pub fn to_ndjson(&self) -> String {
+        use bcp_sim::json::num;
+        let depths = self
+            .queue_depth
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"t_s\":{},\"generated_packets\":{},\"generated_bits\":{},\
+             \"delivered_packets\":{},\"delivered_bits\":{},\"energy_j\":{},\
+             \"energy_low_idle_j\":{},\"energy_low_sleep_j\":{},\
+             \"live_nodes\":{},\"queue_depth\":[{}]}}",
+            num(self.t_s),
+            self.generated_packets,
+            self.generated_bits,
+            self.delivered_packets,
+            self.delivered_bits,
+            num(self.energy_j),
+            num(self.energy_low_idle_j),
+            num(self.energy_low_sleep_j),
+            self.live_nodes,
+            depths,
+        )
+    }
+}
+
 /// The finished summary of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunStats {
@@ -285,6 +384,10 @@ pub struct RunStats {
     pub broadcast_reach: Option<f64>,
     /// Per-node supply/meter accounting (one entry per node, in id order).
     pub per_node: Vec<NodePowerReport>,
+    /// Engine-level diagnostics (window counts, wall clock, queue
+    /// depths). Deliberately excluded from bit-identity comparisons: its
+    /// wall-clock fields vary run to run.
+    pub engine: EngineStats,
 }
 
 /// One node's energy bookkeeping at the end of a run.
@@ -344,8 +447,15 @@ impl RunStats {
             energy_low_sleep_j: 0.0,
             broadcast_reach: None,
             per_node: Vec::new(),
+            engine: EngineStats::default(),
             metrics,
         }
+    }
+
+    /// Attaches the engine-level diagnostics (builder style).
+    pub fn with_engine(mut self, engine: EngineStats) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Attaches the per-node supply accounting (builder style).
@@ -410,11 +520,40 @@ impl RunStats {
             })
             .collect::<Vec<_>>()
             .join(",");
+        let e = &self.engine;
+        let ints = |v: &[u64]| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let engine = format!(
+            "{{\"shards\":{},\"threads\":{},\"windows\":{},\"serial_steps\":{},\
+             \"mean_window_s\":{},\"barrier_wait_s\":{},\"wall_s\":{},\
+             \"events_per_sec\":{},\"per_shard_events\":[{}],\
+             \"per_shard_max_queue\":[{}]}}",
+            e.shards,
+            e.threads,
+            e.windows,
+            e.serial_steps,
+            num(e.mean_window_s),
+            num(e.barrier_wait_s),
+            num(e.wall_s),
+            num(e.events_per_sec),
+            ints(&e.per_shard_events),
+            ints(
+                &e.per_shard_max_queue
+                    .iter()
+                    .map(|&d| d as u64)
+                    .collect::<Vec<_>>()
+            ),
+        );
         format!(
             "{{\"goodput\":{},\"energy_j\":{},\"j_per_kbit\":{},\"mean_delay_s\":{},\
              \"energy_header_j\":{},\"j_per_kbit_header\":{},\
              \"energy_overhear_full_j\":{},\"j_per_kbit_overhear_full\":{},\
-             \"events\":{},\"time_to_first_death_s\":{},\"time_to_partition_s\":{},\
+             \"events\":{},\"engine\":{},\
+             \"time_to_first_death_s\":{},\"time_to_partition_s\":{},\
              \"delivered_before_first_death\":{},\
              \"energy_low_idle_j\":{},\"energy_low_sleep_j\":{},\
              \"broadcast_reach\":{},\"metrics\":{{\
@@ -431,6 +570,7 @@ impl RunStats {
             num(self.energy_overhear_full_j),
             num(self.j_per_kbit_overhear_full),
             self.events,
+            engine,
             opt_num(self.time_to_first_death_s),
             opt_num(self.time_to_partition_s),
             self.delivered_before_first_death,

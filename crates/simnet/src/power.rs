@@ -14,6 +14,8 @@
 use crate::events::{Ev, GlobalEv};
 use crate::shard::{ShardCtx, ShardState};
 use bcp_net::addr::NodeId;
+use bcp_power::BatteryModel;
+use bcp_sim::trace::TraceEvent;
 
 impl ShardState {
     /// Syncs `node`'s battery against its energy meters and (re)schedules
@@ -32,12 +34,24 @@ impl ShardState {
             }
             (n.metered_total(now), n.current_draw())
         };
-        let supply = self.node_mut(node).supply.as_mut().expect("checked above");
-        supply.sync_to(metered);
-        if supply.is_depleted_at(draw) {
+        let (depleted, remaining_j) = {
+            let supply = self.node_mut(node).supply.as_mut().expect("checked above");
+            supply.sync_to(metered);
+            (
+                supply.is_depleted_at(draw),
+                supply.battery().remaining().as_joules(),
+            )
+        };
+        let key = ctx.current_key();
+        self.trace_with(key, || TraceEvent::PowerStep {
+            node: node.0,
+            remaining_j,
+        });
+        if depleted {
             self.kill_node(ctx, node);
             return;
         }
+        let supply = self.node(node).supply.as_ref().expect("checked above");
         match supply.time_to_depletion(draw) {
             Some(d) => {
                 let id = ctx.after(d, Ev::PowerCheck { node });
@@ -73,6 +87,8 @@ impl ShardState {
             }
             n.died_at = Some(now);
         }
+        let key = ctx.current_key();
+        self.trace_with(key, || TraceEvent::NodeDeath { node: node.0 });
         // Stale events are alive-guarded anyway; cancelling keeps the
         // queue small.
         let mut cancelled = Vec::new();

@@ -11,14 +11,19 @@
 //! observed identically for every shard count.
 
 use crate::events::GlobalEv;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, SeriesSample};
+use crate::node::NodeState;
 use crate::scenario::{ModelKind, Scenario};
 use crate::shard::ShardState;
 use bcp_net::addr::NodeId;
 use bcp_net::routing::{Dissemination, RouteWeight, Routes};
 use bcp_power::BatteryModel;
+use bcp_radio::energy::EnergyBucket;
+use bcp_radio::units::Energy;
 use bcp_sim::conservative::{PdesControl, ShardsMut};
-use bcp_sim::time::SimTime;
+use bcp_sim::keyed::{EvKey, Keyed};
+use bcp_sim::time::{SimDuration, SimTime};
+use bcp_sim::trace::{TraceEvent, TraceRecord};
 use bcp_traffic::TrafficPattern;
 use std::sync::Arc;
 
@@ -129,6 +134,174 @@ pub(crate) struct Control {
     pub metrics: Metrics,
     /// Global events executed (part of the run's event count).
     pub global_events: u64,
+    /// Flight-recorder slice for coordinator-side events (route repairs
+    /// and refreshes); `None` when tracing is off.
+    pub trace: Option<Vec<TraceRecord>>,
+    /// Per-window time-series sampler; `None` when no series was asked
+    /// for.
+    pub series: Option<SeriesState>,
+}
+
+/// Cumulative run totals at one sample instant, folded the same way
+/// `World::finalize` folds the end-of-run figures (node-id order), so the
+/// series' running sum lands bit-exactly on the final [`RunStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub(crate) struct Cumulative {
+    gen_p: u64,
+    gen_b: u64,
+    del_p: u64,
+    del_b: u64,
+    energy_j: f64,
+    low_idle_j: f64,
+    low_sleep_j: f64,
+}
+
+/// One pass over the shards collecting the cumulative series quantities
+/// at a sample instant. Per-node energy contributions are gathered
+/// id-indexed and folded in id order at the end — the same accumulation
+/// sequence as `World::finalize` — so the figures are shard-count
+/// invariant bit for bit.
+#[derive(Debug)]
+pub(crate) struct SeriesScan {
+    model: ModelKind,
+    // (low tx+rx, high all-buckets, low idle, low sleep) per node id.
+    per_node: Vec<(Energy, Energy, Energy, Energy)>,
+    alive: Vec<bool>,
+    gen_p: u64,
+    gen_b: u64,
+    del_p: u64,
+    del_b: u64,
+}
+
+impl SeriesScan {
+    pub fn new(scen: &Scenario) -> Self {
+        let n = scen.topo.len();
+        SeriesScan {
+            model: scen.model,
+            per_node: vec![(Energy::ZERO, Energy::ZERO, Energy::ZERO, Energy::ZERO); n],
+            alive: vec![false; n],
+            gen_p: 0,
+            gen_b: 0,
+            del_p: 0,
+            del_b: 0,
+        }
+    }
+
+    /// Folds one shard's owned nodes and counters in (the radio reports
+    /// are non-destructive reads, so scanning never perturbs the run).
+    pub fn add_shard(&mut self, s: &ShardState, at: SimTime) {
+        self.gen_p += s.metrics.generated_packets;
+        self.gen_b += s.metrics.generated_bits;
+        self.del_p += s.metrics.delivered_packets;
+        self.del_b += s.metrics.delivered_bits;
+        for node in s.owned_nodes() {
+            let i = node.id.index();
+            self.alive[i] = node.is_alive();
+            self.per_node[i] = node_energy_split(self.model, node, at);
+        }
+    }
+
+    /// The cumulative totals plus the live-node count, folding energies
+    /// in node-id order exactly as `World::finalize` does.
+    pub fn finish(self) -> (Cumulative, u64) {
+        let mut energy = Energy::ZERO;
+        let mut idle = Energy::ZERO;
+        let mut sleep = Energy::ZERO;
+        for &(low_txrx, high_all, low_idle, low_sleep) in &self.per_node {
+            idle += low_idle;
+            sleep += low_sleep;
+            energy += low_txrx;
+            energy += high_all;
+        }
+        let live = self.alive.iter().filter(|&&a| a).count() as u64;
+        (
+            Cumulative {
+                gen_p: self.gen_p,
+                gen_b: self.gen_b,
+                del_p: self.del_p,
+                del_b: self.del_b,
+                energy_j: energy.as_joules(),
+                low_idle_j: idle.as_joules(),
+                low_sleep_j: sleep.as_joules(),
+            },
+            live,
+        )
+    }
+}
+
+/// One node's energy contributions at `at`, split as `(low tx+rx, high
+/// all-buckets, low idle, low sleep)` under the model's accounting —
+/// the per-node terms of the [`crate::metrics::RunStats::energy_j`] /
+/// idle-floor folds.
+fn node_energy_split(
+    model: ModelKind,
+    node: &NodeState,
+    at: SimTime,
+) -> (Energy, Energy, Energy, Energy) {
+    use EnergyBucket as B;
+    let low = node.low_radio.report(at);
+    let low_txrx = match model {
+        ModelKind::Sensor | ModelKind::DualRadio => low.total_of(&[B::Tx, B::Rx]),
+        ModelKind::Dot11 => Energy::ZERO,
+    };
+    let high_all = match (&node.high_radio, model) {
+        (Some(hr), ModelKind::Dot11 | ModelKind::DualRadio) => {
+            hr.report(at)
+                .total_of(&[B::Tx, B::Rx, B::Overhear, B::Idle, B::Sleep, B::Wakeup])
+        }
+        _ => Energy::ZERO,
+    };
+    (low_txrx, high_all, low.of(B::Idle), low.of(B::Sleep))
+}
+
+/// The per-window series sampler: previous cumulative snapshot, the
+/// emitted delta samples, and where the sample grid continues after the
+/// event queues drain.
+#[derive(Debug)]
+pub(crate) struct SeriesState {
+    /// The sampling interval.
+    pub every: SimDuration,
+    /// The next sample instant not yet emitted (the engine fires samples
+    /// only while events pend; `World::run_with` emits the tail from the
+    /// final state).
+    pub next: SimTime,
+    /// The last instant actually emitted, if any.
+    pub last: Option<SimTime>,
+    /// The emitted samples, in time order.
+    pub samples: Vec<SeriesSample>,
+    prev: Cumulative,
+}
+
+impl SeriesState {
+    pub fn new(every: SimDuration) -> Self {
+        SeriesState {
+            every,
+            next: SimTime::ZERO + every,
+            last: None,
+            samples: Vec::new(),
+            prev: Cumulative::default(),
+        }
+    }
+
+    /// Emits the delta sample ending at `at` and advances the grid.
+    pub fn record(&mut self, at: SimTime, scan: SeriesScan, queue_depth: Vec<usize>) {
+        let (cum, live) = scan.finish();
+        self.samples.push(SeriesSample {
+            t_s: at.as_secs_f64(),
+            generated_packets: cum.gen_p - self.prev.gen_p,
+            generated_bits: cum.gen_b - self.prev.gen_b,
+            delivered_packets: cum.del_p - self.prev.del_p,
+            delivered_bits: cum.del_b - self.prev.del_b,
+            energy_j: cum.energy_j - self.prev.energy_j,
+            energy_low_idle_j: cum.low_idle_j - self.prev.low_idle_j,
+            energy_low_sleep_j: cum.low_sleep_j - self.prev.low_sleep_j,
+            live_nodes: live,
+            queue_depth,
+        });
+        self.prev = cum;
+        self.last = Some(at);
+        self.next = at + self.every;
+    }
 }
 
 impl Control {
@@ -238,15 +411,57 @@ impl PdesControl<ShardState> for Control {
         out: &mut Vec<(SimTime, GlobalEv)>,
     ) {
         self.global_events += 1;
+        let ord = ev.ord();
         match ev {
-            GlobalEv::NodeDied { node, at } => self.node_died(shards, node, at),
+            GlobalEv::NodeDied { node, at } => {
+                self.node_died(shards, node, at);
+                if let Some(tr) = self.trace.as_mut() {
+                    // Partition state is read *after* the repair, so the
+                    // record reports what the survivors now see.
+                    tr.push(TraceRecord {
+                        key: EvKey {
+                            time: now,
+                            depth: 0,
+                            ord,
+                        },
+                        ev: TraceEvent::RouteRepair {
+                            dead: node.0,
+                            partition: self.metrics.partition.is_some(),
+                        },
+                    });
+                }
+            }
             GlobalEv::RouteRefresh => {
                 let death_seen = self.metrics.first_death.is_some();
                 self.republish(shards, death_seen);
                 if let Some(every) = self.scen.power.reroute_every {
                     out.push((now + every, GlobalEv::RouteRefresh));
                 }
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.push(TraceRecord {
+                        key: EvKey {
+                            time: now,
+                            depth: 0,
+                            ord,
+                        },
+                        ev: TraceEvent::RouteRefresh,
+                    });
+                }
             }
         }
+    }
+
+    fn on_sample(
+        &mut self,
+        shards: &mut ShardsMut<'_, ShardState>,
+        now: SimTime,
+        queue_depths: &[usize],
+    ) {
+        let Some(series) = self.series.as_mut() else {
+            return;
+        };
+        let mut scan = SeriesScan::new(&self.scen);
+        shards.for_each(|_, s| scan.add_shard(s, now));
+        series.record(now, scan, queue_depths.to_vec());
     }
 }

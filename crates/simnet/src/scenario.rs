@@ -363,6 +363,13 @@ impl Scenario {
     pub fn run(&self) -> crate::metrics::RunStats {
         crate::world::World::run(self)
     }
+
+    /// Runs the scenario with observability switches (flight-recorder
+    /// trace and/or per-window time series). The summary is bit-identical
+    /// to [`Scenario::run`] whatever the switches say.
+    pub fn run_with(&self, opts: &crate::world::RunOptions) -> crate::world::RunOutput {
+        crate::world::World::run_with(self, opts)
+    }
 }
 
 #[cfg(test)]

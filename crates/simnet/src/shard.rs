@@ -29,6 +29,7 @@ use bcp_radio::device::{RadioState, RxOutcome};
 use bcp_sim::conservative::{Ctx, PdesShard};
 use bcp_sim::keyed::{CancelId, EvKey};
 use bcp_sim::time::{SimDuration, SimTime};
+use bcp_sim::trace::{Trace, TraceClass, TraceDrop, TraceEvent, TraceRecord, TraceRx};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -63,6 +64,14 @@ pub(crate) type FateKey = (u64, u32);
 /// The fate-map key of one packet copy.
 pub(crate) fn fate_key(pkt: &AppPacket) -> FateKey {
     (pkt.id.0, pkt.dest.0)
+}
+
+/// The trace vocabulary's view of a radio class.
+pub(crate) fn trace_class(class: Class) -> TraceClass {
+    match class {
+        Class::Low => TraceClass::Low,
+        Class::High => TraceClass::High,
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -113,6 +122,12 @@ pub(crate) struct ShardState {
     /// queue event per *hearing shard* — is counted once, at the sender,
     /// so the total is identical for every shard count.
     pub events_logical: u64,
+    /// The flight recorder, attached only when the run was started with
+    /// [`RunOptions::trace`](crate::world::RunOptions). Strictly
+    /// observational: recording never touches RNG streams, timers or
+    /// event ordering, so a traced run is bit-identical to an untraced
+    /// one. `None` (the default) costs a single branch per hook.
+    pub rec: Option<Box<Trace<TraceRecord>>>,
 }
 
 impl PdesShard for ShardState {
@@ -248,6 +263,20 @@ impl ShardState {
     }
 
     // ------------------------------------------------------------------
+    // Flight recorder
+    // ------------------------------------------------------------------
+
+    /// Records a flight-recorder event under `key` (normally the key of
+    /// the simulation event being handled). The closure runs only when a
+    /// recorder is attached, so the disabled path costs one branch and
+    /// never constructs the event.
+    pub(crate) fn trace_with(&mut self, key: EvKey, ev: impl FnOnce() -> TraceEvent) {
+        if let Some(rec) = self.rec.as_deref_mut() {
+            rec.record(key.time, TraceRecord { key, ev: ev() });
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Per-packet fate observations
     // ------------------------------------------------------------------
 
@@ -350,12 +379,24 @@ impl ShardState {
                 self.metrics.on_generated(&copy, alive_prefix);
                 self.fate_generated(&copy, key);
             }
+            // The flood enters the system once, at its source.
+            self.trace_with(key, || TraceEvent::PktEnqueue {
+                node: node.0,
+                pkt: pkt.id.0,
+                bytes: pkt.bytes as u32,
+            });
             // …but the air carries it once per dissemination-tree edge.
             self.broadcast_relay(ctx, node, &pkt);
             return;
         }
         self.metrics.on_generated(&pkt, alive_prefix);
-        self.fate_generated(&pkt, ctx.current_key());
+        let key = ctx.current_key();
+        self.fate_generated(&pkt, key);
+        self.trace_with(key, || TraceEvent::PktEnqueue {
+            node: node.0,
+            pkt: pkt.id.0,
+            bytes: pkt.bytes as u32,
+        });
         match self.scen.model {
             ModelKind::Sensor => self.forward_data(ctx, node, pkt, Class::Low),
             ModelKind::Dot11 => self.forward_data(ctx, node, pkt, Class::High),
@@ -441,7 +482,13 @@ impl ShardState {
                 self.enqueue_frame(ctx, node, class, next, pkt.bytes, Payload::SensorData(pkt));
             }
             None => {
-                self.fate_lost(&pkt, Fate::LostMac, ctx.current_key()); // unroutable
+                let key = ctx.current_key();
+                self.fate_lost(&pkt, Fate::LostMac, key); // unroutable
+                self.trace_with(key, || TraceEvent::PktDrop {
+                    node: node.0,
+                    pkt: pkt.id.0,
+                    reason: TraceDrop::Unroutable,
+                });
             }
         }
     }
@@ -449,7 +496,13 @@ impl ShardState {
     /// Data entering BCP at `node` (origin or relay).
     pub(crate) fn bcp_data(&mut self, ctx: &mut ShardCtx<'_>, node: NodeId, pkt: AppPacket) {
         let Some(next) = self.high_next_hop(node, pkt.dest) else {
-            self.fate_lost(&pkt, Fate::LostMac, ctx.current_key());
+            let key = ctx.current_key();
+            self.fate_lost(&pkt, Fate::LostMac, key);
+            self.trace_with(key, || TraceEvent::PktDrop {
+                node: node.0,
+                pkt: pkt.id.0,
+                reason: TraceDrop::Unroutable,
+            });
             return;
         };
         let mut actions = Vec::new();
@@ -575,6 +628,22 @@ impl ShardState {
         );
         self.power_touch(ctx, node);
         ctx.after(airtime, Ev::TxEnd { tx: txid });
+        let key = ctx.current_key();
+        // Data frames on the low radio stretch by the LPL wake-up preamble
+        // (zero under AlwaysOn); report it separately so the trace shows
+        // what the airtime paid for.
+        let preamble_ns = if frame.kind == FrameKind::Data && class == Class::Low {
+            self.scen.low_sleep.tx_preamble().as_nanos()
+        } else {
+            0
+        };
+        self.trace_with(key, || TraceEvent::TxStart {
+            node: node.0,
+            class: trace_class(class),
+            bytes: frame.payload_bytes as u32,
+            air_ns: airtime.as_nanos(),
+            preamble_ns,
+        });
         // Fan the key-up out: one RxBegin per shard with in-range
         // receivers, heard one link latency later (the lookahead floor).
         let hear_at = now + self.scen.link_latency(class);
@@ -636,6 +705,12 @@ impl ShardState {
                 self.chans[ci].lock_rx(r, tx);
                 self.node_mut(r).radio_mut(class).start_rx(now);
                 self.power_touch(ctx, r);
+                let key = ctx.current_key();
+                self.trace_with(key, || TraceEvent::RxStart {
+                    node: r.0,
+                    from: sender.0,
+                    class: trace_class(class),
+                });
             } else {
                 // Either the receiver was locked onto another frame
                 // (collision) or it cannot decode a frame started mid-air
@@ -756,6 +831,24 @@ impl ShardState {
                 };
                 self.node_mut(r).radio_mut(class).end_rx(now, outcome);
                 self.power_touch(ctx, r);
+                let key = ctx.current_key();
+                self.trace_with(key, || TraceEvent::RxEnd {
+                    node: r.0,
+                    from: sender.0,
+                    class: trace_class(class),
+                    // Derived from flags already computed above — the
+                    // channel-loss draw happened (or was short-circuited
+                    // away) exactly as in an untraced run.
+                    outcome: if corrupted || sender_died {
+                        TraceRx::Corrupted
+                    } else if lost {
+                        TraceRx::Lost
+                    } else if for_me {
+                        TraceRx::Delivered
+                    } else {
+                        TraceRx::Overheard
+                    },
+                });
                 if !lost {
                     if for_me {
                         self.mac_event(ctx, r, class, MacEvent::RxFrame(frame), payload.as_ref());

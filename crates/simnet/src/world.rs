@@ -18,9 +18,9 @@
 
 use crate::channel::{Channel, NeighborIndex};
 use crate::events::{Class, Ev, GlobalEv};
-use crate::metrics::{Metrics, RunStats};
+use crate::metrics::{EngineStats, Metrics, RunStats, SeriesSample};
 use crate::node::NodeState;
-use crate::routes::{initial_shared, Control};
+use crate::routes::{initial_shared, Control, SeriesScan, SeriesState};
 use crate::scenario::{ModelKind, Scenario};
 use crate::shard::{Fate, FateMark, ShardState};
 use bcp_mac::csma::{CsmaMac, MacConfig};
@@ -30,13 +30,41 @@ use bcp_net::partition::Partition;
 use bcp_power::{BatteryModel, PowerSupply};
 use bcp_radio::device::{Radio, RadioState};
 use bcp_radio::units::Energy;
-use bcp_sim::conservative::run_conservative;
+use bcp_sim::conservative::{run_conservative_sampled, EngineCounters};
 use bcp_sim::keyed::ShardQueue;
 use bcp_sim::rng::Rng;
 use bcp_sim::threads::worker_count;
 use bcp_sim::time::{SimDuration, SimTime};
+use bcp_sim::trace::{merge_traces, Trace, TraceRecord};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Observability switches for a run. Everything here is strictly
+/// observational: the defaults cost nothing, and enabling any switch
+/// never touches an RNG stream or reorders an event, so the resulting
+/// [`RunStats`] are bit-identical to an unobserved run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Record the flight-recorder trace (packet lifecycle, radio state,
+    /// power steps, route repairs), merged deterministically at run end.
+    pub trace: bool,
+    /// Emit one time-series delta sample every this often in sim time.
+    pub series_every: Option<SimDuration>,
+}
+
+/// A run summary plus whatever observability artefacts were requested.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The run summary — always produced, never affected by the options.
+    pub stats: RunStats,
+    /// The merged flight-recorder trace, in deterministic event-key
+    /// order; empty unless [`RunOptions::trace`] was set.
+    pub trace: Vec<TraceRecord>,
+    /// Per-window delta samples, closing exactly at the horizon so the
+    /// deltas telescope to the end-of-run totals; empty unless
+    /// [`RunOptions::series_every`] was set.
+    pub series: Vec<SeriesSample>,
+}
 
 /// The simulation entry point (all state lives in the per-run shards).
 #[derive(Debug)]
@@ -45,6 +73,13 @@ pub struct World;
 impl World {
     /// Builds and runs `scen` to completion, producing the run summary.
     pub fn run(scen: &Scenario) -> RunStats {
+        Self::run_with(scen, &RunOptions::default()).stats
+    }
+
+    /// [`World::run`] with observability switches: optionally records the
+    /// flight-recorder trace and/or a per-window time series alongside
+    /// the summary.
+    pub fn run_with(scen: &Scenario, opts: &RunOptions) -> RunOutput {
         let end = scen.end_time();
         let scen = Arc::new(scen.clone());
         let n = scen.topo.len();
@@ -119,6 +154,7 @@ impl World {
                         metrics: Metrics::default(),
                         death_latency,
                         events_logical: 0,
+                        rec: opts.trace.then(|| Box::new(Trace::unbounded())),
                     },
                     ShardQueue::new(),
                 )
@@ -251,22 +287,98 @@ impl World {
             },
             metrics: Metrics::default(),
             global_events: 0,
+            trace: opts.trace.then(Vec::new),
+            series: opts.series_every.map(SeriesState::new),
         };
         let lookahead = Self::lookahead(&scen, &part, death_latency);
-        let outcome = run_conservative(
+        let threads = worker_count(k);
+        let outcome = run_conservative_sampled(
             shards,
             globals,
             &mut control,
             lookahead,
             end,
-            worker_count(k),
+            threads,
+            opts.series_every,
         );
+        let mut shards = outcome.shards;
         // Logical event count: reception fan-outs counted once per
         // transmission phase (not once per hearing shard), so the figure
         // is identical for every shard count.
-        let events =
-            outcome.shards.iter().map(|s| s.events_logical).sum::<u64>() + control.global_events;
-        Self::finalize(&scen, &part, outcome.shards, control, end, events)
+        let events = shards.iter().map(|s| s.events_logical).sum::<u64>() + control.global_events;
+
+        // Merge the per-shard trace slices (plus the coordinator's) into
+        // one deterministically ordered record stream.
+        let mut slices: Vec<Vec<TraceRecord>> = shards
+            .iter_mut()
+            .map(|s| match s.rec.take() {
+                Some(t) => t.into_records().map(|(_, r)| r).collect(),
+                None => Vec::new(),
+            })
+            .collect();
+        if let Some(ctrl) = control.trace.take() {
+            slices.push(ctrl);
+        }
+        let trace = merge_traces(slices);
+
+        // The engine fires samples only while events pend; continue the
+        // grid from the final quiescent state and close exactly at the
+        // horizon so the series telescopes to the end-of-run totals.
+        let series = match control.series.take() {
+            Some(mut st) => {
+                while st.next <= end {
+                    let at = st.next;
+                    let mut scan = SeriesScan::new(&scen);
+                    for s in &shards {
+                        scan.add_shard(s, at);
+                    }
+                    st.record(at, scan, vec![0; k]);
+                }
+                if st.last != Some(end) {
+                    let mut scan = SeriesScan::new(&scen);
+                    for s in &shards {
+                        scan.add_shard(s, end);
+                    }
+                    st.record(end, scan, vec![0; k]);
+                }
+                st.samples
+            }
+            None => Vec::new(),
+        };
+
+        let engine = Self::engine_stats(outcome.counters, k, threads, events);
+        let stats = Self::finalize(&scen, &part, shards, control, end, events, engine);
+        RunOutput {
+            stats,
+            trace,
+            series,
+        }
+    }
+
+    /// Folds the engine's raw counters into the reported [`EngineStats`].
+    /// Wall-clock figures are whatever this run measured — useful for
+    /// throughput reporting, excluded from bit-identity guarantees.
+    fn engine_stats(c: EngineCounters, shards: usize, threads: usize, events: u64) -> EngineStats {
+        EngineStats {
+            shards,
+            threads,
+            windows: c.windows,
+            serial_steps: c.serial_steps,
+            mean_window_s: if c.windows > 0 {
+                c.window_width_s_sum / c.windows as f64
+            } else {
+                0.0
+            },
+            barrier_wait_s: c.barrier_wait_s,
+            wall_s: c.wall_s,
+            events_per_sec: if c.wall_s > 0.0 {
+                events as f64 / c.wall_s
+            } else {
+                0.0
+            },
+            per_shard_events: c.per_shard_processed,
+            per_shard_max_queue: c.per_shard_max_queue,
+        }
     }
 
     /// How late a death announcement reaches the coordinator: the minimum
@@ -323,6 +435,7 @@ impl World {
         control: Control,
         end: SimTime,
         events: u64,
+        engine: EngineStats,
     ) -> RunStats {
         use bcp_radio::energy::EnergyBucket as B;
         let n = scen.topo.len();
@@ -440,7 +553,8 @@ impl World {
             events,
         )
         .with_per_node(per_node)
-        .with_low_radio_floor(low_idle, low_sleep);
+        .with_low_radio_floor(low_idle, low_sleep)
+        .with_engine(engine);
         match reach {
             Some(r) => stats.with_broadcast_reach(r),
             None => stats,

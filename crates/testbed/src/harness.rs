@@ -8,7 +8,7 @@
 //! exactly as the prototype did. Every protocol event is logged; energy and
 //! delay come from the log ([`crate::log::LogAccounting`]).
 
-use crate::log::{Side, TbEvent};
+use crate::log::Side;
 use bcp_core::config::BcpConfig;
 use bcp_core::msg::{AppPacket, BurstId, HandshakeMsg};
 use bcp_core::receiver::{BcpReceiver, ReceiverAction};
@@ -17,9 +17,10 @@ use bcp_net::addr::NodeId;
 use bcp_radio::profile::{cc2420, lucent_11m, RadioProfile};
 use bcp_sim::engine::{run_to_quiescence, Scheduler};
 use bcp_sim::event::EventId;
+use bcp_sim::keyed::EvKey;
 use bcp_sim::rng::Rng;
 use bcp_sim::time::{SimDuration, SimTime};
-use bcp_sim::trace::Trace;
+use bcp_sim::trace::{Trace, TraceClass, TraceEvent, TraceRadioState, TraceRecord};
 use std::collections::HashMap;
 
 /// Which curve of Fig. 11 is being measured.
@@ -81,8 +82,9 @@ pub struct TestbedRun {
     pub delivered: u64,
     /// Messages generated.
     pub generated: u64,
-    /// The raw event log (the prototype's measurement artifact).
-    pub trace: Trace<TbEvent>,
+    /// The raw event log (the prototype's measurement artifact), in the
+    /// same flight-recorder vocabulary the sharded world emits.
+    pub trace: Trace<TraceRecord>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,7 +131,10 @@ const RECEIVER: NodeId = NodeId(0);
 struct Harness {
     cfg: TestbedConfig,
     mode: TestbedMode,
-    trace: Trace<TbEvent>,
+    trace: Trace<TraceRecord>,
+    /// Monotone tie-break for trace keys (the testbed has no event-key
+    /// machinery of its own; insertion order is the total order).
+    seq: u128,
     bcp_tx: BcpSender,
     bcp_rx: BcpReceiver,
     high: [HighState; 2],
@@ -153,6 +158,7 @@ pub fn run(cfg: &TestbedConfig, mode: TestbedMode) -> TestbedRun {
         cfg: cfg.clone(),
         mode,
         trace: Trace::unbounded(),
+        seq: 0,
         bcp_tx: BcpSender::new(SENDER, bcp_cfg.clone()),
         bcp_rx: BcpReceiver::new(RECEIVER, bcp_cfg),
         high: [HighState::Off; 2],
@@ -184,18 +190,64 @@ impl Harness {
         }
     }
 
+    /// Appends one record; insertion order is the trace's total order.
+    fn rec(&mut self, now: SimTime, ev: TraceEvent) {
+        let key = EvKey {
+            time: now,
+            depth: 0,
+            ord: self.seq,
+        };
+        self.seq += 1;
+        self.trace.record(now, TraceRecord { key, ev });
+    }
+
+    /// One low-radio link transfer (data or control), charged by the log
+    /// post-processor to both ends.
+    fn rec_low_tx(&mut self, now: SimTime, node: u32, bytes: usize) {
+        let air = self
+            .cfg
+            .low
+            .frame_airtime(bytes.min(self.cfg.low.max_payload));
+        self.rec(
+            now,
+            TraceEvent::TxStart {
+                node,
+                class: TraceClass::Low,
+                bytes: bytes as u32,
+                air_ns: air.as_nanos(),
+                preamble_ns: 0,
+            },
+        );
+    }
+
+    fn rec_high_edge(&mut self, now: SimTime, side: Side, state: TraceRadioState) {
+        self.rec(
+            now,
+            TraceEvent::RadioState {
+                node: side.node(),
+                class: TraceClass::High,
+                state,
+            },
+        );
+    }
+
+    fn rec_deliver(&mut self, now: SimTime, pkt: &AppPacket) {
+        self.rec(
+            now,
+            TraceEvent::PktDeliver {
+                node: RECEIVER.0,
+                pkt: pkt.id.0,
+                delay_ns: now.duration_since(pkt.created).as_nanos(),
+            },
+        );
+    }
+
     fn handle(&mut self, sched: &mut Scheduler<TbEv>, ev: TbEv) {
         let now = sched.now();
         match ev {
             TbEv::MsgGen => self.msg_gen(sched),
             TbEv::LowDataArrive { pkt } => {
-                self.trace.record(
-                    now,
-                    TbEvent::Delivered {
-                        id: pkt.id,
-                        created: pkt.created,
-                    },
-                );
+                self.rec_deliver(now, &pkt);
             }
             TbEv::CtrlArrive { msg } => match msg {
                 HandshakeMsg::WakeUp { burst, burst_bytes } => {
@@ -238,6 +290,7 @@ impl Harness {
             }
             TbEv::WakeDone { side } => {
                 self.high[Self::side_idx(side)] = HighState::On;
+                self.rec_high_edge(now, side, TraceRadioState::Awake);
                 if side == Side::Sender {
                     for burst in core::mem::take(&mut self.wake_pending) {
                         let mut out = Vec::new();
@@ -270,12 +323,19 @@ impl Harness {
         let now = sched.now();
         let pkt = AppPacket::new(SENDER, RECEIVER, self.generated, now, self.cfg.msg_bytes);
         self.generated += 1;
-        self.trace.record(now, TbEvent::MsgGen { id: pkt.id });
+        self.rec(
+            now,
+            TraceEvent::PktEnqueue {
+                node: SENDER.0,
+                pkt: pkt.id.0,
+                bytes: pkt.bytes as u32,
+            },
+        );
         match self.mode {
             TestbedMode::SensorRadio => {
                 // Immediate transfer over the sensor radio.
                 let latency = self.cfg.low.frame_airtime(pkt.bytes) + self.cfg.low_access;
-                self.trace.record(now, TbEvent::LowTx { bytes: pkt.bytes });
+                self.rec_low_tx(now, SENDER.0, pkt.bytes);
                 sched.after(latency, TbEv::LowDataArrive { pkt });
             }
             TestbedMode::DualRadio => {
@@ -309,12 +369,7 @@ impl Harness {
                 SenderAction::SendWakeUp {
                     burst, burst_bytes, ..
                 } => {
-                    self.trace.record(
-                        now,
-                        TbEvent::LowTx {
-                            bytes: HandshakeMsg::WIRE_BYTES,
-                        },
-                    );
+                    self.rec_low_tx(now, SENDER.0, HandshakeMsg::WIRE_BYTES);
                     let msg = HandshakeMsg::WakeUp { burst, burst_bytes };
                     sched.after(self.ctrl_latency(), TbEv::CtrlArrive { msg });
                 }
@@ -347,12 +402,15 @@ impl Harness {
                     let ack_air = self.cfg.high.control_airtime(14);
                     let difs = SimDuration::from_micros(50);
                     let sifs = SimDuration::from_micros(10);
-                    self.trace.record(
+                    self.rec(
                         now,
-                        TbEvent::HighFrame {
-                            frame_air,
-                            ack_air,
-                            ifs: difs + sifs,
+                        TraceEvent::BurstFrame {
+                            node: SENDER.0,
+                            peer: RECEIVER.0,
+                            bytes: bytes as u32,
+                            frame_ns: frame_air.as_nanos(),
+                            ack_ns: ack_air.as_nanos(),
+                            ifs_ns: (difs + sifs).as_nanos(),
                         },
                     );
                     sched.after(
@@ -372,14 +430,13 @@ impl Harness {
                 SenderAction::SendLowData { packets, .. } => {
                     for pkt in packets {
                         let latency = self.cfg.low.frame_airtime(pkt.bytes) + self.cfg.low_access;
-                        self.trace.record(now, TbEvent::LowTx { bytes: pkt.bytes });
+                        self.rec_low_tx(now, SENDER.0, pkt.bytes);
                         sched.after(latency, TbEv::LowDataArrive { pkt });
                     }
                 }
                 SenderAction::ReleaseHighRadio { .. } => {
                     self.high[0] = HighState::Off;
-                    self.trace
-                        .record(now, TbEvent::HighOff { side: Side::Sender });
+                    self.rec_high_edge(now, Side::Sender, TraceRadioState::Off);
                 }
                 SenderAction::PacketsDropped { .. } | SenderAction::SessionDone { .. } => {}
             }
@@ -398,12 +455,7 @@ impl Harness {
                     granted_bytes,
                     ..
                 } => {
-                    self.trace.record(
-                        now,
-                        TbEvent::LowTx {
-                            bytes: HandshakeMsg::WIRE_BYTES,
-                        },
-                    );
+                    self.rec_low_tx(now, RECEIVER.0, HandshakeMsg::WIRE_BYTES);
                     let msg = HandshakeMsg::WakeUpAck {
                         burst,
                         granted_bytes,
@@ -423,22 +475,11 @@ impl Harness {
                 }
                 ReceiverAction::ReleaseHighRadio { .. } => {
                     self.high[1] = HighState::Off;
-                    self.trace.record(
-                        now,
-                        TbEvent::HighOff {
-                            side: Side::Receiver,
-                        },
-                    );
+                    self.rec_high_edge(now, Side::Receiver, TraceRadioState::Off);
                 }
                 ReceiverAction::DeliverPackets { packets, .. } => {
                     for pkt in packets {
-                        self.trace.record(
-                            now,
-                            TbEvent::Delivered {
-                                id: pkt.id,
-                                created: pkt.created,
-                            },
-                        );
+                        self.rec_deliver(now, &pkt);
                     }
                 }
             }
@@ -450,7 +491,7 @@ impl Harness {
         let i = Self::side_idx(side);
         match self.high[i] {
             HighState::Off => {
-                self.trace.record(now, TbEvent::HighOn { side });
+                self.rec_high_edge(now, side, TraceRadioState::Waking);
                 self.high[i] = HighState::Waking;
                 sched.after(self.cfg.high.t_wakeup, TbEv::WakeDone { side });
                 if let Some(b) = ready {

@@ -8,8 +8,10 @@
 //! * [`harness`] — the two-node driver: a sender generating 500 messages,
 //!   the real BCP machines from `bcp-core`, CC2420 low-radio timing, an
 //!   emulated Lucent 11 Mbps high radio, an ideal channel.
-//! * [`log`] — the event log ([`log::TbEvent`]) and the log-based energy
-//!   and delay calculator ([`log::LogAccounting`]).
+//! * [`log`] — the log-based energy and delay calculator
+//!   ([`log::LogAccounting`]), consuming the shared flight-recorder
+//!   vocabulary ([`bcp_sim::trace::TraceEvent`]) that the sharded world
+//!   emits too.
 //! * [`fig11_series`] / [`fig12_series`] — the threshold sweeps behind
 //!   Figures 11 and 12.
 //!
@@ -30,7 +32,7 @@ pub mod log;
 
 use bcp_sim::stats::{mean_ci95, Series};
 pub use harness::{run, TestbedConfig, TestbedMode, TestbedRun};
-pub use log::{LogAccounting, Side, TbEvent};
+pub use log::{LogAccounting, Side};
 
 /// The paper's threshold sweep: 500 B to 5000 B.
 pub fn paper_thresholds() -> Vec<usize> {

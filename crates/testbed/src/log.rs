@@ -1,17 +1,18 @@
-//! The testbed's event log and the log-driven energy calculator.
+//! The testbed's log-driven energy calculator, fed by the shared
+//! flight-recorder vocabulary.
 //!
 //! Section 4.2: "All the events (waking up of the emulated IEEE 802.11
 //! radio, transmission/reception of wakeups, acks, data, etc.) were logged
 //! in detail. At the end of the experiments, these logs were used to
 //! calculate energy consumption and delay." This module is that pipeline:
-//! the harness only *logs*; all energy numbers are derived afterwards from
-//! the [`Trace`] by [`LogAccounting`].
+//! the harness only *logs* — as [`bcp_sim::trace::TraceRecord`]s, the same
+//! records the sharded world emits — and all energy numbers are derived
+//! afterwards from the [`Trace`] by [`LogAccounting`].
 
-use bcp_core::msg::PacketId;
 use bcp_radio::profile::RadioProfile;
 use bcp_radio::units::Energy;
 use bcp_sim::time::{SimDuration, SimTime};
-use bcp_sim::trace::Trace;
+use bcp_sim::trace::{Trace, TraceClass, TraceEvent, TraceRadioState, TraceRecord};
 
 /// Which end of the two-node testbed an event belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,47 +23,15 @@ pub enum Side {
     Receiver,
 }
 
-/// One logged testbed event.
-#[derive(Debug, Clone, PartialEq)]
-pub enum TbEvent {
-    /// The application generated a message.
-    MsgGen {
-        /// The message.
-        id: PacketId,
-    },
-    /// A low-radio transfer completed (control message or, in sensor mode,
-    /// a data message). Energy is charged to both ends.
-    LowTx {
-        /// Payload bytes.
-        bytes: usize,
-    },
-    /// A high radio was switched on (includes one wake-up charge).
-    HighOn {
-        /// Which end.
-        side: Side,
-    },
-    /// A high radio was switched off.
-    HighOff {
-        /// Which end.
-        side: Side,
-    },
-    /// A burst frame crossed the emulated high-radio link, including its
-    /// MAC exchange (DIFS + data + SIFS + ACK).
-    HighFrame {
-        /// Data frame airtime.
-        frame_air: SimDuration,
-        /// Link-ACK airtime.
-        ack_air: SimDuration,
-        /// Inter-frame spacing spent idling (DIFS + SIFS).
-        ifs: SimDuration,
-    },
-    /// A message reached the receiver's application.
-    Delivered {
-        /// The message.
-        id: PacketId,
-        /// Its generation time (delay = log time − this).
-        created: SimTime,
-    },
+impl Side {
+    /// The fixed node id this side carries in trace records (the harness's
+    /// sender is node 1, its receiver node 0).
+    pub fn node(self) -> u32 {
+        match self {
+            Side::Sender => 1,
+            Side::Receiver => 0,
+        }
+    }
 }
 
 /// Post-processing of a testbed trace into energy and delay, mirroring the
@@ -89,12 +58,19 @@ impl LogAccounting {
     /// Computes energy and delay from a trace, given the two radio
     /// profiles. `end` closes any still-open radio-on span.
     ///
+    /// Records it reads: [`TraceEvent::TxStart`] on the low radio (one
+    /// CC2420 link transfer, charged to both ends),
+    /// [`TraceEvent::RadioState`] `Waking`/`Off` edges on the high radio
+    /// (on-span bookkeeping plus one wake-up charge),
+    /// [`TraceEvent::BurstFrame`] (frame + SIFS + ACK active energy), and
+    /// [`TraceEvent::PktDeliver`] (delay). Everything else is ignored.
+    ///
     /// # Panics
     ///
-    /// Panics if the log is inconsistent (e.g. `HighOff` without a
-    /// matching `HighOn`).
+    /// Panics if the log is inconsistent (e.g. a high radio going `Off`
+    /// without a matching `Waking`).
     pub fn from_trace(
-        trace: &Trace<TbEvent>,
+        trace: &Trace<TraceRecord>,
         low: &RadioProfile,
         high: &RadioProfile,
         end: SimTime,
@@ -108,46 +84,61 @@ impl LogAccounting {
         let mut busy_time = [SimDuration::ZERO; 2];
         let mut delivered = 0u64;
         let mut delay_sum = SimDuration::ZERO;
-        let idx = |s: Side| match s {
-            Side::Sender => 0,
-            Side::Receiver => 1,
-        };
-        for (t, ev) in trace.iter() {
-            match ev {
-                TbEvent::MsgGen { .. } => {}
-                TbEvent::LowTx { bytes } => {
-                    low_e += low.link_energy((*bytes).min(low.max_payload));
-                }
-                TbEvent::HighOn { side } => {
-                    let i = idx(*side);
-                    assert!(on_since[i].is_none(), "HighOn while already on");
-                    on_since[i] = Some(*t);
-                    wakeup += high.e_wakeup;
-                }
-                TbEvent::HighOff { side } => {
-                    let i = idx(*side);
-                    let since = on_since[i].take().expect("HighOff without HighOn");
-                    on_time[i] += t.duration_since(since);
-                }
-                TbEvent::HighFrame {
-                    frame_air,
-                    ack_air,
-                    ifs,
+        let idx = |node: u32| usize::from(node != Side::Sender.node());
+        for (t, r) in trace.iter() {
+            match &r.ev {
+                TraceEvent::TxStart {
+                    class: TraceClass::Low,
+                    bytes,
+                    ..
                 } => {
+                    low_e += low.link_energy((*bytes as usize).min(low.max_payload));
+                }
+                TraceEvent::RadioState {
+                    node,
+                    class: TraceClass::High,
+                    state,
+                } => {
+                    let i = idx(*node);
+                    match state {
+                        TraceRadioState::Waking => {
+                            assert!(on_since[i].is_none(), "high radio on while already on");
+                            on_since[i] = Some(*t);
+                            wakeup += high.e_wakeup;
+                        }
+                        TraceRadioState::Off => {
+                            let since = on_since[i].take().expect("high radio off without on");
+                            on_time[i] += t.duration_since(since);
+                        }
+                        // Awake/Dozing edges are informational here; the
+                        // span runs from Waking to Off.
+                        _ => {}
+                    }
+                }
+                TraceEvent::BurstFrame {
+                    frame_ns,
+                    ack_ns,
+                    ifs_ns,
+                    ..
+                } => {
+                    let frame_air = SimDuration::from_nanos(*frame_ns);
+                    let ack_air = SimDuration::from_nanos(*ack_ns);
+                    let ifs = SimDuration::from_nanos(*ifs_ns);
                     // Sender: transmits the frame, receives the ACK.
-                    active += high.p_tx * *frame_air + high.p_rx * *ack_air;
+                    active += high.p_tx * frame_air + high.p_rx * ack_air;
                     // Receiver: mirror image.
-                    active += high.p_rx * *frame_air + high.p_tx * *ack_air;
+                    active += high.p_rx * frame_air + high.p_tx * ack_air;
                     // Both idle through the interframe gaps.
-                    active += high.p_idle * *ifs + high.p_idle * *ifs;
-                    let busy = *frame_air + *ack_air + *ifs;
+                    active += high.p_idle * ifs + high.p_idle * ifs;
+                    let busy = frame_air + ack_air + ifs;
                     busy_time[0] += busy;
                     busy_time[1] += busy;
                 }
-                TbEvent::Delivered { created, .. } => {
+                TraceEvent::PktDeliver { delay_ns, .. } => {
                     delivered += 1;
-                    delay_sum += t.duration_since(*created);
+                    delay_sum += SimDuration::from_nanos(*delay_ns);
                 }
+                _ => {}
             }
         }
         // Close still-open spans at the end of the experiment.
@@ -193,17 +184,40 @@ impl LogAccounting {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bcp_net::addr::NodeId;
     use bcp_radio::profile::{cc2420, lucent_11m};
+    use bcp_sim::keyed::EvKey;
 
-    fn pid(n: u64) -> PacketId {
-        bcp_core::msg::AppPacket::new(NodeId(1), NodeId(0), n, SimTime::ZERO, 32).id
+    fn rec(tr: &mut Trace<TraceRecord>, t: SimTime, ev: TraceEvent) {
+        let key = EvKey {
+            time: t,
+            depth: 0,
+            ord: tr.len() as u128,
+        };
+        tr.record(t, TraceRecord { key, ev });
+    }
+
+    fn low_tx(bytes: u32) -> TraceEvent {
+        TraceEvent::TxStart {
+            node: Side::Sender.node(),
+            class: TraceClass::Low,
+            bytes,
+            air_ns: 0,
+            preamble_ns: 0,
+        }
+    }
+
+    fn high_edge(side: Side, state: TraceRadioState) -> TraceEvent {
+        TraceEvent::RadioState {
+            node: side.node(),
+            class: TraceClass::High,
+            state,
+        }
     }
 
     #[test]
     fn low_transfers_charge_link_energy() {
         let mut tr = Trace::unbounded();
-        tr.record(SimTime::from_millis(1), TbEvent::LowTx { bytes: 20 });
+        rec(&mut tr, SimTime::from_millis(1), low_tx(20));
         let acc = LogAccounting::from_trace(&tr, &cc2420(), &lucent_11m(), SimTime::from_secs(1));
         let expect = cc2420().link_energy(20);
         assert!((acc.low.as_joules() - expect.as_joules()).abs() < 1e-15);
@@ -213,18 +227,27 @@ mod tests {
     #[test]
     fn high_span_splits_idle_and_active() {
         let mut tr = Trace::unbounded();
-        tr.record(SimTime::ZERO, TbEvent::HighOn { side: Side::Sender });
-        tr.record(
+        rec(
+            &mut tr,
+            SimTime::ZERO,
+            high_edge(Side::Sender, TraceRadioState::Waking),
+        );
+        rec(
+            &mut tr,
             SimTime::from_millis(1),
-            TbEvent::HighFrame {
-                frame_air: SimDuration::from_millis(1),
-                ack_air: SimDuration::ZERO,
-                ifs: SimDuration::ZERO,
+            TraceEvent::BurstFrame {
+                node: Side::Sender.node(),
+                peer: Side::Receiver.node(),
+                bytes: 0,
+                frame_ns: SimDuration::from_millis(1).as_nanos(),
+                ack_ns: 0,
+                ifs_ns: 0,
             },
         );
-        tr.record(
+        rec(
+            &mut tr,
             SimTime::from_millis(10),
-            TbEvent::HighOff { side: Side::Sender },
+            high_edge(Side::Sender, TraceRadioState::Off),
         );
         let high = lucent_11m();
         let acc = LogAccounting::from_trace(&tr, &cc2420(), &high, SimTime::from_secs(1));
@@ -244,11 +267,10 @@ mod tests {
     #[test]
     fn open_span_closed_at_end() {
         let mut tr = Trace::unbounded();
-        tr.record(
+        rec(
+            &mut tr,
             SimTime::ZERO,
-            TbEvent::HighOn {
-                side: Side::Receiver,
-            },
+            high_edge(Side::Receiver, TraceRadioState::Waking),
         );
         let high = lucent_11m();
         let acc = LogAccounting::from_trace(&tr, &cc2420(), &high, SimTime::from_secs(2));
@@ -259,18 +281,22 @@ mod tests {
     #[test]
     fn delay_mean_over_deliveries() {
         let mut tr = Trace::unbounded();
-        tr.record(
+        rec(
+            &mut tr,
             SimTime::from_secs(5),
-            TbEvent::Delivered {
-                id: pid(0),
-                created: SimTime::from_secs(1),
+            TraceEvent::PktDeliver {
+                node: Side::Receiver.node(),
+                pkt: 0,
+                delay_ns: SimDuration::from_secs(4).as_nanos(),
             },
         );
-        tr.record(
+        rec(
+            &mut tr,
             SimTime::from_secs(9),
-            TbEvent::Delivered {
-                id: pid(1),
-                created: SimTime::from_secs(3),
+            TraceEvent::PktDeliver {
+                node: Side::Receiver.node(),
+                pkt: 1,
+                delay_ns: SimDuration::from_secs(6).as_nanos(),
             },
         );
         let acc = LogAccounting::from_trace(&tr, &cc2420(), &lucent_11m(), SimTime::from_secs(10));
@@ -279,16 +305,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "HighOff without HighOn")]
+    #[should_panic(expected = "high radio off without on")]
     fn inconsistent_log_panics() {
         let mut tr = Trace::unbounded();
-        tr.record(SimTime::ZERO, TbEvent::HighOff { side: Side::Sender });
+        rec(
+            &mut tr,
+            SimTime::ZERO,
+            high_edge(Side::Sender, TraceRadioState::Off),
+        );
         let _ = LogAccounting::from_trace(&tr, &cc2420(), &lucent_11m(), SimTime::from_secs(1));
     }
 
     #[test]
     fn empty_log_zero_energy_infinite_per_packet() {
-        let tr: Trace<TbEvent> = Trace::unbounded();
+        let tr: Trace<TraceRecord> = Trace::unbounded();
         let acc = LogAccounting::from_trace(&tr, &cc2420(), &lucent_11m(), SimTime::from_secs(1));
         assert_eq!(acc.total, Energy::ZERO);
         assert!(acc.energy_per_packet_uj().is_infinite());
