@@ -1,17 +1,90 @@
 //! The `repro bench` harness: a canonical node-count × shard-count grid
 //! timed end to end, emitted as a small JSON document suitable for
 //! checking in (`BENCH_<rev>.json` at the repo root) and diffing across
-//! revisions.
+//! revisions with `repro bench --compare`.
 //!
 //! The grid reuses the `scale` experiment's sensor-network builder so the
-//! benched workload is the same physics the paper's figures exercise.
-//! Throughput figures are wall-clock measurements — they are *not*
-//! covered by any bit-identity guarantee and will differ run to run; the
-//! point of checking a snapshot in is catching order-of-magnitude
-//! regressions, not basis points.
+//! benched workload is the same physics the paper's figures exercise, and
+//! both sweeps draw their node×shard tables from [`grid`] so the two
+//! cannot drift. Throughput figures are wall-clock measurements — they
+//! are *not* covered by any bit-identity guarantee and will differ run to
+//! run; the point of checking a snapshot in is catching order-of-magnitude
+//! regressions, not basis points. The engine counters (`windows`,
+//! `barriers`, `mean_window_s`) ride along so a lookahead win is visible
+//! in the document itself, not inferred from throughput.
 
 use crate::scale::sensor_scale;
+use crate::suite::Quality;
 use bcp_sim::time::SimDuration;
+use bcp_simnet::Scenario;
+
+/// Which node×shard sweep to run. The bench tiers and the `scale`
+/// experiment's quality tiers all resolve through [`grid`], the single
+/// source of truth for sweep shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridTier {
+    /// CI smoke corner (`repro bench --quick`): one side, two shard
+    /// counts, a short horizon.
+    Smoke,
+    /// The full `repro bench` matrix — the checked-in BENCH trajectory.
+    Bench,
+    /// The `scale` experiment at test quality.
+    ScaleTest,
+    /// The `scale` experiment at quick quality.
+    ScaleQuick,
+    /// The `scale` experiment at paper quality.
+    ScalePaper,
+}
+
+impl GridTier {
+    /// The tier backing the `scale` experiment at `q`.
+    pub fn for_scale(q: Quality) -> GridTier {
+        match q {
+            Quality::Test => GridTier::ScaleTest,
+            Quality::Quick => GridTier::ScaleQuick,
+            Quality::PaperLite | Quality::Paper => GridTier::ScalePaper,
+        }
+    }
+}
+
+/// One node×shard sweep: grid sides (nodes = side²), shard counts, and
+/// the simulated horizon per cell.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// Grid sides swept (nodes = side²).
+    pub sides: &'static [usize],
+    /// Shard counts swept (1 is the sequential baseline).
+    pub shard_counts: &'static [usize],
+    /// Simulated seconds per cell.
+    pub duration_s: u64,
+}
+
+/// The canonical node×shard sweep for `tier` — the one table `repro
+/// bench` and the `scale` experiment both read.
+pub fn grid(tier: GridTier) -> Grid {
+    let (sides, shard_counts, duration_s): (&[usize], &[usize], u64) = match tier {
+        GridTier::Smoke => (&[16], &[1, 2], 5),
+        GridTier::Bench => (&[16, 24, 32], &[1, 2, 4], 10),
+        GridTier::ScaleTest => (&[16], &[1, 2, 4], 5),
+        GridTier::ScaleQuick => (&[24, 32], &[1, 2, 4, 8], 20),
+        GridTier::ScalePaper => (&[32, 45], &[1, 2, 4, 8], 60),
+    };
+    Grid {
+        sides,
+        shard_counts,
+        duration_s,
+    }
+}
+
+impl Grid {
+    /// The scenario for one cell: the `scale` experiment's sensor-model
+    /// convergecast at this sweep's horizon.
+    pub fn scenario(&self, side: usize, shards: usize, seed: u64) -> Scenario {
+        sensor_scale(side, seed)
+            .with_duration(SimDuration::from_secs(self.duration_s))
+            .with_shards(shards)
+    }
+}
 
 /// One benched grid cell: a node count run at a shard count.
 #[derive(Debug, Clone)]
@@ -26,31 +99,61 @@ pub struct BenchCell {
     pub wall_s: f64,
     /// `events / wall_s` — the headline throughput figure.
     pub events_per_sec: f64,
+    /// Conservative windows drained.
+    pub windows: u64,
+    /// Synchronization points paid (`barriers - windows` = round count;
+    /// batching keeps rounds far below windows).
+    pub barriers: u64,
+    /// Mean conservative window width in simulated seconds.
+    pub mean_window_s: f64,
 }
 
-/// Runs the canonical bench grid. `quick` trims it to a smoke-sized
-/// corner (one side, two shard counts, a shorter horizon) for CI.
+/// Repetitions per cell: the reported number is the best (fastest) of
+/// these. Wall-clock on a shared box is one-sided noise — interference
+/// only ever slows a run down — so the minimum wall time is the least
+/// biased estimate of what the engine actually costs.
+pub const BENCH_REPS: u32 = 3;
+
+/// Runs the canonical bench grid, best-of-[`BENCH_REPS`] per cell.
+/// `quick` trims it to the smoke-sized corner ([`GridTier::Smoke`]) for
+/// CI.
 pub fn bench_grid(quick: bool) -> Vec<BenchCell> {
-    let (sides, shard_counts, secs): (&[usize], &[usize], u64) = if quick {
-        (&[16], &[1, 2], 5)
+    let g = grid(if quick {
+        GridTier::Smoke
     } else {
-        (&[16, 24, 32], &[1, 2, 4], 10)
-    };
+        GridTier::Bench
+    });
     let mut cells = Vec::new();
-    for &side in sides {
-        for &shards in shard_counts {
-            let mut scen = sensor_scale(side, 2008);
-            scen.duration = SimDuration::from_secs(secs);
-            scen.shards = shards;
-            let stats = scen.run();
-            let e = &stats.engine;
-            cells.push(BenchCell {
-                nodes: side * side,
-                shards,
-                events: stats.events,
-                wall_s: e.wall_s,
-                events_per_sec: e.events_per_sec,
-            });
+    for &side in g.sides {
+        for &shards in g.shard_counts {
+            let mut best: Option<BenchCell> = None;
+            for _ in 0..BENCH_REPS {
+                let stats = g.scenario(side, shards, 2008).run();
+                let e = &stats.engine;
+                let cell = BenchCell {
+                    nodes: side * side,
+                    shards,
+                    events: stats.events,
+                    wall_s: e.wall_s,
+                    events_per_sec: e.events_per_sec,
+                    windows: e.windows,
+                    barriers: e.barriers,
+                    mean_window_s: e.mean_window_s,
+                };
+                match &best {
+                    // Same scenario, same engine: everything but wall
+                    // clock is deterministic across reps.
+                    Some(b) => {
+                        assert_eq!(b.events, cell.events, "bench rep diverged");
+                        assert_eq!(b.windows, cell.windows, "bench rep diverged");
+                        if cell.wall_s < b.wall_s {
+                            best = Some(cell);
+                        }
+                    }
+                    None => best = Some(cell),
+                }
+            }
+            cells.push(best.expect("BENCH_REPS >= 1"));
         }
     }
     cells
@@ -63,17 +166,151 @@ pub fn bench_json(rev: &str, cells: &[BenchCell]) -> String {
         .iter()
         .map(|c| {
             format!(
-                "{{\"nodes\":{},\"shards\":{},\"events\":{},\"wall_s\":{},\"events_per_sec\":{}}}",
+                "{{\"nodes\":{},\"shards\":{},\"events\":{},\"wall_s\":{},\
+                 \"events_per_sec\":{},\"windows\":{},\"barriers\":{},\
+                 \"mean_window_s\":{}}}",
                 c.nodes,
                 c.shards,
                 c.events,
                 num(c.wall_s),
-                num(c.events_per_sec)
+                num(c.events_per_sec),
+                c.windows,
+                c.barriers,
+                num(c.mean_window_s),
             )
         })
         .collect::<Vec<_>>()
         .join(",");
     format!("{{\"rev\":{},\"cells\":[{}]}}\n", escape(rev), body)
+}
+
+/// Parses a bench document back into `(rev, cells)`. Documents from
+/// before the engine counters were recorded load with those fields zero.
+pub fn parse_bench(text: &str) -> Result<(String, Vec<BenchCell>), String> {
+    let v = bcp_sim::json::parse(text).map_err(|e| format!("bad bench JSON: {e}"))?;
+    let rev = v
+        .get("rev")
+        .and_then(|r| r.as_str())
+        .ok_or("bench document lacks a rev")?
+        .to_string();
+    let arr = v
+        .get("cells")
+        .and_then(|c| c.as_arr())
+        .ok_or("bench document lacks a cells array")?;
+    let mut cells = Vec::new();
+    for c in arr {
+        let int = |k: &str| c.get(k).and_then(|x| x.as_u64());
+        let flt = |k: &str| c.get(k).and_then(|x| x.as_f64());
+        cells.push(BenchCell {
+            nodes: int("nodes").ok_or("cell lacks nodes")? as usize,
+            shards: int("shards").ok_or("cell lacks shards")? as usize,
+            events: int("events").ok_or("cell lacks events")?,
+            wall_s: flt("wall_s").ok_or("cell lacks wall_s")?,
+            events_per_sec: flt("events_per_sec").ok_or("cell lacks events_per_sec")?,
+            windows: int("windows").unwrap_or(0),
+            barriers: int("barriers").unwrap_or(0),
+            mean_window_s: flt("mean_window_s").unwrap_or(0.0),
+        });
+    }
+    Ok((rev, cells))
+}
+
+/// One cell's throughput delta between two bench documents.
+#[derive(Debug, Clone)]
+pub struct CellDelta {
+    /// Cell identity.
+    pub nodes: usize,
+    /// Cell identity.
+    pub shards: usize,
+    /// Old events/sec (`None` when the cell is new in the new document).
+    pub old_eps: Option<f64>,
+    /// New events/sec (`None` when the cell vanished from the grid).
+    pub new_eps: Option<f64>,
+    /// Percent change, positive = faster (`None` unless both sides exist).
+    pub delta_pct: Option<f64>,
+    /// Slower than the old document by more than the tolerance, or the
+    /// cell vanished — either fails the comparison.
+    pub regressed: bool,
+}
+
+/// Compares two cell sets by `(nodes, shards)` identity. A cell counts as
+/// regressed when its throughput dropped more than `tolerance_pct`
+/// percent, or when it exists in `old` but not in `new`.
+pub fn compare(old: &[BenchCell], new: &[BenchCell], tolerance_pct: f64) -> Vec<CellDelta> {
+    let mut deltas = Vec::new();
+    for o in old {
+        let n = new
+            .iter()
+            .find(|c| c.nodes == o.nodes && c.shards == o.shards);
+        let (new_eps, delta_pct) = match n {
+            Some(n) => {
+                let pct = (n.events_per_sec / o.events_per_sec - 1.0) * 100.0;
+                (Some(n.events_per_sec), Some(pct))
+            }
+            None => (None, None),
+        };
+        deltas.push(CellDelta {
+            nodes: o.nodes,
+            shards: o.shards,
+            old_eps: Some(o.events_per_sec),
+            new_eps,
+            delta_pct,
+            regressed: delta_pct.map_or(true, |p| p < -tolerance_pct),
+        });
+    }
+    for n in new {
+        if !old
+            .iter()
+            .any(|c| c.nodes == n.nodes && c.shards == n.shards)
+        {
+            deltas.push(CellDelta {
+                nodes: n.nodes,
+                shards: n.shards,
+                old_eps: None,
+                new_eps: Some(n.events_per_sec),
+                delta_pct: None,
+                regressed: false, // a grown grid is not a regression
+            });
+        }
+    }
+    deltas.sort_by_key(|d| (d.nodes, d.shards));
+    deltas
+}
+
+/// Renders the delta table `compare` produced, one row per cell.
+pub fn render_compare(deltas: &[CellDelta], tolerance_pct: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>7} {:>7} {:>14} {:>14} {:>9}  verdict (tolerance {tolerance_pct}%)\n",
+        "nodes", "shards", "old ev/s", "new ev/s", "delta"
+    ));
+    let eps = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.0}"),
+        None => "-".into(),
+    };
+    for d in deltas {
+        let delta = match d.delta_pct {
+            Some(p) => format!("{p:+.1}%"),
+            None => "-".into(),
+        };
+        let verdict = if d.regressed {
+            "REGRESSED"
+        } else if d.delta_pct.is_none() {
+            "new cell"
+        } else {
+            "ok"
+        };
+        out.push_str(&format!(
+            "{:>7} {:>7} {:>14} {:>14} {:>9}  {}\n",
+            d.nodes,
+            d.shards,
+            eps(d.old_eps),
+            eps(d.new_eps),
+            delta,
+            verdict
+        ));
+    }
+    out
 }
 
 /// The current git revision (short), or `"unknown"` outside a checkout.
@@ -99,6 +336,8 @@ mod tests {
         for c in &cells {
             assert_eq!(c.nodes, 256);
             assert!(c.events > 0, "a bench run processes events");
+            assert!(c.windows > 0, "windows surface in the bench document");
+            assert!(c.barriers >= c.windows, "every window pays its barrier");
         }
         // Shard count never changes the logical event count.
         assert_eq!(cells[0].events, cells[1].events);
@@ -110,5 +349,62 @@ mod tests {
             .and_then(|c| c.as_arr())
             .expect("cells array");
         assert_eq!(arr.len(), 2);
+        // And the document round-trips through the parser.
+        let (rev, parsed) = parse_bench(&json).expect("bench JSON parses back");
+        assert_eq!(rev, "deadbeef");
+        assert_eq!(parsed.len(), cells.len());
+        assert_eq!(parsed[0].windows, cells[0].windows);
+    }
+
+    #[test]
+    fn scale_tiers_resolve_through_the_shared_grid() {
+        let t = grid(GridTier::for_scale(Quality::Test));
+        assert_eq!((t.sides, t.duration_s), (&[16usize][..], 5));
+        assert_eq!(t.shard_counts, &[1, 2, 4]);
+        let p = grid(GridTier::for_scale(Quality::Paper));
+        assert!(p.sides.contains(&45), "paper tier reaches 2025 nodes");
+        let s = t.scenario(16, 4, 1);
+        assert_eq!(s.topo.len(), 256);
+        assert_eq!(s.shards, 4);
+        assert_eq!(s.duration, SimDuration::from_secs(5));
+    }
+
+    fn cell(nodes: usize, shards: usize, eps: f64) -> BenchCell {
+        BenchCell {
+            nodes,
+            shards,
+            events: 1000,
+            wall_s: 1.0,
+            events_per_sec: eps,
+            windows: 10,
+            barriers: 12,
+            mean_window_s: 0.1,
+        }
+    }
+
+    #[test]
+    fn compare_flags_only_out_of_tolerance_regressions() {
+        let old = vec![cell(256, 1, 1000.0), cell(256, 2, 1000.0)];
+        let new = vec![
+            cell(256, 1, 950.0),  // -5%: inside a 10% tolerance
+            cell(256, 2, 800.0),  // -20%: regression
+            cell(1024, 4, 500.0), // new cell: never a regression
+        ];
+        let deltas = compare(&old, &new, 10.0);
+        assert_eq!(deltas.len(), 3);
+        assert!(!deltas[0].regressed);
+        assert!(deltas[1].regressed);
+        assert!(!deltas[2].regressed && deltas[2].old_eps.is_none());
+        let table = render_compare(&deltas, 10.0);
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("new cell"));
+    }
+
+    #[test]
+    fn compare_fails_a_vanished_cell() {
+        let old = vec![cell(256, 1, 1000.0)];
+        let deltas = compare(&old, &[], 10.0);
+        assert_eq!(deltas.len(), 1);
+        assert!(deltas[0].regressed, "a vanished cell cannot be verified");
     }
 }

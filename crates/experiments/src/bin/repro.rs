@@ -9,6 +9,7 @@
 //!           [--trace <file>] [--trace-filter <cats>]
 //!           [--series <file>] [--series-every <secs>]
 //! repro bench [--quick|--full] [--out <file>]
+//! repro bench --compare <old.json> <new.json> [--tolerance <pct>]
 //! ```
 //!
 //! * `repro <id>` prints the gnuplot-ready text rendering; `--json` emits
@@ -27,9 +28,13 @@
 //!   prints `{"rev":...,"cells":[...]}`; check the output in as
 //!   `BENCH_<rev>.json` to track engine throughput across revisions.
 //!   `--quick` (the default quality) runs the CI-sized corner of the
-//!   grid; `--full` runs the whole matrix.
+//!   grid; `--full` runs the whole matrix. `--compare` instead diffs two
+//!   checked-in documents cell by cell and exits nonzero when any cell
+//!   regressed more than `--tolerance` percent (default 10).
 
-use bcp_experiments::bench::{bench_grid, bench_json, git_rev};
+use bcp_experiments::bench::{
+    bench_grid, bench_json, compare, git_rev, parse_bench, render_compare,
+};
 use bcp_experiments::{all, find, Output, Quality, RunCtx};
 use bcp_sim::time::SimDuration;
 use bcp_sim::trace::TraceCat;
@@ -57,6 +62,10 @@ struct Cli {
     series: Option<PathBuf>,
     /// `--series-every <secs>` (default 1 s when `--series` is given).
     series_every: Option<f64>,
+    /// `repro bench --compare <old> <new>`: diff two bench documents.
+    compare: Option<(PathBuf, PathBuf)>,
+    /// `--tolerance <pct>` for `--compare` (default 10%).
+    tolerance: f64,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -72,6 +81,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         trace_filter: Vec::new(),
         series: None,
         series_every: None,
+        compare: None,
+        tolerance: 10.0,
     };
     let run_mode = args.first().map(String::as_str) == Some("run");
     let bench_mode = args.first().map(String::as_str) == Some("bench");
@@ -116,6 +127,29 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     .get(i)
                     .ok_or_else(|| "--series needs a file".to_string())?;
                 cli.series = Some(PathBuf::from(f));
+            }
+            "--compare" if bench_mode => {
+                let old = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--compare needs two bench files".to_string())?;
+                let new = args
+                    .get(i + 2)
+                    .ok_or_else(|| "--compare needs two bench files".to_string())?;
+                cli.compare = Some((PathBuf::from(old), PathBuf::from(new)));
+                i += 2;
+            }
+            "--tolerance" if bench_mode => {
+                i += 1;
+                let pct = args
+                    .get(i)
+                    .ok_or_else(|| "--tolerance needs a percentage".to_string())?;
+                let pct: f64 = pct
+                    .parse()
+                    .map_err(|_| format!("bad --tolerance value {pct}"))?;
+                if pct < 0.0 || !pct.is_finite() {
+                    return Err("--tolerance must be a non-negative percentage".into());
+                }
+                cli.tolerance = pct;
             }
             "--series-every" if run_mode => {
                 i += 1;
@@ -242,8 +276,12 @@ fn persist(dir: &Path, id: &str, title: &str, out: &Output, json: bool) -> std::
     Ok(())
 }
 
-/// `repro bench`: time the canonical grid and print/persist the document.
+/// `repro bench`: time the canonical grid and print/persist the document,
+/// or (`--compare`) diff two checked-in documents and gate on regressions.
 fn run_bench(cli: &Cli) -> ExitCode {
+    if let Some((old_path, new_path)) = &cli.compare {
+        return run_compare(old_path, new_path, cli.tolerance);
+    }
     let quick = cli.quality == Quality::Quick || cli.quality == Quality::Test;
     eprintln!(
         "benching the {} grid (wall-clock figures, not reproducible)...",
@@ -262,6 +300,32 @@ fn run_bench(cli: &Cli) -> ExitCode {
     }
     eprintln!("  done in {:.1?}", started.elapsed());
     ExitCode::SUCCESS
+}
+
+/// `repro bench --compare`: per-cell delta table; nonzero exit on any
+/// regression beyond the tolerance.
+fn run_compare(old_path: &Path, new_path: &Path, tolerance: f64) -> ExitCode {
+    let load = |path: &Path| -> Result<(String, Vec<_>), String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        parse_bench(&text).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let ((old_rev, old), (new_rev, new)) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("comparing {old_rev} -> {new_rev}");
+    let deltas = compare(&old, &new, tolerance);
+    print!("{}", render_compare(&deltas, tolerance));
+    if deltas.iter().any(|d| d.regressed) {
+        eprintln!("FAIL: at least one cell regressed more than {tolerance}%");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// `repro run <file.scn>`: parse, validate, execute, print `RunStats` JSON.
@@ -302,6 +366,7 @@ fn run_scenario_file(path: &Path, cli: &Cli) -> ExitCode {
             .series
             .as_ref()
             .map(|_| SimDuration::from_secs_f64(cli.series_every.unwrap_or(1.0))),
+        scalar_lookahead: false,
     };
     let out = scenario.run_with(&opts);
     let stats = out.stats;
@@ -365,6 +430,7 @@ fn usage() {
          \x20      repro run <file.scn> [--test] [--out <dir>]\n\
          \x20                [--trace <file>] [--trace-filter pkt,radio,power,route]\n\
          \x20                [--series <file>] [--series-every <secs>]\n\
-         \x20      repro bench [--quick|--full] [--out <file>]"
+         \x20      repro bench [--quick|--full] [--out <file>]\n\
+         \x20      repro bench --compare <old.json> <new.json> [--tolerance <pct>]"
     );
 }

@@ -12,38 +12,13 @@
 //! Speedup requires actual cores: under `BCP_THREADS=1` (or on a
 //! single-core machine) every row degenerates to the sequential path.
 
+use crate::bench::{grid, GridTier};
 use crate::output::Output;
 use crate::registry::RunCtx;
-use crate::suite::Quality;
 use bcp_net::addr::NodeId;
 use bcp_net::topo::Topology;
 use bcp_simnet::{ModelKind, Scenario, ScenarioBuilder};
 use std::time::Instant;
-
-/// Grid sides swept per quality (nodes = side²; 45² = 2025 nodes).
-fn sides(q: Quality) -> Vec<usize> {
-    match q {
-        Quality::Test => vec![16],
-        Quality::Quick => vec![24, 32],
-        Quality::PaperLite | Quality::Paper => vec![32, 45],
-    }
-}
-
-fn duration_s(q: Quality) -> u64 {
-    match q {
-        Quality::Test => 5,
-        Quality::Quick => 20,
-        Quality::PaperLite | Quality::Paper => 60,
-    }
-}
-
-/// Shard counts swept (1 is the sequential baseline).
-fn shard_counts(q: Quality) -> Vec<usize> {
-    match q {
-        Quality::Test => vec![1, 2, 4],
-        _ => vec![1, 2, 4, 8],
-    }
-}
 
 /// A large sensor-model convergecast: `side`×`side` grid at the paper's
 /// 40 m pitch, sink at the grid centre, one node in ten sending.
@@ -59,16 +34,16 @@ pub fn sensor_scale(side: usize, seed: u64) -> Scenario {
         .expect("the scale grid is valid")
 }
 
-/// The registered `scale` experiment.
+/// The registered `scale` experiment. The node×shard sweep comes from
+/// [`grid`] — the same table `repro bench` runs, so the two can't drift.
 pub fn scale(ctx: &RunCtx) -> Output {
-    let q = ctx.quality;
-    let dur = bcp_sim::time::SimDuration::from_secs(duration_s(q));
+    let g = grid(GridTier::for_scale(ctx.quality));
     let mut rows = Vec::new();
-    for side in sides(q) {
+    for &side in g.sides {
         let mut baseline_eps: Option<f64> = None;
         let mut baseline_delivered: Option<u64> = None;
-        for shards in shard_counts(q) {
-            let scen = sensor_scale(side, 1).with_duration(dur).with_shards(shards);
+        for &shards in g.shard_counts {
+            let scen = g.scenario(side, shards, 1);
             let t = Instant::now();
             let stats = scen.run();
             let wall = t.elapsed().as_secs_f64().max(1e-9);
@@ -115,7 +90,7 @@ pub fn scale(ctx: &RunCtx) -> Output {
         notes: vec![
             format!(
                 "sensor-model convergecast, {} s simulated, n/10 senders at 2 Kbps",
-                duration_s(q)
+                g.duration_s
             ),
             format!(
                 "worker pool: {} threads (override with BCP_THREADS); speedup needs real cores",
@@ -138,6 +113,8 @@ mod tests {
         assert!(!s.senders.contains(&s.sink));
         assert_eq!(s.model, ModelKind::Sensor);
     }
+
+    use crate::suite::Quality;
 
     #[test]
     fn scale_experiment_renders_and_agrees() {

@@ -31,6 +31,69 @@ impl Partition {
     /// are ordered by `(x, y, id)` and chunked contiguously, so each shard
     /// owns a spatially compact band. `k` is clamped to `1..=topo.len()`.
     pub fn strips(topo: &Topology, k: usize) -> Partition {
+        Self::from_cuts(topo, k, |cuts, _| cuts)
+    }
+
+    /// [`strips`], but with every cut line steered away from `hot` — the
+    /// node expected to anchor the densest traffic (a convergecast sink,
+    /// a broadcast source). Relay load concentrates around that node, and
+    /// a transmission next to a cut is re-delivered on the far shard as
+    /// `RxBegin`/`RxEnd` duplicates; placing the cuts as far from the hot
+    /// node as balance allows keeps the busiest transmitters interior.
+    ///
+    /// All interior cuts shift together by one offset, chosen (by direct
+    /// search) to maximise the hot node's distance to the nearest cut in
+    /// strip order, bounded to a quarter of the base strip width so no
+    /// shard's node count strays far from `n/k`. The partition stays a
+    /// contiguous banding — only where the bands fall changes, and the
+    /// choice of partition never affects physics, just how much traffic
+    /// crosses shard boundaries.
+    ///
+    /// [`strips`]: Partition::strips
+    pub fn strips_avoiding(topo: &Topology, k: usize, hot: NodeId) -> Partition {
+        Self::from_cuts(topo, k, |mut cuts, order| {
+            let n = order.len();
+            let hot_idx = order
+                .iter()
+                .position(|&m| m == hot)
+                .expect("hot node is in the topology") as isize;
+            let width = (n / (cuts.len() + 1)) as isize;
+            let slack = width / 4;
+            // Clearance beyond half a strip is worthless — no radio reaches
+            // that far relative to the strip scale — so the objective is
+            // capped there, and a hot node already clear of every cut keeps
+            // the perfectly balanced split.
+            let clearance = |delta: isize| {
+                cuts.iter()
+                    .map(|&c| (c as isize + delta - hot_idx).abs())
+                    .min()
+                    .unwrap_or(isize::MAX)
+                    .min(width / 2)
+            };
+            let mut best = 0isize;
+            for delta in -slack..=slack {
+                // Strict improvement only: ties keep the smaller shift,
+                // so the unshifted balanced cut is the default.
+                if clearance(delta) > clearance(best) {
+                    best = delta;
+                }
+            }
+            for c in &mut cuts {
+                *c = (*c as isize + best) as usize;
+            }
+            cuts
+        })
+    }
+
+    /// Shared strip machinery: orders nodes by `(x, y, id)`, computes the
+    /// balanced interior cut indices, lets `place` adjust them, and chunks
+    /// the order at the final cuts. `place` receives strictly increasing
+    /// cuts in `(0, n)` and must return the same.
+    fn from_cuts(
+        topo: &Topology,
+        k: usize,
+        place: impl FnOnce(Vec<usize>, &[NodeId]) -> Vec<usize>,
+    ) -> Partition {
         let n = topo.len();
         let k = k.clamp(1, n.max(1));
         let mut order: Vec<NodeId> = topo.nodes().collect();
@@ -40,20 +103,19 @@ impl Partition {
                 .partial_cmp(&(pb.x, pb.y, b.0))
                 .expect("finite coordinates")
         });
-        let mut shard_of = vec![0u32; n];
         let base = n / k;
         let rem = n % k;
+        let mut cuts = Vec::with_capacity(k.saturating_sub(1));
         let mut next = 0usize;
-        for (shard, chunk) in
-            (0..k)
-                .map(|s| base + usize::from(s < rem))
-                .enumerate()
-                .map(|(s, len)| {
-                    let c = &order[next..next + len];
-                    next += len;
-                    (s, c)
-                })
-        {
+        for s in 0..k.saturating_sub(1) {
+            next += base + usize::from(s < rem);
+            cuts.push(next);
+        }
+        let cuts = place(cuts, &order);
+        debug_assert!(cuts.windows(2).all(|w| w[0] < w[1]), "cuts increase");
+        debug_assert!(cuts.iter().all(|&c| c > 0 && c < n), "cuts interior");
+        let mut shard_of = vec![0u32; n];
+        for (shard, chunk) in split_at_cuts(&order, &cuts).enumerate() {
             for &node in chunk {
                 shard_of[node.index()] = shard as u32;
             }
@@ -114,6 +176,50 @@ impl Partition {
                 .any(|&m| self.shard_of(m) != s)
         })
     }
+
+    /// The minimum distance (metres) between any node of shard `i` and any
+    /// node of shard `j`, for every ordered pair — the geometric bound
+    /// behind the per-pair conservative lookahead: a radio whose range is
+    /// below `result[i][j]` can never carry a message between those
+    /// shards. The matrix is symmetric and the diagonal is `None` (a
+    /// shard's distance to itself is not meaningful); `None` off the
+    /// diagonal only occurs for empty shards.
+    pub fn min_pair_distance(&self, topo: &Topology) -> Vec<Vec<Option<f64>>> {
+        let mut best = vec![vec![f64::INFINITY; self.k]; self.k];
+        let nodes: Vec<NodeId> = topo.nodes().collect();
+        for (ai, &a) in nodes.iter().enumerate() {
+            let sa = self.shard_of(a);
+            let pa = topo.position(a);
+            for &b in &nodes[ai + 1..] {
+                let sb = self.shard_of(b);
+                if sa == sb {
+                    continue;
+                }
+                let pb = topo.position(b);
+                let (dx, dy) = (pa.x - pb.x, pa.y - pb.y);
+                let d2 = dx * dx + dy * dy;
+                if d2 < best[sa][sb] {
+                    best[sa][sb] = d2;
+                    best[sb][sa] = d2;
+                }
+            }
+        }
+        best.iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&d2| d2.is_finite().then(|| d2.sqrt()))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Splits `order` into the `cuts.len() + 1` contiguous chunks delimited
+/// by the cut indices.
+fn split_at_cuts<'a, T>(order: &'a [T], cuts: &'a [usize]) -> impl Iterator<Item = &'a [T]> {
+    let starts = std::iter::once(0).chain(cuts.iter().copied());
+    let ends = cuts.iter().copied().chain(std::iter::once(order.len()));
+    starts.zip(ends).map(|(s, e)| &order[s..e])
 }
 
 #[cfg(test)]
@@ -179,6 +285,88 @@ mod tests {
         assert!(p.has_cross_links(&topo, 40.0));
         // Below the 40 m pitch no link exists at all, so none can cross.
         assert!(!p.has_cross_links(&topo, 10.0));
+    }
+
+    #[test]
+    fn strips_avoiding_moves_cuts_off_the_hot_column() {
+        // 8×8 grid, 2 strips: the balanced cut falls between columns 3
+        // and 4. A hot node in column 4 sits right on that boundary; the
+        // steered cut must move as far away as the ±width/4 slack allows
+        // while staying a contiguous column banding.
+        let topo = Topology::grid(8, 40.0);
+        let hot = NodeId(4 * 8 + 4); // row 4, column 4 → sorted index 36
+        let p = Partition::strips_avoiding(&topo, 2, hot);
+        assert_eq!(p.k(), 2);
+        let hot_shard = p.shard_of(hot);
+        // The hot node's orthogonal radio neighbours stay on its shard.
+        for &m in topo.neighbors_within(hot, 40.0).iter() {
+            assert_eq!(p.shard_of(m), hot_shard, "neighbour {m} crosses");
+        }
+        // Still a contiguous banding by column.
+        let mut seen = vec![];
+        for col in 0..8u32 {
+            let s = p.shard_of(NodeId(col));
+            if seen.last() != Some(&s) {
+                seen.push(s);
+            }
+            for row in 1..8u32 {
+                assert_eq!(p.shard_of(NodeId(row * 8 + col)), s, "column split");
+            }
+        }
+        assert_eq!(seen, vec![0, 1], "two bands, in order");
+        // Balance stays within the documented quarter-width slack.
+        let sizes = p.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 64);
+        assert!(sizes.iter().all(|&s| (24..=40).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn strips_avoiding_with_clear_hot_node_keeps_the_balanced_cut() {
+        // Hot node already far from every cut: no shift is an improvement,
+        // so the steered partition equals the plain balanced one.
+        let topo = Topology::grid(6, 40.0);
+        let p = Partition::strips_avoiding(&topo, 2, NodeId(0));
+        assert_eq!(p, Partition::strips(&topo, 2));
+    }
+
+    #[test]
+    fn strips_avoiding_degenerates_safely() {
+        // k = 1 (no cuts) and k = n (width 1, zero slack) both stay valid.
+        let topo = Topology::grid(2, 40.0);
+        let one = Partition::strips_avoiding(&topo, 1, NodeId(3));
+        assert_eq!(one.shard_sizes(), vec![4]);
+        let all = Partition::strips_avoiding(&topo, 4, NodeId(3));
+        assert_eq!(all.shard_sizes(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn min_pair_distance_matches_strip_geometry() {
+        // 6×6 grid at 40 m pitch, 3 strips of 2 columns each: adjacent
+        // strips are one pitch apart, strips 0 and 2 are three pitches
+        // apart (column 1 to column 4).
+        let topo = Topology::grid(6, 40.0);
+        let p = Partition::strips(&topo, 3);
+        let m = p.min_pair_distance(&topo);
+        assert_eq!(m.len(), 3);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row.len(), 3);
+            assert_eq!(row[i], None, "diagonal is undefined");
+            for (j, d) in row.iter().enumerate() {
+                if i != j {
+                    assert_eq!(*d, m[j][i], "matrix is symmetric");
+                }
+            }
+        }
+        assert_eq!(m[0][1], Some(40.0));
+        assert_eq!(m[1][2], Some(40.0));
+        assert_eq!(m[0][2], Some(120.0));
+    }
+
+    #[test]
+    fn min_pair_distance_single_shard_is_all_none() {
+        let topo = Topology::grid(3, 40.0);
+        let p = Partition::single(topo.len());
+        assert_eq!(p.min_pair_distance(&topo), vec![vec![None]]);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use crate::keyed::{EvKey, Keyed, ShardQueue};
 use crate::time::{SimDuration, SimTime};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// A sense-free generation barrier that spins briefly before yielding —
@@ -170,11 +170,117 @@ impl<S: PdesShard> ShardsMut<'_, S> {
     }
 }
 
+/// How far ahead of the earliest pending event a conservative window may
+/// safely extend.
+///
+/// * [`Unbounded`](Lookahead::Unbounded) declares the shards mutually
+///   non-interacting (no sends, no deferred globals): the whole horizon
+///   becomes one window.
+/// * [`Scalar`](Lookahead::Scalar) is the classic single bound: every
+///   cross-shard message (and deferred global) arrives at least this far
+///   after it is sent.
+/// * [`Matrix`](Lookahead::Matrix) refines the bound per ordered shard
+///   pair: `pairs[src][dst]` is the minimum delay of any message from
+///   `src` to `dst` (`None` when `src` never sends to `dst`), and
+///   `global` bounds how far ahead of its emitter a deferred global event
+///   lands (`None` when shards never emit globals). Far-apart shard pairs
+///   get large bounds, which widens the first window of every round —
+///   `end = min_j(floor_j + min_i pairs[j][i])` instead of
+///   `min_j floor_j + L` — so far fewer synchronization rounds fire.
+#[derive(Debug, Clone)]
+pub enum Lookahead {
+    /// Shards never interact; one window covers the whole run.
+    Unbounded,
+    /// One bound for every shard pair and for deferred globals.
+    Scalar(SimDuration),
+    /// Per-ordered-pair bounds plus a separate deferred-global bound.
+    Matrix {
+        /// `pairs[src][dst]`: minimum message delay from `src` to `dst`.
+        pairs: Vec<Vec<Option<SimDuration>>>,
+        /// Minimum deferral of globals emitted by shard handlers.
+        global: Option<SimDuration>,
+    },
+}
+
+impl From<Option<SimDuration>> for Lookahead {
+    fn from(l: Option<SimDuration>) -> Self {
+        match l {
+            Some(l) => Lookahead::Scalar(l),
+            None => Lookahead::Unbounded,
+        }
+    }
+}
+
+impl From<SimDuration> for Lookahead {
+    fn from(l: SimDuration) -> Self {
+        Lookahead::Scalar(l)
+    }
+}
+
+/// The per-run plan precomputed from a [`Lookahead`] (all in nanoseconds;
+/// `u64::MAX` encodes "no bound").
+struct LaPlan {
+    /// `src_min[j]`: minimum over destinations of `pairs[j][dst]` — how
+    /// soon anything sent by shard `j` can arrive anywhere.
+    src_min: Vec<u64>,
+    /// Minimum over all pair bounds and the global bound: the safe width
+    /// of every follow-up sub-window in a batched round.
+    width: u64,
+    /// The deferred-global bound.
+    global: u64,
+}
+
+impl LaPlan {
+    fn new(la: &Lookahead, k: usize) -> LaPlan {
+        match la {
+            Lookahead::Unbounded => LaPlan {
+                src_min: vec![u64::MAX; k],
+                width: u64::MAX,
+                global: u64::MAX,
+            },
+            Lookahead::Scalar(l) => {
+                assert!(*l > SimDuration::ZERO, "lookahead must be positive");
+                LaPlan {
+                    src_min: vec![l.as_nanos(); k],
+                    width: l.as_nanos(),
+                    global: u64::MAX,
+                }
+            }
+            Lookahead::Matrix { pairs, global } => {
+                assert_eq!(pairs.len(), k, "lookahead matrix must be k x k");
+                if let Some(g) = global {
+                    assert!(*g > SimDuration::ZERO, "global lookahead must be positive");
+                }
+                let global = global.map_or(u64::MAX, |g| g.as_nanos());
+                let mut width = global;
+                let src_min = pairs
+                    .iter()
+                    .map(|row| {
+                        assert_eq!(row.len(), k, "lookahead matrix must be k x k");
+                        let mut m = u64::MAX;
+                        for l in row.iter().flatten() {
+                            assert!(*l > SimDuration::ZERO, "lookahead must be positive");
+                            m = m.min(l.as_nanos());
+                        }
+                        width = width.min(m);
+                        m
+                    })
+                    .collect();
+                LaPlan {
+                    src_min,
+                    width,
+                    global,
+                }
+            }
+        }
+    }
+}
+
 /// The handler-side interface to the runner: local scheduling,
 /// cross-shard sends and global-event emission.
 pub struct Ctx<'a, E, G> {
     queue: &'a mut ShardQueue<E>,
-    outbox: &'a mut Vec<(usize, SimTime, E)>,
+    outbox: &'a mut [Vec<(SimTime, E)>],
     globals_out: &'a mut Vec<(SimTime, G)>,
     shard: usize,
 }
@@ -212,14 +318,15 @@ impl<E: Keyed, G> Ctx<'_, E, G> {
     }
 
     /// Sends an event to shard `target` at `time`. The caller must respect
-    /// the lookahead contract: `time ≥ now + lookahead`. Sending to the
-    /// own shard is an ordinary local schedule.
+    /// the lookahead contract: `time ≥ now + lookahead` (the pair bound
+    /// for `(self, target)` under a matrix lookahead). Sending to the own
+    /// shard is an ordinary local schedule.
     pub fn send(&mut self, target: usize, time: SimTime, ev: E) {
         if target == self.shard {
             self.queue.schedule(time, ev);
         } else {
             debug_assert!(time > self.queue.now(), "cross-shard send needs latency");
-            self.outbox.push((target, time, ev));
+            self.outbox[target].push((time, ev));
         }
     }
 
@@ -244,6 +351,11 @@ impl<E, G> std::fmt::Debug for Ctx<'_, E, G> {
 pub struct Slot<S: PdesShard> {
     shard: S,
     queue: ShardQueue<S::Ev>,
+    /// Per-destination-shard message batches accumulated during a window
+    /// and appended to the destination inbox wholesale at the window end —
+    /// one lock operation per shard pair per window instead of one per
+    /// message. The drained `Vec`s keep their capacity across windows.
+    outbox: Vec<Vec<(SimTime, S::Ev)>>,
     globals_out: Vec<(SimTime, S::Global)>,
 }
 
@@ -273,8 +385,14 @@ pub struct Outcome<S> {
 /// bit-identity comparisons.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineCounters {
-    /// Conservative windows drained (parallel or inline).
+    /// Conservative windows drained (parallel or inline). With batching,
+    /// one synchronization round executes several windows back to back.
     pub windows: u64,
+    /// Cross-shard synchronization points taken: one per round release
+    /// plus one per batched sub-window exchange. On the threaded path each
+    /// costs a physical barrier wait; the inline path counts the same
+    /// points so the figure is thread-invariant.
+    pub barriers: u64,
     /// Serial coordinator steps taken for global events.
     pub serial_steps: u64,
     /// Sum of window widths in seconds (divide by `windows` for the mean).
@@ -296,43 +414,166 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 /// A shard's message inbox: `(arrival time, event)` pairs awaiting the
-/// round barrier.
-type Inbox<E> = Mutex<Vec<(SimTime, E)>>;
+/// round barrier. `stamp` mirrors "the vec is non-empty" so the common
+/// idle step skips the lock entirely; it is only written under the lock,
+/// and senders publish it before the barrier every taker crosses first.
+struct Inbox<E> {
+    msgs: Mutex<Vec<(SimTime, E)>>,
+    stamp: AtomicBool,
+}
 
-/// Drains every event of `slot` with `time < end_excl`, forwarding
-/// outbound messages to the per-shard `inboxes`.
-fn drain_window<S: PdesShard>(
-    slots: &[Mutex<Slot<S>>],
-    inboxes: &[Inbox<S::Ev>],
-    i: usize,
-    end_excl: SimTime,
-) {
-    let mut outbox: Vec<(usize, SimTime, S::Ev)> = Vec::new();
-    {
-        let slot = &mut *lock(&slots[i]);
-        while let Some((_, ev)) = slot.queue.pop_due(end_excl) {
-            let mut ctx = Ctx {
-                queue: &mut slot.queue,
-                outbox: &mut outbox,
-                globals_out: &mut slot.globals_out,
-                shard: i,
-            };
-            slot.shard.handle(&mut ctx, ev);
+impl<E> Inbox<E> {
+    fn new() -> Self {
+        Inbox {
+            msgs: Mutex::new(Vec::new()),
+            stamp: AtomicBool::new(false),
         }
     }
-    // Own slot lock released before touching inboxes: a lock of inbox[j]
-    // is only ever taken while holding no slot lock, so slot/inbox locks
-    // cannot deadlock.
-    for (target, time, ev) in outbox {
-        debug_assert!(time >= end_excl, "message due inside its own window");
-        lock(&inboxes[target]).push((time, ev));
+
+    /// Appends a window's batch and raises the stamp.
+    fn append(&self, batch: &mut Vec<(SimTime, E)>) {
+        let mut msgs = lock(&self.msgs);
+        msgs.append(batch);
+        self.stamp.store(true, Ordering::Release);
+    }
+
+    /// Takes everything pending; lock-free (and allocation-free) when the
+    /// stamp says there is nothing.
+    fn take(&self) -> Vec<(SimTime, E)> {
+        if !self.stamp.load(Ordering::Acquire) {
+            return Vec::new();
+        }
+        let mut msgs = lock(&self.msgs);
+        self.stamp.store(false, Ordering::Release);
+        std::mem::take(&mut *msgs)
     }
 }
 
-/// Runs a sharded model to `end` (inclusive) under conservative windows of
-/// `lookahead`. `lookahead: None` declares the shards mutually
-/// non-interacting (no sends, no deferred globals): the whole horizon
-/// becomes one window.
+/// The shard emitted cross-shard messages during the window.
+const F_SENT: u8 = 1;
+/// The shard emitted deferred global events during the window.
+const F_GLOBALS: u8 = 2;
+/// The shard has a pending event strictly before `due_before`.
+const F_DUE: u8 = 4;
+
+/// Cap on back-to-back sub-windows per synchronization round.
+const MAX_STEPS: usize = 256;
+
+/// Drains every event of shard `i` with `time < end_excl`, then flushes
+/// the per-destination outbox batches into the inboxes. Returns the
+/// window flags (`F_SENT` / `F_GLOBALS` / `F_DUE`, the last judged
+/// against `due_before` — the end of the *next* sub-window). The caller
+/// owns the slot lock (parties hold their shards for a whole round).
+fn drain_window<S: PdesShard>(
+    slot: &mut Slot<S>,
+    inboxes: &[Inbox<S::Ev>],
+    i: usize,
+    end_excl: SimTime,
+    due_before: SimTime,
+) -> u8 {
+    while let Some((_, ev)) = slot.queue.pop_due(end_excl) {
+        let mut ctx = Ctx {
+            queue: &mut slot.queue,
+            outbox: &mut slot.outbox,
+            globals_out: &mut slot.globals_out,
+            shard: i,
+        };
+        slot.shard.handle(&mut ctx, ev);
+    }
+    let mut flags = 0u8;
+    // Flush the outbox batches while still holding the own slot lock.
+    // Lock order is strictly slot -> inbox and inboxes are leaves (nobody
+    // waits on a slot while holding an inbox), so this cannot deadlock.
+    for (target, batch) in slot.outbox.iter_mut().enumerate() {
+        if batch.is_empty() {
+            continue;
+        }
+        #[cfg(debug_assertions)]
+        for (time, _) in batch.iter() {
+            debug_assert!(*time >= end_excl, "message due inside its own window");
+        }
+        inboxes[target].append(batch);
+        flags |= F_SENT;
+    }
+    if !slot.globals_out.is_empty() {
+        flags |= F_GLOBALS;
+    }
+    if slot.queue.peek_key().is_some_and(|k| k.time < due_before) {
+        flags |= F_DUE;
+    }
+    flags
+}
+
+/// The end of the sub-window after one ending at `s_end`.
+fn step_end(s_end: SimTime, width_ns: u64, horizon: SimTime) -> SimTime {
+    SimTime::from_nanos(s_end.as_nanos().saturating_add(width_ns)).min(horizon)
+}
+
+/// One party's share of a batched synchronization round: drains the first
+/// window `[.., end1)`, then keeps taking width-`width_ns` sub-windows —
+/// exchanging messages at each step boundary via `sync` — until the
+/// merged flags say the batch is spent (a global was emitted, or nothing
+/// is due and nothing was sent), the horizon is reached, or `MAX_STEPS`
+/// hits. Every party computes the continue decision from the same merged
+/// flags, so all of them leave after the same step. Returns the number of
+/// sub-windows executed.
+///
+/// Safety of the follow-up steps: `width_ns` is the minimum over every
+/// pair bound and the global bound, so a message sent inside step
+/// `[s, s+W)` arrives `≥ s+W` — at or after the next step's start, and it
+/// is inserted at the step boundary before the receiver drains — while a
+/// global emitted inside the step lands at or after the step's end and
+/// aborts the batch there, handing control back to the coordinator round
+/// loop before any later step could outrun it.
+#[allow(clippy::too_many_arguments)] // internal: mirrors the round plan 1:1
+fn batch_party<S: PdesShard>(
+    slots: &[Mutex<Slot<S>>],
+    inboxes: &[Inbox<S::Ev>],
+    first: usize,
+    stride: usize,
+    end1: SimTime,
+    width_ns: u64,
+    horizon: SimTime,
+    mut sync: impl FnMut(usize, u8) -> u8,
+) -> u64 {
+    let k = slots.len();
+    // Slot ownership is disjoint by stride, and the coordinator only
+    // touches slots between rounds, so each party can hold its shards'
+    // locks across every sub-window of the round instead of re-locking
+    // per step. The guards drop at return, before the round-top barrier.
+    let mut owned: Vec<(usize, std::sync::MutexGuard<'_, Slot<S>>)> = (first..k)
+        .step_by(stride)
+        .map(|i| (i, lock(&slots[i])))
+        .collect();
+    let mut s_end = end1;
+    let mut step = 0usize;
+    loop {
+        let next_end = step_end(s_end, width_ns, horizon);
+        let mut flags = 0u8;
+        for (i, slot) in owned.iter_mut() {
+            flags |= drain_window(slot, inboxes, *i, s_end, next_end);
+        }
+        let flags = sync(step, flags);
+        let cont = step + 1 < MAX_STEPS
+            && s_end < horizon
+            && flags & F_GLOBALS == 0
+            && flags & (F_SENT | F_DUE) != 0;
+        if !cont {
+            return (step + 1) as u64;
+        }
+        for (i, slot) in owned.iter_mut() {
+            for (t, ev) in inboxes[*i].take() {
+                slot.queue.insert_msg(t, ev);
+            }
+        }
+        s_end = next_end;
+        step += 1;
+    }
+}
+
+/// Runs a sharded model to `end` (inclusive) under conservative windows
+/// derived from `lookahead` (anything convertible into a [`Lookahead`] —
+/// an `Option<SimDuration>` gives the classic scalar/unbounded split).
 ///
 /// `threads` is the worker-pool size (clamped to the shard count); pass
 /// [`crate::threads::worker_count`]`(shards.len())` to honour
@@ -345,7 +586,7 @@ pub fn run_conservative<S, C>(
     shards: Vec<(S, ShardQueue<S::Ev>)>,
     globals: Vec<(SimTime, S::Global)>,
     control: &mut C,
-    lookahead: Option<SimDuration>,
+    lookahead: impl Into<Lookahead>,
     end: SimTime,
     threads: usize,
 ) -> Outcome<S>
@@ -372,7 +613,7 @@ pub fn run_conservative_sampled<S, C>(
     shards: Vec<(S, ShardQueue<S::Ev>)>,
     globals: Vec<(SimTime, S::Global)>,
     control: &mut C,
-    lookahead: Option<SimDuration>,
+    lookahead: impl Into<Lookahead>,
     end: SimTime,
     threads: usize,
     sample_every: Option<SimDuration>,
@@ -382,25 +623,25 @@ where
     C: PdesControl<S>,
 {
     assert!(!shards.is_empty(), "need at least one shard");
-    if let Some(l) = lookahead {
-        assert!(l > SimDuration::ZERO, "lookahead must be positive");
-    }
+    let lookahead = lookahead.into();
     if let Some(e) = sample_every {
         assert!(e > SimDuration::ZERO, "sample interval must be positive");
     }
     let started = std::time::Instant::now();
     let k = shards.len();
+    let plan = LaPlan::new(&lookahead, k);
     let slots: Vec<Mutex<Slot<S>>> = shards
         .into_iter()
         .map(|(shard, queue)| {
             Mutex::new(Slot {
                 shard,
                 queue,
+                outbox: (0..k).map(|_| Vec::new()).collect(),
                 globals_out: Vec::new(),
             })
         })
         .collect();
-    let inboxes: Vec<Inbox<S::Ev>> = (0..k).map(|_| Mutex::new(Vec::new())).collect();
+    let inboxes: Vec<Inbox<S::Ev>> = (0..k).map(|_| Inbox::new()).collect();
     let mut gqueue: ShardQueue<S::Global> = ShardQueue::new();
     for (t, g) in globals {
         gqueue.schedule(t, g);
@@ -419,7 +660,7 @@ where
             &inboxes,
             &mut gqueue,
             control,
-            lookahead,
+            &plan,
             end_excl_run,
             None,
             sample_every,
@@ -427,7 +668,12 @@ where
         );
     } else {
         let barrier = SpinBarrier::new(parties);
-        let window_end = AtomicU64::new(0);
+        let round = RoundPlan {
+            end1: AtomicU64::new(0),
+            width: AtomicU64::new(0),
+            horizon: AtomicU64::new(0),
+            flags: std::array::from_fn(|_| AtomicU8::new(0)),
+        };
         let stop = AtomicBool::new(false);
         // A party that unwinds would never arrive at the barrier again;
         // poisoning turns the resulting deadlock into a propagated panic.
@@ -444,7 +690,7 @@ where
                 let slots = &slots;
                 let inboxes = &inboxes;
                 let barrier = &barrier;
-                let window_end = &window_end;
+                let round = &round;
                 let stop = &stop;
                 scope.spawn(move || {
                     let _guard = PoisonOnPanic(barrier);
@@ -453,11 +699,23 @@ where
                         if stop.load(Ordering::Acquire) {
                             break;
                         }
-                        let end_excl = SimTime::from_nanos(window_end.load(Ordering::Acquire));
-                        for i in (party..k).step_by(parties) {
-                            drain_window(slots, inboxes, i, end_excl);
-                        }
-                        barrier.wait();
+                        let end1 = SimTime::from_nanos(round.end1.load(Ordering::Acquire));
+                        let width = round.width.load(Ordering::Acquire);
+                        let horizon = SimTime::from_nanos(round.horizon.load(Ordering::Acquire));
+                        batch_party(
+                            slots,
+                            inboxes,
+                            party,
+                            parties,
+                            end1,
+                            width,
+                            horizon,
+                            |s, f| {
+                                round.flags[s].fetch_or(f, Ordering::AcqRel);
+                                barrier.wait();
+                                round.flags[s].load(Ordering::Acquire)
+                            },
+                        );
                     }
                 });
             }
@@ -467,11 +725,11 @@ where
                 &inboxes,
                 &mut gqueue,
                 control,
-                lookahead,
+                &plan,
                 end_excl_run,
                 Some(Pool {
                     barrier: &barrier,
-                    window_end: &window_end,
+                    round: &round,
                     stop: &stop,
                     parties,
                 }),
@@ -499,23 +757,33 @@ where
     }
 }
 
+/// The per-round schedule published by the coordinator before releasing
+/// the round barrier, plus the per-step flag accumulators every party
+/// ORs into and reads back after the step barrier.
+struct RoundPlan {
+    end1: AtomicU64,
+    width: AtomicU64,
+    horizon: AtomicU64,
+    flags: [AtomicU8; MAX_STEPS],
+}
+
 struct Pool<'a> {
     barrier: &'a SpinBarrier,
-    window_end: &'a AtomicU64,
+    round: &'a RoundPlan,
     stop: &'a AtomicBool,
     parties: usize,
 }
 
-/// The coordinator loop: picks windows, triggers parallel drains, routes
-/// messages, executes global events in serial steps, and fires sample
-/// instants (clamping window horizons so samples see exact state).
+/// The coordinator loop: picks window batches, triggers parallel drains,
+/// routes messages, executes global events in serial steps, and fires
+/// sample instants (clamping batch horizons so samples see exact state).
 #[allow(clippy::too_many_arguments)]
 fn coordinate<S, C>(
     slots: &[Mutex<Slot<S>>],
     inboxes: &[Inbox<S::Ev>],
     gqueue: &mut ShardQueue<S::Global>,
     control: &mut C,
-    lookahead: Option<SimDuration>,
+    plan: &LaPlan,
     end_excl_run: SimTime,
     pool: Option<Pool<'_>>,
     sample_every: Option<SimDuration>,
@@ -526,15 +794,18 @@ fn coordinate<S, C>(
 {
     let k = slots.len();
     let mut next_sample = sample_every.map(|e| SimTime::ZERO + e);
+    let mut depths = vec![0usize; k];
     loop {
         // Route messages and collect deferred globals produced by the
         // previous round, then find the earliest pending work. Globals
         // must land in the queue before the window decision: a death
-        // emitted mid-window clips the next window.
+        // emitted mid-round clips the next round.
         let mut shard_min: Option<EvKey> = None;
-        let mut depths = vec![0usize; k];
+        // min_j(floor_j + src_min[j]): the first instant any cross-shard
+        // message produced this round could arrive.
+        let mut arrival_floor = u64::MAX;
         for i in 0..k {
-            let msgs = std::mem::take(&mut *lock(&inboxes[i]));
+            let msgs = inboxes[i].take();
             let slot = &mut *lock(&slots[i]);
             for (t, ev) in msgs {
                 slot.queue.insert_msg(t, ev);
@@ -546,6 +817,8 @@ fn coordinate<S, C>(
             counters.per_shard_max_queue[i] = counters.per_shard_max_queue[i].max(depths[i]);
             if let Some(key) = slot.queue.peek_key() {
                 shard_min = Some(shard_min.map_or(key, |m: EvKey| m.min(key)));
+                arrival_floor =
+                    arrival_floor.min(key.time.as_nanos().saturating_add(plan.src_min[i]));
             }
         }
         let global_min = gqueue.peek_key();
@@ -567,11 +840,17 @@ fn coordinate<S, C>(
         if t0 >= end_excl_run {
             break;
         }
-        let horizon = match lookahead {
-            Some(l) => SimTime::from_nanos(t0.as_nanos().saturating_add(l.as_nanos())),
-            None => SimTime::MAX,
-        };
-        let mut end_excl = horizon.min(end_excl_run);
+        // First-window end: the per-source arrival floor (a message from
+        // shard j arrives no earlier than floor_j + src_min[j], so every
+        // event before the minimum of those is safe), further bounded by
+        // how soon the earliest shard could emit a deferred global.
+        let mut end_excl = SimTime::from_nanos(arrival_floor);
+        if let Some(m) = shard_min {
+            end_excl = end_excl.min(SimTime::from_nanos(
+                m.time.as_nanos().saturating_add(plan.global),
+            ));
+        }
+        end_excl = end_excl.min(end_excl_run);
         // Clamp to the next sample instant so no event at or beyond it
         // runs before the sample fires. Window partitioning never affects
         // physics, so the clamp is observation-only.
@@ -585,31 +864,67 @@ fn coordinate<S, C>(
             continue;
         }
 
-        counters.windows += 1;
-        counters.window_width_s_sum += end_excl.saturating_duration_since(t0).as_secs_f64();
-
-        // Parallel (or inline) window: every shard drains [t0, end_excl).
-        match &pool {
-            Some(p) => {
-                p.window_end.store(end_excl.as_nanos(), Ordering::Release);
-                let waited = std::time::Instant::now();
-                p.barrier.wait();
-                counters.barrier_wait_s += waited.elapsed().as_secs_f64();
-                for i in (0..k).step_by(p.parties) {
-                    drain_window(slots, inboxes, i, end_excl);
-                }
-                let waited = std::time::Instant::now();
-                p.barrier.wait();
-                counters.barrier_wait_s += waited.elapsed().as_secs_f64();
-            }
-            None => {
-                for i in 0..k {
-                    drain_window(slots, inboxes, i, end_excl);
-                }
-            }
+        // Batch horizon: the run end, the next sample, and the next
+        // pending global all stop the batch (every term is >= end_excl
+        // here, so the batch is never cut short of its first window).
+        let mut horizon = end_excl_run;
+        if let Some(at) = next_sample {
+            horizon = horizon.min(at);
         }
-        // Messages and globals produced by this window are routed at the
-        // top of the next iteration.
+        if let Some(g) = global_min {
+            horizon = horizon.min(g.time);
+        }
+
+        // Batched round: first window [t0, end_excl), then width-sized
+        // sub-windows up to the horizon, one message exchange per step.
+        let steps = match &pool {
+            Some(p) => {
+                for f in &p.round.flags {
+                    f.store(0, Ordering::Relaxed);
+                }
+                p.round.end1.store(end_excl.as_nanos(), Ordering::Release);
+                p.round.width.store(plan.width, Ordering::Release);
+                p.round.horizon.store(horizon.as_nanos(), Ordering::Release);
+                let waited = std::time::Instant::now();
+                p.barrier.wait();
+                counters.barrier_wait_s += waited.elapsed().as_secs_f64();
+                batch_party(
+                    slots,
+                    inboxes,
+                    0,
+                    p.parties,
+                    end_excl,
+                    plan.width,
+                    horizon,
+                    |s, f| {
+                        p.round.flags[s].fetch_or(f, Ordering::AcqRel);
+                        let waited = std::time::Instant::now();
+                        p.barrier.wait();
+                        counters.barrier_wait_s += waited.elapsed().as_secs_f64();
+                        p.round.flags[s].load(Ordering::Acquire)
+                    },
+                )
+            }
+            None => batch_party(
+                slots,
+                inboxes,
+                0,
+                1,
+                end_excl,
+                plan.width,
+                horizon,
+                |_, f| f,
+            ),
+        };
+        counters.windows += steps;
+        counters.barriers += steps + 1;
+        let mut covered = end_excl;
+        for _ in 1..steps {
+            covered = step_end(covered, plan.width, horizon);
+        }
+        counters.window_width_s_sum += covered.saturating_duration_since(t0).as_secs_f64();
+        // Messages and globals produced by the final step are routed at
+        // the top of the next iteration.
     }
 
     if let Some(p) = pool {
@@ -675,20 +990,25 @@ fn serial_step<S, C>(
 /// Pops and handles exactly one event of shard `i`, routing its messages
 /// immediately (safe: the coordinator is the only running thread).
 fn drain_one<S: PdesShard>(slots: &[Mutex<Slot<S>>], i: usize) {
-    let mut outbox: Vec<(usize, SimTime, S::Ev)> = Vec::new();
+    let mut sent: Vec<(usize, SimTime, S::Ev)> = Vec::new();
     {
         let slot = &mut *lock(&slots[i]);
         if let Some((_, ev)) = slot.queue.pop_min() {
             let mut ctx = Ctx {
                 queue: &mut slot.queue,
-                outbox: &mut outbox,
+                outbox: &mut slot.outbox,
                 globals_out: &mut slot.globals_out,
                 shard: i,
             };
             slot.shard.handle(&mut ctx, ev);
         }
+        for (target, batch) in slot.outbox.iter_mut().enumerate() {
+            for (time, ev) in batch.drain(..) {
+                sent.push((target, time, ev));
+            }
+        }
     }
-    for (target, time, ev) in outbox {
+    for (target, time, ev) in sent {
         lock(&slots[target]).queue.insert_msg(time, ev);
     }
 }
@@ -1007,6 +1327,126 @@ mod tests {
             let got: Vec<(SimTime, u64)> = sk.iter().map(|&(t, d, _)| (t, d)).collect();
             assert_eq!(base, got, "samples diverged at k={k} threads={threads}");
         }
+    }
+
+    /// Like `run_sampled` but with an explicit [`Lookahead`] (the model
+    /// sends only to the ring-successor's shard, so any matrix whose
+    /// pair bounds are >= LOOKAHEAD on those pairs is sound).
+    fn run_with_lookahead(
+        n: u32,
+        k: usize,
+        threads: usize,
+        la: Lookahead,
+    ) -> (Vec<u64>, Vec<u64>, u64) {
+        let end = SimTime::from_millis(20);
+        let mut shards = Vec::new();
+        for shard in 0..k {
+            let mut cells = Cells {
+                n,
+                k,
+                state: vec![None; n as usize],
+            };
+            let mut q = ShardQueue::new();
+            for cell in 0..n {
+                if cells.owner(cell) == shard {
+                    cells.state[cell as usize] = Some(cell as u64 + 1);
+                    q.schedule(
+                        SimTime::from_micros(10 + cell as u64 * 7),
+                        Bump { cell, round: 0 },
+                    );
+                }
+            }
+            shards.push((cells, q));
+        }
+        let mut control = DigestLog {
+            log: Vec::new(),
+            samples: Vec::new(),
+            every: SimDuration::from_millis(3),
+            end,
+        };
+        let out = run_conservative(
+            shards,
+            vec![(SimTime::from_millis(3), Digest)],
+            &mut control,
+            la,
+            end,
+            threads,
+        );
+        let mut cells = vec![0u64; n as usize];
+        for s in &out.shards {
+            for (i, v) in s.state.iter().enumerate() {
+                if let Some(v) = v {
+                    cells[i] = *v;
+                }
+            }
+        }
+        (cells, control.log, out.processed)
+    }
+
+    #[test]
+    fn matrix_lookahead_is_bit_identical_to_scalar() {
+        // Cells only ever send to the shard owning the ring successor, so
+        // a matrix with the true LOOKAHEAD on ring-adjacent pairs and a
+        // huge bound on distant ones is sound — and must replay exactly
+        // the scalar run, for every thread count.
+        let k = 4;
+        let (c_ref, l_ref, p_ref) = run(12, k, 1);
+        let pairs: Vec<Vec<Option<SimDuration>>> = (0..k)
+            .map(|i| {
+                (0..k)
+                    .map(|j| {
+                        if i == j {
+                            None
+                        } else if (i + 1) % k == j || (j + 1) % k == i {
+                            Some(LOOKAHEAD)
+                        } else {
+                            Some(SimDuration::from_millis(100))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        for threads in [1, 4] {
+            let la = Lookahead::Matrix {
+                pairs: pairs.clone(),
+                global: None,
+            };
+            let (c, l, p) = run_with_lookahead(12, k, threads, la);
+            assert_eq!(c_ref, c, "matrix lookahead diverged at threads={threads}");
+            assert_eq!(l_ref, l, "digests diverged at threads={threads}");
+            assert_eq!(p_ref, p, "event counts diverged at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batching_executes_multiple_windows_per_barrier() {
+        // The toy model reschedules within microseconds, so rounds batch
+        // many sub-windows: windows must clearly exceed synchronization
+        // points (the whole point of the batched exchange).
+        let (_, _, _, _, c) = run_sampled(12, 3, 1, None);
+        assert!(c.barriers > 0, "barriers counted");
+        // barriers = windows + rounds; the unbatched engine would pay
+        // (at least) one sync round per window, i.e. barriers = 2*windows.
+        let rounds = c.barriers - c.windows;
+        assert!(
+            rounds * 2 < c.windows,
+            "batching should pack several windows per round ({} windows, {} rounds)",
+            c.windows,
+            rounds
+        );
+    }
+
+    #[test]
+    fn counters_are_thread_invariant() {
+        let (_, _, _, _, c1) = run_sampled(12, 4, 1, None);
+        let (_, _, _, _, c4) = run_sampled(12, 4, 4, None);
+        assert_eq!(c1.windows, c4.windows, "windows must not depend on threads");
+        assert_eq!(
+            c1.barriers, c4.barriers,
+            "barriers must not depend on threads"
+        );
+        assert_eq!(c1.serial_steps, c4.serial_steps);
+        assert_eq!(c1.per_shard_processed, c4.per_shard_processed);
     }
 
     #[test]

@@ -22,10 +22,32 @@
 //! Together these form a total order that every shard count replays
 //! identically, which is the foundation of the conservative parallel
 //! runner in [`conservative`](crate::conservative).
+//!
+//! # Storage: a calendar wheel, not a heap
+//!
+//! Simulation horizons here are short and dense — thousands of events land
+//! within a few link latencies of the clock — which is the textbook case
+//! for a calendar queue. Events are bucketed by `EvKey.time` into a
+//! fixed-size wheel of 1024 slots, each 2^14 ns (~16 µs) wide. The
+//! bucket at the clock is sorted once (by `(EvKey, seq)`, preserving the
+//! exact total order a heap would produce) into a `due` stack popped from
+//! the back; same-bucket events scheduled *after* that sort go to a small
+//! `young` heap consulted alongside it. Events past the wheel horizon wait
+//! in an unsorted `overflow` list and are redistributed when the wheel
+//! drains, jumping the epoch straight to the overflow minimum (no empty
+//! ring laps). A bitmap of occupied buckets makes "next non-empty bucket"
+//! a couple of word scans.
+//!
+//! Cancellation is generation-stamped: every entry carries a slot index
+//! into a generation table, and [`CancelId`] packs `(slot, generation)`.
+//! Cancelling bumps the generation, which logically kills the entry
+//! wherever it physically sits — O(1), no per-event hash set, and reads
+//! (`peek_key`, `is_empty`) take `&self` because there are no tombstones
+//! to drain.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// The deterministic sort key of one scheduled event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -65,14 +87,38 @@ pub const fn pack_ord(rank: u8, a: u32, b: u64) -> u128 {
     ((rank as u128) << 96) | ((a as u128) << 64) | (b as u128)
 }
 
-/// Cancellation handle for an event scheduled on a [`ShardQueue`].
+/// Cancellation handle for an event scheduled on a [`ShardQueue`]:
+/// a generation-table slot index plus the generation it was issued at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CancelId(u64);
+
+impl CancelId {
+    fn new(slot: u32, gen: u32) -> Self {
+        CancelId(((slot as u64) << 32) | gen as u64)
+    }
+    fn slot(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+    fn gen(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+/// Wheel size; with 2^[`BUCKET_SHIFT`]-ns buckets the wheel spans ~16.8 ms.
+const BUCKETS: usize = 1024;
+/// log2 of the bucket width in nanoseconds (2^14 ns ≈ 16.4 µs — on the
+/// order of one low-radio link latency, so a conservative window's events
+/// land in a handful of buckets).
+const BUCKET_SHIFT: u32 = 14;
+/// Words in the occupied-bucket bitmap.
+const OCC_WORDS: usize = BUCKETS / 64;
 
 #[derive(Debug)]
 struct Entry<E> {
     key: EvKey,
     seq: u64,
+    slot: u32,
+    gen: u32,
     ev: E,
 }
 
@@ -100,11 +146,43 @@ impl<E> Ord for Entry<E> {
 ///
 /// Tracks the shard's local clock (`now`), the causal depth of the event
 /// currently being handled, and the number of events processed. Supports
-/// O(1) cancellation through tombstones, like the sequential queue.
+/// O(1) cancellation through generation stamps, and `&self` reads: between
+/// any two mutating calls the earliest live event is exposed at the top of
+/// `due`/`young` (the normalization invariant), so [`peek_key`] and
+/// [`is_empty`] never need to mutate.
+///
+/// [`peek_key`]: ShardQueue::peek_key
+/// [`is_empty`]: ShardQueue::is_empty
 #[derive(Debug)]
 pub struct ShardQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    live: HashSet<u64>,
+    /// The current bucket, sorted descending by `(key, seq)`; min pops
+    /// from the back.
+    due: Vec<Entry<E>>,
+    /// Entries at or before the current bucket inserted after `due` was
+    /// sorted (same-instant children, mostly). Min-heap via `Entry`'s Ord.
+    young: BinaryHeap<Entry<E>>,
+    /// The wheel: bucket for absolute index `a` lives at `a % BUCKETS`,
+    /// holding entries with `cur_abs < a < cur_abs + BUCKETS`. Unsorted.
+    wheel: Vec<Vec<Entry<E>>>,
+    /// Bitmap of physically non-empty wheel buckets.
+    occ: [u64; OCC_WORDS],
+    /// Physical entry count across all wheel buckets (dead included).
+    wheel_count: usize,
+    /// Entries at or past the wheel horizon, unsorted.
+    overflow: Vec<Entry<E>>,
+    /// Lower bound on the absolute bucket of any overflow entry
+    /// (`u64::MAX` when empty). May be stale-low if its holder was
+    /// cancelled — re-anchoring at a dead minimum is harmless.
+    overflow_min: u64,
+    /// Absolute index of the bucket `due` was drained from.
+    cur_abs: u64,
+    /// Generation per slot; an entry is live iff its stamped generation
+    /// matches its slot's current one.
+    gens: Vec<u32>,
+    /// Free slot indices available for reuse.
+    free_slots: Vec<u32>,
+    /// Live (scheduled, not fired, not cancelled) entries.
+    live: usize,
     next_seq: u64,
     now: SimTime,
     depth: u32,
@@ -118,12 +196,25 @@ impl<E> Default for ShardQueue<E> {
     }
 }
 
+const fn abs_bucket(t: SimTime) -> u64 {
+    t.as_nanos() >> BUCKET_SHIFT
+}
+
 impl<E> ShardQueue<E> {
     /// Creates an empty queue with the clock at t=0.
     pub fn new() -> Self {
         ShardQueue {
-            heap: BinaryHeap::new(),
-            live: HashSet::new(),
+            due: Vec::new(),
+            young: BinaryHeap::new(),
+            wheel: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            occ: [0; OCC_WORDS],
+            wheel_count: 0,
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            cur_abs: 0,
+            gens: Vec::new(),
+            free_slots: Vec::new(),
+            live: 0,
             next_seq: 0,
             now: SimTime::ZERO,
             depth: 0,
@@ -152,18 +243,63 @@ impl<E> ShardQueue<E> {
     }
 
     /// Live (scheduled, not yet fired or cancelled) events currently
-    /// pending. Cancelled tombstones still sitting in the heap are not
+    /// pending. Cancelled entries still physically present are not
     /// counted.
     pub fn live_len(&self) -> usize {
-        self.live.len()
+        self.live
+    }
+
+    fn is_dead(&self, e: &Entry<E>) -> bool {
+        self.gens[e.slot as usize] != e.gen
+    }
+
+    fn alloc_slot(&mut self) -> (u32, u32) {
+        match self.free_slots.pop() {
+            Some(s) => (s, self.gens[s as usize]),
+            None => {
+                self.gens.push(0);
+                ((self.gens.len() - 1) as u32, 0)
+            }
+        }
+    }
+
+    /// Retires a slot after its entry fired or was cancelled: bumping the
+    /// generation kills any stale physical copy, and the slot can be
+    /// reissued immediately.
+    fn retire_slot(&mut self, slot: u32) {
+        let g = &mut self.gens[slot as usize];
+        *g = g.wrapping_add(1);
+        self.free_slots.push(slot);
     }
 
     fn push(&mut self, key: EvKey, ev: E) -> CancelId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { key, seq, ev });
-        self.live.insert(seq);
-        CancelId(seq)
+        let (slot, gen) = self.alloc_slot();
+        self.live += 1;
+        let entry = Entry {
+            key,
+            seq,
+            slot,
+            gen,
+            ev,
+        };
+        let abs = abs_bucket(key.time);
+        if abs <= self.cur_abs {
+            self.young.push(entry);
+            // `young`'s top is now live: the invariant holds by itself.
+        } else if abs < self.cur_abs + BUCKETS as u64 {
+            let p = (abs % BUCKETS as u64) as usize;
+            self.wheel[p].push(entry);
+            self.occ[p / 64] |= 1 << (p % 64);
+            self.wheel_count += 1;
+            self.normalize();
+        } else {
+            self.overflow_min = self.overflow_min.min(abs);
+            self.overflow.push(entry);
+            self.normalize();
+        }
+        CancelId::new(slot, gen)
     }
 
     /// Schedules `ev` at `time` from within the shard. Same-instant events
@@ -218,36 +354,215 @@ impl<E> ShardQueue<E> {
 
     /// Cancels a pending event; `true` only if it had not fired yet.
     pub fn cancel(&mut self, id: CancelId) -> bool {
-        self.live.remove(&id.0)
+        let slot = id.slot() as usize;
+        if self.gens.get(slot).copied() != Some(id.gen()) {
+            return false;
+        }
+        self.retire_slot(id.slot());
+        self.live -= 1;
+        // The cancelled entry may be the exposed due/young minimum.
+        self.normalize();
+        true
+    }
+
+    /// Restores the normalization invariant: if any live entry exists, the
+    /// overall minimum (by `(key, seq)`) is live and sits at `due`'s back
+    /// or `young`'s top. Cheap when the invariant already holds (two
+    /// liveness checks); otherwise prunes dead entries and pulls buckets
+    /// forward until a live minimum surfaces.
+    fn normalize(&mut self) {
+        loop {
+            while let Some(e) = self.young.peek() {
+                if self.gens[e.slot as usize] != e.gen {
+                    self.young.pop();
+                } else {
+                    break;
+                }
+            }
+            while let Some(e) = self.due.last() {
+                if self.gens[e.slot as usize] != e.gen {
+                    self.due.pop();
+                } else {
+                    break;
+                }
+            }
+            if !self.due.is_empty() || !self.young.is_empty() {
+                return;
+            }
+            if self.live == 0 {
+                return;
+            }
+            // The earliest pending bucket is either on the wheel or past
+            // its horizon in `overflow` — drain whichever comes first.
+            // Equality goes to `re_anchor`, which merges the tied wheel
+            // bucket and overflow entries through `young` so the in-bucket
+            // order stays exact.
+            match self.next_wheel_abs() {
+                Some(w) if w < self.overflow_min => self.advance(w),
+                _ => self.re_anchor(),
+            }
+        }
+    }
+
+    /// Absolute index of the earliest physically non-empty wheel bucket,
+    /// or `None` when the wheel is empty.
+    fn next_wheel_abs(&self) -> Option<u64> {
+        if self.wheel_count == 0 {
+            return None;
+        }
+        let p0 = (self.cur_abs % BUCKETS as u64) as usize;
+        let p = self
+            .next_occupied(p0)
+            .expect("wheel_count > 0 implies an occupied bucket");
+        let base = self.cur_abs - self.cur_abs % BUCKETS as u64;
+        Some(if p > p0 {
+            base + p as u64
+        } else {
+            base + BUCKETS as u64 + p as u64
+        })
+    }
+
+    /// Pulls the wheel bucket at absolute index `abs` into `due`.
+    /// Precondition: `due`/`young` empty, `abs` is [`next_wheel_abs`] and
+    /// strictly precedes every overflow entry.
+    ///
+    /// [`next_wheel_abs`]: ShardQueue::next_wheel_abs
+    fn advance(&mut self, abs: u64) {
+        self.cur_abs = abs;
+        let p = (abs % BUCKETS as u64) as usize;
+        let bucket = std::mem::take(&mut self.wheel[p]);
+        self.occ[p / 64] &= !(1 << (p % 64));
+        self.wheel_count -= bucket.len();
+        debug_assert!(self.due.is_empty());
+        for e in bucket {
+            if !self.is_dead(&e) {
+                self.due.push(e);
+            }
+        }
+        self.due
+            .sort_unstable_by_key(|e| std::cmp::Reverse((e.key, e.seq)));
+    }
+
+    /// Finds the first occupied bucket strictly after physical index `p0`
+    /// in ring order. Because the wheel only holds absolute indices in
+    /// `(cur_abs, cur_abs + BUCKETS)`, ring order from `p0` is absolute
+    /// order, and bucket `p0` itself is never occupied. Scans the bitmap a
+    /// word at a time.
+    fn next_occupied(&self, p0: usize) -> Option<usize> {
+        let mut step = 1;
+        while step <= BUCKETS {
+            let p = (p0 + step) % BUCKETS;
+            let bit = p % 64;
+            let word = self.occ[p / 64] >> bit;
+            if word != 0 {
+                return Some(p + word.trailing_zeros() as usize);
+            }
+            step += 64 - bit; // jump to the next word boundary
+        }
+        None
+    }
+
+    /// Re-anchors at the overflow minimum: compacts dead overflow
+    /// entries, jumps `cur_abs` straight to the earliest remaining bucket
+    /// (no empty laps), and redistributes what now fits. Wheel entries
+    /// strictly after the new anchor stay physically put — their slots
+    /// remain valid because `cur_abs` only ever grows toward them; a wheel
+    /// bucket *tied* with the anchor is folded into `young` so it merges
+    /// with the redistributed overflow entries in exact key order.
+    /// Precondition: `due`/`young` empty.
+    fn re_anchor(&mut self) {
+        let mut kept = std::mem::take(&mut self.overflow);
+        kept.retain(|e| self.gens[e.slot as usize] == e.gen);
+        let Some(min_abs) = kept.iter().map(|e| abs_bucket(e.key.time)).min() else {
+            self.overflow_min = u64::MAX;
+            return; // every overflow entry was dead
+        };
+        if self.next_wheel_abs().is_some_and(|w| w < min_abs) {
+            // `overflow_min` was stale-low (a cancelled entry held it) and
+            // the wheel actually comes first. Keep the compaction, publish
+            // the true minimum, and let the caller's loop advance the
+            // wheel instead.
+            self.overflow_min = min_abs;
+            self.overflow = kept;
+            return;
+        }
+        debug_assert!(min_abs > self.cur_abs, "overflow is strictly ahead");
+        self.cur_abs = min_abs;
+        self.overflow_min = u64::MAX;
+        let p0 = (min_abs % BUCKETS as u64) as usize;
+        if self.occ[p0 / 64] & (1 << (p0 % 64)) != 0 {
+            // A wheel bucket shares the anchor's absolute index (it can
+            // only be `min_abs` itself — anything else in range would have
+            // a different physical slot).
+            let bucket = std::mem::take(&mut self.wheel[p0]);
+            self.occ[p0 / 64] &= !(1 << (p0 % 64));
+            self.wheel_count -= bucket.len();
+            for e in bucket {
+                debug_assert_eq!(abs_bucket(e.key.time), min_abs);
+                if !self.is_dead(&e) {
+                    self.young.push(e);
+                }
+            }
+        }
+        for e in kept {
+            let abs = abs_bucket(e.key.time);
+            if abs <= self.cur_abs {
+                self.young.push(e);
+            } else if abs < self.cur_abs + BUCKETS as u64 {
+                let p = (abs % BUCKETS as u64) as usize;
+                self.wheel[p].push(e);
+                self.occ[p / 64] |= 1 << (p % 64);
+                self.wheel_count += 1;
+            } else {
+                self.overflow_min = self.overflow_min.min(abs);
+                self.overflow.push(e);
+            }
+        }
     }
 
     /// The key of the earliest live event, without removing it.
-    pub fn peek_key(&mut self) -> Option<EvKey> {
-        while let Some(e) = self.heap.peek() {
-            if self.live.contains(&e.seq) {
-                return Some(e.key);
+    pub fn peek_key(&self) -> Option<EvKey> {
+        match (self.due.last(), self.young.peek()) {
+            (Some(d), Some(y)) => {
+                if (y.key, y.seq) < (d.key, d.seq) {
+                    Some(y.key)
+                } else {
+                    Some(d.key)
+                }
             }
-            self.heap.pop();
+            (Some(d), None) => Some(d.key),
+            (None, Some(y)) => Some(y.key),
+            (None, None) => None,
         }
-        None
     }
 
     /// Pops the earliest live event if its time is strictly before
     /// `end_excl`, advancing the clock and causal depth to it.
     pub fn pop_due(&mut self, end_excl: SimTime) -> Option<(EvKey, E)> {
-        match self.peek_key() {
-            Some(k) if k.time < end_excl => {
-                let e = self.heap.pop().expect("peeked entry pops");
-                self.live.remove(&e.seq);
-                debug_assert!(e.key.time >= self.now, "event time regressed");
-                self.now = e.key.time;
-                self.depth = e.key.depth;
-                self.cur_ord = e.key.ord;
-                self.processed += 1;
-                Some((e.key, e.ev))
-            }
-            _ => None,
+        let k = self.peek_key()?;
+        if k.time >= end_excl {
+            return None;
         }
+        let from_young = match (self.due.last(), self.young.peek()) {
+            (Some(d), Some(y)) => (y.key, y.seq) < (d.key, d.seq),
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (None, None) => unreachable!("peek_key returned Some"),
+        };
+        let e = if from_young {
+            self.young.pop().expect("peeked young entry pops")
+        } else {
+            self.due.pop().expect("peeked due entry pops")
+        };
+        self.retire_slot(e.slot);
+        self.live -= 1;
+        debug_assert!(e.key.time >= self.now, "event time regressed");
+        self.now = e.key.time;
+        self.depth = e.key.depth;
+        self.cur_ord = e.key.ord;
+        self.processed += 1;
+        self.normalize();
+        Some((e.key, e.ev))
     }
 
     /// Pops the earliest live event unconditionally.
@@ -256,8 +571,8 @@ impl<E> ShardQueue<E> {
     }
 
     /// `true` when no live events remain.
-    pub fn is_empty(&mut self) -> bool {
-        self.peek_key().is_none()
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
     }
 }
 
@@ -309,7 +624,7 @@ mod tests {
         assert_eq!(q.live_len(), 2);
         assert!(q.cancel(id));
         assert!(!q.cancel(id), "double cancel is false");
-        assert_eq!(q.live_len(), 1, "tombstones are not live");
+        assert_eq!(q.live_len(), 1, "cancelled entries are not live");
         assert_eq!(q.pop_min().map(|(_, e)| e), Some(2));
         assert!(q.is_empty());
         assert_eq!(q.live_len(), 0);
@@ -364,5 +679,71 @@ mod tests {
         assert_eq!((o >> 64) & 0xffff_ffff, 7);
         assert_eq!(o & u64::MAX as u128, 11);
         assert!(pack_ord(1, u32::MAX, u64::MAX) < pack_ord(2, 0, 0));
+    }
+
+    #[test]
+    fn reads_take_shared_refs() {
+        // Compile-time shape check: peek_key/is_empty work through &q.
+        let mut q = ShardQueue::new();
+        q.schedule(SimTime::from_secs(1), 1u64);
+        let r: &ShardQueue<u64> = &q;
+        assert!(!r.is_empty());
+        assert_eq!(r.peek_key().map(|k| k.ord), Some(1));
+    }
+
+    #[test]
+    fn overflow_entries_survive_the_wheel_horizon() {
+        let mut q = ShardQueue::new();
+        // Far beyond the wheel span (~16.8 ms): must round-trip through
+        // overflow and re-anchoring without losing order.
+        q.schedule(SimTime::from_secs(100), 3u64);
+        q.schedule(SimTime::from_millis(1), 1u64);
+        q.schedule(SimTime::from_secs(50), 2u64);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_min().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_entry_is_not_stranded_by_a_sliding_horizon() {
+        let mut q = ShardQueue::new();
+        // 20 ms starts past the wheel horizon (bucket ~1220 ≥ 1024), so it
+        // waits in overflow while 10 ms (bucket ~610) goes on the wheel.
+        q.schedule(SimTime::from_millis(20), 2u64);
+        q.schedule(SimTime::from_millis(10), 1u64);
+        let (k, e) = q.pop_min().unwrap();
+        assert_eq!((e, k.time), (1, SimTime::from_millis(10)));
+        // The pop slid the horizon forward: 25 ms now fits on the wheel,
+        // but the 20 ms overflow entry still has to fire first.
+        q.schedule(SimTime::from_millis(25), 3u64);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_min().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![2, 3]);
+    }
+
+    #[test]
+    fn cancel_across_regions() {
+        let mut q = ShardQueue::new();
+        let near = q.schedule(SimTime::from_micros(10), 1u64);
+        let mid = q.schedule(SimTime::from_millis(5), 2u64);
+        let far = q.schedule(SimTime::from_secs(10), 3u64);
+        assert!(q.cancel(mid));
+        assert!(q.cancel(far));
+        assert!(q.cancel(near));
+        assert!(q.is_empty());
+        assert!(q.pop_min().is_none());
+        // Slots recycle: new events after heavy cancellation still work.
+        q.schedule(SimTime::from_secs(20), 4u64);
+        assert_eq!(q.pop_min().map(|(_, e)| e), Some(4));
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_cancelled_entries() {
+        let mut q = ShardQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), 1u64);
+        assert!(q.cancel(a));
+        // The recycled slot's new entry must not be killable via the old id.
+        let _b = q.schedule(SimTime::from_secs(2), 2u64);
+        assert!(!q.cancel(a), "stale id must not cancel the reused slot");
+        assert_eq!(q.pop_min().map(|(_, e)| e), Some(2));
     }
 }

@@ -124,7 +124,10 @@ impl ShardState {
                 packets,
             } => {
                 let (burst, index, count) = (*burst, *index, *count);
-                let packets = packets.clone();
+                // The one place the shared burst is actually consumed:
+                // clone the packets here, at the receiving node, instead
+                // of once per hearing shard in the fan-out.
+                let packets = Vec::clone(packets);
                 let mut actions = Vec::new();
                 if let Some(rx) = self.node_mut(node).bcp_rx.as_mut() {
                     rx.on_burst_frame(now, burst, index, count, packets, &mut actions);
@@ -332,7 +335,7 @@ impl ShardState {
                             burst,
                             index,
                             count,
-                            packets,
+                            packets: std::sync::Arc::new(packets),
                         },
                     );
                 }

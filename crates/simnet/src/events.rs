@@ -20,6 +20,7 @@ use bcp_mac::types::{MacFrame, MacTimer};
 use bcp_net::addr::NodeId;
 use bcp_sim::keyed::{pack_ord, Keyed};
 use bcp_sim::time::SimTime;
+use std::sync::Arc;
 
 /// Which of a node's two radios an event concerns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -87,8 +88,9 @@ pub enum Payload {
         index: u32,
         /// Total frames in the burst.
         count: u32,
-        /// The packets packed into this frame.
-        packets: Vec<AppPacket>,
+        /// The packets packed into this frame, shared so the per-shard
+        /// `RxEnd` fan-out of a broadcast clones a pointer, not the burst.
+        packets: Arc<Vec<AppPacket>>,
     },
 }
 

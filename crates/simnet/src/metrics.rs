@@ -246,8 +246,13 @@ pub struct EngineStats {
     pub shards: usize,
     /// Worker threads the engine ran with.
     pub threads: usize,
-    /// Conservative windows drained.
+    /// Conservative windows drained (several per synchronization round
+    /// when the engine batches sub-windows).
     pub windows: u64,
+    /// Cross-shard synchronization points taken (round releases plus
+    /// batched sub-window exchanges). `barriers - windows` is the round
+    /// count; a healthy batched run keeps it far below `windows`.
+    pub barriers: u64,
     /// Serial coordinator steps taken for global events.
     pub serial_steps: u64,
     /// Mean conservative-window width in simulated seconds (0 when no
@@ -528,13 +533,15 @@ impl RunStats {
                 .join(",")
         };
         let engine = format!(
-            "{{\"shards\":{},\"threads\":{},\"windows\":{},\"serial_steps\":{},\
+            "{{\"shards\":{},\"threads\":{},\"windows\":{},\"barriers\":{},\
+             \"serial_steps\":{},\
              \"mean_window_s\":{},\"barrier_wait_s\":{},\"wall_s\":{},\
              \"events_per_sec\":{},\"per_shard_events\":[{}],\
              \"per_shard_max_queue\":[{}]}}",
             e.shards,
             e.threads,
             e.windows,
+            e.barriers,
             e.serial_steps,
             num(e.mean_window_s),
             num(e.barrier_wait_s),

@@ -647,9 +647,8 @@ impl ShardState {
         // Fan the key-up out: one RxBegin per shard with in-range
         // receivers, heard one link latency later (the lookahead floor).
         let hear_at = now + self.scen.link_latency(class);
-        let neigh = self.neigh[ci].clone();
         let mut heard = false;
-        for shard in neigh.shards_hearing(node) {
+        for shard in self.neigh[ci].shards_hearing(node) {
             heard = true;
             ctx.send(
                 shard,
@@ -754,9 +753,8 @@ impl ShardState {
                     ..
                 }
             );
-        let neigh = self.neigh[ci].clone();
         let mut heard = false;
-        for shard in neigh.shards_hearing(sender) {
+        for shard in self.neigh[ci].shards_hearing(sender) {
             heard = true;
             let payload = if frame.kind == FrameKind::Data {
                 let needed = frame.dst.is_broadcast()

@@ -30,7 +30,7 @@ use bcp_net::partition::Partition;
 use bcp_power::{BatteryModel, PowerSupply};
 use bcp_radio::device::{Radio, RadioState};
 use bcp_radio::units::Energy;
-use bcp_sim::conservative::{run_conservative_sampled, EngineCounters};
+use bcp_sim::conservative::{run_conservative_sampled, EngineCounters, Lookahead};
 use bcp_sim::keyed::ShardQueue;
 use bcp_sim::rng::Rng;
 use bcp_sim::threads::worker_count;
@@ -50,6 +50,12 @@ pub struct RunOptions {
     pub trace: bool,
     /// Emit one time-series delta sample every this often in sim time.
     pub series_every: Option<SimDuration>,
+    /// Force the classic scalar conservative lookahead instead of the
+    /// per-shard-pair matrix derived from strip geometry. An engine-tuning
+    /// toggle only: lookahead choice changes window partitioning, never
+    /// physics, so results are bit-identical either way (and the test
+    /// suite holds the engine to that).
+    pub scalar_lookahead: bool,
 }
 
 /// A run summary plus whatever observability artefacts were requested.
@@ -84,10 +90,19 @@ impl World {
         let scen = Arc::new(scen.clone());
         let n = scen.topo.len();
         assert!(n > 0, "cannot simulate an empty topology");
+        // Strip cuts steer clear of the traffic anchor: relay load piles
+        // up around the sink (or broadcast source), and every TX beside a
+        // cut is re-delivered on the far shard, so keeping the hot region
+        // interior trims cross-shard duplication. Partition choice never
+        // affects physics — only engine throughput.
+        let hot = match &scen.pattern {
+            bcp_traffic::TrafficPattern::Broadcast { source } => *source,
+            _ => scen.sink,
+        };
         let part = Arc::new(if scen.shards <= 1 {
             Partition::single(n)
         } else {
-            Partition::strips(&scen.topo, scen.shards)
+            Partition::strips_avoiding(&scen.topo, scen.shards, hot)
         });
         let k = part.k();
         let addr = Arc::new(AddrMap::for_nodes(n));
@@ -290,7 +305,11 @@ impl World {
             trace: opts.trace.then(Vec::new),
             series: opts.series_every.map(SeriesState::new),
         };
-        let lookahead = Self::lookahead(&scen, &part, death_latency);
+        let lookahead = if opts.scalar_lookahead {
+            Lookahead::from(Self::lookahead(&scen, &part, death_latency))
+        } else {
+            Self::lookahead_matrix(&scen, &part, death_latency)
+        };
         let threads = worker_count(k);
         let outcome = run_conservative_sampled(
             shards,
@@ -363,6 +382,7 @@ impl World {
             shards,
             threads,
             windows: c.windows,
+            barriers: c.barriers,
             serial_steps: c.serial_steps,
             mean_window_s: if c.windows > 0 {
                 c.window_width_s_sum / c.windows as f64
@@ -392,10 +412,57 @@ impl World {
         d
     }
 
-    /// The conservative window size: the smallest latency over (a) radio
-    /// classes whose links cross a shard boundary and (b) — whenever any
-    /// node can die — the death announcement latency. `None` (unbounded)
-    /// when shards cannot interact at all.
+    /// `true` when any node can run out of battery (and so emit a death
+    /// global mid-run).
+    fn battery_possible(scen: &Scenario) -> bool {
+        scen.topo.nodes().any(|id| {
+            scen.power
+                .battery_for(id.index(), id == scen.sink)
+                .is_some()
+        })
+    }
+
+    /// The per-shard-pair conservative lookahead: `pairs[i][j]` is the
+    /// smallest link latency over the radio classes whose range reaches
+    /// from shard `i` to shard `j` (their minimum node distance), `None`
+    /// when no class does — distant strips get wide bounds, so the engine
+    /// opens much wider first windows than the single scalar minimum
+    /// allows. Deferred node-death globals are bounded separately by the
+    /// death announcement latency.
+    fn lookahead_matrix(
+        scen: &Scenario,
+        part: &Partition,
+        death_latency: SimDuration,
+    ) -> Lookahead {
+        let k = part.k();
+        let global = Self::battery_possible(scen).then_some(death_latency);
+        let mut pairs = vec![vec![None; k]; k];
+        if k > 1 {
+            let dist = part.min_pair_distance(&scen.topo);
+            for (i, row) in dist.iter().enumerate() {
+                for (j, d) in row.iter().enumerate() {
+                    let Some(d) = *d else { continue };
+                    let mut l: Option<SimDuration> = None;
+                    let mut fold = |c: SimDuration| l = Some(l.map_or(c, |cur| cur.min(c)));
+                    if d <= scen.low_profile.range_m {
+                        fold(scen.link_latency(Class::Low));
+                    }
+                    if scen.model != ModelKind::Sensor && d <= scen.high_profile.range_m {
+                        fold(scen.link_latency(Class::High));
+                    }
+                    pairs[i][j] = l;
+                }
+            }
+        }
+        Lookahead::Matrix { pairs, global }
+    }
+
+    /// The classic scalar conservative window size: the smallest latency
+    /// over (a) radio classes whose links cross a shard boundary and (b) —
+    /// whenever any node can die — the death announcement latency. `None`
+    /// (unbounded) when shards cannot interact at all. Kept as the
+    /// [`RunOptions::scalar_lookahead`] escape hatch and the reference the
+    /// matrix path is tested bit-identical against.
     fn lookahead(
         scen: &Scenario,
         part: &Partition,
@@ -413,12 +480,7 @@ impl World {
                 fold(scen.link_latency(Class::High));
             }
         }
-        let battery_possible = scen.topo.nodes().any(|id| {
-            scen.power
-                .battery_for(id.index(), id == scen.sink)
-                .is_some()
-        });
-        if battery_possible {
+        if Self::battery_possible(scen) {
             fold(death_latency);
         }
         l
