@@ -183,6 +183,40 @@ impl NextHopBuffers {
         out
     }
 
+    /// The raw buffer registers for exact checkpointing: the per-next-hop
+    /// queues in their deterministic first-use order, plus the stats. The
+    /// per-queue and total byte tallies are recomputed on restore.
+    pub fn snapshot_state(&self) -> (Vec<(NodeId, Vec<AppPacket>)>, BufferStats) {
+        let queues = self
+            .queues
+            .iter()
+            .map(|(n, q, _)| (*n, q.iter().copied().collect()))
+            .collect();
+        (queues, self.stats)
+    }
+
+    /// Overwrites the buffer contents and stats with captured values,
+    /// preserving queue order (which decides future round-robin choices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the restored packets exceed this buffer's capacity.
+    pub fn restore_state(&mut self, queues: &[(NodeId, Vec<AppPacket>)], stats: BufferStats) {
+        self.queues = queues
+            .iter()
+            .map(|(n, pkts)| {
+                let bytes = pkts.iter().map(|p| p.bytes).sum();
+                (*n, pkts.iter().copied().collect(), bytes)
+            })
+            .collect();
+        self.total_bytes = self.queues.iter().map(|(_, _, b)| *b).sum();
+        assert!(
+            self.total_bytes <= self.cap_bytes,
+            "restored buffer contents exceed capacity"
+        );
+        self.stats = stats;
+    }
+
     /// Conservation invariant: enqueued = drained + resident + dropped never
     /// counts twice. (Used by property tests; cheap enough to assert in
     /// debug runs.)

@@ -126,6 +126,39 @@ impl Reassembly {
     pub fn bytes_received(&self) -> usize {
         self.bytes_received
     }
+
+    /// The raw progress registers `(burst, seen, packets, bytes)`, for
+    /// exact checkpointing.
+    pub fn raw_parts(&self) -> (BurstId, Vec<bool>, u64, usize) {
+        (
+            self.burst,
+            self.seen.clone(),
+            self.packets_received,
+            self.bytes_received,
+        )
+    }
+
+    /// Rebuilds reassembly progress from registers captured by
+    /// [`raw_parts`](Self::raw_parts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seen` is empty (bursts carry at least one frame).
+    pub fn from_raw_parts(
+        burst: BurstId,
+        seen: Vec<bool>,
+        packets_received: u64,
+        bytes_received: usize,
+    ) -> Self {
+        assert!(!seen.is_empty(), "bursts carry at least one frame");
+        Reassembly {
+            burst,
+            expected_frames: seen.len() as u32,
+            seen,
+            packets_received,
+            bytes_received,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -83,6 +83,29 @@ struct RecvSession {
     reassembly: Option<Reassembly>,
 }
 
+/// Exact mutable state of a [`BcpReceiver`], captured for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceiverSnapshot {
+    /// Open inbound sessions in arrival order.
+    pub sessions: Vec<RecvSessionSnapshot>,
+    /// Behaviour counters.
+    pub stats: ReceiverStats,
+}
+
+/// Captured form of one open inbound session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecvSessionSnapshot {
+    /// The sender of the burst.
+    pub from: NodeId,
+    /// Handshake identity.
+    pub burst: BurstId,
+    /// Bytes granted in the wake-up ACK.
+    pub granted: usize,
+    /// Reassembly registers `(seen, packets_received, bytes_received)`,
+    /// present once the first burst frame arrived.
+    pub reassembly: Option<(Vec<bool>, u64, usize)>,
+}
+
 /// The per-node BCP receiver machine.
 #[derive(Debug, Clone)]
 pub struct BcpReceiver {
@@ -117,6 +140,46 @@ impl BcpReceiver {
     /// Number of inbound sessions currently open.
     pub fn open_sessions(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Captures the complete mutable state for checkpointing. Reassembly
+    /// progress is flattened to its raw registers; session order (arrival
+    /// order) is preserved.
+    pub fn snapshot_state(&self) -> ReceiverSnapshot {
+        ReceiverSnapshot {
+            sessions: self
+                .sessions
+                .iter()
+                .map(|s| RecvSessionSnapshot {
+                    from: s.from,
+                    burst: s.burst,
+                    granted: s.granted,
+                    reassembly: s.reassembly.as_ref().map(|r| {
+                        let (_, seen, packets, bytes) = r.raw_parts();
+                        (seen, packets, bytes)
+                    }),
+                })
+                .collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Overwrites the mutable state with a captured [`ReceiverSnapshot`].
+    /// The receiver must have been built with the same config.
+    pub fn restore_state(&mut self, s: &ReceiverSnapshot) {
+        self.sessions = s
+            .sessions
+            .iter()
+            .map(|sess| RecvSession {
+                from: sess.from,
+                burst: sess.burst,
+                granted: sess.granted,
+                reassembly: sess.reassembly.as_ref().map(|(seen, packets, bytes)| {
+                    Reassembly::from_raw_parts(sess.burst, seen.clone(), *packets, *bytes)
+                }),
+            })
+            .collect();
+        self.stats = s.stats;
     }
 
     /// A wake-up message arrived. `free_bytes` is the space this node can

@@ -159,8 +159,59 @@ pub fn bench_grid(quick: bool) -> Vec<BenchCell> {
     cells
 }
 
-/// Renders the bench document: `{"rev":...,"cells":[...]}`.
-pub fn bench_json(rev: &str, cells: &[BenchCell]) -> String {
+/// Wall-clock of the same battery-capacity sweep run cold (every cell
+/// from `t = 0`) versus forked from a shared warm prefix
+/// ([`crate::fork::battery_sweep`]). Rides along in the bench document
+/// so prefix-sharing wins (and regressions) are visible revision to
+/// revision. Like every figure here, seconds are measurements, not
+/// guarantees.
+#[derive(Debug, Clone)]
+pub struct ForkBench {
+    /// Capacity cells in the sweep.
+    pub cells: usize,
+    /// Cells that branched from the shared prefix (the rest ran cold).
+    pub forked_cells: usize,
+    /// Wall-clock seconds for the all-cold sweep.
+    pub cold_s: f64,
+    /// Wall-clock seconds for the forked sweep (prefix included).
+    pub forked_s: f64,
+}
+
+/// Times the forked-vs-cold battery sweep on a lifetime-shaped scenario.
+/// `quick` halves the horizon for CI.
+pub fn bench_fork_sweep(quick: bool) -> ForkBench {
+    use bcp_power::{Battery, PowerConfig};
+    use bcp_simnet::ModelKind;
+    let horizon = if quick { 30 } else { 60 };
+    let base = bcp_simnet::Scenario::single_hop(ModelKind::Sensor, 10, 10, 2008)
+        .with_duration(SimDuration::from_secs(horizon));
+    let idle_w = bcp_radio::profile::micaz().p_idle.as_watts();
+    let caps: Vec<f64> = [0.3, 0.5, 0.7, 0.9]
+        .iter()
+        .map(|f| f * idle_w * horizon as f64)
+        .collect();
+    let started = std::time::Instant::now();
+    for &cap in &caps {
+        let mut cold = base.clone();
+        cold.power = PowerConfig::with_battery(Battery::ideal_joules(cap));
+        cold.run();
+    }
+    let cold_s = started.elapsed().as_secs_f64();
+    let started = std::time::Instant::now();
+    let warm = SimDuration::from_secs_f64(horizon as f64 / 10.0);
+    let out = crate::fork::battery_sweep(&base, warm, &caps);
+    let forked_s = started.elapsed().as_secs_f64();
+    ForkBench {
+        cells: caps.len(),
+        forked_cells: out.forked_cells,
+        cold_s,
+        forked_s,
+    }
+}
+
+/// Renders the bench document:
+/// `{"rev":...,"cells":[...],"fork_sweep":{...}}`.
+pub fn bench_json(rev: &str, cells: &[BenchCell], fork: Option<&ForkBench>) -> String {
     use bcp_sim::json::{escape, num};
     let body = cells
         .iter()
@@ -181,12 +232,23 @@ pub fn bench_json(rev: &str, cells: &[BenchCell]) -> String {
         })
         .collect::<Vec<_>>()
         .join(",");
-    format!("{{\"rev\":{},\"cells\":[{}]}}\n", escape(rev), body)
+    let fork = match fork {
+        Some(f) => format!(
+            ",\"fork_sweep\":{{\"cells\":{},\"forked_cells\":{},\"cold_s\":{},\"forked_s\":{}}}",
+            f.cells,
+            f.forked_cells,
+            num(f.cold_s),
+            num(f.forked_s)
+        ),
+        None => String::new(),
+    };
+    format!("{{\"rev\":{},\"cells\":[{}]{}}}\n", escape(rev), body, fork)
 }
 
-/// Parses a bench document back into `(rev, cells)`. Documents from
-/// before the engine counters were recorded load with those fields zero.
-pub fn parse_bench(text: &str) -> Result<(String, Vec<BenchCell>), String> {
+/// Parses a bench document back into `(rev, cells, fork_sweep)`.
+/// Documents from before the engine counters were recorded load with
+/// those fields zero; documents without a fork sweep load with `None`.
+pub fn parse_bench(text: &str) -> Result<(String, Vec<BenchCell>, Option<ForkBench>), String> {
     let v = bcp_sim::json::parse(text).map_err(|e| format!("bad bench JSON: {e}"))?;
     let rev = v
         .get("rev")
@@ -212,7 +274,49 @@ pub fn parse_bench(text: &str) -> Result<(String, Vec<BenchCell>), String> {
             mean_window_s: flt("mean_window_s").unwrap_or(0.0),
         });
     }
-    Ok((rev, cells))
+    let fork = v.get("fork_sweep").map(|f| {
+        let int = |k: &str| f.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+        let flt = |k: &str| f.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0);
+        ForkBench {
+            cells: int("cells") as usize,
+            forked_cells: int("forked_cells") as usize,
+            cold_s: flt("cold_s"),
+            forked_s: flt("forked_s"),
+        }
+    });
+    Ok((rev, cells, fork))
+}
+
+/// One side of the forked-vs-cold line: `4/4 forked, cold 1.23s ->
+/// forked 0.45s (2.7x)`, or `-` for documents without the figure.
+fn fork_side(f: Option<&ForkBench>) -> String {
+    match f {
+        Some(f) => {
+            let speedup = if f.forked_s > 0.0 {
+                f.cold_s / f.forked_s
+            } else {
+                0.0
+            };
+            format!(
+                "{}/{} forked, cold {:.2}s -> forked {:.2}s ({speedup:.1}x)",
+                f.forked_cells, f.cells, f.cold_s, f.forked_s
+            )
+        }
+        None => "-".into(),
+    }
+}
+
+/// The `--compare` forked-vs-cold sweep wall-clock line. Empty when
+/// neither document carries the figure.
+pub fn render_fork_line(old: Option<&ForkBench>, new: Option<&ForkBench>) -> String {
+    if old.is_none() && new.is_none() {
+        return String::new();
+    }
+    format!(
+        "fork sweep  old: {}\n            new: {}\n",
+        fork_side(old),
+        fork_side(new)
+    )
 }
 
 /// One cell's throughput delta between two bench documents.
@@ -341,7 +445,7 @@ mod tests {
         }
         // Shard count never changes the logical event count.
         assert_eq!(cells[0].events, cells[1].events);
-        let json = bench_json("deadbeef", &cells);
+        let json = bench_json("deadbeef", &cells, None);
         let v = bcp_sim::json::parse(&json).expect("bench JSON parses");
         assert_eq!(v.get("rev").and_then(|r| r.as_str()), Some("deadbeef"));
         let arr = v
@@ -350,10 +454,33 @@ mod tests {
             .expect("cells array");
         assert_eq!(arr.len(), 2);
         // And the document round-trips through the parser.
-        let (rev, parsed) = parse_bench(&json).expect("bench JSON parses back");
+        let (rev, parsed, fork) = parse_bench(&json).expect("bench JSON parses back");
         assert_eq!(rev, "deadbeef");
         assert_eq!(parsed.len(), cells.len());
         assert_eq!(parsed[0].windows, cells[0].windows);
+        assert!(fork.is_none(), "no fork sweep was recorded");
+    }
+
+    #[test]
+    fn fork_sweep_round_trips_and_renders() {
+        let f = ForkBench {
+            cells: 4,
+            forked_cells: 4,
+            cold_s: 1.2,
+            forked_s: 0.4,
+        };
+        let json = bench_json("deadbeef", &[cell(256, 1, 1000.0)], Some(&f));
+        let (_, _, parsed) = parse_bench(&json).expect("parses back");
+        let parsed = parsed.expect("fork sweep survives the round trip");
+        assert_eq!(
+            (parsed.cells, parsed.forked_cells),
+            (f.cells, f.forked_cells)
+        );
+        assert!((parsed.cold_s - f.cold_s).abs() < 1e-12);
+        let line = render_fork_line(None, Some(&parsed));
+        assert!(line.contains("4/4 forked"), "line renders the new side");
+        assert!(line.contains("old: -"), "absent side renders as a dash");
+        assert_eq!(render_fork_line(None, None), "", "no figure, no line");
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! repro run <file.scn> [--test] [--out <dir>]
 //!           [--trace <file>] [--trace-filter <cats>]
 //!           [--series <file>] [--series-every <secs>]
+//!           [--checkpoint-every <secs> --ckpt <dir>]
+//! repro resume <file.ckpt> [--shards <n>] [--out <dir>]
+//!              [--trace <file>] [--series <file>] [--series-every <secs>]
+//! repro explore <file.scn|file.ckpt> [--warm <secs>] [--until <secs>]
+//!               [--max-interleavings <n>] [--max-steps <n>]
 //! repro bench [--quick|--full] [--out <file>]
 //! repro bench --compare <old.json> <new.json> [--tolerance <pct>]
 //! ```
@@ -24,6 +29,20 @@
 //!   `--series` writes one NDJSON delta sample per `--series-every`
 //!   seconds of sim time (default 1). Neither switch perturbs the run:
 //!   the printed `RunStats` are bit-identical either way.
+//! * `--checkpoint-every` additionally pauses the run on that grid of sim
+//!   instants and writes a versioned, checksummed checkpoint file per
+//!   pause into `--ckpt <dir>`; the printed `RunStats` are bit-identical
+//!   to an uninterrupted run. `repro resume <file.ckpt>` finishes a
+//!   checkpointed run (optionally re-partitioned with `--shards`) and
+//!   prints the same `RunStats` JSON the uninterrupted run would have;
+//!   its `--trace`/`--series` switches *append* to the named NDJSON
+//!   files, covering exactly the post-checkpoint segment, so resuming on
+//!   top of the original run's files yields the uninterrupted streams.
+//! * `repro explore` runs the bounded race explorer: every admissible
+//!   same-timestamp event ordering from a checkpoint (or from a scenario
+//!   warmed for `--warm` seconds) up to `--until`, checking the engine's
+//!   liveness/energy invariants on each path. Exits nonzero on any
+//!   violation. Keep the world small (≤10 nodes) — ties compound.
 //! * `repro bench` times the canonical node × shard grid end to end and
 //!   prints `{"rev":...,"cells":[...]}`; check the output in as
 //!   `BENCH_<rev>.json` to track engine throughput across revisions.
@@ -33,13 +52,15 @@
 //!   regressed more than `--tolerance` percent (default 10).
 
 use bcp_experiments::bench::{
-    bench_grid, bench_json, compare, git_rev, parse_bench, render_compare,
+    bench_fork_sweep, bench_grid, bench_json, compare, git_rev, parse_bench, render_compare,
+    render_fork_line,
 };
 use bcp_experiments::{all, find, Output, Quality, RunCtx};
-use bcp_sim::time::SimDuration;
+use bcp_sim::time::{SimDuration, SimTime};
 use bcp_sim::trace::TraceCat;
-use bcp_simnet::{parse_spec, RunOptions};
+use bcp_simnet::{parse_spec, ExploreLimits, LiveWorld, RunOptions, RunOutput, World, WorldState};
 use std::collections::HashSet;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -66,6 +87,24 @@ struct Cli {
     compare: Option<(PathBuf, PathBuf)>,
     /// `--tolerance <pct>` for `--compare` (default 10%).
     tolerance: f64,
+    /// `repro run --checkpoint-every <secs>`: checkpoint grid interval.
+    checkpoint_every: Option<f64>,
+    /// `repro run --ckpt <dir>`: where checkpoint files land.
+    ckpt_dir: Option<PathBuf>,
+    /// `repro resume <file.ckpt>`: the checkpoint to finish.
+    resume: Option<PathBuf>,
+    /// `repro resume --shards <n>`: re-partition the restored world.
+    shards: Option<usize>,
+    /// `repro explore <file>`: the scenario or checkpoint to explore.
+    explore: Option<PathBuf>,
+    /// `repro explore --warm <secs>`: warm-up before snapshotting a `.scn`.
+    warm: Option<f64>,
+    /// `repro explore --until <secs>`: absolute sim instant to explore to.
+    until: Option<f64>,
+    /// `repro explore` bounds (None = the library defaults).
+    max_interleavings: Option<u64>,
+    /// See `max_interleavings`.
+    max_steps: Option<u64>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -83,11 +122,22 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         series_every: None,
         compare: None,
         tolerance: 10.0,
+        checkpoint_every: None,
+        ckpt_dir: None,
+        resume: None,
+        shards: None,
+        explore: None,
+        warm: None,
+        until: None,
+        max_interleavings: None,
+        max_steps: None,
     };
     let run_mode = args.first().map(String::as_str) == Some("run");
     let bench_mode = args.first().map(String::as_str) == Some("bench");
+    let resume_mode = args.first().map(String::as_str) == Some("resume");
+    let explore_mode = args.first().map(String::as_str) == Some("explore");
     cli.bench = bench_mode;
-    let mut i = usize::from(run_mode || bench_mode);
+    let mut i = usize::from(run_mode || bench_mode || resume_mode || explore_mode);
     while i < args.len() {
         let a = args[i].as_str();
         match a {
@@ -103,14 +153,14 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     .ok_or_else(|| "--out needs a directory".to_string())?;
                 cli.out_dir = Some(PathBuf::from(dir));
             }
-            "--trace" if run_mode => {
+            "--trace" if run_mode || resume_mode => {
                 i += 1;
                 let f = args
                     .get(i)
                     .ok_or_else(|| "--trace needs a file".to_string())?;
                 cli.trace = Some(PathBuf::from(f));
             }
-            "--trace-filter" if run_mode => {
+            "--trace-filter" if run_mode || resume_mode => {
                 i += 1;
                 let cats = args
                     .get(i)
@@ -121,7 +171,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     })?);
                 }
             }
-            "--series" if run_mode => {
+            "--series" if run_mode || resume_mode => {
                 i += 1;
                 let f = args
                     .get(i)
@@ -151,7 +201,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 }
                 cli.tolerance = pct;
             }
-            "--series-every" if run_mode => {
+            "--series-every" if run_mode || resume_mode => {
                 i += 1;
                 let secs = args
                     .get(i)
@@ -164,8 +214,65 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 }
                 cli.series_every = Some(secs);
             }
-            "list" if !run_mode && !bench_mode => cli.list = true,
-            "all" if !run_mode && !bench_mode => {
+            "--checkpoint-every" if run_mode => {
+                i += 1;
+                let secs = args
+                    .get(i)
+                    .ok_or_else(|| "--checkpoint-every needs seconds".to_string())?;
+                let secs: f64 = secs
+                    .parse()
+                    .map_err(|_| format!("bad --checkpoint-every value {secs}"))?;
+                if secs <= 0.0 || !secs.is_finite() {
+                    return Err("--checkpoint-every must be positive".into());
+                }
+                cli.checkpoint_every = Some(secs);
+            }
+            "--ckpt" if run_mode => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .ok_or_else(|| "--ckpt needs a directory".to_string())?;
+                cli.ckpt_dir = Some(PathBuf::from(dir));
+            }
+            "--shards" if resume_mode => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .ok_or_else(|| "--shards needs a count".to_string())?;
+                let n: usize = n.parse().map_err(|_| format!("bad --shards value {n}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                cli.shards = Some(n);
+            }
+            "--warm" | "--until" if explore_mode => {
+                i += 1;
+                let secs = args.get(i).ok_or_else(|| format!("{a} needs seconds"))?;
+                let parsed: f64 = secs.parse().map_err(|_| format!("bad {a} value {secs}"))?;
+                if parsed < 0.0 || !parsed.is_finite() {
+                    return Err(format!("{a} must be non-negative seconds"));
+                }
+                if a == "--warm" {
+                    cli.warm = Some(parsed);
+                } else {
+                    cli.until = Some(parsed);
+                }
+            }
+            "--max-interleavings" | "--max-steps" if explore_mode => {
+                i += 1;
+                let n = args.get(i).ok_or_else(|| format!("{a} needs a count"))?;
+                let parsed: u64 = n.parse().map_err(|_| format!("bad {a} value {n}"))?;
+                if parsed == 0 {
+                    return Err(format!("{a} must be at least 1"));
+                }
+                if a == "--max-interleavings" {
+                    cli.max_interleavings = Some(parsed);
+                } else {
+                    cli.max_steps = Some(parsed);
+                }
+            }
+            "list" if !run_mode && !bench_mode && !resume_mode && !explore_mode => cli.list = true,
+            "all" if !run_mode && !bench_mode && !resume_mode && !explore_mode => {
                 cli.ids.extend(all().iter().map(|e| e.id.to_string()))
             }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -175,6 +282,18 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 }
                 cli.scn = Some(PathBuf::from(other));
             }
+            other if resume_mode => {
+                if cli.resume.is_some() {
+                    return Err("repro resume takes exactly one checkpoint file".into());
+                }
+                cli.resume = Some(PathBuf::from(other));
+            }
+            other if explore_mode => {
+                if cli.explore.is_some() {
+                    return Err("repro explore takes exactly one input file".into());
+                }
+                cli.explore = Some(PathBuf::from(other));
+            }
             other if bench_mode => return Err(format!("bench takes no positional arg {other}")),
             other => cli.ids.push(other.to_string()),
         }
@@ -182,6 +301,15 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     }
     if run_mode && cli.scn.is_none() {
         return Err("repro run needs a scenario file".into());
+    }
+    if resume_mode && cli.resume.is_none() {
+        return Err("repro resume needs a checkpoint file".into());
+    }
+    if explore_mode && cli.explore.is_none() {
+        return Err("repro explore needs a scenario or checkpoint file".into());
+    }
+    if cli.checkpoint_every.is_some() != cli.ckpt_dir.is_some() {
+        return Err("--checkpoint-every and --ckpt go together".into());
     }
     if !cli.trace_filter.is_empty() && cli.trace.is_none() {
         return Err("--trace-filter needs --trace".into());
@@ -229,6 +357,12 @@ fn main() -> ExitCode {
     }
     if let Some(scn) = &cli.scn {
         return run_scenario_file(scn, &cli);
+    }
+    if let Some(ckpt) = &cli.resume {
+        return run_resume(ckpt, &cli);
+    }
+    if let Some(input) = &cli.explore {
+        return run_explore(input, &cli);
     }
     if cli.ids.is_empty() {
         usage();
@@ -289,7 +423,8 @@ fn run_bench(cli: &Cli) -> ExitCode {
     );
     let started = std::time::Instant::now();
     let cells = bench_grid(quick);
-    let json = bench_json(&git_rev(), &cells);
+    let fork = bench_fork_sweep(quick);
+    let json = bench_json(&git_rev(), &cells, Some(&fork));
     print!("{json}");
     if let Some(out) = &cli.out_dir {
         // For bench, --out names the output *file*, not a directory.
@@ -305,21 +440,23 @@ fn run_bench(cli: &Cli) -> ExitCode {
 /// `repro bench --compare`: per-cell delta table; nonzero exit on any
 /// regression beyond the tolerance.
 fn run_compare(old_path: &Path, new_path: &Path, tolerance: f64) -> ExitCode {
-    let load = |path: &Path| -> Result<(String, Vec<_>), String> {
+    let load = |path: &Path| -> Result<(String, Vec<_>, Option<_>), String> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         parse_bench(&text).map_err(|e| format!("{}: {e}", path.display()))
     };
-    let ((old_rev, old), (new_rev, new)) = match (load(old_path), load(new_path)) {
-        (Ok(o), Ok(n)) => (o, n),
-        (Err(e), _) | (_, Err(e)) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let ((old_rev, old, old_fork), (new_rev, new, new_fork)) =
+        match (load(old_path), load(new_path)) {
+            (Ok(o), Ok(n)) => (o, n),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
     eprintln!("comparing {old_rev} -> {new_rev}");
     let deltas = compare(&old, &new, tolerance);
     print!("{}", render_compare(&deltas, tolerance));
+    print!("{}", render_fork_line(old_fork.as_ref(), new_fork.as_ref()));
     if deltas.iter().any(|d| d.regressed) {
         eprintln!("FAIL: at least one cell regressed more than {tolerance}%");
         ExitCode::FAILURE
@@ -360,16 +497,181 @@ fn run_scenario_file(path: &Path, cli: &Cli) -> ExitCode {
         scenario.duration
     );
     let started = std::time::Instant::now();
-    let opts = RunOptions {
+    let opts = run_options(cli);
+    let stem = file_stem(path);
+    let out = match (cli.checkpoint_every, &cli.ckpt_dir) {
+        (Some(every), Some(dir)) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            let every = SimDuration::from_secs_f64(every);
+            let mut lw = World::build(&scenario, &opts);
+            // Pause on the checkpoint grid, persist, keep going: the
+            // final stats are bit-identical to the uninterrupted run
+            // (capture is a pure read of the paused world).
+            while lw.time() + every < lw.end() {
+                let t = lw.time() + every;
+                lw.run_to(t);
+                let file = dir.join(format!("{stem}-{}s.ckpt", t.as_secs_f64()));
+                if let Err(e) = bcp_snapshot::save(&file, &lw.snapshot()) {
+                    eprintln!("cannot write checkpoint {}: {e}", file.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("  checkpoint at {t} -> {}", file.display());
+            }
+            lw.finish()
+        }
+        _ => scenario.run_with(&opts),
+    };
+    if let Err(e) = emit_run_outputs(&out, cli, &stem, false) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("  done in {:.1?}", started.elapsed());
+    ExitCode::SUCCESS
+}
+
+/// `repro resume <file.ckpt>`: load, restore (optionally re-sharded),
+/// finish, print the run's `RunStats` JSON. Trace/series files are opened
+/// in append mode so a resume continues the original run's streams
+/// without re-emitting anything from before the checkpoint.
+fn run_resume(path: &Path, cli: &Cli) -> ExitCode {
+    let state = match bcp_snapshot::load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let state = match cli.shards {
+        Some(n) => state.with_shards(n),
+        None => state,
+    };
+    eprintln!(
+        "resuming {} at {} ({} nodes, {} shard{})...",
+        path.display(),
+        state.time,
+        state.nodes.len(),
+        state.scen.shards,
+        if state.scen.shards == 1 { "" } else { "s" }
+    );
+    let started = std::time::Instant::now();
+    let out = LiveWorld::restore(&state, &run_options(cli)).finish();
+    if let Err(e) = emit_run_outputs(&out, cli, &file_stem(path), true) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("  done in {:.1?}", started.elapsed());
+    ExitCode::SUCCESS
+}
+
+/// `repro explore <file.scn|file.ckpt>`: bounded race exploration from a
+/// checkpoint, or from a scenario warmed for `--warm` seconds. Prints the
+/// report as JSON; exits nonzero when any invariant was violated.
+fn run_explore(path: &Path, cli: &Cli) -> ExitCode {
+    let state = match load_explore_state(path, cli) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let end = match cli.until {
+        Some(secs) => SimTime::from_secs_f64(secs),
+        None => state.time + SimDuration::from_secs(1),
+    };
+    if end <= state.time {
+        eprintln!(
+            "--until {} is not past the start instant {}",
+            end, state.time
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut limits = ExploreLimits::default();
+    if let Some(n) = cli.max_interleavings {
+        limits.max_interleavings = n;
+    }
+    if let Some(n) = cli.max_steps {
+        limits.max_steps = n;
+    }
+    eprintln!(
+        "exploring {} from {} to {end} ({} nodes)...",
+        path.display(),
+        state.time,
+        state.nodes.len()
+    );
+    let started = std::time::Instant::now();
+    let report = bcp_simnet::explore(&state, end, limits);
+    let mut json = format!(
+        "{{\"interleavings\":{},\"branch_points\":{},\"max_ties\":{},\"truncated\":{},\"violations\":[",
+        report.interleavings, report.branch_points, report.max_ties, report.truncated
+    );
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push('"');
+        json.push_str(&v.replace('\\', "\\\\").replace('"', "\\\""));
+        json.push('"');
+    }
+    json.push_str("]}");
+    println!("{json}");
+    eprintln!("  done in {:.1?}", started.elapsed());
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: {} invariant violation(s)", report.violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Explore input: a checkpoint file is loaded as-is; anything else is
+/// parsed as a `.scn` spec, built, and run to `--warm` (default 0).
+fn load_explore_state(path: &Path, cli: &Cli) -> Result<WorldState, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if bytes.starts_with(&bcp_snapshot::MAGIC) {
+        return bcp_snapshot::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()));
+    }
+    let text =
+        String::from_utf8(bytes).map_err(|_| format!("{}: not a .scn file", path.display()))?;
+    let scenario = parse_spec(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut lw = World::build(&scenario, &RunOptions::default());
+    if let Some(warm) = cli.warm {
+        if warm > 0.0 {
+            let t = SimTime::from_secs_f64(warm);
+            if t >= lw.end() {
+                return Err(format!("--warm {warm} is past the scenario horizon"));
+            }
+            lw.run_to(t);
+        }
+    }
+    Ok(lw.snapshot())
+}
+
+/// The `RunOptions` both `run` and `resume` build from the CLI switches.
+fn run_options(cli: &Cli) -> RunOptions {
+    RunOptions {
         trace: cli.trace.is_some(),
         series_every: cli
             .series
             .as_ref()
             .map(|_| SimDuration::from_secs_f64(cli.series_every.unwrap_or(1.0))),
         scalar_lookahead: false,
-    };
-    let out = scenario.run_with(&opts);
-    let stats = out.stats;
+    }
+}
+
+fn file_stem(path: &Path) -> String {
+    path.file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "scenario".into())
+}
+
+/// Writes the trace/series NDJSON streams and prints (and, with `--out`,
+/// persists) the stats JSON. `append` is the resume path: the NDJSON
+/// files grow instead of being truncated, so the combined file holds the
+/// uninterrupted streams.
+fn emit_run_outputs(out: &RunOutput, cli: &Cli, stem: &str, append: bool) -> Result<(), String> {
     if let Some(file) = &cli.trace {
         let mut ndjson = String::new();
         let mut kept = 0usize;
@@ -380,13 +682,12 @@ fn run_scenario_file(path: &Path, cli: &Cli) -> ExitCode {
                 kept += 1;
             }
         }
-        if let Err(e) = std::fs::write(file, ndjson) {
-            eprintln!("cannot write trace {}: {e}", file.display());
-            return ExitCode::FAILURE;
-        }
+        write_ndjson(file, &ndjson, append)
+            .map_err(|e| format!("cannot write trace {}: {e}", file.display()))?;
         eprintln!(
-            "  trace: {kept}/{} records -> {}",
+            "  trace: {kept}/{} records {} {}",
             out.trace.len(),
+            if append { "appended to" } else { "->" },
             file.display()
         );
     }
@@ -396,30 +697,34 @@ fn run_scenario_file(path: &Path, cli: &Cli) -> ExitCode {
             ndjson.push_str(&s.to_ndjson());
             ndjson.push('\n');
         }
-        if let Err(e) = std::fs::write(file, ndjson) {
-            eprintln!("cannot write series {}: {e}", file.display());
-            return ExitCode::FAILURE;
-        }
+        write_ndjson(file, &ndjson, append)
+            .map_err(|e| format!("cannot write series {}: {e}", file.display()))?;
         eprintln!(
-            "  series: {} samples -> {}",
+            "  series: {} samples {} {}",
             out.series.len(),
+            if append { "appended to" } else { "->" },
             file.display()
         );
     }
-    let json = stats.to_json();
+    let json = out.stats.to_json();
     println!("{json}");
     if let Some(dir) = &cli.out_dir {
-        let stem = path
-            .file_stem()
-            .map(|s| s.to_string_lossy().into_owned())
-            .unwrap_or_else(|| "scenario".into());
-        if let Err(e) = std::fs::write(dir.join(format!("{stem}.json")), &json) {
-            eprintln!("cannot persist stats: {e}");
-            return ExitCode::FAILURE;
-        }
+        std::fs::write(dir.join(format!("{stem}.json")), &json)
+            .map_err(|e| format!("cannot persist stats: {e}"))?;
     }
-    eprintln!("  done in {:.1?}", started.elapsed());
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+fn write_ndjson(path: &Path, text: &str, append: bool) -> std::io::Result<()> {
+    if append {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)?;
+        f.write_all(text.as_bytes())
+    } else {
+        std::fs::write(path, text)
+    }
 }
 
 fn usage() {
@@ -430,6 +735,11 @@ fn usage() {
          \x20      repro run <file.scn> [--test] [--out <dir>]\n\
          \x20                [--trace <file>] [--trace-filter pkt,radio,power,route]\n\
          \x20                [--series <file>] [--series-every <secs>]\n\
+         \x20                [--checkpoint-every <secs> --ckpt <dir>]\n\
+         \x20      repro resume <file.ckpt> [--shards <n>] [--out <dir>]\n\
+         \x20                [--trace <file>] [--series <file>] [--series-every <secs>]\n\
+         \x20      repro explore <file.scn|file.ckpt> [--warm <secs>] [--until <secs>]\n\
+         \x20                [--max-interleavings <n>] [--max-steps <n>]\n\
          \x20      repro bench [--quick|--full] [--out <file>]\n\
          \x20      repro bench --compare <old.json> <new.json> [--tolerance <pct>]"
     );

@@ -32,6 +32,7 @@
 pub mod ablations;
 pub mod bench;
 pub mod broadcast;
+pub mod fork;
 pub mod idle_floor;
 pub mod lifetime;
 pub mod output;

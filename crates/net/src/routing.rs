@@ -139,6 +139,28 @@ impl Routes {
         self.n == 0
     }
 
+    /// The raw route tables `(next, dist)` (both indexed `[dst][src]`),
+    /// for exact checkpointing.
+    #[allow(clippy::type_complexity)]
+    pub fn raw_parts(&self) -> (&[Vec<Option<NodeId>>], &[Vec<Option<u32>>]) {
+        (&self.next, &self.dist)
+    }
+
+    /// Rebuilds routes from tables captured by
+    /// [`raw_parts`](Self::raw_parts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two tables disagree in size.
+    pub fn from_raw_parts(next: Vec<Vec<Option<NodeId>>>, dist: Vec<Vec<Option<u32>>>) -> Self {
+        assert_eq!(next.len(), dist.len(), "route tables must agree in size");
+        Routes {
+            n: next.len(),
+            next,
+            dist,
+        }
+    }
+
     /// First hop from `src` toward `dst`; `None` when unreachable or when
     /// `src == dst`.
     pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
@@ -370,6 +392,31 @@ impl Dissemination {
         self.reached.iter().filter(|&&r| r).count()
     }
 
+    /// The raw tree registers `(root, children, reached)`, for exact
+    /// checkpointing.
+    pub fn raw_parts(&self) -> (NodeId, &[Vec<NodeId>], &[bool]) {
+        (self.root, &self.children, &self.reached)
+    }
+
+    /// Rebuilds a tree from registers captured by
+    /// [`raw_parts`](Self::raw_parts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two tables disagree in size.
+    pub fn from_raw_parts(root: NodeId, children: Vec<Vec<NodeId>>, reached: Vec<bool>) -> Self {
+        assert_eq!(
+            children.len(),
+            reached.len(),
+            "tree tables must agree in size"
+        );
+        Dissemination {
+            root,
+            children,
+            reached,
+        }
+    }
+
     /// `node` plus every descendant, in depth-first (stack) order — the
     /// set of nodes that lose a packet when the edge into `node` fails.
     pub fn subtree(&self, node: NodeId) -> Vec<NodeId> {
@@ -439,6 +486,18 @@ impl ShortcutTable {
     /// `true` when nothing has been learned.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// The learned entries in their deterministic learn order, for exact
+    /// checkpointing.
+    pub fn entries(&self) -> &[(NodeId, NodeId)] {
+        &self.entries
+    }
+
+    /// Rebuilds a table from entries captured by
+    /// [`entries`](Self::entries), preserving their order.
+    pub fn from_entries(entries: Vec<(NodeId, NodeId)>) -> Self {
+        ShortcutTable { entries }
     }
 }
 

@@ -283,6 +283,20 @@ impl BatteryModel for Battery {
     }
 }
 
+impl Battery {
+    /// Overwrites the drained tally — the restore path of a checkpoint.
+    /// `drawn` accumulates one floating-point addition per drain, so an
+    /// exact restore must set the captured sum verbatim instead of
+    /// replaying the history (whose rounding it could never reproduce in
+    /// one step).
+    pub fn set_drawn(&mut self, drawn: Energy) {
+        match self {
+            Battery::Ideal(b) => b.drawn = drawn,
+            Battery::Capacity(b) => b.drawn = drawn,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -69,6 +69,22 @@ impl PowerSupply {
         self.synced = metered_total;
     }
 
+    /// The cumulative meter reading the battery was last synced to, for
+    /// exact checkpointing alongside [`Battery::drawn`].
+    ///
+    /// [`Battery::drawn`]: crate::battery::BatteryModel::drawn
+    pub fn synced(&self) -> Energy {
+        self.synced
+    }
+
+    /// Overwrites the supply registers with captured values — the restore
+    /// path of a checkpoint. Both are path-dependent floating-point sums,
+    /// so they are set verbatim rather than replayed.
+    pub fn restore_state(&mut self, drawn: Energy, synced: Energy) {
+        self.battery.set_drawn(drawn);
+        self.synced = synced;
+    }
+
     /// `true` once the battery can supply nothing more *at the synced
     /// reading* — callers decide when to sync.
     pub fn is_depleted(&self) -> bool {

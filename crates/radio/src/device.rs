@@ -273,6 +273,21 @@ impl Radio {
     pub fn report(&self, t: SimTime) -> EnergyReport {
         self.ledger.snapshot(t)
     }
+
+    /// The raw meter, for exact checkpointing (the profile is scenario
+    /// config and is re-supplied on restore).
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Overwrites the operating state and meter with captured values,
+    /// bypassing the transition machine — the restore path of a snapshot.
+    /// The caller guarantees `(state, ledger)` came from a radio with this
+    /// profile.
+    pub fn restore_state(&mut self, state: RadioState, ledger: EnergyLedger) {
+        self.state = state;
+        self.ledger = ledger;
+    }
 }
 
 #[cfg(test)]

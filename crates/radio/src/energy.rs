@@ -137,6 +137,29 @@ impl EnergyLedger {
         buckets[self.bucket.index()] += self.power * span;
         EnergyReport { buckets }
     }
+
+    /// The raw meter registers `(buckets, since, power, bucket)`, for
+    /// exact checkpointing: `snapshot` folds the open span in, which a
+    /// restore must *not* (the span re-opens at the original instant).
+    pub fn raw_parts(&self) -> ([Energy; 7], SimTime, Power, EnergyBucket) {
+        (self.buckets, self.since, self.power, self.bucket)
+    }
+
+    /// Rebuilds a ledger from registers captured by
+    /// [`raw_parts`](Self::raw_parts).
+    pub fn from_raw_parts(
+        buckets: [Energy; 7],
+        since: SimTime,
+        power: Power,
+        bucket: EnergyBucket,
+    ) -> Self {
+        EnergyLedger {
+            buckets,
+            since,
+            power,
+            bucket,
+        }
+    }
 }
 
 impl EnergyReport {

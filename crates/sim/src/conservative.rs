@@ -366,14 +366,31 @@ impl<S: PdesShard> std::fmt::Debug for Slot<S> {
 }
 
 /// The result of a conservative run.
-#[derive(Debug)]
-pub struct Outcome<S> {
+pub struct Outcome<S: PdesShard> {
     /// The shards, in index order, with their final state.
     pub shards: Vec<S>,
+    /// Each shard's queue, in index order, still holding whatever events
+    /// were pending when the run stopped. A run paused short of the model
+    /// horizon leaves its entire future here — the raw material of a
+    /// snapshot; a run to quiescence leaves them empty.
+    pub queues: Vec<ShardQueue<S::Ev>>,
+    /// The coordinator's global-event queue with its pending events (and
+    /// exact clock registers), for the same reason.
+    pub globals: ShardQueue<S::Global>,
     /// Total events processed (shard-local plus global).
     pub processed: u64,
     /// Engine-level counters (windows, widths, wall clock, queue depths).
     pub counters: EngineCounters,
+}
+
+impl<S: PdesShard> std::fmt::Debug for Outcome<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Outcome")
+            .field("shards", &self.shards.len())
+            .field("processed", &self.processed)
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Engine-level observability counters for one conservative run.
@@ -622,6 +639,45 @@ where
     S: PdesShard,
     C: PdesControl<S>,
 {
+    let mut gqueue: ShardQueue<S::Global> = ShardQueue::new();
+    for (t, g) in globals {
+        gqueue.schedule(t, g);
+    }
+    run_conservative_keyed(
+        shards,
+        gqueue,
+        control,
+        lookahead,
+        end,
+        threads,
+        sample_every,
+    )
+}
+
+/// [`run_conservative_sampled`] with the coordinator's global queue passed
+/// in whole instead of as `(time, event)` pairs. This is the resume entry
+/// point: a snapshot restores pending globals under their exact
+/// `(time, depth, ord)` keys (via [`ShardQueue::schedule_with_key`]), which
+/// plain re-scheduling would flatten to depth 0 and thereby reorder
+/// same-instant globals.
+///
+/// # Panics
+///
+/// Panics if `shards` is empty, a zero lookahead is supplied, or
+/// `sample_every` is zero.
+pub fn run_conservative_keyed<S, C>(
+    shards: Vec<(S, ShardQueue<S::Ev>)>,
+    mut gqueue: ShardQueue<S::Global>,
+    control: &mut C,
+    lookahead: impl Into<Lookahead>,
+    end: SimTime,
+    threads: usize,
+    sample_every: Option<SimDuration>,
+) -> Outcome<S>
+where
+    S: PdesShard,
+    C: PdesControl<S>,
+{
     assert!(!shards.is_empty(), "need at least one shard");
     let lookahead = lookahead.into();
     if let Some(e) = sample_every {
@@ -642,10 +698,6 @@ where
         })
         .collect();
     let inboxes: Vec<Inbox<S::Ev>> = (0..k).map(|_| Inbox::new()).collect();
-    let mut gqueue: ShardQueue<S::Global> = ShardQueue::new();
-    for (t, g) in globals {
-        gqueue.schedule(t, g);
-    }
 
     let parties = threads.clamp(1, k);
     let end_excl_run = SimTime::from_nanos(end.as_nanos().saturating_add(1));
@@ -740,18 +792,22 @@ where
     }
 
     let mut processed = gqueue.processed();
+    let mut queues = Vec::with_capacity(k);
     let shards = slots
         .into_iter()
         .map(|m| {
             let slot = m.into_inner().expect("shard lock poisoned");
             processed += slot.queue.processed();
             counters.per_shard_processed.push(slot.queue.processed());
+            queues.push(slot.queue);
             slot.shard
         })
         .collect();
     counters.wall_s = started.elapsed().as_secs_f64();
     Outcome {
         shards,
+        queues,
+        globals: gqueue,
         processed,
         counters,
     }
@@ -984,6 +1040,156 @@ fn serial_step<S, C>(
                 gqueue.schedule(t, g);
             }
         }
+    }
+}
+
+/// A serial single-shard stepper that exposes one event at a time and lets
+/// the caller pick *which* of the events tied at the earliest timestamp
+/// fires next — the execution substrate of a bounded race explorer.
+///
+/// The conservative engine resolves same-timestamp ties with a fixed
+/// deterministic rule ([`EvKey`] order, shard before global on exact key
+/// ties). Those ties are exactly where protocol races hide: any of the
+/// tied orders is a physically legitimate schedule, and the production
+/// rule only ever shows one of them. The stepper materializes the others.
+///
+/// Single-shard only: handlers must not cross-send (asserted in debug
+/// builds); with one shard, [`Ctx::send`] to the own shard is an ordinary
+/// local schedule, so any model that runs at shard count 1 runs here.
+pub struct SingleStepper<S: PdesShard> {
+    slots: Vec<Mutex<Slot<S>>>,
+    gqueue: ShardQueue<S::Global>,
+    gout: Vec<(SimTime, S::Global)>,
+}
+
+impl<S: PdesShard> std::fmt::Debug for SingleStepper<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SingleStepper").finish_non_exhaustive()
+    }
+}
+
+impl<S: PdesShard> SingleStepper<S> {
+    /// Wraps a single shard, its pending queue and the global queue.
+    pub fn new(shard: S, queue: ShardQueue<S::Ev>, globals: ShardQueue<S::Global>) -> Self {
+        SingleStepper {
+            slots: vec![Mutex::new(Slot {
+                shard,
+                queue,
+                outbox: vec![Vec::new()],
+                globals_out: Vec::new(),
+            })],
+            gqueue: globals,
+            gout: Vec::new(),
+        }
+    }
+
+    /// Earliest pending timestamp across the shard and global queues, or
+    /// `None` at quiescence.
+    pub fn next_time(&self) -> Option<SimTime> {
+        let s = lock(&self.slots[0]).queue.peek_key().map(|k| k.time);
+        let g = self.gqueue.peek_key().map(|k| k.time);
+        match (s, g) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
+    }
+
+    /// The interleaving candidates at the next step: shard-event keys tied
+    /// at the earliest pending timestamp followed by global-event keys tied
+    /// there, each group in key order. Empty at quiescence; a singleton
+    /// means the next step has no branching choice.
+    pub fn candidates(&self) -> Vec<EvKey> {
+        let Some(t) = self.next_time() else {
+            return Vec::new();
+        };
+        let mut keys: Vec<EvKey> = lock(&self.slots[0])
+            .queue
+            .keys_at_min_time()
+            .into_iter()
+            .filter(|k| k.time == t)
+            .collect();
+        keys.extend(
+            self.gqueue
+                .keys_at_min_time()
+                .into_iter()
+                .filter(|k| k.time == t),
+        );
+        keys
+    }
+
+    /// Executes the `choice`-th candidate (indexing [`candidates`]).
+    /// Returns `false` at quiescence without consuming anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choice` is out of range.
+    ///
+    /// [`candidates`]: SingleStepper::candidates
+    pub fn step<C: PdesControl<S>>(&mut self, control: &mut C, choice: usize) -> bool {
+        let Some(t) = self.next_time() else {
+            return false;
+        };
+        let n_shard = {
+            let slot = lock(&self.slots[0]);
+            slot.queue
+                .keys_at_min_time()
+                .iter()
+                .filter(|k| k.time == t)
+                .count()
+        };
+        if choice < n_shard {
+            let slot = &mut *lock(&self.slots[0]);
+            let (_, ev) = slot.queue.pop_tied(choice).expect("tied shard event pops");
+            let mut ctx = Ctx {
+                queue: &mut slot.queue,
+                outbox: &mut slot.outbox,
+                globals_out: &mut slot.globals_out,
+                shard: 0,
+            };
+            slot.shard.handle(&mut ctx, ev);
+            debug_assert!(
+                slot.outbox[0].is_empty(),
+                "single-shard model must not cross-send"
+            );
+            for (gt, g) in std::mem::take(&mut slot.globals_out) {
+                self.gqueue.schedule(gt, g);
+            }
+        } else {
+            let gi = choice - n_shard;
+            let n_global = self
+                .gqueue
+                .keys_at_min_time()
+                .iter()
+                .filter(|k| k.time == t)
+                .count();
+            assert!(gi < n_global, "interleaving choice out of range");
+            let (_, g) = self.gqueue.pop_tied(gi).expect("tied global pops");
+            let now = self.gqueue.now();
+            let mut shards = ShardsMut { slots: &self.slots };
+            control.on_global(&mut shards, now, g, &mut self.gout);
+            for (gt, g) in self.gout.drain(..) {
+                self.gqueue.schedule(gt, g);
+            }
+        }
+        true
+    }
+
+    /// Runs `f` with exclusive access to the shard state.
+    pub fn with_shard<R>(&mut self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut lock(&self.slots[0]).shard)
+    }
+
+    /// Dissolves the stepper into `(shard, queue, global queue)`.
+    pub fn into_parts(self) -> (S, ShardQueue<S::Ev>, ShardQueue<S::Global>) {
+        let slot = self
+            .slots
+            .into_iter()
+            .next()
+            .expect("stepper has one slot")
+            .into_inner()
+            .expect("shard lock poisoned");
+        (slot.shard, slot.queue, self.gqueue)
     }
 }
 

@@ -574,6 +574,149 @@ impl<E> ShardQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.live == 0
     }
+
+    /// All live entries in `(key, seq)` order, without disturbing the
+    /// queue. This is the canonical pending-event list a snapshot
+    /// captures: insertion sequence is reduced to the relative order it
+    /// implies, so re-scheduling the returned list into a fresh queue (in
+    /// order, via [`schedule_with_key`]) reproduces the exact total order
+    /// this queue would have popped.
+    ///
+    /// [`schedule_with_key`]: ShardQueue::schedule_with_key
+    pub fn live_entries(&self) -> Vec<(EvKey, &E)> {
+        let mut all: Vec<(EvKey, u64, &E)> = Vec::with_capacity(self.live);
+        for e in self.due.iter().chain(self.young.iter()) {
+            if !self.is_dead(e) {
+                all.push((e.key, e.seq, &e.ev));
+            }
+        }
+        for bucket in &self.wheel {
+            for e in bucket {
+                if !self.is_dead(e) {
+                    all.push((e.key, e.seq, &e.ev));
+                }
+            }
+        }
+        for e in &self.overflow {
+            if !self.is_dead(e) {
+                all.push((e.key, e.seq, &e.ev));
+            }
+        }
+        debug_assert_eq!(all.len(), self.live, "live count matches physical scan");
+        all.sort_unstable_by_key(|&(k, s, _)| (k, s));
+        all.into_iter().map(|(k, _, e)| (k, e)).collect()
+    }
+
+    /// Schedules an event under an explicit pre-computed key — the restore
+    /// path of a snapshot, which must reproduce `(time, depth, ord)`
+    /// exactly rather than re-derive the depth from the current clock.
+    /// Call in [`live_entries`] order so the seq tie-break preserves the
+    /// captured relative order of key-equal entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.time` is in the shard's past.
+    ///
+    /// [`live_entries`]: ShardQueue::live_entries
+    pub fn schedule_with_key(&mut self, key: EvKey, ev: E) -> CancelId {
+        assert!(
+            key.time >= self.now,
+            "restored event at {} but shard clock is at {}",
+            key.time,
+            self.now
+        );
+        self.push(key, ev)
+    }
+
+    /// The clock registers a snapshot must carry: `(now, depth, cur_ord,
+    /// processed)`. The first three decide how a handler that fires at the
+    /// *same instant* as the last pre-snapshot event keys its children, so
+    /// bit-exact restore needs them verbatim.
+    pub fn clock_state(&self) -> (SimTime, u32, u128, u64) {
+        (self.now, self.depth, self.cur_ord, self.processed)
+    }
+
+    /// Restores the clock registers captured by [`clock_state`]. Pending
+    /// events may be scheduled before or after this call; their keys must
+    /// not precede `now`.
+    ///
+    /// [`clock_state`]: ShardQueue::clock_state
+    pub fn restore_clock_state(&mut self, now: SimTime, depth: u32, cur_ord: u128, processed: u64) {
+        debug_assert!(
+            !self.peek_key().is_some_and(|k| k.time < now),
+            "pending event precedes the restored clock"
+        );
+        self.now = now;
+        self.depth = depth;
+        self.cur_ord = cur_ord;
+        self.processed = processed;
+    }
+
+    /// Keys of every live event tied at the earliest pending *timestamp*
+    /// (ignoring depth/ord), in `(key, seq)` order — the interleaving
+    /// candidates a bounded race explorer branches over. Empty when the
+    /// queue is empty.
+    pub fn keys_at_min_time(&self) -> Vec<EvKey> {
+        let Some(t) = self.peek_key().map(|k| k.time) else {
+            return Vec::new();
+        };
+        let mut tied: Vec<(EvKey, u64)> = self
+            .due
+            .iter()
+            .chain(self.young.iter())
+            .filter(|e| !self.is_dead(e) && e.key.time == t)
+            .map(|e| (e.key, e.seq))
+            .collect();
+        tied.sort_unstable();
+        tied.into_iter().map(|(k, _)| k).collect()
+    }
+
+    /// Pops the `idx`-th event (in `(key, seq)` order) among those tied at
+    /// the earliest pending timestamp, advancing the clock to it exactly
+    /// like [`pop_due`] would. Out-of-order pops are the race explorer's
+    /// tool for materializing alternative tie-break interleavings.
+    ///
+    /// [`pop_due`]: ShardQueue::pop_due
+    pub fn pop_tied(&mut self, idx: usize) -> Option<(EvKey, E)> {
+        let t = self.peek_key()?.time;
+        // Every live entry at the current minimum timestamp is physically
+        // in `due` or `young`: they share the minimum's wheel bucket, which
+        // was drained when the minimum surfaced, and later same-bucket
+        // inserts go straight to `young`.
+        let mut tied: Vec<(EvKey, u64)> = self
+            .due
+            .iter()
+            .chain(self.young.iter())
+            .filter(|e| !self.is_dead(e) && e.key.time == t)
+            .map(|e| (e.key, e.seq))
+            .collect();
+        tied.sort_unstable();
+        let &(key, seq) = tied.get(idx)?;
+        let e = if let Some(p) = self
+            .due
+            .iter()
+            .position(|e| e.key == key && e.seq == seq && !self.is_dead(e))
+        {
+            self.due.remove(p)
+        } else {
+            let mut drained: Vec<Entry<E>> = std::mem::take(&mut self.young).into_vec();
+            let p = drained
+                .iter()
+                .position(|e| e.key == key && e.seq == seq)
+                .expect("tied entry is in due or young");
+            let e = drained.swap_remove(p);
+            self.young = drained.into();
+            e
+        };
+        self.retire_slot(e.slot);
+        self.live -= 1;
+        self.now = e.key.time;
+        self.depth = e.key.depth;
+        self.cur_ord = e.key.ord;
+        self.processed += 1;
+        self.normalize();
+        Some((e.key, e.ev))
+    }
 }
 
 #[cfg(test)]

@@ -70,6 +70,12 @@ impl Xoshiro256StarStar {
         Xoshiro256StarStar { s }
     }
 
+    /// The raw 256-bit state, for exact checkpointing; feed it back to
+    /// [`from_state`](Self::from_state) to resume the stream mid-sequence.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Returns the next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -145,6 +151,22 @@ impl Rng {
             inner.jump();
         }
         Rng { inner }
+    }
+
+    /// The raw 256-bit generator state, for exact checkpointing.
+    pub fn state(&self) -> [u64; 4] {
+        self.inner.state()
+    }
+
+    /// Resumes a generator from a state captured by [`state`](Self::state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all zeros.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Rng {
+            inner: Xoshiro256StarStar::from_state(s),
+        }
     }
 
     /// Returns the next 64 random bits.

@@ -187,6 +187,46 @@ impl Channel {
     pub fn collisions(&self) -> u64 {
         self.collisions
     }
+
+    // ------------------------------------------------------------------
+    // Exact checkpointing
+    // ------------------------------------------------------------------
+
+    /// One node's slice of the medium state, for exact checkpointing:
+    /// `(carrier count, reception lock, loss process, loss RNG state)`.
+    pub fn node_state(&self, node: NodeId) -> (u32, Option<(TxId, bool)>, LossModel, [u64; 4]) {
+        let i = node.index();
+        (
+            self.carrier[i],
+            self.rx_current[i],
+            self.loss[i].clone(),
+            self.rng[i].state(),
+        )
+    }
+
+    /// Overwrites one node's slice of the medium state — the restore path
+    /// of a checkpoint (see [`Channel::node_state`]).
+    pub fn restore_node_state(
+        &mut self,
+        node: NodeId,
+        carrier: u32,
+        rx_current: Option<(TxId, bool)>,
+        loss: LossModel,
+        rng_state: [u64; 4],
+    ) {
+        let i = node.index();
+        self.carrier[i] = carrier;
+        self.rx_current[i] = rx_current;
+        self.loss[i] = loss;
+        self.rng[i] = Rng::from_state(rng_state);
+    }
+
+    /// Overwrites the collision counter (restore path; the counter is a
+    /// whole-run cumulative total, so the capture stores it once and the
+    /// restore places it on one shard).
+    pub fn restore_collisions(&mut self, collisions: u64) {
+        self.collisions = collisions;
+    }
 }
 
 #[cfg(test)]

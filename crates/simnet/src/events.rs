@@ -69,7 +69,7 @@ impl TxId {
 
 /// What a MAC frame carries, resolved through its opaque tag. Travels
 /// inside [`Ev::RxEnd`] to whichever shard needs to decode it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
     /// One application packet relayed hop-by-hop (sensor / 802.11 models).
     SensorData(AppPacket),
@@ -95,7 +95,7 @@ pub enum Payload {
 }
 
 /// Shard-local simulator events.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Ev {
     /// A sender's application produced (or is due to produce) a packet.
     AppArrival {
@@ -234,7 +234,7 @@ impl Keyed for Ev {
 }
 
 /// Whole-world events, executed serially by the coordinator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GlobalEv {
     /// A node's battery emptied at `at`: survivors repair routes around
     /// the corpse. Delivered one link latency after the death so the

@@ -58,6 +58,7 @@ mod power;
 mod routes;
 pub mod scenario;
 mod shard;
+pub mod snapshot;
 pub mod spec;
 pub mod world;
 
@@ -65,5 +66,6 @@ pub use bcp_mac::sleep::SleepSchedule;
 pub use bcp_traffic::TrafficPattern;
 pub use metrics::{EngineStats, FlowStats, Metrics, NodePowerReport, RunStats, SeriesSample};
 pub use scenario::{HighRoute, ModelKind, Scenario, WorkloadKind};
+pub use snapshot::{explore, fork_with_power, ExploreLimits, ExploreReport, ForkError, WorldState};
 pub use spec::{emit_spec, parse_spec, ScenarioBuilder, SpecError};
-pub use world::{RunOptions, RunOutput, World};
+pub use world::{LiveWorld, RunOptions, RunOutput, World};

@@ -146,14 +146,21 @@ pub(crate) struct Control {
 /// `World::finalize` folds the end-of-run figures (node-id order), so the
 /// series' running sum lands bit-exactly on the final [`RunStats`].
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
-pub(crate) struct Cumulative {
-    gen_p: u64,
-    gen_b: u64,
-    del_p: u64,
-    del_b: u64,
-    energy_j: f64,
-    low_idle_j: f64,
-    low_sleep_j: f64,
+pub struct Cumulative {
+    /// Packets generated.
+    pub gen_p: u64,
+    /// Payload bits generated.
+    pub gen_b: u64,
+    /// Packets delivered.
+    pub del_p: u64,
+    /// Payload bits delivered.
+    pub del_b: u64,
+    /// Model-accounted energy (joules).
+    pub energy_j: f64,
+    /// Low-radio idle energy (joules).
+    pub low_idle_j: f64,
+    /// Low-radio sleep energy (joules).
+    pub low_sleep_j: f64,
 }
 
 /// One pass over the shards collecting the cumulative series quantities
@@ -269,7 +276,10 @@ pub(crate) struct SeriesState {
     pub last: Option<SimTime>,
     /// The emitted samples, in time order.
     pub samples: Vec<SeriesSample>,
-    prev: Cumulative,
+    /// The cumulative totals at the last emitted sample — the baseline the
+    /// next delta subtracts from. Captured verbatim by checkpoints so a
+    /// resumed series continues the telescoping sum bit-exactly.
+    pub(crate) prev: Cumulative,
 }
 
 impl SeriesState {
@@ -460,6 +470,12 @@ impl PdesControl<ShardState> for Control {
         let Some(series) = self.series.as_mut() else {
             return;
         };
+        // A resumed run restarts the engine's sample grid from zero;
+        // instants before the restored `next` were already emitted (and
+        // persisted) before the checkpoint, so they must not repeat.
+        if now < series.next {
+            return;
+        }
         let mut scan = SeriesScan::new(&self.scen);
         shards.for_each(|_, s| scan.add_shard(s, now));
         series.record(now, scan, queue_depths.to_vec());

@@ -38,19 +38,25 @@ pub(crate) type ShardCtx<'a> = Ctx<'a, Ev, GlobalEv>;
 
 /// Final state of one application packet (reconciled at run end).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub(crate) enum Fate {
+pub enum Fate {
+    /// Still buffered or in flight.
     Pending,
+    /// Received at the copy's destination.
     Delivered,
+    /// Shed by a MAC (retry exhaustion or queue overflow).
     LostMac,
+    /// Shed by a BCP buffer overflow.
     LostBuffer,
 }
 
 /// A fate observation with the key of the event that made it, so the
 /// per-shard observations merge into the same verdict the sequential run
 /// reaches (earliest loss wins; delivery beats losses).
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct FateMark {
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FateMark {
+    /// The observed fate.
     pub fate: Fate,
+    /// The key of the event that observed it.
     pub key: EvKey,
 }
 
@@ -59,7 +65,7 @@ pub(crate) struct FateMark {
 /// packets have exactly one copy; a broadcast arrival fans out into one
 /// copy per intended recipient (all sharing the packet id), so the
 /// destination is part of the identity.
-pub(crate) type FateKey = (u64, u32);
+pub type FateKey = (u64, u32);
 
 /// The fate-map key of one packet copy.
 pub(crate) fn fate_key(pkt: &AppPacket) -> FateKey {
@@ -74,10 +80,14 @@ pub(crate) fn trace_class(class: Class) -> TraceClass {
     }
 }
 
-#[derive(Debug, Clone)]
-pub(crate) struct ActiveTx {
+/// One transmission currently on the air, tracked at its sender's shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveTx {
+    /// The transmitting node.
     pub sender: NodeId,
+    /// The radio class.
     pub class: Class,
+    /// The frame being transmitted.
     pub frame: MacFrame,
 }
 

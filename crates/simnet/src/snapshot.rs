@@ -1,0 +1,1337 @@
+//! Exact world checkpointing: capture a paused simulation as a plain
+//! data structure, restore it later — under any shard count — and
+//! continue bit-identically.
+//!
+//! # The exactness contract
+//!
+//! A [`WorldState`] captured by [`LiveWorld::snapshot`] at pause time `t`
+//! holds *everything* the remainder of the run depends on: the canonical
+//! pending-event set (with exact tie-breaking keys), every node's MAC /
+//! radio / BCP / workload / battery registers, the per-node channel and
+//! loss-RNG state, routes and liveness as last published, the metric
+//! counters and per-copy packet fates, and the series sampler's grid
+//! position. Restoring and running to the horizon produces the same
+//! [`RunStats`](crate::metrics::RunStats) — bit for bit, excluding only
+//! the wall-clock `.engine` block — as the uninterrupted run.
+//!
+//! Because everything in a `WorldState` is indexed by *global node id*
+//! and event identities are shard-count independent by construction, the
+//! snapshot is also canonical across shard counts: a world paused under
+//! one shard count captures the same `WorldState` (modulo the
+//! `scen.shards` field) as the same world paused under another, and a
+//! snapshot taken under 1 shard restores into 4 (or vice versa) without
+//! loss.
+//!
+//! On top of the capture/restore pair sit two tools:
+//!
+//! * [`fork_with_power`] — brand a warm unpowered prefix with a battery
+//!   configuration, so a lifetime sweep runs the shared prefix once and
+//!   branches per grid cell.
+//! * [`explore`] — a bounded model checker that exhaustively re-executes
+//!   every admissible same-timestamp event ordering from a snapshot on a
+//!   single-shard stepper, checking liveness/energy invariants in each
+//!   interleaving.
+
+use crate::channel::Channel;
+use crate::events::{Class, Ev, GlobalEv, Payload, TxId};
+use crate::metrics::Metrics;
+use crate::node::NodeState;
+use crate::routes::{Control, SeriesState, SharedNet};
+use crate::scenario::{HighRoute, Scenario};
+use crate::shard::ShardState;
+use crate::world::{merge_mark, LiveWorld, RunOptions, Scaffold};
+use bcp_core::receiver::{BcpReceiver, ReceiverSnapshot};
+use bcp_core::sender::{BcpSender, SenderSnapshot};
+use bcp_mac::csma::{CsmaMac, MacConfig, MacSnapshot};
+use bcp_mac::types::{FrameKind, MacAddr};
+use bcp_net::addr::{AddrMap, HighAddr, LowAddr, NodeId};
+use bcp_net::loss::LossModel;
+use bcp_net::routing::{Dissemination, RouteWeight, Routes, ShortcutTable};
+use bcp_power::{BatteryModel, PowerConfig, PowerSupply};
+use bcp_radio::device::{Radio, RadioState};
+use bcp_radio::energy::{EnergyBucket, EnergyLedger};
+use bcp_radio::profile::RadioProfile;
+use bcp_radio::units::{Energy, Power};
+use bcp_sim::conservative::{EngineCounters, SingleStepper};
+use bcp_sim::keyed::{EvKey, Keyed, ShardQueue};
+use bcp_sim::time::{SimDuration, SimTime};
+use bcp_sim::trace::TraceRecord;
+use bcp_traffic::Workload;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+pub use crate::routes::Cumulative;
+pub use crate::shard::{ActiveTx, Fate, FateKey, FateMark};
+
+// ---------------------------------------------------------------------
+// The captured state
+// ---------------------------------------------------------------------
+
+/// One radio's captured registers: the power state plus the energy
+/// ledger's raw accumulators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadioSnapshot {
+    /// The radio's power state at the pause.
+    pub state: RadioState,
+    /// The ledger's per-bucket accumulated energy.
+    pub buckets: [Energy; 7],
+    /// When the ledger's open bucket started accumulating.
+    pub since: SimTime,
+    /// The draw of the open bucket.
+    pub power: Power,
+    /// Which bucket is open.
+    pub bucket: EnergyBucket,
+}
+
+/// One node's slice of one radio class's medium: carrier count,
+/// reception lock, loss process, and the node-local loss RNG stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelSlot {
+    /// Audible foreign transmissions at the pause.
+    pub carrier: u32,
+    /// The frame the receiver is locked onto, with its corruption flag.
+    pub rx_current: Option<(TxId, bool)>,
+    /// The loss process (its state diverges per node as frames arrive).
+    pub loss: LossModel,
+    /// The raw xoshiro state of the node's loss stream.
+    pub rng: [u64; 4],
+}
+
+/// One node's complete captured state, indexed by global node id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSnapshot {
+    /// The node.
+    pub id: NodeId,
+    /// Low-radio MAC registers.
+    pub low_mac: MacSnapshot,
+    /// Low radio power state and ledger.
+    pub low_radio: RadioSnapshot,
+    /// High-radio MAC registers (models with a high radio only).
+    pub high_mac: Option<MacSnapshot>,
+    /// High radio power state and ledger.
+    pub high_radio: Option<RadioSnapshot>,
+    /// BCP sender machine (dual-radio model only).
+    pub bcp_tx: Option<SenderSnapshot>,
+    /// BCP receiver machine (dual-radio model only).
+    pub bcp_rx: Option<ReceiverSnapshot>,
+    /// The traffic source, cloned whole (it is plain state + an RNG).
+    pub workload: Option<Workload>,
+    /// Bytes of the due-but-unqueued arrival (see `Ev::AppArrival`).
+    pub pending_bytes: usize,
+    /// Application packet sequence counter.
+    pub app_seq: u64,
+    /// Transmission id sequence counter.
+    pub tx_seq: u64,
+    /// Payload tag sequence counter.
+    pub tag_seq: u64,
+    /// High-radio power votes held.
+    pub high_refs: u32,
+    /// Bursts waiting for the high radio to finish powering up.
+    pub wake_pending: Vec<bcp_core::msg::BurstId>,
+    /// Accumulated header-overhear energy attribution.
+    pub header_overhear: Energy,
+    /// Learned high-radio shortcut table.
+    pub shortcuts: ShortcutTable,
+    /// Promiscuous-listen deadline for shortcut learning.
+    pub listen_until: SimTime,
+    /// Battery registers `(drawn, synced)`; `None` on mains power.
+    pub supply: Option<(Energy, Energy)>,
+    /// When the node died, if it did.
+    pub died_at: Option<SimTime>,
+    /// The node's medium slots, low class then high class.
+    pub channels: [ChannelSlot; 2],
+}
+
+/// The series sampler's captured grid position. The emitted samples are
+/// *not* captured — they were already delivered to whoever ran the first
+/// segment — only the baseline needed to continue the delta stream
+/// without re-emitting or skewing anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// The sampling interval.
+    pub every: SimDuration,
+    /// The next sample instant not yet emitted.
+    pub next: SimTime,
+    /// The last instant actually emitted, if any.
+    pub last: Option<SimTime>,
+    /// Cumulative totals at the last emitted sample — the baseline the
+    /// next delta subtracts from.
+    pub prev: Cumulative,
+}
+
+/// A complete, paused simulation as plain data: the capture side of
+/// exact checkpointing. Everything is keyed by global node id or by
+/// shard-count-independent event identity, so the same `WorldState`
+/// restores under any shard count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldState {
+    /// The scenario, embedded whole so a snapshot is self-describing
+    /// (its `shards` field picks the partition a restore rebuilds).
+    pub scen: Scenario,
+    /// The pause instant: every event strictly before it has run.
+    pub time: SimTime,
+    /// Logical events handled so far (shard-count-invariant count).
+    pub events_logical: u64,
+    /// Global (coordinator) events executed so far.
+    pub global_events: u64,
+    /// Every node's state, in node-id order, one entry per node.
+    pub nodes: Vec<NodeSnapshot>,
+    /// The canonical pending shard events, sorted by key, with the
+    /// per-shard halves of each reception fan-out merged back into one
+    /// entry (the restore re-fans them out under the new partition).
+    pub pending: Vec<(EvKey, Ev)>,
+    /// Pending coordinator events, sorted by key.
+    pub pending_globals: Vec<(EvKey, GlobalEv)>,
+    /// In-flight payloads by tag, sorted (tags embed the sender's id).
+    pub payloads: Vec<(u64, Payload)>,
+    /// Transmissions on the air by id, sorted.
+    pub txs: Vec<(u64, ActiveTx)>,
+    /// LPL-audible transmissions per duty-cycled node, sorted by node.
+    pub lpl_audible: Vec<(u32, Vec<(TxId, SimTime)>)>,
+    /// Per-copy packet fates, reconciled across shards and sorted.
+    pub fates: Vec<(FateKey, FateMark)>,
+    /// Collisions observed so far (whole-run cumulative total).
+    pub collisions: u64,
+    /// The merged metric counters (global slice + every shard's).
+    pub metrics: Metrics,
+    /// Low-radio routes as last published.
+    pub low_routes: Routes,
+    /// High-radio routes as last published.
+    pub high_routes: Routes,
+    /// Per-node liveness as last published.
+    pub alive: Vec<bool>,
+    /// Whether a death has been announced.
+    pub death_seen: bool,
+    /// The dissemination tree (broadcast scenarios only).
+    pub dissem: Option<Dissemination>,
+    /// The series sampler's grid position, when a series was recording.
+    pub series: Option<SeriesSnapshot>,
+}
+
+impl WorldState {
+    /// `self` with the scenario's shard count replaced — the way to
+    /// restore a checkpoint under a different partition than it was
+    /// taken under.
+    pub fn with_shards(&self, shards: usize) -> WorldState {
+        let mut out = self.clone();
+        out.scen.shards = shards;
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Capture
+// ---------------------------------------------------------------------
+
+/// Captures `lw` at its current pause. See the module docs for the
+/// exactness contract.
+pub(crate) fn capture(lw: &LiveWorld) -> WorldState {
+    let scaf = &lw.scaf;
+    let n = scaf.scen.topo.len();
+
+    // Canonical pending set: union the shard queues (each sorted by
+    // key), sort globally, then merge the per-shard halves of each
+    // reception fan-out back into one entry. The RxEnd twins differ only
+    // in which shard was handed the payload; keep the copy that has it.
+    let mut pending: Vec<(EvKey, Ev)> = lw
+        .shards
+        .iter()
+        .flat_map(|(_, q)| {
+            q.live_entries()
+                .into_iter()
+                .map(|(k, e)| (k, e.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    pending.sort_by_key(|e| e.0);
+    pending.dedup_by(|a, b| {
+        if a.0 != b.0 {
+            return false;
+        }
+        match (&mut b.1, &mut a.1) {
+            (Ev::RxEnd { payload: pb, .. }, Ev::RxEnd { payload: pa, .. }) => {
+                if pb.is_none() {
+                    *pb = pa.take();
+                }
+                true
+            }
+            (x, y) => x == y,
+        }
+    });
+
+    let pending_globals: Vec<(EvKey, GlobalEv)> = lw
+        .gqueue
+        .live_entries()
+        .into_iter()
+        .map(|(k, e)| (k, e.clone()))
+        .collect();
+
+    let nodes: Vec<NodeSnapshot> = (0..n)
+        .map(|i| {
+            let id = NodeId(i as u32);
+            let shard = &lw.shards[scaf.part.shard_of(id)].0;
+            let node = shard.nodes[i].as_ref().expect("owner has the node");
+            capture_node(node, shard)
+        })
+        .collect();
+
+    // Shard-table unions. Keys are disjoint across shards (each entry
+    // lives at exactly one owner) except the fates, which reconcile
+    // through the same semilattice the finaliser uses.
+    let mut payloads: Vec<(u64, Payload)> = Vec::new();
+    let mut txs: Vec<(u64, ActiveTx)> = Vec::new();
+    let mut lpl_audible: Vec<(u32, Vec<(TxId, SimTime)>)> = Vec::new();
+    let mut fates_map: HashMap<FateKey, FateMark> = HashMap::new();
+    for (s, _) in &lw.shards {
+        payloads.extend(s.payloads.iter().map(|(&k, v)| (k, v.clone())));
+        txs.extend(s.txs.iter().map(|(&k, v)| (k, v.clone())));
+        lpl_audible.extend(s.lpl_audible.iter().map(|(&k, v)| (k, v.clone())));
+        for (&k, &m) in &s.fates {
+            merge_mark(&mut fates_map, k, m);
+        }
+    }
+    payloads.sort_by_key(|e| e.0);
+    txs.sort_by_key(|e| e.0);
+    lpl_audible.sort_by_key(|e| e.0);
+    let mut fates: Vec<(FateKey, FateMark)> = fates_map.into_iter().collect();
+    fates.sort_by_key(|e| e.0);
+
+    let mut metrics = lw.control.metrics.clone();
+    for (s, _) in &lw.shards {
+        metrics.merge(&s.metrics);
+    }
+
+    let shared = &lw.shards[0].0.shared;
+    WorldState {
+        scen: (*scaf.scen).clone(),
+        time: lw.now,
+        events_logical: lw.shards.iter().map(|(s, _)| s.events_logical).sum(),
+        global_events: lw.control.global_events,
+        nodes,
+        pending,
+        pending_globals,
+        payloads,
+        txs,
+        lpl_audible,
+        fates,
+        collisions: lw
+            .shards
+            .iter()
+            .map(|(s, _)| s.chans[0].collisions() + s.chans[1].collisions())
+            .sum(),
+        metrics,
+        low_routes: shared.low_routes.clone(),
+        high_routes: shared.high_routes.clone(),
+        alive: shared.alive.clone(),
+        death_seen: shared.death_seen,
+        dissem: shared.dissem.clone(),
+        series: lw.control.series.as_ref().map(|st| SeriesSnapshot {
+            every: st.every,
+            next: st.next,
+            last: st.last,
+            prev: st.prev,
+        }),
+    }
+}
+
+fn capture_radio(r: &Radio) -> RadioSnapshot {
+    let (buckets, since, power, bucket) = r.ledger().raw_parts();
+    RadioSnapshot {
+        state: r.state(),
+        buckets,
+        since,
+        power,
+        bucket,
+    }
+}
+
+fn capture_slot(c: &Channel, id: NodeId) -> ChannelSlot {
+    let (carrier, rx_current, loss, rng) = c.node_state(id);
+    ChannelSlot {
+        carrier,
+        rx_current,
+        loss,
+        rng,
+    }
+}
+
+fn capture_node(n: &NodeState, shard: &ShardState) -> NodeSnapshot {
+    NodeSnapshot {
+        id: n.id,
+        low_mac: n.low_mac.snapshot_state(),
+        low_radio: capture_radio(&n.low_radio),
+        high_mac: n.high_mac.as_ref().map(CsmaMac::snapshot_state),
+        high_radio: n.high_radio.as_ref().map(capture_radio),
+        bcp_tx: n.bcp_tx.as_ref().map(BcpSender::snapshot_state),
+        bcp_rx: n.bcp_rx.as_ref().map(BcpReceiver::snapshot_state),
+        workload: n.workload.clone(),
+        pending_bytes: n.pending_bytes,
+        app_seq: n.app_seq,
+        tx_seq: n.tx_seq,
+        tag_seq: n.tag_seq,
+        high_refs: n.high_refs,
+        wake_pending: n.wake_pending.clone(),
+        header_overhear: n.header_overhear,
+        shortcuts: n.shortcuts.clone(),
+        listen_until: n.listen_until,
+        supply: n.supply.as_ref().map(|s| (s.battery().drawn(), s.synced())),
+        died_at: n.died_at,
+        channels: [
+            capture_slot(&shard.chans[0], n.id),
+            capture_slot(&shard.chans[1], n.id),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Restore
+// ---------------------------------------------------------------------
+
+/// Rebuilds a paused [`LiveWorld`] from a snapshot, under the partition
+/// `state.scen.shards` asks for. The restored world continues
+/// bit-identically to the world the snapshot was taken from.
+///
+/// `opts` controls the *remaining* segment's observability: tracing and
+/// series emission restart here (covering the post-restore segment), the
+/// pre-checkpoint artefacts having been produced by the original run.
+/// When the snapshot was recording a series, the captured interval and
+/// grid position win over `opts.series_every`'s interval so the sample
+/// grid continues instead of restarting.
+pub(crate) fn restore(state: &WorldState, opts: &RunOptions) -> LiveWorld {
+    let scaf = Scaffold::new(&state.scen, opts);
+    let scen = Arc::clone(&scaf.scen);
+    let part = Arc::clone(&scaf.part);
+    let n = scen.topo.len();
+    let k = part.k();
+    let t = state.time;
+    assert_eq!(
+        state.nodes.len(),
+        n,
+        "snapshot and scenario disagree on node count"
+    );
+    assert!(
+        t <= scaf.end,
+        "snapshot pause {t} is past the horizon {}",
+        scaf.end
+    );
+
+    let shared = Arc::new(SharedNet {
+        low_routes: state.low_routes.clone(),
+        high_routes: state.high_routes.clone(),
+        alive: state.alive.clone(),
+        death_seen: state.death_seen,
+        dissem: state.dissem.clone(),
+    });
+
+    // Channel slots start from placeholder seeds; every owned slot is
+    // then overwritten with the captured loss/RNG registers, and only
+    // owned slots are ever read.
+    let placeholder_seeds = vec![1u64; n];
+    let mut shards: Vec<(ShardState, ShardQueue<Ev>)> = (0..k)
+        .map(|id| {
+            (
+                scaf.blank_shard(
+                    id,
+                    &placeholder_seeds,
+                    &placeholder_seeds,
+                    &shared,
+                    opts.trace,
+                ),
+                ShardQueue::new(),
+            )
+        })
+        .collect();
+
+    for snap in &state.nodes {
+        let (s, _) = &mut shards[part.shard_of(snap.id)];
+        for (ci, slot) in snap.channels.iter().enumerate() {
+            s.chans[ci].restore_node_state(
+                snap.id,
+                slot.carrier,
+                slot.rx_current,
+                slot.loss.clone(),
+                slot.rng,
+            );
+        }
+        s.nodes[snap.id.index()] = Some(restore_node(&scen, &scaf.addr, snap));
+    }
+
+    // Whole-run cumulative scalars land on shard 0: the finaliser sums
+    // across shards, so placement is arbitrary but must not double-count.
+    shards[0].0.events_logical = state.events_logical;
+    shards[0].0.chans[0].restore_collisions(state.collisions);
+
+    for (tag, p) in &state.payloads {
+        let owner = part.shard_of(NodeId((tag >> 40) as u32));
+        shards[owner].0.payloads.insert(*tag, p.clone());
+    }
+    for (id, tx) in &state.txs {
+        let owner = part.shard_of(tx.sender);
+        shards[owner].0.txs.insert(*id, tx.clone());
+    }
+    for (node, v) in &state.lpl_audible {
+        let owner = part.shard_of(NodeId(*node));
+        shards[owner].0.lpl_audible.insert(*node, v.clone());
+    }
+    for (key, mark) in &state.fates {
+        let owner = part.shard_of(NodeId(key.1));
+        shards[owner].0.fates.insert(*key, *mark);
+    }
+
+    // Metrics: the death slice is coordinator-owned; each flow lives at
+    // its destination's owner (where deliveries update it — a source-side
+    // update merges in at finalisation exactly as it would have); every
+    // other scalar is cumulative and goes to shard 0.
+    let ctrl_metrics = Metrics {
+        node_deaths: state.metrics.node_deaths,
+        first_death: state.metrics.first_death,
+        partition: state.metrics.partition,
+        ..Metrics::default()
+    };
+    let mut shard0 = state.metrics.clone();
+    shard0.node_deaths = 0;
+    shard0.first_death = None;
+    shard0.partition = None;
+    shard0.flows.clear();
+    shards[0].0.metrics = shard0;
+    for (&flow, fs) in &state.metrics.flows {
+        let owner = part.shard_of(flow.1);
+        shards[owner].0.metrics.flows.insert(flow, fs.clone());
+    }
+
+    // Re-schedule the canonical pending set in key order, fanning the
+    // reception events back out across the (possibly different)
+    // partition and re-registering every cancellable timer.
+    for (key, ev) in &state.pending {
+        match ev {
+            Ev::RxBegin { sender, class, .. } => {
+                let ci = class.index();
+                for sh in hearing_shards(&scaf, ci, *sender) {
+                    let (s, q) = &mut shards[sh];
+                    schedule_restored(s, q, *key, ev.clone());
+                }
+            }
+            Ev::RxEnd {
+                sender,
+                class,
+                frame,
+                payload,
+                ..
+            } => {
+                // Re-derive the per-shard payload under the NEW partition
+                // with the same rule the sender's tx_end handler used.
+                let ci = class.index();
+                let dst_node = (frame.kind == FrameKind::Data && !frame.dst.is_broadcast())
+                    .then(|| node_of_mac(&scaf.addr, frame.dst, *class))
+                    .flatten();
+                let learning = *class == Class::High
+                    && matches!(
+                        scen.high_route,
+                        HighRoute::LowParents {
+                            shortcuts: true,
+                            ..
+                        }
+                    );
+                for sh in hearing_shards(&scaf, ci, *sender) {
+                    let p = if frame.kind == FrameKind::Data {
+                        let needed = frame.dst.is_broadcast()
+                            || learning
+                            || dst_node.is_some_and(|d| part.shard_of(d) == sh);
+                        if needed {
+                            payload.clone()
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    };
+                    let mut e = ev.clone();
+                    if let Ev::RxEnd { payload, .. } = &mut e {
+                        *payload = p;
+                    }
+                    let (s, q) = &mut shards[sh];
+                    schedule_restored(s, q, *key, e);
+                }
+            }
+            _ => {
+                let node = target_node(ev).expect("every other event is node-addressed");
+                let (s, q) = &mut shards[part.shard_of(node)];
+                schedule_restored(s, q, *key, ev.clone());
+            }
+        }
+    }
+
+    let mut gqueue: ShardQueue<GlobalEv> = ShardQueue::new();
+    for (key, g) in &state.pending_globals {
+        gqueue.schedule_with_key(*key, g.clone());
+    }
+    // Clocks last: scheduling asserts keys are not in the past, and the
+    // restore asserts no pending event precedes the pause.
+    gqueue.restore_clock_state(t, 0, 0, 0);
+    for (_, q) in &mut shards {
+        q.restore_clock_state(t, 0, 0, 0);
+    }
+
+    let (series_every, series) = match (opts.series_every, &state.series) {
+        (Some(_), Some(sn)) => {
+            // Continue the captured grid: same interval, same next
+            // instant, same delta baseline — and an empty sample buffer,
+            // so nothing pre-checkpoint is re-emitted.
+            let mut st = SeriesState::new(sn.every);
+            st.next = sn.next;
+            st.last = sn.last;
+            st.prev = sn.prev;
+            (Some(sn.every), Some(st))
+        }
+        (Some(every), None) => {
+            // Series switched on only at resume: start a fresh grid at
+            // the first instant past the pause (earlier instants belong
+            // to the segment that already ran).
+            let mut st = SeriesState::new(every);
+            while st.next <= t {
+                st.next += every;
+            }
+            (Some(every), Some(st))
+        }
+        (None, _) => (None, None),
+    };
+
+    let control = Control {
+        scen: Arc::clone(&scen),
+        gossip_flows: match scen.pattern {
+            bcp_traffic::TrafficPattern::Gossip { .. } => scen.flows(),
+            _ => Vec::new(),
+        },
+        metrics: ctrl_metrics,
+        global_events: state.global_events,
+        trace: opts.trace.then(Vec::<TraceRecord>::new),
+        series,
+    };
+
+    LiveWorld {
+        series_every,
+        scaf,
+        shards,
+        gqueue,
+        control,
+        counters: EngineCounters::default(),
+        now: t,
+    }
+}
+
+/// Shards owning at least one neighbour of `sender` (collected so the
+/// borrow of the scaffold does not overlap the shard mutations).
+fn hearing_shards(scaf: &Scaffold, ci: usize, sender: NodeId) -> Vec<usize> {
+    scaf.neigh[ci].shards_hearing(sender).collect()
+}
+
+fn node_of_mac(addr: &AddrMap, mac: MacAddr, class: Class) -> Option<NodeId> {
+    match class {
+        Class::Low => addr.node_of_low(LowAddr(mac.0 as u16)),
+        Class::High => addr.node_of_high(HighAddr(mac.0)),
+    }
+}
+
+/// The owner of a node-addressed event (`None` for the reception
+/// fan-outs, which address shards).
+fn target_node(ev: &Ev) -> Option<NodeId> {
+    match *ev {
+        Ev::AppArrival { node }
+        | Ev::MacTimer { node, .. }
+        | Ev::RadioWakeDone { node }
+        | Ev::BcpAckTimer { node, .. }
+        | Ev::BcpDataTimer { node, .. }
+        | Ev::HighIdleOff { node }
+        | Ev::Flush { node }
+        | Ev::PowerCheck { node }
+        | Ev::WakeSample { node }
+        | Ev::Sleep { node } => Some(node),
+        Ev::TxEnd { tx } => Some(tx.sender()),
+        Ev::RxBegin { .. } | Ev::RxEnd { .. } => None,
+    }
+}
+
+/// Schedules a restored event under its exact original key and
+/// re-registers it in the owning shard's cancellation table (the live
+/// world tracks at most one pending timer per table key, so a plain
+/// insert reproduces the tracked id).
+fn schedule_restored(s: &mut ShardState, q: &mut ShardQueue<Ev>, key: EvKey, ev: Ev) {
+    let id = q.schedule_with_key(key, ev.clone());
+    match ev {
+        Ev::MacTimer { node, class, kind } => {
+            s.mac_timers.insert((node.0, class.index(), kind), id);
+        }
+        Ev::BcpAckTimer { node, burst } => {
+            s.ack_timers.insert((node.0, burst.0), id);
+        }
+        Ev::BcpDataTimer { node, burst } => {
+            s.data_timers.insert((node.0, burst.0), id);
+        }
+        Ev::HighIdleOff { node } => {
+            s.linger.insert(node.0, id);
+        }
+        Ev::PowerCheck { node } => {
+            s.power_timers.insert(node.0, id);
+        }
+        Ev::WakeSample { node } => {
+            s.lpl_timers.insert(node.0, id);
+        }
+        _ => {}
+    }
+}
+
+fn restore_radio(profile: &RadioProfile, s: &RadioSnapshot) -> Radio {
+    let mut r = Radio::new(profile.clone(), RadioState::Idle, SimTime::ZERO);
+    r.restore_state(
+        s.state,
+        EnergyLedger::from_raw_parts(s.buckets, s.since, s.power, s.bucket),
+    );
+    r
+}
+
+fn restore_node(scen: &Scenario, addr: &AddrMap, snap: &NodeSnapshot) -> NodeState {
+    let id = snap.id;
+    let mut low_mac = CsmaMac::new(
+        MacConfig::sensor_csma(&scen.low_profile)
+            .with_wakeup_preamble(scen.low_sleep.tx_preamble()),
+        MacAddr(addr.low_of(id).0 as u64),
+        1, // placeholder seed; restore_state overwrites the stream
+    );
+    low_mac.restore_state(&snap.low_mac);
+    let high_mac = snap.high_mac.as_ref().map(|m| {
+        let mut mac = CsmaMac::new(
+            MacConfig::dot11b(&scen.high_profile),
+            MacAddr(addr.high_of(id).0),
+            1,
+        );
+        mac.restore_state(m);
+        mac
+    });
+    let bcp_tx = snap.bcp_tx.as_ref().map(|t| {
+        let mut tx = BcpSender::new(id, scen.bcp.clone());
+        tx.restore_state(t);
+        tx
+    });
+    let bcp_rx = snap.bcp_rx.as_ref().map(|r| {
+        let mut rx = BcpReceiver::new(id, scen.bcp.clone());
+        rx.restore_state(r);
+        rx
+    });
+    let battery = scen.power.battery_for(id.index(), id == scen.sink);
+    assert_eq!(
+        snap.supply.is_some(),
+        battery.is_some(),
+        "snapshot and scenario disagree on node {id}'s power source"
+    );
+    let supply = snap.supply.as_ref().map(|&(drawn, synced)| {
+        let mut sup = PowerSupply::new(battery.expect("checked above"));
+        sup.restore_state(drawn, synced);
+        sup
+    });
+    NodeState {
+        id,
+        low_mac,
+        low_radio: restore_radio(&scen.low_profile, &snap.low_radio),
+        high_mac,
+        high_radio: snap
+            .high_radio
+            .as_ref()
+            .map(|r| restore_radio(&scen.high_profile, r)),
+        bcp_tx,
+        bcp_rx,
+        workload: snap.workload.clone(),
+        pending_bytes: snap.pending_bytes,
+        app_seq: snap.app_seq,
+        tx_seq: snap.tx_seq,
+        tag_seq: snap.tag_seq,
+        high_refs: snap.high_refs,
+        wake_pending: snap.wake_pending.clone(),
+        header_overhear: snap.header_overhear,
+        shortcuts: snap.shortcuts.clone(),
+        listen_until: snap.listen_until,
+        supply,
+        died_at: snap.died_at,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Forked sweeps
+// ---------------------------------------------------------------------
+
+/// Why a snapshot cannot be forked with a battery grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForkError {
+    /// The scenario routes by residual energy: the warm prefix's routing
+    /// history would have depended on the batteries being injected, so
+    /// the fork would not equal a cold run.
+    EnergyAwareRouting,
+    /// A node already died in the prefix: the prefix is not
+    /// battery-independent.
+    DeathInPrefix,
+    /// The prefix already ran with finite batteries; forking can only
+    /// brand an unpowered (mains) prefix.
+    PoweredPrefix,
+    /// The prefix already spent at least this node's whole injected
+    /// battery: the death instant would lie *inside* the shared prefix,
+    /// where a cold run's behaviour would have diverged before the fork
+    /// point.
+    PrefixExceedsBattery {
+        /// The over-spent node.
+        node: u32,
+    },
+}
+
+impl std::fmt::Display for ForkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ForkError::EnergyAwareRouting => {
+                write!(f, "cannot fork: scenario routes by residual energy")
+            }
+            ForkError::DeathInPrefix => write!(f, "cannot fork: a node died in the prefix"),
+            ForkError::PoweredPrefix => {
+                write!(
+                    f,
+                    "cannot fork: the prefix already ran with finite batteries"
+                )
+            }
+            ForkError::PrefixExceedsBattery { node } => write!(
+                f,
+                "cannot fork: node {node} already spent its whole injected battery in the prefix"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ForkError {}
+
+/// Brands a warm, unpowered prefix with a battery configuration: the
+/// returned snapshot behaves as if the run had started with `power` —
+/// every meter reading of the prefix is charged against the injected
+/// batteries, and a `PowerCheck` fires at the fork instant so depletion
+/// projection starts immediately.
+///
+/// A lifetime sweep uses this to run the (battery-independent) warm-up
+/// prefix once and branch per grid cell, instead of re-simulating the
+/// prefix for every cell. Discrete outcomes (death counts, delivery
+/// counts) match the cold runs exactly; death *instants* may differ by
+/// sub-microsecond float-summation noise, since the cold run charges the
+/// battery in many small syncs and the fork charges the prefix in one.
+pub fn fork_with_power(state: &WorldState, power: PowerConfig) -> Result<WorldState, ForkError> {
+    if state.scen.route_weight != RouteWeight::ShortestHop {
+        return Err(ForkError::EnergyAwareRouting);
+    }
+    if state.metrics.node_deaths > 0 || state.death_seen || state.alive.iter().any(|&a| !a) {
+        return Err(ForkError::DeathInPrefix);
+    }
+    if state.nodes.iter().any(|n| n.supply.is_some()) {
+        return Err(ForkError::PoweredPrefix);
+    }
+    let mut out = state.clone();
+    out.scen.power = power;
+    let t = out.time;
+    let mut injected: Vec<(EvKey, Ev)> = Vec::new();
+    for node in &mut out.nodes {
+        let Some(batt) = out
+            .scen
+            .power
+            .battery_for(node.id.index(), node.id == out.scen.sink)
+        else {
+            continue;
+        };
+        let metered = prefix_metered(node, t);
+        if metered >= batt.capacity() {
+            return Err(ForkError::PrefixExceedsBattery { node: node.id.0 });
+        }
+        node.supply = Some((metered, metered));
+        let ev = Ev::PowerCheck { node: node.id };
+        injected.push((
+            EvKey {
+                time: t,
+                depth: 0,
+                ord: ev.ord(),
+            },
+            ev,
+        ));
+    }
+    out.pending.extend(injected);
+    out.pending.sort_by_key(|e| e.0);
+    Ok(out)
+}
+
+/// What a node's radios metered through the prefix, folded low then high
+/// exactly as [`NodeState::metered_total`] folds it.
+fn prefix_metered(node: &NodeSnapshot, t: SimTime) -> Energy {
+    let total = |r: &RadioSnapshot| {
+        EnergyLedger::from_raw_parts(r.buckets, r.since, r.power, r.bucket)
+            .snapshot(t)
+            .total()
+    };
+    let mut e = total(&node.low_radio);
+    if let Some(hr) = &node.high_radio {
+        e += total(hr);
+    }
+    e
+}
+
+// ---------------------------------------------------------------------
+// Bounded race exploration
+// ---------------------------------------------------------------------
+
+/// Exploration bounds for [`explore`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreLimits {
+    /// Stop after this many complete interleavings.
+    pub max_interleavings: u64,
+    /// Stop one interleaving after this many steps.
+    pub max_steps: u64,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits {
+            max_interleavings: 10_000,
+            max_steps: 200_000,
+        }
+    }
+}
+
+/// What [`explore`] found.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreReport {
+    /// Complete interleavings executed.
+    pub interleavings: u64,
+    /// Distinct branch points discovered (instants with more than one
+    /// admissible next event).
+    pub branch_points: u64,
+    /// The widest tie seen (candidates at one branch point).
+    pub max_ties: usize,
+    /// `true` when a limit cut the exploration short of exhaustive.
+    pub truncated: bool,
+    /// Invariant violations observed, deduplicated.
+    pub violations: Vec<String>,
+}
+
+/// Exhaustively re-executes every admissible same-timestamp event
+/// ordering of `state` up to `end`, single-shard and single-stepped,
+/// checking per-step invariants in each interleaving:
+///
+/// * a dead node's radios are both off;
+/// * a receiver holding a medium lock is actually receiving (or dead —
+///   its lock is released by the frame's end);
+/// * a battery never over-draws its capacity, and never drains energy
+///   the radio meters did not record;
+/// * packets are never delivered to a dead destination.
+///
+/// Different interleavings may legitimately differ in *outcome* (ties
+/// are real races; the production engine just picks the canonical
+/// key order) — the point is that the invariants hold on every path.
+/// Worlds of more than a handful of nodes explode combinatorially; keep
+/// this to ≤10-node scenarios and rely on `limits`.
+pub fn explore(state: &WorldState, end: SimTime, limits: ExploreLimits) -> ExploreReport {
+    let base = state.with_shards(1);
+    let mut report = ExploreReport::default();
+    // DFS over branch-choice prefixes: each queued path replays its
+    // prefix of tie choices and takes the canonical first candidate
+    // beyond it, queueing the untried alternatives it walks past.
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    while let Some(path) = stack.pop() {
+        if report.interleavings >= limits.max_interleavings {
+            report.truncated = true;
+            break;
+        }
+        let lw = restore(&base, &RunOptions::default());
+        let LiveWorld {
+            shards,
+            gqueue,
+            mut control,
+            ..
+        } = lw;
+        let (shard, queue) = shards.into_iter().next().expect("single shard");
+        let mut stepper = SingleStepper::new(shard, queue, gqueue);
+        let mut prev_delivered: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+        stepper.with_shard(|s| {
+            for (&flow, f) in &s.metrics.flows {
+                prev_delivered.insert(flow, f.delivered_packets);
+            }
+        });
+        let mut trace: Vec<usize> = Vec::new();
+        let mut steps: u64 = 0;
+        while let Some(t) = stepper.next_time() {
+            if t > end {
+                break;
+            }
+            if steps >= limits.max_steps {
+                report.truncated = true;
+                break;
+            }
+            let ties = stepper.candidates().len();
+            let choice = if ties > 1 {
+                report.max_ties = report.max_ties.max(ties);
+                let ch = if trace.len() < path.len() {
+                    path[trace.len()]
+                } else {
+                    report.branch_points += 1;
+                    for alt in 1..ties {
+                        let mut next = trace.clone();
+                        next.push(alt);
+                        stack.push(next);
+                    }
+                    0
+                };
+                trace.push(ch);
+                ch
+            } else {
+                0
+            };
+            stepper.step(&mut control, choice);
+            steps += 1;
+            stepper.with_shard(|s| {
+                check_invariants(s, t, &mut prev_delivered, &mut report.violations)
+            });
+        }
+        report.interleavings += 1;
+    }
+    report
+}
+
+fn push_violation(violations: &mut Vec<String>, msg: String) {
+    if violations.len() < 64 && !violations.contains(&msg) {
+        violations.push(msg);
+    }
+}
+
+fn check_invariants(
+    s: &mut ShardState,
+    t: SimTime,
+    prev_delivered: &mut HashMap<(NodeId, NodeId), u64>,
+    violations: &mut Vec<String>,
+) {
+    let n = s.scen.topo.len();
+    for i in 0..n {
+        let Some(node) = s.nodes[i].as_ref() else {
+            continue;
+        };
+        let alive = node.is_alive();
+        if !alive {
+            let mut off = node.low_radio.state() == RadioState::Off;
+            if let Some(hr) = &node.high_radio {
+                off &= hr.state() == RadioState::Off;
+            }
+            if !off {
+                push_violation(
+                    violations,
+                    format!("t={t}: dead node {} has a radio powered on", node.id),
+                );
+            }
+        }
+        if let Some(sup) = &node.supply {
+            let drawn = sup.battery().drawn().as_joules();
+            let cap = sup.battery().capacity().as_joules();
+            if drawn > cap + 1e-9 {
+                push_violation(
+                    violations,
+                    format!(
+                        "t={t}: node {} battery over-drawn ({drawn} J of {cap} J)",
+                        node.id
+                    ),
+                );
+            }
+            let synced = sup.synced().as_joules();
+            let metered = node.metered_total(t).as_joules();
+            if synced > metered + 1e-9 {
+                push_violation(
+                    violations,
+                    format!(
+                        "t={t}: node {} supply drained {synced} J but the meters recorded {metered} J",
+                        node.id
+                    ),
+                );
+            }
+        }
+        for (ci, class) in [(0usize, Class::Low), (1, Class::High)] {
+            if s.chans[ci].locked_rx(NodeId(i as u32)).is_some() {
+                let receiving = node
+                    .radio(class)
+                    .map(|r| r.state() == RadioState::Receiving)
+                    .unwrap_or(false);
+                if alive && !receiving {
+                    push_violation(
+                        violations,
+                        format!("t={t}: node {i} holds a {class:?} medium lock without receiving"),
+                    );
+                }
+            }
+        }
+    }
+    for (&flow, f) in &s.metrics.flows {
+        let prev = prev_delivered.get(&flow).copied().unwrap_or(0);
+        if f.delivered_packets > prev {
+            let dead = s.nodes[flow.1.index()]
+                .as_ref()
+                .map(|n| !n.is_alive())
+                .unwrap_or(false);
+            if dead {
+                push_violation(
+                    violations,
+                    format!("t={t}: delivery to dead node {}", flow.1),
+                );
+            }
+        }
+        prev_delivered.insert(flow, f.delivered_packets);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ModelKind;
+    use crate::world::{RunOutput, World};
+    use bcp_net::topo::Topology;
+    use bcp_power::{Battery, PowerConfig};
+
+    /// Two nodes, one hop, dual radio: exercises BCP handshakes, high
+    /// radio wake/sleep, payload transport, fates, workload RNG.
+    fn two_node_dual() -> Scenario {
+        let mut s = Scenario::single_hop(ModelKind::DualRadio, 1, 100, 42);
+        s.topo = Topology::line(2, 40.0);
+        s.sink = NodeId(0);
+        s.senders = vec![NodeId(1)];
+        s.duration = SimDuration::from_secs(120);
+        s.rate_bps = 2_000.0;
+        s
+    }
+
+    /// A 4×4 sensor grid with a starved relay dying mid-run, under LPL
+    /// duty-cycling: deaths, route repair, LPL lock-ons, multi-shard
+    /// traffic all live in one scenario.
+    fn grid_sensor_deaths(shards: usize) -> Scenario {
+        let mut s = Scenario::single_hop(ModelKind::Sensor, 6, 10, 17);
+        s.duration = SimDuration::from_secs(60);
+        s.power = PowerConfig::unlimited().with_node_battery(5, Battery::ideal_joules(0.05));
+        s.low_sleep = bcp_mac::sleep::SleepSchedule::lpl(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(10),
+        );
+        s.rate_bps = 500.0;
+        s.shards = shards;
+        s
+    }
+
+    fn assert_same_stats(a: &RunOutput, b: &RunOutput, label: &str) {
+        assert_eq!(a.stats.goodput, b.stats.goodput, "{label}: goodput");
+        assert_eq!(a.stats.energy_j, b.stats.energy_j, "{label}: energy");
+        assert_eq!(a.stats.mean_delay_s, b.stats.mean_delay_s, "{label}: delay");
+        assert_eq!(a.stats.events, b.stats.events, "{label}: events");
+        assert_eq!(a.stats.metrics, b.stats.metrics, "{label}: metrics");
+        assert_eq!(a.stats.per_node, b.stats.per_node, "{label}: per-node");
+        assert_eq!(
+            a.stats.time_to_first_death_s, b.stats.time_to_first_death_s,
+            "{label}: ttfd"
+        );
+    }
+
+    #[test]
+    fn segmented_run_is_bit_identical() {
+        let scen = two_node_dual();
+        let cold = World::run_with(&scen, &RunOptions::default());
+        let mut lw = World::build(&scen, &RunOptions::default());
+        lw.run_to(SimTime::from_secs(13));
+        lw.run_to(SimTime::from_secs(47));
+        let warm = lw.finish();
+        assert_same_stats(&cold, &warm, "segmented");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_exact() {
+        let scen = two_node_dual();
+        let cold = World::run_with(&scen, &RunOptions::default());
+        let mut lw = World::build(&scen, &RunOptions::default());
+        lw.run_to(SimTime::from_secs(47));
+        let snap = lw.snapshot();
+        let warm = LiveWorld::restore(&snap, &RunOptions::default()).finish();
+        assert_same_stats(&cold, &warm, "restored");
+    }
+
+    #[test]
+    fn capture_of_restored_world_is_identical() {
+        let mut lw = World::build(&two_node_dual(), &RunOptions::default());
+        lw.run_to(SimTime::from_secs(31));
+        let snap = lw.snapshot();
+        let again = LiveWorld::restore(&snap, &RunOptions::default()).snapshot();
+        assert_eq!(snap, again, "capture ∘ restore must be the identity");
+    }
+
+    #[test]
+    fn reshard_through_snapshot_is_bit_exact() {
+        // Pause a 2-shard world with deaths + LPL mid-run, restore the
+        // snapshot as 1 shard, and finish: identical to the cold run.
+        let cold = World::run_with(&grid_sensor_deaths(2), &RunOptions::default());
+        let mut lw = World::build(&grid_sensor_deaths(2), &RunOptions::default());
+        lw.run_to(SimTime::from_secs(30));
+        let snap = lw.snapshot();
+        let resharded = LiveWorld::restore(&snap.with_shards(1), &RunOptions::default()).finish();
+        assert_same_stats(&cold, &resharded, "2→1 reshard");
+        assert!(
+            cold.stats.metrics.node_deaths > 0,
+            "scenario exercises death"
+        );
+    }
+
+    #[test]
+    fn snapshot_is_shard_count_canonical() {
+        // The same world paused at the same instant captures the same
+        // WorldState whether it ran under 1 shard or 2.
+        let pause = SimTime::from_secs(30);
+        let mut one = World::build(&grid_sensor_deaths(1), &RunOptions::default());
+        one.run_to(pause);
+        let mut two = World::build(&grid_sensor_deaths(2), &RunOptions::default());
+        two.run_to(pause);
+        assert_eq!(
+            one.snapshot().with_shards(0),
+            two.snapshot().with_shards(0),
+            "snapshots must be canonical across shard counts"
+        );
+    }
+
+    #[test]
+    fn series_resume_continues_the_grid_without_reemitting() {
+        let opts = RunOptions {
+            series_every: Some(SimDuration::from_secs(10)),
+            ..RunOptions::default()
+        };
+        let scen = two_node_dual();
+        let cold = World::run_with(&scen, &opts);
+        let mut lw = World::build(&scen, &opts);
+        lw.run_to(SimTime::from_secs(30));
+        let snap = lw.snapshot();
+        let resumed = LiveWorld::restore(&snap, &opts).finish();
+        // The resumed run emits exactly the cold run's samples from the
+        // checkpoint instant on — same instants, same deltas — and
+        // nothing earlier.
+        let boundary = 30.0 - 1e-9;
+        let tail: Vec<_> = cold
+            .series
+            .iter()
+            .filter(|s| s.t_s > boundary)
+            .cloned()
+            .collect();
+        assert!(!tail.is_empty(), "cold run has post-checkpoint samples");
+        assert!(
+            resumed.series.iter().all(|s| s.t_s > boundary),
+            "no pre-checkpoint sample may be re-emitted"
+        );
+        assert_eq!(
+            resumed.series, tail,
+            "the delta stream must continue exactly"
+        );
+    }
+
+    #[test]
+    fn fork_guards_reject_bad_prefixes() {
+        // A powered prefix cannot be forked.
+        let mut powered = World::build(
+            &{
+                let mut s = two_node_dual();
+                s.power = PowerConfig::with_battery(Battery::ideal_joules(50.0));
+                s
+            },
+            &RunOptions::default(),
+        );
+        powered.run_to(SimTime::from_secs(5));
+        assert_eq!(
+            fork_with_power(
+                &powered.snapshot(),
+                PowerConfig::with_battery(Battery::ideal_joules(10.0))
+            )
+            .unwrap_err(),
+            ForkError::PoweredPrefix
+        );
+        // A battery smaller than the prefix's spend is rejected.
+        let mut warm = World::build(&two_node_dual(), &RunOptions::default());
+        warm.run_to(SimTime::from_secs(60));
+        let err = fork_with_power(
+            &warm.snapshot(),
+            PowerConfig::with_battery(Battery::ideal_joules(1e-9)).battery_powered_sink(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ForkError::PrefixExceedsBattery { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn forked_battery_run_matches_cold_run() {
+        // Sensor model so the metered prefix is pure radio time; the
+        // forked run must reproduce the cold run's discrete outcomes.
+        let base = {
+            let mut s = Scenario::single_hop(ModelKind::Sensor, 1, 10, 42);
+            s.topo = Topology::line(2, 40.0);
+            s.sink = NodeId(0);
+            s.senders = vec![NodeId(1)];
+            s.duration = SimDuration::from_secs(200);
+            s.rate_bps = 2_000.0;
+            s
+        };
+        let power = PowerConfig::with_battery(Battery::ideal_joules(8.0));
+        let cold = {
+            let mut s = base.clone();
+            s.power = power.clone();
+            World::run(&s)
+        };
+        let mut warm = World::build(&base, &RunOptions::default());
+        warm.run_to(SimTime::from_secs(10));
+        let forked = fork_with_power(&warm.snapshot(), power).expect("forkable prefix");
+        let stats = LiveWorld::restore(&forked, &RunOptions::default())
+            .finish()
+            .stats;
+        assert_eq!(stats.metrics.node_deaths, cold.metrics.node_deaths);
+        assert_eq!(
+            stats.metrics.delivered_packets, cold.metrics.delivered_packets,
+            "forked and cold runs must agree on deliveries"
+        );
+        let (a, b) = (
+            stats.time_to_first_death_s.expect("sender dies"),
+            cold.time_to_first_death_s.expect("sender dies"),
+        );
+        assert!(
+            (a - b).abs() < 1e-6,
+            "death instants agree to float noise: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn explorer_enumerates_interleavings_and_invariants_hold() {
+        // A 3-node line under LPL with a starved middle relay: ties are
+        // plentiful (wake samples vs. receptions) and death interacts
+        // with in-flight frames.
+        let mut s = Scenario::single_hop(ModelKind::Sensor, 1, 10, 7);
+        s.topo = Topology::line(3, 40.0);
+        s.sink = NodeId(0);
+        s.senders = vec![NodeId(2)];
+        s.duration = SimDuration::from_secs(30);
+        s.rate_bps = 500.0;
+        s.low_sleep = bcp_mac::sleep::SleepSchedule::lpl(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(10),
+        );
+        s.power = PowerConfig::unlimited().with_node_battery(1, Battery::ideal_joules(0.4));
+        let mut lw = World::build(&s, &RunOptions::default());
+        lw.run_to(SimTime::from_secs(8));
+        let snap = lw.snapshot();
+        let report = explore(
+            &snap,
+            SimTime::from_secs(9),
+            ExploreLimits {
+                max_interleavings: 300,
+                max_steps: 50_000,
+            },
+        );
+        assert!(report.interleavings >= 1, "at least the canonical path ran");
+        assert!(
+            report.violations.is_empty(),
+            "invariants must hold on every path: {:?}",
+            report.violations
+        );
+    }
+}

@@ -30,7 +30,7 @@ use bcp_net::partition::Partition;
 use bcp_power::{BatteryModel, PowerSupply};
 use bcp_radio::device::{Radio, RadioState};
 use bcp_radio::units::Energy;
-use bcp_sim::conservative::{run_conservative_sampled, EngineCounters, Lookahead};
+use bcp_sim::conservative::{run_conservative_keyed, EngineCounters, Lookahead};
 use bcp_sim::keyed::ShardQueue;
 use bcp_sim::rng::Rng;
 use bcp_sim::threads::worker_count;
@@ -86,91 +86,34 @@ impl World {
     /// flight-recorder trace and/or a per-window time series alongside
     /// the summary.
     pub fn run_with(scen: &Scenario, opts: &RunOptions) -> RunOutput {
-        let end = scen.end_time();
-        let scen = Arc::new(scen.clone());
+        Self::build(scen, opts).finish()
+    }
+
+    /// Builds the world without running it. The returned [`LiveWorld`] is
+    /// paused at t = 0 with every initial event scheduled; drive it with
+    /// [`LiveWorld::run_to`] and [`LiveWorld::finish`], and capture any
+    /// pause with [`LiveWorld::snapshot`]. `build(s, o).finish()` is
+    /// bit-identical to the classic one-shot run, however the run is
+    /// segmented in between — window partitioning never affects physics.
+    pub fn build(scen: &Scenario, opts: &RunOptions) -> LiveWorld {
+        let scaf = Scaffold::new(scen, opts);
+        let scen = Arc::clone(&scaf.scen);
+        let part = Arc::clone(&scaf.part);
+        let addr = Arc::clone(&scaf.addr);
         let n = scen.topo.len();
-        assert!(n > 0, "cannot simulate an empty topology");
-        // Strip cuts steer clear of the traffic anchor: relay load piles
-        // up around the sink (or broadcast source), and every TX beside a
-        // cut is re-delivered on the far shard, so keeping the hot region
-        // interior trims cross-shard duplication. Partition choice never
-        // affects physics — only engine throughput.
-        let hot = match &scen.pattern {
-            bcp_traffic::TrafficPattern::Broadcast { source } => *source,
-            _ => scen.sink,
-        };
-        let part = Arc::new(if scen.shards <= 1 {
-            Partition::single(n)
-        } else {
-            Partition::strips_avoiding(&scen.topo, scen.shards, hot)
-        });
         let k = part.k();
-        let addr = Arc::new(AddrMap::for_nodes(n));
         let mut rng = Rng::new(scen.seed);
         // Per-node loss streams, seeded in node order so the streams are
         // identical for every shard count.
         let loss_seeds_low: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         let loss_seeds_high: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
-        let neigh = [
-            Arc::new(NeighborIndex::new(
-                &scen.topo,
-                scen.low_profile.range_m,
-                &part,
-            )),
-            Arc::new(NeighborIndex::new(
-                &scen.topo,
-                scen.high_profile.range_m,
-                &part,
-            )),
-        ];
         let shared = initial_shared(&scen);
-        let death_latency = Self::death_latency(&scen);
         let t0 = SimTime::ZERO;
-
-        // Each sender's flow destination (the sink unless the pattern says
-        // otherwise). Broadcast sources fan out per-recipient instead and
-        // never read this.
-        let flow_dest = Arc::new({
-            let mut dests = vec![scen.sink; n];
-            if !matches!(scen.pattern, bcp_traffic::TrafficPattern::Broadcast { .. }) {
-                for (s, d) in scen.flows() {
-                    dests[s.index()] = d;
-                }
-            }
-            dests
-        });
 
         let mut shards: Vec<(ShardState, ShardQueue<Ev>)> = (0..k)
             .map(|id| {
                 (
-                    ShardState {
-                        id,
-                        scen: Arc::clone(&scen),
-                        addr: Arc::clone(&addr),
-                        part: Arc::clone(&part),
-                        neigh: [Arc::clone(&neigh[0]), Arc::clone(&neigh[1])],
-                        shared: Arc::clone(&shared),
-                        nodes: (0..n).map(|_| None).collect(),
-                        chans: [
-                            Channel::new(n, &scen.loss_low, &loss_seeds_low),
-                            Channel::new(n, &scen.loss_high, &loss_seeds_high),
-                        ],
-                        payloads: HashMap::new(),
-                        txs: HashMap::new(),
-                        mac_timers: HashMap::new(),
-                        ack_timers: HashMap::new(),
-                        data_timers: HashMap::new(),
-                        linger: HashMap::new(),
-                        power_timers: HashMap::new(),
-                        lpl_timers: HashMap::new(),
-                        lpl_audible: HashMap::new(),
-                        fates: HashMap::new(),
-                        flow_dest: Arc::clone(&flow_dest),
-                        metrics: Metrics::default(),
-                        death_latency,
-                        events_logical: 0,
-                        rec: opts.trace.then(|| Box::new(Trace::unbounded())),
-                    },
+                    scaf.blank_shard(id, &loss_seeds_low, &loss_seeds_high, &shared, opts.trace),
                     ShardQueue::new(),
                 )
             })
@@ -178,7 +121,7 @@ impl World {
 
         let traffic_end = match scen.traffic_cutoff {
             Some(cutoff) => t0 + cutoff,
-            None => end,
+            None => scaf.end,
         };
         for id in scen.topo.nodes() {
             // Under LPL every low-radio data frame is stretched by the
@@ -288,13 +231,11 @@ impl World {
             state.nodes[id.index()] = Some(node);
         }
 
-        let globals: Vec<(SimTime, GlobalEv)> = scen
-            .power
-            .reroute_every
-            .map(|every| (t0 + every, GlobalEv::RouteRefresh))
-            .into_iter()
-            .collect();
-        let mut control = Control {
+        let mut gqueue: ShardQueue<GlobalEv> = ShardQueue::new();
+        if let Some(every) = scen.power.reroute_every {
+            gqueue.schedule(t0 + every, GlobalEv::RouteRefresh);
+        }
+        let control = Control {
             scen: Arc::clone(&scen),
             gossip_flows: match scen.pattern {
                 bcp_traffic::TrafficPattern::Gossip { .. } => scen.flows(),
@@ -305,72 +246,14 @@ impl World {
             trace: opts.trace.then(Vec::new),
             series: opts.series_every.map(SeriesState::new),
         };
-        let lookahead = if opts.scalar_lookahead {
-            Lookahead::from(Self::lookahead(&scen, &part, death_latency))
-        } else {
-            Self::lookahead_matrix(&scen, &part, death_latency)
-        };
-        let threads = worker_count(k);
-        let outcome = run_conservative_sampled(
+        LiveWorld {
+            series_every: opts.series_every,
+            scaf,
             shards,
-            globals,
-            &mut control,
-            lookahead,
-            end,
-            threads,
-            opts.series_every,
-        );
-        let mut shards = outcome.shards;
-        // Logical event count: reception fan-outs counted once per
-        // transmission phase (not once per hearing shard), so the figure
-        // is identical for every shard count.
-        let events = shards.iter().map(|s| s.events_logical).sum::<u64>() + control.global_events;
-
-        // Merge the per-shard trace slices (plus the coordinator's) into
-        // one deterministically ordered record stream.
-        let mut slices: Vec<Vec<TraceRecord>> = shards
-            .iter_mut()
-            .map(|s| match s.rec.take() {
-                Some(t) => t.into_records().map(|(_, r)| r).collect(),
-                None => Vec::new(),
-            })
-            .collect();
-        if let Some(ctrl) = control.trace.take() {
-            slices.push(ctrl);
-        }
-        let trace = merge_traces(slices);
-
-        // The engine fires samples only while events pend; continue the
-        // grid from the final quiescent state and close exactly at the
-        // horizon so the series telescopes to the end-of-run totals.
-        let series = match control.series.take() {
-            Some(mut st) => {
-                while st.next <= end {
-                    let at = st.next;
-                    let mut scan = SeriesScan::new(&scen);
-                    for s in &shards {
-                        scan.add_shard(s, at);
-                    }
-                    st.record(at, scan, vec![0; k]);
-                }
-                if st.last != Some(end) {
-                    let mut scan = SeriesScan::new(&scen);
-                    for s in &shards {
-                        scan.add_shard(s, end);
-                    }
-                    st.record(end, scan, vec![0; k]);
-                }
-                st.samples
-            }
-            None => Vec::new(),
-        };
-
-        let engine = Self::engine_stats(outcome.counters, k, threads, events);
-        let stats = Self::finalize(&scen, &part, shards, control, end, events, engine);
-        RunOutput {
-            stats,
-            trace,
-            series,
+            gqueue,
+            control,
+            counters: EngineCounters::default(),
+            now: SimTime::ZERO,
         }
     }
 
@@ -624,7 +507,318 @@ impl World {
     }
 }
 
-fn merge_mark(
+/// The immutable frame of a built world: everything derivable from the
+/// scenario and options alone (partition, addressing, adjacency, engine
+/// tuning). [`World::build`] and the snapshot-restore path derive it the
+/// same way — which is what lets a checkpoint taken under one shard
+/// count restore into another.
+#[derive(Debug)]
+pub(crate) struct Scaffold {
+    pub(crate) scen: Arc<Scenario>,
+    pub(crate) part: Arc<Partition>,
+    pub(crate) addr: Arc<AddrMap>,
+    pub(crate) neigh: [Arc<NeighborIndex>; 2],
+    pub(crate) flow_dest: Arc<Vec<bcp_net::addr::NodeId>>,
+    pub(crate) death_latency: SimDuration,
+    pub(crate) end: SimTime,
+    pub(crate) threads: usize,
+    pub(crate) lookahead: Lookahead,
+}
+
+impl Scaffold {
+    pub(crate) fn new(scen: &Scenario, opts: &RunOptions) -> Self {
+        let end = scen.end_time();
+        let scen = Arc::new(scen.clone());
+        let n = scen.topo.len();
+        assert!(n > 0, "cannot simulate an empty topology");
+        // Strip cuts steer clear of the traffic anchor: relay load piles
+        // up around the sink (or broadcast source), and every TX beside a
+        // cut is re-delivered on the far shard, so keeping the hot region
+        // interior trims cross-shard duplication. Partition choice never
+        // affects physics — only engine throughput.
+        let hot = match &scen.pattern {
+            bcp_traffic::TrafficPattern::Broadcast { source } => *source,
+            _ => scen.sink,
+        };
+        let part = Arc::new(if scen.shards <= 1 {
+            Partition::single(n)
+        } else {
+            Partition::strips_avoiding(&scen.topo, scen.shards, hot)
+        });
+        let addr = Arc::new(AddrMap::for_nodes(n));
+        let neigh = [
+            Arc::new(NeighborIndex::new(
+                &scen.topo,
+                scen.low_profile.range_m,
+                &part,
+            )),
+            Arc::new(NeighborIndex::new(
+                &scen.topo,
+                scen.high_profile.range_m,
+                &part,
+            )),
+        ];
+        let death_latency = World::death_latency(&scen);
+        // Each sender's flow destination (the sink unless the pattern says
+        // otherwise). Broadcast sources fan out per-recipient instead and
+        // never read this.
+        let flow_dest = Arc::new({
+            let mut dests = vec![scen.sink; n];
+            if !matches!(scen.pattern, bcp_traffic::TrafficPattern::Broadcast { .. }) {
+                for (s, d) in scen.flows() {
+                    dests[s.index()] = d;
+                }
+            }
+            dests
+        });
+        let lookahead = if opts.scalar_lookahead {
+            Lookahead::from(World::lookahead(&scen, &part, death_latency))
+        } else {
+            World::lookahead_matrix(&scen, &part, death_latency)
+        };
+        let threads = worker_count(part.k());
+        Scaffold {
+            scen,
+            part,
+            addr,
+            neigh,
+            flow_dest,
+            death_latency,
+            end,
+            threads,
+            lookahead,
+        }
+    }
+
+    /// A shard shell: correct id and topology wiring, fresh channels, no
+    /// nodes, empty tables. Both the builder and the snapshot-restore
+    /// path start from this and fill the node state in.
+    pub(crate) fn blank_shard(
+        &self,
+        id: usize,
+        seeds_low: &[u64],
+        seeds_high: &[u64],
+        shared: &Arc<crate::routes::SharedNet>,
+        trace: bool,
+    ) -> ShardState {
+        let n = self.scen.topo.len();
+        ShardState {
+            id,
+            scen: Arc::clone(&self.scen),
+            addr: Arc::clone(&self.addr),
+            part: Arc::clone(&self.part),
+            neigh: [Arc::clone(&self.neigh[0]), Arc::clone(&self.neigh[1])],
+            shared: Arc::clone(shared),
+            nodes: (0..n).map(|_| None).collect(),
+            chans: [
+                Channel::new(n, &self.scen.loss_low, seeds_low),
+                Channel::new(n, &self.scen.loss_high, seeds_high),
+            ],
+            payloads: HashMap::new(),
+            txs: HashMap::new(),
+            mac_timers: HashMap::new(),
+            ack_timers: HashMap::new(),
+            data_timers: HashMap::new(),
+            linger: HashMap::new(),
+            power_timers: HashMap::new(),
+            lpl_timers: HashMap::new(),
+            lpl_audible: HashMap::new(),
+            fates: HashMap::new(),
+            flow_dest: Arc::clone(&self.flow_dest),
+            metrics: Metrics::default(),
+            death_latency: self.death_latency,
+            events_logical: 0,
+            rec: trace.then(|| Box::new(Trace::unbounded())),
+        }
+    }
+}
+
+/// A built simulation paused between events. The engine can be advanced
+/// in segments ([`LiveWorld::run_to`]) and the complete state captured at
+/// any pause ([`LiveWorld::snapshot`]); [`LiveWorld::finish`] runs the
+/// remaining horizon and produces the same [`RunOutput`] a one-shot
+/// [`World::run_with`] would — bit for bit, however the run was cut.
+#[derive(Debug)]
+pub struct LiveWorld {
+    pub(crate) scaf: Scaffold,
+    /// The effective series interval: the requested one or, when restored
+    /// from a snapshot that was recording a series, the captured one (the
+    /// sample grid must continue, not restart).
+    pub(crate) series_every: Option<SimDuration>,
+    pub(crate) shards: Vec<(ShardState, ShardQueue<Ev>)>,
+    pub(crate) gqueue: ShardQueue<GlobalEv>,
+    pub(crate) control: Control,
+    pub(crate) counters: EngineCounters,
+    pub(crate) now: SimTime,
+}
+
+impl LiveWorld {
+    /// The pause instant: every event strictly before it has run.
+    pub fn time(&self) -> SimTime {
+        self.now
+    }
+
+    /// The run horizon (the scenario's end time).
+    pub fn end(&self) -> SimTime {
+        self.scaf.end
+    }
+
+    /// Advances the simulation to `t`. For `t` short of the horizon this
+    /// runs every event strictly *before* `t` — events at exactly `t`
+    /// stay pending, so a snapshot taken here captures them; at the
+    /// horizon it runs everything (the run's end is inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.time() < t <= self.end()`.
+    pub fn run_to(&mut self, t: SimTime) {
+        assert!(
+            t > self.now,
+            "run_to target {t} is not ahead of the pause at {}",
+            self.now
+        );
+        assert!(
+            t <= self.scaf.end,
+            "run_to target {t} is past the horizon {}",
+            self.scaf.end
+        );
+        self.advance(t);
+    }
+
+    /// Captures the complete simulation state at the current pause. See
+    /// [`crate::snapshot`] for the exactness contract.
+    pub fn snapshot(&self) -> crate::snapshot::WorldState {
+        crate::snapshot::capture(self)
+    }
+
+    /// Rebuilds a paused simulation from a snapshot, under the shard
+    /// count the snapshot's scenario asks for (which may differ from the
+    /// one the snapshot was taken under).
+    pub fn restore(state: &crate::snapshot::WorldState, opts: &RunOptions) -> LiveWorld {
+        crate::snapshot::restore(state, opts)
+    }
+
+    fn advance(&mut self, target: SimTime) {
+        let shards = std::mem::take(&mut self.shards);
+        let gqueue = std::mem::replace(&mut self.gqueue, ShardQueue::new());
+        // The engine's end is inclusive; a pause at `target` must leave
+        // events at exactly `target` pending, so stop one tick short —
+        // except at the horizon, which the run includes.
+        let engine_end = if target >= self.scaf.end {
+            self.scaf.end
+        } else {
+            SimTime::from_nanos(target.as_nanos() - 1)
+        };
+        let outcome = run_conservative_keyed(
+            shards,
+            gqueue,
+            &mut self.control,
+            self.scaf.lookahead.clone(),
+            engine_end,
+            self.scaf.threads,
+            self.series_every,
+        );
+        self.shards = outcome.shards.into_iter().zip(outcome.queues).collect();
+        self.gqueue = outcome.globals;
+        // Fold segment counters: totals add; the per-shard figures are
+        // queue-cumulative (processed) or high-water marks (max queue)
+        // and replace / max-combine instead.
+        let c = outcome.counters;
+        self.counters.windows += c.windows;
+        self.counters.barriers += c.barriers;
+        self.counters.serial_steps += c.serial_steps;
+        self.counters.window_width_s_sum += c.window_width_s_sum;
+        self.counters.barrier_wait_s += c.barrier_wait_s;
+        self.counters.wall_s += c.wall_s;
+        self.counters.per_shard_processed = c.per_shard_processed;
+        if self.counters.per_shard_max_queue.len() < c.per_shard_max_queue.len() {
+            self.counters
+                .per_shard_max_queue
+                .resize(c.per_shard_max_queue.len(), 0);
+        }
+        for (m, &v) in self
+            .counters
+            .per_shard_max_queue
+            .iter_mut()
+            .zip(&c.per_shard_max_queue)
+        {
+            *m = (*m).max(v);
+        }
+        self.now = target;
+    }
+
+    /// Runs the remaining horizon and folds the shards into the run
+    /// summary. On a freshly built world this is exactly the classic
+    /// one-shot run; on a restored world the trace and series cover the
+    /// post-restore segment only (the earlier samples were emitted — and
+    /// typically persisted — by the original run before the checkpoint).
+    pub fn finish(mut self) -> RunOutput {
+        let end = self.scaf.end;
+        self.advance(end);
+        let LiveWorld {
+            scaf,
+            shards,
+            mut control,
+            counters,
+            ..
+        } = self;
+        let k = scaf.part.k();
+        let mut shards: Vec<ShardState> = shards.into_iter().map(|(s, _)| s).collect();
+        // Logical event count: reception fan-outs counted once per
+        // transmission phase (not once per hearing shard), so the figure
+        // is identical for every shard count.
+        let events = shards.iter().map(|s| s.events_logical).sum::<u64>() + control.global_events;
+
+        // Merge the per-shard trace slices (plus the coordinator's) into
+        // one deterministically ordered record stream.
+        let mut slices: Vec<Vec<TraceRecord>> = shards
+            .iter_mut()
+            .map(|s| match s.rec.take() {
+                Some(t) => t.into_records().map(|(_, r)| r).collect(),
+                None => Vec::new(),
+            })
+            .collect();
+        if let Some(ctrl) = control.trace.take() {
+            slices.push(ctrl);
+        }
+        let trace = merge_traces(slices);
+
+        // The engine fires samples only while events pend; continue the
+        // grid from the final quiescent state and close exactly at the
+        // horizon so the series telescopes to the end-of-run totals.
+        let series = match control.series.take() {
+            Some(mut st) => {
+                while st.next <= end {
+                    let at = st.next;
+                    let mut scan = SeriesScan::new(&scaf.scen);
+                    for s in &shards {
+                        scan.add_shard(s, at);
+                    }
+                    st.record(at, scan, vec![0; k]);
+                }
+                if st.last != Some(end) {
+                    let mut scan = SeriesScan::new(&scaf.scen);
+                    for s in &shards {
+                        scan.add_shard(s, end);
+                    }
+                    st.record(end, scan, vec![0; k]);
+                }
+                st.samples
+            }
+            None => Vec::new(),
+        };
+
+        let engine = World::engine_stats(counters, k, scaf.threads, events);
+        let stats = World::finalize(&scaf.scen, &scaf.part, shards, control, end, events, engine);
+        RunOutput {
+            stats,
+            trace,
+            series,
+        }
+    }
+}
+
+pub(crate) fn merge_mark(
     map: &mut HashMap<crate::shard::FateKey, FateMark>,
     id: crate::shard::FateKey,
     new: FateMark,

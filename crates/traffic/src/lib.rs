@@ -125,7 +125,7 @@ impl TrafficPattern {
 }
 
 /// A deterministic application traffic source.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Workload {
     /// Fixed-size packets at fixed intervals.
     Cbr {

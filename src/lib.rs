@@ -58,5 +58,6 @@ pub use bcp_power as power;
 pub use bcp_radio as radio;
 pub use bcp_sim as sim;
 pub use bcp_simnet as simnet;
+pub use bcp_snapshot as snapshot;
 pub use bcp_testbed as testbed;
 pub use bcp_traffic as traffic;

@@ -6,8 +6,11 @@
 use bcp::experiments::scale::sensor_scale;
 use bcp::net::addr::NodeId;
 use bcp::power::{Battery, PowerConfig};
-use bcp::sim::time::SimDuration;
-use bcp::simnet::{ModelKind, RunStats, Scenario, ScenarioBuilder, SleepSchedule};
+use bcp::sim::time::{SimDuration, SimTime};
+use bcp::simnet::{
+    LiveWorld, ModelKind, RunOptions, RunStats, Scenario, ScenarioBuilder, SleepSchedule,
+    TrafficPattern, World,
+};
 
 /// Every reported quantity must match bit-for-bit, floats included.
 fn assert_bit_identical(a: &RunStats, b: &RunStats, label: &str) {
@@ -70,7 +73,7 @@ fn shards_1_2_4_are_bit_identical_with_deaths_and_repair() {
 }
 
 #[test]
-fn shards_1_2_4_are_bit_identical_dual_radio() {
+fn shards_1_2_4_reach_the_same_world_state_dual_radio() {
     let build = |shards: usize| {
         Scenario::multi_hop(ModelKind::DualRadio, 8, 100, 41)
             .with_duration(SimDuration::from_secs(60))
@@ -78,9 +81,92 @@ fn shards_1_2_4_are_bit_identical_dual_radio() {
     };
     let one = build(1).run();
     assert!(one.metrics.radio_wakeups > 0, "bursts happened");
+    // Whole-world equality at the horizon is strictly stronger than
+    // comparing the reported metric stream: a `WorldState` carries every
+    // queue entry, RNG stream, radio ledger, MAC register and route
+    // table, canonicalized to be shard-count independent — if anything
+    // at all drifted, the runs were not the same machine.
+    let opts = RunOptions::default();
+    let at_horizon = |shards: usize| {
+        let mut w = World::build(&build(shards), &opts);
+        w.run_to(w.end());
+        // `.with_shards(0)` blanks the one field that legitimately
+        // differs (the partition the snapshot was taken under).
+        w.snapshot().with_shards(0)
+    };
+    let reference = at_horizon(1);
     for k in [2, 4] {
-        assert_bit_identical(&one, &build(k).run(), &format!("shards={k}"));
+        assert_eq!(
+            at_horizon(k),
+            reference,
+            "shards={k}: world state at the horizon"
+        );
     }
+}
+
+/// Strips the wall-clock `"engine":{...}` block out of
+/// [`RunStats::to_json`] — the one part of the summary that is
+/// deliberately outside the bit-identity contract.
+fn strip_engine(json: &str) -> String {
+    let start = json
+        .find("\"engine\":")
+        .expect("stats JSON has an engine block");
+    let open = json[start..].find('{').expect("engine opens") + start;
+    // The engine block is a flat object (arrays, no nested objects), so
+    // the first closing brace ends it; skip the trailing comma too.
+    let close = json[open..].find('}').expect("engine closes") + open;
+    format!("{}{}", &json[..start], &json[close + 2..])
+}
+
+#[test]
+fn snapshot_reshard_matrix_on_lpl_broadcast_with_deaths() {
+    // The checkpoint exactness matrix on the nastiest compound scenario:
+    // sink-to-all broadcast down the dissemination tree, low-power
+    // listening (per-node sleep timers and stretched preambles), and a
+    // battery death mid-run. The printed summary must be byte-identical
+    // across shard counts — and for a 1-shard snapshot taken mid-run and
+    // resumed as 4 shards — modulo the wall-clock `.engine` block.
+    let build = |shards: usize| {
+        let base = Scenario::single_hop(ModelKind::Sensor, 1, 10, 11);
+        let source = base.sink;
+        let mut s = base.with_pattern(TrafficPattern::Broadcast { source });
+        s.duration = SimDuration::from_secs(60);
+        s.rate_bps = 500.0;
+        s.low_sleep =
+            SleepSchedule::lpl(SimDuration::from_millis(100), SimDuration::from_millis(10));
+        s.power = PowerConfig::unlimited().with_node_battery(5, Battery::ideal_joules(0.05));
+        s.shards = shards;
+        s
+    };
+    let one = build(1).run();
+    assert!(one.metrics.node_deaths >= 1, "the starved node dies");
+    assert!(
+        one.metrics.delivered_packets > 0,
+        "the broadcast reaches someone"
+    );
+    let reference = strip_engine(&one.to_json());
+    for k in [2, 4] {
+        assert_eq!(
+            strip_engine(&build(k).run().to_json()),
+            reference,
+            "shards={k}: summary JSON"
+        );
+    }
+    // Checkpoint the 1-shard run before the death, restore it as 4
+    // shards, and let the death and the rest of the dissemination play
+    // out under the new partition.
+    let opts = RunOptions::default();
+    let mut lw = World::build(&build(1), &opts);
+    lw.run_to(SimTime::from_secs(10));
+    let snap = lw.snapshot();
+    let resumed = LiveWorld::restore(&snap.with_shards(4), &opts)
+        .finish()
+        .stats;
+    assert_eq!(
+        strip_engine(&resumed.to_json()),
+        reference,
+        "1-shard checkpoint resumed as 4 shards"
+    );
 }
 
 #[test]
