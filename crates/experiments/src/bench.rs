@@ -330,8 +330,13 @@ pub struct CellDelta {
     pub old_eps: Option<f64>,
     /// New events/sec (`None` when the cell vanished from the grid).
     pub new_eps: Option<f64>,
-    /// Percent change, positive = faster (`None` unless both sides exist).
+    /// Percent change, positive = faster. `None` unless both sides exist
+    /// *and* the old side is a usable (finite, nonzero) baseline — a
+    /// ratio against zero is meaningless, not infinite.
     pub delta_pct: Option<f64>,
+    /// Absolute change in events/sec (`new - old`) whenever both sides
+    /// exist — the figure a 0-baseline cell is judged on.
+    pub delta_abs: Option<f64>,
     /// Slower than the old document by more than the tolerance, or the
     /// cell vanished — either fails the comparison.
     pub regressed: bool,
@@ -339,19 +344,38 @@ pub struct CellDelta {
 
 /// Compares two cell sets by `(nodes, shards)` identity. A cell counts as
 /// regressed when its throughput dropped more than `tolerance_pct`
-/// percent, or when it exists in `old` but not in `new`.
+/// percent, or when it exists in `old` but not in `new` (vanished).
+/// Cells only in `new` are informational, never regressions. A cell whose
+/// old throughput is zero (or not finite) has no meaningful percentage;
+/// it is compared on absolute events/sec and cannot regress — any
+/// measured throughput is at least the zero baseline.
 pub fn compare(old: &[BenchCell], new: &[BenchCell], tolerance_pct: f64) -> Vec<CellDelta> {
     let mut deltas = Vec::new();
     for o in old {
         let n = new
             .iter()
             .find(|c| c.nodes == o.nodes && c.shards == o.shards);
-        let (new_eps, delta_pct) = match n {
-            Some(n) => {
+        let baseline_usable = o.events_per_sec.is_finite() && o.events_per_sec > 0.0;
+        let (new_eps, delta_pct, delta_abs) = match n {
+            Some(n) if baseline_usable => {
                 let pct = (n.events_per_sec / o.events_per_sec - 1.0) * 100.0;
-                (Some(n.events_per_sec), Some(pct))
+                (
+                    Some(n.events_per_sec),
+                    Some(pct),
+                    Some(n.events_per_sec - o.events_per_sec),
+                )
             }
-            None => (None, None),
+            Some(n) => (
+                Some(n.events_per_sec),
+                None,
+                Some(n.events_per_sec - o.events_per_sec),
+            ),
+            None => (None, None, None),
+        };
+        let regressed = match (n, delta_pct) {
+            (None, _) => true, // vanished: the cell can no longer be verified
+            (Some(_), Some(p)) => p < -tolerance_pct,
+            (Some(_), None) => false, // 0-baseline: nothing to drop below
         };
         deltas.push(CellDelta {
             nodes: o.nodes,
@@ -359,7 +383,8 @@ pub fn compare(old: &[BenchCell], new: &[BenchCell], tolerance_pct: f64) -> Vec<
             old_eps: Some(o.events_per_sec),
             new_eps,
             delta_pct,
-            regressed: delta_pct.map_or(true, |p| p < -tolerance_pct),
+            delta_abs,
+            regressed,
         });
     }
     for n in new {
@@ -373,6 +398,7 @@ pub fn compare(old: &[BenchCell], new: &[BenchCell], tolerance_pct: f64) -> Vec<
                 old_eps: None,
                 new_eps: Some(n.events_per_sec),
                 delta_pct: None,
+                delta_abs: None,
                 regressed: false, // a grown grid is not a regression
             });
         }
@@ -385,7 +411,7 @@ pub fn compare(old: &[BenchCell], new: &[BenchCell], tolerance_pct: f64) -> Vec<
 pub fn render_compare(deltas: &[CellDelta], tolerance_pct: f64) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:>7} {:>7} {:>14} {:>14} {:>9}  verdict (tolerance {tolerance_pct}%)\n",
+        "{:>7} {:>7} {:>14} {:>14} {:>12}  verdict (tolerance {tolerance_pct}%)\n",
         "nodes", "shards", "old ev/s", "new ev/s", "delta"
     ));
     let eps = |v: Option<f64>| match v {
@@ -393,19 +419,24 @@ pub fn render_compare(deltas: &[CellDelta], tolerance_pct: f64) -> String {
         None => "-".into(),
     };
     for d in deltas {
-        let delta = match d.delta_pct {
-            Some(p) => format!("{p:+.1}%"),
-            None => "-".into(),
+        let delta = match (d.delta_pct, d.delta_abs) {
+            (Some(p), _) => format!("{p:+.1}%"),
+            (None, Some(a)) => format!("{a:+.0} ev/s"),
+            (None, None) => "-".into(),
         };
-        let verdict = if d.regressed {
+        let verdict = if d.new_eps.is_none() {
+            "VANISHED"
+        } else if d.regressed {
             "REGRESSED"
-        } else if d.delta_pct.is_none() {
+        } else if d.old_eps.is_none() {
             "new cell"
+        } else if d.delta_pct.is_none() {
+            "0-baseline"
         } else {
             "ok"
         };
         out.push_str(&format!(
-            "{:>7} {:>7} {:>14} {:>14} {:>9}  {}\n",
+            "{:>7} {:>7} {:>14} {:>14} {:>12}  {}\n",
             d.nodes,
             d.shards,
             eps(d.old_eps),
@@ -533,5 +564,54 @@ mod tests {
         let deltas = compare(&old, &[], 10.0);
         assert_eq!(deltas.len(), 1);
         assert!(deltas[0].regressed, "a vanished cell cannot be verified");
+        let table = render_compare(&deltas, 10.0);
+        assert!(
+            table.contains("VANISHED"),
+            "a vanished cell is named as such, not lumped with slowdowns: {table}"
+        );
+    }
+
+    #[test]
+    fn compare_survives_a_zero_throughput_baseline() {
+        let old = vec![cell(256, 1, 0.0)];
+        let new = vec![cell(256, 1, 500.0)];
+        let deltas = compare(&old, &new, 10.0);
+        assert_eq!(deltas.len(), 1);
+        let d = &deltas[0];
+        assert!(
+            d.delta_pct.is_none(),
+            "no percentage against a zero baseline"
+        );
+        assert_eq!(d.delta_abs, Some(500.0), "judged on absolute ev/s instead");
+        assert!(!d.regressed, "nothing can drop below a zero baseline");
+        let table = render_compare(&deltas, 10.0);
+        assert!(
+            !table.contains("NaN") && !table.contains("inf"),
+            "no NaN/inf leaks into the table: {table}"
+        );
+        assert!(table.contains("0-baseline"), "verdict names the case");
+        assert!(table.contains("+500 ev/s"), "delta renders absolutely");
+        // A non-finite baseline (a hand-edited or corrupt document) takes
+        // the same absolute path rather than poisoning the verdict.
+        let old = vec![cell(256, 1, f64::NAN)];
+        let deltas = compare(&old, &new, 10.0);
+        assert!(deltas[0].delta_pct.is_none() && !deltas[0].regressed);
+    }
+
+    #[test]
+    fn compare_reports_one_sided_cells_symmetrically() {
+        let both = vec![cell(256, 1, 1000.0)];
+        let extra = vec![cell(256, 1, 1000.0), cell(1024, 4, 500.0)];
+        // Cell only in `new`: informational, never a regression.
+        let grown = compare(&both, &extra, 10.0);
+        let new_only = grown.iter().find(|d| d.nodes == 1024).expect("new cell");
+        assert!(!new_only.regressed && new_only.old_eps.is_none());
+        assert!(render_compare(&grown, 10.0).contains("new cell"));
+        // The same cell only in `old`: a failure, named VANISHED.
+        let shrunk = compare(&extra, &both, 10.0);
+        let old_only = shrunk.iter().find(|d| d.nodes == 1024).expect("old cell");
+        assert!(old_only.regressed && old_only.new_eps.is_none());
+        let table = render_compare(&shrunk, 10.0);
+        assert!(table.contains("VANISHED") && !table.contains("REGRESSED"));
     }
 }

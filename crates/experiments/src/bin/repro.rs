@@ -15,6 +15,12 @@
 //!               [--max-interleavings <n>] [--max-steps <n>]
 //! repro bench [--quick|--full] [--out <file>]
 //! repro bench --compare <old.json> <new.json> [--tolerance <pct>]
+//! repro serve [--store <dir>] [--sock <path>] [--grid <secs>] [--budget <n>]
+//! repro submit <file.scn|file.sweep> [--sock <path>]
+//!              [--test|--quick|--paper-lite|--paper]
+//! repro status [--sock <path>]
+//! repro watch <job> [--sock <path>]
+//! repro shutdown [--sock <path>]
 //! ```
 //!
 //! * `repro <id>` prints the gnuplot-ready text rendering; `--json` emits
@@ -50,6 +56,14 @@
 //!   grid; `--full` runs the whole matrix. `--compare` instead diffs two
 //!   checked-in documents cell by cell and exits nonzero when any cell
 //!   regressed more than `--tolerance` percent (default 10).
+//! * `repro serve` runs the sweep server (see the README's "Sweep
+//!   server" section): submissions land in a content-addressed result
+//!   cache under `--store`, long cells checkpoint on the `--grid` so a
+//!   killed server resumes them, and `repro watch <job>` streams the
+//!   per-window series samples live. `repro submit` accepts a `.scn`
+//!   file (one cell) or a `.sweep` grid file (one cell per job); the
+//!   quality flag is recorded in each cell's cache key (`--test` clamps
+//!   the horizon server-side exactly like `repro run --test`).
 
 use bcp_experiments::bench::{
     bench_fork_sweep, bench_grid, bench_json, compare, git_rev, parse_bench, render_compare,
@@ -331,7 +345,13 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     }
-    let cli = match parse_cli(&args) {
+    if matches!(
+        args[0].as_str(),
+        "serve" | "submit" | "status" | "watch" | "shutdown"
+    ) {
+        return run_serve_cli(&args);
+    }
+    let mut cli = match parse_cli(&args) {
         Ok(cli) => cli,
         Err(e) => {
             eprintln!("{e}");
@@ -350,16 +370,19 @@ fn main() -> ExitCode {
         return run_bench(&cli);
     }
     if let Some(dir) = &cli.out_dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create {}: {e}", dir.display());
+        // Probe actual writability up front (a read-only volume passes
+        // create_dir_all), so a long run can never complete and then
+        // fail to persist.
+        if let Err(e) = bcp_snapshot::cache::ensure_writable_dir(dir) {
+            eprintln!("--out {} is not a writable directory: {e}", dir.display());
             return ExitCode::FAILURE;
         }
     }
-    if let Some(scn) = &cli.scn {
-        return run_scenario_file(scn, &cli);
+    if let Some(scn) = cli.scn.clone() {
+        return run_scenario_file(&scn, &cli);
     }
-    if let Some(ckpt) = &cli.resume {
-        return run_resume(ckpt, &cli);
+    if let Some(ckpt) = cli.resume.clone() {
+        return run_resume(&ckpt, &mut cli);
     }
     if let Some(input) = &cli.explore {
         return run_explore(input, &cli);
@@ -501,11 +524,15 @@ fn run_scenario_file(path: &Path, cli: &Cli) -> ExitCode {
     let stem = file_stem(path);
     let out = match (cli.checkpoint_every, &cli.ckpt_dir) {
         (Some(every), Some(dir)) => {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("cannot create {}: {e}", dir.display());
+            // Probe writability before building the world: a read-only
+            // or mis-permissioned directory must fail here, not at the
+            // first grid pause with the run's work already spent.
+            if let Err(e) = bcp_snapshot::cache::ensure_writable_dir(dir) {
+                eprintln!("--ckpt {} is not a writable directory: {e}", dir.display());
                 return ExitCode::FAILURE;
             }
             let every = SimDuration::from_secs_f64(every);
+            let meta = run_meta(cli);
             let mut lw = World::build(&scenario, &opts);
             // Pause on the checkpoint grid, persist, keep going: the
             // final stats are bit-identical to the uninterrupted run
@@ -514,7 +541,7 @@ fn run_scenario_file(path: &Path, cli: &Cli) -> ExitCode {
                 let t = lw.time() + every;
                 lw.run_to(t);
                 let file = dir.join(format!("{stem}-{}s.ckpt", t.as_secs_f64()));
-                if let Err(e) = bcp_snapshot::save(&file, &lw.snapshot()) {
+                if let Err(e) = bcp_snapshot::save_with_meta(&file, &lw.snapshot(), &meta) {
                     eprintln!("cannot write checkpoint {}: {e}", file.display());
                     return ExitCode::FAILURE;
                 }
@@ -536,14 +563,24 @@ fn run_scenario_file(path: &Path, cli: &Cli) -> ExitCode {
 /// finish, print the run's `RunStats` JSON. Trace/series files are opened
 /// in append mode so a resume continues the original run's streams
 /// without re-emitting anything from before the checkpoint.
-fn run_resume(path: &Path, cli: &Cli) -> ExitCode {
-    let state = match bcp_snapshot::load(path) {
+///
+/// The checkpoint records the original run's series interval and trace
+/// filter ([`bcp_snapshot::RunMeta`]); flags that contradict the recorded
+/// values are rejected (a silently different interval or filter would
+/// make the appended stream incoherent with the pre-checkpoint part),
+/// and unset flags inherit them.
+fn run_resume(path: &Path, cli: &mut Cli) -> ExitCode {
+    let (state, meta) = match bcp_snapshot::load_with_meta(path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{}: {e}", path.display());
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = reconcile_resume_meta(cli, &meta) {
+        eprintln!("{}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
     let state = match cli.shards {
         Some(n) => state.with_shards(n),
         None => state,
@@ -649,6 +686,91 @@ fn load_explore_state(path: &Path, cli: &Cli) -> Result<WorldState, String> {
     Ok(lw.snapshot())
 }
 
+/// Reconciles resume-time flags against the checkpoint's recorded
+/// [`bcp_snapshot::RunMeta`]: explicit contradictions are errors, unset
+/// flags inherit the recorded values, and a resume that silently drops a
+/// recorded stream gets a warning (the combined NDJSON file would stop at
+/// the checkpoint).
+fn reconcile_resume_meta(cli: &mut Cli, meta: &bcp_snapshot::RunMeta) -> Result<(), String> {
+    match (meta.series_every, &cli.series) {
+        (Some(rec), Some(_)) => match cli.series_every {
+            Some(req) if SimDuration::from_secs_f64(req) != rec => {
+                return Err(format!(
+                    "checkpoint recorded --series-every {} but the resume asked for {req}; \
+                     the appended samples would not telescope onto the original stream \
+                     (drop --series-every to inherit, or re-run from the scenario)",
+                    rec.as_secs_f64()
+                ));
+            }
+            Some(_) => {}
+            None => {
+                eprintln!(
+                    "  inheriting --series-every {} from the checkpoint",
+                    rec.as_secs_f64()
+                );
+                cli.series_every = Some(rec.as_secs_f64());
+            }
+        },
+        (Some(rec), None) => eprintln!(
+            "  note: the original run sampled series every {rec}; resuming without \
+             --series leaves that stream truncated at the checkpoint"
+        ),
+        (None, _) => {}
+    }
+    if meta.trace {
+        if cli.trace.is_some() {
+            let recorded: Vec<TraceCat> = meta
+                .trace_filter
+                .iter()
+                .filter_map(|l| TraceCat::parse(l))
+                .collect();
+            if cli.trace_filter.is_empty() && !recorded.is_empty() {
+                eprintln!(
+                    "  inheriting --trace-filter {} from the checkpoint",
+                    meta.trace_filter.join(",")
+                );
+                cli.trace_filter = recorded;
+            } else if !cli.trace_filter.is_empty() && cli.trace_filter != recorded {
+                return Err(format!(
+                    "checkpoint recorded --trace-filter {} but the resume asked for {}; \
+                     the appended records would not match the original stream \
+                     (drop --trace-filter to inherit)",
+                    if meta.trace_filter.is_empty() {
+                        "<all>".to_string()
+                    } else {
+                        meta.trace_filter.join(",")
+                    },
+                    cli.trace_filter
+                        .iter()
+                        .map(|c| c.label())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ));
+            }
+        } else {
+            eprintln!(
+                "  note: the original run traced; resuming without --trace leaves that \
+                 stream truncated at the checkpoint"
+            );
+        }
+    }
+    Ok(())
+}
+
+/// The recorded run metadata a `repro run` checkpoint carries: enough for
+/// `repro resume` to reject or inherit stream-shaping flags.
+fn run_meta(cli: &Cli) -> bcp_snapshot::RunMeta {
+    bcp_snapshot::RunMeta {
+        series_every: run_options(cli).series_every,
+        trace: cli.trace.is_some(),
+        trace_filter: cli
+            .trace_filter
+            .iter()
+            .map(|c| c.label().to_string())
+            .collect(),
+    }
+}
+
 /// The `RunOptions` both `run` and `resume` build from the CLI switches.
 fn run_options(cli: &Cli) -> RunOptions {
     RunOptions {
@@ -727,6 +849,158 @@ fn write_ndjson(path: &Path, text: &str, append: bool) -> std::io::Result<()> {
     }
 }
 
+/// `repro serve|submit|status|watch|shutdown`: the sweep-server side.
+/// Parsed separately from the experiment CLI — the server subcommands
+/// share none of its flags.
+fn run_serve_cli(args: &[String]) -> ExitCode {
+    match serve_cli(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve_cli(args: &[String]) -> Result<ExitCode, String> {
+    let cmd = args[0].as_str();
+    let mut store = PathBuf::from("serve-store");
+    let mut sock: Option<PathBuf> = None;
+    let mut grid = 10.0f64;
+    let mut budget = 0usize;
+    let mut quality = "quick";
+    let mut positional: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        let a = args[i].as_str();
+        match a {
+            "--store" if cmd == "serve" => {
+                i += 1;
+                store = PathBuf::from(args.get(i).ok_or("--store needs a directory")?);
+            }
+            "--sock" => {
+                i += 1;
+                sock = Some(PathBuf::from(args.get(i).ok_or("--sock needs a path")?));
+            }
+            "--grid" if cmd == "serve" => {
+                i += 1;
+                let secs = args.get(i).ok_or("--grid needs seconds")?;
+                grid = secs
+                    .parse()
+                    .map_err(|_| format!("bad --grid value {secs}"))?;
+                if grid <= 0.0 || !grid.is_finite() {
+                    return Err("--grid must be positive".into());
+                }
+            }
+            "--budget" if cmd == "serve" => {
+                i += 1;
+                let n = args.get(i).ok_or("--budget needs a thread count")?;
+                budget = n.parse().map_err(|_| format!("bad --budget value {n}"))?;
+            }
+            "--test" if cmd == "submit" => quality = "test",
+            "--quick" if cmd == "submit" => quality = "quick",
+            "--paper-lite" if cmd == "submit" => quality = "paper-lite",
+            "--paper" if cmd == "submit" => quality = "paper",
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other} for repro {cmd}"));
+            }
+            other => {
+                if positional.is_some() {
+                    return Err(format!("repro {cmd} takes at most one argument"));
+                }
+                positional = Some(other.to_string());
+            }
+        }
+        i += 1;
+    }
+    // The socket lives inside the store by default, so one `--store` (or
+    // none) is enough to pair a server with its clients.
+    let sock = sock.unwrap_or_else(|| store.join("serve.sock"));
+    match cmd {
+        "serve" => {
+            if positional.is_some() {
+                return Err("repro serve takes no positional argument".into());
+            }
+            let cfg = bcp_serve::ServeConfig {
+                store_root: store,
+                socket: sock,
+                grid: SimDuration::from_secs_f64(grid),
+                budget,
+            };
+            bcp_serve::run_server(&cfg)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "submit" => {
+            let file = positional.ok_or("repro submit needs a .scn or .sweep file")?;
+            let cells = expand_submission(Path::new(&file), quality)?;
+            eprintln!("submitting {} cell(s) from {file}...", cells.len());
+            let reply =
+                bcp_serve::client::request_line(&sock, &bcp_serve::proto::submit_line(&cells))?;
+            println!("{reply}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "status" => {
+            if positional.is_some() {
+                return Err("repro status takes no positional argument".into());
+            }
+            let reply = bcp_serve::client::request_line(&sock, &bcp_serve::proto::status_line())?;
+            println!("{reply}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "watch" => {
+            let job = positional.ok_or("repro watch needs a job id")?;
+            bcp_serve::client::watch(&sock, &job, |line| println!("{line}"))?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "shutdown" => {
+            if positional.is_some() {
+                return Err("repro shutdown takes no positional argument".into());
+            }
+            let reply = bcp_serve::client::request_line(&sock, &bcp_serve::proto::shutdown_line())?;
+            println!("{reply}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown server subcommand {other}")),
+    }
+}
+
+/// Expands a submission file into serve cells: a `.sweep` grid becomes
+/// one cell per job (canonical `.scn` text each), anything else is parsed
+/// as a single `.scn` scenario.
+fn expand_submission(path: &Path, quality: &str) -> Result<Vec<bcp_serve::CellSpec>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if path.extension().is_some_and(|x| x == "sweep") {
+        let spec = bcp_experiments::suite::parse_sweep(&text)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        return spec
+            .jobs()
+            .iter()
+            .map(|job| {
+                let scen = spec
+                    .scenario(job)
+                    .map_err(|e| format!("{}: invalid grid point: {e}", path.display()))?;
+                let scn = bcp_simnet::emit_spec(&scen)
+                    .map_err(|e| format!("{}: cell does not re-emit: {e}", path.display()))?;
+                Ok(bcp_serve::CellSpec {
+                    scn,
+                    quality: quality.to_string(),
+                    seed: job.seed,
+                })
+            })
+            .collect();
+    }
+    let scen = parse_spec(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let scn = bcp_simnet::emit_spec(&scen)
+        .map_err(|e| format!("{}: scenario does not re-emit: {e}", path.display()))?;
+    Ok(vec![bcp_serve::CellSpec {
+        scn,
+        quality: quality.to_string(),
+        seed: scen.seed,
+    }])
+}
+
 fn usage() {
     eprintln!(
         "usage: repro list\n\
@@ -741,6 +1015,12 @@ fn usage() {
          \x20      repro explore <file.scn|file.ckpt> [--warm <secs>] [--until <secs>]\n\
          \x20                [--max-interleavings <n>] [--max-steps <n>]\n\
          \x20      repro bench [--quick|--full] [--out <file>]\n\
-         \x20      repro bench --compare <old.json> <new.json> [--tolerance <pct>]"
+         \x20      repro bench --compare <old.json> <new.json> [--tolerance <pct>]\n\
+         \x20      repro serve [--store <dir>] [--sock <path>] [--grid <secs>] [--budget <n>]\n\
+         \x20      repro submit <file.scn|file.sweep> [--sock <path>]\n\
+         \x20                [--test|--quick|--paper-lite|--paper]\n\
+         \x20      repro status [--sock <path>]\n\
+         \x20      repro watch <job> [--sock <path>]\n\
+         \x20      repro shutdown [--sock <path>]"
     );
 }

@@ -309,6 +309,108 @@ pub fn sweep(hop: Hop, rate_mode: RateMode, q: Quality) -> SweepData {
     data
 }
 
+/// Parses a `.sweep` file into a [`SweepSpec`].
+///
+/// The format mirrors `.scn`: one `key = value` per line, `#` comments.
+/// Unset keys default to the paper grid at `quick` quality. Keys:
+///
+/// ```text
+/// hop       = single | multi
+/// rate      = high | low            # or rate_bps = <f64>
+/// cells     = sensor, dot11, dual:100, dual:500
+/// senders   = 5, 15, 25
+/// runs      = 3
+/// duration_s = 600
+/// ```
+pub fn parse_sweep(text: &str) -> Result<SweepSpec, String> {
+    let mut spec = SweepSpec::paper_grid(Hop::Single, RateMode::High, Quality::Quick);
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let (key, value) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .ok_or_else(|| at(format!("expected key = value, got {line:?}")))?;
+        match key {
+            "hop" => {
+                spec.hop = match value {
+                    "single" => Hop::Single,
+                    "multi" => Hop::Multi,
+                    other => return Err(at(format!("hop must be single|multi, got {other:?}"))),
+                }
+            }
+            "rate" => {
+                spec.rate_bps = match value {
+                    "high" => RateMode::High.bps(),
+                    "low" => RateMode::Low.bps(),
+                    other => return Err(at(format!("rate must be high|low, got {other:?}"))),
+                }
+            }
+            "rate_bps" => {
+                spec.rate_bps = value
+                    .parse()
+                    .map_err(|e| at(format!("bad rate_bps {value:?}: {e}")))?
+            }
+            "cells" => {
+                spec.cells = value
+                    .split(',')
+                    .map(|c| match c.trim() {
+                        "sensor" => Ok(Cell::Sensor),
+                        "dot11" => Ok(Cell::Dot11),
+                        other => match other.strip_prefix("dual:") {
+                            Some(b) => b
+                                .parse()
+                                .map(Cell::Dual)
+                                .map_err(|e| at(format!("bad burst in {other:?}: {e}"))),
+                            None => Err(at(format!(
+                                "cell must be sensor|dot11|dual:<burst>, got {other:?}"
+                            ))),
+                        },
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if spec.cells.is_empty() {
+                    return Err(at("cells must not be empty".into()));
+                }
+            }
+            "senders" => {
+                spec.sender_counts = value
+                    .split(',')
+                    .map(|n| {
+                        n.trim()
+                            .parse()
+                            .map_err(|e| at(format!("bad sender count {n:?}: {e}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if spec.sender_counts.is_empty() {
+                    return Err(at("senders must not be empty".into()));
+                }
+            }
+            "runs" => {
+                spec.runs = value
+                    .parse()
+                    .map_err(|e| at(format!("bad runs {value:?}: {e}")))?;
+                if spec.runs == 0 {
+                    return Err(at("runs must be at least 1".into()));
+                }
+            }
+            "duration_s" => {
+                let secs: f64 = value
+                    .parse()
+                    .map_err(|e| at(format!("bad duration_s {value:?}: {e}")))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(at("duration_s must be positive".into()));
+                }
+                spec.duration = SimDuration::from_secs_f64(secs);
+            }
+            other => return Err(at(format!("unknown key {other:?}"))),
+        }
+    }
+    Ok(spec)
+}
+
 /// The two offered loads of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RateMode {
@@ -471,6 +573,45 @@ mod tests {
             ..spec
         };
         assert!(bad.scenario(&bad.jobs()[0]).is_err());
+    }
+
+    #[test]
+    fn sweep_files_parse_with_defaults_and_overrides() {
+        // Empty text: the quick-quality paper grid.
+        let dflt = parse_sweep("").expect("defaults parse");
+        assert_eq!(dflt.hop, Hop::Single);
+        assert_eq!(dflt.rate_bps, RateMode::High.bps());
+        assert_eq!(dflt.runs, Quality::Quick.runs());
+        assert_eq!(dflt.cells.len(), 2 + BURSTS.len());
+        // Full override, with comments and spacing noise.
+        let spec = parse_sweep(
+            "# a small smoke sweep\n\
+             hop = multi\n\
+             rate = low   # 0.2 Kbps\n\
+             cells = sensor, dual:100\n\
+             senders = 5, 15\n\
+             runs = 2\n\
+             duration_s = 120\n",
+        )
+        .expect("overrides parse");
+        assert_eq!(spec.hop, Hop::Multi);
+        assert_eq!(spec.rate_bps, 200.0);
+        assert_eq!(spec.cells, vec![Cell::Sensor, Cell::Dual(100)]);
+        assert_eq!(spec.sender_counts, vec![5, 15]);
+        assert_eq!(spec.runs, 2);
+        assert_eq!(spec.duration, SimDuration::from_secs(120));
+        assert_eq!(spec.jobs().len(), 2 * 2 * 2);
+        // Errors carry the offending line number.
+        for (bad, needle) in [
+            ("hop = sideways\n", "line 1"),
+            ("runs = 0\n", "at least 1"),
+            ("cells = warp:9\n", "sensor|dot11|dual"),
+            ("rate = high\nnonsense\n", "line 2"),
+            ("duration_s = -5\n", "positive"),
+        ] {
+            let err = parse_sweep(bad).expect_err(bad);
+            assert!(err.contains(needle), "{bad:?} -> {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! The client side: one-shot request/reply and the streaming watch.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Sends one request line to the server at `sock` and returns the single
+/// reply line (trailing newline stripped).
+pub fn request_line(sock: &Path, line: &str) -> Result<String, String> {
+    let mut stream = UnixStream::connect(sock)
+        .map_err(|e| format!("cannot reach server at {}: {e}", sock.display()))?;
+    writeln!(stream, "{line}").map_err(|e| format!("cannot send request: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader
+        .read_line(&mut reply)
+        .map_err(|e| format!("cannot read reply: {e}"))?;
+    if reply.is_empty() {
+        return Err("server closed the connection without replying".into());
+    }
+    Ok(reply.trim_end().to_string())
+}
+
+/// Streams a job's watch events, invoking `on_line` per event line, until
+/// the server closes the stream (after the final `done` event).
+pub fn watch(sock: &Path, job: &str, mut on_line: impl FnMut(&str)) -> Result<(), String> {
+    let mut stream = UnixStream::connect(sock)
+        .map_err(|e| format!("cannot reach server at {}: {e}", sock.display()))?;
+    writeln!(stream, "{}", crate::proto::watch_line(job))
+        .map_err(|e| format!("cannot send watch request: {e}"))?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("watch stream broke: {e}"))?;
+        if line.is_empty() {
+            continue;
+        }
+        on_line(&line);
+    }
+    Ok(())
+}

@@ -1,0 +1,208 @@
+//! The wire protocol: line-delimited JSON over a Unix socket.
+//!
+//! Every request is one JSON object on one line; the server answers with
+//! one reply line (`submit`, `status`, `shutdown`) or a stream of event
+//! lines ending in a `done` event (`watch`). Replies always carry an
+//! `"ok"` field; errors are `{"ok":false,"error":"..."}`.
+//!
+//! ```text
+//! -> {"cmd":"submit","cells":[{"scn":"...","quality":"quick","seed":1},...]}
+//! <- {"ok":true,"job":"j1","cells":3,"cached":2}
+//!
+//! -> {"cmd":"status"}
+//! <- {"ok":true,"jobs":[{"job":"j1","total":3,"done":3,"cached":2,
+//!                        "running":0,"queued":0,"failed":0}]}
+//!
+//! -> {"cmd":"watch","job":"j1"}
+//! <- {"event":"sample","cell":"<hash>","data":{...}}        (repeated)
+//! <- {"event":"cell","cell":"<hash>","status":"done",...}   (repeated)
+//! <- {"event":"done","job":"j1","cells":[{"cell":"<hash>","cached":false,
+//!        "resumed":false,"stats":{...}},...]}                (then close)
+//!
+//! -> {"cmd":"shutdown"}
+//! <- {"ok":true}
+//! ```
+
+use bcp_sim::json::{escape, parse, Value};
+
+/// One submitted cell: the unit of execution and caching. `scn` should
+/// be the *canonical* emitted text (`emit_spec` output) so equivalent
+/// submissions share a cache entry; the server re-canonicalises anyway.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSpec {
+    /// The `.scn` scenario text.
+    pub scn: String,
+    /// The quality tier label (`test`, `quick`, `paper-lite`, `paper`).
+    /// `test` clamps the horizon to 60 s, exactly like `repro run --test`.
+    pub quality: String,
+    /// The run seed.
+    pub seed: u64,
+}
+
+impl CellSpec {
+    /// The cell as a JSON object (no newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"scn\":{},\"quality\":{},\"seed\":{}}}",
+            escape(&self.scn),
+            escape(&self.quality),
+            self.seed
+        )
+    }
+
+    /// Parses a cell out of a submit request's `cells` array.
+    pub fn from_value(v: &Value) -> Result<CellSpec, String> {
+        let scn = v
+            .get("scn")
+            .and_then(|x| x.as_str())
+            .ok_or("cell lacks a scn string")?
+            .to_string();
+        let quality = v
+            .get("quality")
+            .and_then(|x| x.as_str())
+            .ok_or("cell lacks a quality string")?
+            .to_string();
+        let seed = v
+            .get("seed")
+            .and_then(|x| x.as_u64())
+            .ok_or("cell lacks a seed")?;
+        Ok(CellSpec { scn, quality, seed })
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit cells as one job.
+    Submit(
+        /// The cells, in submission order.
+        Vec<CellSpec>,
+    ),
+    /// Per-job progress counts.
+    Status,
+    /// Stream one job's events until it completes.
+    Watch(
+        /// The job id (`j1`, `j2`, ...).
+        String,
+    ),
+    /// Graceful stop: running cells checkpoint at their next grid pause.
+    Shutdown,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse(line.trim()).map_err(|e| format!("bad request JSON: {e}"))?;
+    let cmd = v
+        .get("cmd")
+        .and_then(|c| c.as_str())
+        .ok_or("request lacks a cmd")?;
+    match cmd {
+        "submit" => {
+            let arr = v
+                .get("cells")
+                .and_then(|c| c.as_arr())
+                .ok_or("submit lacks a cells array")?;
+            if arr.is_empty() {
+                return Err("submit with zero cells".into());
+            }
+            let cells = arr
+                .iter()
+                .map(CellSpec::from_value)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Submit(cells))
+        }
+        "status" => Ok(Request::Status),
+        "watch" => {
+            let job = v
+                .get("job")
+                .and_then(|j| j.as_str())
+                .ok_or("watch lacks a job id")?;
+            Ok(Request::Watch(job.to_string()))
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown cmd {other}")),
+    }
+}
+
+/// The submit request line for `cells` (no newline).
+pub fn submit_line(cells: &[CellSpec]) -> String {
+    let body = cells
+        .iter()
+        .map(CellSpec::to_json)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{\"cmd\":\"submit\",\"cells\":[{body}]}}")
+}
+
+/// The status request line (no newline).
+pub fn status_line() -> String {
+    "{\"cmd\":\"status\"}".into()
+}
+
+/// The watch request line for `job` (no newline).
+pub fn watch_line(job: &str) -> String {
+    format!("{{\"cmd\":\"watch\",\"job\":{}}}", escape(job))
+}
+
+/// The shutdown request line (no newline).
+pub fn shutdown_line() -> String {
+    "{\"cmd\":\"shutdown\"}".into()
+}
+
+/// An error reply line (no newline).
+pub fn error_line(msg: &str) -> String {
+    format!("{{\"ok\":false,\"error\":{}}}", escape(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_their_builders() {
+        let cells = vec![
+            CellSpec {
+                scn: "model = sensor\nseed = 1\n".into(),
+                quality: "test".into(),
+                seed: 1,
+            },
+            CellSpec {
+                scn: "model = dot11\n# \"quoted\"\n".into(),
+                quality: "quick".into(),
+                seed: 2,
+            },
+        ];
+        match parse_request(&submit_line(&cells)).expect("submit parses") {
+            Request::Submit(back) => assert_eq!(back, cells),
+            other => panic!("wrong request {other:?}"),
+        }
+        assert_eq!(
+            parse_request(&status_line()).expect("status parses"),
+            Request::Status
+        );
+        assert_eq!(
+            parse_request(&watch_line("j7")).expect("watch parses"),
+            Request::Watch("j7".into())
+        );
+        assert_eq!(
+            parse_request(&shutdown_line()).expect("shutdown parses"),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{}").is_err(), "no cmd");
+        assert!(parse_request("{\"cmd\":\"fly\"}").is_err(), "unknown cmd");
+        assert!(
+            parse_request("{\"cmd\":\"submit\",\"cells\":[]}").is_err(),
+            "empty submit"
+        );
+        assert!(
+            parse_request("{\"cmd\":\"submit\",\"cells\":[{\"scn\":\"x\"}]}").is_err(),
+            "cell missing fields"
+        );
+        assert!(parse_request("{\"cmd\":\"watch\"}").is_err(), "no job id");
+    }
+}

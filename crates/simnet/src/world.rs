@@ -698,6 +698,34 @@ impl LiveWorld {
         crate::snapshot::restore(state, opts)
     }
 
+    /// Takes the series samples emitted so far, leaving the sampler's
+    /// grid (interval, next instant, telescoping baseline) in place — so
+    /// a caller can stream samples incrementally between [`run_to`]
+    /// segments while [`finish`] still emits exactly the remaining tail,
+    /// and a [`snapshot`] taken after a drain is unaffected (checkpoints
+    /// never carried the emitted samples, only the grid state).
+    ///
+    /// [`run_to`]: LiveWorld::run_to
+    /// [`finish`]: LiveWorld::finish
+    /// [`snapshot`]: LiveWorld::snapshot
+    pub fn drain_series(&mut self) -> Vec<crate::metrics::SeriesSample> {
+        match &mut self.control.series {
+            Some(st) => std::mem::take(&mut st.samples),
+            None => Vec::new(),
+        }
+    }
+
+    /// The next pause instant on a checkpoint grid of spacing `every`:
+    /// `min(time() + every, end())`, or `None` once the horizon is
+    /// reached — the natural loop bound for
+    /// `while let Some(t) = lw.next_grid(every) { lw.run_to(t); ... }`.
+    pub fn next_grid(&self, every: bcp_sim::time::SimDuration) -> Option<SimTime> {
+        if self.now >= self.scaf.end {
+            return None;
+        }
+        Some((self.now + every).min(self.scaf.end))
+    }
+
     fn advance(&mut self, target: SimTime) {
         let shards = std::mem::take(&mut self.shards);
         let gqueue = std::mem::replace(&mut self.gqueue, ShardQueue::new());

@@ -9,20 +9,25 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  "BCPSNAP1"
-//! 8       4     format version, little-endian u32 (currently 1)
-//! 12      n     payload: the encoded WorldState
+//! 8       4     format version, little-endian u32 (currently 2)
+//! 12      n     payload: the encoded WorldState, then (v2+) the RunMeta
 //! 12+n    8     FNV-1a-64 checksum of the payload, little-endian
 //! ```
 //!
 //! The payload encodes integers as LEB128 varints, floats as their IEEE
 //! bit patterns, and the scenario as its canonical `.scn` text (see
 //! `bcp_simnet::spec`) — so a checkpoint is self-describing: loading one
-//! needs no side-channel scenario file.
+//! needs no side-channel scenario file. Since version 2 the payload ends
+//! with a [`RunMeta`] trailer recording the run settings the world state
+//! alone cannot carry — the series interval the run was sampled under and
+//! the trace switch/filter — so a resume can detect (and refuse)
+//! conflicting CLI flags instead of silently diverging.
 //!
 //! # Version policy
 //!
-//! The version number covers the *payload encoding*. Readers reject
-//! files whose version they do not know with
+//! The version number covers the *payload encoding*. Readers accept
+//! every version they know (currently 1 and 2 — a v1 file loads with a
+//! [`RunMeta`] derived from its world state) and reject the rest with
 //! [`SnapshotError::UnsupportedVersion`] — there is no silent best-effort
 //! decoding. Any change to the encoded layout (new fields, reordered
 //! fields, changed varint widths) bumps the version; old checkpoints are
@@ -70,7 +75,11 @@ pub use bcp_simnet::snapshot::{explore, ExploreLimits, ExploreReport};
 /// The file magic.
 pub const MAGIC: [u8; 8] = *b"BCPSNAP1";
 /// The current payload format version.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
+/// The oldest payload format version this reader still accepts.
+pub const MIN_VERSION: u32 = 1;
+
+pub mod cache;
 
 // ---------------------------------------------------------------------
 // Errors
@@ -108,7 +117,8 @@ impl fmt::Display for SnapshotError {
             SnapshotError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "checkpoint format version {v} is not supported (reader knows {VERSION})"
+                    "checkpoint format version {v} is not supported \
+                     (reader knows {MIN_VERSION}..={VERSION})"
                 )
             }
             SnapshotError::ChecksumMismatch => {
@@ -157,9 +167,66 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Run settings that ride in the checkpoint next to the world state
+/// (the v2 payload trailer): the series grid the run was recorded under
+/// and the trace switch/filter. A resume that silently applied
+/// *different* values would append a non-telescoping series tail or a
+/// differently-filtered trace to the original run's output files — so
+/// these are persisted and checked, not re-trusted from the CLI.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunMeta {
+    /// The series sampling interval the run was started with, if any.
+    pub series_every: Option<SimDuration>,
+    /// Whether the run recorded a flight-recorder trace.
+    pub trace: bool,
+    /// The trace category filter, as its stable CLI labels (`pkt`,
+    /// `radio`, ...); empty = all categories.
+    pub trace_filter: Vec<String>,
+}
+
+impl RunMeta {
+    /// The meta a v1 checkpoint (which never recorded one) implies: the
+    /// series interval is recoverable from the captured sampler state,
+    /// the trace settings are unknown and default to off.
+    pub fn derived_from(state: &WorldState) -> RunMeta {
+        RunMeta {
+            series_every: state.series.as_ref().map(|s| s.every),
+            trace: false,
+            trace_filter: Vec::new(),
+        }
+    }
+}
+
+fn enc_meta(e: &mut Enc, meta: &RunMeta) {
+    e.opt(&meta.series_every, |e, d| enc_dur(e, *d));
+    e.boolean(meta.trace);
+    e.len(meta.trace_filter.len());
+    for c in &meta.trace_filter {
+        e.str(c);
+    }
+}
+
+fn dec_meta(d: &mut Dec) -> Res<RunMeta> {
+    let series_every = d.opt(dec_dur)?;
+    let trace = d.boolean()?;
+    let trace_filter = d.seq(|d| d.str())?;
+    Ok(RunMeta {
+        series_every,
+        trace,
+        trace_filter,
+    })
+}
+
 /// Serialises a snapshot into a complete checkpoint frame
-/// (magic + version + payload + checksum).
+/// (magic + version + payload + checksum) with a default [`RunMeta`]
+/// derived from the world state.
 pub fn to_bytes(state: &WorldState) -> Res<Vec<u8>> {
+    to_bytes_with_meta(state, &RunMeta::derived_from(state))
+}
+
+/// Serialises a snapshot plus its run settings into a complete
+/// checkpoint frame (magic + version + payload + checksum).
+pub fn to_bytes_with_meta(state: &WorldState, meta: &RunMeta) -> Res<Vec<u8>> {
     let spec = emit_spec(&state.scen).map_err(|e| SnapshotError::Spec(e.to_string()))?;
     // The embedded text must reproduce the scenario *exactly*: a lossy
     // embed would resume a subtly different world.
@@ -171,6 +238,7 @@ pub fn to_bytes(state: &WorldState) -> Res<Vec<u8>> {
     }
     let mut e = Enc { buf: Vec::new() };
     enc_world(&mut e, state, &spec);
+    enc_meta(&mut e, meta);
     let payload = e.buf;
     let mut out = Vec::with_capacity(payload.len() + 20);
     out.extend_from_slice(&MAGIC);
@@ -181,13 +249,22 @@ pub fn to_bytes(state: &WorldState) -> Res<Vec<u8>> {
 }
 
 /// Parses a checkpoint frame back into a snapshot, verifying magic,
-/// version and checksum before decoding.
+/// version and checksum before decoding. The run meta is dropped; see
+/// [`from_bytes_with_meta`].
 pub fn from_bytes(bytes: &[u8]) -> Res<WorldState> {
+    from_bytes_with_meta(bytes).map(|(state, _)| state)
+}
+
+/// Parses a checkpoint frame back into a snapshot plus the run settings
+/// it was recorded under, verifying magic, version and checksum before
+/// decoding. A v1 frame (no meta trailer) yields
+/// [`RunMeta::derived_from`] the decoded state.
+pub fn from_bytes_with_meta(bytes: &[u8]) -> Res<(WorldState, RunMeta)> {
     if bytes.len() < 12 || bytes[..8] != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     if bytes.len() < 20 {
@@ -203,26 +280,43 @@ pub fn from_bytes(bytes: &[u8]) -> Res<WorldState> {
         pos: 0,
     };
     let state = dec_world(&mut d)?;
+    let meta = if version >= 2 {
+        dec_meta(&mut d)?
+    } else {
+        RunMeta::derived_from(&state)
+    };
     if d.pos != d.buf.len() {
         return Err(bad(format!(
             "{} trailing bytes after the world state",
             d.buf.len() - d.pos
         )));
     }
-    Ok(state)
+    Ok((state, meta))
 }
 
-/// Writes `state` to `path` as a checkpoint file.
+/// Writes `state` to `path` as a checkpoint file, with a default
+/// [`RunMeta`] derived from the world state.
 pub fn save(path: &Path, state: &WorldState) -> Res<()> {
-    let bytes = to_bytes(state)?;
+    save_with_meta(path, state, &RunMeta::derived_from(state))
+}
+
+/// Writes `state` plus its run settings to `path` as a checkpoint file.
+pub fn save_with_meta(path: &Path, state: &WorldState, meta: &RunMeta) -> Res<()> {
+    let bytes = to_bytes_with_meta(state, meta)?;
     std::fs::write(path, bytes)?;
     Ok(())
 }
 
-/// Reads a checkpoint file written by [`save`].
+/// Reads a checkpoint file written by [`save`], dropping the run meta.
 pub fn load(path: &Path) -> Res<WorldState> {
     let bytes = std::fs::read(path)?;
     from_bytes(&bytes)
+}
+
+/// Reads a checkpoint file back into its snapshot and run settings.
+pub fn load_with_meta(path: &Path) -> Res<(WorldState, RunMeta)> {
+    let bytes = std::fs::read(path)?;
+    from_bytes_with_meta(&bytes)
 }
 
 // ---------------------------------------------------------------------
@@ -1682,6 +1776,56 @@ mod tests {
             from_bytes(&future),
             Err(SnapshotError::UnsupportedVersion(99))
         ));
+    }
+
+    #[test]
+    fn run_meta_round_trips_through_the_frame() {
+        let snap = snapshot_at(&dual_scenario(), 5);
+        let meta = RunMeta {
+            series_every: Some(SimDuration::from_secs(2)),
+            trace: true,
+            trace_filter: vec!["pkt".into(), "power".into()],
+        };
+        let bytes = to_bytes_with_meta(&snap, &meta).expect("encodes");
+        let (back, back_meta) = from_bytes_with_meta(&bytes).expect("decodes");
+        assert_eq!(snap, back);
+        assert_eq!(meta, back_meta);
+        // The meta-less entry points still work and agree.
+        assert_eq!(from_bytes(&bytes).expect("decodes"), snap);
+    }
+
+    #[test]
+    fn v1_frames_without_a_meta_trailer_still_load() {
+        // A world captured mid-series, so the derived meta has something
+        // to recover.
+        let scen = dual_scenario();
+        let mut lw = World::build(
+            &scen,
+            &RunOptions {
+                series_every: Some(SimDuration::from_secs(3)),
+                ..RunOptions::default()
+            },
+        );
+        lw.run_to(SimTime::from_secs(10));
+        let snap = lw.snapshot();
+        // Hand-frame a version-1 file: world payload only, no trailer.
+        let spec = emit_spec(&snap.scen).expect("spec emits");
+        let mut e = Enc { buf: Vec::new() };
+        enc_world(&mut e, &snap, &spec);
+        let payload = e.buf;
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&payload);
+        v1.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        let (state, meta) = from_bytes_with_meta(&v1).expect("v1 frame loads");
+        assert_eq!(state, snap);
+        assert_eq!(
+            meta.series_every,
+            Some(SimDuration::from_secs(3)),
+            "the series interval is recovered from the captured sampler"
+        );
+        assert!(!meta.trace, "v1 recorded no trace settings");
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! The sweep-server cache contract: cell keys are injective over their
+//! fields (equal cells collide, any differing field separates), and a
+//! cache hit returns bytes identical to what a cold run produces.
+
+use bcp_sim::rng::Rng;
+
+/// Strips the wall-clock `"engine":{...}` block out of a stats JSON —
+/// the one part of `RunStats` the byte-identity contract excludes.
+fn strip_engine(json: &str) -> String {
+    let start = json
+        .find("\"engine\":")
+        .expect("stats JSON has an engine block");
+    let open = json[start..].find('{').expect("engine opens") + start;
+    // The engine block is a flat object (arrays, no nested objects), so
+    // the first closing brace ends it.
+    let close = json[open..].find('}').expect("engine closes") + open;
+    format!("{}{}", &json[..start], &json[close + 2..])
+}
+use bcp_sim::time::SimDuration;
+use bcp_simnet::{emit_spec, parse_spec, ModelKind, RunOptions, ScenarioBuilder};
+use bcp_snapshot::cache::{CellKey, Store};
+
+/// A plausible-looking scenario text: the key hashes *text*, so the
+/// property needs arbitrary strings, not valid scenarios.
+fn arb_scn(rng: &mut Rng) -> String {
+    let lines = rng.range_u64(1, 8);
+    let mut s = String::new();
+    for _ in 0..lines {
+        let k = rng.range_u64(0, 4);
+        match k {
+            0 => s.push_str(&format!("seed = {}\n", rng.range_u64(1, 1000))),
+            1 => s.push_str(&format!("duration_s = {}\n", rng.range_u64(10, 5000))),
+            2 => s.push_str(&format!("# comment {}\n", rng.range_u64(0, 99))),
+            _ => s.push_str(&format!("rate_bps = {}\n", rng.range_u64(100, 4000))),
+        }
+    }
+    s
+}
+
+fn arb_key(rng: &mut Rng) -> CellKey {
+    let quality = ["test", "quick", "paper-lite", "paper"][rng.index(4)];
+    CellKey {
+        scn: arb_scn(rng),
+        quality: quality.to_string(),
+        seed: rng.range_u64(1, 10_000),
+    }
+}
+
+#[test]
+fn equal_cell_keys_hash_identically_and_any_field_change_separates() {
+    let mut rng = Rng::new(0xCACE);
+    for case in 0..200 {
+        let key = arb_key(&mut rng);
+        // A clone (a second submission of the same cell) is the same
+        // cache entry.
+        let twin = key.clone();
+        assert_eq!(key.hash_hex(), twin.hash_hex(), "case {case}");
+        assert_eq!(key.material(), twin.material(), "case {case}");
+
+        // Perturbing any single field separates the keys.
+        let mut other_scn = key.clone();
+        other_scn.scn.push_str("extra = 1\n");
+        assert_ne!(key.hash_hex(), other_scn.hash_hex(), "case {case}: scn");
+
+        let mut other_quality = key.clone();
+        other_quality.quality = if key.quality == "test" {
+            "paper".into()
+        } else {
+            "test".into()
+        };
+        assert_ne!(
+            key.hash_hex(),
+            other_quality.hash_hex(),
+            "case {case}: quality"
+        );
+
+        let mut other_seed = key.clone();
+        other_seed.seed = key.seed + 1;
+        assert_ne!(key.hash_hex(), other_seed.hash_hex(), "case {case}: seed");
+    }
+}
+
+#[test]
+fn field_values_cannot_masquerade_as_each_other() {
+    // The key material is delimited, so a crafted scn embedding the
+    // quality/seed framing of another key never collides with it.
+    let a = CellKey {
+        scn: "x\n".into(),
+        quality: "quick".into(),
+        seed: 7,
+    };
+    let b = CellKey {
+        scn: format!("{}\n", a.material()),
+        quality: "quick".into(),
+        seed: 7,
+    };
+    assert_ne!(a.hash_hex(), b.hash_hex());
+    // Moving a suffix between scn and quality changes the material.
+    let c = CellKey {
+        scn: "x\nquick".into(),
+        quality: "".into(),
+        seed: 7,
+    };
+    assert_ne!(a.hash_hex(), c.hash_hex());
+}
+
+#[test]
+fn a_cache_hit_is_byte_identical_to_a_cold_run() {
+    let scen = ScenarioBuilder::single_hop(ModelKind::Sensor, 3, 10, 42)
+        .duration(SimDuration::from_secs(30))
+        .build()
+        .expect("valid scenario");
+    let scn = emit_spec(&scen).expect("scenario re-emits");
+    let key = CellKey {
+        scn: scn.clone(),
+        quality: "quick".into(),
+        seed: scen.seed,
+    };
+
+    let root = std::env::temp_dir().join(format!("bcp-serve-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let store = Store::open(&root).expect("store opens");
+    assert!(store.lookup(&key).is_none(), "fresh store misses");
+
+    // Cold run: execute and cache the stats JSON.
+    let opts = RunOptions::default();
+    let cold = scen.run_with(&opts).stats.to_json();
+    store.insert(&key, cold.as_bytes()).expect("insert");
+
+    // Hit: the exact cold-run bytes come back.
+    let hit = store.lookup(&key).expect("cache hit");
+    assert_eq!(hit, cold.as_bytes(), "hit bytes == cold bytes");
+
+    // A re-parsed, re-emitted submission (a second client sending the
+    // same cell) builds the same key and hits the same entry.
+    let reparsed = parse_spec(&scn).expect("canonical text parses");
+    let rekey = CellKey {
+        scn: emit_spec(&reparsed).expect("re-emits"),
+        quality: "quick".into(),
+        seed: reparsed.seed,
+    };
+    assert_eq!(key.hash_hex(), rekey.hash_hex(), "canonical form is stable");
+    assert!(store.lookup(&rekey).is_some());
+
+    // And a genuinely cold second execution reproduces the bytes the
+    // cache serves — the determinism the cache's correctness rests on —
+    // modulo the wall-clock `.engine` block.
+    let cold2 = scen.run_with(&opts).stats.to_json();
+    assert_eq!(
+        strip_engine(&cold),
+        strip_engine(&cold2),
+        "cold runs are byte-identical modulo .engine"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}
