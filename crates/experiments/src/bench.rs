@@ -337,15 +337,18 @@ pub struct CellDelta {
     /// Absolute change in events/sec (`new - old`) whenever both sides
     /// exist — the figure a 0-baseline cell is judged on.
     pub delta_abs: Option<f64>,
-    /// Slower than the old document by more than the tolerance, or the
-    /// cell vanished — either fails the comparison.
+    /// Slower than the old document by more than the tolerance. Only a
+    /// cell present in *both* grids can regress; one-sided cells are
+    /// grid drift, reported separately and never a failure.
     pub regressed: bool,
 }
 
 /// Compares two cell sets by `(nodes, shards)` identity. A cell counts as
 /// regressed when its throughput dropped more than `tolerance_pct`
-/// percent, or when it exists in `old` but not in `new` (vanished).
-/// Cells only in `new` are informational, never regressions. A cell whose
+/// percent. Cells present in only one document — a baseline that
+/// predates a grid change, or a grid that grew — are *grid drift*: they
+/// carry no throughput verdict and never regress, because there is
+/// nothing to compare them against (see [`grid_drift`]). A cell whose
 /// old throughput is zero (or not finite) has no meaningful percentage;
 /// it is compared on absolute events/sec and cannot regress — any
 /// measured throughput is at least the zero baseline.
@@ -373,7 +376,7 @@ pub fn compare(old: &[BenchCell], new: &[BenchCell], tolerance_pct: f64) -> Vec<
             None => (None, None, None),
         };
         let regressed = match (n, delta_pct) {
-            (None, _) => true, // vanished: the cell can no longer be verified
+            (None, _) => false, // vanished: grid drift, not a slowdown
             (Some(_), Some(p)) => p < -tolerance_pct,
             (Some(_), None) => false, // 0-baseline: nothing to drop below
         };
@@ -407,6 +410,51 @@ pub fn compare(old: &[BenchCell], new: &[BenchCell], tolerance_pct: f64) -> Vec<
     deltas
 }
 
+/// The one-sided cells of a comparison: `(vanished, new)` — cells whose
+/// baseline predates a grid change, and cells the grid grew. Both are
+/// reported, neither is a failure; the throughput gate only covers the
+/// intersection.
+pub fn grid_drift(deltas: &[CellDelta]) -> (Vec<&CellDelta>, Vec<&CellDelta>) {
+    let vanished = deltas.iter().filter(|d| d.new_eps.is_none()).collect();
+    let fresh = deltas.iter().filter(|d| d.old_eps.is_none()).collect();
+    (vanished, fresh)
+}
+
+/// Renders the grid-drift summary line, or an empty string when the two
+/// documents cover the same grid.
+pub fn render_drift(deltas: &[CellDelta]) -> String {
+    let (vanished, fresh) = grid_drift(deltas);
+    if vanished.is_empty() && fresh.is_empty() {
+        return String::new();
+    }
+    let list = |cells: &[&CellDelta]| {
+        cells
+            .iter()
+            .map(|d| format!("{}x{}", d.nodes, d.shards))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut out = String::from("grid drift: ");
+    let mut parts = Vec::new();
+    if !vanished.is_empty() {
+        parts.push(format!(
+            "{} cell(s) only in the old grid ({})",
+            vanished.len(),
+            list(&vanished)
+        ));
+    }
+    if !fresh.is_empty() {
+        parts.push(format!(
+            "{} cell(s) only in the new grid ({})",
+            fresh.len(),
+            list(&fresh)
+        ));
+    }
+    out.push_str(&parts.join("; "));
+    out.push_str(" — not gated, only intersecting cells are\n");
+    out
+}
+
 /// Renders the delta table `compare` produced, one row per cell.
 pub fn render_compare(deltas: &[CellDelta], tolerance_pct: f64) -> String {
     let mut out = String::new();
@@ -425,11 +473,11 @@ pub fn render_compare(deltas: &[CellDelta], tolerance_pct: f64) -> String {
             (None, None) => "-".into(),
         };
         let verdict = if d.new_eps.is_none() {
-            "VANISHED"
+            "drift (vanished)"
         } else if d.regressed {
             "REGRESSED"
         } else if d.old_eps.is_none() {
-            "new cell"
+            "drift (new cell)"
         } else if d.delta_pct.is_none() {
             "0-baseline"
         } else {
@@ -559,16 +607,34 @@ mod tests {
     }
 
     #[test]
-    fn compare_fails_a_vanished_cell() {
-        let old = vec![cell(256, 1, 1000.0)];
-        let deltas = compare(&old, &[], 10.0);
-        assert_eq!(deltas.len(), 1);
-        assert!(deltas[0].regressed, "a vanished cell cannot be verified");
+    fn compare_treats_a_vanished_cell_as_drift_not_regression() {
+        // A baseline file that predates a grid change must not fail the
+        // comparison: only intersecting cells are gated.
+        let old = vec![cell(256, 1, 1000.0), cell(512, 2, 1000.0)];
+        let new = vec![cell(256, 1, 990.0)];
+        let deltas = compare(&old, &new, 10.0);
+        assert_eq!(deltas.len(), 2);
+        assert!(
+            deltas.iter().all(|d| !d.regressed),
+            "a vanished cell is grid drift, never a regression"
+        );
         let table = render_compare(&deltas, 10.0);
         assert!(
-            table.contains("VANISHED"),
-            "a vanished cell is named as such, not lumped with slowdowns: {table}"
+            table.contains("drift (vanished)"),
+            "a vanished cell is named as drift, not lumped with slowdowns: {table}"
         );
+        let (vanished, fresh) = grid_drift(&deltas);
+        assert_eq!(vanished.len(), 1);
+        assert_eq!((vanished[0].nodes, vanished[0].shards), (512, 2));
+        assert!(fresh.is_empty());
+        let drift = render_drift(&deltas);
+        assert!(drift.contains("512x2"), "drift names the cell: {drift}");
+        // Same grid on both sides: no drift line at all.
+        assert_eq!(render_drift(&compare(&new, &new, 10.0)), "");
+        // Drift and a real regression coexist: the regression still fails.
+        let slow = vec![cell(256, 1, 500.0)];
+        let deltas = compare(&old, &slow, 10.0);
+        assert!(deltas.iter().any(|d| d.regressed), "intersection is gated");
     }
 
     #[test]
@@ -606,12 +672,15 @@ mod tests {
         let grown = compare(&both, &extra, 10.0);
         let new_only = grown.iter().find(|d| d.nodes == 1024).expect("new cell");
         assert!(!new_only.regressed && new_only.old_eps.is_none());
-        assert!(render_compare(&grown, 10.0).contains("new cell"));
-        // The same cell only in `old`: a failure, named VANISHED.
+        assert!(render_compare(&grown, 10.0).contains("drift (new cell)"));
+        // The same cell only in `old`: drift too — reported, not gated.
         let shrunk = compare(&extra, &both, 10.0);
         let old_only = shrunk.iter().find(|d| d.nodes == 1024).expect("old cell");
-        assert!(old_only.regressed && old_only.new_eps.is_none());
+        assert!(!old_only.regressed && old_only.new_eps.is_none());
         let table = render_compare(&shrunk, 10.0);
-        assert!(table.contains("VANISHED") && !table.contains("REGRESSED"));
+        assert!(table.contains("drift (vanished)") && !table.contains("REGRESSED"));
+        // Both directions surface through the drift summary.
+        assert!(render_drift(&grown).contains("only in the new grid"));
+        assert!(render_drift(&shrunk).contains("only in the old grid"));
     }
 }

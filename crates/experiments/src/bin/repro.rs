@@ -67,7 +67,7 @@
 
 use bcp_experiments::bench::{
     bench_fork_sweep, bench_grid, bench_json, compare, git_rev, parse_bench, render_compare,
-    render_fork_line,
+    render_drift, render_fork_line,
 };
 use bcp_experiments::{all, find, Output, Quality, RunCtx};
 use bcp_sim::time::{SimDuration, SimTime};
@@ -461,7 +461,9 @@ fn run_bench(cli: &Cli) -> ExitCode {
 }
 
 /// `repro bench --compare`: per-cell delta table; nonzero exit on any
-/// regression beyond the tolerance.
+/// regression beyond the tolerance. Grid drift (cells present in only
+/// one document) is reported separately and never fails the gate — only
+/// cells present in both grids carry a throughput verdict.
 fn run_compare(old_path: &Path, new_path: &Path, tolerance: f64) -> ExitCode {
     let load = |path: &Path| -> Result<(String, Vec<_>, Option<_>), String> {
         let text = std::fs::read_to_string(path)
@@ -479,6 +481,7 @@ fn run_compare(old_path: &Path, new_path: &Path, tolerance: f64) -> ExitCode {
     eprintln!("comparing {old_rev} -> {new_rev}");
     let deltas = compare(&old, &new, tolerance);
     print!("{}", render_compare(&deltas, tolerance));
+    print!("{}", render_drift(&deltas));
     print!("{}", render_fork_line(old_fork.as_ref(), new_fork.as_ref()));
     if deltas.iter().any(|d| d.regressed) {
         eprintln!("FAIL: at least one cell regressed more than {tolerance}%");

@@ -136,6 +136,11 @@ pub fn all() -> Vec<Experiment> {
             run: ablations::adaptive,
         },
         Experiment {
+            id: "ablation-link-asymmetry",
+            title: "Ablation — received-power links: reach/lifetime vs shadowing sigma per class",
+            run: ablations::link_asymmetry,
+        },
+        Experiment {
             id: "lifetime",
             title: "Lifetime — time to first death vs battery capacity (finite energy)",
             run: crate::lifetime::lifetime,

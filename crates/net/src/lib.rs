@@ -8,6 +8,9 @@
 //!   multi-hop line, and random fields.
 //! * [`loss`] — channel loss processes (perfect, Bernoulli,
 //!   Gilbert–Elliott bursts).
+//! * [`propagation`] — received-power links: log-distance path loss,
+//!   per-link log-normal shadowing, and the SINR capture rule behind the
+//!   `phys = logn:…` profile.
 //! * [`routing`] — deterministic all-pairs shortest-hop routes per radio
 //!   (the paper's "two separate trees") and the learned high-radio
 //!   [`ShortcutTable`] of Section 3.
@@ -39,11 +42,13 @@
 pub mod addr;
 pub mod loss;
 pub mod partition;
+pub mod propagation;
 pub mod routing;
 pub mod topo;
 
 pub use addr::{AddrMap, HighAddr, LowAddr, NodeId};
-pub use loss::LossModel;
+pub use loss::{LossModel, LossState};
 pub use partition::Partition;
+pub use propagation::{PathLoss, PhysModel, ShadowMap};
 pub use routing::{Routes, ShortcutTable};
 pub use topo::{Position, Topology};

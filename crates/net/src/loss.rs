@@ -4,23 +4,41 @@
 //! simulation "accounts for the impact of packet losses". Collisions are
 //! modelled by the channel itself; these models add *channel-quality*
 //! losses on top: independent (Bernoulli) or bursty (Gilbert–Elliott).
+//!
+//! A [`LossModel`] is pure configuration — evaluating it never mutates
+//! it. The Gilbert–Elliott burst position lives in a separate per-link
+//! [`LossState`], owned by whoever runs the process (the simulator's
+//! channel keeps one per receiver). Keeping the Markov state out of the
+//! config enum means a `Scenario` embedding a `LossModel` compares and
+//! re-emits identically before and after a run.
 
 use bcp_sim::rng::Rng;
 
-/// Stateful per-link loss process.
+/// Per-link runtime state of a loss process: the Gilbert–Elliott burst
+/// position (`true` = currently in the bad state). The memoryless models
+/// carry no state and ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LossState {
+    /// Current Gilbert–Elliott state (`true` = bad).
+    pub in_bad: bool,
+}
+
+/// Per-link loss process configuration (immutable; see [`LossState`] for
+/// the runtime side).
 ///
 /// # Examples
 ///
 /// ```
-/// use bcp_net::loss::LossModel;
+/// use bcp_net::loss::{LossModel, LossState};
 /// use bcp_sim::rng::Rng;
 ///
 /// let mut rng = Rng::new(1);
-/// let mut perfect = LossModel::Perfect;
-/// assert!(!perfect.is_lost(&mut rng));
+/// let mut state = LossState::default();
+/// let perfect = LossModel::Perfect;
+/// assert!(!perfect.is_lost(&mut state, &mut rng));
 ///
-/// let mut lossy = LossModel::bernoulli(1.0);
-/// assert!(lossy.is_lost(&mut rng));
+/// let lossy = LossModel::bernoulli(1.0);
+/// assert!(lossy.is_lost(&mut state, &mut rng));
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub enum LossModel {
@@ -34,6 +52,7 @@ pub enum LossModel {
     },
     /// Two-state bursty channel: a good state with low loss and a bad state
     /// with high loss, switching with the given per-frame probabilities.
+    /// Every link starts in the good state.
     GilbertElliott {
         /// P(good → bad) evaluated per frame.
         p_g2b: f64,
@@ -43,8 +62,6 @@ pub enum LossModel {
         loss_good: f64,
         /// Loss probability while in the bad state.
         loss_bad: f64,
-        /// Current state (`true` = bad).
-        in_bad: bool,
     },
 }
 
@@ -62,7 +79,7 @@ impl LossModel {
         LossModel::Bernoulli { p }
     }
 
-    /// A bursty channel starting in the good state.
+    /// A bursty channel (links start in the good state).
     ///
     /// # Panics
     ///
@@ -76,12 +93,12 @@ impl LossModel {
             p_b2g,
             loss_good,
             loss_bad,
-            in_bad: false,
         }
     }
 
-    /// Evaluates the loss process for one frame; advances burst state.
-    pub fn is_lost(&mut self, rng: &mut Rng) -> bool {
+    /// Evaluates the loss process for one frame, advancing the link's
+    /// burst `state` in place. The model itself is never mutated.
+    pub fn is_lost(&self, state: &mut LossState, rng: &mut Rng) -> bool {
         match self {
             LossModel::Perfect => false,
             LossModel::Bernoulli { p } => rng.bernoulli(*p),
@@ -90,18 +107,17 @@ impl LossModel {
                 p_b2g,
                 loss_good,
                 loss_bad,
-                in_bad,
             } => {
                 // Advance the Markov chain, then sample loss in the new state.
-                let flip = if *in_bad {
+                let flip = if state.in_bad {
                     rng.bernoulli(*p_b2g)
                 } else {
                     rng.bernoulli(*p_g2b)
                 };
                 if flip {
-                    *in_bad = !*in_bad;
+                    state.in_bad = !state.in_bad;
                 }
-                let p = if *in_bad { *loss_bad } else { *loss_good };
+                let p = if state.in_bad { *loss_bad } else { *loss_good };
                 rng.bernoulli(p)
             }
         }
@@ -117,7 +133,6 @@ impl LossModel {
                 p_b2g,
                 loss_good,
                 loss_bad,
-                ..
             } => {
                 if *p_g2b == 0.0 && *p_b2g == 0.0 {
                     return *loss_good; // never leaves the initial good state
@@ -133,20 +148,24 @@ impl LossModel {
 mod tests {
     use super::*;
 
+    fn drive(m: &LossModel, seed: u64, n: usize) -> Vec<bool> {
+        let mut rng = Rng::new(seed);
+        let mut st = LossState::default();
+        (0..n).map(|_| m.is_lost(&mut st, &mut rng)).collect()
+    }
+
     #[test]
     fn perfect_never_loses() {
-        let mut rng = Rng::new(1);
-        let mut m = LossModel::Perfect;
-        assert!((0..1000).all(|_| !m.is_lost(&mut rng)));
+        let m = LossModel::Perfect;
+        assert!(drive(&m, 1, 1000).iter().all(|&l| !l));
         assert_eq!(m.mean_loss(), 0.0);
     }
 
     #[test]
     fn bernoulli_frequency_matches_p() {
-        let mut rng = Rng::new(2);
-        let mut m = LossModel::bernoulli(0.2);
+        let m = LossModel::bernoulli(0.2);
         let n = 100_000;
-        let losses = (0..n).filter(|_| m.is_lost(&mut rng)).count();
+        let losses = drive(&m, 2, n).iter().filter(|&&l| l).count();
         let freq = losses as f64 / n as f64;
         assert!((freq - 0.2).abs() < 0.01, "freq {freq}");
         assert_eq!(m.mean_loss(), 0.2);
@@ -155,8 +174,9 @@ mod tests {
     #[test]
     fn bernoulli_extremes() {
         let mut rng = Rng::new(3);
-        assert!(!LossModel::bernoulli(0.0).is_lost(&mut rng));
-        assert!(LossModel::bernoulli(1.0).is_lost(&mut rng));
+        let mut st = LossState::default();
+        assert!(!LossModel::bernoulli(0.0).is_lost(&mut st, &mut rng));
+        assert!(LossModel::bernoulli(1.0).is_lost(&mut st, &mut rng));
     }
 
     #[test]
@@ -167,10 +187,9 @@ mod tests {
 
     #[test]
     fn gilbert_elliott_long_run_rate() {
-        let mut rng = Rng::new(4);
-        let mut m = LossModel::gilbert_elliott(0.1, 0.3, 0.01, 0.5);
+        let m = LossModel::gilbert_elliott(0.1, 0.3, 0.01, 0.5);
         let n = 200_000;
-        let losses = (0..n).filter(|_| m.is_lost(&mut rng)).count();
+        let losses = drive(&m, 4, n).iter().filter(|&&l| l).count();
         let freq = losses as f64 / n as f64;
         let expect = m.mean_loss(); // 0.25·0.5 + 0.75·0.01 ≈ 0.1325
         assert!((freq - expect).abs() < 0.01, "freq {freq} vs {expect}");
@@ -180,9 +199,8 @@ mod tests {
     fn gilbert_elliott_is_bursty() {
         // Consecutive losses should be far more correlated than Bernoulli
         // at the same mean rate: compare P(loss | previous loss).
-        let mut rng = Rng::new(5);
-        let mut m = LossModel::gilbert_elliott(0.02, 0.1, 0.0, 0.9);
-        let outcomes: Vec<bool> = (0..200_000).map(|_| m.is_lost(&mut rng)).collect();
+        let m = LossModel::gilbert_elliott(0.02, 0.1, 0.0, 0.9);
+        let outcomes = drive(&m, 5, 200_000);
         let mean = outcomes.iter().filter(|&&l| l).count() as f64 / outcomes.len() as f64;
         let pairs = outcomes.windows(2).filter(|w| w[0]).count();
         let both = outcomes.windows(2).filter(|w| w[0] && w[1]).count();
@@ -191,6 +209,24 @@ mod tests {
             cond > 2.0 * mean,
             "bursty channel: P(loss|loss)={cond} should exceed 2×mean={mean}"
         );
+    }
+
+    #[test]
+    fn evaluation_never_mutates_the_model() {
+        // The config/state split's whole point: driving the process
+        // leaves the model equal to a fresh copy, with all the evolution
+        // in the caller-owned LossState.
+        let m = LossModel::gilbert_elliott(0.3, 0.3, 0.0, 1.0);
+        let pristine = m.clone();
+        let mut rng = Rng::new(6);
+        let mut st = LossState::default();
+        let mut visited_bad = false;
+        for _ in 0..10_000 {
+            m.is_lost(&mut st, &mut rng);
+            visited_bad |= st.in_bad;
+        }
+        assert_eq!(m, pristine, "the model is pure config");
+        assert!(visited_bad, "the state did evolve");
     }
 
     #[test]

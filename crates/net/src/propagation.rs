@@ -1,0 +1,291 @@
+//! Received-power propagation: log-distance path loss with per-link
+//! log-normal shadowing, and the SINR capture rule built on it.
+//!
+//! The disk model treats every link inside `range_m` as perfect and
+//! every link outside as absent. This module is the alternative the
+//! `phys = logn:…` profile switches on: each radio class's link budget
+//! (`tx_power_dbm`, `rx_sensitivity_dbm`, `noise_floor_dbm`) plus a
+//! path-loss exponent and a shadowing sigma produce a *received power*
+//! per link, and reception becomes an SINR decision — the strongest
+//! frame at a receiver survives overlap when its margin over the sum of
+//! interferers and noise clears [`CAPTURE_THRESHOLD_DB`] (the capture
+//! effect), instead of every overlap corrupting everyone.
+//!
+//! The path loss is calibrated per class so that at the profile's
+//! `range_m` the received power equals the receive sensitivity exactly:
+//! with `sigma_db = 0` the decodable set equals the disk neighbourhood,
+//! and shadowing perturbs links around that baseline. Shadowing offsets
+//! are drawn once per unordered node pair from a dedicated seeded stream
+//! in canonical pair order, so they are identical for every shard and
+//! thread count, and clamped at ±[`SHADOW_CLAMP_SIGMAS`]·σ so the
+//! audibility radius that bounds the neighbour index is finite.
+
+use crate::addr::NodeId;
+use bcp_sim::rng::Rng;
+
+/// Which physical layer a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PhysModel {
+    /// Unit-disk links: perfect inside `range_m`, absent outside, any
+    /// overlap at a receiver corrupts the locked frame.
+    #[default]
+    Disk,
+    /// Log-distance path loss with log-normal shadowing and SINR capture.
+    LogNormal {
+        /// Path-loss exponent (free space 2.0; cluttered 3–4).
+        path_loss_exp: f64,
+        /// Standard deviation of the per-link shadowing, dB.
+        sigma_db: f64,
+        /// Seed of the dedicated shadowing stream; `None` derives one
+        /// from the scenario's master seed.
+        seed: Option<u64>,
+    },
+}
+
+impl PhysModel {
+    /// `true` for the unit-disk model.
+    pub fn is_disk(&self) -> bool {
+        matches!(self, PhysModel::Disk)
+    }
+}
+
+/// Capture margin: a frame decodes through interference when its power
+/// exceeds the sum of all other audible frames plus the noise floor by
+/// this many dB (a common figure for narrowband capture-capable radios).
+pub const CAPTURE_THRESHOLD_DB: f64 = 10.0;
+
+/// Shadowing draws are clamped to ±this many sigmas. The clamp keeps the
+/// best-case link budget — and with it the audibility radius bounding
+/// the neighbour index and the conservative lookahead — finite.
+pub const SHADOW_CLAMP_SIGMAS: f64 = 3.0;
+
+/// Converts dBm to milliwatts.
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Converts milliwatts to dBm.
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    10.0 * mw.log10()
+}
+
+/// Log-distance path loss, calibrated against a link budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathLoss {
+    /// Path-loss exponent.
+    pub exp: f64,
+    /// Loss at the 1 m reference distance, dB.
+    pub ref_loss_db: f64,
+}
+
+impl PathLoss {
+    /// Calibrates the model so a receiver at exactly `range_m` sees
+    /// `rx_sensitivity_dbm`: `PL(range) = tx − sens`. With zero
+    /// shadowing the decodable neighbourhood then equals the disk
+    /// neighbourhood at `range_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the exponent and range are positive and finite and
+    /// the budget has positive headroom (`tx > sens`).
+    pub fn calibrated(exp: f64, tx_dbm: f64, rx_sensitivity_dbm: f64, range_m: f64) -> Self {
+        assert!(exp.is_finite() && exp > 0.0, "bad path-loss exponent {exp}");
+        assert!(
+            range_m.is_finite() && range_m > 0.0,
+            "bad calibration range {range_m}"
+        );
+        let headroom = tx_dbm - rx_sensitivity_dbm;
+        assert!(
+            headroom.is_finite() && headroom > 0.0,
+            "link budget has no headroom (tx {tx_dbm} dBm, sensitivity {rx_sensitivity_dbm} dBm)"
+        );
+        PathLoss {
+            exp,
+            ref_loss_db: headroom - 10.0 * exp * (range_m.max(1.0)).log10(),
+        }
+    }
+
+    /// Path loss at `d_m` metres, dB. Distances under the 1 m reference
+    /// clamp to it (the near field is not modelled).
+    pub fn loss_db(&self, d_m: f64) -> f64 {
+        self.ref_loss_db + 10.0 * self.exp * d_m.max(1.0).log10()
+    }
+
+    /// The distance at which a transmitter at `tx_dbm`, boosted by
+    /// `boost_db` (e.g. the shadowing clamp), fades to `floor_dbm` —
+    /// the audibility radius when `floor_dbm` is the noise floor.
+    pub fn radius_to(&self, tx_dbm: f64, floor_dbm: f64, boost_db: f64) -> f64 {
+        let d = 10f64.powf((tx_dbm + boost_db - floor_dbm - self.ref_loss_db) / (10.0 * self.exp));
+        d.max(1.0)
+    }
+}
+
+/// Per-link shadowing offsets (dB), one per unordered node pair,
+/// symmetric, drawn in canonical pair order from a dedicated stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShadowMap {
+    n: usize,
+    offsets: Vec<f64>,
+}
+
+impl ShadowMap {
+    /// Draws the map for `n` nodes at `sigma_db` from `rng`: pairs in
+    /// `(0,1), (0,2) … (0,n−1), (1,2) …` order, one Gaussian each,
+    /// clamped at ±[`SHADOW_CLAMP_SIGMAS`]·σ. `sigma_db = 0` draws
+    /// nothing and every offset is zero (the calibrated baseline).
+    pub fn draw(n: usize, sigma_db: f64, rng: &mut Rng) -> Self {
+        assert!(
+            sigma_db.is_finite() && sigma_db >= 0.0,
+            "bad shadowing sigma {sigma_db}"
+        );
+        let pairs = n * n.saturating_sub(1) / 2;
+        let offsets = if sigma_db == 0.0 {
+            vec![0.0; pairs]
+        } else {
+            let clamp = SHADOW_CLAMP_SIGMAS * sigma_db;
+            (0..pairs)
+                .map(|_| (sigma_db * gaussian(rng)).clamp(-clamp, clamp))
+                .collect()
+        };
+        ShadowMap { n, offsets }
+    }
+
+    /// Rebuilds a map from captured offsets (the checkpoint-restore path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset count is not `n·(n−1)/2`.
+    pub fn from_offsets(n: usize, offsets: Vec<f64>) -> Self {
+        assert_eq!(
+            offsets.len(),
+            n * n.saturating_sub(1) / 2,
+            "offset count does not match {n} nodes"
+        );
+        ShadowMap { n, offsets }
+    }
+
+    /// The raw offsets, in canonical pair order (for checkpointing).
+    pub fn offsets(&self) -> &[f64] {
+        &self.offsets
+    }
+
+    /// The shadowing offset of the `a`↔`b` link, dB. Symmetric; zero for
+    /// a node and itself.
+    pub fn offset(&self, a: NodeId, b: NodeId) -> f64 {
+        let (a, b) = (a.index(), b.index());
+        if a == b {
+            return 0.0;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        // Index of (lo, hi) in lexicographic unordered-pair order.
+        self.offsets[lo * self.n - lo * (lo + 1) / 2 + (hi - lo - 1)]
+    }
+}
+
+/// A standard normal draw (Box–Muller; two uniforms per draw, so the
+/// stream advances deterministically).
+fn gaussian(rng: &mut Rng) -> f64 {
+    let u1 = 1.0 - rng.f64(); // (0, 1]: keeps the log finite
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_sensitivity_at_range() {
+        let pl = PathLoss::calibrated(3.0, 0.0, -94.0, 40.0);
+        let rx_at_range = 0.0 - pl.loss_db(40.0);
+        assert!((rx_at_range - -94.0).abs() < 1e-9, "rx {rx_at_range}");
+        // Closer is stronger, farther is weaker, monotonically.
+        assert!(0.0 - pl.loss_db(10.0) > -94.0);
+        assert!(0.0 - pl.loss_db(80.0) < -94.0);
+    }
+
+    #[test]
+    fn radius_inverts_the_loss() {
+        let pl = PathLoss::calibrated(3.0, 0.0, -94.0, 40.0);
+        // At the sensitivity floor with no boost, the radius is the
+        // calibration range.
+        let r = pl.radius_to(0.0, -94.0, 0.0);
+        assert!((r - 40.0).abs() < 1e-9, "r {r}");
+        // A lower floor (the noise floor) and a shadowing boost both
+        // push the radius out.
+        assert!(pl.radius_to(0.0, -100.0, 0.0) > r);
+        assert!(pl.radius_to(0.0, -94.0, 6.0) > r);
+    }
+
+    #[test]
+    fn near_field_clamps_to_one_metre() {
+        let pl = PathLoss::calibrated(2.0, 0.0, -90.0, 40.0);
+        assert_eq!(pl.loss_db(0.2), pl.loss_db(1.0));
+        assert_eq!(pl.loss_db(0.0), pl.loss_db(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no headroom")]
+    fn calibration_rejects_an_upside_down_budget() {
+        let _ = PathLoss::calibrated(2.0, -94.0, 0.0, 40.0);
+    }
+
+    #[test]
+    fn dbm_mw_round_trip() {
+        for dbm in [-100.0, -30.0, 0.0, 15.0] {
+            assert!((mw_to_dbm(dbm_to_mw(dbm)) - dbm).abs() < 1e-12);
+        }
+        assert_eq!(dbm_to_mw(0.0), 1.0);
+    }
+
+    #[test]
+    fn shadow_map_is_symmetric_and_seeded() {
+        let mut rng = Rng::new(42);
+        let m = ShadowMap::draw(6, 4.0, &mut rng);
+        let mut rng2 = Rng::new(42);
+        let m2 = ShadowMap::draw(6, 4.0, &mut rng2);
+        assert_eq!(m, m2, "same seed, same map");
+        let mut nonzero = 0;
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                let o = m.offset(NodeId(a), NodeId(b));
+                assert_eq!(o, m.offset(NodeId(b), NodeId(a)), "symmetry");
+                if a == b {
+                    assert_eq!(o, 0.0, "self link");
+                } else {
+                    assert!(o.abs() <= SHADOW_CLAMP_SIGMAS * 4.0, "clamped");
+                    nonzero += usize::from(o != 0.0);
+                }
+            }
+        }
+        assert!(nonzero > 0, "sigma > 0 actually shadows");
+    }
+
+    #[test]
+    fn zero_sigma_is_the_calibrated_baseline() {
+        let mut rng = Rng::new(1);
+        let before = rng.state();
+        let m = ShadowMap::draw(5, 0.0, &mut rng);
+        assert_eq!(rng.state(), before, "no draws at sigma 0");
+        assert!(m.offsets().iter().all(|&o| o == 0.0));
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = Rng::new(7);
+        let n = 100_000;
+        let draws: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn shadow_map_round_trips_through_raw_offsets() {
+        let mut rng = Rng::new(9);
+        let m = ShadowMap::draw(8, 6.0, &mut rng);
+        let back = ShadowMap::from_offsets(8, m.offsets().to_vec());
+        assert_eq!(m, back);
+    }
+}

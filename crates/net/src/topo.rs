@@ -144,8 +144,18 @@ impl Topology {
 
     /// `true` when `b` is within `range_m` of `a` (unit-disk model; a node
     /// is never in range of itself).
+    ///
+    /// Compares *squared* distances: a grid spaced exactly at `range_m`
+    /// puts every neighbour on the boundary, and `sqrt` rounding there
+    /// could flip adjacency between platforms or opt-levels. Squared
+    /// comparison keeps the boundary a single exact float product.
     pub fn in_range(&self, a: NodeId, b: NodeId, range_m: f64) -> bool {
-        a != b && self.distance(a, b) <= range_m
+        if a == b {
+            return false;
+        }
+        let (pa, pb) = (self.position(a), self.position(b));
+        let (dx, dy) = (pa.x - pb.x, pa.y - pb.y);
+        dx * dx + dy * dy <= range_m * range_m
     }
 
     /// Ids of all nodes within `range_m` of `node`, ascending.
@@ -209,6 +219,30 @@ mod tests {
             t.neighbors_within(NodeId(2), 40.0),
             vec![NodeId(1), NodeId(3)]
         );
+    }
+
+    #[test]
+    fn knife_edge_grid_adjacency_is_deterministic() {
+        // A grid spaced exactly at the range puts every lattice neighbour
+        // on the in-range boundary. Squared-distance comparison keeps
+        // them adjacent (d² and r² are the same exact product), and the
+        // adjacency must be symmetric and identical to the closed form on
+        // every platform/opt-level.
+        for spacing in [40.0, 0.5, 37.25] {
+            let t = Topology::grid(5, spacing);
+            for a in t.nodes() {
+                for b in t.nodes() {
+                    let same = t.in_range(a, b, spacing);
+                    assert_eq!(same, t.in_range(b, a, spacing), "symmetry {a} {b}");
+                    // Lattice neighbours (Manhattan distance 1) are
+                    // exactly at range; everything else is off-boundary.
+                    let (ar, ac) = (a.0 / 5, a.0 % 5);
+                    let (br, bc) = (b.0 / 5, b.0 % 5);
+                    let lattice = ar.abs_diff(br) + ac.abs_diff(bc) == 1;
+                    assert_eq!(same, lattice, "{a}->{b} at spacing {spacing}");
+                }
+            }
+        }
     }
 
     #[test]

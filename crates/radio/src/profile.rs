@@ -63,6 +63,14 @@ pub struct RadioProfile {
     /// Fixed-duration per-frame preamble (the 802.11 PLCP preamble+header is
     /// always sent at 1 Mbps, i.e. 192 µs regardless of the data rate).
     pub preamble: SimDuration,
+    /// Transmit power at the antenna, dBm (datasheet value; not a draw).
+    pub tx_power_dbm: f64,
+    /// Receive sensitivity, dBm: the weakest signal the demodulator can
+    /// decode at this bit rate in a clean channel.
+    pub rx_sensitivity_dbm: f64,
+    /// Thermal-plus-front-end noise floor, dBm. A frame below this level is
+    /// inaudible — it neither decodes nor interferes.
+    pub noise_floor_dbm: f64,
 }
 
 impl RadioProfile {
@@ -145,6 +153,27 @@ impl RadioProfile {
         self.header_bytes = header_bytes;
         self
     }
+
+    /// Returns a copy with a different link budget (for what-if sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tx > sensitivity > noise floor` — the received-power
+    /// channel calibrates path loss from the tx−sensitivity headroom and
+    /// treats sub-noise frames as inaudible, so a non-monotone budget has
+    /// no physical reading.
+    pub fn with_link_budget(mut self, tx_dbm: f64, sens_dbm: f64, noise_dbm: f64) -> Self {
+        assert!(
+            tx_dbm > sens_dbm && sens_dbm > noise_dbm,
+            "{}: link budget must satisfy tx ({tx_dbm}) > sensitivity \
+             ({sens_dbm}) > noise floor ({noise_dbm}) dBm",
+            self.name
+        );
+        self.tx_power_dbm = tx_dbm;
+        self.rx_sensitivity_dbm = sens_dbm;
+        self.noise_floor_dbm = noise_dbm;
+        self
+    }
 }
 
 /// Derives the wake-up duration consistent with the paper's energy model:
@@ -201,6 +230,9 @@ pub fn cabletron() -> RadioProfile {
         max_payload: DOT11_PAYLOAD_BYTES,
         header_bytes: DOT11_HEADER_BYTES,
         preamble: DOT11_PLCP,
+        tx_power_dbm: 15.0,
+        rx_sensitivity_dbm: -83.0,
+        noise_floor_dbm: -96.0,
     }
 }
 
@@ -220,6 +252,9 @@ pub fn lucent_2m() -> RadioProfile {
         max_payload: DOT11_PAYLOAD_BYTES,
         header_bytes: DOT11_HEADER_BYTES,
         preamble: DOT11_PLCP,
+        tx_power_dbm: 15.0,
+        rx_sensitivity_dbm: -83.0,
+        noise_floor_dbm: -96.0,
     }
 }
 
@@ -242,6 +277,9 @@ pub fn lucent_11m() -> RadioProfile {
         max_payload: DOT11_PAYLOAD_BYTES,
         header_bytes: DOT11_HEADER_BYTES,
         preamble: DOT11_PLCP,
+        tx_power_dbm: 15.0,
+        rx_sensitivity_dbm: -76.0,
+        noise_floor_dbm: -96.0,
     }
 }
 
@@ -261,6 +299,9 @@ pub fn mica() -> RadioProfile {
         max_payload: SENSOR_PAYLOAD_BYTES,
         header_bytes: SENSOR_HEADER_BYTES,
         preamble: SimDuration::ZERO,
+        tx_power_dbm: 0.0,
+        rx_sensitivity_dbm: -98.0,
+        noise_floor_dbm: -111.0,
     }
 }
 
@@ -281,6 +322,9 @@ pub fn mica2() -> RadioProfile {
         max_payload: SENSOR_PAYLOAD_BYTES,
         header_bytes: SENSOR_HEADER_BYTES,
         preamble: SimDuration::ZERO,
+        tx_power_dbm: 0.0,
+        rx_sensitivity_dbm: -98.0,
+        noise_floor_dbm: -111.0,
     }
 }
 
@@ -301,6 +345,9 @@ pub fn micaz() -> RadioProfile {
         max_payload: SENSOR_PAYLOAD_BYTES,
         header_bytes: SENSOR_HEADER_BYTES,
         preamble: SimDuration::ZERO,
+        tx_power_dbm: 0.0,
+        rx_sensitivity_dbm: -94.0,
+        noise_floor_dbm: -105.0,
     }
 }
 
@@ -321,6 +368,9 @@ pub fn cc2420() -> RadioProfile {
         max_payload: SENSOR_PAYLOAD_BYTES,
         header_bytes: SENSOR_HEADER_BYTES,
         preamble: SimDuration::ZERO,
+        tx_power_dbm: 0.0,
+        rx_sensitivity_dbm: -94.0,
+        noise_floor_dbm: -105.0,
     }
 }
 
@@ -414,6 +464,47 @@ mod tests {
         assert_eq!(p.header_bytes, 64);
         assert!((p.e_wakeup.as_millijoules() - 2.0).abs() < 1e-12);
         assert_eq!(p.t_wakeup, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn link_budgets_are_monotone() {
+        // Every profile must satisfy tx > sensitivity > noise floor: the
+        // received-power channel calibrates path loss from the headroom
+        // and gates audibility at the noise floor.
+        for p in high_power_profiles()
+            .into_iter()
+            .chain(low_power_profiles())
+            .chain([cc2420()])
+        {
+            assert!(
+                p.tx_power_dbm > p.rx_sensitivity_dbm && p.rx_sensitivity_dbm > p.noise_floor_dbm,
+                "{}: budget not monotone",
+                p.name
+            );
+            // The SNR margin at sensitivity must clear the 10 dB capture
+            // threshold: then an interference-free frame at sensitivity
+            // decodes under the SINR rule too, and `phys = logn` with
+            // sigma 0 reproduces the disk decodable set exactly.
+            assert!(
+                p.rx_sensitivity_dbm - p.noise_floor_dbm > 10.0,
+                "{}: SNR margin at sensitivity must exceed 10 dB",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn with_link_budget_overrides() {
+        let p = micaz().with_link_budget(5.0, -90.0, -99.0);
+        assert_eq!(p.tx_power_dbm, 5.0);
+        assert_eq!(p.rx_sensitivity_dbm, -90.0);
+        assert_eq!(p.noise_floor_dbm, -99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must satisfy")]
+    fn inverted_link_budget_panics() {
+        let _ = micaz().with_link_budget(-95.0, -94.0, -100.0);
     }
 
     #[test]

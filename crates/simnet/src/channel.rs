@@ -1,9 +1,12 @@
 //! The shared medium, one instance per radio class.
 //!
-//! Unit-disk propagation; "the two radios are assumed to be operating in
-//! non-overlapping channels", so the two class instances never interact.
-//! A reception is corrupted when a second audible transmission overlaps
-//! it at the receiver (collision) or when the link-loss process says so.
+//! "The two radios are assumed to be operating in non-overlapping
+//! channels", so the two class instances never interact. Under the
+//! default unit-disk profile a reception is corrupted when a second
+//! audible transmission overlaps it at the receiver (collision) or when
+//! the link-loss process says so; under `phys = logn:…` the overlap rule
+//! becomes an SINR decision (see [`crate::shard`]) and this module also
+//! tracks the received power of every audible frame per receiver.
 //!
 //! The medium is split along the shard partition:
 //!
@@ -13,21 +16,64 @@
 //!   one reception event per *shard* (not per neighbour) and the handler
 //!   iterates its bucket in place — no per-transmission allocation.
 //! * [`Channel`] — the mutable per-receiver state (carrier counts,
-//!   reception locks, loss processes and their RNG streams). Every entry
-//!   belongs to exactly one node, so each shard owns its nodes' slots and
-//!   no state is shared between shards.
+//!   reception locks, audible powers, loss state and RNG streams). Every
+//!   entry belongs to exactly one node, so each shard owns its nodes'
+//!   slots and no state is shared between shards.
 //!
-//! Loss randomness is drawn from a *per-node* stream seeded at build
-//! time: the draw sequence at a node depends only on the frames that node
-//! hears, which the deterministic event order fixes — so loss outcomes
-//! are identical for every shard count.
+//! The loss *model* is configuration and is stored once, shared by every
+//! node; what diverges per node is the [`LossState`] (the Gilbert–Elliott
+//! good/bad flag) and the RNG stream. Loss randomness is drawn from a
+//! *per-node* stream seeded at build time: the draw sequence at a node
+//! depends only on the frames that node hears, which the deterministic
+//! event order fixes — so loss outcomes are identical for every shard
+//! count.
 
 use crate::events::TxId;
 use bcp_net::addr::NodeId;
-use bcp_net::loss::LossModel;
+use bcp_net::loss::{LossModel, LossState};
 use bcp_net::partition::Partition;
+use bcp_net::propagation::{dbm_to_mw, PathLoss, ShadowMap, CAPTURE_THRESHOLD_DB};
 use bcp_net::topo::Topology;
 use bcp_sim::rng::Rng;
+
+/// One radio class's received-power state under `phys = logn:…` (absent
+/// under the disk profile). Immutable after build; shared read-only by
+/// every shard behind an `Arc`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassPhys {
+    /// Log-distance path loss, calibrated against the class's budget.
+    pub path_loss: PathLoss,
+    /// Per-link shadowing offsets, dB.
+    pub shadow: ShadowMap,
+    /// Transmit power at the antenna, dBm.
+    pub tx_dbm: f64,
+    /// Receive sensitivity, as power (mW).
+    pub sens_mw: f64,
+    /// Noise floor, as power (mW). Audibility gate: a frame arriving
+    /// below this neither decodes nor interferes.
+    pub noise_mw: f64,
+}
+
+impl ClassPhys {
+    /// Received power of the `s → r` link, mW. Symmetric (the shadowing
+    /// is per unordered pair).
+    pub fn rx_mw(&self, topo: &Topology, s: NodeId, r: NodeId) -> f64 {
+        let d = topo.distance(s, r);
+        dbm_to_mw(self.tx_dbm - self.path_loss.loss_db(d) + self.shadow.offset(s, r))
+    }
+
+    /// The SINR decode rule: a frame at `signal_mw` decodes against
+    /// `interference_mw` of co-channel power when it clears the receive
+    /// sensitivity *and* exceeds noise-plus-interference by
+    /// [`CAPTURE_THRESHOLD_DB`]. Every profile's budget keeps an SNR
+    /// margin above the capture threshold at sensitivity, so with no
+    /// interference this reduces to the sensitivity test alone — which is
+    /// how `logn` with zero sigma reproduces the disk decodable set.
+    pub fn decodes(&self, signal_mw: f64, interference_mw: f64) -> bool {
+        signal_mw >= self.sens_mw
+            && signal_mw >= dbm_to_mw(CAPTURE_THRESHOLD_DB) * (self.noise_mw + interference_mw)
+    }
+}
 
 /// Immutable per-class adjacency, bucketed by the owning shard of each
 /// neighbour. Shared (behind an `Arc`) by all shards.
@@ -39,7 +85,10 @@ pub struct NeighborIndex {
 }
 
 impl NeighborIndex {
-    /// Builds the index for `topo` at `range_m` under `part`.
+    /// Builds the index for `topo` at `range_m` under `part`. Under a
+    /// received-power profile `range_m` is the *audibility* radius (the
+    /// distance at which even a maximally shadow-boosted frame fades
+    /// below the noise floor), not the decode range.
     pub fn new(topo: &Topology, range_m: f64, part: &Partition) -> Self {
         let k = part.k();
         let buckets = topo
@@ -76,34 +125,41 @@ impl NeighborIndex {
 }
 
 /// One shard's slice of a radio class's medium: per-receiver carrier
-/// counts, reception locks and loss processes. Indexed by global node id;
-/// a shard only ever touches the slots of nodes it owns.
+/// counts, reception locks, audible powers and loss state. Indexed by
+/// global node id; a shard only ever touches the slots of nodes it owns.
 #[derive(Debug, Clone)]
 pub struct Channel {
     /// Number of audible foreign transmissions per node.
     carrier: Vec<u32>,
     /// The frame a node's radio is locked onto, with a corruption flag.
     rx_current: Vec<Option<(TxId, bool)>>,
-    /// Per-node loss process (state diverges per node).
-    loss: Vec<LossModel>,
+    /// The loss process — configuration, shared by every node.
+    loss: LossModel,
+    /// Per-node loss state (the part that actually diverges per node).
+    loss_state: Vec<LossState>,
     /// Per-node loss randomness (streams are node-local so outcomes do
     /// not depend on the global interleaving of other nodes' frames).
     rng: Vec<Rng>,
+    /// Received power (mW) of each audible frame, per receiver. Only
+    /// maintained under a received-power profile; empty under disk.
+    audible: Vec<Vec<(TxId, f64)>>,
     /// Collisions observed (a locked frame got overlapped), for metrics.
     collisions: u64,
 }
 
 impl Channel {
-    /// Builds the medium state for `n` nodes, with each node's loss
-    /// process cloned from `loss` and its RNG stream seeded from `seeds`
-    /// (one seed per node, drawn deterministically at build time).
+    /// Builds the medium state for `n` nodes sharing the `loss` process,
+    /// with each node's RNG stream seeded from `seeds` (one seed per
+    /// node, drawn deterministically at build time).
     pub fn new(n: usize, loss: &LossModel, seeds: &[u64]) -> Self {
         assert_eq!(seeds.len(), n, "one loss seed per node");
         Channel {
             carrier: vec![0; n],
             rx_current: vec![None; n],
-            loss: vec![loss.clone(); n],
+            loss: loss.clone(),
+            loss_state: vec![LossState::default(); n],
             rng: seeds.iter().map(|&s| Rng::new(s)).collect(),
+            audible: vec![Vec::new(); n],
             collisions: 0,
         }
     }
@@ -136,6 +192,49 @@ impl Channel {
         assert!(*c > 0, "carrier underflow at {node}");
         *c -= 1;
         *c == 0
+    }
+
+    /// Records an audible frame's received power at `node` (mW). Only
+    /// called under a received-power profile, paired with `carrier_up`.
+    pub fn audible_add(&mut self, node: NodeId, tx: TxId, mw: f64) {
+        self.audible[node.index()].push((tx, mw));
+    }
+
+    /// Removes an audible frame at `node`. Returns `true` if it was
+    /// present — `false` means the frame never reached audibility there
+    /// and the caller must not touch the carrier count either.
+    pub fn audible_remove(&mut self, node: NodeId, tx: TxId) -> bool {
+        let list = &mut self.audible[node.index()];
+        match list.iter().position(|&(t, _)| t == tx) {
+            Some(i) => {
+                list.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Received power (mW) of an audible frame at `node`, if present.
+    pub fn audible_power(&self, node: NodeId, tx: TxId) -> Option<f64> {
+        self.audible[node.index()]
+            .iter()
+            .find(|&&(t, _)| t == tx)
+            .map(|&(_, mw)| mw)
+    }
+
+    /// Sum of audible powers at `node` excluding `except` (mW): the
+    /// co-channel interference a frame must be decoded against.
+    pub fn interference_mw(&self, node: NodeId, except: TxId) -> f64 {
+        self.audible[node.index()]
+            .iter()
+            .filter(|&&(t, _)| t != except)
+            .map(|&(_, mw)| mw)
+            .sum()
+    }
+
+    /// The audible frames at `node` with their powers (checkpoint path).
+    pub fn audible_of(&self, node: NodeId) -> &[(TxId, f64)] {
+        &self.audible[node.index()]
     }
 
     /// Locks `node`'s receiver onto frame `tx` (it was idle and the frame
@@ -176,11 +275,11 @@ impl Channel {
         }
     }
 
-    /// Evaluates `node`'s loss process for a frame that survived
-    /// collisions, drawing from that node's own stream.
+    /// Evaluates the loss process for a frame that survived collisions at
+    /// `node`, advancing that node's own state and stream.
     pub fn channel_loss(&mut self, node: NodeId) -> bool {
         let i = node.index();
-        self.loss[i].is_lost(&mut self.rng[i])
+        self.loss.is_lost(&mut self.loss_state[i], &mut self.rng[i])
     }
 
     /// Total collisions observed at this shard's receivers.
@@ -193,13 +292,15 @@ impl Channel {
     // ------------------------------------------------------------------
 
     /// One node's slice of the medium state, for exact checkpointing:
-    /// `(carrier count, reception lock, loss process, loss RNG state)`.
-    pub fn node_state(&self, node: NodeId) -> (u32, Option<(TxId, bool)>, LossModel, [u64; 4]) {
+    /// `(carrier count, reception lock, loss state, loss RNG state)`.
+    /// The loss *model* is configuration and lives in the scenario, not
+    /// here; audible powers are captured via [`Channel::audible_of`].
+    pub fn node_state(&self, node: NodeId) -> (u32, Option<(TxId, bool)>, LossState, [u64; 4]) {
         let i = node.index();
         (
             self.carrier[i],
             self.rx_current[i],
-            self.loss[i].clone(),
+            self.loss_state[i],
             self.rng[i].state(),
         )
     }
@@ -211,14 +312,16 @@ impl Channel {
         node: NodeId,
         carrier: u32,
         rx_current: Option<(TxId, bool)>,
-        loss: LossModel,
+        loss_state: LossState,
         rng_state: [u64; 4],
+        audible: Vec<(TxId, f64)>,
     ) {
         let i = node.index();
         self.carrier[i] = carrier;
         self.rx_current[i] = rx_current;
-        self.loss[i] = loss;
+        self.loss_state[i] = loss_state;
         self.rng[i] = Rng::from_state(rng_state);
+        self.audible[i] = audible;
     }
 
     /// Overwrites the collision counter (restore path; the counter is a
@@ -281,6 +384,22 @@ mod tests {
         let mut c = channel();
         assert!(!c.poison_rx(NodeId(0)));
         assert_eq!(c.collisions(), 0);
+    }
+
+    #[test]
+    fn audible_powers_track_and_sum() {
+        let mut c = channel();
+        let n = NodeId(2);
+        let (a, b) = (TxId::new(NodeId(0), 1), TxId::new(NodeId(1), 1));
+        c.audible_add(n, a, 4.0);
+        c.audible_add(n, b, 0.5);
+        assert_eq!(c.audible_power(n, a), Some(4.0));
+        assert_eq!(c.interference_mw(n, a), 0.5);
+        assert_eq!(c.interference_mw(n, b), 4.0);
+        assert!(c.audible_remove(n, a));
+        assert!(!c.audible_remove(n, a), "already removed");
+        assert_eq!(c.interference_mw(n, b), 0.0);
+        assert_eq!(c.audible_of(n), &[(b, 0.5)]);
     }
 
     #[test]

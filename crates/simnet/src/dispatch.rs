@@ -726,6 +726,19 @@ impl ShardState {
             return; // overlapping frames: garbage, just carrier-sense it
         };
         if now < body_start {
+            // Under a received-power profile audibility is not enough to
+            // latch on: the preamble must also decode — at or above the
+            // sensitivity and clear of whatever else is on the air (the
+            // carrier count above already rules out audible overlap, but
+            // a shadowed link can be audible yet permanently too weak).
+            if let Some(p) = &self.phys[ci] {
+                let decodable = self.chans[ci]
+                    .audible_power(node, tx)
+                    .is_some_and(|mw| p.decodes(mw, self.chans[ci].interference_mw(node, tx)));
+                if !decodable {
+                    return;
+                }
+            }
             self.chans[ci].lock_rx(node, tx);
             self.node_mut(node).low_radio.start_rx(now);
             self.power_touch(ctx, node);

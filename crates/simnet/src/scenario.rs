@@ -4,6 +4,7 @@ use bcp_core::config::BcpConfig;
 use bcp_mac::sleep::SleepSchedule;
 use bcp_net::addr::NodeId;
 use bcp_net::loss::LossModel;
+use bcp_net::propagation::PhysModel;
 use bcp_net::routing::RouteWeight;
 use bcp_net::topo::Topology;
 use bcp_power::{Battery, PowerConfig};
@@ -109,6 +110,9 @@ pub struct Scenario {
     pub loss_low: LossModel,
     /// Channel loss process on the high radio.
     pub loss_high: LossModel,
+    /// Physical link model: unit-disk (the default, the paper's setting)
+    /// or received-power with log-normal shadowing and SINR capture.
+    pub phys: PhysModel,
     /// High-radio routing mode.
     pub high_route: HighRoute,
     /// Grace period before an idle released high radio powers off.
@@ -291,6 +295,14 @@ impl Scenario {
     pub fn with_loss(mut self, low: LossModel, high: LossModel) -> Self {
         self.loss_low = low;
         self.loss_high = high;
+        self
+    }
+
+    /// Overrides the physical link model (builder style; prefer
+    /// [`ScenarioBuilder::phys`](crate::spec::ScenarioBuilder::phys),
+    /// which validates the parameters).
+    pub fn with_phys(mut self, phys: PhysModel) -> Self {
+        self.phys = phys;
         self
     }
 

@@ -15,7 +15,7 @@
 //! (one latency late, like any other cross-node signal) rather than
 //! applied to shared state in place.
 
-use crate::channel::{Channel, NeighborIndex};
+use crate::channel::{Channel, ClassPhys, NeighborIndex};
 use crate::events::{Class, Ev, GlobalEv, Payload, TxId};
 use crate::metrics::Metrics;
 use crate::node::NodeState;
@@ -99,6 +99,9 @@ pub(crate) struct ShardState {
     pub addr: Arc<bcp_net::addr::AddrMap>,
     pub part: Arc<Partition>,
     pub neigh: [Arc<NeighborIndex>; 2],
+    /// Per-class received-power state under `phys = logn:…`; `None` under
+    /// the disk profile (whose hot path stays untouched).
+    pub phys: [Option<Arc<ClassPhys>>; 2],
     /// Coordinator-published snapshot of routes/liveness/death flag.
     pub shared: Arc<SharedNet>,
     /// Global-indexed; `Some` exactly for nodes this shard owns.
@@ -696,7 +699,24 @@ impl ShardState {
             (class == Class::Low && kind == FrameKind::Data && self.scen.low_sleep.is_lpl())
                 .then(|| now + self.scen.low_sleep.tx_preamble());
         let neigh = self.neigh[ci].clone();
+        let phys = self.phys[ci].clone();
         for &r in neigh.of(sender, self.id) {
+            // Received-power gate: the neighbour index reaches out to the
+            // audibility radius, so under `logn` a listed receiver may
+            // still be out of earshot once its link's shadowing applies.
+            // An inaudible frame leaves no state at all — no carrier, no
+            // LPL entry, nothing to decode; `rx_end` mirrors this via the
+            // audible table.
+            let rx_mw = match &phys {
+                None => None,
+                Some(p) => {
+                    let mw = p.rx_mw(&self.scen.topo, sender, r);
+                    if mw < p.noise_mw {
+                        continue;
+                    }
+                    Some(mw)
+                }
+            };
             if let Some(body_start) = lpl_body_start {
                 self.lpl_audible
                     .entry(r.0)
@@ -705,12 +725,53 @@ impl ShardState {
             }
             let clean_start = !self.chans[ci].carrier_busy(r);
             let edge = self.chans[ci].carrier_up(r);
+            if let Some(mw) = rx_mw {
+                self.chans[ci].audible_add(r, tx, mw);
+            }
             let can_hear = self
                 .node(r)
                 .radio(class)
                 .map(|rd| rd.state() == RadioState::Idle)
                 .unwrap_or(false);
-            if clean_start && can_hear {
+            let lock = match (&phys, rx_mw) {
+                // Disk: a clean start at an idle radio locks; any other
+                // overlap corrupts whatever was being received (a dozing
+                // LPL receiver instead gets its chance at the next wake
+                // sample, above).
+                (None, _) => {
+                    if clean_start && can_hear {
+                        true
+                    } else {
+                        self.chans[ci].poison_rx(r);
+                        false
+                    }
+                }
+                // Received power: an SINR decision instead.
+                (Some(p), Some(mw)) => {
+                    if let Some((locked, _)) = self.chans[ci].locked_rx(r) {
+                        // Capture: the frame being received survives the
+                        // new interferer iff its margin over everything
+                        // else audible still clears the threshold. A
+                        // stronger late arrival is interference, not a
+                        // lock steal — first decodable lock wins.
+                        let survives = self.chans[ci].audible_power(r, locked).is_some_and(|s| {
+                            p.decodes(s, self.chans[ci].interference_mw(r, locked))
+                        });
+                        if !survives {
+                            self.chans[ci].poison_rx(r);
+                        }
+                        false
+                    } else {
+                        // Idle receiver: lock iff this frame decodes over
+                        // the interference already on the air (capture
+                        // onto a strong frame through weak ones). Audible
+                        // but undecodable energy still carrier-senses.
+                        can_hear && p.decodes(mw, self.chans[ci].interference_mw(r, tx))
+                    }
+                }
+                (Some(_), None) => unreachable!("inaudible frames were skipped above"),
+            };
+            if lock {
                 self.chans[ci].lock_rx(r, tx);
                 self.node_mut(r).radio_mut(class).start_rx(now);
                 self.power_touch(ctx, r);
@@ -720,12 +781,6 @@ impl ShardState {
                     from: sender.0,
                     class: trace_class(class),
                 });
-            } else {
-                // Either the receiver was locked onto another frame
-                // (collision) or it cannot decode a frame started mid-air
-                // (a dozing LPL receiver instead gets its chance at the
-                // next wake sample, above).
-                self.chans[ci].poison_rx(r);
             }
             if edge && self.radio_senses(r, class) {
                 self.mac_event(ctx, r, class, MacEvent::Carrier(true), None);
@@ -812,7 +867,13 @@ impl ShardState {
         let ci = class.index();
         let track_lpl = class == Class::Low && self.scen.low_sleep.is_lpl();
         let neigh = self.neigh[ci].clone();
+        let logn = self.phys[ci].is_some();
         for &r in neigh.of(sender, self.id) {
+            // Mirror of `rx_begin`'s audibility gate: a frame that never
+            // reached the noise floor at `r` left no state to clear.
+            if logn && !self.chans[ci].audible_remove(r, tx) {
+                continue;
+            }
             if track_lpl {
                 if let Some(v) = self.lpl_audible.get_mut(&r.0) {
                     v.retain(|(t, _)| *t != tx);

@@ -45,7 +45,7 @@ use bcp_core::sender::{BcpSender, SenderSnapshot};
 use bcp_mac::csma::{CsmaMac, MacConfig, MacSnapshot};
 use bcp_mac::types::{FrameKind, MacAddr};
 use bcp_net::addr::{AddrMap, HighAddr, LowAddr, NodeId};
-use bcp_net::loss::LossModel;
+use bcp_net::loss::LossState;
 use bcp_net::routing::{Dissemination, RouteWeight, Routes, ShortcutTable};
 use bcp_power::{BatteryModel, PowerConfig, PowerSupply};
 use bcp_radio::device::{Radio, RadioState};
@@ -84,17 +84,23 @@ pub struct RadioSnapshot {
 }
 
 /// One node's slice of one radio class's medium: carrier count,
-/// reception lock, loss process, and the node-local loss RNG stream.
+/// reception lock, loss-process state, and the node-local loss RNG
+/// stream. The loss *model* is configuration and lives in the
+/// scenario; only its per-node runtime state is captured here.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChannelSlot {
     /// Audible foreign transmissions at the pause.
     pub carrier: u32,
     /// The frame the receiver is locked onto, with its corruption flag.
     pub rx_current: Option<(TxId, bool)>,
-    /// The loss process (its state diverges per node as frames arrive).
-    pub loss: LossModel,
+    /// The loss process's per-node runtime state.
+    pub loss: LossState,
     /// The raw xoshiro state of the node's loss stream.
     pub rng: [u64; 4],
+    /// Audible transmissions with their received powers (mW), in
+    /// arrival order. Empty under the disk model, which tracks only
+    /// the carrier count.
+    pub audible: Vec<(TxId, f64)>,
 }
 
 /// One node's complete captured state, indexed by global node id.
@@ -159,6 +165,23 @@ pub struct SeriesSnapshot {
     pub prev: Cumulative,
 }
 
+/// The received-power layer's captured randomness: the per-link
+/// shadowing offsets for both radio classes and the shadow stream's
+/// post-draw RNG state. Present exactly when the scenario runs under
+/// `phys = logn`; the offsets are re-derivable from the scenario seed,
+/// but capturing them keeps the snapshot self-describing and lets the
+/// restore cross-check the rebuilt world against the captured one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShadowSnapshot {
+    /// Per-unordered-pair shadowing offsets (dB) for the low class, in
+    /// canonical (0,1),(0,2),… order.
+    pub low: Vec<f64>,
+    /// Per-unordered-pair shadowing offsets (dB) for the high class.
+    pub high: Vec<f64>,
+    /// The shadow stream's raw xoshiro state after both draws.
+    pub rng: [u64; 4],
+}
+
 /// A complete, paused simulation as plain data: the capture side of
 /// exact checkpointing. Everything is keyed by global node id or by
 /// shard-count-independent event identity, so the same `WorldState`
@@ -206,6 +229,9 @@ pub struct WorldState {
     pub dissem: Option<Dissemination>,
     /// The series sampler's grid position, when a series was recording.
     pub series: Option<SeriesSnapshot>,
+    /// Per-link shadowing offsets and the shadow RNG stream, when the
+    /// scenario runs under a received-power model.
+    pub shadow: Option<ShadowSnapshot>,
 }
 
 impl WorldState {
@@ -331,6 +357,16 @@ pub(crate) fn capture(lw: &LiveWorld) -> WorldState {
             last: st.last,
             prev: st.prev,
         }),
+        shadow: match (&scaf.phys[0], &scaf.phys[1]) {
+            (Some(low), Some(high)) => Some(ShadowSnapshot {
+                low: low.shadow.offsets().to_vec(),
+                high: high.shadow.offsets().to_vec(),
+                rng: scaf
+                    .shadow_rng_state
+                    .expect("received-power scaffold records its shadow stream"),
+            }),
+            _ => None,
+        },
     }
 }
 
@@ -352,6 +388,7 @@ fn capture_slot(c: &Channel, id: NodeId) -> ChannelSlot {
         rx_current,
         loss,
         rng,
+        audible: c.audible_of(id).to_vec(),
     }
 }
 
@@ -398,7 +435,15 @@ fn capture_node(n: &NodeState, shard: &ShardState) -> NodeSnapshot {
 /// grid position win over `opts.series_every`'s interval so the sample
 /// grid continues instead of restarting.
 pub(crate) fn restore(state: &WorldState, opts: &RunOptions) -> LiveWorld {
-    let scaf = Scaffold::new(&state.scen, opts);
+    let mut scaf = Scaffold::new(&state.scen, opts);
+    // Per-link shadowing is part of the world's identity: reinstall the
+    // captured offsets before any shard is built so every decode after
+    // the resume sees the exact link gains the first segment saw.
+    if let Some(sh) = &state.shadow {
+        scaf.restore_shadow(0, &sh.low);
+        scaf.restore_shadow(1, &sh.high);
+    }
+    let scaf = scaf;
     let scen = Arc::clone(&scaf.scen);
     let part = Arc::clone(&scaf.part);
     let n = scen.topo.len();
@@ -449,8 +494,9 @@ pub(crate) fn restore(state: &WorldState, opts: &RunOptions) -> LiveWorld {
                 snap.id,
                 slot.carrier,
                 slot.rx_current,
-                slot.loss.clone(),
+                slot.loss,
                 slot.rng,
+                slot.audible.clone(),
             );
         }
         s.nodes[snap.id.index()] = Some(restore_node(&scen, &scaf.addr, snap));

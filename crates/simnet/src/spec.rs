@@ -43,6 +43,7 @@ use bcp_core::config::BcpConfig;
 use bcp_mac::sleep::SleepSchedule;
 use bcp_net::addr::NodeId;
 use bcp_net::loss::LossModel;
+use bcp_net::propagation::PhysModel;
 use bcp_net::routing::RouteWeight;
 use bcp_net::topo::{Position, Topology};
 use bcp_power::{Battery, BatteryModel, PowerConfig};
@@ -183,6 +184,13 @@ pub enum SpecError {
     /// A broadcast or gossip pattern fixes the sender set, but `senders`
     /// was also configured — one of the two must go.
     SendersConflictWithTraffic,
+    /// A physical link model parameter is incoherent (non-positive path
+    /// loss exponent, negative shadowing sigma, or a radio profile whose
+    /// link budget cannot calibrate a path loss).
+    InvalidPhys {
+        /// What is wrong.
+        reason: String,
+    },
     /// A `.scn` line failed to parse.
     Parse {
         /// 1-based line number in the input.
@@ -295,6 +303,9 @@ impl fmt::Display for SpecError {
                 "broadcast/gossip traffic derives the sender set; drop the \
                  `senders` key (or switch to `traffic = converge`)"
             ),
+            SpecError::InvalidPhys { reason } => {
+                write!(f, "invalid phys model: {reason}")
+            }
             SpecError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
             SpecError::Unrepresentable { what } => {
                 write!(f, "not expressible in the .scn format: {what}")
@@ -340,6 +351,7 @@ pub struct ScenarioBuilder {
     burst_packets: Option<usize>,
     loss_low: LossModel,
     loss_high: LossModel,
+    phys: PhysModel,
     high_route: HighRoute,
     off_linger: SimDuration,
     traffic_cutoff: Option<SimDuration>,
@@ -379,6 +391,7 @@ impl ScenarioBuilder {
             burst_packets: None,
             loss_low: LossModel::Perfect,
             loss_high: LossModel::Perfect,
+            phys: PhysModel::Disk,
             high_route: HighRoute::Tree,
             off_linger: SimDuration::from_millis(5),
             traffic_cutoff: None,
@@ -516,6 +529,15 @@ impl ScenarioBuilder {
     pub fn loss(mut self, low: LossModel, high: LossModel) -> Self {
         self.loss_low = low;
         self.loss_high = high;
+        self
+    }
+
+    /// Physical link model: [`PhysModel::Disk`] (the default) or
+    /// received-power with log-normal shadowing. `build()` checks the
+    /// log-normal parameters and that both radios have the positive
+    /// tx−sensitivity headroom the path-loss calibration needs.
+    pub fn phys(mut self, phys: PhysModel) -> Self {
+        self.phys = phys;
         self
     }
 
@@ -799,6 +821,38 @@ impl ScenarioBuilder {
         if self.route_weight == RouteWeight::MaxMinResidual && !has_battery {
             return Err(SpecError::EnergyAwareWithoutBattery);
         }
+        if let PhysModel::LogNormal {
+            path_loss_exp,
+            sigma_db,
+            ..
+        } = self.phys
+        {
+            if !(path_loss_exp.is_finite() && path_loss_exp > 0.0) {
+                return Err(SpecError::InvalidPhys {
+                    reason: format!(
+                        "path_loss_exp must be positive and finite, got {path_loss_exp}"
+                    ),
+                });
+            }
+            if !(sigma_db.is_finite() && sigma_db >= 0.0) {
+                return Err(SpecError::InvalidPhys {
+                    reason: format!("sigma_db must be >= 0 and finite, got {sigma_db}"),
+                });
+            }
+            for (class, p) in [("low", &self.low_profile), ("high", &self.high_profile)] {
+                if p.tx_power_dbm <= p.rx_sensitivity_dbm
+                    || p.rx_sensitivity_dbm <= p.noise_floor_dbm
+                {
+                    return Err(SpecError::InvalidPhys {
+                        reason: format!(
+                            "{class} profile `{}` link budget must satisfy \
+                             tx ({}) > sensitivity ({}) > noise floor ({}) dBm",
+                            p.name, p.tx_power_dbm, p.rx_sensitivity_dbm, p.noise_floor_dbm
+                        ),
+                    });
+                }
+            }
+        }
         Ok(Scenario {
             model: self.model,
             topo: self.topo,
@@ -815,6 +869,7 @@ impl ScenarioBuilder {
             bcp,
             loss_low: self.loss_low,
             loss_high: self.loss_high,
+            phys: self.phys,
             high_route: self.high_route,
             off_linger: self.off_linger,
             traffic_cutoff: self.traffic_cutoff,
@@ -909,8 +964,9 @@ pub fn emit_spec(s: &Scenario) -> Result<String, SpecError> {
         kv("delay_bound_s", dur_s(b));
     }
     kv("min_grant_bytes", s.bcp.min_grant_bytes.to_string());
-    kv("loss_low", emit_loss(&s.loss_low)?);
-    kv("loss_high", emit_loss(&s.loss_high)?);
+    kv("loss_low", emit_loss(&s.loss_low));
+    kv("loss_high", emit_loss(&s.loss_high));
+    kv("phys", emit_phys(&s.phys));
     kv("high_route", emit_high_route(&s.high_route));
     kv("off_linger_s", dur_s(s.off_linger));
     if let Some(c) = s.traffic_cutoff {
@@ -1027,6 +1083,7 @@ pub fn parse_spec(text: &str) -> Result<Scenario, SpecError> {
             "burst_packets" => b.burst_packets = Some(p_num::<usize>(value, line_no)?),
             "loss_low" => b.loss_low = parse_loss(value, line_no)?,
             "loss_high" => b.loss_high = parse_loss(value, line_no)?,
+            "phys" => b.phys = parse_phys(value, line_no)?,
             "high_route" => b.high_route = parse_high_route(value, line_no)?,
             "off_linger_s" => b.off_linger = p_dur(value, line_no)?,
             "traffic_cutoff_s" => b.traffic_cutoff = Some(p_dur(value, line_no)?),
@@ -1356,32 +1413,25 @@ fn parse_sleep(value: &str, line: usize) -> Result<SleepSchedule, SpecError> {
     })
 }
 
-fn emit_loss(l: &LossModel) -> Result<String, SpecError> {
+fn emit_loss(l: &LossModel) -> String {
     match l {
-        LossModel::Perfect => Ok("perfect".into()),
-        LossModel::Bernoulli { p } => Ok(format!("bernoulli:{}", f(*p))),
+        LossModel::Perfect => "perfect".into(),
+        LossModel::Bernoulli { p } => format!("bernoulli:{}", f(*p)),
+        // Pure config since the LossState split: the mid-burst Markov
+        // position lives in the channel (and the snapshot), never here,
+        // so a Gilbert–Elliott model is always representable.
         LossModel::GilbertElliott {
             p_g2b,
             p_b2g,
             loss_good,
             loss_bad,
-            in_bad,
-        } => {
-            if *in_bad {
-                return Err(SpecError::Unrepresentable {
-                    what: "a Gilbert–Elliott loss process captured mid-burst \
-                           (scenario files describe fresh channels)"
-                        .into(),
-                });
-            }
-            Ok(format!(
-                "gilbert:{}:{}:{}:{}",
-                f(*p_g2b),
-                f(*p_b2g),
-                f(*loss_good),
-                f(*loss_bad)
-            ))
-        }
+        } => format!(
+            "gilbert:{}:{}:{}:{}",
+            f(*p_g2b),
+            f(*p_b2g),
+            f(*loss_good),
+            f(*loss_bad)
+        ),
     }
 }
 
@@ -1423,6 +1473,52 @@ fn parse_loss(value: &str, line: usize) -> Result<LossModel, SpecError> {
             reason: format!("unknown loss model `{value}` (perfect | bernoulli:<p> | gilbert:<…>)"),
         })
     }
+}
+
+fn emit_phys(p: &PhysModel) -> String {
+    match p {
+        PhysModel::Disk => "disk".into(),
+        PhysModel::LogNormal {
+            path_loss_exp,
+            sigma_db,
+            seed,
+        } => match seed {
+            None => format!("logn:{}/{}", f(*path_loss_exp), f(*sigma_db)),
+            Some(s) => format!("logn:{}/{}/{s}", f(*path_loss_exp), f(*sigma_db)),
+        },
+    }
+}
+
+fn parse_phys(value: &str, line: usize) -> Result<PhysModel, SpecError> {
+    if value == "disk" {
+        return Ok(PhysModel::Disk);
+    }
+    if let Some(rest) = value.strip_prefix("logn:") {
+        let parts: Vec<&str> = rest.split('/').collect();
+        let (exp, sigma, seed) = match parts.as_slice() {
+            [exp, sigma] => (*exp, *sigma, None),
+            [exp, sigma, seed] => (*exp, *sigma, Some(p_num::<u64>(seed, line)?)),
+            _ => {
+                return Err(SpecError::Parse {
+                    line,
+                    reason: format!(
+                        "expected `logn:<path_loss_exp>/<sigma_db>[/<seed>]`, got `{value}`"
+                    ),
+                })
+            }
+        };
+        return Ok(PhysModel::LogNormal {
+            path_loss_exp: p_f64(exp, line)?,
+            sigma_db: p_f64(sigma, line)?,
+            seed,
+        });
+    }
+    Err(SpecError::Parse {
+        line,
+        reason: format!(
+            "unknown phys model `{value}` (disk | logn:<path_loss_exp>/<sigma_db>[/<seed>])"
+        ),
+    })
 }
 
 fn emit_high_route(h: &HighRoute) -> String {
@@ -1678,6 +1774,65 @@ mod tests {
         s.high_profile = cabletron().with_range(100.0);
         let text = emit_spec(&s).expect("range override is expressible");
         assert!(text.contains("high_range_m = 100.0"));
+        assert_eq!(parse_spec(&text).expect("parses"), s);
+    }
+
+    #[test]
+    fn phys_round_trips_through_every_form() {
+        for phys in [
+            PhysModel::Disk,
+            PhysModel::LogNormal {
+                path_loss_exp: 3.0,
+                sigma_db: 6.5,
+                seed: None,
+            },
+            PhysModel::LogNormal {
+                path_loss_exp: 2.25,
+                sigma_db: 0.0,
+                seed: Some(42),
+            },
+        ] {
+            let s = Scenario::single_hop(ModelKind::DualRadio, 5, 100, 1).with_phys(phys);
+            let text = emit_spec(&s).expect("representable");
+            let parsed = parse_spec(&text).expect("parses");
+            assert_eq!(parsed, s, "{}", emit_phys(&phys));
+            assert_eq!(emit_spec(&parsed).expect("representable"), text);
+        }
+        assert_eq!(
+            emit_phys(&PhysModel::LogNormal {
+                path_loss_exp: 3.0,
+                sigma_db: 6.5,
+                seed: Some(7),
+            }),
+            "logn:3.0/6.5/7"
+        );
+    }
+
+    #[test]
+    fn phys_grammar_rejects_garbage_and_bad_parameters() {
+        let err = parse_spec("senders = auto:5\nphys = friis\n").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 2, .. }), "{err}");
+        let err = parse_spec("senders = auto:5\nphys = logn:3.0\n").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 2, .. }), "{err}");
+        // Parametrically wrong (but grammatical) models fail as typed
+        // build errors, not parse errors.
+        let err = parse_spec("senders = auto:5\nphys = logn:0.0/6.0\n").unwrap_err();
+        assert!(matches!(err, SpecError::InvalidPhys { .. }), "{err}");
+        let err = parse_spec("senders = auto:5\nphys = logn:3.0/-1.0\n").unwrap_err();
+        assert!(matches!(err, SpecError::InvalidPhys { .. }), "{err}");
+        assert!(err.to_string().contains("sigma_db"), "{err}");
+    }
+
+    #[test]
+    fn gilbert_loss_is_always_representable_since_the_state_split() {
+        // Before the LossState split, a mid-burst Gilbert–Elliott model
+        // made the scenario unrepresentable; now the model is pure config.
+        let s = Scenario::single_hop(ModelKind::DualRadio, 5, 100, 1).with_loss(
+            LossModel::gilbert_elliott(0.1, 0.3, 0.01, 0.5),
+            LossModel::Perfect,
+        );
+        let text = emit_spec(&s).expect("representable");
+        assert!(text.contains("loss_low = gilbert:0.1:0.3:0.01:0.5"));
         assert_eq!(parse_spec(&text).expect("parses"), s);
     }
 

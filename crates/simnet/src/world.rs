@@ -16,7 +16,7 @@
 //! of the shard count and thread count*. Sharding changes wall-clock
 //! time, never physics.
 
-use crate::channel::{Channel, NeighborIndex};
+use crate::channel::{Channel, ClassPhys, NeighborIndex};
 use crate::events::{Class, Ev, GlobalEv};
 use crate::metrics::{EngineStats, Metrics, RunStats, SeriesSample};
 use crate::node::NodeState;
@@ -27,6 +27,7 @@ use bcp_mac::csma::{CsmaMac, MacConfig};
 use bcp_mac::types::MacAddr;
 use bcp_net::addr::AddrMap;
 use bcp_net::partition::Partition;
+use bcp_net::propagation::{dbm_to_mw, PathLoss, PhysModel, ShadowMap, SHADOW_CLAMP_SIGMAS};
 use bcp_power::{BatteryModel, PowerSupply};
 use bcp_radio::device::{Radio, RadioState};
 use bcp_radio::units::Energy;
@@ -316,6 +317,7 @@ impl World {
         scen: &Scenario,
         part: &Partition,
         death_latency: SimDuration,
+        reach: &[f64; 2],
     ) -> Lookahead {
         let k = part.k();
         let global = Self::battery_possible(scen).then_some(death_latency);
@@ -327,10 +329,10 @@ impl World {
                     let Some(d) = *d else { continue };
                     let mut l: Option<SimDuration> = None;
                     let mut fold = |c: SimDuration| l = Some(l.map_or(c, |cur| cur.min(c)));
-                    if d <= scen.low_profile.range_m {
+                    if d <= reach[Class::Low.index()] {
                         fold(scen.link_latency(Class::Low));
                     }
-                    if scen.model != ModelKind::Sensor && d <= scen.high_profile.range_m {
+                    if scen.model != ModelKind::Sensor && d <= reach[Class::High.index()] {
                         fold(scen.link_latency(Class::High));
                     }
                     pairs[i][j] = l;
@@ -350,15 +352,16 @@ impl World {
         scen: &Scenario,
         part: &Partition,
         death_latency: SimDuration,
+        reach: &[f64; 2],
     ) -> Option<SimDuration> {
         let mut l: Option<SimDuration> = None;
         let mut fold = |d: SimDuration| l = Some(l.map_or(d, |cur| cur.min(d)));
         if part.k() > 1 {
-            if part.has_cross_links(&scen.topo, scen.low_profile.range_m) {
+            if part.has_cross_links(&scen.topo, reach[Class::Low.index()]) {
                 fold(scen.link_latency(Class::Low));
             }
             if scen.model != ModelKind::Sensor
-                && part.has_cross_links(&scen.topo, scen.high_profile.range_m)
+                && part.has_cross_links(&scen.topo, reach[Class::High.index()])
             {
                 fold(scen.link_latency(Class::High));
             }
@@ -518,6 +521,12 @@ pub(crate) struct Scaffold {
     pub(crate) part: Arc<Partition>,
     pub(crate) addr: Arc<AddrMap>,
     pub(crate) neigh: [Arc<NeighborIndex>; 2],
+    /// Per-class received-power state under `phys = logn:…`; `None` under
+    /// the disk profile.
+    pub(crate) phys: [Option<Arc<ClassPhys>>; 2],
+    /// Post-draw state of the dedicated shadowing stream (`None` under
+    /// disk) — checkpointed so the stream could be continued exactly.
+    pub(crate) shadow_rng_state: Option<[u64; 4]>,
     pub(crate) flow_dest: Arc<Vec<bcp_net::addr::NodeId>>,
     pub(crate) death_latency: SimDuration,
     pub(crate) end: SimTime,
@@ -546,15 +555,19 @@ impl Scaffold {
             Partition::strips_avoiding(&scen.topo, scen.shards, hot)
         });
         let addr = Arc::new(AddrMap::for_nodes(n));
+        // The physical reach per class bounds the neighbour index and the
+        // conservative lookahead: the profile range under disk, the
+        // audibility radius under a received-power profile.
+        let (phys, shadow_rng_state, reach) = build_phys(&scen);
         let neigh = [
             Arc::new(NeighborIndex::new(
                 &scen.topo,
-                scen.low_profile.range_m,
+                reach[Class::Low.index()],
                 &part,
             )),
             Arc::new(NeighborIndex::new(
                 &scen.topo,
-                scen.high_profile.range_m,
+                reach[Class::High.index()],
                 &part,
             )),
         ];
@@ -572,9 +585,9 @@ impl Scaffold {
             dests
         });
         let lookahead = if opts.scalar_lookahead {
-            Lookahead::from(World::lookahead(&scen, &part, death_latency))
+            Lookahead::from(World::lookahead(&scen, &part, death_latency, &reach))
         } else {
-            World::lookahead_matrix(&scen, &part, death_latency)
+            World::lookahead_matrix(&scen, &part, death_latency, &reach)
         };
         let threads = worker_count(part.k());
         Scaffold {
@@ -582,12 +595,30 @@ impl Scaffold {
             part,
             addr,
             neigh,
+            phys,
+            shadow_rng_state,
             flow_dest,
             death_latency,
             end,
             threads,
             lookahead,
         }
+    }
+
+    /// Replaces one class's shadowing offsets with checkpoint-captured
+    /// ones (the restore path stays byte-exact even if the draw procedure
+    /// ever evolves). Must run before [`Scaffold::blank_shard`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is not a received-power one.
+    pub(crate) fn restore_shadow(&mut self, class: usize, offsets: &[f64]) {
+        let p = self.phys[class]
+            .as_ref()
+            .expect("snapshot carries shadowing for a disk scenario");
+        let mut cp = ClassPhys::clone(p);
+        cp.shadow = ShadowMap::from_offsets(self.scen.topo.len(), offsets.to_vec());
+        self.phys[class] = Some(Arc::new(cp));
     }
 
     /// A shard shell: correct id and topology wiring, fresh channels, no
@@ -608,6 +639,7 @@ impl Scaffold {
             addr: Arc::clone(&self.addr),
             part: Arc::clone(&self.part),
             neigh: [Arc::clone(&self.neigh[0]), Arc::clone(&self.neigh[1])],
+            phys: [self.phys[0].clone(), self.phys[1].clone()],
             shared: Arc::clone(shared),
             nodes: (0..n).map(|_| None).collect(),
             chans: [
@@ -631,6 +663,65 @@ impl Scaffold {
             rec: trace.then(|| Box::new(Trace::unbounded())),
         }
     }
+}
+
+/// Builds the per-class received-power state from the scenario:
+/// `(state, post-draw shadowing stream, physical reach per class)`.
+///
+/// Under disk the state is absent and the reach is each profile's
+/// `range_m` — the exact inputs the pre-`phys` build used, so disk runs
+/// are bit-identical to it. Under `logn` the reach is the audibility
+/// radius (where a maximally shadow-boosted frame fades to the noise
+/// floor), and the shadowing is drawn from a *dedicated* stream — an
+/// explicit `phys` seed, or a substream of the master 2¹²⁸ steps out —
+/// so the master stream's build-time draw order is untouched and the
+/// maps are identical for every shard and thread count. Both classes
+/// draw (low first) regardless of the model, keeping the draw order
+/// model-independent.
+type PhysBuild = ([Option<Arc<ClassPhys>>; 2], Option<[u64; 4]>, [f64; 2]);
+
+fn build_phys(scen: &Scenario) -> PhysBuild {
+    let PhysModel::LogNormal {
+        path_loss_exp,
+        sigma_db,
+        seed,
+    } = scen.phys
+    else {
+        return (
+            [None, None],
+            None,
+            [scen.low_profile.range_m, scen.high_profile.range_m],
+        );
+    };
+    let mut rng = match seed {
+        Some(s) => Rng::new(s),
+        None => Rng::new(scen.seed).substream(0),
+    };
+    let n = scen.topo.len();
+    let build = |profile: &bcp_radio::profile::RadioProfile, rng: &mut Rng| {
+        let path_loss = PathLoss::calibrated(
+            path_loss_exp,
+            profile.tx_power_dbm,
+            profile.rx_sensitivity_dbm,
+            profile.range_m,
+        );
+        let reach = path_loss.radius_to(
+            profile.tx_power_dbm,
+            profile.noise_floor_dbm,
+            SHADOW_CLAMP_SIGMAS * sigma_db,
+        );
+        let cp = ClassPhys {
+            path_loss,
+            shadow: ShadowMap::draw(n, sigma_db, rng),
+            tx_dbm: profile.tx_power_dbm,
+            sens_mw: dbm_to_mw(profile.rx_sensitivity_dbm),
+            noise_mw: dbm_to_mw(profile.noise_floor_dbm),
+        };
+        (Some(Arc::new(cp)), reach)
+    };
+    let (low, low_reach) = build(&scen.low_profile, &mut rng);
+    let (high, high_reach) = build(&scen.high_profile, &mut rng);
+    ([low, high], Some(rng.state()), [low_reach, high_reach])
 }
 
 /// A built simulation paused between events. The engine can be advanced

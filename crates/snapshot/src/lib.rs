@@ -9,7 +9,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  "BCPSNAP1"
-//! 8       4     format version, little-endian u32 (currently 2)
+//! 8       4     format version, little-endian u32 (currently 3)
 //! 12      n     payload: the encoded WorldState, then (v2+) the RunMeta
 //! 12+n    8     FNV-1a-64 checksum of the payload, little-endian
 //! ```
@@ -26,8 +26,10 @@
 //! # Version policy
 //!
 //! The version number covers the *payload encoding*. Readers accept
-//! every version they know (currently 1 and 2 — a v1 file loads with a
-//! [`RunMeta`] derived from its world state) and reject the rest with
+//! every version they know (currently only 3 — version 3 split the
+//! loss model out of the channel slots into per-node [`LossState`] and
+//! added received-power audibility and shadowing, changing the slot
+//! layout) and reject the rest with
 //! [`SnapshotError::UnsupportedVersion`] — there is no silent best-effort
 //! decoding. Any change to the encoded layout (new fields, reordered
 //! fields, changed varint widths) bumps the version; old checkpoints are
@@ -49,7 +51,7 @@ use bcp_core::sender::{SenderSnapshot, SenderStats, SessStateSnapshot, SessionSn
 use bcp_mac::csma::MacSnapshot;
 use bcp_mac::types::{FrameId, FrameKind, MacAddr, MacFrame, MacStats, MacTimer};
 use bcp_net::addr::NodeId;
-use bcp_net::loss::LossModel;
+use bcp_net::loss::LossState;
 use bcp_net::routing::{Dissemination, Routes, ShortcutTable};
 use bcp_radio::device::RadioState;
 use bcp_radio::energy::EnergyBucket;
@@ -62,7 +64,7 @@ use bcp_simnet::events::{Class, Ev, GlobalEv, Payload, TxId};
 use bcp_simnet::metrics::{FlowStats, Metrics};
 use bcp_simnet::snapshot::{
     ActiveTx, ChannelSlot, Cumulative, Fate, FateMark, NodeSnapshot, RadioSnapshot, SeriesSnapshot,
-    WorldState,
+    ShadowSnapshot, WorldState,
 };
 use bcp_simnet::{emit_spec, parse_spec};
 use bcp_traffic::Workload;
@@ -75,9 +77,9 @@ pub use bcp_simnet::snapshot::{explore, ExploreLimits, ExploreReport};
 /// The file magic.
 pub const MAGIC: [u8; 8] = *b"BCPSNAP1";
 /// The current payload format version.
-pub const VERSION: u32 = 2;
+pub const VERSION: u32 = 3;
 /// The oldest payload format version this reader still accepts.
-pub const MIN_VERSION: u32 = 1;
+pub const MIN_VERSION: u32 = 3;
 
 pub mod cache;
 
@@ -760,59 +762,36 @@ fn dec_radio(d: &mut Dec) -> Res<RadioSnapshot> {
     })
 }
 
-fn enc_loss(e: &mut Enc, l: &LossModel) {
-    match *l {
-        LossModel::Perfect => e.u8(0),
-        LossModel::Bernoulli { p } => {
-            e.u8(1);
-            e.f64(p);
-        }
-        LossModel::GilbertElliott {
-            p_g2b,
-            p_b2g,
-            loss_good,
-            loss_bad,
-            in_bad,
-        } => {
-            e.u8(2);
-            e.f64(p_g2b);
-            e.f64(p_b2g);
-            e.f64(loss_good);
-            e.f64(loss_bad);
-            e.boolean(in_bad);
-        }
-    }
-}
-fn dec_loss(d: &mut Dec) -> Res<LossModel> {
-    match d.u8()? {
-        0 => Ok(LossModel::Perfect),
-        1 => Ok(LossModel::Bernoulli { p: d.f64()? }),
-        2 => Ok(LossModel::GilbertElliott {
-            p_g2b: d.f64()?,
-            p_b2g: d.f64()?,
-            loss_good: d.f64()?,
-            loss_bad: d.f64()?,
-            in_bad: d.boolean()?,
-        }),
-        b => Err(bad(format!("invalid loss model tag {b}"))),
-    }
-}
-
 fn enc_slot(e: &mut Enc, s: &ChannelSlot) {
     e.u32(s.carrier);
     e.opt(&s.rx_current, |e, (tx, garbled)| {
         e.u64(tx.0);
         e.boolean(*garbled);
     });
-    enc_loss(e, &s.loss);
+    e.boolean(s.loss.in_bad);
     enc_rng4(e, s.rng);
+    e.len(s.audible.len());
+    for (tx, mw) in &s.audible {
+        e.u64(tx.0);
+        e.f64(*mw);
+    }
 }
 fn dec_slot(d: &mut Dec) -> Res<ChannelSlot> {
     Ok(ChannelSlot {
         carrier: d.u32()?,
         rx_current: d.opt(|d| Ok((TxId(d.u64()?), d.boolean()?)))?,
-        loss: dec_loss(d)?,
+        loss: LossState {
+            in_bad: d.boolean()?,
+        },
         rng: dec_rng4(d)?,
+        audible: d.seq(|d| {
+            let tx = TxId(d.u64()?);
+            let mw = d.f64()?;
+            if !mw.is_finite() || mw < 0.0 {
+                return Err(bad(format!("invalid received power {mw} mW")));
+            }
+            Ok((tx, mw))
+        })?,
     })
 }
 
@@ -1578,6 +1557,17 @@ fn enc_world(e: &mut Enc, w: &WorldState, spec_text: &str) {
         e.f64(s.prev.low_idle_j);
         e.f64(s.prev.low_sleep_j);
     });
+    e.opt(&w.shadow, |e, sh| {
+        e.len(sh.low.len());
+        for &v in &sh.low {
+            e.f64(v);
+        }
+        e.len(sh.high.len());
+        for &v in &sh.high {
+            e.f64(v);
+        }
+        enc_rng4(e, sh.rng);
+    });
 }
 
 fn dec_world(d: &mut Dec) -> Res<WorldState> {
@@ -1633,6 +1623,22 @@ fn dec_world(d: &mut Dec) -> Res<WorldState> {
             },
         })
     })?;
+    let shadow = d.opt(|d| {
+        let dec_offsets = |d: &mut Dec<'_>| {
+            d.seq(|d| {
+                let v = d.f64()?;
+                if !v.is_finite() {
+                    return Err(bad(format!("non-finite shadowing offset {v} dB")));
+                }
+                Ok(v)
+            })
+        };
+        Ok(ShadowSnapshot {
+            low: dec_offsets(d)?,
+            high: dec_offsets(d)?,
+            rng: dec_rng4(d)?,
+        })
+    })?;
     Ok(WorldState {
         scen,
         time,
@@ -1653,6 +1659,7 @@ fn dec_world(d: &mut Dec) -> Res<WorldState> {
         death_seen,
         dissem,
         series,
+        shadow,
     })
 }
 
@@ -1795,37 +1802,39 @@ mod tests {
     }
 
     #[test]
-    fn v1_frames_without_a_meta_trailer_still_load() {
-        // A world captured mid-series, so the derived meta has something
-        // to recover.
-        let scen = dual_scenario();
-        let mut lw = World::build(
-            &scen,
-            &RunOptions {
-                series_every: Some(SimDuration::from_secs(3)),
-                ..RunOptions::default()
-            },
-        );
-        lw.run_to(SimTime::from_secs(10));
-        let snap = lw.snapshot();
-        // Hand-frame a version-1 file: world payload only, no trailer.
-        let spec = emit_spec(&snap.scen).expect("spec emits");
-        let mut e = Enc { buf: Vec::new() };
-        enc_world(&mut e, &snap, &spec);
-        let payload = e.buf;
-        let mut v1 = Vec::new();
-        v1.extend_from_slice(&MAGIC);
-        v1.extend_from_slice(&1u32.to_le_bytes());
-        v1.extend_from_slice(&payload);
-        v1.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
-        let (state, meta) = from_bytes_with_meta(&v1).expect("v1 frame loads");
-        assert_eq!(state, snap);
-        assert_eq!(
-            meta.series_every,
-            Some(SimDuration::from_secs(3)),
-            "the series interval is recovered from the captured sampler"
-        );
-        assert!(!meta.trace, "v1 recorded no trace settings");
+    fn pre_v3_frames_are_explicitly_unreadable() {
+        // Version 3 changed the channel-slot layout (loss-state split,
+        // audibility, shadowing); older frames must be rejected with a
+        // typed version error, never best-effort decoded.
+        let bytes = to_bytes(&snapshot_at(&dual_scenario(), 5)).expect("encodes");
+        for old in [1u32, 2] {
+            let mut v = bytes.clone();
+            v[8..12].copy_from_slice(&old.to_le_bytes());
+            assert!(
+                matches!(
+                    from_bytes(&v),
+                    Err(SnapshotError::UnsupportedVersion(got)) if got == old
+                ),
+                "version {old} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn shadowed_world_round_trips_with_its_offsets() {
+        // A received-power scenario captures its per-link shadowing; the
+        // codec must reproduce the offsets bit for bit.
+        let mut scen = dual_scenario();
+        scen.phys = bcp_net::propagation::PhysModel::LogNormal {
+            path_loss_exp: 3.0,
+            sigma_db: 4.0,
+            seed: None,
+        };
+        let snap = snapshot_at(&scen, 13);
+        let sh = snap.shadow.as_ref().expect("logn world captures shadowing");
+        assert!(!sh.low.is_empty() && !sh.high.is_empty());
+        let back = from_bytes(&to_bytes(&snap).expect("encodes")).expect("decodes");
+        assert_eq!(snap, back, "shadowed snapshot round-trips exactly");
     }
 
     #[test]
